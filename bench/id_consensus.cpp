@@ -1,0 +1,94 @@
+// E13 (extension, paper footnote 2) — id consensus via a (lg n)-depth
+// tournament of binary consensus instances. Each level runs the combined
+// lean+backup protocol, so under noisy scheduling the whole tournament
+// costs O(log n) levels x O(log n) expected rounds each.
+//
+// The bench reports ops per process and simulated time against n, plus the
+// winner-id spread (the tournament is close to symmetric under symmetric
+// scheduling; the dither gives early starters a small edge).
+#include <cstdio>
+#include <map>
+
+#include "id/id_machine.h"
+#include "noise/catalog.h"
+#include "sim/simulator.h"
+#include "stats/regression.h"
+#include "stats/summary.h"
+#include "util/options.h"
+#include "util/table.h"
+
+using namespace leancon;
+
+int main(int argc, char** argv) {
+  options opts;
+  opts.add("trials", "200", "trials per point");
+  opts.add("nmax", "64", "largest process count (powers of two)");
+  opts.add("seed", "23", "base seed");
+  if (!opts.parse(argc, argv)) return 1;
+
+  const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
+  const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  std::printf("Id consensus (footnote 2): tournament of binary consensus"
+              " instances,\nexp(1) noisy scheduling.\n\n");
+
+  table tbl({"n", "levels", "mean ops/proc", "p95 ops", "mean sim time",
+             "distinct winners", "agreement failures"});
+  std::vector<double> xs, ys;
+  for (std::uint64_t n = 2; n <= nmax; n *= 2) {
+    summary ops, sim_time;
+    std::map<int, int> winners;
+    std::uint64_t failures = 0;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      sim_config config;
+      config.inputs.assign(n, 0);
+      config.sched = figure1_params(make_exponential(1.0));
+      config.check_invariants = false;  // node-strided register reuse
+      config.seed = seed + n * 131 + t;
+      config.factory = [n](int pid, int, rng gen) {
+        return std::make_unique<id_machine>(static_cast<std::uint64_t>(pid),
+                                            n, id_params{}, gen);
+      };
+      const auto r = simulate(config);
+      if (!r.all_live_decided) {
+        ++failures;
+        continue;
+      }
+      int winner = r.processes[0].decision;
+      bool agree = true;
+      double ops_sum = 0.0;
+      for (const auto& p : r.processes) {
+        agree = agree && p.decision == winner;
+        ops_sum += static_cast<double>(p.ops);
+      }
+      if (!agree) {
+        ++failures;
+        continue;
+      }
+      ++winners[winner];
+      ops.add(ops_sum / static_cast<double>(n));
+      sim_time.add(r.first_decision_time);
+    }
+    const auto levels =
+        id_machine(0, n, {}, rng(1)).levels();
+    tbl.begin_row();
+    tbl.cell(n);
+    tbl.cell(static_cast<std::uint64_t>(levels));
+    tbl.cell(ops.mean(), 1);
+    tbl.cell(ops.count() ? ops.quantile(0.95) : 0.0, 1);
+    tbl.cell(sim_time.mean(), 1);
+    tbl.cell(static_cast<std::uint64_t>(winners.size()));
+    tbl.cell(failures);
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(ops.mean());
+  }
+  tbl.print();
+
+  const auto fit = fit_against_log2(xs, ys);
+  std::printf("\nfit: ops/proc = %.2f * log2(n) + %.2f (R^2 = %.2f)\n"
+              "expected: near-linear in log n x per-level cost; agreement"
+              " failures must be 0.\n",
+              fit.slope, fit.intercept, fit.r_squared);
+  return 0;
+}

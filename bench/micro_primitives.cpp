@@ -1,0 +1,128 @@
+// E12 — Microbenchmarks of the library's primitives (google-benchmark):
+// PRNG, distribution sampling, register backends, event queue, one lean
+// round, adopt-commit, a full small simulation, and a renewal race.
+#include <benchmark/benchmark.h>
+
+#include "backup/adopt_commit.h"
+#include "core/lean_machine.h"
+#include "memory/atomic_memory.h"
+#include "memory/sim_memory.h"
+#include "noise/catalog.h"
+#include "race/renewal_race.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace leancon {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  rng gen(1);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngUniform01(benchmark::State& state) {
+  rng gen(2);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.uniform01());
+}
+BENCHMARK(BM_RngUniform01);
+
+void BM_DistributionSample(benchmark::State& state) {
+  const auto catalog = figure1_catalog();
+  const auto& dist = *catalog[static_cast<std::size_t>(state.range(0))].dist;
+  rng gen(3);
+  for (auto _ : state) benchmark::DoNotOptimize(dist.sample(gen));
+  state.SetLabel(dist.name());
+}
+BENCHMARK(BM_DistributionSample)->DenseRange(0, 5);
+
+void BM_SimMemoryReadWrite(benchmark::State& state) {
+  sim_memory mem;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    mem.execute(0, operation::write({space::race0, i % 64 + 1}, 1));
+    benchmark::DoNotOptimize(
+        mem.execute(0, operation::read({space::race1, i % 64 + 1})));
+    ++i;
+  }
+}
+BENCHMARK(BM_SimMemoryReadWrite);
+
+void BM_AtomicMemoryReadWrite(benchmark::State& state) {
+  atomic_memory mem;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    mem.execute(operation::write({space::race0, i % 64 + 1}, 1));
+    benchmark::DoNotOptimize(
+        mem.execute(operation::read({space::race1, i % 64 + 1})));
+    ++i;
+  }
+}
+BENCHMARK(BM_AtomicMemoryReadWrite);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  event_queue q;
+  rng gen(4);
+  for (int i = 0; i < 1024; ++i) q.push(gen.uniform01(), i);
+  for (auto _ : state) {
+    const auto e = q.pop();
+    q.push(e.time + 1.0, e.pid);
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_LeanSoloDecision(benchmark::State& state) {
+  for (auto _ : state) {
+    sim_memory mem;
+    lean_machine m(1);
+    while (!m.done()) m.apply(mem.execute(0, m.next_op()));
+    benchmark::DoNotOptimize(m.decision());
+  }
+}
+BENCHMARK(BM_LeanSoloDecision);
+
+void BM_AdoptCommitSolo(benchmark::State& state) {
+  for (auto _ : state) {
+    sim_memory mem;
+    adopt_commit_machine m(1, 1);
+    while (!m.done()) m.apply(mem.execute(0, m.next_op()));
+    benchmark::DoNotOptimize(m.value());
+  }
+}
+BENCHMARK(BM_AdoptCommitSolo);
+
+void BM_SimulateConsensus(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 5;
+  for (auto _ : state) {
+    sim_config config;
+    config.inputs = split_inputs(n);
+    config.sched = figure1_params(make_exponential(1.0));
+    config.stop = stop_mode::first_decision;
+    config.check_invariants = false;
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(simulate(config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulateConsensus)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_RenewalRace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 6;
+  for (auto _ : state) {
+    race_config config;
+    config.n = n;
+    config.lead = 2;
+    config.sched = figure1_params(make_exponential(1.0));
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(run_race(config));
+  }
+}
+BENCHMARK(BM_RenewalRace)->Arg(16)->Arg(1024);
+
+}  // namespace
+}  // namespace leancon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// E15 (extension, paper Section 10) — timing-based mutual exclusion under
+// noisy scheduling: Lamport's fast mutex measured in the same environment
+// model as lean-consensus, extending the Gafni-Mitzenmacher analysis of
+// mutual exclusion with random timing.
+//
+// Reported per contention level: fast-path rate (entries that never saw a
+// rival), operations per entry, and simulated time per entry. Expected
+// shape: ~100% fast path solo; fast-path rate collapses and ops/entry climb
+// as contention rises; mutual exclusion violations stay 0 everywhere.
+#include <cstdio>
+
+#include "mutex/fast_mutex.h"
+#include "noise/catalog.h"
+#include "stats/summary.h"
+#include "util/options.h"
+#include "util/table.h"
+
+using namespace leancon;
+
+int main(int argc, char** argv) {
+  options opts;
+  opts.add("trials", "100", "trials per point");
+  opts.add("entries", "8", "critical sections per process");
+  opts.add("seed", "25", "base seed");
+  if (!opts.parse(argc, argv)) return 1;
+
+  const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
+  const auto entries = static_cast<std::uint64_t>(opts.get_int("entries"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  std::printf("Lamport's fast mutex under noisy scheduling (exp(1)"
+              " interarrivals).\n\n");
+
+  table tbl({"n", "fast-path %", "ops/entry", "sim time/entry",
+             "overlap violations", "canary violations"});
+  for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+    summary ops_per_entry, time_per_entry, fast_rate;
+    std::uint64_t overlaps = 0, canaries = 0;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      mutex_config config;
+      config.processes = n;
+      config.entries_per_process = entries;
+      config.sched = figure1_params(make_exponential(1.0));
+      config.seed = seed + n * 1013 + t;
+      const auto r = run_mutex(config);
+      if (!r.all_finished || r.total_entries == 0) continue;
+      overlaps += r.overlap_violations;
+      canaries += r.canary_violations;
+      fast_rate.add(static_cast<double>(r.fast_path_entries) /
+                    static_cast<double>(r.total_entries));
+      ops_per_entry.add(static_cast<double>(r.total_ops) /
+                        static_cast<double>(r.total_entries));
+      time_per_entry.add(r.finish_time /
+                         static_cast<double>(r.total_entries));
+    }
+    tbl.begin_row();
+    tbl.cell(static_cast<std::uint64_t>(n));
+    tbl.cell(100.0 * fast_rate.mean(), 1);
+    tbl.cell(ops_per_entry.mean(), 1);
+    tbl.cell(time_per_entry.mean(), 2);
+    tbl.cell(overlaps);
+    tbl.cell(canaries);
+  }
+  tbl.print();
+  std::printf("\nviolation columns must be 0: mutual exclusion is checked"
+              " after every atomic\nstep and via an in-CS canary register."
+              " Noise disperses contenders, so the\nfast path survives"
+              " moderate contention — the noisy-scheduling analogue of\n"
+              "Gafni-Mitzenmacher's random-timing analysis.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E2 — Theorem 12: under noisy scheduling, lean-consensus terminates in
+// expected O(log n) rounds with an exponential tail
+// (Pr[r' > k] <= e^{-floor(k / O(log n))}).
+//
+// This bench (a) fits mean first-decision rounds against log2(n) and
+// (b) prints the empirical tail of the round distribution at a fixed n,
+// whose log-probabilities should fall roughly linearly in k.
+#include <cmath>
+#include <cstdio>
+
+#include "noise/catalog.h"
+#include "sim/runner.h"
+#include "stats/regression.h"
+#include "util/options.h"
+#include "util/table.h"
+
+using namespace leancon;
+
+int main(int argc, char** argv) {
+  options opts;
+  opts.add("trials", "400", "trials per point");
+  opts.add("nmax", "1024", "largest n (powers of two swept)");
+  opts.add("tail-n", "64", "process count for the tail profile");
+  opts.add("tail-trials", "3000", "trials for the tail profile");
+  opts.add("seed", "12", "base seed");
+  if (!opts.parse(argc, argv)) return 1;
+
+  const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
+  const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  std::printf("Theorem 12: E[rounds] = O(log n) under noisy scheduling.\n\n");
+
+  table tbl({"n", "mean round", "ci95", "p50", "p95", "max"});
+  std::vector<double> xs, ys;
+  for (std::uint64_t n = 2; n <= nmax; n *= 2) {
+    sim_config config;
+    config.inputs = split_inputs(n);
+    config.sched = figure1_params(make_exponential(1.0));
+    config.stop = stop_mode::first_decision;
+    config.check_invariants = false;
+    config.seed = seed + n;
+    const auto stats = run_trials(config, trials);
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(stats.first_round.mean());
+    tbl.begin_row();
+    tbl.cell(n);
+    tbl.cell(stats.first_round.mean(), 2);
+    tbl.cell(stats.first_round.ci95_halfwidth(), 2);
+    tbl.cell(stats.first_round.quantile(0.5), 1);
+    tbl.cell(stats.first_round.quantile(0.95), 1);
+    tbl.cell(stats.first_round.max(), 0);
+  }
+  tbl.print();
+
+  const auto fit = fit_against_log2(xs, ys);
+  std::printf("\nfit: mean_round = %.3f * log2(n) + %.3f   (R^2 = %.3f)\n",
+              fit.slope, fit.intercept, fit.r_squared);
+  std::printf("paper claim: Theta(log n) -> positive slope, high R^2.\n\n");
+
+  // Tail profile at fixed n.
+  const auto tail_n = static_cast<std::uint64_t>(opts.get_int("tail-n"));
+  const auto tail_trials =
+      static_cast<std::uint64_t>(opts.get_int("tail-trials"));
+  sim_config config;
+  config.inputs = split_inputs(tail_n);
+  config.sched = figure1_params(make_exponential(1.0));
+  config.stop = stop_mode::first_decision;
+  config.check_invariants = false;
+  config.seed = seed * 7 + 1;
+  const auto stats = run_trials(config, tail_trials);
+
+  std::printf("Tail at n = %llu (%llu trials): Pr[round > k] should decay"
+              " exponentially in k.\n\n",
+              static_cast<unsigned long long>(tail_n),
+              static_cast<unsigned long long>(tail_trials));
+  table tail({"k", "Pr[round > k]", "ln Pr"});
+  const double mean = stats.first_round.mean();
+  for (double k = mean; ; k += 2.0) {
+    const double p = stats.first_round.tail_fraction_above(k);
+    tail.begin_row();
+    tail.cell(k, 0);
+    tail.cell(p, 4);
+    tail.cell(p > 0 ? std::log(p) : -99.0, 2);
+    if (p < 0.001) break;
+  }
+  tail.print();
+  return 0;
+}

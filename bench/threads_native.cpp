@@ -1,0 +1,89 @@
+// E9 — Native-thread end-to-end runs: lean-consensus (with the combined
+// bounded-space fallback) on std::thread + std::atomic, where the "noisy
+// scheduler" is the actual machine (OS preemption, cache traffic), with and
+// without injected busy-wait noise from the library's distributions.
+//
+// Expected shape: every run decides and agrees; per-thread step counts stay
+// small (a few rounds); injected noise dramatically reduces lockstep step
+// counts compared to tight spinning on an oversubscribed CPU.
+#include <cstdio>
+
+#include "noise/catalog.h"
+#include "runtime/thread_consensus.h"
+#include "stats/summary.h"
+#include "util/options.h"
+#include "util/table.h"
+
+using namespace leancon;
+
+int main(int argc, char** argv) {
+  options opts;
+  opts.add("trials", "15", "runs per configuration");
+  opts.add("max-threads", "8", "largest thread count");
+  opts.add("seed", "19", "base seed");
+  if (!opts.parse(argc, argv)) return 1;
+
+  const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
+  const auto max_threads =
+      static_cast<std::uint64_t>(opts.get_int("max-threads"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  std::printf("Native threads over std::atomic registers (combined"
+              " protocol).\n\n");
+
+  struct noise_option {
+    const char* label;
+    distribution_ptr dist;
+    double yield_probability;
+  };
+  const noise_option noises[] = {
+      {"none (raw scheduler)", nullptr, 0.0},
+      {"yield storm (p=0.5)", nullptr, 0.5},
+      {"exp(1) x 200ns", make_exponential(1.0), 0.0},
+      {"exp(1) + yields", make_exponential(1.0), 0.5},
+      {"{2/3,4/3} x 200ns", make_two_point(2.0 / 3.0, 4.0 / 3.0), 0.0},
+  };
+
+  table tbl({"threads", "noise", "agree", "mean steps", "max steps",
+             "mean rounds", "backup", "mean ms"});
+  for (std::uint64_t n = 2; n <= max_threads; n *= 2) {
+    for (const auto& noise : noises) {
+      summary steps, rounds, wall;
+      std::uint64_t max_steps = 0, backups = 0, disagreements = 0;
+      for (std::uint64_t t = 0; t < trials; ++t) {
+        thread_run_config config;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          config.inputs.push_back(static_cast<int>(i % 2));
+        }
+        config.injected_noise = noise.dist;
+        config.noise_scale_ns = 200.0;
+        config.yield_probability = noise.yield_probability;
+        config.seed = seed + n * 31 + t;
+        const auto result = run_threads(config);
+        if (!result.agreement || !result.all_decided) ++disagreements;
+        for (auto s : result.steps) steps.add(static_cast<double>(s));
+        for (auto r : result.lean_rounds) rounds.add(static_cast<double>(r));
+        max_steps = std::max(max_steps, result.max_steps);
+        backups += result.backup_entries;
+        wall.add(result.wall_ms);
+      }
+      tbl.begin_row();
+      tbl.cell(n);
+      tbl.cell(noise.label);
+      tbl.cell(disagreements == 0 ? std::string("yes")
+                                  : std::string("NO (" +
+                                                std::to_string(disagreements) +
+                                                ")"));
+      tbl.cell(steps.mean(), 1);
+      tbl.cell(max_steps);
+      tbl.cell(rounds.mean(), 2);
+      tbl.cell(backups);
+      tbl.cell(wall.mean(), 3);
+    }
+  }
+  tbl.print();
+  std::printf("\n(agreement must always hold; the combined fallback"
+              " guarantees termination\neven under adversarial OS"
+              " scheduling.)\n");
+  return 0;
+}

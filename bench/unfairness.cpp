@@ -1,0 +1,99 @@
+// E6 — Theorem 1: noisy scheduling is not fair. With the pathological
+// distribution X = 2^{k^2} w.p. 2^{-k}, the expected number of operations
+// one process completes between two consecutive operations of another is
+// INFINITE. With a truncated support (k <= K) the expectation is finite but
+// explodes with K; benign distributions stay at Theta(1).
+//
+// The bench simulates two renewal processes and measures ops of p1 falling
+// between consecutive ops of p0, sweeping the truncation K — the measured
+// mean should grow without bound as K rises, giving the finite-sample
+// shadow of the theorem.
+#include <cstdio>
+
+#include "noise/catalog.h"
+#include "stats/summary.h"
+#include "util/options.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace leancon;
+
+namespace {
+
+/// Returns the mean and max number of p1 arrivals between consecutive p0
+/// arrivals, over `gaps` gaps and `trials` trials.
+void measure_interleave(const distribution& dist, std::uint64_t seed,
+                        int gaps, int trials, summary& per_gap,
+                        double& global_max) {
+  for (int t = 0; t < trials; ++t) {
+    rng gen0(seed, 2 * static_cast<std::uint64_t>(t) + 1);
+    rng gen1(seed, 2 * static_cast<std::uint64_t>(t) + 2);
+    double t0 = 0.0;  // p0's clock
+    double t1 = 0.0;  // p1's clock
+    std::uint64_t pending = 0;
+    for (int g = 0; g < gaps; ++g) {
+      const double next0 = t0 + dist.sample(gen0);
+      // Count p1 ops landing in (t0, next0].
+      std::uint64_t count = 0;
+      while (t1 + 1e-12 < next0) {
+        t1 += dist.sample(gen1);
+        if (t1 <= next0) ++count;
+      }
+      (void)pending;
+      per_gap.add(static_cast<double>(count));
+      if (static_cast<double>(count) > global_max) {
+        global_max = static_cast<double>(count);
+      }
+      t0 = next0;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts;
+  opts.add("gaps", "40", "operation gaps examined per trial");
+  opts.add("trials", "150", "trials per distribution");
+  opts.add("seed", "16", "base seed");
+  if (!opts.parse(argc, argv)) return 1;
+
+  const int gaps = static_cast<int>(opts.get_int("gaps"));
+  const int trials = static_cast<int>(opts.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  std::printf("Theorem 1: expected rival operations between two consecutive"
+              " operations\nof one process, pathological 2^{k^2} w.p. 2^{-k}"
+              " noise (truncated at K).\nExpected shape: grows without bound"
+              " in K; benign noise stays ~1.\n\n");
+
+  table tbl({"distribution", "mean rival ops/gap", "p99", "max observed"});
+  for (int max_k : {3, 4, 5, 6, 7, 8}) {
+    const auto dist = make_pathological_heavy(max_k);
+    summary per_gap;
+    double global_max = 0.0;
+    measure_interleave(*dist, seed + static_cast<std::uint64_t>(max_k), gaps,
+                       trials, per_gap, global_max);
+    tbl.begin_row();
+    tbl.cell(dist->name());
+    tbl.cell(per_gap.mean(), 2);
+    tbl.cell(per_gap.quantile(0.99), 1);
+    tbl.cell(global_max, 0);
+  }
+  for (const auto& entry : figure1_catalog()) {
+    summary per_gap;
+    double global_max = 0.0;
+    measure_interleave(*entry.dist, seed + 100, gaps, trials, per_gap,
+                       global_max);
+    tbl.begin_row();
+    tbl.cell(entry.dist->name());
+    tbl.cell(per_gap.mean(), 2);
+    tbl.cell(per_gap.quantile(0.99), 1);
+    tbl.cell(global_max, 0);
+  }
+  tbl.print();
+  std::printf("\n(the full theorem has unbounded K and an infinite"
+              " expectation; each +1 in K\nroughly squares the dominant gap"
+              " length 2^{K^2}, so the mean keeps climbing.)\n");
+  return 0;
+}

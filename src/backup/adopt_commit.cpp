@@ -1,0 +1,72 @@
+#include "backup/adopt_commit.h"
+
+#include <stdexcept>
+
+namespace leancon {
+
+adopt_commit_machine::adopt_commit_machine(std::uint64_t round, int input)
+    : round_(round), input_(input) {
+  if (input != 0 && input != 1) {
+    throw std::invalid_argument("adopt_commit: input must be 0 or 1");
+  }
+}
+
+operation adopt_commit_machine::next_op() const {
+  switch (phase_) {
+    case phase::write_own_door:
+      return operation::write({door_space(input_), round_}, 1);
+    case phase::read_other_door:
+    case phase::reread_other_door:
+      return operation::read({door_space(1 - input_), round_});
+    case phase::write_proposal:
+      return operation::write({space::ac_proposal, round_},
+                              encode_proposal(input_));
+    case phase::read_proposal:
+      return operation::read({space::ac_proposal, round_});
+    case phase::finished:
+      break;
+  }
+  throw std::logic_error("adopt_commit: next_op after done");
+}
+
+void adopt_commit_machine::apply(std::uint64_t result) {
+  if (done_) throw std::logic_error("adopt_commit: apply after done");
+  ++steps_;
+  switch (phase_) {
+    case phase::write_own_door:
+      phase_ = phase::read_other_door;
+      break;
+    case phase::read_other_door:
+      phase_ = result == 0 ? phase::write_proposal : phase::read_proposal;
+      break;
+    case phase::write_proposal:
+      phase_ = phase::reread_other_door;
+      break;
+    case phase::reread_other_door:
+      verdict_ = result == 0 ? verdict::commit : verdict::adopt;
+      value_ = input_;
+      done_ = true;
+      phase_ = phase::finished;
+      break;
+    case phase::read_proposal:
+      verdict_ = verdict::adopt;
+      value_ = proposal_empty(result) ? input_ : decode_proposal(result);
+      done_ = true;
+      phase_ = phase::finished;
+      break;
+    case phase::finished:
+      break;
+  }
+}
+
+adopt_commit_machine::verdict adopt_commit_machine::outcome() const {
+  if (!done_) throw std::logic_error("adopt_commit: outcome before done");
+  return verdict_;
+}
+
+int adopt_commit_machine::value() const {
+  if (!done_) throw std::logic_error("adopt_commit: value before done");
+  return value_;
+}
+
+}  // namespace leancon

@@ -1,0 +1,85 @@
+// Adopt-commit object from atomic registers.
+//
+// An adopt-commit object is a one-shot agreement primitive with the
+// guarantees (for inputs v in {0, 1}):
+//   * Coherence:   if any process returns (commit, v), every process returns
+//                  (commit, v) or (adopt, v).
+//   * Convergence: if all inputs equal v, every process returns (commit, v).
+//   * Validity:    every returned value is some process's input.
+//
+// Construction (doorway + proposal, 3 registers, <= 4 operations):
+//   1. write 1 to door[v]
+//   2. read door[1-v]
+//      clean doorway (0):
+//        3. write v to proposal
+//        4. re-read door[1-v]; if still 0 -> (commit, v), else (adopt, v)
+//      conflict (1):
+//        3. read proposal; if set -> (adopt, proposal), else (adopt, v)
+//
+// Safety sketch (exhaustively model-checked in tests/test_model_check.cpp):
+// if P commits v, P's step-4 read saw door[1-v] = 0, so every (1-v)-input
+// process enters its doorway after that read, observes door[v] = 1, takes the
+// conflict branch, and reads the proposal after P wrote v into it. No process
+// with input 1-v can reach the proposal write (its step-2 read would have to
+// have seen door[v] = 0, which orders it before P's commit re-read and makes
+// that re-read return 1). Hence all other returns carry v.
+//
+// This object is the deterministic safety half of the backup protocol
+// (Section 8 of the paper); the conciliator supplies probabilistic
+// convergence.
+#pragma once
+
+#include <cstdint>
+
+#include "core/machine.h"
+
+namespace leancon {
+
+/// One process's execution of the round-r adopt-commit object.
+/// Not a consensus_machine (its result is a verdict, not a decision), but it
+/// follows the same next_op()/apply() driving contract.
+class adopt_commit_machine {
+ public:
+  enum class verdict : std::uint8_t { commit, adopt };
+
+  /// @param round  instance index (selects the register triple)
+  /// @param input  proposed bit
+  adopt_commit_machine(std::uint64_t round, int input);
+
+  operation next_op() const;
+  void apply(std::uint64_t result);
+  bool done() const { return done_; }
+
+  verdict outcome() const;  ///< precondition: done()
+  int value() const;        ///< precondition: done()
+
+  std::uint64_t steps() const { return steps_; }
+
+  /// Internal phase index, exposed so model checkers can key the complete
+  /// machine state (step counts alone do not determine the branch taken).
+  int phase_index() const { return static_cast<int>(phase_); }
+
+ private:
+  enum class phase : std::uint8_t {
+    write_own_door,
+    read_other_door,
+    write_proposal,
+    reread_other_door,
+    read_proposal,
+    finished
+  };
+
+  static space door_space(int bit) {
+    return bit == 0 ? space::ac_door0 : space::ac_door1;
+  }
+
+  std::uint64_t round_;
+  int input_;
+  phase phase_ = phase::write_own_door;
+  bool done_ = false;
+  verdict verdict_ = verdict::adopt;
+  int value_ = -1;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace leancon

@@ -1,0 +1,67 @@
+#include "backup/backup_machine.h"
+
+#include <stdexcept>
+
+namespace leancon {
+
+backup_machine::backup_machine(int input, const backup_params& params, rng gen)
+    : params_(params), gen_(gen), coin_(gen_.fork()), value_(input) {
+  if (input != 0 && input != 1) {
+    throw std::invalid_argument("backup_machine: input must be 0 or 1");
+  }
+  start_round();
+}
+
+void backup_machine::start_round() {
+  if (round_ > params_.max_rounds) {
+    stuck_ = true;
+    ac_.reset();
+    conc_.reset();
+    return;
+  }
+  ac_.emplace(round_, value_);
+  conc_.reset();
+}
+
+operation backup_machine::next_op() const {
+  if (decided_ || stuck_) {
+    throw std::logic_error("backup_machine: next_op after done/stuck");
+  }
+  if (ac_) return ac_->next_op();
+  return conc_->next_op();
+}
+
+void backup_machine::apply(std::uint64_t result) {
+  if (decided_ || stuck_) {
+    throw std::logic_error("backup_machine: apply after done/stuck");
+  }
+  ++steps_;
+  if (ac_) {
+    ac_->apply(result);
+    if (ac_->done()) {
+      value_ = ac_->value();
+      if (ac_->outcome() == adopt_commit_machine::verdict::commit) {
+        decided_ = true;
+        decision_ = value_;
+        ac_.reset();
+      } else {
+        conc_.emplace(round_, value_, params_.write_prob, &coin_);
+        ac_.reset();
+      }
+    }
+    return;
+  }
+  conc_->apply(result);
+  if (conc_->done()) {
+    value_ = conc_->value();
+    ++round_;
+    start_round();
+  }
+}
+
+int backup_machine::decision() const {
+  if (!decided_) throw std::logic_error("backup_machine: decision before done");
+  return decision_;
+}
+
+}  // namespace leancon

@@ -1,0 +1,93 @@
+// Backup consensus protocol (paper Section 8).
+//
+// The paper cuts lean-consensus off after r_max = O(log^2 n) rounds and runs
+// "a more expensive, bounded-memory consensus algorithm satisfying the
+// validity property" (it cites the O(n^4) protocol of Aspnes '93). Theorem 15
+// only relies on three properties of that backup: validity, agreement under
+// any schedule, and polynomial expected work. This module provides a compact
+// protocol with exactly those properties (see DESIGN.md for the substitution
+// rationale):
+//
+//   value v = input
+//   for round r = 1, 2, ...:
+//     (verdict, v) = adopt_commit_r(v)     // deterministic safety
+//     if verdict == commit: decide v
+//     v = conciliator_r(v)                 // probabilistic convergence
+//
+// Agreement: if any process commits v in round r, adopt-commit coherence
+// forces every other process to carry v into conciliator_r; the conciliator
+// preserves unanimity, so round r+1 is unanimous and commits v.
+// Validity: unanimous inputs commit in round 1 (convergence).
+// Termination: each conciliator produces agreement with constant probability
+// against an oblivious scheduler, so the expected number of rounds is O(1)
+// and expected work is O(n) operations per process (p_write = 1/(2n)).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "backup/adopt_commit.h"
+#include "backup/conciliator.h"
+#include "core/machine.h"
+#include "util/rng.h"
+
+namespace leancon {
+
+/// Tuning parameters for the backup protocol.
+struct backup_params {
+  /// Per-step conciliator write probability; 1/(2n) is the analyzed value.
+  double write_prob = 0.25;
+  /// Rounds after which the machine declares itself stuck (never expected in
+  /// practice: the per-round failure probability is bounded below 1).
+  std::uint64_t max_rounds = 1u << 20;
+
+  /// Canonical parameters for an n-process instance.
+  static backup_params for_processes(std::uint64_t n) {
+    backup_params p;
+    p.write_prob = 1.0 / (2.0 * static_cast<double>(n == 0 ? 1 : n));
+    return p;
+  }
+};
+
+/// One process's backup-consensus execution.
+class backup_machine final : public consensus_machine {
+ public:
+  /// @param input   the bit carried in (the lean preference, or a raw input
+  ///                when the backup runs standalone)
+  /// @param params  protocol tuning
+  /// @param gen     local coin source (copied; machine owns its stream)
+  backup_machine(int input, const backup_params& params, rng gen);
+
+  operation next_op() const override;
+  void apply(std::uint64_t result) override;
+  bool done() const override { return decided_; }
+  int decision() const override;
+  std::uint64_t steps() const override { return steps_; }
+
+  /// Rounds of (adopt-commit + conciliator) consumed so far (1-based).
+  std::uint64_t round() const { return round_; }
+
+  /// Current carried value.
+  int value() const { return value_; }
+
+  /// True if max_rounds was exceeded (the machine stops making progress).
+  bool stuck() const { return stuck_; }
+
+ private:
+  void start_round();
+
+  backup_params params_;
+  rng gen_;
+  rng_coin coin_;
+  int value_;
+  std::uint64_t round_ = 1;
+  bool decided_ = false;
+  bool stuck_ = false;
+  int decision_ = -1;
+  std::uint64_t steps_ = 0;
+  // Stage within the current round. Exactly one is engaged at a time.
+  std::optional<adopt_commit_machine> ac_;
+  std::optional<conciliator_machine> conc_;
+};
+
+}  // namespace leancon

@@ -1,0 +1,63 @@
+#include "backup/conciliator.h"
+
+#include <stdexcept>
+
+namespace leancon {
+
+conciliator_machine::conciliator_machine(std::uint64_t round, int input,
+                                         double write_prob, coin_source* coin)
+    : round_(round), input_(input), write_prob_(write_prob), coin_(coin) {
+  if (input != 0 && input != 1) {
+    throw std::invalid_argument("conciliator: input must be 0 or 1");
+  }
+  if (!(write_prob > 0.0) || write_prob > 1.0) {
+    throw std::invalid_argument("conciliator: write_prob must be in (0, 1]");
+  }
+  if (coin == nullptr) {
+    throw std::invalid_argument("conciliator: null coin source");
+  }
+}
+
+operation conciliator_machine::next_op() const {
+  switch (phase_) {
+    case phase::read_register:
+      return operation::read({space::conc_value, round_});
+    case phase::write_register:
+      return operation::write({space::conc_value, round_},
+                              encode_proposal(input_));
+    case phase::finished:
+      break;
+  }
+  throw std::logic_error("conciliator: next_op after done");
+}
+
+void conciliator_machine::apply(std::uint64_t result) {
+  if (done_) throw std::logic_error("conciliator: apply after done");
+  ++steps_;
+  switch (phase_) {
+    case phase::read_register:
+      if (!proposal_empty(result)) {
+        value_ = decode_proposal(result);
+        done_ = true;
+        phase_ = phase::finished;
+      } else if (coin_->flip(write_prob_)) {
+        phase_ = phase::write_register;
+      }
+      // else: poll again (phase stays read_register)
+      break;
+    case phase::write_register:
+      value_ = input_;
+      done_ = true;
+      phase_ = phase::finished;
+      break;
+    case phase::finished:
+      break;
+  }
+}
+
+int conciliator_machine::value() const {
+  if (!done_) throw std::logic_error("conciliator: value before done");
+  return value_;
+}
+
+}  // namespace leancon

@@ -1,0 +1,90 @@
+// Conciliator (probabilistic agreement stage) in the style of
+// Chor-Israeli-Li: a "slow write" race on a single multi-writer register.
+//
+// Each process repeatedly reads the round's register; if it is still empty
+// the process writes its own value with small probability p (nominally
+// 1/(2n)) per step, otherwise it keeps polling. A process returns the first
+// non-empty value it reads (or its own value immediately after writing).
+//
+// Properties:
+//   * Validity / unanimity preservation: only input values are ever written,
+//     so if all participants carry v, every return is v. (Deterministic.)
+//   * Probabilistic agreement: with probability Omega(1) exactly one process
+//     writes before any other process polls again, so all processes return
+//     the same value. Guaranteed against oblivious schedulers, which the
+//     noisy-scheduling model's adversary is (the schedule is fixed before
+//     the noise and local coins are drawn).
+//   * Expected O(n) steps per process for p = 1/(2n).
+//
+// The local coin flips here are the only randomness in the whole combined
+// protocol, and they are reached only when lean-consensus has already failed
+// to terminate within r_max rounds (probability O(n^-c), Theorem 15).
+#pragma once
+
+#include <cstdint>
+
+#include "core/machine.h"
+#include "util/rng.h"
+
+namespace leancon {
+
+/// Source of the conciliator's local coin flips. Abstracted so that tests
+/// and the exhaustive model checker can drive the coin deterministically or
+/// explore BOTH outcomes at every flip; production code uses rng_coin.
+class coin_source {
+ public:
+  virtual ~coin_source() = default;
+  /// One Bernoulli(probability) trial.
+  virtual bool flip(double probability) = 0;
+};
+
+/// Production coin: an owned PRNG stream.
+class rng_coin final : public coin_source {
+ public:
+  explicit rng_coin(rng gen) : gen_(gen) {}
+  bool flip(double probability) override { return gen_.bernoulli(probability); }
+
+ private:
+  rng gen_;
+};
+
+/// One process's execution of the round-r conciliator.
+class conciliator_machine {
+ public:
+  /// @param round        instance index (selects the race register)
+  /// @param input        the value carried into this round
+  /// @param write_prob   per-step write probability (1/(2n) nominal)
+  /// @param coin         local coin source (owned by the caller)
+  conciliator_machine(std::uint64_t round, int input, double write_prob,
+                      coin_source* coin);
+
+  operation next_op() const;
+  void apply(std::uint64_t result);
+  bool done() const { return done_; }
+
+  int value() const;  ///< the conciliated value; precondition: done()
+
+  std::uint64_t steps() const { return steps_; }
+
+  /// Re-points the coin source after the machine was copied (model checking
+  /// copies whole system states; the copy must not flip the original's
+  /// coin). Not needed in production code.
+  void rebind_coin(coin_source* coin) { coin_ = coin; }
+
+  /// Internal phase index, exposed for model-checker state keys.
+  int phase_index() const { return static_cast<int>(phase_); }
+
+ private:
+  enum class phase : std::uint8_t { read_register, write_register, finished };
+
+  std::uint64_t round_;
+  int input_;
+  double write_prob_;
+  coin_source* coin_;
+  phase phase_ = phase::read_register;
+  bool done_ = false;
+  int value_ = -1;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace leancon

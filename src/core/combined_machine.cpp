@@ -1,0 +1,53 @@
+#include "core/combined_machine.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leancon {
+
+std::uint64_t default_r_max(std::uint64_t n) {
+  const double log_n = std::log2(static_cast<double>(n) + 2.0);
+  return static_cast<std::uint64_t>(4.0 * log_n * log_n) + 16;
+}
+
+combined_machine::combined_machine(int input, std::uint64_t r_max,
+                                   const backup_params& params, rng gen)
+    : params_(params), gen_(gen), lean_(input, r_max) {
+  maybe_enter_backup();
+}
+
+void combined_machine::maybe_enter_backup() {
+  if (lean_.exhausted() && !backup_) {
+    // Section 8: the input to the backup is the preference at the end of
+    // round r_max.
+    backup_.emplace(lean_.preference(), params_, gen_.fork());
+  }
+}
+
+operation combined_machine::next_op() const {
+  if (backup_) return backup_->next_op();
+  return lean_.next_op();
+}
+
+void combined_machine::apply(std::uint64_t result) {
+  if (backup_) {
+    backup_->apply(result);
+    return;
+  }
+  lean_.apply(result);
+  maybe_enter_backup();
+}
+
+bool combined_machine::done() const {
+  return backup_ ? backup_->done() : lean_.done();
+}
+
+int combined_machine::decision() const {
+  return backup_ ? backup_->decision() : lean_.decision();
+}
+
+std::uint64_t combined_machine::steps() const {
+  return lean_.steps() + (backup_ ? backup_->steps() : 0);
+}
+
+}  // namespace leancon

@@ -1,0 +1,67 @@
+// Combined bounded-space protocol (paper Section 8, Theorem 15):
+//
+//   1. Run lean-consensus through round r_max.
+//   2. At round r_max + 1, switch to the backup protocol, using the
+//      preference at the end of round r_max as the backup input.
+//
+// Correctness (Theorem 15): validity is immediate (unanimous inputs decide in
+// lean round 2); for agreement, if any process decides b at a lean round
+// r <= r_max then no process ever writes a(1-b)[r] (Lemma 4), so by Lemma 2
+// every process that completes round r_max wrote ab[r_max] and enters the
+// backup with input b, and backup validity forces b. With
+// r_max = Theta(log^2 n) the backup runs with probability at most n^-c, so
+// its polynomial cost contributes O(1) to the expected total.
+#pragma once
+
+#include <cstdint>
+
+#include "backup/backup_machine.h"
+#include "core/lean_machine.h"
+#include "core/machine.h"
+
+namespace leancon {
+
+/// Suggested r_max for n active processes: Theta(log^2 n) plus a safety
+/// constant, mirroring Theorem 15's T * c * log n with small constants.
+std::uint64_t default_r_max(std::uint64_t n);
+
+/// One process's combined (bounded-space) consensus execution.
+class combined_machine final : public consensus_machine {
+ public:
+  /// @param input   input bit
+  /// @param r_max   lean-consensus round cutoff (>= 1)
+  /// @param params  backup tuning
+  /// @param gen     local coin source for the backup stage
+  combined_machine(int input, std::uint64_t r_max, const backup_params& params,
+                   rng gen);
+
+  operation next_op() const override;
+  void apply(std::uint64_t result) override;
+  bool done() const override;
+  int decision() const override;
+  std::uint64_t steps() const override;
+  std::uint64_t lean_round() const override {
+    return in_lean_stage() || lean_.done() ? lean_.round() : 0;
+  }
+  std::uint64_t preference_switches() const override {
+    return lean_.preference_switches();
+  }
+
+  /// True while the lean stage is still running.
+  bool in_lean_stage() const { return !lean_.exhausted() && !lean_.done(); }
+
+  /// True if the backup stage was entered.
+  bool backup_entered() const { return backup_.has_value(); }
+
+  const lean_machine& lean() const { return lean_; }
+
+ private:
+  void maybe_enter_backup();
+
+  backup_params params_;
+  rng gen_;
+  lean_machine lean_;
+  std::optional<backup_machine> backup_;
+};
+
+}  // namespace leancon

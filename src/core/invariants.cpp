@@ -1,0 +1,120 @@
+#include "core/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace leancon {
+
+invariant_checker::invariant_checker(std::vector<int> inputs)
+    : inputs_(std::move(inputs)) {
+  for (int b : inputs_) {
+    if (b == 0 || b == 1) input_present_[b] = true;
+  }
+}
+
+void invariant_checker::violation(std::string message) {
+  violations_.push_back(std::move(message));
+}
+
+void invariant_checker::on_op(int pid, const operation& op,
+                              std::uint64_t /*value*/) {
+  if (op.kind != op_kind::write) return;
+  int b;
+  if (op.where.where == space::race0) {
+    b = 0;
+  } else if (op.where.where == space::race1) {
+    b = 1;
+  } else {
+    return;
+  }
+  const std::uint64_t r = op.where.index;
+
+  // Lemma 2.
+  if (r == 1) {
+    if (!input_present_[b]) {
+      std::ostringstream os;
+      os << "Lemma 2: pid " << pid << " set a" << b
+         << "[1] but no process has input " << b;
+      violation(os.str());
+    }
+  } else if (r >= 2 && set_cells_[b].find(r - 1) == set_cells_[b].end()) {
+    std::ostringstream os;
+    os << "Lemma 2: pid " << pid << " set a" << b << "[" << r << "] before a"
+       << b << "[" << r - 1 << "]";
+    violation(os.str());
+  }
+
+  // Lemma 4a: after a decision for bit d at round r_d, a(1-d)[r_d] must never
+  // be written (this applies to every round at which some process decided).
+  if (decided_bit_ != -1 && b == 1 - decided_bit_ &&
+      decision_rounds_.find(r) != decision_rounds_.end()) {
+    std::ostringstream os;
+    os << "Lemma 4a: pid " << pid << " wrote a" << b << "[" << r
+       << "] after a decision for " << decided_bit_ << " at round " << r;
+    violation(os.str());
+  }
+
+  set_cells_[b].insert(r);
+}
+
+void invariant_checker::check_bit(int pid, int bit) {
+  if (bit != 0 && bit != 1) {
+    std::ostringstream os;
+    os << "decision: pid " << pid << " decided non-bit " << bit;
+    violation(os.str());
+    return;
+  }
+  // Validity (weak form: decided bit must be someone's input; the unanimous
+  // 8-operation case is asserted separately by tests via Lemma 3).
+  if (!input_present_[bit]) {
+    std::ostringstream os;
+    os << "Validity: pid " << pid << " decided " << bit
+       << " which is no process's input";
+    violation(os.str());
+  }
+  // Agreement.
+  if (decided_bit_ != -1 && bit != decided_bit_) {
+    std::ostringstream os;
+    os << "Agreement: pid " << pid << " decided " << bit << " but "
+       << decided_bit_ << " was already decided";
+    violation(os.str());
+  }
+  if (decided_bit_ == -1) decided_bit_ = bit;
+}
+
+void invariant_checker::on_decision(int pid, int bit, std::uint64_t round) {
+  check_bit(pid, bit);
+  // Lemma 4a also forbids writes to a(1-b)[r] that happened *before* the
+  // decision (the proof shows such a write is incompatible with the deciding
+  // read of a(1-b)[r-1] returning 0).
+  if (bit == 0 || bit == 1) {
+    if (set_cells_[1 - bit].find(round) != set_cells_[1 - bit].end()) {
+      std::ostringstream os;
+      os << "Lemma 4a: a" << (1 - bit) << "[" << round
+         << "] was written although pid " << pid << " decided " << bit
+         << " at round " << round;
+      violation(os.str());
+    }
+  }
+  decision_rounds_.insert(round);
+  if (min_decision_round_ == 0) {
+    min_decision_round_ = max_decision_round_ = round;
+  } else {
+    min_decision_round_ = std::min(min_decision_round_, round);
+    max_decision_round_ = std::max(max_decision_round_, round);
+  }
+  // Lemma 4b: decisions may span at most rounds {r, r+1}.
+  if (max_decision_round_ > min_decision_round_ + 1) {
+    std::ostringstream os;
+    os << "Lemma 4b: decision rounds span [" << min_decision_round_ << ", "
+       << max_decision_round_ << "] (pid " << pid << " at round " << round
+       << ")";
+    violation(os.str());
+  }
+}
+
+void invariant_checker::on_backup_decision(int pid, int bit) {
+  check_bit(pid, bit);
+}
+
+}  // namespace leancon

@@ -1,0 +1,68 @@
+// Online checker for the paper's safety lemmas, attached as a trace hook to
+// simulated executions. Violations are collected as human-readable strings so
+// tests can assert emptiness and print the failure.
+//
+// Checked properties:
+//   * Lemma 2:  no process sets ab[r] unless (r = 1 and b is an input value)
+//               or ab[r-1] was already set.
+//   * Lemma 4a: once some process decides b at round r, no write to
+//               a(1-b)[r] ever occurs.
+//   * Lemma 4b: all lean decision rounds lie within a window of one round
+//               (if some process decides at round r, every process decides
+//               at or before r + 1).
+//   * Agreement: all decisions are for the same bit.
+//   * Validity:  the decided bit is some process's input.
+//   * Lemma 3 (checked by the caller when inputs are unanimous): every
+//     process decides after exactly 8 operations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "memory/register_model.h"
+
+namespace leancon {
+
+/// Collects race-array events and decision events and verifies the lemmas.
+class invariant_checker {
+ public:
+  /// @param inputs  input bit of each process, indexed by pid
+  explicit invariant_checker(std::vector<int> inputs);
+
+  /// Feed from a memory trace hook (only race0/race1 writes are examined).
+  void on_op(int pid, const operation& op, std::uint64_t value);
+
+  /// Feed when a process decides `bit` at lean-consensus round `round`.
+  void on_decision(int pid, int bit, std::uint64_t round);
+
+  /// Feed when a process decides `bit` in the backup stage (agreement and
+  /// validity are checked; the round-window lemma does not apply).
+  void on_backup_decision(int pid, int bit);
+
+  /// All violations found so far. Empty means every invariant held.
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  bool ok() const { return violations_.empty(); }
+
+  /// True once any process has decided.
+  bool any_decision() const { return decided_bit_ != -1; }
+
+  int decided_bit() const { return decided_bit_; }
+
+ private:
+  void violation(std::string message);
+  void check_bit(int pid, int bit);
+
+  std::vector<int> inputs_;
+  bool input_present_[2] = {false, false};
+  std::unordered_set<std::uint64_t> set_cells_[2];
+  std::unordered_set<std::uint64_t> decision_rounds_;
+  std::uint64_t min_decision_round_ = 0;  // 0 = no lean decision yet
+  std::uint64_t max_decision_round_ = 0;
+  int decided_bit_ = -1;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace leancon

@@ -1,0 +1,72 @@
+#include "core/lean_machine.h"
+
+#include <stdexcept>
+
+namespace leancon {
+
+lean_machine::lean_machine(int input, std::uint64_t max_round)
+    : input_(input), pref_(input), max_round_(max_round) {
+  if (input != 0 && input != 1) {
+    throw std::invalid_argument("lean_machine: input must be 0 or 1");
+  }
+  if (max_round_ == 0) {
+    exhausted_ = true;  // degenerate cutoff: straight to the backup
+  }
+}
+
+operation lean_machine::next_op() const {
+  if (decided_ || exhausted_) {
+    throw std::logic_error("lean_machine: next_op after done/exhausted");
+  }
+  switch (phase_) {
+    case phase::read_a0:
+      return operation::read({space::race0, round_});
+    case phase::read_a1:
+      return operation::read({space::race1, round_});
+    case phase::write_own:
+      return operation::write({own_space(pref_), round_}, 1);
+    case phase::read_rival_prev:
+      return operation::read({own_space(1 - pref_), round_ - 1});
+  }
+  throw std::logic_error("lean_machine: invalid phase");
+}
+
+void lean_machine::apply(std::uint64_t result) {
+  if (decided_ || exhausted_) {
+    throw std::logic_error("lean_machine: apply after done/exhausted");
+  }
+  ++steps_;
+  switch (phase_) {
+    case phase::read_a0:
+      a0_value_ = result;
+      phase_ = phase::read_a1;
+      break;
+    case phase::read_a1:
+      // Step 2 rule: "If for some b, ab[r] is 1 and a(1-b)[r] is 0, set p=b."
+      if (a0_value_ == 1 && result == 0) {
+        if (pref_ != 0) ++pref_switches_;
+        pref_ = 0;
+      } else if (result == 1 && a0_value_ == 0) {
+        if (pref_ != 1) ++pref_switches_;
+        pref_ = 1;
+      }
+      phase_ = phase::write_own;
+      break;
+    case phase::write_own:
+      phase_ = phase::read_rival_prev;
+      break;
+    case phase::read_rival_prev:
+      if (result == 0) {
+        decided_ = true;
+        decision_ = pref_;
+      } else if (round_ >= max_round_) {
+        exhausted_ = true;  // Section 8: hand preference to the backup
+      } else {
+        ++round_;
+        phase_ = phase::read_a0;
+      }
+      break;
+  }
+}
+
+}  // namespace leancon

@@ -1,0 +1,91 @@
+// lean-consensus (paper Section 4): Chandra's PODC'96 wait-free consensus
+// protocol with the shared coins removed, leaving only the racing-counters
+// mechanism over two arrays of multi-writer atomic bits.
+//
+// Each round r executes exactly four operations, in this fixed order:
+//   1. read a0[r]
+//   2. read a1[r]          — if ab[r]=1 and a(1-b)[r]=0, set preference to b
+//   3. write 1 to ap[r]
+//   4. read a(1-p)[r-1]    — if 0, decide p
+//
+// The paper stresses that the seemingly superfluous write in step 3 (when
+// ap[r] is already set) and the final read in step 4 must NOT be optimized
+// away: slow processes must keep paying full rounds so fast processes can
+// pull ahead. This implementation keeps all four operations verbatim.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "core/machine.h"
+
+namespace leancon {
+
+/// One process's lean-consensus execution.
+class lean_machine final : public consensus_machine {
+ public:
+  /// Sentinel for "no round cap" (standalone use with sparse memory).
+  static constexpr std::uint64_t unbounded =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// Operation phases within a round, in execution order.
+  enum class phase : std::uint8_t {
+    read_a0,        ///< step 1
+    read_a1,        ///< step 2
+    write_own,      ///< step 3
+    read_rival_prev ///< step 4
+  };
+
+  /// @param input      the process's input bit (0 or 1)
+  /// @param max_round  rounds after which the machine reports exhausted()
+  ///                   instead of continuing (Section 8 cutoff); unbounded
+  ///                   by default.
+  explicit lean_machine(int input, std::uint64_t max_round = unbounded);
+
+  operation next_op() const override;
+  void apply(std::uint64_t result) override;
+  bool done() const override { return decided_; }
+  int decision() const override { return decision_; }
+  std::uint64_t steps() const override { return steps_; }
+  std::uint64_t lean_round() const override { return round_; }
+  std::uint64_t preference_switches() const override { return pref_switches_; }
+
+  /// True once the machine has completed max_round rounds without deciding;
+  /// the combined protocol then hands the preference to the backup.
+  bool exhausted() const { return exhausted_; }
+
+  /// Current round (1-based; the paper's r).
+  std::uint64_t round() const { return round_; }
+
+  /// Current preference (the paper's p).
+  int preference() const { return pref_; }
+
+  /// Phase of the pending operation.
+  phase current_phase() const { return phase_; }
+
+  /// The process's input bit (immutable).
+  int input() const { return input_; }
+
+  /// The round-r value of a0 staged by step 1 (meaningful between steps 1
+  /// and 2). Exposed so model checkers can key the complete machine state.
+  std::uint64_t staged_a0() const { return a0_value_; }
+
+ private:
+  static space own_space(int bit) {
+    return bit == 0 ? space::race0 : space::race1;
+  }
+
+  int input_;
+  int pref_;
+  std::uint64_t round_ = 1;
+  std::uint64_t max_round_;
+  phase phase_ = phase::read_a0;
+  std::uint64_t a0_value_ = 0;  ///< step-1 result held until step 2
+  bool decided_ = false;
+  bool exhausted_ = false;
+  int decision_ = -1;
+  std::uint64_t steps_ = 0;
+  std::uint64_t pref_switches_ = 0;
+};
+
+}  // namespace leancon

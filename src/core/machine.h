@@ -1,0 +1,54 @@
+// Pull-based protocol state machine interface.
+//
+// Every protocol in this library (lean-consensus, adopt-commit, conciliator,
+// backup, and the combined bounded-space protocol) is expressed as a state
+// machine that *emits* one atomic shared-memory operation at a time and
+// consumes its result. This single-source design lets the same algorithm code
+// run under:
+//   * the discrete-event noisy-scheduling simulator (src/sim),
+//   * the hybrid quantum/priority uniprocessor scheduler (src/sched),
+//   * the exhaustive interleaving model checker (tests),
+//   * native threads against std::atomic registers (src/runtime).
+#pragma once
+
+#include <cstdint>
+
+#include "memory/register_model.h"
+
+namespace leancon {
+
+/// Interface for a single process's consensus protocol execution.
+///
+/// Driving contract: while !done(), call next_op() to obtain the pending
+/// operation, execute it against some memory backend, then call apply() with
+/// the result. next_op() is idempotent until the matching apply().
+class consensus_machine {
+ public:
+  virtual ~consensus_machine() = default;
+
+  /// The operation this process performs next. Precondition: !done().
+  virtual operation next_op() const = 0;
+
+  /// Feeds back the executed operation's result (the value read; for writes,
+  /// the value written). Advances the machine by exactly one operation.
+  virtual void apply(std::uint64_t result) = 0;
+
+  /// True once the process has decided.
+  virtual bool done() const = 0;
+
+  /// The decided bit. Precondition: done().
+  virtual int decision() const = 0;
+
+  /// Number of shared-memory operations executed so far.
+  virtual std::uint64_t steps() const = 0;
+
+  /// Round number while the machine is in the lean-consensus stage (used for
+  /// round metrics and the Lemma 4 round-window check); 0 otherwise.
+  virtual std::uint64_t lean_round() const { return 0; }
+
+  /// Number of times the process abandoned its preference for the rival's
+  /// (lean stage only; 0 for other protocols).
+  virtual std::uint64_t preference_switches() const { return 0; }
+};
+
+}  // namespace leancon

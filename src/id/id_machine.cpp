@@ -1,0 +1,132 @@
+#include "id/id_machine.h"
+
+#include <stdexcept>
+
+namespace leancon {
+namespace {
+
+std::uint32_t levels_for(std::uint64_t n_ids) {
+  std::uint32_t levels = 0;
+  while ((std::uint64_t{1} << levels) < n_ids) ++levels;
+  return levels;
+}
+
+}  // namespace
+
+id_machine::id_machine(std::uint64_t self_id, std::uint64_t n_ids,
+                       const id_params& params, rng gen)
+    : params_(params),
+      gen_(gen),
+      n_ids_(n_ids),
+      candidate_(self_id),
+      levels_(levels_for(n_ids)) {
+  if (n_ids == 0 || self_id >= n_ids) {
+    throw std::invalid_argument("id_machine: self_id out of range");
+  }
+  if (params_.node_stride <= params_.r_max + 2) {
+    throw std::invalid_argument("id_machine: node_stride too small");
+  }
+  if (levels_ == 0) {
+    done_ = true;  // single-process id space: trivially decided
+    return;
+  }
+  start_level();
+}
+
+std::uint64_t id_machine::node() const {
+  // Heap numbering: level `level_` (0 = leaves' parents) hosts
+  // 2^(levels-1-level) nodes; ids within a level are candidate >> (level+1).
+  return (std::uint64_t{1} << (levels_ - 1 - level_)) +
+         (candidate_ >> (level_ + 1));
+}
+
+location id_machine::reg(int s) const {
+  return {space::scratch, node() * 4 + static_cast<std::uint64_t>(s)};
+}
+
+void id_machine::start_level() {
+  stage_ = stage::announce;
+  sub_.reset();
+}
+
+operation id_machine::next_op() const {
+  if (done_) throw std::logic_error("id_machine: next_op after done");
+  switch (stage_) {
+    case stage::announce:
+      return operation::write(reg(side()), candidate_ + 1);
+    case stage::agree: {
+      operation op = sub_->next_op();
+      op.where.index += node() * params_.node_stride;
+      return op;
+    }
+    case stage::fetch:
+      return operation::read(reg(sub_->decision()));
+  }
+  throw std::logic_error("id_machine: invalid stage");
+}
+
+void id_machine::apply(std::uint64_t result) {
+  if (done_) throw std::logic_error("id_machine: apply after done");
+  ++steps_;
+  switch (stage_) {
+    case stage::announce: {
+      backup_params bp = backup_params::for_processes(n_ids_);
+      if (params_.backup_write_prob > 0.0) {
+        bp.write_prob = params_.backup_write_prob;
+      }
+      // Keep backup rounds within the node's index slice.
+      bp.max_rounds = params_.node_stride / 2;
+      sub_.emplace(side(), params_.r_max, bp, gen_.fork());
+      stage_ = stage::agree;
+      return;
+    }
+    case stage::agree: {
+      // Synthesize the per-node virtual prefix: the lean round-1 decision
+      // read targets a*[node-base + 0], which is never written and must
+      // behave as the paper's read-only 1 cell.
+      const operation op = sub_->next_op();
+      if ((op.where.where == space::race0 ||
+           op.where.where == space::race1) &&
+          op.kind == op_kind::read && op.where.index == 0) {
+        result = 1;
+      }
+      sub_->apply(result);
+      if (!sub_->done()) return;
+      if (sub_->decision() == side()) {
+        // Our subtree won; keep the candidate.
+        ++level_;
+        if (level_ == levels_) {
+          done_ = true;
+        } else {
+          start_level();
+        }
+      } else {
+        stage_ = stage::fetch;
+      }
+      return;
+    }
+    case stage::fetch: {
+      if (result == 0) {
+        // Unreachable by the Lemma 2 argument in the header; fail loudly so
+        // tests would catch a regression.
+        throw std::logic_error("id_machine: winning side never announced");
+      }
+      candidate_ = result - 1;
+      ++level_;
+      if (level_ == levels_) {
+        done_ = true;
+      } else {
+        start_level();
+      }
+      return;
+    }
+  }
+  throw std::logic_error("id_machine: invalid stage");
+}
+
+int id_machine::decision() const {
+  if (!done_) throw std::logic_error("id_machine: decision before done");
+  return static_cast<int>(candidate_);
+}
+
+}  // namespace leancon

@@ -1,0 +1,87 @@
+// Id consensus (paper, footnote 2): "the decision value is the id of some
+// active process. In many cases, id consensus can be solved in a natural way
+// using a (lg n)-depth tree of binary consensus protocols."
+//
+// Construction (a tournament tree over the id space, padded to 2^L):
+//   * A process's candidate starts as its own id.
+//   * At level l, candidates in subtree g = candidate >> (l+1) meet at tree
+//     node (heap-numbered) to merge with the sibling subtree. The process
+//       1. announces its candidate in the node's register for its side
+//          s = (candidate >> l) & 1,
+//       2. runs binary consensus (the combined lean+backup protocol) on s,
+//       3. if the decision d differs from s, reads the winning side's
+//          register and adopts that candidate.
+//   * After level L-1, the candidate is the agreed id.
+//
+// Correctness invariant: all processes whose candidate lies in subtree g
+// carry the SAME candidate (trivially true at the leaves; preserved because
+// winners keep a unanimous candidate and losers adopt from the winners'
+// register). The winning side's register is non-empty whenever consensus
+// decides d: by Lemma 2 a decision for d requires a round-1 write to a_d,
+// which only a side-d process performs, after its announcement.
+//
+// Each tree node gets a disjoint slice of every register space via a fixed
+// index stride; the lean arrays' virtual prefix a*[node-base + 0] = 1 is
+// synthesized by the wrapper (the cell is never written, so overriding the
+// read result preserves atomic-register semantics).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/combined_machine.h"
+#include "core/machine.h"
+
+namespace leancon {
+
+/// Tuning for the per-node binary consensus instances.
+struct id_params {
+  std::uint64_t r_max = 64;        ///< lean cutoff per tree node
+  double backup_write_prob = 0.0;  ///< 0 = canonical 1/(2n)
+  /// Index stride separating tree nodes inside each register space. Must
+  /// exceed r_max and any plausible backup round count.
+  std::uint64_t node_stride = 1u << 16;
+};
+
+/// One process's id-consensus execution. decision() returns the agreed id.
+class id_machine final : public consensus_machine {
+ public:
+  /// @param self_id  this process's id, in [0, n_ids)
+  /// @param n_ids    size of the id space (number of processes)
+  id_machine(std::uint64_t self_id, std::uint64_t n_ids,
+             const id_params& params, rng gen);
+
+  operation next_op() const override;
+  void apply(std::uint64_t result) override;
+  bool done() const override { return done_; }
+  int decision() const override;
+  std::uint64_t steps() const override { return steps_; }
+
+  std::uint64_t candidate() const { return candidate_; }
+  std::uint32_t level() const { return level_; }
+  std::uint32_t levels() const { return levels_; }
+
+ private:
+  enum class stage : std::uint8_t { announce, agree, fetch };
+
+  /// Heap-style unique node id for the current (level, candidate).
+  std::uint64_t node() const;
+  /// This process's side at the current node.
+  int side() const { return static_cast<int>((candidate_ >> level_) & 1); }
+  /// Registration register for side s of the current node.
+  location reg(int s) const;
+  void start_level();
+
+  id_params params_;
+  rng gen_;
+  std::uint64_t n_ids_;
+  std::uint64_t candidate_;
+  std::uint32_t levels_;
+  std::uint32_t level_ = 0;
+  stage stage_ = stage::announce;
+  bool done_ = false;
+  std::uint64_t steps_ = 0;
+  std::optional<combined_machine> sub_;
+};
+
+}  // namespace leancon

@@ -1,0 +1,55 @@
+#include "memory/atomic_memory.h"
+
+#include <stdexcept>
+
+namespace leancon {
+
+atomic_memory::atomic_memory(const atomic_memory_config& config)
+    : config_(config) {
+  spaces_.reserve(space_cardinality);
+  for (std::size_t s = 0; s < space_cardinality; ++s) {
+    const auto cap = config_.capacity(static_cast<space>(s));
+    auto cells = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
+    for (std::uint64_t i = 0; i < cap; ++i) {
+      cells[i].store(0, std::memory_order_relaxed);
+    }
+    spaces_.push_back(std::move(cells));
+  }
+  // Virtual prefix: a0[0] = a1[0] = 1 (paper, Section 4).
+  poke({space::race0, 0}, 1);
+  poke({space::race1, 0}, 1);
+}
+
+std::atomic<std::uint64_t>& atomic_memory::cell(location l) {
+  const auto cap = config_.capacity(l.where);
+  if (l.index >= cap) {
+    throw std::out_of_range("atomic_memory: index beyond configured capacity");
+  }
+  return spaces_[static_cast<std::size_t>(l.where)][l.index];
+}
+
+const std::atomic<std::uint64_t>& atomic_memory::cell(location l) const {
+  const auto cap = config_.capacity(l.where);
+  if (l.index >= cap) {
+    throw std::out_of_range("atomic_memory: index beyond configured capacity");
+  }
+  return spaces_[static_cast<std::size_t>(l.where)][l.index];
+}
+
+std::uint64_t atomic_memory::execute(const operation& op) {
+  if (op.kind == op_kind::read) {
+    return cell(op.where).load(std::memory_order_seq_cst);
+  }
+  cell(op.where).store(op.value, std::memory_order_seq_cst);
+  return op.value;
+}
+
+std::uint64_t atomic_memory::peek(location l) const {
+  return cell(l).load(std::memory_order_seq_cst);
+}
+
+void atomic_memory::poke(location l, std::uint64_t value) {
+  cell(l).store(value, std::memory_order_seq_cst);
+}
+
+}  // namespace leancon

@@ -1,0 +1,67 @@
+// Native shared memory backed by std::atomic arrays, for running the
+// protocols on real threads. Sequentially consistent operations give exactly
+// the atomic-register semantics the paper assumes (each read returns the
+// value of the last preceding write in the total memory order).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "memory/register_model.h"
+
+namespace leancon {
+
+/// Per-space capacities for a bounded native register file.
+struct atomic_memory_config {
+  std::uint64_t race_rounds = 4096;    ///< cells per lean-consensus array
+  std::uint64_t backup_rounds = 4096;  ///< cells per adopt-commit/conciliator space
+  std::uint64_t scratch_cells = 64;
+
+  std::uint64_t capacity(space s) const {
+    switch (s) {
+      case space::race0:
+      case space::race1:
+        return race_rounds;
+      case space::ac_door0:
+      case space::ac_door1:
+      case space::ac_proposal:
+      case space::conc_value:
+        return backup_rounds;
+      default:
+        return scratch_cells;
+    }
+  }
+};
+
+/// Fixed-capacity atomic register file shared by a set of threads.
+/// Out-of-range accesses throw; protocols are expected to be configured with
+/// bounds (r_max / backup cutoff) that fit the capacities.
+class atomic_memory {
+ public:
+  explicit atomic_memory(const atomic_memory_config& config = {});
+
+  atomic_memory(const atomic_memory&) = delete;
+  atomic_memory& operator=(const atomic_memory&) = delete;
+
+  /// Executes one atomic operation. Thread-safe; seq_cst ordering.
+  std::uint64_t execute(const operation& op);
+
+  /// Test helpers (seq_cst, but not counted anywhere).
+  std::uint64_t peek(location l) const;
+  void poke(location l, std::uint64_t value);
+
+  const atomic_memory_config& config() const { return config_; }
+
+ private:
+  std::atomic<std::uint64_t>& cell(location l);
+  const std::atomic<std::uint64_t>& cell(location l) const;
+
+  atomic_memory_config config_;
+  // One flat array per space; std::unique_ptr because std::atomic is neither
+  // copyable nor movable.
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>[]>> spaces_;
+};
+
+}  // namespace leancon

@@ -1,0 +1,87 @@
+// The abstract shared-memory model: named register spaces, locations, and
+// atomic read/write operations.
+//
+// Protocol state machines (core/, backup/) emit `operation`s against abstract
+// `location`s; executors resolve them against a concrete backend:
+//   * sim_memory    — hash-map registers for the discrete-event simulator and
+//                     the exhaustive model checker (op counting, trace hooks),
+//   * atomic_memory — std::atomic arrays for the native thread runtime.
+//
+// All registers are multi-writer multi-reader atomic registers holding a
+// 64-bit word, matching the paper's "atomic read/write bits" (a bit is a word
+// constrained to {0, 1}) and the single-writer registers used by the backup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace leancon {
+
+/// Register spaces. Keeping spaces explicit (instead of one flat address
+/// range) lets backends size arrays independently and lets traces/invariant
+/// checkers interpret operations structurally.
+enum class space : std::uint8_t {
+  race0 = 0,       ///< lean-consensus array a0; a0[0] is the virtual 1-prefix
+  race1 = 1,       ///< lean-consensus array a1; a1[0] is the virtual 1-prefix
+  ac_door0 = 2,    ///< adopt-commit doorway bit for value 0, indexed by round
+  ac_door1 = 3,    ///< adopt-commit doorway bit for value 1, indexed by round
+  ac_proposal = 4, ///< adopt-commit proposal register, indexed by round
+  conc_value = 5,  ///< conciliator race register, indexed by round
+  scratch = 6,     ///< free-form space for tests
+  space_count = 7
+};
+
+constexpr std::size_t space_cardinality =
+    static_cast<std::size_t>(space::space_count);
+
+/// Returns a short stable name ("a0", "ac_prop", ...) for traces.
+std::string_view space_name(space s);
+
+/// An abstract register address.
+struct location {
+  space where = space::scratch;
+  std::uint64_t index = 0;
+
+  friend bool operator==(const location&, const location&) = default;
+
+  /// Packs into a single word for hash-map backends. Index must fit 56 bits,
+  /// which every protocol here respects by construction.
+  std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(where) << 56) | index;
+  }
+};
+
+enum class op_kind : std::uint8_t { read, write };
+
+/// One atomic shared-memory operation. For writes, `value` is the word to
+/// store; for reads it is unused.
+struct operation {
+  op_kind kind = op_kind::read;
+  location where;
+  std::uint64_t value = 0;
+
+  static operation read(location l) { return {op_kind::read, l, 0}; }
+  static operation write(location l, std::uint64_t v) {
+    return {op_kind::write, l, v};
+  }
+};
+
+/// Encoding of the adopt-commit proposal register: 0 = empty, 1 = value 0,
+/// 2 = value 1. (Registers start zeroed, so "empty" must be 0.)
+constexpr std::uint64_t encode_proposal(int bit) {
+  return static_cast<std::uint64_t>(bit) + 1;
+}
+constexpr bool proposal_empty(std::uint64_t raw) { return raw == 0; }
+constexpr int decode_proposal(std::uint64_t raw) {
+  return static_cast<int>(raw - 1);
+}
+
+}  // namespace leancon
+
+template <>
+struct std::hash<leancon::location> {
+  std::size_t operator()(const leancon::location& l) const noexcept {
+    return std::hash<std::uint64_t>{}(l.packed());
+  }
+};

@@ -1,0 +1,64 @@
+// Simulated shared memory: a sparse map of 64-bit registers with operation
+// counting and an optional trace hook. This is the backend used by the
+// discrete-event simulator, the hybrid uniprocessor scheduler, and the
+// exhaustive model checker.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "memory/register_model.h"
+
+namespace leancon {
+
+/// Sparse register file. All registers read 0 until written, except the
+/// virtual prefix cells a0[0] and a1[0], which the paper defines as
+/// "effectively read-only locations set to 1".
+class sim_memory {
+ public:
+  /// Called after each operation with (process id, op, value read-or-written).
+  using trace_hook =
+      std::function<void(int pid, const operation& op, std::uint64_t value)>;
+
+  sim_memory();
+
+  /// Executes one atomic operation on behalf of `pid`. Returns the value read
+  /// (for writes, returns the written value).
+  std::uint64_t execute(int pid, const operation& op);
+
+  /// Direct access helpers used by tests and invariant checkers. These do not
+  /// count as protocol operations.
+  std::uint64_t peek(location l) const;
+  void poke(location l, std::uint64_t value);
+
+  /// Number of protocol operations executed, total and by space.
+  std::uint64_t op_count() const { return total_ops_; }
+  std::uint64_t op_count(space s) const {
+    return ops_by_space_[static_cast<std::size_t>(s)];
+  }
+  std::uint64_t read_count() const { return reads_; }
+  std::uint64_t write_count() const { return writes_; }
+
+  void set_trace_hook(trace_hook hook) { hook_ = std::move(hook); }
+
+  /// Resets contents and counters to the initial state.
+  void reset();
+
+  /// Snapshot of the raw contents, used by the model checker to key visited
+  /// states. Deterministic order is not guaranteed; callers canonicalize.
+  const std::unordered_map<std::uint64_t, std::uint64_t>& cells() const {
+    return cells_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> cells_;
+  std::uint64_t total_ops_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::array<std::uint64_t, space_cardinality> ops_by_space_{};
+  trace_hook hook_;
+};
+
+}  // namespace leancon

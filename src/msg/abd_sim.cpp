@@ -1,0 +1,302 @@
+#include "msg/abd_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "backup/backup_machine.h"
+#include "core/combined_machine.h"
+#include "core/lean_machine.h"
+
+namespace leancon {
+namespace {
+
+enum class msg_kind : std::uint8_t { query, query_ack, update, update_ack };
+
+struct replica_cell {
+  std::uint64_t value = 0;
+  abd_timestamp ts;
+};
+
+struct mp_message {
+  msg_kind kind;
+  int from;
+  int to;
+  std::uint64_t op_id;  ///< client operation this message belongs to
+  location loc;
+  replica_cell cell;  ///< payload value + timestamp (query carries none)
+};
+
+struct pending_event {
+  double time;
+  std::uint64_t seq;
+  mp_message msg;
+};
+
+struct event_later {
+  bool operator()(const pending_event& a, const pending_event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// Client-side state of the in-flight register operation.
+struct client_op {
+  bool active = false;
+  std::uint64_t op_id = 0;
+  operation op;
+  double start_time = 0.0;
+  int phase = 1;  ///< 1 = query, 2 = update/write-back
+  std::uint64_t acks = 0;
+  replica_cell best;  ///< highest-timestamped cell seen in phase 1
+};
+
+struct process_state {
+  std::unique_ptr<consensus_machine> machine;
+  std::unordered_map<std::uint64_t, replica_cell> replica;
+  client_op current;
+  bool crashed = false;
+  bool decided = false;
+  rng stream{0};
+  std::uint64_t msg_index = 0;  ///< per-process message counter (delay model)
+};
+
+std::unique_ptr<consensus_machine> build_machine(const mp_config& config,
+                                                 int pid, int input,
+                                                 rng gen) {
+  if (config.factory) return config.factory(pid, input, std::move(gen));
+  const auto n = config.inputs.size();
+  backup_params bp = backup_params::for_processes(n);
+  switch (config.protocol) {
+    case protocol_kind::lean:
+      return std::make_unique<lean_machine>(input);
+    case protocol_kind::combined: {
+      const std::uint64_t r_max =
+          config.r_max != 0 ? config.r_max : default_r_max(n);
+      return std::make_unique<combined_machine>(input, r_max, bp, gen);
+    }
+    case protocol_kind::backup:
+      return std::make_unique<backup_machine>(input, bp, gen);
+  }
+  throw std::logic_error("mp build_machine: bad protocol kind");
+}
+
+}  // namespace
+
+mp_result run_message_passing(const mp_config& config) {
+  const auto n = config.inputs.size();
+  if (n == 0) throw std::invalid_argument("run_message_passing: no processes");
+  if (config.crashes * 2 >= n) {
+    throw std::invalid_argument(
+        "run_message_passing: crashes must stay below n/2 for ABD majorities");
+  }
+  const std::uint64_t majority = n / 2 + 1;
+
+  mp_result result;
+  result.processes.assign(n, mp_process_result{});
+
+  std::vector<process_state> procs(n);
+  std::priority_queue<pending_event, std::vector<pending_event>, event_later>
+      events;
+  std::uint64_t event_seq = 0;
+  std::uint64_t next_op_id = 1;
+  std::uint64_t decided_live = 0;
+
+  // Crash schedule: the adversary crashes the first `crashes` processes at
+  // pseudo-random early times (the most disruptive window: mid-emulation).
+  rng crash_gen(config.seed, 0xC0FFEE);
+  std::vector<double> crash_at(n, -1.0);
+  for (std::uint64_t c = 0; c < config.crashes; ++c) {
+    crash_at[c] = crash_gen.uniform(0.5, 5.0);
+  }
+
+  auto send = [&](int from, int to, mp_message msg, double now) {
+    auto& p = procs[static_cast<std::size_t>(from)];
+    bool halted = false;
+    const double delay = config.net.op_increment(
+        from, ++p.msg_index, /*is_write=*/false, p.stream, halted);
+    // Halting failures in the network model drop the message.
+    if (halted) return;
+    ++result.processes[static_cast<std::size_t>(from)].messages_sent;
+    events.push(pending_event{now + delay, event_seq++, std::move(msg)});
+  };
+
+  auto replica_lookup = [&](process_state& p, location loc) -> replica_cell {
+    auto it = p.replica.find(loc.packed());
+    if (it != p.replica.end()) return it->second;
+    replica_cell cell;
+    // The lean arrays' virtual prefix (a0[0] = a1[0] = 1) is part of every
+    // replica's initial state.
+    if ((loc.where == space::race0 || loc.where == space::race1) &&
+        loc.index == 0) {
+      cell.value = 1;
+    }
+    return cell;
+  };
+
+  // Starts the next register operation for pid's machine, if any.
+  auto start_next_op = [&](int pid, double now) {
+    auto& p = procs[static_cast<std::size_t>(pid)];
+    if (p.crashed || p.decided || p.machine->done()) return;
+    p.current = client_op{};
+    p.current.active = true;
+    p.current.op_id = next_op_id++;
+    p.current.op = p.machine->next_op();
+    p.current.start_time = now;
+    p.current.phase = 1;
+    for (std::size_t to = 0; to < n; ++to) {
+      send(pid, static_cast<int>(to),
+           mp_message{msg_kind::query, pid, static_cast<int>(to),
+                      p.current.op_id, p.current.op.where, {}},
+           now);
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    procs[i].stream = rng(config.seed, i + 1);
+    procs[i].machine = build_machine(config, static_cast<int>(i),
+                                     config.inputs[i],
+                                     procs[i].stream.fork());
+    if (procs[i].machine->done()) {
+      // Degenerate protocols (e.g. a 1-id tournament) decide without any
+      // shared-memory operation.
+      procs[i].decided = true;
+      result.processes[i].decided = true;
+      result.processes[i].decision = procs[i].machine->decision();
+      ++decided_live;
+      if (result.decision == -1) result.decision = procs[i].machine->decision();
+      continue;
+    }
+    const double start = config.net.start_offset(
+        static_cast<int>(i), static_cast<int>(n), procs[i].stream);
+    start_next_op(static_cast<int>(i), start);
+  }
+
+  auto complete_op = [&](int pid, double now) {
+    auto& p = procs[static_cast<std::size_t>(pid)];
+    auto& pr = result.processes[static_cast<std::size_t>(pid)];
+    client_op finished = p.current;
+    p.current = client_op{};
+    ++pr.register_ops;
+
+    const std::uint64_t op_result = finished.op.kind == op_kind::read
+                                        ? finished.best.value
+                                        : finished.op.value;
+    if (config.op_hook) {
+      config.op_hook(abd_op_record{pid, finished.op, op_result,
+                                   finished.start_time, now,
+                                   finished.best.ts});
+    }
+    p.machine->apply(op_result);
+    if (p.machine->done()) {
+      p.decided = true;
+      pr.decided = true;
+      pr.decision = p.machine->decision();
+      ++decided_live;
+      if (result.decision == -1) {
+        result.decision = pr.decision;
+        result.first_decision_time = now;
+      }
+      result.last_decision_time = now;
+      return;
+    }
+    start_next_op(pid, now);
+  };
+
+  while (!events.empty()) {
+    if (result.total_messages >= config.max_messages) {
+      result.budget_exhausted = true;
+      break;
+    }
+    const pending_event ev = events.top();
+    events.pop();
+    ++result.total_messages;
+    const mp_message& msg = ev.msg;
+    auto& dst = procs[static_cast<std::size_t>(msg.to)];
+
+    // Adversarial crash times take effect lazily as the clock passes them.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (crash_at[i] >= 0.0 && ev.time >= crash_at[i] && !procs[i].crashed) {
+        procs[i].crashed = true;
+        result.processes[i].crashed = true;
+      }
+    }
+    if (dst.crashed) continue;
+
+    switch (msg.kind) {
+      case msg_kind::query: {
+        const replica_cell cell = replica_lookup(dst, msg.loc);
+        send(msg.to, msg.from,
+             mp_message{msg_kind::query_ack, msg.to, msg.from, msg.op_id,
+                        msg.loc, cell},
+             ev.time);
+        break;
+      }
+      case msg_kind::update: {
+        // Resolve through replica_lookup BEFORE touching the map: the first
+        // contact with a virtual-prefix cell must observe its initial 1, not
+        // a default-inserted 0.
+        replica_cell cell = replica_lookup(dst, msg.loc);
+        if (cell.ts < msg.cell.ts) cell = msg.cell;
+        dst.replica[msg.loc.packed()] = cell;
+        send(msg.to, msg.from,
+             mp_message{msg_kind::update_ack, msg.to, msg.from, msg.op_id,
+                        msg.loc, {}},
+             ev.time);
+        break;
+      }
+      case msg_kind::query_ack: {
+        auto& cur = dst.current;
+        if (!cur.active || cur.op_id != msg.op_id || cur.phase != 1) break;
+        if (cur.acks == 0 || cur.best.ts < msg.cell.ts) cur.best = msg.cell;
+        ++cur.acks;
+        if (cur.acks >= majority) {
+          // Phase 2: propagate. A write imposes a fresh higher timestamp;
+          // a read writes back what it is about to return.
+          cur.phase = 2;
+          cur.acks = 0;
+          replica_cell payload;
+          if (cur.op.kind == op_kind::write) {
+            payload.value = cur.op.value;
+            payload.ts = abd_timestamp{cur.best.ts.seq + 1, msg.to};
+            cur.best = payload;
+          } else {
+            payload = cur.best;
+          }
+          for (std::size_t to = 0; to < n; ++to) {
+            send(msg.to, static_cast<int>(to),
+                 mp_message{msg_kind::update, msg.to, static_cast<int>(to),
+                            cur.op_id, cur.op.where, payload},
+                 ev.time);
+          }
+        }
+        break;
+      }
+      case msg_kind::update_ack: {
+        auto& cur = dst.current;
+        if (!cur.active || cur.op_id != msg.op_id || cur.phase != 2) break;
+        ++cur.acks;
+        if (cur.acks >= majority) complete_op(msg.to, ev.time);
+        break;
+      }
+    }
+
+    // Early exit once every live process decided.
+    std::uint64_t live = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!procs[i].crashed && !procs[i].decided) ++live;
+    }
+    if (live == 0) break;
+  }
+
+  result.all_live_decided = decided_live > 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!procs[i].crashed && !procs[i].decided) {
+      result.all_live_decided = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace leancon

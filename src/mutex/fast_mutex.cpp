@@ -1,0 +1,210 @@
+#include "mutex/fast_mutex.h"
+
+#include <stdexcept>
+
+#include "memory/sim_memory.h"
+#include "sim/event_queue.h"
+
+namespace leancon {
+
+fast_mutex_machine::fast_mutex_machine(int pid, std::size_t n,
+                                       std::uint64_t entries,
+                                       std::uint64_t cs_work)
+    : pid_(pid), n_(n), entries_(entries), cs_work_(cs_work) {
+  if (pid < 0 || static_cast<std::size_t>(pid) >= n) {
+    throw std::invalid_argument("fast_mutex: pid out of range");
+  }
+  if (entries == 0) done_ = true;
+}
+
+operation fast_mutex_machine::next_op() const {
+  if (done_) throw std::logic_error("fast_mutex: next_op after done");
+  switch (phase_) {
+    case phase::set_b:
+      return operation::write(b_reg(pid_), 1);
+    case phase::set_x:
+      return operation::write(x_reg(), self());
+    case phase::read_y_gate:
+    case phase::spin_y:
+    case phase::read_y_final:
+    case phase::spin_y2:
+      return operation::read(y_reg());
+    case phase::backoff_b:
+    case phase::slow_clear_b:
+    case phase::release_b:
+      return operation::write(b_reg(pid_), 0);
+    case phase::set_y:
+      return operation::write(y_reg(), self());
+    case phase::read_x_check:
+      return operation::read(x_reg());
+    case phase::scan_b:
+      return operation::read(b_reg(static_cast<int>(scan_index_)));
+    case phase::enter_cs:
+      return operation::write(canary_reg(), self());
+    case phase::cs_body:
+      return operation::read(canary_reg());
+    case phase::release_y:
+      return operation::write(y_reg(), 0);
+    case phase::finished:
+      break;
+  }
+  throw std::logic_error("fast_mutex: invalid phase");
+}
+
+void fast_mutex_machine::apply(std::uint64_t result) {
+  if (done_) throw std::logic_error("fast_mutex: apply after done");
+  ++steps_;
+  switch (phase_) {
+    case phase::set_b:
+      phase_ = phase::set_x;
+      break;
+    case phase::set_x:
+      phase_ = phase::read_y_gate;
+      break;
+    case phase::read_y_gate:
+      if (result != 0) {
+        slow_path_taken_ = true;
+        phase_ = phase::backoff_b;
+      } else {
+        phase_ = phase::set_y;
+      }
+      break;
+    case phase::backoff_b:
+      phase_ = phase::spin_y;
+      break;
+    case phase::spin_y:
+      if (result == 0) phase_ = phase::set_b;  // restart
+      break;
+    case phase::set_y:
+      phase_ = phase::read_x_check;
+      break;
+    case phase::read_x_check:
+      if (result == self()) {
+        phase_ = phase::enter_cs;
+      } else {
+        slow_path_taken_ = true;
+        phase_ = phase::slow_clear_b;
+      }
+      break;
+    case phase::slow_clear_b:
+      scan_index_ = 0;
+      phase_ = phase::scan_b;
+      break;
+    case phase::scan_b:
+      if (result == 0) {
+        ++scan_index_;
+        if (scan_index_ >= n_) phase_ = phase::read_y_final;
+      }
+      // else: keep spinning on the same b[j]
+      break;
+    case phase::read_y_final:
+      if (result == self()) {
+        phase_ = phase::enter_cs;
+      } else if (result == 0) {
+        phase_ = phase::set_b;  // restart immediately
+      } else {
+        phase_ = phase::spin_y2;
+      }
+      break;
+    case phase::spin_y2:
+      if (result == 0) phase_ = phase::set_b;  // restart
+      break;
+    case phase::enter_cs:
+      in_cs_ = true;
+      cs_reads_done_ = 0;
+      phase_ = cs_work_ > 0 ? phase::cs_body : phase::release_y;
+      break;
+    case phase::cs_body:
+      if (result != self()) ++canary_violations_;
+      ++cs_reads_done_;
+      if (cs_reads_done_ >= cs_work_) phase_ = phase::release_y;
+      break;
+    case phase::release_y:
+      in_cs_ = false;
+      phase_ = phase::release_b;
+      break;
+    case phase::release_b:
+      ++completed_;
+      if (!slow_path_taken_) ++fast_entries_;
+      slow_path_taken_ = false;
+      if (completed_ >= entries_) {
+        done_ = true;
+        phase_ = phase::finished;
+      } else {
+        phase_ = phase::set_b;
+      }
+      break;
+    case phase::finished:
+      break;
+  }
+}
+
+mutex_result run_mutex(const mutex_config& config) {
+  const std::size_t n = config.processes;
+  if (n == 0) throw std::invalid_argument("run_mutex: no processes");
+
+  mutex_result result;
+  result.ops_per_process.assign(n, 0);
+
+  sim_memory memory;
+  std::vector<fast_mutex_machine> machines;
+  std::vector<rng> streams;
+  machines.reserve(n);
+  streams.reserve(n);
+  event_queue queue;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    machines.emplace_back(static_cast<int>(i), n, config.entries_per_process,
+                          config.cs_work);
+    streams.emplace_back(config.seed, i + 1);
+    if (machines[i].done()) continue;
+    double t = config.sched.start_offset(static_cast<int>(i),
+                                         static_cast<int>(n), streams[i]);
+    bool halted = false;
+    t += config.sched.op_increment(static_cast<int>(i), 1, false, streams[i],
+                                   halted);
+    if (!halted) queue.push(t, static_cast<int>(i));
+  }
+
+  std::uint64_t in_cs_count = 0;
+  while (!queue.empty() && result.total_ops < config.max_total_ops) {
+    const sim_event ev = queue.pop();
+    const auto pid = static_cast<std::size_t>(ev.pid);
+    auto& m = machines[pid];
+    if (m.done()) continue;
+
+    const bool was_in_cs = m.in_critical_section();
+    const operation op = m.next_op();
+    const std::uint64_t value = memory.execute(ev.pid, op);
+    m.apply(value);
+    ++result.total_ops;
+    ++result.ops_per_process[pid];
+
+    // Exact interleaving-level mutual-exclusion check.
+    if (m.in_critical_section() != was_in_cs) {
+      in_cs_count += m.in_critical_section() ? 1 : -1;
+      if (in_cs_count > 1) ++result.overlap_violations;
+    }
+
+    if (!m.done()) {
+      bool halted = false;
+      const operation next = m.next_op();
+      const double inc = config.sched.op_increment(
+          ev.pid, result.ops_per_process[pid] + 1,
+          next.kind == op_kind::write, streams[pid], halted);
+      if (!halted) queue.push(ev.time + inc, ev.pid);
+    }
+    result.finish_time = ev.time;
+  }
+
+  result.all_finished = true;
+  for (const auto& m : machines) {
+    result.all_finished = result.all_finished && m.done();
+    result.total_entries += m.completed_entries();
+    result.fast_path_entries += m.fast_path_entries();
+    result.canary_violations += m.canary_violations();
+  }
+  return result;
+}
+
+}  // namespace leancon

@@ -1,0 +1,135 @@
+// Mutual exclusion under noisy scheduling (paper Section 10: "the line of
+// inquiry started by Gafni and Mitzenmacher, on analyzing the behavior of
+// timing-based algorithms for mutual exclusion and related problems with
+// random scheduling, could naturally extend to the more general model of
+// noisy scheduling").
+//
+// We implement Lamport's fast mutual exclusion algorithm (TOCS 1987) — the
+// classic "fast path" lock whose uncontended entry costs O(1) operations —
+// as an operation-granular state machine, and run it under the same noisy
+// scheduler as lean-consensus. Shared registers (all multi-writer):
+//
+//   x, y      : pid gates (y doubles as the lock word; 0 = free)
+//   b[0..n-1] : per-process interest bits
+//
+// Entry protocol for process i (pid values are stored as pid+1; 0 = none):
+//   start: b[i] := 1; x := i
+//          if y != 0        { b[i] := 0; await y == 0; goto start }
+//          y := i
+//          if x != i        { b[i] := 0; for all j await b[j] == 0;
+//                             if y != i { await y == 0; goto start } }
+//          -- critical section --
+//   exit:  y := 0; b[i] := 0
+//
+// Mutual exclusion is verified two ways: the executor checks, after every
+// atomic step, that at most one process is between its successful gate and
+// its release of y (exact, interleaving-level), and each process writes a
+// canary register on entry and re-reads it through its critical section
+// (an intrusion by any other process would clobber it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memory/register_model.h"
+#include "sched/noisy_params.h"
+
+namespace leancon {
+
+/// One process's repeated acquire/release cycles of the fast mutex.
+class fast_mutex_machine {
+ public:
+  /// @param pid         process id, in [0, n)
+  /// @param n           number of processes (sizes the b[] scan)
+  /// @param entries     critical sections to perform before finishing
+  /// @param cs_work     canary re-reads inside each critical section
+  fast_mutex_machine(int pid, std::size_t n, std::uint64_t entries,
+                     std::uint64_t cs_work = 2);
+
+  operation next_op() const;
+  void apply(std::uint64_t result);
+  bool done() const { return done_; }
+
+  /// True while the process holds the lock (gate passed, y not yet cleared).
+  bool in_critical_section() const { return in_cs_; }
+
+  std::uint64_t completed_entries() const { return completed_; }
+  /// Entries that never left the fast path (no contention detected).
+  std::uint64_t fast_path_entries() const { return fast_entries_; }
+  /// Times the canary was found clobbered (must stay 0).
+  std::uint64_t canary_violations() const { return canary_violations_; }
+  std::uint64_t steps() const { return steps_; }
+
+  /// Register layout inside space::scratch (exposed for tests).
+  static location x_reg() { return {space::scratch, 0}; }
+  static location y_reg() { return {space::scratch, 1}; }
+  static location canary_reg() { return {space::scratch, 2}; }
+  static location b_reg(int pid) {
+    return {space::scratch, 16 + static_cast<std::uint64_t>(pid)};
+  }
+
+ private:
+  enum class phase : std::uint8_t {
+    set_b,        ///< b[i] := 1
+    set_x,        ///< x := i
+    read_y_gate,  ///< y != 0 ? back off : proceed
+    backoff_b,    ///< b[i] := 0, then spin on y
+    spin_y,       ///< await y == 0, then restart
+    set_y,        ///< y := i
+    read_x_check, ///< x == i ? enter : slow path
+    slow_clear_b, ///< b[i] := 0
+    scan_b,       ///< for all j await b[j] == 0
+    read_y_final, ///< y == i ? enter : await free and restart
+    spin_y2,      ///< await y == 0, then restart
+    enter_cs,     ///< canary := i (lock held from here)
+    cs_body,      ///< re-read canary cs_work times
+    release_y,    ///< y := 0 (lock released here)
+    release_b,    ///< b[i] := 0
+    finished
+  };
+
+  std::uint64_t self() const { return static_cast<std::uint64_t>(pid_) + 1; }
+
+  int pid_;
+  std::size_t n_;
+  std::uint64_t entries_;
+  std::uint64_t cs_work_;
+  phase phase_ = phase::set_b;
+  std::size_t scan_index_ = 0;
+  std::uint64_t cs_reads_done_ = 0;
+  bool slow_path_taken_ = false;
+  bool in_cs_ = false;
+  bool done_ = false;
+  std::uint64_t completed_ = 0;
+  std::uint64_t fast_entries_ = 0;
+  std::uint64_t canary_violations_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+/// Configuration of a noisy-scheduled mutex experiment.
+struct mutex_config {
+  std::size_t processes = 2;
+  std::uint64_t entries_per_process = 4;
+  std::uint64_t cs_work = 2;
+  noisy_params sched;       ///< same timing model as the consensus simulator
+  std::uint64_t seed = 1;
+  std::uint64_t max_total_ops = 10'000'000;
+};
+
+struct mutex_result {
+  bool all_finished = false;
+  std::uint64_t total_entries = 0;
+  std::uint64_t fast_path_entries = 0;
+  std::uint64_t overlap_violations = 0;  ///< exact executor-level check
+  std::uint64_t canary_violations = 0;   ///< machine-level canary check
+  std::uint64_t total_ops = 0;
+  double finish_time = 0.0;              ///< simulated clock at completion
+  std::vector<std::uint64_t> ops_per_process;
+};
+
+/// Runs the fast mutex under the noisy scheduler, checking mutual exclusion
+/// after every atomic operation.
+mutex_result run_mutex(const mutex_config& config);
+
+}  // namespace leancon

@@ -1,0 +1,47 @@
+#include "noise/catalog.h"
+
+#include <sstream>
+
+namespace leancon {
+
+std::vector<named_distribution> figure1_catalog() {
+  return {
+      {"norm", make_truncated_normal(1.0, 0.2, 0.0, 2.0)},
+      {"twopoint", make_two_point(2.0 / 3.0, 4.0 / 3.0)},
+      {"delayed-poisson", make_shifted_exponential(0.5, 0.5)},
+      {"geom", make_geometric(0.5)},
+      {"unif", make_uniform(0.0, 2.0)},
+      {"exp1", make_exponential(1.0)},
+  };
+}
+
+std::vector<named_distribution> full_catalog() {
+  auto cat = figure1_catalog();
+  cat.push_back({"lower", make_two_point(1.0, 2.0)});        // Theorem 13
+  cat.push_back({"pathological", make_pathological_heavy()});  // Theorem 1
+  cat.push_back({"pareto-heavy", make_pareto(0.5, 0.9)});
+  cat.push_back({"pareto-light", make_pareto(0.5, 2.5)});
+  cat.push_back({"lognormal", make_lognormal(0.0, 0.5)});
+  cat.push_back({"constant", make_constant(1.0)});  // degenerate boundary
+  return cat;
+}
+
+std::optional<distribution_ptr> find_distribution(const std::string& key) {
+  for (const auto& entry : full_catalog()) {
+    if (entry.key == key) return entry.dist;
+  }
+  return std::nullopt;
+}
+
+std::string catalog_keys() {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& entry : full_catalog()) {
+    if (!first) os << ",";
+    os << entry.key;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace leancon

@@ -1,0 +1,25 @@
+// Named catalogs of distributions used by benches and the CLI.
+#pragma once
+
+#include <optional>
+
+#include "noise/distribution.h"
+
+namespace leancon {
+
+/// The six interarrival distributions of the paper's Figure 1, in the order
+/// listed in Section 9.
+std::vector<named_distribution> figure1_catalog();
+
+/// Everything the library knows how to build by key (figure-1 set plus
+/// theorem constructions and ablation extras).
+std::vector<named_distribution> full_catalog();
+
+/// Looks up a distribution by catalog key (e.g. "exp1", "norm", "lower").
+/// Returns nullopt when the key is unknown.
+std::optional<distribution_ptr> find_distribution(const std::string& key);
+
+/// Comma-separated list of all known keys (for --help output).
+std::string catalog_keys();
+
+}  // namespace leancon

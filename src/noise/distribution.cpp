@@ -1,0 +1,257 @@
+#include "noise/distribution.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace leancon {
+namespace {
+
+class constant_dist final : public distribution {
+ public:
+  explicit constant_dist(double value) : value_(value) {}
+  double sample(rng&) const override { return value_; }
+  std::string name() const override {
+    return "constant(" + format(value_) + ")";
+  }
+  double mean() const override { return value_; }
+  bool degenerate() const override { return true; }
+
+ private:
+  static std::string format(double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+  double value_;
+};
+
+class uniform_dist final : public distribution {
+ public:
+  uniform_dist(double lo, double hi) : lo_(lo), hi_(hi) {
+    if (!(lo >= 0.0) || !(hi > lo)) {
+      throw std::invalid_argument("uniform: need 0 <= lo < hi");
+    }
+  }
+  double sample(rng& gen) const override { return gen.uniform(lo_, hi_); }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "uniform[" << lo_ << "," << hi_ << "]";
+    return os.str();
+  }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+
+ private:
+  double lo_, hi_;
+};
+
+class exponential_dist final : public distribution {
+ public:
+  explicit exponential_dist(double mean) : mean_(mean) {
+    if (!(mean > 0.0)) throw std::invalid_argument("exponential: mean <= 0");
+  }
+  double sample(rng& gen) const override { return gen.exponential(mean_); }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "exponential(" << mean_ << ")";
+    return os.str();
+  }
+  double mean() const override { return mean_; }
+
+ private:
+  double mean_;
+};
+
+class shifted_exponential_dist final : public distribution {
+ public:
+  shifted_exponential_dist(double shift, double mean)
+      : shift_(shift), mean_(mean) {
+    if (shift < 0.0 || !(mean > 0.0)) {
+      throw std::invalid_argument("shifted_exponential: bad parameters");
+    }
+  }
+  double sample(rng& gen) const override {
+    return shift_ + gen.exponential(mean_);
+  }
+  std::string name() const override {
+    std::ostringstream os;
+    os << shift_ << " + exponential(" << mean_ << ")";
+    return os.str();
+  }
+  double mean() const override { return shift_ + mean_; }
+
+ private:
+  double shift_, mean_;
+};
+
+class truncated_normal_dist final : public distribution {
+ public:
+  truncated_normal_dist(double mu, double sigma, double lo, double hi)
+      : mu_(mu), sigma_(sigma), lo_(lo), hi_(hi) {
+    if (!(sigma > 0.0) || !(hi > lo) || lo < 0.0) {
+      throw std::invalid_argument("truncated_normal: bad parameters");
+    }
+  }
+  double sample(rng& gen) const override {
+    // Rejection sampling, exactly as the paper describes ("rejecting points
+    // outside (0,2)"). With mu centered in (lo, hi) acceptance is ~1.
+    for (;;) {
+      const double x = gen.normal(mu_, sigma_);
+      if (x > lo_ && x < hi_) return x;
+    }
+  }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "normal(" << mu_ << "," << sigma_ * sigma_ << ")";
+    return os.str();
+  }
+  double mean() const override { return mu_; }  // symmetric truncation
+
+ private:
+  double mu_, sigma_, lo_, hi_;
+};
+
+class two_point_dist final : public distribution {
+ public:
+  two_point_dist(double a, double b) : a_(a), b_(b) {
+    if (a < 0.0 || b < 0.0) throw std::invalid_argument("two_point: negative");
+    if (a == b) throw std::invalid_argument("two_point: degenerate");
+  }
+  double sample(rng& gen) const override {
+    return gen.bernoulli(0.5) ? a_ : b_;
+  }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "{" << a_ << "," << b_ << "}";
+    return os.str();
+  }
+  double mean() const override { return 0.5 * (a_ + b_); }
+
+ private:
+  double a_, b_;
+};
+
+class geometric_dist final : public distribution {
+ public:
+  explicit geometric_dist(double p) : p_(p) {
+    if (!(p > 0.0) || !(p < 1.0)) {
+      throw std::invalid_argument("geometric: need 0 < p < 1");
+    }
+  }
+  double sample(rng& gen) const override {
+    return static_cast<double>(gen.geometric(p_));
+  }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "geometric(" << p_ << ")";
+    return os.str();
+  }
+  double mean() const override { return 1.0 / p_; }
+
+ private:
+  double p_;
+};
+
+// Theorem 1: X = 2^{k^2} with probability 2^{-k}, k >= 1. The tail mass
+// beyond max_k is assigned to k = max_k so probabilities sum to one.
+class pathological_heavy_dist final : public distribution {
+ public:
+  explicit pathological_heavy_dist(int max_k) : max_k_(max_k) {
+    if (max_k < 2) throw std::invalid_argument("pathological: max_k < 2");
+  }
+  double sample(rng& gen) const override {
+    // Draw k geometrically: P[k] = 2^{-k}.
+    int k = 1;
+    while (k < max_k_ && gen.bernoulli(0.5)) ++k;
+    return std::ldexp(1.0, k * k);  // 2^{k^2}
+  }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "2^{k^2} w.p. 2^{-k} (k<=" << max_k_ << ")";
+    return os.str();
+  }
+  double mean() const override { return -1.0; }  // infinite (in the limit)
+
+ private:
+  int max_k_;
+};
+
+class pareto_dist final : public distribution {
+ public:
+  pareto_dist(double scale, double alpha) : scale_(scale), alpha_(alpha) {
+    if (!(scale > 0.0) || !(alpha > 0.0)) {
+      throw std::invalid_argument("pareto: bad parameters");
+    }
+  }
+  double sample(rng& gen) const override {
+    return scale_ / std::pow(1.0 - gen.uniform01(), 1.0 / alpha_);
+  }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "pareto(" << scale_ << "," << alpha_ << ")";
+    return os.str();
+  }
+  double mean() const override {
+    return alpha_ > 1.0 ? alpha_ * scale_ / (alpha_ - 1.0) : -1.0;
+  }
+
+ private:
+  double scale_, alpha_;
+};
+
+class lognormal_dist final : public distribution {
+ public:
+  lognormal_dist(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+    if (!(sigma > 0.0)) throw std::invalid_argument("lognormal: sigma <= 0");
+  }
+  double sample(rng& gen) const override {
+    return std::exp(gen.normal(mu_, sigma_));
+  }
+  std::string name() const override {
+    std::ostringstream os;
+    os << "lognormal(" << mu_ << "," << sigma_ << ")";
+    return os.str();
+  }
+  double mean() const override {
+    return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+  }
+
+ private:
+  double mu_, sigma_;
+};
+
+}  // namespace
+
+distribution_ptr make_constant(double value) {
+  return std::make_shared<constant_dist>(value);
+}
+distribution_ptr make_uniform(double lo, double hi) {
+  return std::make_shared<uniform_dist>(lo, hi);
+}
+distribution_ptr make_exponential(double mean) {
+  return std::make_shared<exponential_dist>(mean);
+}
+distribution_ptr make_shifted_exponential(double shift, double mean) {
+  return std::make_shared<shifted_exponential_dist>(shift, mean);
+}
+distribution_ptr make_truncated_normal(double mu, double sigma, double lo,
+                                       double hi) {
+  return std::make_shared<truncated_normal_dist>(mu, sigma, lo, hi);
+}
+distribution_ptr make_two_point(double a, double b) {
+  return std::make_shared<two_point_dist>(a, b);
+}
+distribution_ptr make_geometric(double p) {
+  return std::make_shared<geometric_dist>(p);
+}
+distribution_ptr make_pathological_heavy(int max_k) {
+  return std::make_shared<pathological_heavy_dist>(max_k);
+}
+distribution_ptr make_pareto(double scale, double alpha) {
+  return std::make_shared<pareto_dist>(scale, alpha);
+}
+distribution_ptr make_lognormal(double mu, double sigma) {
+  return std::make_shared<lognormal_dist>(mu, sigma);
+}
+
+}  // namespace leancon

@@ -1,0 +1,97 @@
+// Interarrival/noise distributions for the noisy-scheduling model (paper
+// Section 3.1). The adversary picks a common distribution F of non-negative
+// random delays X_ij added to each operation; the only restrictions the paper
+// imposes are non-negativity and not being concentrated on a point.
+//
+// This module provides:
+//  * a type-erased `distribution` interface,
+//  * every distribution used in the paper's Figure 1 simulation (Section 9),
+//  * the pathological heavy-tail distribution of Theorem 1,
+//  * the two-point {1, 2} distribution of the Theorem 13 lower bound,
+//  * a handful of extras (pareto, lognormal, constant) for ablations and for
+//    testing the "not concentrated on a point" boundary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace leancon {
+
+/// A sampleable non-negative delay distribution.
+///
+/// Implementations must be immutable after construction so a single instance
+/// can be shared by all simulated processes (each process supplies its own
+/// rng stream).
+class distribution {
+ public:
+  virtual ~distribution() = default;
+
+  /// Draws one variate (always >= 0).
+  virtual double sample(rng& gen) const = 0;
+
+  /// Human-readable name used in tables (e.g. "exponential(1)").
+  virtual std::string name() const = 0;
+
+  /// Analytic mean, or a negative value when the mean is infinite/undefined
+  /// (e.g. the Theorem 1 pathological distribution).
+  virtual double mean() const = 0;
+
+  /// True when the distribution is concentrated on a point, i.e. violates the
+  /// noisy-scheduling model's non-degeneracy requirement. Kept so tests and
+  /// benches can exercise the boundary deliberately.
+  virtual bool degenerate() const { return false; }
+};
+
+using distribution_ptr = std::shared_ptr<const distribution>;
+
+// --- Factories -------------------------------------------------------------
+
+/// Point mass at `value` (degenerate; excluded by the model, used in tests).
+distribution_ptr make_constant(double value);
+
+/// Uniform on (lo, hi).
+distribution_ptr make_uniform(double lo, double hi);
+
+/// Exponential with the given mean. (Figure 1: "exponential(1)" — a Poisson
+/// process with no initial delay.)
+distribution_ptr make_exponential(double mean);
+
+/// shift + Exponential(mean). (Figure 1: "0.5 + exponential(0.5)" — a delayed
+/// Poisson process.)
+distribution_ptr make_shifted_exponential(double shift, double mean);
+
+/// Normal(mu, sigma) rejected outside (lo, hi). (Figure 1: normal(1, 0.04)
+/// i.e. sigma = 0.2, truncated to (0, 2).)
+distribution_ptr make_truncated_normal(double mu, double sigma, double lo,
+                                       double hi);
+
+/// Two-point distribution: `a` or `b` with equal probability.
+/// (Figure 1: {2/3, 4/3}; Theorem 13: {1, 2}.)
+distribution_ptr make_two_point(double a, double b);
+
+/// Geometric(p) on support {1, 2, 3, ...}. (Figure 1: geometric(0.5).)
+distribution_ptr make_geometric(double p);
+
+/// Theorem 1 pathological distribution: X = 2^{k^2} with probability 2^{-k},
+/// k = 1, 2, ... Expected number of rival operations between two consecutive
+/// operations of one process is infinite. `max_k` truncates the support so
+/// simulations stay finite; the default keeps values up to 2^{144}.
+distribution_ptr make_pathological_heavy(int max_k = 12);
+
+/// Pareto with scale x_m and shape alpha (heavy tail; infinite mean when
+/// alpha <= 1). Used in ablations beyond the paper's distribution set.
+distribution_ptr make_pareto(double scale, double alpha);
+
+/// Lognormal(mu, sigma) of the underlying normal.
+distribution_ptr make_lognormal(double mu, double sigma);
+
+/// A named distribution entry for catalogs and CLI lookup.
+struct named_distribution {
+  std::string key;  ///< stable CLI key, e.g. "exp1"
+  distribution_ptr dist;
+};
+
+}  // namespace leancon

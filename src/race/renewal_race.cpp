@@ -1,0 +1,98 @@
+#include "race/renewal_race.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace leancon {
+
+race_result run_race(const race_config& config) {
+  const std::size_t n = config.n;
+  if (n == 0) throw std::invalid_argument("run_race: no racers");
+  if (config.lead < 1) throw std::invalid_argument("run_race: lead < 1");
+  const auto c = static_cast<std::uint64_t>(config.lead);
+  constexpr double inf = std::numeric_limits<double>::infinity();
+
+  // Per-process state: current cumulative time, number of rounds generated,
+  // halted flag, rolling window of the last (c + 1) round-completion times.
+  std::vector<double> cur(n);
+  std::vector<std::uint64_t> generated(n, 0);
+  std::vector<bool> halted(n, false);
+  std::vector<std::vector<double>> window(n,
+                                          std::vector<double>(c + 1, inf));
+  std::vector<rng> streams;
+  streams.reserve(n);
+  std::vector<std::uint64_t> op_index(n, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    streams.emplace_back(config.seed, i + 1);
+    cur[i] = config.sched.start_offset(static_cast<int>(i),
+                                       static_cast<int>(n), streams[i]);
+  }
+
+  // Theorem 10 abstracts one round as the sum of the lean round's four
+  // operations (three reads and one write); a halting failure during any of
+  // them halts the process.
+  constexpr int ops_per_round = 4;
+  auto generate_round = [&](std::size_t i) {
+    if (halted[i]) {
+      ++generated[i];
+      window[i][generated[i] % (c + 1)] = inf;
+      return;
+    }
+    double sum = 0.0;
+    for (int k = 0; k < ops_per_round; ++k) {
+      bool halt = false;
+      sum += config.sched.op_increment(static_cast<int>(i), ++op_index[i],
+                                       /*is_write=*/k == 2, streams[i], halt);
+      if (halt) {
+        halted[i] = true;
+        ++generated[i];
+        window[i][generated[i] % (c + 1)] = inf;
+        return;
+      }
+    }
+    cur[i] += sum;
+    ++generated[i];
+    window[i][generated[i] % (c + 1)] = cur[i];
+  };
+
+  race_result result;
+  for (std::uint64_t round = 1; round <= config.max_rounds; ++round) {
+    // Make sure every process has round + c rounds generated.
+    for (std::size_t i = 0; i < n; ++i) {
+      while (generated[i] < round + c) generate_round(i);
+    }
+
+    // Find the minimum and second minimum of S'_{., round}.
+    double best = inf, second = inf;
+    std::size_t best_i = 0;
+    bool all_inf = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = window[i][round % (c + 1)];
+      if (t < inf) all_inf = false;
+      if (t < best) {
+        second = best;
+        best = t;
+        best_i = i;
+      } else if (t < second) {
+        second = t;
+      }
+    }
+    if (all_inf) {
+      result.all_halted = true;
+      return result;
+    }
+    // Only the row minimizer can lead by c (times are non-decreasing in r).
+    const double lead_time = window[best_i][(round + c) % (c + 1)];
+    if (lead_time < second) {
+      result.won = true;
+      result.winner = static_cast<int>(best_i);
+      result.winning_round = round;
+      result.winning_time = lead_time;
+      return result;
+    }
+  }
+  return result;  // budget exhausted
+}
+
+}  // namespace leancon

@@ -1,0 +1,46 @@
+// Direct simulation of the delayed-renewal race of Theorem 10 / Corollary 11.
+//
+// n processes complete rounds at times S'_ir = Delta_i0 +
+// sum_{j<=r} (Delta_ij + X_ij + H_ij). The race ends at the first round R
+// such that either some process i finishes round R + c strictly before every
+// rival finishes round R (a "win by c"), or every process has halted.
+// Corollary 11: E[R] = O(log n) with an exponential tail.
+//
+// This module reproduces the probabilistic core of the paper without the
+// consensus layer on top: it is the cleanest way to measure the O(log n)
+// bound and its constants, and it doubles as a cross-check that the full
+// simulator's round counts are explained by the renewal-race analysis.
+//
+// Implementation: only the current race leader can win at round R (times are
+// non-decreasing in r), so it suffices to track, per round, the minimum and
+// second minimum of S'_{., R} and the finishing time S'_{i*, R+c} of the
+// row-R minimizer. Memory is O(n * (c + 1)) via a rolling window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/noisy_params.h"
+
+namespace leancon {
+
+struct race_config {
+  std::size_t n = 2;        ///< number of racers
+  int lead = 2;             ///< c, the required lead in rounds
+  noisy_params sched;       ///< same delay model as the main simulator
+  std::uint64_t seed = 1;
+  std::uint64_t max_rounds = 1u << 22;  ///< budget (ties/degenerate noise)
+};
+
+struct race_result {
+  bool won = false;         ///< false: all halted or budget exhausted
+  bool all_halted = false;
+  int winner = -1;
+  std::uint64_t winning_round = 0;  ///< R (the round led by c)
+  double winning_time = 0.0;        ///< S'_{winner, R+c}
+};
+
+/// Runs one renewal race.
+race_result run_race(const race_config& config);
+
+}  // namespace leancon

@@ -1,0 +1,114 @@
+#include "runtime/thread_consensus.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "core/combined_machine.h"
+#include "memory/atomic_memory.h"
+#include "util/rng.h"
+
+namespace leancon {
+namespace {
+
+/// Busy-waits for approximately `ns` nanoseconds (sleeping would invite the
+/// OS to batch wakeups and serialize the race artificially).
+void spin_for_ns(double ns) {
+  if (ns <= 0.0) return;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::nanoseconds(
+                                    static_cast<std::int64_t>(ns));
+  while (std::chrono::steady_clock::now() < deadline) {
+    // spin
+  }
+}
+
+}  // namespace
+
+thread_run_result run_threads(const thread_run_config& config) {
+  const auto n = config.inputs.size();
+  if (n == 0) throw std::invalid_argument("run_threads: no threads");
+  const std::uint64_t r_max =
+      config.r_max != 0 ? config.r_max : default_r_max(n);
+
+  atomic_memory_config mem_config;
+  mem_config.race_rounds = r_max + 2;
+  mem_config.backup_rounds = 1u << 16;
+  atomic_memory memory(mem_config);
+
+  thread_run_result result;
+  result.steps.assign(n, 0);
+  result.lean_rounds.assign(n, 0);
+  std::vector<int> decisions(n, -1);
+  std::vector<std::uint8_t> entered_backup(n, 0);
+
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+
+  auto worker = [&](std::size_t tid) {
+    rng gen(config.seed, tid + 1);
+    backup_params bp = backup_params::for_processes(n);
+    combined_machine machine(config.inputs[tid], r_max, bp, gen.fork());
+
+    ready.fetch_add(1, std::memory_order_acq_rel);
+    while (!go.load(std::memory_order_acquire)) {
+      // spin until all threads are staged
+    }
+
+    std::uint64_t steps = 0;
+    while (!machine.done() && steps < config.max_steps_per_thread) {
+      const operation op = machine.next_op();
+      const std::uint64_t value = memory.execute(op);
+      machine.apply(value);
+      ++steps;
+      if (config.yield_probability > 0.0 &&
+          gen.bernoulli(config.yield_probability)) {
+        std::this_thread::yield();
+      }
+      if (config.injected_noise) {
+        spin_for_ns(config.injected_noise->sample(gen) *
+                    config.noise_scale_ns);
+      }
+    }
+
+    result.steps[tid] = steps;
+    result.lean_rounds[tid] = machine.lean().round();
+    entered_backup[tid] = machine.backup_entered() ? 1 : 0;
+    if (machine.done()) decisions[tid] = machine.decision();
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) threads.emplace_back(worker, i);
+  while (ready.load(std::memory_order_acquire) <
+         static_cast<std::uint32_t>(n)) {
+    // wait for all workers to stage
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const auto wall_end = std::chrono::steady_clock::now();
+  result.wall_ms = std::chrono::duration<double, std::milli>(wall_end -
+                                                             wall_start)
+                       .count();
+
+  result.all_decided = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.max_steps = std::max(result.max_steps, result.steps[i]);
+    result.backup_entries += entered_backup[i];
+    if (decisions[i] == -1) {
+      result.all_decided = false;
+      continue;
+    }
+    if (result.decision == -1) {
+      result.decision = decisions[i];
+    } else if (decisions[i] != result.decision) {
+      result.agreement = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace leancon

@@ -1,0 +1,49 @@
+// Native execution of the consensus protocols on real threads over
+// std::atomic registers (sequentially consistent operations = the paper's
+// atomic read/write register model).
+//
+// Here the "noisy scheduler" is the actual machine: OS preemption, cache
+// traffic, and an optional injected busy-wait noise sampled from any of the
+// library's distributions. The combined protocol (lean + backup) is used so
+// termination is guaranteed regardless of how adversarial the hardware
+// schedule turns out to be, with bounded register arrays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noise/distribution.h"
+
+namespace leancon {
+
+struct thread_run_config {
+  std::vector<int> inputs;         ///< one thread per input bit
+  std::uint64_t r_max = 0;         ///< lean cutoff; 0 = default_r_max(n)
+  distribution_ptr injected_noise; ///< optional per-op busy-wait noise
+  double noise_scale_ns = 200.0;   ///< nanoseconds per noise unit
+  /// Probability of calling std::this_thread::yield() after an operation.
+  /// On an oversubscribed (or single-core) host, long OS quanta let each
+  /// thread finish both rounds before its rivals run at all; forced yields
+  /// re-create a genuinely interleaved race.
+  double yield_probability = 0.0;
+  std::uint64_t seed = 1;
+  std::uint64_t max_steps_per_thread = 10'000'000;  ///< safety budget
+};
+
+struct thread_run_result {
+  bool all_decided = false;
+  bool agreement = true;     ///< all decided threads agree
+  int decision = -1;
+  std::vector<std::uint64_t> steps;   ///< shared-memory ops per thread
+  std::uint64_t max_steps = 0;
+  std::vector<std::uint64_t> lean_rounds;  ///< last lean round per thread
+  std::uint64_t backup_entries = 0;
+  double wall_ms = 0.0;
+};
+
+/// Runs one consensus instance with config.inputs.size() threads.
+/// Threads spin on a start barrier so their first operations race.
+thread_run_result run_threads(const thread_run_config& config);
+
+}  // namespace leancon

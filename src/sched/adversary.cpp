@@ -1,0 +1,152 @@
+#include "sched/adversary.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace leancon {
+namespace {
+
+class zero_delays final : public delay_adversary {
+ public:
+  double delay(int, std::uint64_t) const override { return 0.0; }
+  double bound() const override { return 0.0; }
+  std::string name() const override { return "zero"; }
+};
+
+class constant_delays final : public delay_adversary {
+ public:
+  explicit constant_delays(double m) : m_(m) {}
+  double delay(int, std::uint64_t) const override { return m_; }
+  double bound() const override { return m_; }
+  std::string name() const override { return "constant"; }
+
+ private:
+  double m_;
+};
+
+class alternating_delays final : public delay_adversary {
+ public:
+  explicit alternating_delays(double m) : m_(m) {}
+  double delay(int pid, std::uint64_t j) const override {
+    return (static_cast<std::uint64_t>(pid) + j) % 2 == 0 ? m_ : 0.0;
+  }
+  double bound() const override { return m_; }
+  std::string name() const override { return "alternating"; }
+
+ private:
+  double m_;
+};
+
+class staggered_delays final : public delay_adversary {
+ public:
+  staggered_delays(double m, int period) : m_(m), period_(period) {}
+  double delay(int pid, std::uint64_t) const override {
+    return m_ * static_cast<double>(pid % period_) /
+           static_cast<double>(period_);
+  }
+  double bound() const override { return m_; }
+  std::string name() const override { return "staggered"; }
+
+ private:
+  double m_;
+  int period_;
+};
+
+class random_bounded_delays final : public delay_adversary {
+ public:
+  random_bounded_delays(double m, std::uint64_t salt) : m_(m), salt_(salt) {}
+  double delay(int pid, std::uint64_t j) const override {
+    std::uint64_t state =
+        salt_ ^ (static_cast<std::uint64_t>(pid) * 0x9e3779b97f4a7c15ULL) ^
+        (j * 0xd1b54a32d192ed03ULL);
+    const std::uint64_t h = splitmix64_next(state);
+    return m_ * static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+  double bound() const override { return m_; }
+  std::string name() const override { return "random-bounded"; }
+
+ private:
+  double m_;
+  std::uint64_t salt_;
+};
+
+class burst_delays final : public delay_adversary {
+ public:
+  burst_delays(double m, std::uint64_t period) : m_(m), period_(period) {}
+  double delay(int pid, std::uint64_t j) const override {
+    return (j + static_cast<std::uint64_t>(pid)) % period_ == 0 ? m_ : 0.0;
+  }
+  double bound() const override { return m_; }
+  std::string name() const override { return "burst"; }
+
+ private:
+  double m_;
+  std::uint64_t period_;
+};
+
+class pack_delays final : public delay_adversary {
+ public:
+  explicit pack_delays(double m) : m_(m) {}
+  double delay(int pid, std::uint64_t j) const override {
+    // Processes with lower pids (which start marginally earlier under
+    // dithered starts) receive slightly larger braking delays early on; the
+    // handicap decays so it cannot slow the execution forever.
+    const double handicap =
+        m_ / (1.0 + 0.25 * static_cast<double>(j));
+    return pid % 2 == 0 ? handicap : 0.0;
+  }
+  double bound() const override { return m_; }
+  std::string name() const override { return "pack"; }
+
+ private:
+  double m_;
+};
+
+class zeno_delays final : public delay_adversary {
+ public:
+  explicit zeno_delays(double m) : m_(m) {}
+  double delay(int, std::uint64_t j) const override {
+    // Stall at powers of two; the stall at j covers the budget accumulated
+    // since the previous one: sum_{j<=r} Delta <= M * (r - 1) < r * M.
+    return (j & (j - 1)) == 0 && j >= 2 ? m_ * static_cast<double>(j) / 2.0
+                                        : 0.0;
+  }
+  double bound() const override {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::string name() const override { return "zeno-statistical"; }
+
+ private:
+  double m_;
+};
+
+}  // namespace
+
+delay_adversary_ptr make_zero_delays() {
+  return std::make_shared<zero_delays>();
+}
+delay_adversary_ptr make_constant_delays(double m) {
+  return std::make_shared<constant_delays>(m);
+}
+delay_adversary_ptr make_alternating_delays(double m) {
+  return std::make_shared<alternating_delays>(m);
+}
+delay_adversary_ptr make_staggered_delays(double m, int period) {
+  return std::make_shared<staggered_delays>(m, period);
+}
+delay_adversary_ptr make_random_bounded_delays(double m, std::uint64_t salt) {
+  return std::make_shared<random_bounded_delays>(m, salt);
+}
+delay_adversary_ptr make_burst_delays(double m, std::uint64_t period) {
+  return std::make_shared<burst_delays>(m, period);
+}
+delay_adversary_ptr make_pack_delays(double m) {
+  return std::make_shared<pack_delays>(m);
+}
+delay_adversary_ptr make_zeno_delays(double m) {
+  return std::make_shared<zeno_delays>(m);
+}
+
+}  // namespace leancon

@@ -1,0 +1,75 @@
+// Adversary-controlled base delays for the noisy-scheduling model (paper
+// Section 3.1). The adversary chooses, before the execution starts:
+//   * a starting time Delta_i0 for each process,
+//   * a non-negative delay Delta_ij <= M between consecutive operations.
+// The random noise X_ij (src/noise) is then added on top, outside the
+// adversary's control.
+//
+// Strategies here are deterministic functions of (pid, op index) so that a
+// trial is reproducible from its seed alone; "random_bounded" derives its
+// choices by hashing (pid, j) with a fixed salt, which is exactly as strong
+// as an oblivious adversary committing to a schedule up front.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace leancon {
+
+/// Deterministic oblivious schedule of base delays, bounded by bound().
+class delay_adversary {
+ public:
+  virtual ~delay_adversary() = default;
+
+  /// Delta_ij for process `pid`'s `op_index`-th operation (op_index >= 1).
+  /// Must lie in [0, bound()].
+  virtual double delay(int pid, std::uint64_t op_index) const = 0;
+
+  /// The model's constant M.
+  virtual double bound() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using delay_adversary_ptr = std::shared_ptr<const delay_adversary>;
+
+/// Delta_ij = 0: the pure-noise schedule used for Figure 1.
+delay_adversary_ptr make_zero_delays();
+
+/// Delta_ij = m for every operation (uniform slowdown; termination behaviour
+/// must be unchanged per Theorem 12's distribution independence).
+delay_adversary_ptr make_constant_delays(double m);
+
+/// Even pids get delay m on even operations, odd pids on odd operations —
+/// an attempt to keep two cohorts out of phase.
+delay_adversary_ptr make_alternating_delays(double m);
+
+/// Process i's operations are delayed by m * (i mod period) / period,
+/// spreading cohorts across a window of width < m.
+delay_adversary_ptr make_staggered_delays(double m, int period = 8);
+
+/// Deterministic pseudo-random delays in [0, m] from hashing (salt, pid, j).
+delay_adversary_ptr make_random_bounded_delays(double m, std::uint64_t salt);
+
+/// Periodic bursts: every `period` operations a process stalls the full M;
+/// models coarse-grained interference (GC pauses, timer ticks).
+delay_adversary_ptr make_burst_delays(double m, std::uint64_t period);
+
+/// Anti-race: delays process i proportionally to how many operations it has
+/// already completed relative to the slowest start, trying to bunch the pack
+/// (the hardest oblivious strategy for lean-consensus in our ablations).
+delay_adversary_ptr make_pack_delays(double m);
+
+/// Statistical adversary (paper Section 10): instead of the per-operation
+/// bound Delta_ij <= M, only the prefix-sum constraint
+/// sum_{j<=r} Delta_ij <= r*M holds. This strategy concentrates its whole
+/// budget into exponentially spaced stalls: Delta_ij = M * j / 2 at
+/// j = 2, 4, 8, ... and zero elsewhere (prefix sums stay under r*M).
+/// bound() returns infinity — individual delays are unbounded, which is
+/// exactly what the paper's open question is about. The paper's Theorem 12
+/// proof does NOT cover this adversary; the conjecture is that O(log n)
+/// still holds, and bench/adversary_ablation measures it.
+delay_adversary_ptr make_zeno_delays(double m);
+
+}  // namespace leancon

@@ -1,0 +1,138 @@
+#include "sched/crash_adversary.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace leancon {
+namespace {
+
+class kill_leader final : public crash_adversary {
+ public:
+  kill_leader(std::uint64_t budget, std::uint64_t every)
+      : budget_(budget), every_(every) {}
+
+  std::optional<int> maybe_kill(const std::vector<process_view>& processes,
+                                int) override {
+    if (budget_ == 0) return std::nullopt;
+    // Find the live leader and the highest round reached so far.
+    int leader = -1;
+    std::uint64_t max_round = 0;
+    for (std::size_t i = 0; i < processes.size(); ++i) {
+      const auto& p = processes[i];
+      if (p.halted || p.decided) continue;
+      if (leader == -1 || p.round > max_round) {
+        leader = static_cast<int>(i);
+        max_round = p.round;
+      }
+    }
+    if (leader == -1) return std::nullopt;
+    if (max_round >= next_trigger_) {
+      next_trigger_ = max_round + every_;
+      --budget_;
+      return leader;
+    }
+    return std::nullopt;
+  }
+
+  std::string name() const override { return "kill-leader"; }
+
+ private:
+  std::uint64_t budget_;
+  std::uint64_t every_;
+  std::uint64_t next_trigger_ = 2;
+};
+
+class kill_winner final : public crash_adversary {
+ public:
+  explicit kill_winner(std::uint64_t budget) : budget_(budget) {}
+
+  std::optional<int> maybe_kill(const std::vector<process_view>& processes,
+                                int last_stepped) override {
+    if (budget_ == 0) return std::nullopt;
+    const auto& p = processes[static_cast<std::size_t>(last_stepped)];
+    if (p.halted || p.decided) return std::nullopt;
+    // Is last_stepped two rounds ahead of every live rival?
+    for (std::size_t i = 0; i < processes.size(); ++i) {
+      if (static_cast<int>(i) == last_stepped) continue;
+      const auto& q = processes[i];
+      if (q.halted || q.decided) continue;
+      if (q.round + 2 > p.round) return std::nullopt;
+    }
+    --budget_;
+    return last_stepped;
+  }
+
+  std::string name() const override { return "kill-winner"; }
+
+ private:
+  std::uint64_t budget_;
+};
+
+class kill_poised final : public crash_adversary {
+ public:
+  explicit kill_poised(std::uint64_t budget) : budget_(budget) {}
+
+  std::optional<int> maybe_kill(const std::vector<process_view>& processes,
+                                int last_stepped) override {
+    if (budget_ == 0) return std::nullopt;
+    const auto& p = processes[static_cast<std::size_t>(last_stepped)];
+    if (p.halted || p.decided || !p.poised_to_decide) return std::nullopt;
+    --budget_;
+    return last_stepped;
+  }
+
+  std::string name() const override { return "kill-poised"; }
+
+ private:
+  std::uint64_t budget_;
+};
+
+class kill_random final : public crash_adversary {
+ public:
+  kill_random(std::uint64_t budget, double p, std::uint64_t salt)
+      : budget_(budget), p_(p), gen_(salt) {}
+
+  std::optional<int> maybe_kill(const std::vector<process_view>& processes,
+                                int) override {
+    if (budget_ == 0 || !gen_.bernoulli(p_)) return std::nullopt;
+    std::vector<int> live;
+    for (std::size_t i = 0; i < processes.size(); ++i) {
+      if (!processes[i].halted && !processes[i].decided) {
+        live.push_back(static_cast<int>(i));
+      }
+    }
+    if (live.empty()) return std::nullopt;
+    --budget_;
+    return live[gen_.below(live.size())];
+  }
+
+  std::string name() const override { return "kill-random"; }
+
+ private:
+  std::uint64_t budget_;
+  double p_;
+  rng gen_;
+};
+
+}  // namespace
+
+crash_adversary_ptr make_kill_leader(std::uint64_t budget,
+                                     std::uint64_t every) {
+  return std::make_shared<kill_leader>(budget, every);
+}
+
+crash_adversary_ptr make_kill_winner(std::uint64_t budget) {
+  return std::make_shared<kill_winner>(budget);
+}
+
+crash_adversary_ptr make_kill_poised(std::uint64_t budget) {
+  return std::make_shared<kill_poised>(budget);
+}
+
+crash_adversary_ptr make_kill_random(std::uint64_t budget, double p,
+                                     std::uint64_t salt) {
+  return std::make_shared<kill_random>(budget, p, salt);
+}
+
+}  // namespace leancon

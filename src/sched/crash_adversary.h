@@ -1,0 +1,69 @@
+// Adaptive crash adversaries (paper Section 10, "Non-random failures").
+//
+// Unlike the random halting failures of Section 3.1.2, these adversaries
+// observe the execution (rounds, preferences, decisions — the algorithm is
+// deterministic, so full observation is the strongest case) and choose whom
+// to crash, subject to a total budget f. The paper derives an O(f log n)
+// upper bound by restarting Theorem 12 after each crash and conjectures
+// O(log n); bench/failures measures both regimes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace leancon {
+
+/// Public per-process state exposed to adaptive adversaries.
+struct process_view {
+  std::uint64_t round = 1;
+  int preference = 0;
+  bool decided = false;
+  bool halted = false;
+  std::uint64_t ops = 0;
+  /// True when the process's NEXT operation would make it decide (it is at
+  /// the round's final read and the rival's previous-round cell is still 0).
+  /// The strongest possible single-kill trigger for an omniscient adversary.
+  bool poised_to_decide = false;
+};
+
+/// Observes each step and may kill one process at a time, up to a budget.
+class crash_adversary {
+ public:
+  virtual ~crash_adversary() = default;
+
+  /// Called after process `last_stepped` executes an operation. Returns the
+  /// pid to crash now, or nullopt. Implementations enforce their own budget.
+  virtual std::optional<int> maybe_kill(
+      const std::vector<process_view>& processes, int last_stepped) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using crash_adversary_ptr = std::shared_ptr<crash_adversary>;
+
+/// Kills the process with the maximum round (the current race leader) each
+/// time some process first reaches a round that is a multiple of `every`.
+/// The strongest simple strategy: it decapitates whoever is about to win.
+crash_adversary_ptr make_kill_leader(std::uint64_t budget,
+                                     std::uint64_t every = 2);
+
+/// Kills any process the moment it is two rounds ahead of all rivals (i.e.
+/// exactly when it could decide). Stalls termination for f decapitations.
+crash_adversary_ptr make_kill_winner(std::uint64_t budget);
+
+/// Kills a process the instant its next operation would decide (Section
+/// 10's decapitation strategy, maximally adaptive). Note that with a dense
+/// pack this buys the adversary little: same-preference teammates one step
+/// behind decide immediately afterwards — which is the empirical support
+/// for the paper's O(log n) conjecture over the O(f log n) bound.
+crash_adversary_ptr make_kill_poised(std::uint64_t budget);
+
+/// Kills pseudo-randomly: after each operation, with probability p, kills a
+/// deterministic-hash-chosen live process. Oblivious-equivalent baseline.
+crash_adversary_ptr make_kill_random(std::uint64_t budget, double p,
+                                     std::uint64_t salt);
+
+}  // namespace leancon

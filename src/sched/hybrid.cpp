@@ -1,0 +1,219 @@
+#include "sched/hybrid.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/invariants.h"
+#include "util/rng.h"
+
+namespace leancon {
+namespace {
+
+class run_to_completion final : public preemption_adversary {
+ public:
+  int choose(int running, const std::vector<int>& legal,
+             const std::vector<hybrid_process_view>&) override {
+    if (running != -1) return -1;
+    return legal.empty() ? -1 : legal.front();
+  }
+  std::string name() const override { return "run-to-completion"; }
+};
+
+class round_robin final : public preemption_adversary {
+ public:
+  int choose(int running, const std::vector<int>& legal,
+             const std::vector<hybrid_process_view>& view) override {
+    if (legal.empty()) return -1;
+    if (running == -1) return legal.front();
+    // Switch exactly at quantum boundaries, cycling by pid.
+    if (view[static_cast<std::size_t>(running)].quantum_remaining > 0) {
+      return -1;
+    }
+    for (int pid : legal) {
+      if (pid > running) return pid;
+    }
+    return legal.front();
+  }
+  std::string name() const override { return "round-robin"; }
+};
+
+// Theorem 14's proof scenario. The target (lowest-priority process, pid 0)
+// runs its two round-1 reads; just before its round-1 write it is preempted
+// by a chain of strictly-higher-priority processes. Legality permits this
+// because every other process has higher priority. The chain processes then
+// run to completion; the theorem predicts one of them decides within its
+// first quantum and pid 0 still finishes within 12 operations total.
+class preempt_before_write final : public preemption_adversary {
+ public:
+  int choose(int running, const std::vector<int>& legal,
+             const std::vector<hybrid_process_view>& view) override {
+    if (legal.empty()) return -1;
+    if (running == -1) return legal.front();
+    const auto& r = view[static_cast<std::size_t>(running)];
+    const bool victim_poised =
+        running == 0 && !r.done && r.machine != nullptr &&
+        r.machine->round() == 1 &&
+        r.machine->current_phase() == lean_machine::phase::write_own;
+    if (victim_poised) {
+      // Preempt with the highest-priority alternative available.
+      int best = legal.front();
+      for (int pid : legal) {
+        if (view[static_cast<std::size_t>(pid)].priority >
+            view[static_cast<std::size_t>(best)].priority) {
+          best = pid;
+        }
+      }
+      return best;
+    }
+    return -1;
+  }
+  std::string name() const override { return "preempt-before-write"; }
+};
+
+class random_preemption final : public preemption_adversary {
+ public:
+  random_preemption(double p, std::uint64_t salt) : p_(p), gen_(salt) {}
+  int choose(int running, const std::vector<int>& legal,
+             const std::vector<hybrid_process_view>&) override {
+    if (legal.empty()) return -1;
+    if (running == -1) return legal[gen_.below(legal.size())];
+    if (gen_.bernoulli(p_)) return legal[gen_.below(legal.size())];
+    return -1;
+  }
+  std::string name() const override { return "random-preemption"; }
+
+ private:
+  double p_;
+  rng gen_;
+};
+
+}  // namespace
+
+preemption_adversary_ptr make_run_to_completion() {
+  return std::make_shared<run_to_completion>();
+}
+preemption_adversary_ptr make_round_robin() {
+  return std::make_shared<round_robin>();
+}
+preemption_adversary_ptr make_preempt_before_write() {
+  return std::make_shared<preempt_before_write>();
+}
+preemption_adversary_ptr make_random_preemption(double p, std::uint64_t salt) {
+  return std::make_shared<random_preemption>(p, salt);
+}
+
+hybrid_result run_hybrid(const hybrid_config& config,
+                         preemption_adversary& adversary) {
+  const auto n = config.inputs.size();
+  if (config.priorities.size() != n) {
+    throw std::invalid_argument("run_hybrid: priorities size mismatch");
+  }
+  if (!config.initial_quantum_used.empty() &&
+      config.initial_quantum_used.size() != n) {
+    throw std::invalid_argument("run_hybrid: initial_quantum_used mismatch");
+  }
+
+  sim_memory memory;
+  invariant_checker checker(config.inputs);
+  memory.set_trace_hook([&checker](int pid, const operation& op,
+                                   std::uint64_t value) {
+    checker.on_op(pid, op, value);
+  });
+
+  std::vector<lean_machine> machines;
+  machines.reserve(n);
+  for (int input : config.inputs) machines.emplace_back(input);
+
+  std::vector<hybrid_process_view> view(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    view[i].priority = config.priorities[i];
+    view[i].machine = &machines[i];
+    view[i].quantum_remaining = config.quantum;
+    if (!config.initial_quantum_used.empty()) {
+      const auto used = config.initial_quantum_used[i];
+      view[i].quantum_remaining =
+          used >= config.quantum ? 0 : config.quantum - used;
+    }
+  }
+
+  hybrid_result result;
+  result.ops_per_process.assign(n, 0);
+
+  int running = -1;
+  bool first_dispatch = true;
+  std::uint64_t total_ops = 0;
+  std::vector<int> legal;
+
+  auto remaining = [&]() {
+    std::size_t live = 0;
+    for (const auto& v : view) {
+      if (!v.done) ++live;
+    }
+    return live;
+  };
+
+  while (remaining() > 0 && total_ops < config.max_total_ops) {
+    // Compute the set of processes that may legally take the CPU now.
+    legal.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (view[i].done || static_cast<int>(i) == running) continue;
+      bool allowed;
+      if (running == -1 || view[static_cast<std::size_t>(running)].done) {
+        allowed = true;  // CPU free: any runnable process may be dispatched
+      } else {
+        const auto& r = view[static_cast<std::size_t>(running)];
+        allowed = view[i].priority > r.priority ||
+                  (view[i].priority == r.priority && r.quantum_remaining == 0);
+      }
+      if (allowed) legal.push_back(static_cast<int>(i));
+    }
+
+    int choice = adversary.choose(running, legal, view);
+    const bool running_usable =
+        running != -1 && !view[static_cast<std::size_t>(running)].done;
+    if (choice == -1 && !running_usable) {
+      choice = legal.empty() ? -1 : legal.front();
+      if (choice == -1) break;  // nothing runnable (cannot happen: loop guard)
+    }
+    if (choice != -1) {
+      // Validate the adversary's pick, then dispatch. Every dispatch grants
+      // a fresh quantum, except the very first of the execution: the process
+      // already on the CPU when the protocol starts may be mid-quantum.
+      bool ok = false;
+      for (int pid : legal) ok = ok || pid == choice;
+      if (!ok) throw std::logic_error("preemption adversary made illegal pick");
+      running = choice;
+      auto& v = view[static_cast<std::size_t>(running)];
+      if (!first_dispatch) v.quantum_remaining = config.quantum;
+      first_dispatch = false;
+      v.started = true;
+    }
+
+    // Execute one operation of the running process.
+    auto& v = view[static_cast<std::size_t>(running)];
+    auto& m = machines[static_cast<std::size_t>(running)];
+    const operation op = m.next_op();
+    const std::uint64_t value = memory.execute(running, op);
+    m.apply(value);
+    ++v.ops;
+    ++total_ops;
+    if (v.quantum_remaining > 0) --v.quantum_remaining;
+    if (m.done()) {
+      v.done = true;
+      checker.on_decision(running, m.decision(), m.round());
+      if (result.decision == -1) result.decision = m.decision();
+    }
+  }
+
+  result.total_ops = total_ops;
+  result.all_decided = remaining() == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.ops_per_process[i] = view[i].ops;
+    result.max_ops_per_process =
+        std::max(result.max_ops_per_process, view[i].ops);
+  }
+  result.violations = checker.violations();
+  return result;
+}
+
+}  // namespace leancon

@@ -1,0 +1,103 @@
+// Hybrid quantum + priority-based uniprocessor scheduling (paper Sections
+// 3.2 and 7, following Anderson & Moir PODC'99).
+//
+// Model: all processes time-share one CPU. Each process has a fixed priority.
+// The running process may be preempted
+//   * at any time by a process of strictly higher priority, or
+//   * by a process of the same priority only once it has exhausted its
+//     quantum (a guaranteed minimum number of operations per scheduling).
+// A process need not start the protocol at a quantum boundary: its first
+// scheduling may have part (or all) of the quantum already consumed by
+// non-protocol work. Failures are not part of this model; delays are
+// unbounded but constrained by the rules above.
+//
+// Theorem 14: with quantum >= 8, every process running lean-consensus
+// decides after at most 12 operations — for EVERY legal preemption choice.
+// The preemption adversary is therefore a first-class pluggable strategy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lean_machine.h"
+#include "memory/sim_memory.h"
+
+namespace leancon {
+
+/// Scheduler-visible state of one process in the hybrid model.
+struct hybrid_process_view {
+  int priority = 0;
+  std::uint64_t quantum_remaining = 0;  ///< ops before same-priority preemption
+  std::uint64_t ops = 0;
+  bool done = false;
+  bool started = false;
+  const lean_machine* machine = nullptr;  ///< full observability (deterministic protocol)
+};
+
+/// Chooses scheduling decisions, subject to legality computed by the runner.
+class preemption_adversary {
+ public:
+  virtual ~preemption_adversary() = default;
+
+  /// Called before every operation. `running` is the current process (or -1
+  /// if the CPU is free); `legal` lists the pids that may take the CPU now
+  /// (already filtered by the quantum/priority rules; excludes `running`).
+  /// Return -1 to let `running` continue, or one of `legal`.
+  virtual int choose(int running, const std::vector<int>& legal,
+                     const std::vector<hybrid_process_view>& view) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using preemption_adversary_ptr = std::shared_ptr<preemption_adversary>;
+
+/// Never preempts; runs each process to completion in pid order.
+preemption_adversary_ptr make_run_to_completion();
+
+/// Switches to the next same-priority process at every quantum boundary
+/// (round-robin). With quantum = 4 (one full lean round) and two processes
+/// this reproduces a perfect lockstep that never terminates — the reason the
+/// theorem needs quantum >= 8.
+preemption_adversary_ptr make_round_robin();
+
+/// The proof's nasty schedule: lets the lowest-priority process run up to
+/// its round-1 write, then keeps it off the CPU via higher-priority work as
+/// long as legality allows.
+preemption_adversary_ptr make_preempt_before_write();
+
+/// Preempts pseudo-randomly whenever legal, with probability p per step.
+preemption_adversary_ptr make_random_preemption(double p, std::uint64_t salt);
+
+/// Configuration for one hybrid-scheduled execution.
+struct hybrid_config {
+  std::vector<int> inputs;             ///< input bit per process
+  std::vector<int> priorities;         ///< priority per process (higher wins)
+  std::uint64_t quantum = 8;
+  /// Ops already consumed from the first-dispatched process's quantum by
+  /// other work ("no requirement that a process start at the beginning of a
+  /// quantum"). On a uniprocessor only the process holding the CPU when the
+  /// protocol starts can be mid-quantum; every later dispatch begins a fresh
+  /// quantum, which is what Theorem 14's chain argument relies on. The entry
+  /// for the first process the adversary dispatches is honored; entries for
+  /// all other processes are ignored.
+  std::vector<std::uint64_t> initial_quantum_used;
+  std::uint64_t max_total_ops = 100000;  ///< budget against livelock schedules
+};
+
+/// Result of one hybrid-scheduled execution.
+struct hybrid_result {
+  bool all_decided = false;
+  int decision = -1;
+  std::vector<std::uint64_t> ops_per_process;
+  std::uint64_t max_ops_per_process = 0;
+  std::uint64_t total_ops = 0;
+  std::vector<std::string> violations;  ///< safety-lemma violations (expect none)
+};
+
+/// Executes lean-consensus under the hybrid model with the given adversary.
+hybrid_result run_hybrid(const hybrid_config& config,
+                         preemption_adversary& adversary);
+
+}  // namespace leancon

@@ -1,0 +1,56 @@
+#include "sched/noisy_params.h"
+
+#include <stdexcept>
+
+namespace leancon {
+
+std::string_view start_mode_name(start_mode m) {
+  switch (m) {
+    case start_mode::dithered: return "dithered";
+    case start_mode::staggered: return "staggered";
+    case start_mode::random: return "random";
+  }
+  return "?";
+}
+
+double noisy_params::start_offset(int pid, int n, rng& gen) const {
+  switch (starts) {
+    case start_mode::dithered:
+      return gen.uniform(0.0, start_dither);
+    case start_mode::staggered:
+      return static_cast<double>(pid) * stagger_step +
+             gen.uniform(0.0, start_dither);
+    case start_mode::random:
+      return gen.uniform(0.0, stagger_step * static_cast<double>(n)) +
+             gen.uniform(0.0, start_dither);
+  }
+  throw std::logic_error("noisy_params: bad start_mode");
+}
+
+double noisy_params::op_increment(int pid, std::uint64_t op_index,
+                                  bool is_write, rng& gen,
+                                  bool& halted) const {
+  halted = halt_probability > 0.0 && gen.bernoulli(halt_probability);
+  if (halted) return 0.0;
+  double inc = 0.0;
+  if (adversary) inc += adversary->delay(pid, op_index);
+  const distribution* f =
+      is_write && write_noise ? write_noise.get() : noise.get();
+  if (f == nullptr) {
+    throw std::logic_error("noisy_params: noise distribution not set");
+  }
+  inc += f->sample(gen);
+  return inc;
+}
+
+noisy_params figure1_params(distribution_ptr noise) {
+  noisy_params p;
+  p.noise = std::move(noise);
+  p.adversary = nullptr;
+  p.halt_probability = 0.0;
+  p.starts = start_mode::dithered;
+  p.start_dither = 1e-8;
+  return p;
+}
+
+}  // namespace leancon

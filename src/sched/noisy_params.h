@@ -1,0 +1,52 @@
+// Parameters of the noisy-scheduling model (paper Section 3.1):
+//
+//   S_ij = Delta_i0 + sum_{k=1..j} (Delta_ik + X_ik + H_ik)
+//
+// where Delta_i0 is the start offset, Delta_ik in [0, M] is adversarial,
+// X_ik ~ F is i.i.d. noise, and H_ik is infinite with probability h(n)
+// (random halting failures, Section 3.1.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "noise/distribution.h"
+#include "sched/adversary.h"
+
+namespace leancon {
+
+/// How the adversary chooses the start offsets Delta_i0.
+enum class start_mode : std::uint8_t {
+  dithered,   ///< all equal plus Uniform(0, dither) — the Figure 1 setup
+  staggered,  ///< pid * stagger_step (a rolling start)
+  random      ///< Uniform(0, stagger_step * n)
+};
+
+std::string_view start_mode_name(start_mode m);
+
+/// Full description of one noisy schedule-generating process.
+struct noisy_params {
+  distribution_ptr noise;                 ///< F, applied to every operation
+  distribution_ptr write_noise;           ///< optional distinct F for writes
+                                          ///< (paper: per-op-type F_pi);
+                                          ///< null = same as `noise`
+  delay_adversary_ptr adversary;          ///< Delta_ij; null = all zero
+  double halt_probability = 0.0;          ///< h(n) per operation
+  start_mode starts = start_mode::dithered;
+  double start_dither = 1e-8;             ///< Figure 1 uses U(0, 1e-8)
+  double stagger_step = 0.0;
+
+  /// Samples Delta_i0 for process pid (uses gen for the random components).
+  double start_offset(int pid, int n, rng& gen) const;
+
+  /// Samples the full increment Delta_ij + X_ij for one operation, and
+  /// reports a halting failure through `halted`.
+  double op_increment(int pid, std::uint64_t op_index, bool is_write, rng& gen,
+                      bool& halted) const;
+};
+
+/// The exact Figure 1 configuration for a given interarrival distribution:
+/// zero adversary delays, dithered equal starts, no failures.
+noisy_params figure1_params(distribution_ptr noise);
+
+}  // namespace leancon

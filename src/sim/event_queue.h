@@ -1,0 +1,51 @@
+// Deterministic discrete-event queue for the interleaving simulator.
+//
+// Events are ordered by (time, sequence number); the sequence number makes
+// pops total and deterministic even if two events carry the same timestamp.
+// The paper's model forbids simultaneous operations (probability-zero ties,
+// arranged via dithered starts); the tiebreak is a safety net that keeps a
+// tie from producing nondeterminism rather than a modeling feature.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace leancon {
+
+struct sim_event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< global issue order, breaks timestamp ties
+  int pid = 0;
+};
+
+class event_queue {
+ public:
+  void push(double time, int pid) {
+    events_.push(sim_event{time, next_seq_++, pid});
+  }
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  sim_event pop() {
+    sim_event e = events_.top();
+    events_.pop();
+    return e;
+  }
+
+  const sim_event& peek() const { return events_.top(); }
+
+ private:
+  struct later {
+    bool operator()(const sim_event& a, const sim_event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<sim_event, std::vector<sim_event>, later> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace leancon

@@ -1,0 +1,55 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace leancon {
+
+trial_stats run_trials(const sim_config& base, std::uint64_t trials) {
+  trial_stats stats;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    sim_config config = base;
+    std::uint64_t mix = base.seed;
+    (void)splitmix64_next(mix);
+    config.seed = mix + t * 0x9e3779b97f4a7c15ULL + t;
+
+    const sim_result r = simulate(config);
+    ++stats.trials;
+    if (!r.violations.empty()) ++stats.violation_trials;
+    if (r.backup_entries > 0) ++stats.backup_trials;
+
+    if (!r.any_decided) {
+      ++stats.undecided_trials;
+      continue;
+    }
+    ++stats.decided_trials;
+    stats.first_round.add(static_cast<double>(r.first_decision_round));
+    stats.first_time.add(r.first_decision_time);
+    stats.total_ops.add(static_cast<double>(r.total_ops));
+
+    if (base.stop == stop_mode::all_decided && r.all_live_decided) {
+      stats.last_round.add(static_cast<double>(r.last_decision_round));
+    }
+
+    double ops_sum = 0.0;
+    std::uint64_t max_ops = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t live = 0;
+    for (const auto& p : r.processes) {
+      if (p.halted && p.ops == 0) continue;
+      ++live;
+      ops_sum += static_cast<double>(p.ops);
+      max_ops = std::max(max_ops, p.ops);
+      switches += p.preference_switches;
+    }
+    if (live > 0) {
+      stats.ops_per_process.add(ops_sum / static_cast<double>(live));
+    }
+    stats.max_ops.add(static_cast<double>(max_ops));
+    stats.pref_switches.add(static_cast<double>(switches));
+  }
+  return stats;
+}
+
+}  // namespace leancon

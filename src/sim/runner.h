@@ -1,0 +1,34 @@
+// Multi-trial orchestration: runs `trials` independent simulations (seeds
+// derived deterministically from the base seed) and aggregates the metrics
+// every experiment reports.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "stats/summary.h"
+
+namespace leancon {
+
+/// Aggregated outcome of a batch of simulated executions.
+struct trial_stats {
+  std::uint64_t trials = 0;
+  std::uint64_t decided_trials = 0;     ///< trials where someone decided
+  std::uint64_t undecided_trials = 0;   ///< budget exhausted or all halted
+  std::uint64_t violation_trials = 0;   ///< trials with any lemma violation
+  std::uint64_t backup_trials = 0;      ///< trials where any process entered
+                                        ///< the backup stage
+  summary first_round;       ///< round of first termination (Figure 1 metric)
+  summary last_round;        ///< round of last termination (all_decided mode)
+  summary first_time;        ///< simulated clock of first decision
+  summary ops_per_process;   ///< mean ops per live process, per trial
+  summary max_ops;           ///< max ops over processes, per trial
+  summary pref_switches;     ///< total preference switches, per trial
+  summary total_ops;         ///< total ops until stop, per trial
+};
+
+/// Runs `trials` simulations of `base` with per-trial seeds
+/// splitmix(base.seed, trial). All other configuration is shared.
+trial_stats run_trials(const sim_config& base, std::uint64_t trials);
+
+}  // namespace leancon

@@ -1,0 +1,232 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/combined_machine.h"
+#include "core/invariants.h"
+#include "core/lean_machine.h"
+#include "backup/backup_machine.h"
+#include "memory/sim_memory.h"
+#include "sim/event_queue.h"
+
+namespace leancon {
+
+std::string_view protocol_name(protocol_kind k) {
+  switch (k) {
+    case protocol_kind::lean: return "lean";
+    case protocol_kind::combined: return "combined";
+    case protocol_kind::backup: return "backup";
+  }
+  return "?";
+}
+
+std::vector<int> split_inputs(std::size_t n) {
+  std::vector<int> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) inputs[i] = static_cast<int>(i % 2);
+  return inputs;
+}
+
+std::vector<int> unanimous_inputs(std::size_t n, int bit) {
+  return std::vector<int>(n, bit);
+}
+
+namespace {
+
+std::unique_ptr<consensus_machine> build_machine(const sim_config& config,
+                                                 int pid, int input, rng gen) {
+  if (config.factory) return config.factory(pid, input, std::move(gen));
+  const auto n = config.inputs.size();
+  backup_params bp = backup_params::for_processes(n);
+  if (config.backup_write_prob > 0.0) bp.write_prob = config.backup_write_prob;
+  switch (config.protocol) {
+    case protocol_kind::lean:
+      return std::make_unique<lean_machine>(input);
+    case protocol_kind::combined: {
+      const std::uint64_t r_max =
+          config.r_max != 0 ? config.r_max : default_r_max(n);
+      return std::make_unique<combined_machine>(input, r_max, bp, gen);
+    }
+    case protocol_kind::backup:
+      return std::make_unique<backup_machine>(input, bp, gen);
+  }
+  throw std::logic_error("build_machine: bad protocol kind");
+}
+
+}  // namespace
+
+sim_result simulate(const sim_config& config) {
+  const auto n = config.inputs.size();
+  if (n == 0) throw std::invalid_argument("simulate: no processes");
+
+  sim_result result;
+  result.processes.assign(n, sim_process_result{});
+
+  sim_memory memory;
+  invariant_checker checker(config.inputs);
+  if (config.check_invariants) {
+    memory.set_trace_hook([&checker](int pid, const operation& op,
+                                     std::uint64_t value) {
+      checker.on_op(pid, op, value);
+    });
+  }
+
+  // Per-process state.
+  std::vector<std::unique_ptr<consensus_machine>> machines(n);
+  std::vector<rng> streams;
+  streams.reserve(n);
+  std::vector<process_view> views(n);
+  rng root(config.seed);
+
+  event_queue queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    streams.emplace_back(config.seed, /*stream=*/i + 1);
+    machines[i] = build_machine(config, static_cast<int>(i), config.inputs[i],
+                                streams[i].fork());
+    views[i].preference = config.inputs[i];
+
+    double t = config.sched.start_offset(static_cast<int>(i),
+                                         static_cast<int>(n), streams[i]);
+    bool halted = false;
+    t += config.sched.op_increment(static_cast<int>(i), 1, /*is_write=*/false,
+                                   streams[i], halted);
+    if (halted) {
+      result.processes[i].halted = true;
+      views[i].halted = true;
+      ++result.halted_processes;
+    } else {
+      queue.push(t, static_cast<int>(i));
+    }
+  }
+
+  std::uint64_t decided_live = 0;
+  auto live_undecided = [&]() {
+    return n - result.halted_processes - decided_live;
+  };
+
+  while (!queue.empty()) {
+    if (result.total_ops >= config.max_total_ops) {
+      result.budget_exhausted = true;
+      break;
+    }
+    const sim_event ev = queue.pop();
+    const auto pid = static_cast<std::size_t>(ev.pid);
+    auto& machine = *machines[pid];
+    auto& pr = result.processes[pid];
+    if (pr.halted || pr.decided) continue;  // stale event (defensive)
+
+    // Execute one atomic operation.
+    const operation op = machine.next_op();
+    const std::uint64_t value = memory.execute(ev.pid, op);
+    machine.apply(value);
+    ++pr.ops;
+    ++result.total_ops;
+    if (config.event_hook) {
+      trace_event te;
+      te.time = ev.time;
+      te.pid = ev.pid;
+      te.op = op;
+      te.value = value;
+      te.round = machine.lean_round();
+      te.decided = machine.done();
+      te.decision = machine.done() ? machine.decision() : -1;
+      config.event_hook(te);
+    }
+
+    // Update bookkeeping visible to adaptive adversaries and metrics.
+    const std::uint64_t lr = machine.lean_round();
+    if (lr != 0) {
+      pr.round_reached = lr;
+      result.max_round_reached = std::max(result.max_round_reached, lr);
+    }
+    pr.preference_switches = machine.preference_switches();
+    views[pid].round = pr.round_reached;
+    views[pid].ops = pr.ops;
+
+    if (machine.done()) {
+      pr.decided = true;
+      pr.decision = machine.decision();
+      views[pid].decided = true;
+      ++decided_live;
+      const std::uint64_t round = machine.lean_round();
+      if (config.check_invariants) {
+        if (round != 0) {
+          checker.on_decision(ev.pid, pr.decision, round);
+        } else {
+          checker.on_backup_decision(ev.pid, pr.decision);
+        }
+      }
+      if (!result.any_decided) {
+        result.any_decided = true;
+        result.decision = pr.decision;
+        result.first_decision_round = round != 0 ? round : pr.round_reached;
+        result.first_decision_time = ev.time;
+        result.ops_until_first_decision = result.total_ops;
+        if (config.stop == stop_mode::first_decision) break;
+      }
+      result.last_decision_round =
+          std::max(result.last_decision_round,
+                   round != 0 ? round : pr.round_reached);
+      if (live_undecided() == 0) break;
+      continue;  // no further ops for this process
+    }
+
+    // Adaptive crash adversary moves after observing the step. It also sees
+    // whether the stepping process's NEXT operation would decide (the
+    // round-final read of a still-zero rival cell).
+    if (config.crashes) {
+      const operation next = machine.next_op();
+      const std::uint64_t next_round = machine.lean_round();
+      views[pid].poised_to_decide =
+          next_round != 0 && next.kind == op_kind::read &&
+          (next.where.where == space::race0 ||
+           next.where.where == space::race1) &&
+          next.where.index + 1 == next_round &&
+          memory.peek(next.where) == 0;
+      if (auto victim = config.crashes->maybe_kill(views, ev.pid)) {
+        const auto v = static_cast<std::size_t>(*victim);
+        if (v < n && !result.processes[v].halted &&
+            !result.processes[v].decided) {
+          result.processes[v].halted = true;
+          views[v].halted = true;
+          ++result.halted_processes;
+          if (live_undecided() == 0) break;
+          // The victim's pending event, if any, becomes stale and is skipped
+          // when popped.
+        }
+      }
+    }
+    if (pr.halted) continue;  // the adversary crashed the stepping process
+
+    // Schedule this process's next operation.
+    const operation next = machine.next_op();
+    bool halted = false;
+    const double inc = config.sched.op_increment(
+        ev.pid, pr.ops + 1, next.kind == op_kind::write, streams[pid], halted);
+    if (halted) {
+      pr.halted = true;
+      views[pid].halted = true;
+      ++result.halted_processes;
+      if (live_undecided() == 0) break;
+    } else {
+      queue.push(ev.time + inc, ev.pid);
+    }
+  }
+
+  result.all_live_decided = live_undecided() == 0 && decided_live > 0;
+  for (const auto& pr : result.processes) {
+    if (pr.decided && pr.round_reached != 0) {
+      result.last_decision_round =
+          std::max(result.last_decision_round, pr.round_reached);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto* cm = dynamic_cast<combined_machine*>(machines[i].get())) {
+      if (cm->backup_entered()) ++result.backup_entries;
+    }
+  }
+  result.violations = checker.violations();
+  return result;
+}
+
+}  // namespace leancon

@@ -1,0 +1,102 @@
+// Discrete-event interleaving simulator for the noisy-scheduling model.
+//
+// Every process is a consensus_machine; the simulator maintains the next
+// operation time of each process,
+//
+//   S_ij = Delta_i0 + sum_{k<=j} (Delta_ik + X_ik + H_ik)   (Section 3.1),
+//
+// pops the earliest pending operation, executes it atomically against shared
+// memory (interleaving semantics), feeds the result back, and schedules the
+// process's next operation. Random halting failures and adaptive crash
+// adversaries remove processes from the race.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "sched/crash_adversary.h"
+#include "sched/noisy_params.h"
+#include "trace/trace.h"
+
+namespace leancon {
+
+/// Which protocol each simulated process runs.
+enum class protocol_kind : std::uint8_t {
+  lean,      ///< unbounded lean-consensus (Section 4)
+  combined,  ///< lean up to r_max, then backup (Section 8)
+  backup     ///< backup protocol standalone (baseline/ablation)
+};
+
+std::string_view protocol_name(protocol_kind k);
+
+/// When the simulation stops.
+enum class stop_mode : std::uint8_t {
+  first_decision,  ///< Figure 1 metric: round of first termination
+  all_decided      ///< run until every live process has decided
+};
+
+struct sim_config {
+  std::vector<int> inputs;  ///< input bit per process (defines n)
+  noisy_params sched;       ///< the noisy-scheduling model parameters
+  protocol_kind protocol = protocol_kind::lean;
+  /// Optional custom machine builder (pid, input, per-process rng). When
+  /// set it overrides `protocol`. Custom protocols that reuse the race
+  /// spaces with translated indices (e.g. id-consensus) must also set
+  /// check_invariants = false, because the lemma checker assumes the
+  /// single-instance layout.
+  std::function<std::unique_ptr<consensus_machine>(int, int, rng)> factory;
+  std::uint64_t r_max = 0;  ///< combined-protocol cutoff; 0 = default_r_max(n)
+  double backup_write_prob = 0.0;  ///< 0 = canonical 1/(2n)
+  stop_mode stop = stop_mode::all_decided;
+  std::uint64_t seed = 1;
+  std::uint64_t max_total_ops = 50'000'000;  ///< budget against livelock
+  bool check_invariants = true;
+  crash_adversary_ptr crashes;  ///< optional adaptive crash adversary
+  /// Optional observer invoked after every executed operation (tracing,
+  /// visualization). Adds overhead; leave unset for measured runs.
+  std::function<void(const trace_event&)> event_hook;
+};
+
+/// Per-process outcome.
+struct sim_process_result {
+  bool decided = false;
+  int decision = -1;
+  bool halted = false;  ///< random halting failure or adaptive crash
+  std::uint64_t ops = 0;
+  std::uint64_t round_reached = 1;
+  std::uint64_t preference_switches = 0;
+};
+
+/// Whole-execution outcome.
+struct sim_result {
+  bool any_decided = false;
+  int decision = -1;
+  std::uint64_t first_decision_round = 0;  ///< lean round of earliest decision
+  double first_decision_time = 0.0;        ///< simulated clock
+  std::uint64_t ops_until_first_decision = 0;
+  std::uint64_t last_decision_round = 0;
+  bool all_live_decided = false;  ///< every non-halted process decided
+  bool budget_exhausted = false;  ///< max_total_ops hit before completion
+  std::uint64_t total_ops = 0;
+  std::uint64_t max_round_reached = 0;
+  std::uint64_t halted_processes = 0;
+  std::uint64_t backup_entries = 0;  ///< processes that entered the backup
+  std::vector<sim_process_result> processes;
+  std::vector<std::string> violations;  ///< safety-lemma violations
+};
+
+/// Runs one simulated execution.
+sim_result simulate(const sim_config& config);
+
+/// Convenience: a half-zeros/half-ones input vector (the Figure 1 workload;
+/// inputs alternate so cohort membership is independent of start dither).
+std::vector<int> split_inputs(std::size_t n);
+
+/// All-equal inputs (validity / Lemma 3 workloads).
+std::vector<int> unanimous_inputs(std::size_t n, int bit);
+
+}  // namespace leancon

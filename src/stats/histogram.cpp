@@ -1,0 +1,87 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace leancon {
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("histogram: bad range or bin count");
+  }
+}
+
+void histogram::add(double x) {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = std::min(static_cast<std::size_t>((x - lo_) / width_),
+                   counts_.size() - 1);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double histogram::bin_low(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double histogram::bin_high(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::string histogram::to_string(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    char label[64];
+    std::snprintf(label, sizeof label, "[%8.3f, %8.3f) %8llu ", bin_low(i),
+                  bin_high(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    os << label << std::string(std::max<std::size_t>(bar, 1), '#') << '\n';
+  }
+  return os.str();
+}
+
+void log2_histogram::add(double x) {
+  int exp = 0;
+  if (x > 0.0) {
+    (void)std::frexp(x, &exp);
+  }
+  const int idx = std::clamp(exp + 64, 0, static_cast<int>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::string log2_histogram::to_string(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int k = static_cast<int>(i) - 64;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    char label[64];
+    std::snprintf(label, sizeof label, "[2^%-4d, 2^%-4d) %8llu ", k - 1, k,
+                  static_cast<unsigned long long>(counts_[i]));
+    os << label << std::string(std::max<std::size_t>(bar, 1), '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace leancon

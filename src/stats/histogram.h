@@ -1,0 +1,46 @@
+// Simple fixed-bin and log-bin histograms for experiment reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leancon {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins; values outside the
+/// range land in saturating edge bins.
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::uint64_t total() const { return total_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+  /// ASCII rendering: one line per non-empty bin with a proportional bar.
+  std::string to_string(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram with power-of-two bins [2^k, 2^{k+1}), suited to heavy tails.
+class log2_histogram {
+ public:
+  void add(double x);
+  std::string to_string(std::size_t bar_width = 40) const;
+  std::uint64_t total() const { return total_; }
+
+ private:
+  // counts_[k] covers [2^{k-64}, 2^{k-63}); index chosen so tiny and huge
+  // values both fit without reallocation logic at the call site.
+  std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(160, 0);
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace leancon

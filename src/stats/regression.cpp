@@ -1,0 +1,52 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leancon {
+
+linear_fit fit_linear(const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fit_linear: size mismatch");
+  }
+  linear_fit fit;
+  fit.points = x.size();
+  if (x.size() < 2) return fit;
+
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;  // all x identical
+
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+linear_fit fit_against_log2(const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  std::vector<double> lx;
+  lx.reserve(x.size());
+  for (double v : x) lx.push_back(std::log2(v));
+  return fit_linear(lx, y);
+}
+
+}  // namespace leancon

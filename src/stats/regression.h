@@ -1,0 +1,26 @@
+// Ordinary least squares y = a*x + b, used to fit mean-round curves against
+// log2(n) (Theorems 12 and 13 predict positive slope; the benches report it).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace leancon {
+
+struct linear_fit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t points = 0;
+};
+
+/// Least-squares fit of y over x. Returns a zero fit when fewer than two
+/// distinct x values are supplied.
+linear_fit fit_linear(const std::vector<double>& x,
+                      const std::vector<double>& y);
+
+/// Convenience: fit y against log2(x).
+linear_fit fit_against_log2(const std::vector<double>& x,
+                            const std::vector<double>& y);
+
+}  // namespace leancon

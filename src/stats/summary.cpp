@@ -1,0 +1,68 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace leancon {
+
+void summary::add(double x) {
+  ++count_;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (keep_samples_) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+}
+
+double summary::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double summary::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double summary::stddev() const { return std::sqrt(variance()); }
+
+double summary::stderror() const {
+  return count_ == 0 ? 0.0 : stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double summary::ci95_halfwidth() const { return 1.96 * stderror(); }
+
+double summary::min() const { return min_; }
+double summary::max() const { return max_; }
+
+double summary::quantile(double q) const {
+  if (!keep_samples_ || samples_.empty()) {
+    throw std::logic_error("summary::quantile requires retained samples");
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double summary::tail_fraction_above(double x) const {
+  if (!keep_samples_ || samples_.empty()) return 0.0;
+  std::size_t above = 0;
+  for (double s : samples_) {
+    if (s > x) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(samples_.size());
+}
+
+}  // namespace leancon

@@ -1,0 +1,51 @@
+// Streaming summary statistics (Welford) plus quantiles over retained
+// samples. Used by the trial runner to aggregate per-trial metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace leancon {
+
+/// Online mean/variance/min/max with optional sample retention for quantiles.
+class summary {
+ public:
+  /// When `keep_samples` is true, every observation is retained so exact
+  /// quantiles can be computed afterwards.
+  explicit summary(bool keep_samples = true) : keep_samples_(keep_samples) {}
+
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double stderror() const;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const;
+  double min() const;
+  double max() const;
+
+  /// Exact empirical quantile in [0, 1]; requires keep_samples.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// Fraction of retained samples strictly greater than x.
+  double tail_fraction_above(double x) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  bool keep_samples_;
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace leancon

@@ -1,0 +1,112 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace leancon {
+
+void execution_trace::add(const trace_event& event) {
+  events_.push_back(event);
+}
+
+std::uint64_t execution_trace::frontier(int array, std::size_t upto) const {
+  const space target = array == 0 ? space::race0 : space::race1;
+  std::uint64_t best = 0;
+  const std::size_t limit = std::min(upto + 1, events_.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& e = events_[i];
+    if (e.op.kind == op_kind::write && e.op.where.where == target) {
+      best = std::max(best, e.op.where.index);
+    }
+  }
+  return best;
+}
+
+std::string execution_trace::render_race_chart(std::size_t buckets,
+                                               std::size_t bar_width) const {
+  if (events_.empty() || buckets == 0) return "(empty trace)\n";
+
+  const double t0 = events_.front().time;
+  const double t1 = events_.back().time;
+  const double span = t1 > t0 ? t1 - t0 : 1.0;
+
+  // One pass: frontier of each array at the end of each time bucket.
+  std::vector<std::uint64_t> f0(buckets, 0), f1(buckets, 0);
+  std::uint64_t cur0 = 0, cur1 = 0;
+  std::size_t bucket = 0;
+  for (const auto& e : events_) {
+    auto target = static_cast<std::size_t>((e.time - t0) / span *
+                                           static_cast<double>(buckets));
+    target = std::min(target, buckets - 1);
+    while (bucket < target) {
+      f0[bucket] = cur0;
+      f1[bucket] = cur1;
+      ++bucket;
+    }
+    if (e.op.kind == op_kind::write) {
+      if (e.op.where.where == space::race0) {
+        cur0 = std::max(cur0, e.op.where.index);
+      } else if (e.op.where.where == space::race1) {
+        cur1 = std::max(cur1, e.op.where.index);
+      }
+    }
+  }
+  while (bucket < buckets) {
+    f0[bucket] = cur0;
+    f1[bucket] = cur1;
+    ++bucket;
+  }
+
+  const std::uint64_t peak = std::max<std::uint64_t>(
+      1, std::max(*std::max_element(f0.begin(), f0.end()),
+                  *std::max_element(f1.begin(), f1.end())));
+
+  std::ostringstream os;
+  auto bar = [&](std::uint64_t v) {
+    const auto filled = static_cast<std::size_t>(
+        static_cast<double>(v) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    std::string s(filled, '#');
+    s.resize(bar_width, ' ');
+    return s;
+  };
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double t = t0 + span * static_cast<double>(b + 1) /
+                              static_cast<double>(buckets);
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "t=%8.2f  a0 |%s| %-4llu a1 |%s| %-4llu\n", t,
+                  bar(f0[b]).c_str(), static_cast<unsigned long long>(f0[b]),
+                  bar(f1[b]).c_str(), static_cast<unsigned long long>(f1[b]));
+    os << line;
+  }
+  return os.str();
+}
+
+std::string execution_trace::render_process_summary(
+    std::size_t processes) const {
+  std::vector<std::uint64_t> ops(processes, 0);
+  std::vector<std::uint64_t> round(processes, 0);
+  std::vector<int> decision(processes, -1);
+  for (const auto& e : events_) {
+    const auto pid = static_cast<std::size_t>(e.pid);
+    if (pid >= processes) continue;
+    ++ops[pid];
+    round[pid] = std::max(round[pid], e.round);
+    if (e.decided) decision[pid] = e.decision;
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < processes; ++i) {
+    char line[128];
+    std::snprintf(line, sizeof line,
+                  "p%-3zu ops=%-5llu round=%-4llu decision=%s\n", i,
+                  static_cast<unsigned long long>(ops[i]),
+                  static_cast<unsigned long long>(round[i]),
+                  decision[i] == -1 ? "-" : std::to_string(decision[i]).c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace leancon

@@ -1,0 +1,56 @@
+// Execution tracing and ASCII rendering of the consensus race.
+//
+// The simulator can report every executed operation; this module collects
+// those events and renders the two artifacts most useful when studying the
+// protocol's behaviour:
+//   * a race chart — the frontier (highest written round) of a0 and a1 over
+//     simulated time, which visualizes how noise breaks the tie, and
+//   * a per-process round timeline, showing how the pack disperses and when
+//     the laggards adopt the winner's preference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memory/register_model.h"
+
+namespace leancon {
+
+/// One executed shared-memory operation, as observed by the simulator.
+struct trace_event {
+  double time = 0.0;
+  int pid = 0;
+  operation op;
+  std::uint64_t value = 0;     ///< read result / written value
+  std::uint64_t round = 0;     ///< machine's lean round after the op (0 = n/a)
+  bool decided = false;        ///< the op completed a decision
+  int decision = -1;
+};
+
+/// Collects events in execution order and renders summaries.
+class execution_trace {
+ public:
+  void add(const trace_event& event);
+
+  const std::vector<trace_event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Highest index written in a0 / a1 up to and including event `i`.
+  std::uint64_t frontier(int array, std::size_t upto) const;
+
+  /// ASCII chart: `buckets` time slices; each row shows the a0 and a1
+  /// frontiers at the end of the slice, e.g.
+  ///   t= 12.3  a0 |#########    | 9    a1 |#######      | 7
+  std::string render_race_chart(std::size_t buckets = 20,
+                                std::size_t bar_width = 24) const;
+
+  /// ASCII per-process summary: final round, decision, ops.
+  std::string render_process_summary(std::size_t processes) const;
+
+ private:
+  std::vector<trace_event> events_;
+};
+
+}  // namespace leancon

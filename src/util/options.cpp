@@ -1,0 +1,91 @@
+#include "util/options.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace leancon {
+
+void options::add(const std::string& name, const std::string& default_value,
+                  const std::string& help) {
+  flags_[name] = flag{default_value, help, std::nullopt};
+}
+
+bool options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), usage(argv[0]).c_str());
+      return false;
+    }
+    const auto eq = arg.find('=');
+    std::string name = arg.substr(2, eq == std::string::npos ? arg.size() - 2
+                                                             : eq - 2);
+    std::string value;
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+      return false;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string options::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("undeclared flag: " + name);
+  }
+  return it->second.value.value_or(it->second.default_value);
+}
+
+std::int64_t options::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double options::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool options::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> options::get_int_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(get(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::string options::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [--flag=value ...]\n";
+  for (const auto& [name, f] : flags_) {
+    os << "  --" << name << " (default: " << f.default_value << ")\n      "
+       << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace leancon

@@ -1,0 +1,49 @@
+// Minimal command-line option parsing shared by benches and examples.
+//
+// Every experiment binary accepts `--key=value` flags (and `--help`). Flags
+// are declared up front with defaults and a help line, so each bench can be
+// rescaled (trials, n sweep, seed, ...) without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace leancon {
+
+/// A declared flag set plus parsed values. Unknown flags are reported as
+/// errors so typos do not silently fall back to defaults.
+class options {
+ public:
+  /// Declares a flag with a default value and a help description.
+  void add(const std::string& name, const std::string& default_value,
+           const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage to stderr) on malformed
+  /// or unknown flags, or when `--help` was requested.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed accessors; the flag must have been declared via add().
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Parses a comma-separated list of integers, e.g. "1,10,100".
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+
+  /// Writes a usage summary for all declared flags.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+  std::map<std::string, flag> flags_;
+};
+
+}  // namespace leancon

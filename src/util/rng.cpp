@@ -1,0 +1,116 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace leancon {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+rng::rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64_next(sm);
+}
+
+rng::rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Mix the stream id through splitmix64 so that nearby streams diverge.
+  std::uint64_t sm = stream;
+  std::uint64_t mixed = seed ^ splitmix64_next(sm);
+  std::uint64_t sm2 = mixed;
+  for (auto& word : s_) word = splitmix64_next(sm2);
+}
+
+std::uint64_t rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t rng::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double rng::exponential(double mean) noexcept {
+  // Inverse CDF; 1 - uniform01() is in (0, 1], so the log argument is nonzero.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+double rng::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double rng::normal(double mu, double sigma) noexcept {
+  return mu + sigma * normal();
+}
+
+std::uint64_t rng::geometric(double p) noexcept {
+  if (p >= 1.0) return 1;
+  if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  // Inverse CDF: ceil(log(1-u) / log(1-p)) over support {1, 2, ...}.
+  const double u = uniform01();
+  const double value = std::ceil(std::log1p(-u) / std::log1p(-p));
+  return value < 1.0 ? 1 : static_cast<std::uint64_t>(value);
+}
+
+rng rng::fork() noexcept {
+  return rng(next(), 0x5eedf02dULL);
+}
+
+}  // namespace leancon

@@ -1,0 +1,94 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace leancon {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void table::begin_row() { rows_.emplace_back(); }
+
+void table::cell(const std::string& text) { rows_.back().push_back(text); }
+
+void table::cell(double value, int precision) {
+  rows_.back().push_back(format_double(value, precision));
+}
+
+void table::cell(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  rows_.back().push_back(buf);
+}
+
+void table::cell(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  rows_.back().push_back(buf);
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != 'n' && c != 'a') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row, bool header) {
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      const bool right = !header && looks_numeric(cell);
+      os << ' ';
+      if (right) {
+        os << std::string(widths[c] - cell.size(), ' ') << cell;
+      } else {
+        os << cell << std::string(widths[c] - cell.size(), ' ');
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_, true);
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, false);
+  return os.str();
+}
+
+void table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace leancon

@@ -1,0 +1,37 @@
+// Fixed-width text table writer used by every bench binary to print
+// paper-style rows (and by EXPERIMENTS.md generation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace leancon {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+/// Numeric cells are right-aligned; text cells are left-aligned.
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  void begin_row();
+  void cell(const std::string& text);
+  void cell(double value, int precision = 3);
+  void cell(std::int64_t value);
+  void cell(std::uint64_t value);
+
+  /// Renders the table with a header separator line.
+  std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string format_double(double value, int precision = 3);
+
+}  // namespace leancon

@@ -1,0 +1,441 @@
+// Exhaustive interleaving model checkers for small process counts.
+//
+// These explore EVERY reachable interleaving of the protocol state machines
+// (with memoization on the joint machine+memory state) and verify the safety
+// lemmas in all of them — a mechanical complement to the paper's pencil
+// proofs of Lemmas 2-4 and to the adopt-commit correctness argument.
+//
+// lean-consensus does not terminate under all schedules (that is the FLP
+// point), so the lean checker bounds exploration with a round cap: machines
+// whose round exceeds the cap are suspended. Safety must hold at every
+// reachable state regardless.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "backup/adopt_commit.h"
+#include "backup/conciliator.h"
+#include "core/lean_machine.h"
+
+namespace leancon::testing {
+
+struct mc_result {
+  std::uint64_t states_visited = 0;
+  std::uint64_t decisions_seen = 0;
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Exhaustive check of lean-consensus safety for `inputs.size()` processes
+/// with rounds capped at `round_cap` (arrays of size round_cap + 1).
+/// Verifies, at every reachable state:
+///   * Lemma 2 (array contiguity given the virtual 1-prefix),
+///   * Lemma 4a (no rival write at any decision round),
+///   * agreement and validity of all decisions made so far,
+///   * Lemma 4b (decision rounds within a window of one).
+class lean_model_checker {
+ public:
+  lean_model_checker(std::vector<int> inputs, std::uint64_t round_cap)
+      : inputs_(std::move(inputs)), cap_(round_cap) {}
+
+  mc_result run() {
+    mc_result result;
+    std::vector<lean_machine> machines;
+    machines.reserve(inputs_.size());
+    for (int b : inputs_) machines.emplace_back(b, cap_);
+    state s;
+    s.machines = std::move(machines);
+    s.a[0] = s.a[1] = 1;  // bit 0 = virtual prefix cell a*[0] = 1
+    explore(s, result);
+    return result;
+  }
+
+ private:
+  struct state {
+    std::vector<lean_machine> machines;
+    // Bit r of a[b] is the value of ab[r]; cap <= 62.
+    std::uint64_t a[2] = {0, 0};
+
+    std::uint64_t encode_machine(const lean_machine& m) const {
+      return (static_cast<std::uint64_t>(m.current_phase()) << 0) |
+             (static_cast<std::uint64_t>(m.preference()) << 2) |
+             (m.round() << 3) |
+             (m.staged_a0() << 11) |
+             (static_cast<std::uint64_t>(m.done()) << 12) |
+             (static_cast<std::uint64_t>(m.done() ? m.decision() : 0) << 13) |
+             (static_cast<std::uint64_t>(m.exhausted()) << 14);
+    }
+
+    std::string key() const {
+      std::string k;
+      k.reserve(machines.size() * 8 + 16);
+      auto append = [&k](std::uint64_t v) {
+        k.append(reinterpret_cast<const char*>(&v), sizeof v);
+      };
+      for (const auto& m : machines) append(encode_machine(m));
+      append(a[0]);
+      append(a[1]);
+      return k;
+    }
+  };
+
+  void check_state(const state& s, mc_result& result) {
+    // Lemma 2: each array is a contiguous prefix of set bits. (The virtual
+    // prefix occupies bit 0; a set bit r >= 2 requires bit r-1.)
+    for (int b = 0; b < 2; ++b) {
+      const std::uint64_t bits = s.a[b];
+      // bits+1 is a power of two iff bits is all-ones from bit 0.
+      if ((bits & (bits + 1)) != 0) {
+        result.violations.push_back("Lemma 2: a" + std::to_string(b) +
+                                    " not contiguous: " +
+                                    std::to_string(bits));
+      }
+      // Validity precondition of Lemma 2(a): a_b[1] set requires input b.
+      bool input_present = false;
+      for (int in : inputs_) input_present = input_present || in == b;
+      if ((bits & 2) != 0 && !input_present) {
+        result.violations.push_back("Lemma 2a: a" + std::to_string(b) +
+                                    "[1] set without input " +
+                                    std::to_string(b));
+      }
+    }
+    // Decision checks.
+    int decided_bit = -1;
+    std::uint64_t min_round = 0, max_round = 0;
+    for (const auto& m : s.machines) {
+      if (!m.done()) continue;
+      const int bit = m.decision();
+      const std::uint64_t r = m.round();
+      bool input_present = false;
+      for (int in : inputs_) input_present = input_present || in == bit;
+      if (!input_present) {
+        result.violations.push_back("Validity: decided " +
+                                    std::to_string(bit));
+      }
+      if (decided_bit == -1) {
+        decided_bit = bit;
+        min_round = max_round = r;
+      } else {
+        if (bit != decided_bit) {
+          result.violations.push_back("Agreement: " + std::to_string(bit) +
+                                      " vs " + std::to_string(decided_bit));
+        }
+        min_round = std::min(min_round, r);
+        max_round = std::max(max_round, r);
+      }
+      // Lemma 4a: rival array bit at the decision round must be clear.
+      if ((s.a[1 - bit] >> r) & 1) {
+        result.violations.push_back(
+            "Lemma 4a: a" + std::to_string(1 - bit) + "[" +
+            std::to_string(r) + "] set despite decision");
+      }
+    }
+    if (decided_bit != -1 && max_round > min_round + 1) {
+      result.violations.push_back("Lemma 4b: rounds span [" +
+                                  std::to_string(min_round) + "," +
+                                  std::to_string(max_round) + "]");
+    }
+  }
+
+  void explore(const state& s, mc_result& result) {
+    if (!result.violations.empty()) return;  // fail fast
+    auto [it, inserted] = visited_.insert(s.key());
+    (void)it;
+    if (!inserted) return;
+    ++result.states_visited;
+    check_state(s, result);
+
+    for (std::size_t i = 0; i < s.machines.size(); ++i) {
+      const auto& m = s.machines[i];
+      if (m.done() || m.exhausted()) continue;
+      state next = s;
+      auto& nm = next.machines[i];
+      const operation op = nm.next_op();
+      std::uint64_t value = 0;
+      const int array = op.where.where == space::race0 ? 0 : 1;
+      if (op.kind == op_kind::read) {
+        value = (next.a[array] >> op.where.index) & 1;
+      } else {
+        next.a[array] |= (std::uint64_t{1} << op.where.index);
+        value = 1;
+      }
+      const bool was_done = nm.done();
+      nm.apply(value);
+      if (!was_done && nm.done()) ++result.decisions_seen;
+      explore(next, result);
+    }
+  }
+
+  std::vector<int> inputs_;
+  std::uint64_t cap_;
+  std::unordered_set<std::string> visited_;
+};
+
+/// Exhaustive check of the adopt-commit object for `inputs.size()` processes:
+/// every interleaving terminates (the object is wait-free and bounded), and
+/// at every terminal state coherence, convergence, and validity hold.
+class adopt_commit_model_checker {
+ public:
+  explicit adopt_commit_model_checker(std::vector<int> inputs)
+      : inputs_(std::move(inputs)) {}
+
+  mc_result run() {
+    mc_result result;
+    state s;
+    for (int b : inputs_) s.machines.emplace_back(/*round=*/1, b);
+    explore(s, result);
+    return result;
+  }
+
+ private:
+  struct state {
+    std::vector<adopt_commit_machine> machines;
+    std::uint64_t door[2] = {0, 0};
+    std::uint64_t proposal = 0;  // encoded; 0 = empty
+
+    std::string key() const {
+      std::string k;
+      auto append = [&k](std::uint64_t v) {
+        k.append(reinterpret_cast<const char*>(&v), sizeof v);
+      };
+      for (const auto& m : machines) {
+        std::uint64_t enc =
+            static_cast<std::uint64_t>(m.phase_index()) |
+            (static_cast<std::uint64_t>(m.done()) << 8);
+        if (m.done()) {
+          enc |= (static_cast<std::uint64_t>(m.value()) << 9) |
+                 (static_cast<std::uint64_t>(
+                      m.outcome() == adopt_commit_machine::verdict::commit)
+                  << 10);
+        }
+        append(enc);
+      }
+      append(door[0]);
+      append(door[1]);
+      append(proposal);
+      return k;
+    }
+  };
+
+  void check_terminal(const state& s, mc_result& result) {
+    // Coherence + agreement-on-commit + convergence + validity.
+    int committed_value = -1;
+    for (const auto& m : s.machines) {
+      if (m.outcome() == adopt_commit_machine::verdict::commit) {
+        if (committed_value != -1 && committed_value != m.value()) {
+          result.violations.push_back("AC: two different commits");
+        }
+        committed_value = m.value();
+      }
+      bool input_present = false;
+      for (int in : inputs_) input_present = input_present || in == m.value();
+      if (!input_present) {
+        result.violations.push_back("AC validity: returned " +
+                                    std::to_string(m.value()));
+      }
+    }
+    if (committed_value != -1) {
+      for (const auto& m : s.machines) {
+        if (m.value() != committed_value) {
+          result.violations.push_back(
+              "AC coherence: adopt " + std::to_string(m.value()) +
+              " alongside commit " + std::to_string(committed_value));
+        }
+      }
+    }
+    bool unanimous = true;
+    for (int in : inputs_) unanimous = unanimous && in == inputs_[0];
+    if (unanimous) {
+      for (const auto& m : s.machines) {
+        if (m.outcome() != adopt_commit_machine::verdict::commit ||
+            m.value() != inputs_[0]) {
+          result.violations.push_back("AC convergence violated");
+        }
+      }
+    }
+  }
+
+  void explore(const state& s, mc_result& result) {
+    if (!result.violations.empty()) return;
+    auto [it, inserted] = visited_.insert(s.key());
+    (void)it;
+    if (!inserted) return;
+    ++result.states_visited;
+
+    bool all_done = true;
+    for (std::size_t i = 0; i < s.machines.size(); ++i) {
+      const auto& m = s.machines[i];
+      if (m.done()) continue;
+      all_done = false;
+      state next = s;
+      auto& nm = next.machines[i];
+      const operation op = nm.next_op();
+      std::uint64_t value = 0;
+      switch (op.where.where) {
+        case space::ac_door0:
+        case space::ac_door1: {
+          const int d = op.where.where == space::ac_door0 ? 0 : 1;
+          if (op.kind == op_kind::read) {
+            value = next.door[d];
+          } else {
+            next.door[d] = op.value;
+            value = op.value;
+          }
+          break;
+        }
+        case space::ac_proposal:
+          if (op.kind == op_kind::read) {
+            value = next.proposal;
+          } else {
+            next.proposal = op.value;
+            value = op.value;
+          }
+          break;
+        default:
+          result.violations.push_back("AC touched unexpected space");
+          return;
+      }
+      nm.apply(value);
+      if (nm.done()) ++result.decisions_seen;
+      explore(next, result);
+    }
+    if (all_done) check_terminal(s, result);
+  }
+
+  std::vector<int> inputs_;
+  std::unordered_set<std::string> visited_;
+};
+
+/// Exhaustive check of the conciliator: every interleaving AND every
+/// combination of local coin outcomes. Verifies at each reachable state:
+///   * validity — finished machines return some participant's input,
+///   * unanimity preservation — with unanimous inputs v, every return is v,
+///   * register integrity — the race register only ever holds an input.
+/// (Per-round agreement is probabilistic by design and not asserted.)
+class conciliator_model_checker {
+ public:
+  explicit conciliator_model_checker(std::vector<int> inputs)
+      : inputs_(std::move(inputs)) {}
+
+  mc_result run() {
+    mc_result result;
+    state s;
+    // The write probability is irrelevant under a forced coin; any value in
+    // (0, 1] is accepted by the constructor.
+    coin_.value = false;
+    for (int b : inputs_) {
+      s.machines.emplace_back(/*round=*/1, b, 0.5, &coin_);
+    }
+    explore(s, result);
+    return result;
+  }
+
+ private:
+  /// Coin that returns a preset outcome and records consumption; the
+  /// explorer re-runs a step with the other outcome iff it was consumed.
+  struct forced_coin final : coin_source {
+    bool value = false;
+    bool consumed = false;
+    bool flip(double) override {
+      consumed = true;
+      return value;
+    }
+  };
+
+  struct state {
+    std::vector<conciliator_machine> machines;
+    std::uint64_t reg = 0;  // the round's conc_value register
+
+    std::string key() const {
+      std::string k;
+      auto append = [&k](std::uint64_t v) {
+        k.append(reinterpret_cast<const char*>(&v), sizeof v);
+      };
+      for (const auto& m : machines) {
+        append(static_cast<std::uint64_t>(m.phase_index()) |
+               (static_cast<std::uint64_t>(m.done()) << 8) |
+               (static_cast<std::uint64_t>(m.done() ? m.value() + 1 : 0)
+                << 9));
+      }
+      append(reg);
+      return k;
+    }
+  };
+
+  void check_state(const state& s, mc_result& result) {
+    bool unanimous = true;
+    for (int in : inputs_) unanimous = unanimous && in == inputs_[0];
+    if (!proposal_empty(s.reg)) {
+      const int v = decode_proposal(s.reg);
+      bool present = false;
+      for (int in : inputs_) present = present || in == v;
+      if (!present) {
+        result.violations.push_back("conciliator: register holds non-input");
+      }
+    }
+    for (const auto& m : s.machines) {
+      if (!m.done()) continue;
+      bool present = false;
+      for (int in : inputs_) present = present || in == m.value();
+      if (!present) {
+        result.violations.push_back("conciliator validity: returned " +
+                                    std::to_string(m.value()));
+      }
+      if (unanimous && m.value() != inputs_[0]) {
+        result.violations.push_back("conciliator unanimity violated");
+      }
+    }
+  }
+
+  // Executes machine i's next op on a copy of `s` with the coin forced to
+  // `outcome`; returns the successor and whether the coin was consumed.
+  state step(const state& s, std::size_t i, bool outcome, bool& consumed) {
+    state next = s;
+    coin_.value = outcome;
+    coin_.consumed = false;
+    for (auto& m : next.machines) m.rebind_coin(&coin_);
+    auto& nm = next.machines[i];
+    const operation op = nm.next_op();
+    std::uint64_t value = 0;
+    if (op.kind == op_kind::read) {
+      value = next.reg;
+    } else {
+      next.reg = op.value;
+      value = op.value;
+    }
+    nm.apply(value);
+    consumed = coin_.consumed;
+    return next;
+  }
+
+  void explore(const state& s, mc_result& result) {
+    if (!result.violations.empty()) return;
+    auto [it, inserted] = visited_.insert(s.key());
+    (void)it;
+    if (!inserted) return;
+    ++result.states_visited;
+    check_state(s, result);
+
+    for (std::size_t i = 0; i < s.machines.size(); ++i) {
+      if (s.machines[i].done()) continue;
+      bool consumed = false;
+      state tails = step(s, i, /*outcome=*/false, consumed);
+      explore(tails, result);
+      if (consumed) {
+        bool consumed2 = false;
+        state heads = step(s, i, /*outcome=*/true, consumed2);
+        explore(heads, result);
+      }
+      if (s.machines[i].done()) ++result.decisions_seen;
+    }
+  }
+
+  std::vector<int> inputs_;
+  forced_coin coin_;
+  std::unordered_set<std::string> visited_;
+};
+
+}  // namespace leancon::testing

@@ -1,0 +1,153 @@
+#include "backup/adopt_commit.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memory/sim_memory.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace leancon {
+namespace {
+
+using verdict = adopt_commit_machine::verdict;
+
+void step(adopt_commit_machine& m, sim_memory& mem, int pid = 0) {
+  const operation op = m.next_op();
+  m.apply(mem.execute(pid, op));
+}
+
+TEST(AdoptCommit, RejectsNonBitInput) {
+  EXPECT_THROW(adopt_commit_machine(1, 2), std::invalid_argument);
+}
+
+TEST(AdoptCommit, SoloProcessCommitsInFourOps) {
+  sim_memory mem;
+  adopt_commit_machine m(1, 1);
+  while (!m.done()) step(m, mem);
+  EXPECT_EQ(m.outcome(), verdict::commit);
+  EXPECT_EQ(m.value(), 1);
+  EXPECT_EQ(m.steps(), 4u);
+}
+
+TEST(AdoptCommit, SequentialSameInputsBothCommit) {
+  sim_memory mem;
+  adopt_commit_machine a(1, 0), b(1, 0);
+  while (!a.done()) step(a, mem, 0);
+  while (!b.done()) step(b, mem, 1);
+  EXPECT_EQ(a.outcome(), verdict::commit);
+  EXPECT_EQ(b.outcome(), verdict::commit);
+  EXPECT_EQ(a.value(), 0);
+  EXPECT_EQ(b.value(), 0);
+}
+
+TEST(AdoptCommit, SequentialConflictSecondAdoptsFirst) {
+  sim_memory mem;
+  adopt_commit_machine a(1, 0), b(1, 1);
+  while (!a.done()) step(a, mem, 0);
+  EXPECT_EQ(a.outcome(), verdict::commit);
+  while (!b.done()) step(b, mem, 1);
+  // b saw the conflicting doorway and must adopt a's committed value.
+  EXPECT_EQ(b.outcome(), verdict::adopt);
+  EXPECT_EQ(b.value(), 0);
+}
+
+TEST(AdoptCommit, OutcomeBeforeDoneThrows) {
+  adopt_commit_machine m(1, 0);
+  EXPECT_THROW(m.outcome(), std::logic_error);
+  EXPECT_THROW(m.value(), std::logic_error);
+}
+
+TEST(AdoptCommit, MisuseAfterDoneThrows) {
+  sim_memory mem;
+  adopt_commit_machine m(1, 0);
+  while (!m.done()) step(m, mem);
+  EXPECT_THROW(m.next_op(), std::logic_error);
+  EXPECT_THROW(m.apply(0), std::logic_error);
+}
+
+TEST(AdoptCommit, DistinctRoundsAreIndependentInstances) {
+  sim_memory mem;
+  adopt_commit_machine a(1, 0), b(2, 1);
+  while (!a.done()) step(a, mem, 0);
+  while (!b.done()) step(b, mem, 1);
+  // Different rounds touch different registers: both commit their own value.
+  EXPECT_EQ(a.outcome(), verdict::commit);
+  EXPECT_EQ(b.outcome(), verdict::commit);
+  EXPECT_EQ(a.value(), 0);
+  EXPECT_EQ(b.value(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized interleavings: coherence / convergence / validity at scale.
+// ---------------------------------------------------------------------------
+
+struct ac_random_case {
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class AdoptCommitRandom : public ::testing::TestWithParam<ac_random_case> {};
+
+TEST_P(AdoptCommitRandom, SafetyUnderRandomInterleavings) {
+  const auto [n, seed] = GetParam();
+  rng gen(seed);
+  for (int trial = 0; trial < 200; ++trial) {
+    sim_memory mem;
+    std::vector<adopt_commit_machine> machines;
+    std::vector<int> inputs;
+    for (std::size_t i = 0; i < n; ++i) {
+      inputs.push_back(static_cast<int>(gen.below(2)));
+      machines.emplace_back(1, inputs.back());
+    }
+    // Random interleaving until all done.
+    std::vector<std::size_t> pending(n);
+    for (std::size_t i = 0; i < n; ++i) pending[i] = i;
+    while (!pending.empty()) {
+      const std::size_t slot = gen.below(pending.size());
+      const std::size_t idx = pending[slot];
+      step(machines[idx], mem, static_cast<int>(idx));
+      if (machines[idx].done()) {
+        pending[slot] = pending.back();
+        pending.pop_back();
+      }
+    }
+
+    int committed = -1;
+    bool unanimous = true;
+    for (int b : inputs) unanimous = unanimous && b == inputs[0];
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& m = machines[i];
+      // Validity: outputs are inputs.
+      bool present = false;
+      for (int b : inputs) present = present || b == m.value();
+      ASSERT_TRUE(present);
+      if (m.outcome() == verdict::commit) {
+        ASSERT_TRUE(committed == -1 || committed == m.value());
+        committed = m.value();
+      }
+      // Convergence.
+      if (unanimous) {
+        ASSERT_EQ(m.outcome(), verdict::commit);
+        ASSERT_EQ(m.value(), inputs[0]);
+      }
+    }
+    // Coherence: a commit forces every return to carry the same value.
+    if (committed != -1) {
+      for (const auto& m : machines) ASSERT_EQ(m.value(), committed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, AdoptCommitRandom,
+    ::testing::Values(ac_random_case{2, 11}, ac_random_case{3, 22},
+                      ac_random_case{5, 33}, ac_random_case{8, 44},
+                      ac_random_case{16, 55}),
+    [](const ::testing::TestParamInfo<ac_random_case>& info) {
+      return "n" + std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace leancon

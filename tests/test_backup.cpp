@@ -1,0 +1,163 @@
+#include "backup/backup_machine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memory/sim_memory.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace leancon {
+namespace {
+
+std::vector<std::unique_ptr<consensus_machine>> make_backups(
+    const std::vector<int>& inputs, std::uint64_t seed,
+    double write_prob = 0.0) {
+  auto params = backup_params::for_processes(inputs.size());
+  if (write_prob > 0.0) params.write_prob = write_prob;
+  std::vector<std::unique_ptr<consensus_machine>> machines;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    machines.push_back(
+        std::make_unique<backup_machine>(inputs[i], params, rng(seed, i + 1)));
+  }
+  return machines;
+}
+
+TEST(Backup, RejectsNonBitInput) {
+  EXPECT_THROW(
+      backup_machine(3, backup_params::for_processes(2), rng(1)),
+      std::invalid_argument);
+}
+
+TEST(Backup, SoloDecidesOwnValueQuickly) {
+  for (int bit = 0; bit < 2; ++bit) {
+    sim_memory mem;
+    backup_machine m(bit, backup_params::for_processes(1), rng(42));
+    while (!m.done()) {
+      const operation op = m.next_op();
+      m.apply(mem.execute(0, op));
+    }
+    EXPECT_EQ(m.decision(), bit);
+    EXPECT_EQ(m.round(), 1u);
+    EXPECT_EQ(m.steps(), 4u);  // a clean adopt-commit, no conciliator needed
+  }
+}
+
+TEST(Backup, UnanimousInputsCommitInRoundOne) {
+  rng sched(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    sim_memory mem;
+    auto machines = make_backups({1, 1, 1, 1}, 100 + trial);
+    ASSERT_TRUE(testing::random_schedule_run(machines, mem, sched));
+    for (const auto& m : machines) {
+      EXPECT_EQ(m->decision(), 1);
+      auto* bm = dynamic_cast<backup_machine*>(m.get());
+      ASSERT_NE(bm, nullptr);
+      EXPECT_EQ(bm->round(), 1u);
+    }
+  }
+}
+
+TEST(Backup, SplitInputsTerminateAndAgreeUnderRandomSchedules) {
+  rng sched(8);
+  for (int trial = 0; trial < 100; ++trial) {
+    sim_memory mem;
+    auto machines = make_backups({0, 1, 0, 1}, 500 + trial);
+    ASSERT_TRUE(testing::random_schedule_run(machines, mem, sched))
+        << "trial " << trial;
+    const int d = machines[0]->decision();
+    EXPECT_TRUE(d == 0 || d == 1);
+    for (const auto& m : machines) ASSERT_EQ(m->decision(), d);
+  }
+}
+
+TEST(Backup, AdversarialAlternationStillTerminates) {
+  // A deterministic alternating schedule cannot stall the backup forever:
+  // the conciliator's local coins are outside the scheduler's control.
+  for (int trial = 0; trial < 25; ++trial) {
+    sim_memory mem;
+    auto machines = make_backups({0, 1}, 900 + trial);
+    ASSERT_TRUE(
+        testing::pattern_schedule_run(machines, mem, {0, 1}, 500000))
+        << "trial " << trial;
+    ASSERT_EQ(machines[0]->decision(), machines[1]->decision());
+  }
+}
+
+TEST(Backup, ReverseAndSkewedPatternsTerminate) {
+  for (const auto& pattern : std::vector<std::vector<std::size_t>>{
+           {1, 0}, {0, 0, 1}, {0, 1, 1, 1}, {1, 1, 0, 0}}) {
+    sim_memory mem;
+    auto machines = make_backups({0, 1}, 1234);
+    ASSERT_TRUE(testing::pattern_schedule_run(machines, mem, pattern, 500000));
+    ASSERT_EQ(machines[0]->decision(), machines[1]->decision());
+  }
+}
+
+TEST(Backup, ValidityDecisionIsSomeInput) {
+  rng sched(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    sim_memory mem;
+    // Three processes with input 0, one with 1.
+    auto machines = make_backups({0, 0, 0, 1}, 700 + trial);
+    ASSERT_TRUE(testing::random_schedule_run(machines, mem, sched));
+    const int d = machines[0]->decision();
+    EXPECT_TRUE(d == 0 || d == 1);
+  }
+}
+
+TEST(Backup, LargerGroupsConverge) {
+  rng sched(10);
+  for (std::size_t n : {6u, 10u, 16u}) {
+    sim_memory mem;
+    std::vector<int> inputs;
+    for (std::size_t i = 0; i < n; ++i) inputs.push_back(static_cast<int>(i % 2));
+    auto machines = make_backups(inputs, 40 + n);
+    ASSERT_TRUE(testing::random_schedule_run(machines, mem, sched, 5'000'000));
+    for (const auto& m : machines) {
+      ASSERT_EQ(m->decision(), machines[0]->decision());
+    }
+  }
+}
+
+TEST(Backup, HighWriteProbabilityStillSafe) {
+  // write_prob = 1 degrades agreement probability per round but never
+  // safety; rounds simply repeat until an adopt-commit commits.
+  rng sched(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    sim_memory mem;
+    auto machines = make_backups({0, 1, 1}, 4000 + trial, /*write_prob=*/1.0);
+    ASSERT_TRUE(testing::random_schedule_run(machines, mem, sched));
+    ASSERT_EQ(machines[1]->decision(), machines[0]->decision());
+    ASSERT_EQ(machines[2]->decision(), machines[0]->decision());
+  }
+}
+
+TEST(Backup, StuckGuardTriggersAtMaxRounds) {
+  backup_params params;
+  params.max_rounds = 0;  // degenerate: stuck before the first round
+  backup_machine m(0, params, rng(1));
+  EXPECT_TRUE(m.stuck());
+  EXPECT_THROW(m.next_op(), std::logic_error);
+}
+
+TEST(Backup, DecisionBeforeDoneThrows) {
+  backup_machine m(0, backup_params::for_processes(2), rng(1));
+  EXPECT_THROW(m.decision(), std::logic_error);
+}
+
+TEST(Backup, StepsAccumulateAcrossRounds) {
+  sim_memory mem;
+  backup_machine m(0, backup_params::for_processes(1), rng(5));
+  std::uint64_t count = 0;
+  while (!m.done()) {
+    const operation op = m.next_op();
+    m.apply(mem.execute(0, op));
+    ++count;
+  }
+  EXPECT_EQ(m.steps(), count);
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,168 @@
+#include "core/combined_machine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memory/sim_memory.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace leancon {
+namespace {
+
+std::vector<std::unique_ptr<consensus_machine>> make_combined(
+    const std::vector<int>& inputs, std::uint64_t r_max, std::uint64_t seed) {
+  auto params = backup_params::for_processes(inputs.size());
+  std::vector<std::unique_ptr<consensus_machine>> machines;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    machines.push_back(std::make_unique<combined_machine>(
+        inputs[i], r_max, params, rng(seed, i + 1)));
+  }
+  return machines;
+}
+
+TEST(Combined, DefaultRMaxGrowsPolylog) {
+  EXPECT_GT(default_r_max(1), 16u);
+  EXPECT_LT(default_r_max(1u << 20), 4000u);
+  EXPECT_GT(default_r_max(1u << 20), default_r_max(4));
+}
+
+TEST(Combined, UnanimousDecidesInLeanStageEightOps) {
+  sim_memory mem;
+  auto machines = make_combined({1, 1, 1}, 8, 5);
+  rng sched(6);
+  ASSERT_TRUE(testing::random_schedule_run(machines, mem, sched));
+  for (const auto& m : machines) {
+    EXPECT_EQ(m->decision(), 1);
+    EXPECT_EQ(m->steps(), 8u);
+    auto* cm = dynamic_cast<combined_machine*>(m.get());
+    ASSERT_NE(cm, nullptr);
+    EXPECT_FALSE(cm->backup_entered());
+  }
+}
+
+TEST(Combined, LockstepForcedIntoBackupStillAgrees) {
+  // Strict alternation stalls the lean stage (FLP), the cutoff trips, and
+  // the backup resolves the conflict. Safety must hold throughout.
+  for (int trial = 0; trial < 30; ++trial) {
+    sim_memory mem;
+    auto machines = make_combined({0, 1}, /*r_max=*/3, 100 + trial);
+    ASSERT_TRUE(
+        testing::pattern_schedule_run(machines, mem, {0, 1}, 500000));
+    ASSERT_EQ(machines[0]->decision(), machines[1]->decision());
+    for (const auto& m : machines) {
+      auto* cm = dynamic_cast<combined_machine*>(m.get());
+      EXPECT_TRUE(cm->backup_entered());
+    }
+  }
+}
+
+TEST(Combined, TinyRMaxRandomSchedulesSafe) {
+  rng sched(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    sim_memory mem;
+    auto machines = make_combined({0, 1, 0, 1}, /*r_max=*/1, 300 + trial);
+    ASSERT_TRUE(testing::random_schedule_run(machines, mem, sched));
+    const int d = machines[0]->decision();
+    for (const auto& m : machines) ASSERT_EQ(m->decision(), d);
+  }
+}
+
+TEST(Combined, Theorem15Handoff_EarlyLeanDecisionForcesBackupInputs) {
+  // Construct the hybrid scenario directly: one fast process decides in the
+  // lean stage; a laggard with the opposite input exhausts its r_max and
+  // must enter the backup ALREADY converted to the winner's bit.
+  sim_memory mem;
+  auto params = backup_params::for_processes(2);
+  combined_machine fast(1, /*r_max=*/8, params, rng(1, 1));
+  combined_machine slow(0, /*r_max=*/8, params, rng(1, 2));
+
+  // Fast runs alone for two rounds and decides 1 at round 2.
+  for (int i = 0; i < 8; ++i) fast.apply(mem.execute(0, fast.next_op()));
+  ASSERT_TRUE(fast.done());
+  ASSERT_EQ(fast.decision(), 1);
+
+  // The slow process now runs. By Lemma 4 it decides b = 1 within a round —
+  // but even if it ran to its cutoff, its preference would already be 1.
+  int guard = 0;
+  while (!slow.done() && guard++ < 100000) {
+    slow.apply(mem.execute(1, slow.next_op()));
+    if (slow.in_lean_stage()) {
+      // After its first full round, the laggard must have adopted 1.
+      if (slow.lean().round() >= 2) {
+        ASSERT_EQ(slow.lean().preference(), 1);
+      }
+    }
+  }
+  ASSERT_TRUE(slow.done());
+  EXPECT_EQ(slow.decision(), 1);
+}
+
+TEST(Combined, BackupInputsEqualLeanPreferenceAtCutoff) {
+  // Drive a single machine to exhaustion and check the backup adopted the
+  // final lean preference (Section 8's handoff rule).
+  sim_memory mem;
+  for (std::uint64_t r = 1; r <= 5; ++r) {
+    mem.poke({space::race0, r}, 1);
+    mem.poke({space::race1, r}, 1);
+  }
+  auto params = backup_params::for_processes(1);
+  combined_machine m(1, /*r_max=*/3, params, rng(9));
+  // Lean stage: 3 rounds * 4 ops, never decides (both arrays stay marked).
+  for (int i = 0; i < 12; ++i) m.apply(mem.execute(0, m.next_op()));
+  EXPECT_FALSE(m.in_lean_stage());
+  EXPECT_TRUE(m.backup_entered());
+  // Backup runs solo: must decide the carried preference (1).
+  int guard = 0;
+  while (!m.done() && guard++ < 100000) {
+    m.apply(mem.execute(0, m.next_op()));
+  }
+  ASSERT_TRUE(m.done());
+  EXPECT_EQ(m.decision(), 1);
+}
+
+TEST(Combined, StepsSumLeanAndBackup) {
+  sim_memory mem;
+  auto params = backup_params::for_processes(1);
+  combined_machine m(0, /*r_max=*/2, params, rng(3));
+  std::uint64_t count = 0;
+  while (!m.done()) {
+    m.apply(mem.execute(0, m.next_op()));
+    ++count;
+  }
+  EXPECT_EQ(m.steps(), count);
+}
+
+TEST(Combined, LeanRoundIsZeroInBackupStage) {
+  sim_memory mem;
+  for (std::uint64_t r = 1; r <= 3; ++r) {
+    mem.poke({space::race0, r}, 1);
+    mem.poke({space::race1, r}, 1);
+  }
+  auto params = backup_params::for_processes(1);
+  combined_machine m(0, /*r_max=*/2, params, rng(4));
+  for (int i = 0; i < 8; ++i) m.apply(mem.execute(0, m.next_op()));
+  EXPECT_TRUE(m.backup_entered());
+  EXPECT_EQ(m.lean_round(), 0u);
+}
+
+TEST(Combined, ManyProcessesTinyCutoffAgree) {
+  rng sched(15);
+  for (std::size_t n : {3u, 5u, 9u}) {
+    sim_memory mem;
+    std::vector<int> inputs;
+    for (std::size_t i = 0; i < n; ++i) {
+      inputs.push_back(static_cast<int>(i % 2));
+    }
+    auto machines = make_combined(inputs, /*r_max=*/2, 777 + n);
+    ASSERT_TRUE(testing::random_schedule_run(machines, mem, sched,
+                                             5'000'000));
+    for (const auto& m : machines) {
+      ASSERT_EQ(m->decision(), machines[0]->decision());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,205 @@
+#include "sched/crash_adversary.h"
+
+#include <gtest/gtest.h>
+
+#include "noise/distribution.h"
+#include "sim/simulator.h"
+
+namespace leancon {
+namespace {
+
+std::vector<process_view> make_views(
+    std::initializer_list<std::uint64_t> rounds) {
+  std::vector<process_view> views;
+  for (auto r : rounds) {
+    process_view v;
+    v.round = r;
+    views.push_back(v);
+  }
+  return views;
+}
+
+TEST(KillLeader, KillsTheMaxRoundProcess) {
+  auto adv = make_kill_leader(/*budget=*/2, /*every=*/2);
+  auto views = make_views({1, 3, 2});
+  const auto victim = adv->maybe_kill(views, 1);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1);
+}
+
+TEST(KillLeader, RespectsBudget) {
+  auto adv = make_kill_leader(/*budget=*/1, /*every=*/1);
+  auto views = make_views({5, 6});
+  EXPECT_TRUE(adv->maybe_kill(views, 0).has_value());
+  views[1].round = 50;  // well past any trigger
+  EXPECT_FALSE(adv->maybe_kill(views, 0).has_value());
+}
+
+TEST(KillLeader, WaitsForTrigger) {
+  auto adv = make_kill_leader(/*budget=*/5, /*every=*/4);
+  auto views = make_views({1, 1});
+  EXPECT_FALSE(adv->maybe_kill(views, 0).has_value());  // below round 2
+  views[0].round = 2;
+  EXPECT_TRUE(adv->maybe_kill(views, 0).has_value());
+  // Next trigger is 2 + 4 = 6.
+  views[1].round = 5;
+  EXPECT_FALSE(adv->maybe_kill(views, 1).has_value());
+  views[1].round = 6;
+  EXPECT_TRUE(adv->maybe_kill(views, 1).has_value());
+}
+
+TEST(KillLeader, IgnoresDeadAndDecided) {
+  auto adv = make_kill_leader(/*budget=*/3, /*every=*/1);
+  auto views = make_views({9, 4, 2});
+  views[0].halted = true;
+  views[1].decided = true;
+  const auto victim = adv->maybe_kill(views, 2);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2);
+}
+
+TEST(KillWinner, TriggersOnlyAtTwoRoundLead) {
+  auto adv = make_kill_winner(/*budget=*/1);
+  auto views = make_views({4, 3});
+  EXPECT_FALSE(adv->maybe_kill(views, 0).has_value());  // lead of 1 only
+  views[0].round = 5;
+  const auto victim = adv->maybe_kill(views, 0);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 0);
+}
+
+TEST(KillWinner, OnlyExaminesTheStepper) {
+  auto adv = make_kill_winner(/*budget=*/1);
+  auto views = make_views({5, 3});
+  EXPECT_FALSE(adv->maybe_kill(views, 1).has_value());
+}
+
+TEST(KillPoised, TriggersOnlyOnPoisedStepper) {
+  auto adv = make_kill_poised(/*budget=*/2);
+  auto views = make_views({3, 2});
+  EXPECT_FALSE(adv->maybe_kill(views, 0).has_value());
+  views[0].poised_to_decide = true;
+  const auto victim = adv->maybe_kill(views, 0);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 0);
+  // Only the stepping process is examined.
+  views[1].poised_to_decide = true;
+  EXPECT_TRUE(adv->maybe_kill(views, 1).has_value());
+  EXPECT_FALSE(adv->maybe_kill(views, 1).has_value());  // budget spent
+}
+
+TEST(KillRandom, BudgetAndLiveness) {
+  auto adv = make_kill_random(/*budget=*/2, /*p=*/1.0, /*salt=*/3);
+  auto views = make_views({1, 1, 1});
+  EXPECT_TRUE(adv->maybe_kill(views, 0).has_value());
+  EXPECT_TRUE(adv->maybe_kill(views, 0).has_value());
+  EXPECT_FALSE(adv->maybe_kill(views, 0).has_value());  // budget exhausted
+}
+
+TEST(KillRandom, NeverFiresAtZeroProbability) {
+  auto adv = make_kill_random(/*budget=*/10, /*p=*/0.0, /*salt=*/3);
+  auto views = make_views({1, 1});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(adv->maybe_kill(views, 0).has_value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: adaptive crashes inside the simulator.
+// ---------------------------------------------------------------------------
+
+TEST(CrashSim, KillLeaderDelaysButCannotPreventTermination) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim_config config;
+    config.inputs = split_inputs(8);
+    config.sched = figure1_params(make_exponential(1.0));
+    config.seed = seed;
+    config.crashes = make_kill_leader(/*budget=*/3, /*every=*/2);
+    const auto result = simulate(config);
+    ASSERT_TRUE(result.violations.empty()) << "seed " << seed;
+    ASSERT_TRUE(result.any_decided) << "seed " << seed;
+    ASSERT_LE(result.halted_processes, 3u);
+    for (const auto& p : result.processes) {
+      if (p.decided) ASSERT_EQ(p.decision, result.decision);
+    }
+  }
+}
+
+TEST(CrashSim, KillWinnerDecapitatesButSurvivorsAgree) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim_config config;
+    config.inputs = split_inputs(6);
+    config.sched = figure1_params(make_uniform(0.0, 2.0));
+    config.seed = seed;
+    config.crashes = make_kill_winner(/*budget=*/2);
+    const auto result = simulate(config);
+    ASSERT_TRUE(result.violations.empty()) << "seed " << seed;
+    ASSERT_TRUE(result.any_decided);
+  }
+}
+
+TEST(CrashSim, KillPoisedWithFullBudgetBlocksEveryDecision) {
+  // Every decision is preceded by a "poised" state (the cell a(1-p)[r-1]
+  // only transitions 0 -> 1, so if the deciding read sees 0 the adversary's
+  // check before that read saw 0 too). Hence budget >= n kills every
+  // would-be decider and nobody ever decides.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim_config config;
+    config.inputs = split_inputs(2);
+    config.sched = figure1_params(make_exponential(1.0));
+    config.crashes = make_kill_poised(2);
+    config.seed = 6000 + seed;
+    const auto r = simulate(config);
+    ASSERT_TRUE(r.violations.empty());
+    EXPECT_FALSE(r.any_decided) << "seed " << seed;
+    EXPECT_EQ(r.halted_processes, 2u);
+  }
+}
+
+TEST(CrashSim, KillPoisedSpendsItsBudgetButCannotStopTheRace) {
+  // With budget < n the adversary decapitates exactly `budget` would-be
+  // deciders and the survivors still decide: the racing arrays persist
+  // after a crash, so the victim's marks keep working for its team. This is
+  // the mechanism behind the paper's O(log n) conjecture for crash failures.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    sim_config config;
+    config.inputs = split_inputs(4);
+    config.sched = figure1_params(make_exponential(1.0));
+    config.crashes = make_kill_poised(1);
+    config.seed = 6100 + seed;
+    const auto r = simulate(config);
+    ASSERT_TRUE(r.violations.empty());
+    ASSERT_TRUE(r.any_decided) << "seed " << seed;
+    EXPECT_EQ(r.halted_processes, 1u) << "seed " << seed;
+  }
+}
+
+TEST(CrashSim, KillPoisedNeverBreaksSafety) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    sim_config config;
+    config.inputs = split_inputs(8);
+    config.sched = figure1_params(make_exponential(1.0));
+    config.crashes = make_kill_poised(4);
+    config.seed = seed * 7;
+    const auto result = simulate(config);
+    ASSERT_TRUE(result.violations.empty()) << "seed " << seed;
+    for (const auto& p : result.processes) {
+      if (p.decided) ASSERT_EQ(p.decision, result.decision);
+    }
+  }
+}
+
+TEST(CrashSim, BudgetNMinusOneStillDecides) {
+  // Even killing all but one process leaves a solo runner that decides.
+  sim_config config;
+  config.inputs = split_inputs(4);
+  config.sched = figure1_params(make_exponential(1.0));
+  config.seed = 5;
+  config.crashes = make_kill_random(/*budget=*/3, /*p=*/0.05, /*salt=*/9);
+  const auto result = simulate(config);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_TRUE(result.any_decided);
+}
+
+}  // namespace
+}  // namespace leancon

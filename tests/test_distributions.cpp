@@ -1,0 +1,193 @@
+#include "noise/catalog.h"
+#include "noise/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace leancon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parameterized properties over the full catalog.
+// ---------------------------------------------------------------------------
+
+class CatalogTest : public ::testing::TestWithParam<named_distribution> {};
+
+TEST_P(CatalogTest, SamplesAreNonNegative) {
+  rng gen(100);
+  const auto& d = *GetParam().dist;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_GE(d.sample(gen), 0.0) << d.name();
+  }
+}
+
+TEST_P(CatalogTest, NameIsNonEmpty) {
+  EXPECT_FALSE(GetParam().dist->name().empty());
+}
+
+TEST_P(CatalogTest, NonDegenerateUnlessDeclared) {
+  rng gen(101);
+  const auto& d = *GetParam().dist;
+  std::set<double> values;
+  for (int i = 0; i < 2000; ++i) values.insert(d.sample(gen));
+  if (d.degenerate()) {
+    EXPECT_EQ(values.size(), 1u) << d.name();
+  } else {
+    EXPECT_GT(values.size(), 1u)
+        << d.name() << " violates the model's non-degeneracy requirement";
+  }
+}
+
+TEST_P(CatalogTest, EmpiricalMeanMatchesAnalytic) {
+  const auto& d = *GetParam().dist;
+  const double mean = d.mean();
+  if (mean < 0.0) GTEST_SKIP() << "infinite/undefined mean: " << d.name();
+  rng gen(102);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += d.sample(gen);
+  const double tolerance = 0.05 * std::max(1.0, mean);
+  EXPECT_NEAR(sum / n, mean, tolerance) << d.name();
+}
+
+TEST_P(CatalogTest, FindDistributionRoundTrips) {
+  const auto found = find_distribution(GetParam().key);
+  ASSERT_TRUE(found.has_value()) << GetParam().key;
+  EXPECT_EQ((*found)->name(), GetParam().dist->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullCatalog, CatalogTest, ::testing::ValuesIn(full_catalog()),
+    [](const ::testing::TestParamInfo<named_distribution>& info) {
+      std::string key = info.param.key;
+      for (auto& c : key) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return key;
+    });
+
+// ---------------------------------------------------------------------------
+// Distribution-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(Distributions, Figure1CatalogHasTheSixPaperEntries) {
+  const auto cat = figure1_catalog();
+  ASSERT_EQ(cat.size(), 6u);
+  EXPECT_EQ(cat[0].dist->name(), "normal(1,0.04)");
+  EXPECT_EQ(cat[5].dist->name(), "exponential(1)");
+}
+
+TEST(Distributions, TruncatedNormalStaysInSupport) {
+  rng gen(7);
+  const auto d = make_truncated_normal(1.0, 0.2, 0.0, 2.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = d->sample(gen);
+    ASSERT_GT(x, 0.0);
+    ASSERT_LT(x, 2.0);
+  }
+}
+
+TEST(Distributions, TwoPointTakesExactlyTwoValues) {
+  rng gen(8);
+  const auto d = make_two_point(2.0 / 3.0, 4.0 / 3.0);
+  std::set<double> values;
+  for (int i = 0; i < 2000; ++i) values.insert(d->sample(gen));
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_TRUE(values.count(2.0 / 3.0));
+  EXPECT_TRUE(values.count(4.0 / 3.0));
+}
+
+TEST(Distributions, GeometricProducesPositiveIntegers) {
+  rng gen(9);
+  const auto d = make_geometric(0.5);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = d->sample(gen);
+    ASSERT_GE(x, 1.0);
+    ASSERT_EQ(x, std::floor(x));
+  }
+}
+
+TEST(Distributions, ShiftedExponentialRespectsShift) {
+  rng gen(10);
+  const auto d = make_shifted_exponential(0.5, 0.5);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_GE(d->sample(gen), 0.5);
+  }
+  EXPECT_DOUBLE_EQ(d->mean(), 1.0);
+}
+
+TEST(Distributions, PathologicalSupportIsPowersOfTwoSquared) {
+  rng gen(11);
+  const auto d = make_pathological_heavy(8);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = d->sample(gen);
+    // x must be 2^{k^2} for some 1 <= k <= 8.
+    bool matched = false;
+    for (int k = 1; k <= 8; ++k) {
+      if (x == std::ldexp(1.0, k * k)) matched = true;
+    }
+    ASSERT_TRUE(matched) << x;
+  }
+}
+
+TEST(Distributions, PathologicalTailProbabilities) {
+  // P[X = 2^1] = 1/2, P[X = 2^4] = 1/4 (geometric halving).
+  rng gen(12);
+  const auto d = make_pathological_heavy(12);
+  int k1 = 0, k2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d->sample(gen);
+    if (x == 2.0) ++k1;
+    if (x == 16.0) ++k2;
+  }
+  EXPECT_NEAR(static_cast<double>(k1) / n, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(k2) / n, 0.25, 0.01);
+}
+
+TEST(Distributions, PathologicalReportsInfiniteMean) {
+  EXPECT_LT(make_pathological_heavy()->mean(), 0.0);
+}
+
+TEST(Distributions, ParetoHeavyReportsInfiniteMean) {
+  EXPECT_LT(make_pareto(0.5, 0.9)->mean(), 0.0);
+  EXPECT_GT(make_pareto(0.5, 2.5)->mean(), 0.0);
+}
+
+TEST(Distributions, ConstantIsDegenerate) {
+  const auto d = make_constant(1.0);
+  EXPECT_TRUE(d->degenerate());
+  rng gen(1);
+  EXPECT_DOUBLE_EQ(d->sample(gen), 1.0);
+}
+
+TEST(Distributions, InvalidParametersThrow) {
+  EXPECT_THROW(make_uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(make_exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW(make_truncated_normal(1.0, 0.0, 0.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_two_point(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_two_point(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(make_geometric(1.5), std::invalid_argument);
+  EXPECT_THROW(make_pathological_heavy(1), std::invalid_argument);
+  EXPECT_THROW(make_pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_lognormal(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Distributions, UnknownCatalogKeyReturnsNullopt) {
+  EXPECT_FALSE(find_distribution("no-such-distribution").has_value());
+}
+
+TEST(Distributions, CatalogKeysListsEverything) {
+  const std::string keys = catalog_keys();
+  for (const auto& entry : full_catalog()) {
+    EXPECT_NE(keys.find(entry.key), std::string::npos) << entry.key;
+  }
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,71 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace leancon {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  event_queue q;
+  q.push(3.0, 1);
+  q.push(1.0, 2);
+  q.push(2.0, 3);
+  EXPECT_EQ(q.pop().pid, 2);
+  EXPECT_EQ(q.pop().pid, 3);
+  EXPECT_EQ(q.pop().pid, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  event_queue q;
+  q.push(1.0, 7);
+  q.push(1.0, 8);
+  q.push(1.0, 9);
+  EXPECT_EQ(q.pop().pid, 7);
+  EXPECT_EQ(q.pop().pid, 8);
+  EXPECT_EQ(q.pop().pid, 9);
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  event_queue q;
+  EXPECT_TRUE(q.empty());
+  q.push(1.0, 0);
+  q.push(2.0, 1);
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PeekDoesNotRemove) {
+  event_queue q;
+  q.push(5.0, 4);
+  EXPECT_EQ(q.peek().pid, 4);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  event_queue q;
+  q.push(10.0, 0);
+  q.push(1.0, 1);
+  EXPECT_EQ(q.pop().pid, 1);
+  q.push(5.0, 2);
+  EXPECT_EQ(q.pop().pid, 2);
+  EXPECT_EQ(q.pop().pid, 0);
+}
+
+TEST(EventQueue, ManyEventsStaySorted) {
+  event_queue q;
+  // Insert a deterministic scramble.
+  for (int i = 0; i < 1000; ++i) {
+    q.push(static_cast<double>((i * 7919) % 1000), i);
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    const auto e = q.pop();
+    ASSERT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
+}  // namespace
+}  // namespace leancon

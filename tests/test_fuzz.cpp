@@ -1,0 +1,134 @@
+// Configuration fuzzing: hundreds of randomly drawn simulator setups —
+// distribution x process count x protocol x adversary delays x failures x
+// crash adversaries — each verified against the full invariant checker.
+// This is the widest net for interaction bugs between modules.
+#include <gtest/gtest.h>
+
+#include "noise/catalog.h"
+#include "sched/adversary.h"
+#include "sched/crash_adversary.h"
+#include "sim/simulator.h"
+
+namespace leancon {
+namespace {
+
+distribution_ptr pick_distribution(rng& gen) {
+  const auto catalog = figure1_catalog();
+  // Also exercise the theorem distributions and ablation extras sometimes.
+  switch (gen.below(catalog.size() + 3)) {
+    case 6: return make_two_point(1.0, 2.0);
+    case 7: return make_pareto(0.5, 2.5);
+    case 8: return make_lognormal(0.0, 0.5);
+    default: break;
+  }
+  return catalog[gen.below(catalog.size())].dist;
+}
+
+delay_adversary_ptr pick_adversary(rng& gen) {
+  const double m = gen.uniform(0.1, 4.0);
+  switch (gen.below(8)) {
+    case 0: return nullptr;
+    case 1: return make_zero_delays();
+    case 2: return make_constant_delays(m);
+    case 3: return make_alternating_delays(m);
+    case 4: return make_staggered_delays(m, 1 + static_cast<int>(gen.below(8)));
+    case 5: return make_random_bounded_delays(m, gen.next());
+    case 6: return make_burst_delays(m, 2 + gen.below(16));
+    default: return make_zeno_delays(m);
+  }
+}
+
+crash_adversary_ptr pick_crashes(rng& gen, std::size_t n) {
+  switch (gen.below(5)) {
+    case 0: return make_kill_leader(gen.below(n), 1 + gen.below(4));
+    case 1: return make_kill_winner(gen.below(n));
+    case 2: return make_kill_poised(gen.below(n / 2 + 1));
+    case 3: return make_kill_random(gen.below(n), 0.02, gen.next());
+    default: return nullptr;
+  }
+}
+
+TEST(Fuzz, RandomConfigurationsNeverViolateSafety) {
+  rng gen(0xF0221);
+  int decided_runs = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 2 + gen.below(24);
+    sim_config config;
+    // Random input pattern (ensures unanimous patterns are covered too).
+    const int pattern = static_cast<int>(gen.below(4));
+    config.inputs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (pattern) {
+        case 0: config.inputs[i] = static_cast<int>(i % 2); break;
+        case 1: config.inputs[i] = 0; break;
+        case 2: config.inputs[i] = 1; break;
+        default: config.inputs[i] = static_cast<int>(gen.below(2));
+      }
+    }
+    config.sched.noise = pick_distribution(gen);
+    if (gen.bernoulli(0.3)) {
+      config.sched.write_noise = pick_distribution(gen);
+    }
+    config.sched.adversary = pick_adversary(gen);
+    config.sched.halt_probability = gen.bernoulli(0.3) ? gen.uniform(0.0, 0.05)
+                                                       : 0.0;
+    config.sched.starts =
+        static_cast<start_mode>(gen.below(3));
+    config.sched.stagger_step = gen.uniform(0.0, 2.0);
+    config.sched.start_dither = 1e-8;
+    config.protocol = static_cast<protocol_kind>(gen.below(3));
+    if (config.protocol == protocol_kind::combined) {
+      config.r_max = 1 + gen.below(16);
+    }
+    config.crashes = pick_crashes(gen, n);
+    config.seed = gen.next();
+    config.max_total_ops = 2'000'000;
+
+    const auto result = simulate(config);
+    ASSERT_TRUE(result.violations.empty())
+        << "trial " << trial << " n=" << n << " dist "
+        << config.sched.noise->name() << ": " << result.violations.front();
+    if (result.any_decided) {
+      ++decided_runs;
+      for (const auto& p : result.processes) {
+        if (p.decided) {
+          ASSERT_EQ(p.decision, result.decision) << "trial " << trial;
+        }
+      }
+    }
+  }
+  // The vast majority of random configurations must actually decide
+  // (failures/crashes can wipe out small groups occasionally).
+  EXPECT_GT(decided_runs, 260);
+}
+
+TEST(Fuzz, DegenerateConstantNoiseWithDitherStillSafe) {
+  // constant(1) violates the model's non-degeneracy assumption; with start
+  // dither the interleaving stays well-defined and safety must hold even if
+  // termination may take until the op budget.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim_config config;
+    config.inputs = split_inputs(6);
+    config.sched = figure1_params(make_constant(1.0));
+    config.seed = seed;
+    config.max_total_ops = 200'000;
+    const auto result = simulate(config);
+    ASSERT_TRUE(result.violations.empty()) << "seed " << seed;
+  }
+}
+
+TEST(Fuzz, ExtremeScaleSmoke) {
+  // One large-n run end-to-end (the Figure 1 top point, scaled down).
+  sim_config config;
+  config.inputs = split_inputs(20000);
+  config.sched = figure1_params(make_exponential(1.0));
+  config.stop = stop_mode::first_decision;
+  config.check_invariants = true;
+  config.seed = 7;
+  const auto result = simulate(config);
+  EXPECT_TRUE(result.any_decided);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,226 @@
+// Theorem 14: under hybrid quantum/priority uniprocessor scheduling with
+// quantum >= 8, every process running lean-consensus decides after at most
+// 12 operations — for every legal preemption strategy. These tests sweep
+// quantum sizes, priority layouts, initial quantum consumption, and
+// adversaries (including the proof's preempt-before-write scenario), and
+// also exhibit the quantum-4 lockstep that motivates the bound.
+#include "sched/hybrid.h"
+
+#include <gtest/gtest.h>
+
+namespace leancon {
+namespace {
+
+hybrid_config two_process_config(std::uint64_t quantum) {
+  hybrid_config config;
+  config.inputs = {0, 1};
+  config.priorities = {0, 0};
+  config.quantum = quantum;
+  return config;
+}
+
+TEST(Hybrid, SoloProcessDecidesInEightOps) {
+  hybrid_config config;
+  config.inputs = {1};
+  config.priorities = {0};
+  config.quantum = 8;
+  auto adv = make_run_to_completion();
+  const auto result = run_hybrid(config, *adv);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_EQ(result.decision, 1);
+  EXPECT_EQ(result.max_ops_per_process, 8u);
+}
+
+TEST(Hybrid, RunToCompletionTwoProcesses) {
+  auto config = two_process_config(8);
+  auto adv = make_run_to_completion();
+  const auto result = run_hybrid(config, *adv);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_LE(result.max_ops_per_process, 12u);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(Hybrid, QuantumFourRoundRobinLocksStepForever) {
+  // One lean round is exactly 4 operations. With quantum 4 and both
+  // processes starting mid-quantum (2 ops already consumed), every quantum
+  // covers the second half of one round and the first half of the next:
+  // both processes read each round's cells before either writes them, and
+  // the race stays tied forever. This is the counterexample showing why
+  // Theorem 14 requires quantum >= 8.
+  auto config = two_process_config(4);
+  config.initial_quantum_used = {2, 2};
+  config.max_total_ops = 4000;
+  auto adv = make_round_robin();
+  const auto result = run_hybrid(config, *adv);
+  EXPECT_FALSE(result.all_decided);
+  EXPECT_EQ(result.total_ops, 4000u);
+  EXPECT_TRUE(result.violations.empty());  // safety holds regardless
+}
+
+TEST(Hybrid, QuantumFourAlignedStartsHappenToDecide) {
+  // The same quantum-4 round-robin with full initial quanta aligns quanta
+  // with round boundaries: each process sees the other's completed round and
+  // adopts, so the execution terminates. The non-termination above is a
+  // property of the offset, not of the quantum alone.
+  auto config = two_process_config(4);
+  config.max_total_ops = 4000;
+  auto adv = make_round_robin();
+  const auto result = run_hybrid(config, *adv);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(Hybrid, QuantumEightRoundRobinDecides) {
+  auto config = two_process_config(8);
+  auto adv = make_round_robin();
+  const auto result = run_hybrid(config, *adv);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_LE(result.max_ops_per_process, 12u);
+}
+
+TEST(Hybrid, PreemptBeforeWriteScenarioMeetsTheBound) {
+  // The proof's bad case: pid 0 (lowest priority) is preempted between its
+  // round-1 reads and its round-1 write; the preemptor chain then decides
+  // within one quantum and pid 0 finishes by round 3 (12 ops).
+  hybrid_config config;
+  config.inputs = {0, 1, 1};
+  config.priorities = {0, 1, 2};
+  config.quantum = 8;
+  auto adv = make_preempt_before_write();
+  const auto result = run_hybrid(config, *adv);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_LE(result.max_ops_per_process, 12u);
+  EXPECT_EQ(result.decision, 1)
+      << "the preempted zero-preferring process must adopt the winners' bit";
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(Hybrid, MidQuantumStartStillMeetsTheBound) {
+  // Processes may start the protocol with most of their quantum already
+  // consumed by other work (Section 3.2).
+  hybrid_config config;
+  config.inputs = {0, 1};
+  config.priorities = {0, 0};
+  config.quantum = 8;
+  config.initial_quantum_used = {6, 0};
+  auto adv = make_round_robin();
+  const auto result = run_hybrid(config, *adv);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_LE(result.max_ops_per_process, 12u);
+}
+
+struct theorem14_case {
+  std::uint64_t quantum;
+  std::size_t n;
+  int adversary;  // 0 rtc, 1 round-robin, 2 preempt-before-write, 3 random
+  std::uint64_t salt;
+};
+
+class Theorem14Sweep : public ::testing::TestWithParam<theorem14_case> {};
+
+TEST_P(Theorem14Sweep, AtMostTwelveOpsPerProcess) {
+  const auto param = GetParam();
+  hybrid_config config;
+  for (std::size_t i = 0; i < param.n; ++i) {
+    config.inputs.push_back(static_cast<int>(i % 2));
+    // Mixed priority bands, including ties, exercise both preemption rules.
+    config.priorities.push_back(static_cast<int>(i / 2));
+  }
+  config.quantum = param.quantum;
+  // Vary initial quantum consumption deterministically.
+  for (std::size_t i = 0; i < param.n; ++i) {
+    config.initial_quantum_used.push_back((param.salt + i) %
+                                          (param.quantum + 1));
+  }
+  preemption_adversary_ptr adv;
+  switch (param.adversary) {
+    case 0: adv = make_run_to_completion(); break;
+    case 1: adv = make_round_robin(); break;
+    case 2: adv = make_preempt_before_write(); break;
+    default: adv = make_random_preemption(0.3, param.salt); break;
+  }
+  const auto result = run_hybrid(config, *adv);
+  ASSERT_TRUE(result.all_decided) << adv->name();
+  EXPECT_LE(result.max_ops_per_process, 12u) << adv->name();
+  EXPECT_TRUE(result.violations.empty());
+}
+
+std::vector<theorem14_case> theorem14_cases() {
+  std::vector<theorem14_case> cases;
+  for (std::uint64_t quantum : {8u, 9u, 12u, 16u}) {
+    for (std::size_t n : {2u, 3u, 5u, 8u}) {
+      for (int adversary : {0, 1, 2, 3}) {
+        cases.push_back({quantum, n, adversary, quantum * 31 + n * 7 +
+                                                    static_cast<std::uint64_t>(
+                                                        adversary)});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuantumAndAdversaries, Theorem14Sweep,
+    ::testing::ValuesIn(theorem14_cases()),
+    [](const ::testing::TestParamInfo<theorem14_case>& info) {
+      const auto& p = info.param;
+      return "q" + std::to_string(p.quantum) + "_n" + std::to_string(p.n) +
+             "_adv" + std::to_string(p.adversary);
+    });
+
+TEST(Hybrid, RandomPreemptionManySeedsSafe) {
+  for (std::uint64_t salt = 1; salt <= 20; ++salt) {
+    hybrid_config config;
+    config.inputs = {0, 1, 0, 1};
+    config.priorities = {0, 1, 1, 2};
+    config.quantum = 8;
+    auto adv = make_random_preemption(0.5, salt);
+    const auto result = run_hybrid(config, *adv);
+    ASSERT_TRUE(result.all_decided) << "salt " << salt;
+    ASSERT_LE(result.max_ops_per_process, 12u) << "salt " << salt;
+    ASSERT_TRUE(result.violations.empty());
+  }
+}
+
+namespace {
+/// An adversary that ignores legality — the runner must reject its picks.
+class rogue_adversary final : public preemption_adversary {
+ public:
+  int choose(int running, const std::vector<int>&,
+             const std::vector<hybrid_process_view>& view) override {
+    // Demand a same-priority switch mid-quantum (illegal by construction
+    // below), or any out-of-legal-set process.
+    return running == 0 && !view[1].done ? 1 : -1;
+  }
+  std::string name() const override { return "rogue"; }
+};
+}  // namespace
+
+TEST(Hybrid, IllegalAdversaryPickIsRejected) {
+  hybrid_config config;
+  config.inputs = {0, 1};
+  config.priorities = {0, 0};  // equal priority: mid-quantum switch illegal
+  config.quantum = 8;
+  rogue_adversary adv;
+  EXPECT_THROW(run_hybrid(config, adv), std::logic_error);
+}
+
+TEST(Hybrid, MismatchedConfigThrows) {
+  hybrid_config config;
+  config.inputs = {0, 1};
+  config.priorities = {0};
+  auto adv = make_run_to_completion();
+  EXPECT_THROW(run_hybrid(config, *adv), std::invalid_argument);
+}
+
+TEST(Hybrid, OpsPerProcessAccounting) {
+  auto config = two_process_config(8);
+  auto adv = make_round_robin();
+  const auto result = run_hybrid(config, *adv);
+  std::uint64_t sum = 0;
+  for (auto ops : result.ops_per_process) sum += ops;
+  EXPECT_EQ(sum, result.total_ops);
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,191 @@
+// Id consensus (paper footnote 2): a (lg n)-depth tournament of binary
+// consensus instances agreeing on the id of some active process.
+//
+// Checked properties, across sizes, schedules, and seeds:
+//   * Agreement: every process decides the same id.
+//   * Validity: the decided id is in [0, n) (every id is a live proposer).
+//   * Termination under noisy scheduling and under random interleavings.
+//   * The per-subtree candidate invariant (indirectly: disagreement or a
+//     missing announcement would throw / fail agreement).
+#include "id/id_machine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memory/sim_memory.h"
+#include "noise/catalog.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace leancon {
+namespace {
+
+std::vector<std::unique_ptr<consensus_machine>> make_id_machines(
+    std::size_t n, std::uint64_t seed, id_params params = {}) {
+  std::vector<std::unique_ptr<consensus_machine>> machines;
+  for (std::size_t i = 0; i < n; ++i) {
+    machines.push_back(
+        std::make_unique<id_machine>(i, n, params, rng(seed, i + 1)));
+  }
+  return machines;
+}
+
+TEST(IdConsensus, RejectsBadConfig) {
+  EXPECT_THROW(id_machine(0, 0, {}, rng(1)), std::invalid_argument);
+  EXPECT_THROW(id_machine(3, 3, {}, rng(1)), std::invalid_argument);
+  id_params tiny;
+  tiny.node_stride = 4;
+  tiny.r_max = 64;
+  EXPECT_THROW(id_machine(0, 2, tiny, rng(1)), std::invalid_argument);
+}
+
+TEST(IdConsensus, SingleProcessDecidesItself) {
+  id_machine m(0, 1, {}, rng(1));
+  EXPECT_TRUE(m.done());
+  EXPECT_EQ(m.decision(), 0);
+  EXPECT_EQ(m.steps(), 0u);
+}
+
+TEST(IdConsensus, SoloRunnerWinsItsOwnId) {
+  // One process of an 8-id space running alone must elect itself.
+  sim_memory mem;
+  id_machine m(5, 8, {}, rng(3));
+  std::uint64_t guard = 0;
+  while (!m.done() && guard++ < 100000) {
+    const operation op = m.next_op();
+    m.apply(mem.execute(0, op));
+  }
+  ASSERT_TRUE(m.done());
+  EXPECT_EQ(m.decision(), 5);
+  EXPECT_EQ(m.levels(), 3u);
+}
+
+TEST(IdConsensus, LevelsMatchCeilLog2) {
+  EXPECT_EQ(id_machine(0, 2, {}, rng(1)).levels(), 1u);
+  EXPECT_EQ(id_machine(0, 3, {}, rng(1)).levels(), 2u);
+  EXPECT_EQ(id_machine(0, 4, {}, rng(1)).levels(), 2u);
+  EXPECT_EQ(id_machine(0, 5, {}, rng(1)).levels(), 3u);
+  EXPECT_EQ(id_machine(0, 16, {}, rng(1)).levels(), 4u);
+}
+
+class IdConsensusSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IdConsensusSizes, RandomSchedulesAgreeOnALiveId) {
+  const std::size_t n = GetParam();
+  rng sched(100 + n);
+  for (int trial = 0; trial < 30; ++trial) {
+    sim_memory mem;
+    auto machines = make_id_machines(n, 500 + static_cast<std::uint64_t>(trial) * 97 + n);
+    ASSERT_TRUE(
+        testing::random_schedule_run(machines, mem, sched, 10'000'000))
+        << "n=" << n << " trial=" << trial;
+    const int winner = machines[0]->decision();
+    ASSERT_GE(winner, 0);
+    ASSERT_LT(winner, static_cast<int>(n));
+    for (const auto& m : machines) ASSERT_EQ(m->decision(), winner);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IdConsensusSizes,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 16),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "n" + std::to_string(i.param);
+                         });
+
+TEST(IdConsensus, AlternatingScheduleTerminates) {
+  for (int trial = 0; trial < 10; ++trial) {
+    sim_memory mem;
+    auto machines = make_id_machines(2, 900 + trial);
+    ASSERT_TRUE(
+        testing::pattern_schedule_run(machines, mem, {0, 1}, 5'000'000));
+    ASSERT_EQ(machines[0]->decision(), machines[1]->decision());
+  }
+}
+
+TEST(IdConsensus, UnderNoisySchedulerViaSimulator) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim_config config;
+    config.inputs.assign(8, 0);  // inputs unused; ids come from pids
+    config.sched = figure1_params(make_exponential(1.0));
+    config.check_invariants = false;  // id tree reuses race spaces per node
+    config.seed = seed;
+    config.factory = [](int pid, int /*input*/, rng gen) {
+      return std::make_unique<id_machine>(static_cast<std::uint64_t>(pid), 8,
+                                          id_params{}, gen);
+    };
+    const auto result = simulate(config);
+    ASSERT_TRUE(result.all_live_decided) << "seed " << seed;
+    const int winner = result.decision;
+    ASSERT_GE(winner, 0);
+    ASSERT_LT(winner, 8);
+    for (const auto& p : result.processes) ASSERT_EQ(p.decision, winner);
+  }
+}
+
+TEST(IdConsensus, SurvivorsAgreeUnderHaltingFailures) {
+  // Random halting failures thin the tournament; survivors must still agree
+  // on a single id in [0, n).
+  int decided_trials = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    sim_config config;
+    config.inputs.assign(8, 0);
+    config.sched = figure1_params(make_exponential(1.0));
+    config.sched.halt_probability = 0.002;
+    config.check_invariants = false;
+    config.seed = 9200 + seed;
+    config.factory = [](int pid, int, rng gen) {
+      return std::make_unique<id_machine>(static_cast<std::uint64_t>(pid), 8,
+                                          id_params{}, gen);
+    };
+    const auto result = simulate(config);
+    if (!result.any_decided) continue;
+    ++decided_trials;
+    int winner = -1;
+    for (const auto& p : result.processes) {
+      if (!p.decided) continue;
+      ASSERT_GE(p.decision, 0);
+      ASSERT_LT(p.decision, 8);
+      if (winner == -1) winner = p.decision;
+      ASSERT_EQ(p.decision, winner);
+    }
+  }
+  EXPECT_GT(decided_trials, 8);
+}
+
+TEST(IdConsensus, WinnersSpreadAcrossIds) {
+  // Different seeds should elect different winners: the tournament is not
+  // biased to a single id under symmetric random scheduling.
+  rng sched(42);
+  std::set<int> winners;
+  for (int trial = 0; trial < 40; ++trial) {
+    sim_memory mem;
+    auto machines = make_id_machines(4, 7000 + trial);
+    ASSERT_TRUE(testing::random_schedule_run(machines, mem, sched));
+    winners.insert(machines[0]->decision());
+  }
+  EXPECT_GT(winners.size(), 1u);
+}
+
+TEST(IdConsensus, StepsAreCounted) {
+  sim_memory mem;
+  id_machine m(0, 4, {}, rng(9));
+  std::uint64_t count = 0;
+  while (!m.done()) {
+    m.apply(mem.execute(0, m.next_op()));
+    ++count;
+  }
+  EXPECT_EQ(m.steps(), count);
+  EXPECT_GT(count, 0u);
+}
+
+TEST(IdConsensus, MisuseThrows) {
+  id_machine m(0, 1, {}, rng(1));
+  EXPECT_TRUE(m.done());
+  EXPECT_THROW(m.next_op(), std::logic_error);
+  EXPECT_THROW(m.apply(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,227 @@
+// Property tests: the paper's safety lemmas must hold on every simulated
+// execution, across all catalog distributions, process counts, protocols,
+// adversary delays, and failure rates. The invariant_checker is attached as
+// a trace hook inside the simulator, so each trial re-verifies Lemma 2,
+// Lemma 4a/4b, agreement, and validity operation by operation.
+#include "core/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include "noise/catalog.h"
+#include "sim/simulator.h"
+
+namespace leancon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Unit tests of the checker itself (it must actually catch violations).
+// ---------------------------------------------------------------------------
+
+TEST(InvariantChecker, CleanRunReportsOk) {
+  invariant_checker checker({0, 1});
+  checker.on_op(0, operation::write({space::race0, 1}, 1), 1);
+  checker.on_op(1, operation::write({space::race1, 1}, 1), 1);
+  checker.on_op(0, operation::write({space::race0, 2}, 1), 1);
+  EXPECT_TRUE(checker.ok());
+}
+
+TEST(InvariantChecker, CatchesLemma2Skip) {
+  invariant_checker checker({0, 1});
+  checker.on_op(0, operation::write({space::race0, 3}, 1), 1);  // skips 1, 2
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().find("Lemma 2"), std::string::npos);
+}
+
+TEST(InvariantChecker, CatchesLemma2InputViolation) {
+  invariant_checker checker({0, 0});  // nobody has input 1
+  checker.on_op(0, operation::write({space::race1, 1}, 1), 1);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().find("Lemma 2"), std::string::npos);
+}
+
+TEST(InvariantChecker, CatchesLemma4aLateWrite) {
+  invariant_checker checker({0, 1});
+  checker.on_op(0, operation::write({space::race0, 1}, 1), 1);
+  checker.on_op(0, operation::write({space::race0, 2}, 1), 1);
+  checker.on_decision(0, 0, 2);
+  checker.on_op(1, operation::write({space::race1, 1}, 1), 1);  // legal (r=1)
+  EXPECT_TRUE(checker.ok());
+  checker.on_op(1, operation::write({space::race1, 2}, 1), 1);  // forbidden
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().find("Lemma 4a"), std::string::npos);
+}
+
+TEST(InvariantChecker, CatchesLemma4aEarlierWrite) {
+  invariant_checker checker({0, 1});
+  checker.on_op(0, operation::write({space::race0, 1}, 1), 1);
+  checker.on_op(1, operation::write({space::race1, 1}, 1), 1);
+  checker.on_decision(0, 0, 1);  // decision at round 1 with a1[1] already set
+  ASSERT_FALSE(checker.ok());
+}
+
+TEST(InvariantChecker, CatchesDisagreement) {
+  invariant_checker checker({0, 1});
+  checker.on_op(0, operation::write({space::race0, 1}, 1), 1);
+  checker.on_op(1, operation::write({space::race1, 1}, 1), 1);
+  checker.on_decision(0, 0, 5);
+  checker.on_decision(1, 1, 9);
+  ASSERT_FALSE(checker.ok());
+}
+
+TEST(InvariantChecker, CatchesValidityViolation) {
+  invariant_checker checker({0, 0});
+  checker.on_decision(0, 1, 2);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().find("Validity"), std::string::npos);
+}
+
+TEST(InvariantChecker, CatchesLemma4bWindow) {
+  invariant_checker checker({0, 1});
+  checker.on_op(0, operation::write({space::race0, 1}, 1), 1);
+  for (std::uint64_t r = 2; r <= 6; ++r) {
+    checker.on_op(0, operation::write({space::race0, r}, 1), 1);
+  }
+  checker.on_decision(0, 0, 2);
+  checker.on_decision(1, 0, 6);
+  ASSERT_FALSE(checker.ok());
+  bool found = false;
+  for (const auto& v : checker.violations()) {
+    found = found || v.find("Lemma 4b") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantChecker, BackupDecisionsSkipRoundWindow) {
+  invariant_checker checker({0, 1});
+  checker.on_op(0, operation::write({space::race0, 1}, 1), 1);
+  checker.on_decision(0, 0, 2);
+  checker.on_backup_decision(1, 0);  // same bit, no round constraint
+  EXPECT_TRUE(checker.ok());
+  checker.on_backup_decision(1, 1);  // disagreement still caught
+  EXPECT_FALSE(checker.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: every Figure-1 distribution x n x protocol.
+// ---------------------------------------------------------------------------
+
+struct property_case {
+  std::string dist_key;
+  std::size_t n;
+  protocol_kind protocol;
+};
+
+class SafetySweep : public ::testing::TestWithParam<property_case> {};
+
+TEST_P(SafetySweep, LemmasHoldAcrossSeeds) {
+  const auto& param = GetParam();
+  const auto dist = find_distribution(param.dist_key);
+  ASSERT_TRUE(dist.has_value());
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim_config config;
+    config.inputs = split_inputs(param.n);
+    config.sched = figure1_params(*dist);
+    config.protocol = param.protocol;
+    if (param.protocol == protocol_kind::combined) config.r_max = 3;
+    config.seed = seed * 104729;
+    const auto result = simulate(config);
+    ASSERT_TRUE(result.violations.empty())
+        << param.dist_key << " n=" << param.n << " seed=" << seed << ": "
+        << result.violations.front();
+    ASSERT_TRUE(result.all_live_decided)
+        << param.dist_key << " n=" << param.n << " seed=" << seed;
+    for (const auto& p : result.processes) {
+      ASSERT_EQ(p.decision, result.decision);
+    }
+  }
+}
+
+std::vector<property_case> property_cases() {
+  std::vector<property_case> cases;
+  for (const auto& entry : figure1_catalog()) {
+    for (std::size_t n : {2u, 5u, 16u}) {
+      cases.push_back({entry.key, n, protocol_kind::lean});
+    }
+    cases.push_back({entry.key, 8u, protocol_kind::combined});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, SafetySweep, ::testing::ValuesIn(property_cases()),
+    [](const ::testing::TestParamInfo<property_case>& info) {
+      std::string key = info.param.dist_key;
+      for (auto& c : key) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return key + "_n" + std::to_string(info.param.n) + "_" +
+             std::string(protocol_name(info.param.protocol));
+    });
+
+// ---------------------------------------------------------------------------
+// Unanimity: Lemma 3 at the execution level, across distributions.
+// ---------------------------------------------------------------------------
+
+class UnanimitySweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(UnanimitySweep, EveryProcessDecidesInExactlyEightOps) {
+  const auto dist = find_distribution(GetParam());
+  ASSERT_TRUE(dist.has_value());
+  for (int bit = 0; bit < 2; ++bit) {
+    sim_config config;
+    config.inputs = unanimous_inputs(12, bit);
+    config.sched = figure1_params(*dist);
+    config.seed = 321 + static_cast<std::uint64_t>(bit);
+    const auto result = simulate(config);
+    ASSERT_TRUE(result.all_live_decided);
+    ASSERT_EQ(result.decision, bit);
+    for (const auto& p : result.processes) {
+      ASSERT_EQ(p.ops, 8u);  // Lemma 3
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, UnanimitySweep,
+    ::testing::Values("norm", "twopoint", "delayed-poisson", "geom", "unif",
+                      "exp1", "lower"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string key = info.param;
+      for (auto& c : key) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return key;
+    });
+
+// ---------------------------------------------------------------------------
+// Failures: random halting at various rates must never break safety.
+// ---------------------------------------------------------------------------
+
+class FailureSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FailureSweep, HaltingNeverBreaksSafety) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    sim_config config;
+    config.inputs = split_inputs(12);
+    config.sched = figure1_params(make_exponential(1.0));
+    config.sched.halt_probability = GetParam();
+    config.seed = seed * 31;
+    const auto result = simulate(config);
+    ASSERT_TRUE(result.violations.empty()) << "seed " << seed;
+    if (result.any_decided) {
+      for (const auto& p : result.processes) {
+        if (p.decided) ASSERT_EQ(p.decision, result.decision);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FailureSweep,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.2, 0.5),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "h" + std::to_string(static_cast<int>(
+                                            info.param * 1000));
+                         });
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,228 @@
+#include "core/lean_machine.h"
+
+#include <gtest/gtest.h>
+
+#include "memory/sim_memory.h"
+
+namespace leancon {
+namespace {
+
+/// Executes exactly one operation of `m` against `mem` on behalf of `pid`.
+void step(lean_machine& m, sim_memory& mem, int pid = 0) {
+  const operation op = m.next_op();
+  m.apply(mem.execute(pid, op));
+}
+
+TEST(LeanMachine, RejectsNonBitInput) {
+  EXPECT_THROW(lean_machine(2), std::invalid_argument);
+  EXPECT_THROW(lean_machine(-1), std::invalid_argument);
+}
+
+TEST(LeanMachine, InitialState) {
+  lean_machine m(1);
+  EXPECT_EQ(m.round(), 1u);
+  EXPECT_EQ(m.preference(), 1);
+  EXPECT_EQ(m.input(), 1);
+  EXPECT_FALSE(m.done());
+  EXPECT_FALSE(m.exhausted());
+  EXPECT_EQ(m.steps(), 0u);
+  EXPECT_EQ(m.current_phase(), lean_machine::phase::read_a0);
+}
+
+TEST(LeanMachine, RoundEmitsExactlyFourOpsInPaperOrder) {
+  // Section 4: "in each round the process carries out exactly four
+  // operations in the same sequence: two reads, a write, and another read."
+  lean_machine m(0);
+  sim_memory mem;
+
+  operation op = m.next_op();
+  EXPECT_EQ(op.kind, op_kind::read);
+  EXPECT_EQ(op.where.where, space::race0);
+  EXPECT_EQ(op.where.index, 1u);
+  step(m, mem);
+
+  op = m.next_op();
+  EXPECT_EQ(op.kind, op_kind::read);
+  EXPECT_EQ(op.where.where, space::race1);
+  EXPECT_EQ(op.where.index, 1u);
+  step(m, mem);
+
+  op = m.next_op();
+  EXPECT_EQ(op.kind, op_kind::write);
+  EXPECT_EQ(op.where.where, space::race0);  // prefers 0
+  EXPECT_EQ(op.where.index, 1u);
+  EXPECT_EQ(op.value, 1u);
+  step(m, mem);
+
+  op = m.next_op();
+  EXPECT_EQ(op.kind, op_kind::read);
+  EXPECT_EQ(op.where.where, space::race1);  // rival array
+  EXPECT_EQ(op.where.index, 0u);            // r - 1
+  step(m, mem);
+
+  EXPECT_EQ(m.steps(), 4u);
+  EXPECT_EQ(m.round(), 2u);  // prefix a1[0] = 1 prevented a round-1 decision
+  EXPECT_FALSE(m.done());
+}
+
+TEST(LeanMachine, SoloProcessDecidesAtRoundTwoInEightOps) {
+  lean_machine m(1);
+  sim_memory mem;
+  while (!m.done()) step(m, mem);
+  EXPECT_EQ(m.decision(), 1);
+  EXPECT_EQ(m.steps(), 8u);
+  EXPECT_EQ(m.round(), 2u);
+}
+
+TEST(LeanMachine, Lemma3UnanimousPairDecidesInEightOps) {
+  // Two processes, both input 0, any interleaving: both decide 0 in 8 ops.
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    sim_memory mem;
+    lean_machine a(0), b(0);
+    // Four deterministic interleavings: alternation phase shifts.
+    int toggle = pattern;
+    while (!a.done() || !b.done()) {
+      lean_machine& m = (toggle++ % 2 == 0 && !a.done()) || b.done() ? a : b;
+      step(m, mem, &m == &a ? 0 : 1);
+    }
+    EXPECT_EQ(a.decision(), 0);
+    EXPECT_EQ(b.decision(), 0);
+    EXPECT_EQ(a.steps(), 8u);
+    EXPECT_EQ(b.steps(), 8u);
+  }
+}
+
+TEST(LeanMachine, AdoptsRivalPreferenceWhenBehind) {
+  sim_memory mem;
+  // A rival already set a1[1] (and nothing is in a0[1]).
+  mem.poke({space::race1, 1}, 1);
+  lean_machine m(0);
+  step(m, mem);  // reads a0[1] = 0
+  step(m, mem);  // reads a1[1] = 1 -> must adopt preference 1
+  EXPECT_EQ(m.preference(), 1);
+  EXPECT_EQ(m.preference_switches(), 1u);
+  const operation op = m.next_op();
+  EXPECT_EQ(op.where.where, space::race1);  // writes the adopted side
+}
+
+TEST(LeanMachine, KeepsPreferenceWhenBothSet) {
+  sim_memory mem;
+  mem.poke({space::race0, 1}, 1);
+  mem.poke({space::race1, 1}, 1);
+  lean_machine m(0);
+  step(m, mem);
+  step(m, mem);
+  EXPECT_EQ(m.preference(), 0);
+  EXPECT_EQ(m.preference_switches(), 0u);
+}
+
+TEST(LeanMachine, KeepsPreferenceWhenBothClear) {
+  sim_memory mem;
+  lean_machine m(1);
+  step(m, mem);
+  step(m, mem);
+  EXPECT_EQ(m.preference(), 1);
+}
+
+TEST(LeanMachine, DoesNotAdoptOwnSide) {
+  sim_memory mem;
+  mem.poke({space::race0, 1}, 1);  // own side already marked by a teammate
+  lean_machine m(0);
+  step(m, mem);
+  step(m, mem);
+  EXPECT_EQ(m.preference(), 0);
+  EXPECT_EQ(m.preference_switches(), 0u);
+}
+
+TEST(LeanMachine, DecidesWhenRivalPrevRoundClear) {
+  sim_memory mem;
+  lean_machine m(1);
+  // Round 1: a1[0] prefix = 1, no decision. Round 2: a0[1] still 0 -> decide.
+  for (int i = 0; i < 8; ++i) step(m, mem);
+  EXPECT_TRUE(m.done());
+  EXPECT_EQ(m.decision(), 1);
+}
+
+TEST(LeanMachine, ContinuesWhenRivalPrevRoundSet) {
+  sim_memory mem;
+  // Both arrays already marked through round 2: the machine keeps its
+  // preference (no side is strictly ahead) and cannot decide at round 2
+  // because the rival's round-1 cell is set.
+  mem.poke({space::race0, 1}, 1);
+  mem.poke({space::race0, 2}, 1);
+  mem.poke({space::race1, 1}, 1);
+  mem.poke({space::race1, 2}, 1);
+  lean_machine m(1);
+  for (int i = 0; i < 8; ++i) step(m, mem);
+  EXPECT_FALSE(m.done());
+  EXPECT_EQ(m.preference(), 1);
+  EXPECT_EQ(m.round(), 3u);
+}
+
+TEST(LeanMachine, ExhaustsAtMaxRound) {
+  sim_memory mem;
+  // Keep both arrays marked ahead so the machine neither adopts nor decides.
+  for (std::uint64_t r = 1; r <= 5; ++r) {
+    mem.poke({space::race0, r}, 1);
+    mem.poke({space::race1, r}, 1);
+  }
+  lean_machine m(1, /*max_round=*/3);
+  while (!m.exhausted()) step(m, mem);
+  EXPECT_EQ(m.round(), 3u);
+  EXPECT_FALSE(m.done());
+  EXPECT_EQ(m.steps(), 12u);  // 3 rounds * 4 ops
+  EXPECT_THROW(m.next_op(), std::logic_error);
+  EXPECT_THROW(m.apply(0), std::logic_error);
+}
+
+TEST(LeanMachine, ZeroMaxRoundExhaustsImmediately) {
+  lean_machine m(0, 0);
+  EXPECT_TRUE(m.exhausted());
+}
+
+TEST(LeanMachine, MisuseAfterDecisionThrows) {
+  sim_memory mem;
+  lean_machine m(0);
+  while (!m.done()) step(m, mem);
+  EXPECT_THROW(m.next_op(), std::logic_error);
+  EXPECT_THROW(m.apply(0), std::logic_error);
+}
+
+TEST(LeanMachine, LeanRoundMatchesRound) {
+  lean_machine m(0);
+  EXPECT_EQ(m.lean_round(), m.round());
+}
+
+TEST(LeanMachine, TwoSplitProcessesLockstepNeverDecide) {
+  // The FLP-style bad schedule: strict alternation keeps the racers tied
+  // forever. Safety holds but termination does not — this is exactly why the
+  // paper needs noise. We verify 100 rounds of non-termination.
+  sim_memory mem;
+  lean_machine a(0), b(1);
+  for (int round = 0; round < 100; ++round) {
+    for (int op = 0; op < 4; ++op) {
+      step(a, mem, 0);
+      step(b, mem, 1);
+    }
+    ASSERT_FALSE(a.done());
+    ASSERT_FALSE(b.done());
+  }
+  EXPECT_EQ(a.round(), 101u);
+  EXPECT_EQ(b.round(), 101u);
+}
+
+TEST(LeanMachine, StaggeredStartLetsLeaderWin) {
+  // If one process runs alone for two full rounds, it decides; the laggard
+  // then adopts and decides one round later (Lemma 4b).
+  sim_memory mem;
+  lean_machine fast(1), slow(0);
+  for (int i = 0; i < 8; ++i) step(fast, mem, 0);
+  EXPECT_TRUE(fast.done());
+  EXPECT_EQ(fast.decision(), 1);
+  while (!slow.done()) step(slow, mem, 1);
+  EXPECT_EQ(slow.decision(), 1);
+  EXPECT_LE(slow.round(), fast.round() + 1);
+}
+
+}  // namespace
+}  // namespace leancon

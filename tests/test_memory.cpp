@@ -1,0 +1,138 @@
+#include "memory/atomic_memory.h"
+#include "memory/sim_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace leancon {
+namespace {
+
+TEST(Location, PackingIsInjectiveAcrossSpaces) {
+  const location a{space::race0, 5};
+  const location b{space::race1, 5};
+  const location c{space::race0, 6};
+  EXPECT_NE(a.packed(), b.packed());
+  EXPECT_NE(a.packed(), c.packed());
+  EXPECT_EQ(a.packed(), (location{space::race0, 5}).packed());
+}
+
+TEST(Location, SpaceNamesAreStable) {
+  EXPECT_EQ(space_name(space::race0), "a0");
+  EXPECT_EQ(space_name(space::race1), "a1");
+  EXPECT_EQ(space_name(space::ac_proposal), "ac_prop");
+}
+
+TEST(ProposalEncoding, RoundTrips) {
+  EXPECT_TRUE(proposal_empty(0));
+  EXPECT_FALSE(proposal_empty(encode_proposal(0)));
+  EXPECT_EQ(decode_proposal(encode_proposal(0)), 0);
+  EXPECT_EQ(decode_proposal(encode_proposal(1)), 1);
+}
+
+TEST(SimMemory, FreshCellsReadZero) {
+  sim_memory mem;
+  EXPECT_EQ(mem.execute(0, operation::read({space::race0, 7})), 0u);
+  EXPECT_EQ(mem.execute(0, operation::read({space::scratch, 123})), 0u);
+}
+
+TEST(SimMemory, VirtualPrefixIsOne) {
+  sim_memory mem;
+  EXPECT_EQ(mem.execute(0, operation::read({space::race0, 0})), 1u);
+  EXPECT_EQ(mem.execute(0, operation::read({space::race1, 0})), 1u);
+}
+
+TEST(SimMemory, WriteThenRead) {
+  sim_memory mem;
+  mem.execute(1, operation::write({space::race1, 3}, 1));
+  EXPECT_EQ(mem.execute(2, operation::read({space::race1, 3})), 1u);
+}
+
+TEST(SimMemory, LastWriteWins) {
+  sim_memory mem;
+  mem.execute(0, operation::write({space::scratch, 0}, 5));
+  mem.execute(1, operation::write({space::scratch, 0}, 9));
+  EXPECT_EQ(mem.execute(2, operation::read({space::scratch, 0})), 9u);
+}
+
+TEST(SimMemory, CountsOpsByKindAndSpace) {
+  sim_memory mem;
+  mem.execute(0, operation::read({space::race0, 1}));
+  mem.execute(0, operation::read({space::race1, 1}));
+  mem.execute(0, operation::write({space::race0, 1}, 1));
+  EXPECT_EQ(mem.op_count(), 3u);
+  EXPECT_EQ(mem.read_count(), 2u);
+  EXPECT_EQ(mem.write_count(), 1u);
+  EXPECT_EQ(mem.op_count(space::race0), 2u);
+  EXPECT_EQ(mem.op_count(space::race1), 1u);
+}
+
+TEST(SimMemory, TraceHookSeesOperations) {
+  sim_memory mem;
+  int hook_calls = 0;
+  std::uint64_t last_value = 0;
+  mem.set_trace_hook([&](int pid, const operation& op, std::uint64_t value) {
+    ++hook_calls;
+    last_value = value;
+    EXPECT_EQ(pid, 4);
+    EXPECT_EQ(op.where.where, space::race0);
+  });
+  mem.execute(4, operation::write({space::race0, 2}, 1));
+  mem.execute(4, operation::read({space::race0, 2}));
+  EXPECT_EQ(hook_calls, 2);
+  EXPECT_EQ(last_value, 1u);
+}
+
+TEST(SimMemory, PeekPokeDoNotCount) {
+  sim_memory mem;
+  mem.poke({space::scratch, 1}, 42);
+  EXPECT_EQ(mem.peek({space::scratch, 1}), 42u);
+  EXPECT_EQ(mem.op_count(), 0u);
+}
+
+TEST(SimMemory, ResetRestoresInitialState) {
+  sim_memory mem;
+  mem.execute(0, operation::write({space::race0, 1}, 1));
+  mem.reset();
+  EXPECT_EQ(mem.op_count(), 0u);
+  EXPECT_EQ(mem.peek({space::race0, 1}), 0u);
+  EXPECT_EQ(mem.peek({space::race0, 0}), 1u);  // prefix re-established
+}
+
+TEST(AtomicMemory, VirtualPrefixIsOne) {
+  atomic_memory mem;
+  EXPECT_EQ(mem.execute(operation::read({space::race0, 0})), 1u);
+  EXPECT_EQ(mem.execute(operation::read({space::race1, 0})), 1u);
+}
+
+TEST(AtomicMemory, WriteThenRead) {
+  atomic_memory mem;
+  mem.execute(operation::write({space::ac_proposal, 9}, encode_proposal(1)));
+  EXPECT_EQ(mem.execute(operation::read({space::ac_proposal, 9})),
+            encode_proposal(1));
+}
+
+TEST(AtomicMemory, FreshCellsReadZero) {
+  atomic_memory mem;
+  EXPECT_EQ(mem.execute(operation::read({space::race0, 100})), 0u);
+}
+
+TEST(AtomicMemory, OutOfRangeThrows) {
+  atomic_memory_config config;
+  config.race_rounds = 8;
+  atomic_memory mem(config);
+  EXPECT_THROW(mem.execute(operation::read({space::race0, 8})),
+               std::out_of_range);
+  EXPECT_NO_THROW(mem.execute(operation::read({space::race0, 7})));
+}
+
+TEST(AtomicMemory, CapacityPerSpace) {
+  atomic_memory_config config;
+  config.race_rounds = 10;
+  config.backup_rounds = 20;
+  config.scratch_cells = 5;
+  EXPECT_EQ(config.capacity(space::race0), 10u);
+  EXPECT_EQ(config.capacity(space::ac_door1), 20u);
+  EXPECT_EQ(config.capacity(space::scratch), 5u);
+}
+
+}  // namespace
+}  // namespace leancon

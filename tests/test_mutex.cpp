@@ -1,0 +1,154 @@
+// Lamport's fast mutual exclusion under noisy scheduling (the Section 10
+// Gafni-Mitzenmacher direction). Mutual exclusion is checked exactly (at
+// most one holder after every atomic step) plus via the canary register.
+#include "mutex/fast_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include "memory/sim_memory.h"
+#include "noise/catalog.h"
+
+namespace leancon {
+namespace {
+
+void step(fast_mutex_machine& m, sim_memory& mem, int pid = 0) {
+  const operation op = m.next_op();
+  m.apply(mem.execute(pid, op));
+}
+
+mutex_config base_config(std::size_t n, std::uint64_t seed) {
+  mutex_config config;
+  config.processes = n;
+  config.entries_per_process = 4;
+  config.sched = figure1_params(make_exponential(1.0));
+  config.seed = seed;
+  return config;
+}
+
+TEST(FastMutex, RejectsBadPid) {
+  EXPECT_THROW(fast_mutex_machine(2, 2, 1), std::invalid_argument);
+  EXPECT_THROW(fast_mutex_machine(-1, 2, 1), std::invalid_argument);
+}
+
+TEST(FastMutex, ZeroEntriesIsDoneImmediately) {
+  fast_mutex_machine m(0, 2, 0);
+  EXPECT_TRUE(m.done());
+}
+
+TEST(FastMutex, UncontendedEntryTakesFastPath) {
+  sim_memory mem;
+  fast_mutex_machine m(0, 4, 1, /*cs_work=*/2);
+  std::uint64_t guard = 0;
+  while (!m.done() && guard++ < 1000) step(m, mem);
+  ASSERT_TRUE(m.done());
+  EXPECT_EQ(m.completed_entries(), 1u);
+  EXPECT_EQ(m.fast_path_entries(), 1u);
+  EXPECT_EQ(m.canary_violations(), 0u);
+  // Fast path: b:=1, x:=i, read y, y:=i, read x, canary, 2 reads, y:=0,
+  // b:=0 -> 10 operations.
+  EXPECT_EQ(m.steps(), 10u);
+}
+
+TEST(FastMutex, InCriticalSectionWindowIsTracked) {
+  sim_memory mem;
+  fast_mutex_machine m(0, 2, 1, 1);
+  EXPECT_FALSE(m.in_critical_section());
+  // Drive until in CS.
+  std::uint64_t guard = 0;
+  while (!m.in_critical_section() && guard++ < 100) step(m, mem);
+  ASSERT_TRUE(m.in_critical_section());
+  // ...and until out.
+  guard = 0;
+  while (m.in_critical_section() && guard++ < 100) step(m, mem);
+  EXPECT_FALSE(m.in_critical_section());
+}
+
+TEST(FastMutex, ContenderBacksOffWhenLockHeld) {
+  sim_memory mem;
+  mem.poke(fast_mutex_machine::y_reg(), 2);  // process 1 holds the lock
+  fast_mutex_machine m(0, 2, 1);
+  step(m, mem);  // b := 1
+  step(m, mem);  // x := 1
+  step(m, mem);  // read y = 2 -> back off
+  step(m, mem);  // b := 0
+  // Spins on y until released.
+  for (int i = 0; i < 5; ++i) step(m, mem);
+  EXPECT_FALSE(m.in_critical_section());
+  mem.poke(fast_mutex_machine::y_reg(), 0);
+  std::uint64_t guard = 0;
+  while (!m.done() && guard++ < 1000) step(m, mem);
+  EXPECT_TRUE(m.done());
+  EXPECT_EQ(m.fast_path_entries(), 0u);  // this entry saw contention
+}
+
+class MutexNoiseSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MutexNoiseSweep, MutualExclusionHoldsUnderNoisyScheduling) {
+  const auto dist = find_distribution(GetParam());
+  ASSERT_TRUE(dist.has_value());
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto config = base_config(4, seed * 19);
+    config.sched = figure1_params(*dist);
+    const auto result = run_mutex(config);
+    ASSERT_TRUE(result.all_finished) << GetParam() << " seed " << seed;
+    EXPECT_EQ(result.overlap_violations, 0u) << GetParam();
+    EXPECT_EQ(result.canary_violations, 0u) << GetParam();
+    EXPECT_EQ(result.total_entries, 16u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, MutexNoiseSweep,
+                         ::testing::Values("exp1", "unif", "geom", "twopoint",
+                                           "norm"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string key = i.param;
+                           for (auto& c : key) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return key;
+                         });
+
+TEST(FastMutex, HighContentionManyProcesses) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto config = base_config(8, 100 + seed);
+    config.entries_per_process = 3;
+    const auto result = run_mutex(config);
+    ASSERT_TRUE(result.all_finished) << "seed " << seed;
+    EXPECT_EQ(result.overlap_violations, 0u);
+    EXPECT_EQ(result.canary_violations, 0u);
+    EXPECT_EQ(result.total_entries, 24u);
+  }
+}
+
+TEST(FastMutex, SoloProcessIsAllFastPath) {
+  auto config = base_config(1, 3);
+  config.entries_per_process = 10;
+  const auto result = run_mutex(config);
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_EQ(result.fast_path_entries, 10u);
+  EXPECT_EQ(result.total_entries, 10u);
+}
+
+TEST(FastMutex, AdversaryDelaysDoNotBreakExclusion) {
+  for (const auto& adv : {make_constant_delays(2.0),
+                          make_alternating_delays(2.0),
+                          make_burst_delays(4.0, 8)}) {
+    auto config = base_config(4, 55);
+    config.sched.adversary = adv;
+    const auto result = run_mutex(config);
+    ASSERT_TRUE(result.all_finished) << adv->name();
+    EXPECT_EQ(result.overlap_violations, 0u) << adv->name();
+    EXPECT_EQ(result.canary_violations, 0u) << adv->name();
+  }
+}
+
+TEST(FastMutex, OpsAccounting) {
+  const auto result = run_mutex(base_config(3, 9));
+  std::uint64_t sum = 0;
+  for (auto ops : result.ops_per_process) sum += ops;
+  EXPECT_EQ(sum, result.total_ops);
+}
+
+}  // namespace
+}  // namespace leancon

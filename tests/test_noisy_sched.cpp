@@ -1,0 +1,206 @@
+#include "sched/noisy_params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/catalog.h"
+#include "sched/adversary.h"
+#include "sim/simulator.h"
+
+namespace leancon {
+namespace {
+
+TEST(NoisyParams, Figure1ConfigurationMatchesPaper) {
+  const auto p = figure1_params(make_exponential(1.0));
+  EXPECT_EQ(p.adversary, nullptr);
+  EXPECT_DOUBLE_EQ(p.halt_probability, 0.0);
+  EXPECT_EQ(p.starts, start_mode::dithered);
+  EXPECT_DOUBLE_EQ(p.start_dither, 1e-8);
+}
+
+TEST(NoisyParams, DitheredStartsAreTiny) {
+  const auto p = figure1_params(make_exponential(1.0));
+  rng gen(3);
+  for (int pid = 0; pid < 100; ++pid) {
+    const double s = p.start_offset(pid, 100, gen);
+    ASSERT_GE(s, 0.0);
+    ASSERT_LT(s, 1e-8);
+  }
+}
+
+TEST(NoisyParams, StaggeredStartsGrowWithPid) {
+  noisy_params p = figure1_params(make_exponential(1.0));
+  p.starts = start_mode::staggered;
+  p.stagger_step = 2.0;
+  rng gen(4);
+  const double s0 = p.start_offset(0, 10, gen);
+  const double s5 = p.start_offset(5, 10, gen);
+  EXPECT_LT(s0, 1.0);
+  EXPECT_GE(s5, 10.0);
+}
+
+TEST(NoisyParams, RandomStartsWithinWindow) {
+  noisy_params p = figure1_params(make_exponential(1.0));
+  p.starts = start_mode::random;
+  p.stagger_step = 1.0;
+  rng gen(5);
+  for (int i = 0; i < 100; ++i) {
+    const double s = p.start_offset(i, 10, gen);
+    ASSERT_GE(s, 0.0);
+    ASSERT_LE(s, 10.0 + 1e-8);
+  }
+}
+
+TEST(NoisyParams, IncrementIncludesAdversaryAndNoise) {
+  noisy_params p = figure1_params(make_constant(1.0));
+  p.adversary = make_constant_delays(0.5);
+  rng gen(6);
+  bool halted = false;
+  const double inc = p.op_increment(0, 1, false, gen, halted);
+  EXPECT_FALSE(halted);
+  EXPECT_DOUBLE_EQ(inc, 1.5);
+}
+
+TEST(NoisyParams, WriteNoiseOverridesForWrites) {
+  noisy_params p = figure1_params(make_constant(1.0));
+  p.write_noise = make_constant(3.0);
+  rng gen(7);
+  bool halted = false;
+  EXPECT_DOUBLE_EQ(p.op_increment(0, 1, /*is_write=*/false, gen, halted), 1.0);
+  EXPECT_DOUBLE_EQ(p.op_increment(0, 2, /*is_write=*/true, gen, halted), 3.0);
+}
+
+TEST(NoisyParams, HaltProbabilityOneAlwaysHalts) {
+  noisy_params p = figure1_params(make_exponential(1.0));
+  p.halt_probability = 1.0;
+  rng gen(8);
+  bool halted = false;
+  p.op_increment(0, 1, false, gen, halted);
+  EXPECT_TRUE(halted);
+}
+
+TEST(NoisyParams, HaltRateIsRespected) {
+  noisy_params p = figure1_params(make_exponential(1.0));
+  p.halt_probability = 0.25;
+  rng gen(9);
+  int halts = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    bool halted = false;
+    p.op_increment(0, static_cast<std::uint64_t>(i) + 1, false, gen, halted);
+    halts += halted ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(halts) / n, 0.25, 0.01);
+}
+
+TEST(NoisyParams, MissingNoiseThrows) {
+  noisy_params p;
+  rng gen(10);
+  bool halted = false;
+  EXPECT_THROW(p.op_increment(0, 1, false, gen, halted), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Delay adversaries.
+// ---------------------------------------------------------------------------
+
+class AdversaryBounds
+    : public ::testing::TestWithParam<delay_adversary_ptr> {};
+
+TEST_P(AdversaryBounds, DelaysStayWithinDeclaredBound) {
+  const auto& adv = *GetParam();
+  for (int pid = 0; pid < 16; ++pid) {
+    for (std::uint64_t j = 1; j <= 200; ++j) {
+      const double d = adv.delay(pid, j);
+      ASSERT_GE(d, 0.0) << adv.name();
+      ASSERT_LE(d, adv.bound()) << adv.name();
+    }
+  }
+}
+
+TEST_P(AdversaryBounds, DeterministicAcrossCalls) {
+  const auto& adv = *GetParam();
+  for (int pid = 0; pid < 4; ++pid) {
+    for (std::uint64_t j = 1; j <= 20; ++j) {
+      ASSERT_DOUBLE_EQ(adv.delay(pid, j), adv.delay(pid, j));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, AdversaryBounds,
+    ::testing::Values(make_zero_delays(), make_constant_delays(2.0),
+                      make_alternating_delays(1.5),
+                      make_staggered_delays(2.0, 8),
+                      make_random_bounded_delays(3.0, 42),
+                      make_burst_delays(4.0, 10), make_pack_delays(1.0)),
+    [](const ::testing::TestParamInfo<delay_adversary_ptr>& info) {
+      std::string name = info.param->name();
+      for (auto& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(Adversary, ZeroIsAlwaysZero) {
+  const auto adv = make_zero_delays();
+  EXPECT_DOUBLE_EQ(adv->delay(3, 17), 0.0);
+  EXPECT_DOUBLE_EQ(adv->bound(), 0.0);
+}
+
+TEST(Adversary, RandomBoundedVariesWithSalt) {
+  const auto a = make_random_bounded_delays(1.0, 1);
+  const auto b = make_random_bounded_delays(1.0, 2);
+  int differing = 0;
+  for (std::uint64_t j = 1; j <= 50; ++j) {
+    if (a->delay(0, j) != b->delay(0, j)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(Adversary, BurstFiresPeriodically) {
+  const auto adv = make_burst_delays(5.0, 4);
+  int bursts = 0;
+  for (std::uint64_t j = 1; j <= 40; ++j) {
+    if (adv->delay(0, j) == 5.0) ++bursts;
+  }
+  EXPECT_EQ(bursts, 10);
+}
+
+TEST(Adversary, ZenoRespectsPrefixSumConstraint) {
+  // Section 10 statistical adversary: individual delays are unbounded, but
+  // sum_{j<=r} Delta_ij <= r * M for every r.
+  const double m = 2.0;
+  const auto adv = make_zeno_delays(m);
+  double prefix = 0.0;
+  double largest = 0.0;
+  for (std::uint64_t j = 1; j <= 4096; ++j) {
+    const double d = adv->delay(0, j);
+    ASSERT_GE(d, 0.0);
+    prefix += d;
+    largest = std::max(largest, d);
+    ASSERT_LE(prefix, m * static_cast<double>(j) + 1e-9) << "at j=" << j;
+  }
+  // The whole point: single delays exceed any fixed per-op bound.
+  EXPECT_GT(largest, 100.0 * m);
+  EXPECT_TRUE(std::isinf(adv->bound()));
+}
+
+TEST(Adversary, ZenoDoesNotPreventTermination) {
+  // The paper conjectures O(log n) still holds under the statistical
+  // constraint; at minimum the protocol must keep terminating safely.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim_config config;
+    config.inputs = split_inputs(8);
+    config.sched = figure1_params(make_exponential(1.0));
+    config.sched.adversary = make_zeno_delays(1.0);
+    config.seed = seed;
+    const auto result = simulate(config);
+    ASSERT_TRUE(result.all_live_decided) << "seed " << seed;
+    ASSERT_TRUE(result.violations.empty());
+  }
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,130 @@
+#include "util/options.h"
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace leancon {
+namespace {
+
+options make_options() {
+  options opts;
+  opts.add("trials", "100", "number of trials");
+  opts.add("noise", "exp1", "noise distribution key");
+  opts.add("scale", "1.5", "noise scale");
+  opts.add("verbose", "false", "chatty output");
+  opts.add("sweep", "1,10,100", "n sweep");
+  return opts;
+}
+
+TEST(Options, DefaultsApply) {
+  auto opts = make_options();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(opts.parse(1, argv));
+  EXPECT_EQ(opts.get_int("trials"), 100);
+  EXPECT_EQ(opts.get("noise"), "exp1");
+  EXPECT_DOUBLE_EQ(opts.get_double("scale"), 1.5);
+  EXPECT_FALSE(opts.get_bool("verbose"));
+}
+
+TEST(Options, EqualsSyntax) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--trials=42", "--noise=geom",
+                        "--verbose=true"};
+  ASSERT_TRUE(opts.parse(4, argv));
+  EXPECT_EQ(opts.get_int("trials"), 42);
+  EXPECT_EQ(opts.get("noise"), "geom");
+  EXPECT_TRUE(opts.get_bool("verbose"));
+}
+
+TEST(Options, SpaceSyntax) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--trials", "7"};
+  ASSERT_TRUE(opts.parse(3, argv));
+  EXPECT_EQ(opts.get_int("trials"), 7);
+}
+
+TEST(Options, UnknownFlagRejected) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(opts.parse(2, argv));
+}
+
+TEST(Options, MissingValueRejected) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--trials"};
+  EXPECT_FALSE(opts.parse(2, argv));
+}
+
+TEST(Options, PositionalRejected) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "17"};
+  EXPECT_FALSE(opts.parse(2, argv));
+}
+
+TEST(Options, HelpReturnsFalse) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(opts.parse(2, argv));
+}
+
+TEST(Options, IntListParsing) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--sweep=1,10,100,1000"};
+  ASSERT_TRUE(opts.parse(2, argv));
+  const auto sweep = opts.get_int_list("sweep");
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_EQ(sweep[0], 1);
+  EXPECT_EQ(sweep[3], 1000);
+}
+
+TEST(Options, UndeclaredGetThrows) {
+  auto opts = make_options();
+  EXPECT_THROW(opts.get("nope"), std::invalid_argument);
+}
+
+TEST(Options, BoolSpellings) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--verbose=yes"};
+  ASSERT_TRUE(opts.parse(2, argv));
+  EXPECT_TRUE(opts.get_bool("verbose"));
+}
+
+TEST(Options, UsageMentionsFlagsAndDefaults) {
+  auto opts = make_options();
+  const std::string u = opts.usage("prog");
+  EXPECT_NE(u.find("--trials"), std::string::npos);
+  EXPECT_NE(u.find("100"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  table t({"n", "mean", "note"});
+  t.begin_row();
+  t.cell(std::int64_t{10});
+  t.cell(3.14159, 2);
+  t.cell("hello");
+  t.begin_row();
+  t.cell(std::int64_t{100000});
+  t.cell(2.0, 2);
+  t.cell("x");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("100000"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("hello"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows) {
+  table t({"a", "b"});
+  t.begin_row();
+  t.cell("only-one");
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,174 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace leancon {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "diverged at step " << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  rng a(7, 1), b(7, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, SameSeedSameStreamIdentical) {
+  rng a(7, 3), b(7, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, Uniform01InRange) {
+  rng gen(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = gen.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  rng gen(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += gen.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  rng gen(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = gen.uniform(2.5, 7.5);
+    ASSERT_GE(u, 2.5);
+    ASSERT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, BelowZeroBoundReturnsZero) {
+  rng gen(1);
+  EXPECT_EQ(gen.below(0), 0u);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  rng gen(77);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(gen.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  rng gen(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversSupport) {
+  rng gen(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(gen.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BernoulliEdges) {
+  rng gen(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.bernoulli(0.0));
+    EXPECT_TRUE(gen.bernoulli(1.0));
+    EXPECT_FALSE(gen.bernoulli(-1.0));
+    EXPECT_TRUE(gen.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  rng gen(8);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += gen.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  rng gen(10);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = gen.exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  rng gen(12);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = gen.normal(3.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, GeometricSupportAndMean) {
+  rng gen(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t g = gen.geometric(0.5);
+    ASSERT_GE(g, 1u);
+    sum += static_cast<double>(g);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, GeometricPOneIsAlwaysOne) {
+  rng gen(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.geometric(1.0), 1u);
+}
+
+TEST(Rng, ForkDiverges) {
+  rng parent(21);
+  rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, SplitmixAdvances) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64_next(s);
+  const auto b = splitmix64_next(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace leancon

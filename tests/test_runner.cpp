@@ -1,0 +1,104 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "noise/catalog.h"
+
+namespace leancon {
+namespace {
+
+sim_config base_config(std::size_t n, std::uint64_t seed) {
+  sim_config config;
+  config.inputs = split_inputs(n);
+  config.sched = figure1_params(make_exponential(1.0));
+  config.seed = seed;
+  return config;
+}
+
+TEST(Runner, AggregatesAllTrials) {
+  const auto stats = run_trials(base_config(8, 1), 25);
+  EXPECT_EQ(stats.trials, 25u);
+  EXPECT_EQ(stats.decided_trials, 25u);
+  EXPECT_EQ(stats.undecided_trials, 0u);
+  EXPECT_EQ(stats.violation_trials, 0u);
+  EXPECT_EQ(stats.first_round.count(), 25u);
+}
+
+TEST(Runner, FirstRoundAtLeastTwo) {
+  const auto stats = run_trials(base_config(4, 2), 20);
+  EXPECT_GE(stats.first_round.min(), 2.0);
+}
+
+TEST(Runner, TrialsUseDistinctSeeds) {
+  // With one process the outcome is deterministic (always 8 ops), but with
+  // several processes total op counts should vary across trials.
+  const auto stats = run_trials(base_config(16, 3), 20);
+  EXPECT_GT(stats.total_ops.max(), stats.total_ops.min());
+}
+
+TEST(Runner, ReproducibleAcrossCalls) {
+  const auto a = run_trials(base_config(8, 7), 10);
+  const auto b = run_trials(base_config(8, 7), 10);
+  EXPECT_DOUBLE_EQ(a.first_round.mean(), b.first_round.mean());
+  EXPECT_DOUBLE_EQ(a.total_ops.mean(), b.total_ops.mean());
+}
+
+TEST(Runner, LastRoundWithinOneOfFirst) {
+  const auto stats = run_trials(base_config(8, 9), 25);
+  ASSERT_EQ(stats.last_round.count(), 25u);
+  // Lemma 4b, aggregated: last <= first + 1 in every trial, so the means
+  // must satisfy the same bound.
+  EXPECT_LE(stats.last_round.mean(), stats.first_round.mean() + 1.0);
+  EXPECT_GE(stats.last_round.mean(), stats.first_round.mean());
+}
+
+TEST(Runner, FirstDecisionStopModeSkipsLastRound) {
+  auto config = base_config(8, 11);
+  config.stop = stop_mode::first_decision;
+  const auto stats = run_trials(config, 10);
+  EXPECT_EQ(stats.last_round.count(), 0u);
+  EXPECT_EQ(stats.first_round.count(), 10u);
+}
+
+TEST(Runner, CertainFailureCountsUndecided) {
+  auto config = base_config(4, 13);
+  config.sched.halt_probability = 1.0;
+  const auto stats = run_trials(config, 5);
+  EXPECT_EQ(stats.undecided_trials, 5u);
+  EXPECT_EQ(stats.decided_trials, 0u);
+}
+
+TEST(Runner, CombinedProtocolTracksBackupEntries) {
+  auto config = base_config(6, 17);
+  config.protocol = protocol_kind::combined;
+  config.r_max = 1;  // forces frequent backup entry
+  const auto stats = run_trials(config, 20);
+  EXPECT_EQ(stats.decided_trials, 20u);
+  EXPECT_GT(stats.backup_trials, 0u);
+}
+
+TEST(Runner, Theorem12ShapeHoldsInMiniature) {
+  // The headline result, asserted inside the test suite (the benches measure
+  // it at scale): mean first-decision round grows with n but stays small —
+  // Theta(log n) with small constants under exp(1) noise.
+  auto small = base_config(2, 41);
+  auto large = base_config(64, 43);
+  small.stop = stop_mode::first_decision;
+  large.stop = stop_mode::first_decision;
+  const auto s = run_trials(small, 300);
+  const auto l = run_trials(large, 300);
+  EXPECT_GT(l.first_round.mean(), s.first_round.mean());
+  EXPECT_LT(l.first_round.mean(), 10.0)
+      << "64 processes should settle within a handful of rounds";
+  EXPECT_GE(s.first_round.mean(), 2.0);
+}
+
+TEST(Runner, OpsMetricsArePlausible) {
+  const auto stats = run_trials(base_config(8, 19), 10);
+  // Every live process performs at least 8 ops (two rounds minimum).
+  EXPECT_GE(stats.ops_per_process.min(), 8.0);
+  EXPECT_GE(stats.max_ops.min(), stats.ops_per_process.min());
+}
+
+}  // namespace
+}  // namespace leancon

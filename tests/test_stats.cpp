@@ -1,0 +1,158 @@
+#include "stats/histogram.h"
+#include "stats/regression.h"
+#include "stats/summary.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace leancon {
+namespace {
+
+TEST(Summary, ExactMomentsOnKnownData) {
+  summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderror(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Summary, QuantilesExact) {
+  summary s;
+  for (int i = 1; i <= 101; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 51.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 101.0);
+  EXPECT_DOUBLE_EQ(s.median(), 51.0);
+}
+
+TEST(Summary, QuantileInterpolates) {
+  summary s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+}
+
+TEST(Summary, QuantileWithoutSamplesThrows) {
+  summary s(/*keep_samples=*/false);
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+}
+
+TEST(Summary, TailFraction) {
+  summary s;
+  for (int i = 1; i <= 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.tail_fraction_above(7.0), 0.3);
+  EXPECT_DOUBLE_EQ(s.tail_fraction_above(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.tail_fraction_above(0.0), 1.0);
+}
+
+TEST(Summary, Ci95ShrinksWithSamples) {
+  summary small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : 2.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : 2.0);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Histogram, BinningAndEdges) {
+  histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(50.0);  // clamps to bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[5], 1u);
+  EXPECT_EQ(h.counts()[9], 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(5), 6.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("#"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(Log2Histogram, HeavyTailBuckets) {
+  log2_histogram h;
+  h.add(1.0);
+  h.add(2.0);
+  h.add(1024.0);
+  h.add(0.0);  // harmless; lands in the bottom bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+TEST(Regression, ExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{3, 5, 7, 9, 11};  // y = 2x + 1
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.points, 5u);
+}
+
+TEST(Regression, Log2Fit) {
+  // y = 3 * log2(x) + 0.5
+  std::vector<double> x{2, 4, 8, 16, 1024};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 * std::log2(v) + 0.5);
+  const auto fit = fit_against_log2(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 0.5, 1e-9);
+}
+
+TEST(Regression, DegenerateInputs) {
+  EXPECT_THROW(fit_linear({1.0}, {1.0, 2.0}), std::invalid_argument);
+  const auto too_few = fit_linear({1.0}, {1.0});
+  EXPECT_EQ(too_few.slope, 0.0);
+  const auto same_x = fit_linear({2.0, 2.0}, {1.0, 3.0});
+  EXPECT_EQ(same_x.slope, 0.0);
+}
+
+TEST(Regression, NoisyDataStillRecoversTrend) {
+  rng gen(5);
+  std::vector<double> x, y;
+  for (int i = 1; i <= 200; ++i) {
+    x.push_back(i);
+    y.push_back(0.7 * i + 2.0 + gen.normal(0.0, 0.5));
+  }
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.7, 0.02);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,138 @@
+// Native-thread end-to-end tests: lean-consensus (with the bounded-space
+// combined fallback) over std::atomic registers and real std::thread
+// scheduling. Every run must satisfy agreement and validity; termination is
+// guaranteed by the combined protocol regardless of hardware scheduling.
+#include "runtime/thread_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include "noise/catalog.h"
+
+namespace leancon {
+namespace {
+
+TEST(ThreadConsensus, RejectsEmpty) {
+  thread_run_config config;
+  EXPECT_THROW(run_threads(config), std::invalid_argument);
+}
+
+TEST(ThreadConsensus, SoloThreadDecidesOwnInput) {
+  for (int bit = 0; bit < 2; ++bit) {
+    thread_run_config config;
+    config.inputs = {bit};
+    config.seed = 17;
+    const auto result = run_threads(config);
+    EXPECT_TRUE(result.all_decided);
+    EXPECT_EQ(result.decision, bit);
+    EXPECT_EQ(result.max_steps, 8u);
+  }
+}
+
+TEST(ThreadConsensus, UnanimousInputsDecideThatBit) {
+  for (int bit = 0; bit < 2; ++bit) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      thread_run_config config;
+      config.inputs = std::vector<int>(4, bit);
+      config.seed = seed;
+      const auto result = run_threads(config);
+      ASSERT_TRUE(result.all_decided);
+      ASSERT_TRUE(result.agreement);
+      ASSERT_EQ(result.decision, bit) << "validity violated";
+    }
+  }
+}
+
+TEST(ThreadConsensus, SplitInputsAgree) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    thread_run_config config;
+    config.inputs = {0, 1};
+    config.seed = seed;
+    const auto result = run_threads(config);
+    ASSERT_TRUE(result.all_decided) << "seed " << seed;
+    ASSERT_TRUE(result.agreement) << "seed " << seed;
+    ASSERT_TRUE(result.decision == 0 || result.decision == 1);
+  }
+}
+
+TEST(ThreadConsensus, FourThreadsSplitAgree) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    thread_run_config config;
+    config.inputs = {0, 1, 0, 1};
+    config.seed = seed;
+    const auto result = run_threads(config);
+    ASSERT_TRUE(result.all_decided) << "seed " << seed;
+    ASSERT_TRUE(result.agreement) << "seed " << seed;
+  }
+}
+
+TEST(ThreadConsensus, InjectedNoiseRuns) {
+  thread_run_config config;
+  config.inputs = {0, 1, 0, 1};
+  config.injected_noise = make_exponential(1.0);
+  config.noise_scale_ns = 100.0;
+  config.seed = 23;
+  const auto result = run_threads(config);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_TRUE(result.agreement);
+}
+
+TEST(ThreadConsensus, HeavierNoiseStillSafe) {
+  thread_run_config config;
+  config.inputs = {0, 1, 1, 0, 1, 0};
+  config.injected_noise = make_two_point(1.0, 2.0);
+  config.noise_scale_ns = 500.0;
+  config.seed = 29;
+  const auto result = run_threads(config);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_TRUE(result.agreement);
+}
+
+TEST(ThreadConsensus, EightThreadsManySeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    thread_run_config config;
+    config.inputs = {0, 1, 0, 1, 0, 1, 0, 1};
+    config.seed = seed;
+    const auto result = run_threads(config);
+    ASSERT_TRUE(result.all_decided) << "seed " << seed;
+    ASSERT_TRUE(result.agreement) << "seed " << seed;
+  }
+}
+
+TEST(ThreadConsensus, StepsAndRoundsReported) {
+  thread_run_config config;
+  config.inputs = {0, 1};
+  config.seed = 31;
+  const auto result = run_threads(config);
+  ASSERT_EQ(result.steps.size(), 2u);
+  ASSERT_EQ(result.lean_rounds.size(), 2u);
+  for (auto s : result.steps) EXPECT_GE(s, 8u);
+  EXPECT_GE(result.wall_ms, 0.0);
+}
+
+TEST(ThreadConsensus, YieldStormStillAgrees) {
+  // Forced yields create genuine interleaving on an oversubscribed host.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    thread_run_config config;
+    config.inputs = {0, 1, 0, 1};
+    config.yield_probability = 0.5;
+    config.seed = seed;
+    const auto result = run_threads(config);
+    ASSERT_TRUE(result.all_decided) << "seed " << seed;
+    ASSERT_TRUE(result.agreement) << "seed " << seed;
+  }
+}
+
+TEST(ThreadConsensus, TinyRMaxForcesBackupYetAgrees) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    thread_run_config config;
+    config.inputs = {0, 1, 0, 1};
+    config.r_max = 1;
+    config.seed = seed;
+    const auto result = run_threads(config);
+    ASSERT_TRUE(result.all_decided) << "seed " << seed;
+    ASSERT_TRUE(result.agreement) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,115 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "noise/catalog.h"
+#include "sim/simulator.h"
+
+namespace leancon {
+namespace {
+
+trace_event make_write(double time, int pid, int array, std::uint64_t index) {
+  trace_event e;
+  e.time = time;
+  e.pid = pid;
+  e.op = operation::write(
+      {array == 0 ? space::race0 : space::race1, index}, 1);
+  e.round = index;
+  return e;
+}
+
+TEST(Trace, EmptyTraceRendersPlaceholder) {
+  execution_trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_NE(trace.render_race_chart().find("empty"), std::string::npos);
+}
+
+TEST(Trace, FrontierTracksHighestWrite) {
+  execution_trace trace;
+  trace.add(make_write(1.0, 0, 0, 1));
+  trace.add(make_write(2.0, 0, 1, 1));
+  trace.add(make_write(3.0, 0, 0, 2));
+  EXPECT_EQ(trace.frontier(0, 0), 1u);
+  EXPECT_EQ(trace.frontier(0, 2), 2u);
+  EXPECT_EQ(trace.frontier(1, 2), 1u);
+  EXPECT_EQ(trace.frontier(1, 0), 0u);
+}
+
+TEST(Trace, ReadsDoNotMoveFrontier) {
+  execution_trace trace;
+  trace_event e;
+  e.time = 1.0;
+  e.op = operation::read({space::race0, 9});
+  trace.add(e);
+  EXPECT_EQ(trace.frontier(0, 0), 0u);
+}
+
+TEST(Trace, RaceChartShowsBothArrays) {
+  execution_trace trace;
+  for (std::uint64_t r = 1; r <= 5; ++r) {
+    trace.add(make_write(static_cast<double>(r), 0, 0, r));
+  }
+  trace.add(make_write(5.5, 1, 1, 1));
+  const std::string chart = trace.render_race_chart(4, 10);
+  EXPECT_NE(chart.find("a0"), std::string::npos);
+  EXPECT_NE(chart.find("a1"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  // Final bucket must show the a0 frontier at 5.
+  EXPECT_NE(chart.find(" 5 "), std::string::npos);
+}
+
+TEST(Trace, ProcessSummaryCountsOpsAndDecisions) {
+  execution_trace trace;
+  trace.add(make_write(1.0, 0, 0, 1));
+  trace.add(make_write(2.0, 0, 0, 2));
+  trace_event decide = make_write(3.0, 1, 1, 1);
+  decide.decided = true;
+  decide.decision = 1;
+  trace.add(decide);
+  const std::string summary = trace.render_process_summary(2);
+  EXPECT_NE(summary.find("p0"), std::string::npos);
+  EXPECT_NE(summary.find("ops=2"), std::string::npos);
+  EXPECT_NE(summary.find("decision=1"), std::string::npos);
+}
+
+TEST(Trace, SimulatorEventHookFeedsTrace) {
+  execution_trace trace;
+  sim_config config;
+  config.inputs = split_inputs(4);
+  config.sched = figure1_params(make_exponential(1.0));
+  config.seed = 5;
+  config.event_hook = [&trace](const trace_event& e) { trace.add(e); };
+  const auto result = simulate(config);
+  ASSERT_TRUE(result.all_live_decided);
+  EXPECT_EQ(trace.size(), result.total_ops);
+
+  // Events arrive in nondecreasing simulated time.
+  for (std::size_t i = 1; i < trace.events().size(); ++i) {
+    ASSERT_LE(trace.events()[i - 1].time, trace.events()[i].time);
+  }
+  // The chart and summary render non-trivially.
+  EXPECT_GT(trace.render_race_chart().size(), 100u);
+  EXPECT_NE(trace.render_process_summary(4).find("decision="),
+            std::string::npos);
+  // Exactly the decided processes carry decision marks.
+  std::size_t decisions = 0;
+  for (const auto& e : trace.events()) {
+    if (e.decided) ++decisions;
+  }
+  EXPECT_EQ(decisions, 4u);
+}
+
+TEST(Trace, FrontiersNeverExceedMaxRound) {
+  execution_trace trace;
+  sim_config config;
+  config.inputs = split_inputs(6);
+  config.sched = figure1_params(make_uniform(0.0, 2.0));
+  config.seed = 9;
+  config.event_hook = [&trace](const trace_event& e) { trace.add(e); };
+  const auto result = simulate(config);
+  EXPECT_LE(trace.frontier(0, trace.size()), result.max_round_reached);
+  EXPECT_LE(trace.frontier(1, trace.size()), result.max_round_reached);
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,71 @@
+// Shared helpers for the test suite: random-interleaving executors that
+// drive protocol machines directly (adversarial scheduling without the
+// timing layer), used by the adopt-commit / conciliator / backup tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/machine.h"
+#include "memory/sim_memory.h"
+#include "util/rng.h"
+
+namespace leancon::testing {
+
+/// Runs machines to completion under a uniformly random interleaving:
+/// at every step a uniformly random unfinished machine executes one op.
+/// Returns false if the op budget ran out before every machine finished.
+inline bool random_schedule_run(
+    std::vector<std::unique_ptr<consensus_machine>>& machines,
+    sim_memory& memory, rng& gen, std::uint64_t max_ops = 1'000'000) {
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    if (!machines[i]->done()) pending.push_back(i);
+  }
+  std::uint64_t ops = 0;
+  while (!pending.empty() && ops < max_ops) {
+    const std::size_t slot = gen.below(pending.size());
+    const std::size_t idx = pending[slot];
+    auto& m = *machines[idx];
+    const operation op = m.next_op();
+    const std::uint64_t value = memory.execute(static_cast<int>(idx), op);
+    m.apply(value);
+    ++ops;
+    if (m.done()) {
+      pending[slot] = pending.back();
+      pending.pop_back();
+    }
+  }
+  return pending.empty();
+}
+
+/// Runs machines under a fixed repeating pid pattern (e.g. strict
+/// alternation), a deterministic adversarial schedule. Finished machines are
+/// skipped. Returns false on budget exhaustion.
+inline bool pattern_schedule_run(
+    std::vector<std::unique_ptr<consensus_machine>>& machines,
+    sim_memory& memory, const std::vector<std::size_t>& pattern,
+    std::uint64_t max_ops = 1'000'000) {
+  std::uint64_t ops = 0;
+  std::size_t cursor = 0;
+  auto all_done = [&]() {
+    for (const auto& m : machines) {
+      if (!m->done()) return false;
+    }
+    return true;
+  };
+  while (!all_done() && ops < max_ops) {
+    const std::size_t idx = pattern[cursor % pattern.size()];
+    ++cursor;
+    if (idx >= machines.size() || machines[idx]->done()) continue;
+    auto& m = *machines[idx];
+    const operation op = m.next_op();
+    const std::uint64_t value = memory.execute(static_cast<int>(idx), op);
+    m.apply(value);
+    ++ops;
+  }
+  return all_done();
+}
+
+}  // namespace leancon::testing
