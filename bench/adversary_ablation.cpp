@@ -3,22 +3,20 @@
 // [0, M]: the adversary strategies shift constants but cannot change the
 // Theta(log n) shape. The bench sweeps strategy x M at fixed n.
 #include <cstdio>
+#include <map>
 
+#include "harness.h"
 #include "noise/catalog.h"
 #include "sched/adversary.h"
 #include "sim/runner.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("n", "64", "process count");
-  opts.add("trials", "300", "trials per cell");
-  opts.add("seed", "21", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_delay_ablation(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto n = static_cast<std::uint64_t>(opts.get_int("n"));
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -30,6 +28,7 @@ int main(int argc, char** argv) {
 
   table tbl({"adversary", "M", "mean first round", "ci95", "p95",
              "mean sim time"});
+  std::map<std::string, bench::series*> json;
   for (double m : {0.5, 2.0, 8.0}) {
     std::vector<delay_adversary_ptr> advs{
         make_zero_delays(),
@@ -51,6 +50,21 @@ int main(int argc, char** argv) {
       config.check_invariants = false;
       config.seed = seed + static_cast<std::uint64_t>(m * 1000);
       const auto stats = run_trials(config, trials);
+      ctx.add_counter("sim_ops",
+                      stats.total_ops.mean() *
+                          static_cast<double>(stats.total_ops.count()));
+      if (json.find(adv->name()) == json.end()) {
+        json[adv->name()] = &ctx.add_series(adv->name());
+      }
+      // x is the swept delay scale m; the adversary's own bound can be
+      // infinite (zeno), so it rides along as a metric instead.
+      json[adv->name()]
+          ->at(m)
+          .set("bound", adv->bound())
+          .set("mean_first_round", stats.first_round.mean())
+          .set("ci95", stats.first_round.ci95_halfwidth())
+          .set("p95", stats.first_round.quantile(0.95))
+          .set("mean_sim_time", stats.first_time.mean());
       tbl.begin_row();
       tbl.cell(adv->name());
       tbl.cell(adv->bound(), 1);
@@ -61,5 +75,15 @@ int main(int argc, char** argv) {
     }
   }
   tbl.print();
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("adversary_ablation");
+  h.opts().add("n", "64", "process count");
+  h.opts().add("trials", "300", "trials per cell");
+  h.opts().add("seed", "21", "base seed");
+  h.add("delay_ablation", run_delay_ablation);
+  return h.main(argc, argv);
 }

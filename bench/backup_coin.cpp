@@ -8,20 +8,18 @@
 #include <cstdio>
 
 #include "backup/backup_machine.h"
+#include "harness.h"
 #include "noise/catalog.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("trials", "300", "trials per cell");
-  opts.add("seed", "22", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_write_prob_sweep(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
 
@@ -33,6 +31,7 @@ int main(int argc, char** argv) {
     const double canonical = 1.0 / (2.0 * static_cast<double>(n));
     std::printf("n = %llu (canonical p = 1/(2n) = %.4f)\n",
                 static_cast<unsigned long long>(n), canonical);
+    auto& json = ctx.add_series("n=" + std::to_string(n));
     table tbl({"write prob", "mean ops/proc", "p95 ops", "mean max ops",
                "undecided"});
     std::vector<double> probs{canonical, 2.0 * canonical, 0.25, 1.0};
@@ -50,6 +49,7 @@ int main(int argc, char** argv) {
         config.check_invariants = false;
         config.seed = seed + n * 37 + static_cast<std::uint64_t>(p * 1e5) + t;
         const auto r = simulate(config);
+        ctx.add_counter("sim_ops", static_cast<double>(r.total_ops));
         if (!r.all_live_decided) {
           ++undecided;
           continue;
@@ -68,6 +68,11 @@ int main(int argc, char** argv) {
         }
         max_round.add(max_ops);
       }
+      json.at(p)
+          .set("mean_ops_per_proc", ops.mean())
+          .set("p95_ops", ops.count() ? ops.quantile(0.95) : 0.0)
+          .set("mean_max_ops", max_round.mean())
+          .set("undecided", static_cast<double>(undecided));
       tbl.begin_row();
       tbl.cell(p, 4);
       tbl.cell(ops.mean(), 1);
@@ -82,5 +87,14 @@ int main(int argc, char** argv) {
   std::printf("Adopt-commit solo cost: 4 operations (doorway write, doorway"
               " read,\nproposal write, doorway re-read); conflict path adds"
               " one proposal read.\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("backup_coin");
+  h.opts().add("trials", "300", "trials per cell");
+  h.opts().add("seed", "22", "base seed");
+  h.add("write_prob_sweep", run_write_prob_sweep);
+  return h.main(argc, argv);
 }

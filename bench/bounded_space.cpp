@@ -12,19 +12,17 @@
 #include <cstdio>
 
 #include "core/combined_machine.h"
+#include "harness.h"
 #include "noise/catalog.h"
 #include "sim/runner.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("trials", "300", "trials per cell");
-  opts.add("seed", "15", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_r_max_sweep(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
 
@@ -47,6 +45,7 @@ int main(int argc, char** argv) {
     std::printf("n = %llu (default r_max = %llu)\n",
                 static_cast<unsigned long long>(n),
                 static_cast<unsigned long long>(default_r_max(n)));
+    auto& json = ctx.add_series("n=" + std::to_string(n));
     table tbl({"r_max", "backup trials", "mean ops/proc", "max ops (any proc)",
                "mean last round", "undecided"});
     for (const auto r_max : r_maxes) {
@@ -59,13 +58,24 @@ int main(int argc, char** argv) {
       config.check_invariants = false;
       config.seed = seed + n * 1009 + r_max;
       const auto stats = run_trials(config, trials);
+      ctx.add_counter("sim_ops",
+                      stats.total_ops.mean() *
+                          static_cast<double>(stats.total_ops.count()));
 
+      const double backup_fraction =
+          static_cast<double>(stats.backup_trials) /
+          static_cast<double>(stats.trials);
+      json.at(static_cast<double>(r_max))
+          .set("backup_fraction", backup_fraction)
+          .set("mean_ops_per_proc", stats.ops_per_process.mean())
+          .set("max_ops", stats.max_ops.max())
+          .set("mean_last_round",
+               stats.last_round.count() > 0 ? stats.last_round.mean() : 0.0)
+          .set("undecided", static_cast<double>(stats.undecided_trials));
       tbl.begin_row();
       tbl.cell(r_max);
       char frac[32];
-      std::snprintf(frac, sizeof frac, "%.1f%%",
-                    100.0 * static_cast<double>(stats.backup_trials) /
-                        static_cast<double>(stats.trials));
+      std::snprintf(frac, sizeof frac, "%.1f%%", 100.0 * backup_fraction);
       tbl.cell(std::string(frac));
       tbl.cell(stats.ops_per_process.mean(), 1);
       tbl.cell(stats.max_ops.max(), 0);
@@ -76,5 +86,14 @@ int main(int argc, char** argv) {
     tbl.print();
     std::printf("\n");
   }
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("bounded_space");
+  h.opts().add("trials", "300", "trials per cell");
+  h.opts().add("seed", "15", "base seed");
+  h.add("r_max_sweep", run_r_max_sweep);
+  return h.main(argc, argv);
 }

@@ -9,22 +9,19 @@
 //       O(log n). The bench fits mean rounds against f.
 #include <cstdio>
 
+#include "harness.h"
 #include "noise/catalog.h"
 #include "sched/crash_adversary.h"
 #include "sim/runner.h"
 #include "stats/regression.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("n", "64", "process count");
-  opts.add("trials", "400", "trials per cell");
-  opts.add("seed", "17", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_random_halting(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto n = static_cast<std::uint64_t>(opts.get_int("n"));
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -33,6 +30,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(n));
   table tbl({"h (per op)", "decided trials", "all-halted trials",
              "mean first round", "mean survivors"});
+  auto& json = ctx.add_series("random_halting");
   for (double h : {0.0, 0.0005, 0.002, 0.008, 0.03, 0.1}) {
     sim_config config;
     config.inputs = split_inputs(n);
@@ -49,6 +47,7 @@ int main(int argc, char** argv) {
       sim_config c = config;
       c.seed = config.seed + t * 7919;
       const auto r = simulate(c);
+      ctx.add_counter("sim_ops", static_cast<double>(r.total_ops));
       if (r.any_decided) {
         ++decided;
         first_round.add(static_cast<double>(r.first_decision_round));
@@ -58,6 +57,12 @@ int main(int argc, char** argv) {
       survivors.add(static_cast<double>(c.inputs.size() -
                                         r.halted_processes));
     }
+    json.at(h)
+        .set("decided", static_cast<double>(decided))
+        .set("all_halted", static_cast<double>(all_halted))
+        .set("mean_first_round",
+             first_round.count() ? first_round.mean() : 0.0)
+        .set("mean_survivors", survivors.mean());
     tbl.begin_row();
     tbl.cell(h, 4);
     tbl.cell(decided);
@@ -66,6 +71,12 @@ int main(int argc, char** argv) {
     tbl.cell(survivors.mean(), 1);
   }
   tbl.print();
+}
+
+void run_adaptive_crashes(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
+  const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
 
   std::printf("\n(b) Adaptive crash adversary (kill-poised: crash a process"
               " the instant its\nnext operation would decide — Section 10's"
@@ -73,6 +84,7 @@ int main(int argc, char** argv) {
               " conjectured O(log n).\n\n");
   table tbl2({"n", "f=0", "f=1", "f=2", "f=4", "f=n/2", "slope/f (small n)"});
   for (std::uint64_t procs : {2u, 4u, 8u, 32u}) {
+    auto& json = ctx.add_series("adaptive_crashes n=" + std::to_string(procs));
     tbl2.begin_row();
     tbl2.cell(procs);
     std::vector<double> fs, rounds;
@@ -88,15 +100,18 @@ int main(int argc, char** argv) {
         config.crashes = make_kill_poised(f);
         config.seed = seed * 31 + procs * 977 + f * 101 + t;
         const auto r = simulate(config);
+        ctx.add_counter("sim_ops", static_cast<double>(r.total_ops));
         if (r.any_decided) {
           first_round.add(static_cast<double>(r.first_decision_round));
         }
       }
       fs.push_back(static_cast<double>(f));
       rounds.push_back(first_round.mean());
+      json.at(static_cast<double>(f)).set("mean_round", first_round.mean());
       tbl2.cell(first_round.mean(), 2);
     }
     const auto fit = fit_linear(fs, rounds);
+    ctx.add_counter("slope_per_f/n=" + std::to_string(procs), fit.slope);
     tbl2.cell(fit.slope, 2);
   }
   tbl2.print();
@@ -107,5 +122,16 @@ int main(int argc, char** argv) {
               " its team — so f kills buy far less than f restarts: strong\n"
               "empirical support for the paper's O(log n) conjecture over"
               " the O(f log n)\nupper bound.\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("failures");
+  h.opts().add("n", "64", "process count");
+  h.opts().add("trials", "400", "trials per cell");
+  h.opts().add("seed", "17", "base seed");
+  h.add("random_halting", run_random_halting);
+  h.add("adaptive_crashes", run_adaptive_crashes);
+  return h.main(argc, argv);
 }

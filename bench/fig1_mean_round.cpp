@@ -18,32 +18,25 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness.h"
 #include "noise/catalog.h"
 #include "sim/runner.h"
 #include "stats/regression.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("nmax", "100000", "largest process count in the sweep");
-  opts.add("trials", "1000", "trial cap per (distribution, n) cell");
-  opts.add("op-budget", "6000000",
-           "approximate simulated-operation budget per cell (scales trials "
-           "down at large n)");
-  opts.add("seed", "20000625", "base seed (PODC 2000 vintage)");
-  opts.add("csv", "", "optional path for machine-readable series output");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_figure1(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   std::FILE* csv = nullptr;
   const std::string csv_path = opts.get("csv");
   if (!csv_path.empty()) {
     csv = std::fopen(csv_path.c_str(), "w");
     if (csv == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
-      return 1;
+      ctx.fail("cannot open " + csv_path);
+      return;
     }
     std::fprintf(csv, "distribution,n,trials,mean_round,ci95\n");
   }
@@ -66,8 +59,12 @@ int main(int argc, char** argv) {
   for (const auto& entry : catalog) headers.push_back(entry.dist->name());
   table tbl(headers);
 
-  // Retain per-distribution series for the slope fit.
+  // Retain per-distribution series for the slope fit and the JSON output.
   std::vector<std::vector<double>> series(catalog.size());
+  std::vector<bench::series*> json_series;
+  for (const auto& entry : catalog) {
+    json_series.push_back(&ctx.add_series(entry.dist->name()));
+  }
 
   for (const auto n : ns) {
     tbl.begin_row();
@@ -90,17 +87,24 @@ int main(int argc, char** argv) {
       const auto stats = run_trials(config, trials);
 
       const double mean = stats.first_round.mean();
+      const double ci95 = stats.first_round.ci95_halfwidth();
       series[d].push_back(mean);
+      json_series[d]
+          ->at(static_cast<double>(n))
+          .set("mean_round", mean)
+          .set("ci95", ci95)
+          .set("trials", static_cast<double>(trials));
+      ctx.add_counter("sim_ops",
+                      stats.total_ops.mean() *
+                          static_cast<double>(stats.total_ops.count()));
       char cellbuf[64];
-      std::snprintf(cellbuf, sizeof cellbuf, "%.2f +-%.2f", mean,
-                    stats.first_round.ci95_halfwidth());
+      std::snprintf(cellbuf, sizeof cellbuf, "%.2f +-%.2f", mean, ci95);
       tbl.cell(std::string(cellbuf));
       if (csv != nullptr) {
         std::fprintf(csv, "%s,%llu,%llu,%.4f,%.4f\n",
                      catalog[d].dist->name().c_str(),
                      static_cast<unsigned long long>(n),
-                     static_cast<unsigned long long>(trials), mean,
-                     stats.first_round.ci95_halfwidth());
+                     static_cast<unsigned long long>(trials), mean, ci95);
       }
     }
   }
@@ -110,12 +114,11 @@ int main(int argc, char** argv) {
               " growth;\nnormal(1,0.04) flat-to-inverted):\n\n");
   table slopes({"distribution", "slope/log10(n)", "round(n=1)",
                 "round(n=max)"});
-  std::vector<double> xs;
-  for (auto n : ns) xs.push_back(static_cast<double>(n));
   for (std::size_t d = 0; d < catalog.size(); ++d) {
     std::vector<double> lx;
     for (auto n : ns) lx.push_back(std::log10(static_cast<double>(n)));
     const auto fit = fit_linear(lx, series[d]);
+    ctx.add_counter("slope/" + catalog[d].dist->name(), fit.slope);
     slopes.begin_row();
     slopes.cell(catalog[d].dist->name());
     slopes.cell(fit.slope);
@@ -127,5 +130,19 @@ int main(int argc, char** argv) {
     std::fclose(csv);
     std::printf("\nseries written to %s\n", csv_path.c_str());
   }
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("fig1_mean_round");
+  h.opts().add("nmax", "100000", "largest process count in the sweep");
+  h.opts().add("trials", "1000", "trial cap per (distribution, n) cell");
+  h.opts().add("op-budget", "6000000",
+               "approximate simulated-operation budget per cell (scales "
+               "trials down at large n)");
+  h.opts().add("seed", "20000625", "base seed (PODC 2000 vintage)");
+  h.opts().add("csv", "", "optional path for machine-readable series output");
+  h.add("mean_round", run_figure1);
+  return h.main(argc, argv);
 }

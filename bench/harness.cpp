@@ -1,0 +1,515 @@
+#include "harness.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace leancon::bench {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+void accumulate(std::vector<std::pair<std::string, double>>& counters,
+                const std::string& name, double delta) {
+  for (auto& [key, value] : counters) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  counters.emplace_back(name, delta);
+}
+
+// --- JSON writing ----------------------------------------------------------
+
+void write_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Numbers render as JSON numbers; non-finite values as null.
+void write_number(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+// --- Recording surfaces ----------------------------------------------------
+
+point& point::set(const std::string& name, double value) {
+  for (auto& [key, old] : metrics) {
+    if (key == name) {
+      old = value;
+      return *this;
+    }
+  }
+  metrics.emplace_back(name, value);
+  return *this;
+}
+
+point& series::at(double x) {
+  points.emplace_back();
+  points.back().x = x;
+  return points.back();
+}
+
+run_context::run_context(const std::string& run_name, const options& opts,
+                         results& out, std::uint64_t warmup,
+                         std::uint64_t repeat)
+    : run_name_(run_name),
+      opts_(opts),
+      out_(out),
+      warmup_(warmup),
+      repeat_(repeat == 0 ? 1 : repeat) {}
+
+series& run_context::add_series(std::string name) {
+  out_.series_list.push_back({run_name_, std::move(name), {}});
+  return out_.series_list.back();
+}
+
+void run_context::add_counter(const std::string& name, double delta) {
+  accumulate(out_.counters, name, delta);
+}
+
+void run_context::fail(const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", run_name_.c_str(), message.c_str());
+  out_.failed = true;
+}
+
+double run_context::time(const std::function<void()>& fn) {
+  for (std::uint64_t i = 0; i < warmup_; ++i) fn();
+  const auto start = clock_type::now();
+  for (std::uint64_t i = 0; i < repeat_; ++i) fn();
+  const double elapsed = seconds_since(start);
+  add_counter("timed_seconds/" + run_name_, elapsed);
+  return elapsed / static_cast<double>(repeat_);
+}
+
+// --- Harness ---------------------------------------------------------------
+
+harness::harness(std::string bench_name) : bench_name_(std::move(bench_name)) {
+  opts_.add("json", "", "write results as BENCH json to this path");
+  opts_.add("run", "", "only execute runs whose name contains this substring");
+  opts_.add("list", "false", "print registered run names and exit");
+  opts_.add("warmup", "0", "untimed executions before each timed block");
+  opts_.add("repeat", "1", "timed executions averaged per timed block");
+}
+
+void harness::add(std::string run_name, std::function<void(run_context&)> fn) {
+  runs_.push_back({std::move(run_name), std::move(fn)});
+}
+
+int harness::main(int argc, const char* const* argv) {
+  if (!opts_.parse(argc, argv)) return 1;
+  if (opts_.get_bool("list")) {
+    for (const auto& run : runs_) std::printf("%s\n", run.name.c_str());
+    return 0;
+  }
+  const std::string filter = opts_.get("run");
+  const auto warmup = static_cast<std::uint64_t>(opts_.get_int("warmup"));
+  const auto repeat = static_cast<std::uint64_t>(opts_.get_int("repeat"));
+
+  results res;
+  res.bench = bench_name_;
+  res.params = opts_.flag_values();
+
+  const auto start = clock_type::now();
+  bool any_run = false;
+  for (const auto& run : runs_) {
+    if (!filter.empty() && run.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    any_run = true;
+    run_context ctx(run.name, opts_, res, warmup, repeat);
+    const auto run_start = clock_type::now();
+    run.fn(ctx);
+    accumulate(res.counters, "seconds/" + run.name,
+               seconds_since(run_start));
+  }
+  res.seconds = seconds_since(start);
+
+  if (!any_run && !runs_.empty()) {
+    std::fprintf(stderr, "no registered run matches --run=%s\n",
+                 filter.c_str());
+    return 1;
+  }
+  if (res.failed) return 1;
+
+  const std::string json_path = opts_.get("json");
+  if (!json_path.empty()) {
+    const std::string text = to_json(res);
+    if (const auto error = validate_bench_json(text)) {
+      std::fprintf(stderr, "internal error: emitted json is invalid: %s\n",
+                   error->c_str());
+      return 1;
+    }
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), out);
+    std::fclose(out);
+  }
+  return 0;
+}
+
+// --- JSON emitter ----------------------------------------------------------
+
+std::string to_json(const results& r) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": ";
+  write_escaped(os, r.bench);
+  os << ",\n  \"params\": {";
+  for (std::size_t i = 0; i < r.params.size(); ++i) {
+    os << (i == 0 ? "" : ", ");
+    write_escaped(os, r.params[i].first);
+    os << ": ";
+    write_escaped(os, r.params[i].second);
+  }
+  os << "},\n  \"series\": [";
+  for (std::size_t s = 0; s < r.series_list.size(); ++s) {
+    const auto& ser = r.series_list[s];
+    os << (s == 0 ? "\n" : ",\n") << "    {\"run\": ";
+    write_escaped(os, ser.run);
+    os << ", \"name\": ";
+    write_escaped(os, ser.name);
+    os << ", \"points\": [";
+    for (std::size_t p = 0; p < ser.points.size(); ++p) {
+      const auto& pt = ser.points[p];
+      os << (p == 0 ? "\n" : ",\n") << "      {\"x\": ";
+      write_number(os, pt.x);
+      for (const auto& [name, value] : pt.metrics) {
+        os << ", ";
+        write_escaped(os, name);
+        os << ": ";
+        write_number(os, value);
+      }
+      os << "}";
+    }
+    os << (ser.points.empty() ? "]}" : "\n    ]}");
+  }
+  os << (r.series_list.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < r.counters.size(); ++i) {
+    os << (i == 0 ? "" : ", ");
+    write_escaped(os, r.counters[i].first);
+    os << ": ";
+    write_number(os, r.counters[i].second);
+  }
+  os << "},\n  \"seconds\": ";
+  write_number(os, r.seconds);
+  os << "\n}\n";
+  return os.str();
+}
+
+// --- JSON validation -------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON document model, just rich enough for schema validation.
+struct jvalue {
+  enum class kind { null, boolean, number, string, object, array };
+  kind k = kind::null;
+  double num = 0.0;
+  bool b = false;
+  std::string str;
+  std::vector<std::pair<std::string, jvalue>> members;  // object
+  std::vector<jvalue> items;                            // array
+
+  const jvalue* find(const std::string& key) const {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent parser; throws std::runtime_error on malformed input.
+class json_parser {
+ public:
+  explicit json_parser(const std::string& text) : text_(text) {}
+
+  jvalue parse() {
+    jvalue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) == 0) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  jvalue parse_value() {
+    const char c = peek();
+    jvalue v;
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"':
+        v.k = jvalue::kind::string;
+        v.str = parse_string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v.k = jvalue::kind::boolean;
+        v.b = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v.k = jvalue::kind::boolean;
+        v.b = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        v.k = jvalue::kind::null;
+        return v;
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            // Decoded code points are not needed for validation; keep the
+            // raw escape so content checks still see something.
+            out += "\\u" + text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  jvalue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    jvalue v;
+    v.k = jvalue::kind::number;
+    try {
+      v.num = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  jvalue parse_object() {
+    expect('{');
+    jvalue v;
+    v.k = jvalue::kind::object;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  jvalue parse_array() {
+    expect('[');
+    jvalue v;
+    v.k = jvalue::kind::array;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<std::string> check_series(const jvalue& ser, std::size_t index) {
+  const std::string where = "series[" + std::to_string(index) + "]";
+  if (ser.k != jvalue::kind::object) return where + " is not an object";
+  const jvalue* run = ser.find("run");
+  if (run == nullptr || run->k != jvalue::kind::string) {
+    return where + " lacks a string \"run\"";
+  }
+  const jvalue* name = ser.find("name");
+  if (name == nullptr || name->k != jvalue::kind::string) {
+    return where + " lacks a string \"name\"";
+  }
+  const jvalue* points = ser.find("points");
+  if (points == nullptr || points->k != jvalue::kind::array) {
+    return where + " lacks a \"points\" array";
+  }
+  for (std::size_t p = 0; p < points->items.size(); ++p) {
+    const auto& pt = points->items[p];
+    const std::string pwhere = where + ".points[" + std::to_string(p) + "]";
+    if (pt.k != jvalue::kind::object) return pwhere + " is not an object";
+    const jvalue* x = pt.find("x");
+    if (x == nullptr || x->k != jvalue::kind::number) {
+      return pwhere + " lacks a numeric \"x\"";
+    }
+    for (const auto& [key, value] : pt.members) {
+      if (value.k != jvalue::kind::number &&
+          value.k != jvalue::kind::null) {
+        return pwhere + "." + key + " is neither number nor null";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> validate_bench_json(const std::string& text) {
+  jvalue root;
+  try {
+    root = json_parser(text).parse();
+  } catch (const std::exception& e) {
+    return std::string("parse error: ") + e.what();
+  }
+  if (root.k != jvalue::kind::object) return "root is not an object";
+
+  const jvalue* bench = root.find("bench");
+  if (bench == nullptr || bench->k != jvalue::kind::string ||
+      bench->str.empty()) {
+    return "\"bench\" must be a non-empty string";
+  }
+  const jvalue* params = root.find("params");
+  if (params == nullptr || params->k != jvalue::kind::object) {
+    return "\"params\" must be an object";
+  }
+  for (const auto& [key, value] : params->members) {
+    if (value.k != jvalue::kind::string) {
+      return "params." + key + " is not a string";
+    }
+  }
+  const jvalue* series_node = root.find("series");
+  if (series_node == nullptr || series_node->k != jvalue::kind::array) {
+    return "\"series\" must be an array";
+  }
+  for (std::size_t i = 0; i < series_node->items.size(); ++i) {
+    if (auto error = check_series(series_node->items[i], i)) return error;
+  }
+  if (const jvalue* counters = root.find("counters")) {
+    if (counters->k != jvalue::kind::object) {
+      return "\"counters\" must be an object";
+    }
+    for (const auto& [key, value] : counters->members) {
+      if (value.k != jvalue::kind::number) {
+        return "counters." + key + " is not a number";
+      }
+    }
+  }
+  const jvalue* seconds = root.find("seconds");
+  if (seconds == nullptr || seconds->k != jvalue::kind::number ||
+      seconds->num < 0.0) {
+    return "\"seconds\" must be a non-negative number";
+  }
+  for (const auto& [key, value] : root.members) {
+    if (key != "bench" && key != "params" && key != "series" &&
+        key != "counters" && key != "seconds") {
+      return "unknown top-level key \"" + key + "\"";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace leancon::bench

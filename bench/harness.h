@@ -1,0 +1,145 @@
+// Shared experiment harness for every bench binary.
+//
+// Each bench registers one or more named runs with a `harness`, records its
+// results as named series of (x, metrics...) points plus accumulated
+// counters, and gets a uniform command-line surface for free:
+//
+//   --json <path>   write results as BENCH json (schema below)
+//   --run <substr>  execute only runs whose name contains the substring
+//   --list          print registered run names and exit
+//   --warmup <k>    untimed executions before each run_context::time() block
+//   --repeat <k>    timed executions averaged by run_context::time()
+//
+// BENCH json schema (all of it emitted by to_json, checked by
+// validate_bench_json, and round-tripped in tests/test_bench_harness.cpp):
+//
+//   {
+//     "bench": "<binary name>",                  // string
+//     "params": {"<flag>": "<final value>"},     // every declared flag
+//     "series": [
+//       {"run": "<run name>",                    // registering run
+//        "name": "<curve label>",                // e.g. a distribution name
+//        "points": [{"x": <number>, "<metric>": <number|null>, ...}]}
+//     ],
+//     "counters": {"<name>": <number>},          // accumulated; includes
+//                                                // wall seconds per run as
+//                                                // "seconds/<run name>"
+//     "seconds": <number>                        // total wall clock
+//   }
+//
+// Non-finite metric values serialize as null so the output stays valid JSON.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/options.h"
+
+namespace leancon::bench {
+
+/// One sample along a series: an x coordinate plus named metric values.
+struct point {
+  double x = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Appends (or overwrites) a named metric; returns *this for chaining.
+  point& set(const std::string& name, double value);
+};
+
+/// A named curve, e.g. one distribution in the Figure 1 sweep.
+struct series {
+  std::string run;   ///< name of the run that produced it
+  std::string name;  ///< curve label
+  std::vector<point> points;
+
+  /// Appends a point at `x` and returns it for metric filling.
+  point& at(double x);
+};
+
+/// Everything a bench produced: filled by run_contexts, serialized by
+/// to_json().
+struct results {
+  std::string bench;
+  std::vector<std::pair<std::string, std::string>> params;
+  // Deque so references handed out by run_context::add_series stay valid
+  // while later series are appended.
+  std::deque<series> series_list;
+  std::vector<std::pair<std::string, double>> counters;
+  double seconds = 0.0;
+  bool failed = false;  ///< set via run_context::fail
+};
+
+/// Recording surface handed to each registered run.
+class run_context {
+ public:
+  run_context(const std::string& run_name, const options& opts, results& out,
+              std::uint64_t warmup, std::uint64_t repeat);
+
+  const options& opts() const { return opts_; }
+
+  /// Adds a series attributed to this run.
+  series& add_series(std::string name);
+
+  /// Accumulates a named counter (e.g. simulated shared-memory operations).
+  void add_counter(const std::string& name, double delta);
+
+  /// Reports a run failure (message goes to stderr); harness::main then
+  /// exits nonzero after the remaining runs complete.
+  void fail(const std::string& message);
+
+  /// Executes `fn` warmup() untimed times followed by repeat() timed times
+  /// and returns the mean wall-clock seconds per timed execution. The total
+  /// timed seconds are also accumulated into the "timed_seconds/<run>"
+  /// counter.
+  double time(const std::function<void()>& fn);
+
+  std::uint64_t warmup() const { return warmup_; }
+  std::uint64_t repeat() const { return repeat_; }
+
+ private:
+  std::string run_name_;
+  const options& opts_;
+  results& out_;
+  std::uint64_t warmup_;
+  std::uint64_t repeat_;
+};
+
+/// Options-driven registry of runs. Owns argument parsing, run selection,
+/// warmup/repetition control, wall-clock accounting, and the JSON emitter.
+class harness {
+ public:
+  explicit harness(std::string bench_name);
+
+  /// Flag declaration surface (standard flags are pre-declared here).
+  options& opts() { return opts_; }
+
+  /// Registers a named run; runs execute in registration order.
+  void add(std::string run_name, std::function<void(run_context&)> fn);
+
+  /// Parses argv, executes the selected runs, and honours --json/--list.
+  /// Returns a process exit code.
+  int main(int argc, const char* const* argv);
+
+ private:
+  struct registered_run {
+    std::string name;
+    std::function<void(run_context&)> fn;
+  };
+  std::string bench_name_;
+  options opts_;
+  std::vector<registered_run> runs_;
+};
+
+/// Serializes results into the documented BENCH json schema.
+std::string to_json(const results& r);
+
+/// Structurally validates BENCH json text against the documented schema.
+/// Returns std::nullopt on success, else a human-readable error.
+std::optional<std::string> validate_bench_json(const std::string& text);
+
+}  // namespace leancon::bench

@@ -9,23 +9,20 @@
 #include <cstdio>
 #include <map>
 
+#include "harness.h"
 #include "id/id_machine.h"
 #include "noise/catalog.h"
 #include "sim/simulator.h"
 #include "stats/regression.h"
 #include "stats/summary.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("trials", "200", "trials per point");
-  opts.add("nmax", "64", "largest process count (powers of two)");
-  opts.add("seed", "23", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_tournament(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -35,6 +32,7 @@ int main(int argc, char** argv) {
 
   table tbl({"n", "levels", "mean ops/proc", "p95 ops", "mean sim time",
              "distinct winners", "agreement failures"});
+  auto& json = ctx.add_series("tournament");
   std::vector<double> xs, ys;
   for (std::uint64_t n = 2; n <= nmax; n *= 2) {
     summary ops, sim_time;
@@ -51,6 +49,7 @@ int main(int argc, char** argv) {
                                             n, id_params{}, gen);
       };
       const auto r = simulate(config);
+      ctx.add_counter("sim_ops", static_cast<double>(r.total_ops));
       if (!r.all_live_decided) {
         ++failures;
         continue;
@@ -72,6 +71,13 @@ int main(int argc, char** argv) {
     }
     const auto levels =
         id_machine(0, n, {}, rng(1)).levels();
+    json.at(static_cast<double>(n))
+        .set("levels", static_cast<double>(levels))
+        .set("mean_ops_per_proc", ops.mean())
+        .set("p95_ops", ops.count() ? ops.quantile(0.95) : 0.0)
+        .set("mean_sim_time", sim_time.mean())
+        .set("distinct_winners", static_cast<double>(winners.size()))
+        .set("agreement_failures", static_cast<double>(failures));
     tbl.begin_row();
     tbl.cell(n);
     tbl.cell(static_cast<std::uint64_t>(levels));
@@ -86,9 +92,20 @@ int main(int argc, char** argv) {
   tbl.print();
 
   const auto fit = fit_against_log2(xs, ys);
+  ctx.add_counter("fit_slope", fit.slope);
   std::printf("\nfit: ops/proc = %.2f * log2(n) + %.2f (R^2 = %.2f)\n"
               "expected: near-linear in log n x per-level cost; agreement"
               " failures must be 0.\n",
               fit.slope, fit.intercept, fit.r_squared);
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("id_consensus");
+  h.opts().add("trials", "200", "trials per point");
+  h.opts().add("nmax", "64", "largest process count (powers of two)");
+  h.opts().add("seed", "23", "base seed");
+  h.add("tournament", run_tournament);
+  return h.main(argc, argv);
 }

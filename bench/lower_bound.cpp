@@ -14,21 +14,18 @@
 // not by the lattice structure of the two-point support.
 #include <cstdio>
 
+#include "harness.h"
 #include "noise/catalog.h"
 #include "sim/runner.h"
 #include "stats/regression.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("trials", "400", "trials per point");
-  opts.add("nmax", "4096", "largest n (powers of four swept)");
-  opts.add("seed", "13", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_lower_bound(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -36,14 +33,16 @@ int main(int argc, char** argv) {
   std::printf("Theorem 13: Omega(log n) rounds under the two-point {1,2}"
               " construction.\n\n");
 
-  struct series {
+  struct series_acc {
     const char* label;
     distribution_ptr dist;
     std::vector<double> means;
+    bench::series* json;
   };
-  std::vector<series> runs;
-  runs.push_back({"two-point {1,2}", make_two_point(1.0, 2.0), {}});
-  runs.push_back({"uniform (1,2)", make_uniform(1.0, 2.0), {}});
+  std::vector<series_acc> runs;
+  runs.push_back({"two-point {1,2}", make_two_point(1.0, 2.0), {}, nullptr});
+  runs.push_back({"uniform (1,2)", make_uniform(1.0, 2.0), {}, nullptr});
+  for (auto& run : runs) run.json = &ctx.add_series(run.label);
 
   std::vector<double> xs;
   table tbl({"n", "mean round {1,2}", "mean round unif(1,2)"});
@@ -59,7 +58,13 @@ int main(int argc, char** argv) {
       config.check_invariants = false;
       config.seed = seed + n * 17;
       const auto stats = run_trials(config, trials);
+      ctx.add_counter("sim_ops",
+                      stats.total_ops.mean() *
+                          static_cast<double>(stats.total_ops.count()));
       run.means.push_back(stats.first_round.mean());
+      run.json->at(static_cast<double>(n))
+          .set("mean_round", stats.first_round.mean())
+          .set("ci95", stats.first_round.ci95_halfwidth());
       tbl.cell(stats.first_round.mean(), 2);
     }
   }
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
   for (const auto& run : runs) {
     const auto fit = fit_against_log2(xs, run.means);
+    ctx.add_counter(std::string("slope/") + run.label, fit.slope);
     std::printf("%-20s slope vs log2(n) = %.3f (R^2 = %.3f)\n", run.label,
                 fit.slope, fit.r_squared);
   }
@@ -75,5 +81,15 @@ int main(int argc, char** argv) {
       "\npaper claim: the two-point construction forces expected"
       " Omega(log n) rounds\n(positive slope); both curves are"
       " Theta(log n) by Theorems 12+13.\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("lower_bound");
+  h.opts().add("trials", "400", "trials per point");
+  h.opts().add("nmax", "4096", "largest n (powers of four swept)");
+  h.opts().add("seed", "13", "base seed");
+  h.add("lower_bound", run_lower_bound);
+  return h.main(argc, argv);
 }

@@ -9,22 +9,19 @@
 // shape answers empirically: rounds still grow as O(log n).
 #include <cstdio>
 
+#include "harness.h"
 #include "msg/abd_sim.h"
 #include "noise/catalog.h"
 #include "stats/regression.h"
 #include "stats/summary.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("trials", "150", "trials per point");
-  opts.add("nmax", "32", "largest process count (powers of two)");
-  opts.add("seed", "24", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_scaling(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -34,6 +31,7 @@ int main(int argc, char** argv) {
 
   table tbl({"n", "mean reg-ops/proc", "mean msgs total", "mean decision time",
              "failures"});
+  auto& json = ctx.add_series("scaling");
   std::vector<double> xs, ys;
   for (std::uint64_t n = 2; n <= nmax; n *= 2) {
     summary ops, msgs, when;
@@ -44,6 +42,7 @@ int main(int argc, char** argv) {
       config.net = figure1_params(make_exponential(1.0));
       config.seed = seed + n * 101 + t;
       const auto r = run_message_passing(config);
+      ctx.add_counter("messages", static_cast<double>(r.total_messages));
       if (!r.all_live_decided) {
         ++failures;
         continue;
@@ -56,6 +55,11 @@ int main(int argc, char** argv) {
       msgs.add(static_cast<double>(r.total_messages));
       when.add(r.last_decision_time);
     }
+    json.at(static_cast<double>(n))
+        .set("mean_reg_ops_per_proc", ops.mean())
+        .set("mean_msgs", msgs.mean())
+        .set("mean_decision_time", when.mean())
+        .set("failures", static_cast<double>(failures));
     tbl.begin_row();
     tbl.cell(n);
     tbl.cell(ops.mean(), 1);
@@ -68,12 +72,20 @@ int main(int argc, char** argv) {
   tbl.print();
 
   const auto fit = fit_against_log2(xs, ys);
+  ctx.add_counter("fit_slope", fit.slope);
   std::printf("\nfit: reg-ops/proc = %.2f * log2(n) + %.2f (R^2 = %.2f)\n",
               fit.slope, fit.intercept, fit.r_squared);
+}
+
+void run_crash_tolerance(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
+  const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
 
   // Crash tolerance: a strict minority of processes crash mid-run.
   std::printf("\nWith minority crashes (n = 8):\n\n");
   table tbl2({"crashes", "decided trials", "mean reg-ops/proc"});
+  auto& json = ctx.add_series("minority_crashes n=8");
   for (std::uint64_t crashes : {0u, 1u, 2u, 3u}) {
     summary ops;
     std::uint64_t decided = 0;
@@ -84,6 +96,7 @@ int main(int argc, char** argv) {
       config.crashes = crashes;
       config.seed = seed * 7 + crashes * 31 + t;
       const auto r = run_message_passing(config);
+      ctx.add_counter("messages", static_cast<double>(r.total_messages));
       if (!r.all_live_decided) continue;
       ++decided;
       double ops_sum = 0.0;
@@ -95,6 +108,9 @@ int main(int argc, char** argv) {
       }
       if (live > 0) ops.add(ops_sum / static_cast<double>(live));
     }
+    json.at(static_cast<double>(crashes))
+        .set("decided", static_cast<double>(decided))
+        .set("mean_reg_ops_per_proc", ops.mean());
     tbl2.begin_row();
     tbl2.cell(crashes);
     tbl2.cell(decided);
@@ -104,5 +120,16 @@ int main(int argc, char** argv) {
   std::printf("\nexpected: every trial decides (ABD tolerates any strict"
               " minority of crashes);\nops grow mildly as crashes thin the"
               " race.\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("message_passing");
+  h.opts().add("trials", "150", "trials per point");
+  h.opts().add("nmax", "32", "largest process count (powers of two)");
+  h.opts().add("seed", "24", "base seed");
+  h.add("scaling", run_scaling);
+  h.add("crash_tolerance", run_crash_tolerance);
+  return h.main(argc, argv);
 }

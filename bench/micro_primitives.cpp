@@ -1,10 +1,15 @@
-// E12 — Microbenchmarks of the library's primitives (google-benchmark):
-// PRNG, distribution sampling, register backends, event queue, one lean
-// round, adopt-commit, a full small simulation, and a renewal race.
-#include <benchmark/benchmark.h>
+// E12 — Microbenchmarks of the library's primitives: PRNG, distribution
+// sampling, register backends, event queue, one lean round, adopt-commit, a
+// full small simulation, and a renewal race.
+//
+// Each primitive is a registered harness run, so single primitives can be
+// re-measured in isolation (--run=rng), repeated (--repeat=5) and warmed up
+// (--warmup=1) without recompiling; ns/op series land in the BENCH json.
+#include <cstdio>
 
 #include "backup/adopt_commit.h"
 #include "core/lean_machine.h"
+#include "harness.h"
 #include "memory/atomic_memory.h"
 #include "memory/sim_memory.h"
 #include "noise/catalog.h"
@@ -12,117 +17,158 @@
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
-namespace leancon {
+using namespace leancon;
+
 namespace {
 
-void BM_RngNext(benchmark::State& state) {
+std::uint64_t iters(const bench::run_context& ctx) {
+  return static_cast<std::uint64_t>(ctx.opts().get_int("iters"));
+}
+
+/// Times `fn` over iters(ctx) iterations and records+prints ns/op.
+template <typename Fn>
+void measure(bench::run_context& ctx, bench::series& out, double x,
+             const std::string& label, Fn&& fn) {
+  const std::uint64_t n = iters(ctx);
+  const double seconds = ctx.time([&] {
+    for (std::uint64_t i = 0; i < n; ++i) fn(i);
+  });
+  const double ns_per_op = seconds * 1e9 / static_cast<double>(n);
+  out.at(x).set("ns_per_op", ns_per_op);
+  std::printf("%-28s %12.1f ns/op   (%llu iters)\n", label.c_str(), ns_per_op,
+              static_cast<unsigned long long>(n));
+}
+
+void run_rng(bench::run_context& ctx) {
+  auto& out = ctx.add_series("rng");
   rng gen(1);
-  for (auto _ : state) benchmark::DoNotOptimize(gen.next());
+  std::uint64_t sink = 0;
+  measure(ctx, out, 0, "rng.next", [&](std::uint64_t) { sink ^= gen.next(); });
+  rng gen2(2);
+  double dsink = 0.0;
+  measure(ctx, out, 1, "rng.uniform01",
+          [&](std::uint64_t) { dsink += gen2.uniform01(); });
+  if (sink == 0xdeadbeef && dsink < 0.0) std::printf("\n");  // defeat DCE
 }
-BENCHMARK(BM_RngNext);
 
-void BM_RngUniform01(benchmark::State& state) {
-  rng gen(2);
-  for (auto _ : state) benchmark::DoNotOptimize(gen.uniform01());
-}
-BENCHMARK(BM_RngUniform01);
-
-void BM_DistributionSample(benchmark::State& state) {
+void run_distributions(bench::run_context& ctx) {
   const auto catalog = figure1_catalog();
-  const auto& dist = *catalog[static_cast<std::size_t>(state.range(0))].dist;
-  rng gen(3);
-  for (auto _ : state) benchmark::DoNotOptimize(dist.sample(gen));
-  state.SetLabel(dist.name());
-}
-BENCHMARK(BM_DistributionSample)->DenseRange(0, 5);
-
-void BM_SimMemoryReadWrite(benchmark::State& state) {
-  sim_memory mem;
-  std::uint64_t i = 0;
-  for (auto _ : state) {
-    mem.execute(0, operation::write({space::race0, i % 64 + 1}, 1));
-    benchmark::DoNotOptimize(
-        mem.execute(0, operation::read({space::race1, i % 64 + 1})));
-    ++i;
+  double sink = 0.0;
+  for (std::size_t d = 0; d < catalog.size(); ++d) {
+    auto& out = ctx.add_series("sample " + catalog[d].dist->name());
+    rng gen(3 + d);
+    measure(ctx, out, static_cast<double>(d),
+            "sample " + catalog[d].dist->name(),
+            [&](std::uint64_t) { sink += catalog[d].dist->sample(gen); });
   }
+  if (sink < 0.0) std::printf("\n");
 }
-BENCHMARK(BM_SimMemoryReadWrite);
 
-void BM_AtomicMemoryReadWrite(benchmark::State& state) {
-  atomic_memory mem;
-  std::uint64_t i = 0;
-  for (auto _ : state) {
-    mem.execute(operation::write({space::race0, i % 64 + 1}, 1));
-    benchmark::DoNotOptimize(
-        mem.execute(operation::read({space::race1, i % 64 + 1})));
-    ++i;
-  }
+void run_memory(bench::run_context& ctx) {
+  auto& out = ctx.add_series("memory");
+  sim_memory sim_mem;
+  std::uint64_t sink = 0;
+  measure(ctx, out, 0, "sim_memory rw", [&](std::uint64_t i) {
+    sim_mem.execute(0, operation::write({space::race0, i % 64 + 1}, 1));
+    sink ^= sim_mem.execute(0, operation::read({space::race1, i % 64 + 1}));
+  });
+  atomic_memory atomic_mem;
+  measure(ctx, out, 1, "atomic_memory rw", [&](std::uint64_t i) {
+    atomic_mem.execute(operation::write({space::race0, i % 64 + 1}, 1));
+    sink ^= atomic_mem.execute(operation::read({space::race1, i % 64 + 1}));
+  });
+  if (sink == 0xdeadbeef) std::printf("\n");
 }
-BENCHMARK(BM_AtomicMemoryReadWrite);
 
-void BM_EventQueuePushPop(benchmark::State& state) {
+void run_event_queue(bench::run_context& ctx) {
+  auto& out = ctx.add_series("event_queue");
   event_queue q;
   rng gen(4);
   for (int i = 0; i < 1024; ++i) q.push(gen.uniform01(), i);
-  for (auto _ : state) {
+  measure(ctx, out, 0, "event_queue push+pop", [&](std::uint64_t) {
     const auto e = q.pop();
     q.push(e.time + 1.0, e.pid);
-  }
+  });
 }
-BENCHMARK(BM_EventQueuePushPop);
 
-void BM_LeanSoloDecision(benchmark::State& state) {
-  for (auto _ : state) {
+void run_solo_machines(bench::run_context& ctx) {
+  auto& out = ctx.add_series("solo_machines");
+  measure(ctx, out, 0, "lean solo decision", [&](std::uint64_t) {
     sim_memory mem;
     lean_machine m(1);
     while (!m.done()) m.apply(mem.execute(0, m.next_op()));
-    benchmark::DoNotOptimize(m.decision());
-  }
-}
-BENCHMARK(BM_LeanSoloDecision);
-
-void BM_AdoptCommitSolo(benchmark::State& state) {
-  for (auto _ : state) {
+  });
+  measure(ctx, out, 1, "adopt-commit solo", [&](std::uint64_t) {
     sim_memory mem;
     adopt_commit_machine m(1, 1);
     while (!m.done()) m.apply(mem.execute(0, m.next_op()));
-    benchmark::DoNotOptimize(m.value());
-  }
+  });
 }
-BENCHMARK(BM_AdoptCommitSolo);
 
-void BM_SimulateConsensus(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::uint64_t seed = 5;
-  for (auto _ : state) {
-    sim_config config;
-    config.inputs = split_inputs(n);
-    config.sched = figure1_params(make_exponential(1.0));
-    config.stop = stop_mode::first_decision;
-    config.check_invariants = false;
-    config.seed = ++seed;
-    benchmark::DoNotOptimize(simulate(config));
+void run_simulate_consensus(bench::run_context& ctx) {
+  auto& out = ctx.add_series("simulate_consensus");
+  const std::uint64_t sim_iters =
+      static_cast<std::uint64_t>(ctx.opts().get_int("sim-iters"));
+  for (std::size_t n : {16u, 256u, 4096u}) {
+    std::uint64_t seed = 5, ops = 0, call = 0;
+    const double seconds = ctx.time([&] {
+      // Only timed executions count toward sim_ops, so the counter stays
+      // comparable with the timed_seconds counter under --warmup.
+      const bool timed = ++call > ctx.warmup();
+      for (std::uint64_t i = 0; i < sim_iters; ++i) {
+        sim_config config;
+        config.inputs = split_inputs(n);
+        config.sched = figure1_params(make_exponential(1.0));
+        config.stop = stop_mode::first_decision;
+        config.check_invariants = false;
+        config.seed = ++seed;
+        const auto total = simulate(config).total_ops;
+        if (timed) ops += total;
+      }
+    });
+    ctx.add_counter("sim_ops", static_cast<double>(ops));
+    const double us = seconds * 1e6 / static_cast<double>(sim_iters);
+    out.at(static_cast<double>(n)).set("us_per_sim", us);
+    std::printf("simulate n=%-6zu %14.1f us/sim  (%llu iters)\n", n, us,
+                static_cast<unsigned long long>(sim_iters));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_SimulateConsensus)->Arg(16)->Arg(256)->Arg(4096);
 
-void BM_RenewalRace(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::uint64_t seed = 6;
-  for (auto _ : state) {
-    race_config config;
-    config.n = n;
-    config.lead = 2;
-    config.sched = figure1_params(make_exponential(1.0));
-    config.seed = ++seed;
-    benchmark::DoNotOptimize(run_race(config));
+void run_renewal_race(bench::run_context& ctx) {
+  auto& out = ctx.add_series("renewal_race");
+  const std::uint64_t sim_iters =
+      static_cast<std::uint64_t>(ctx.opts().get_int("sim-iters"));
+  for (std::size_t n : {16u, 1024u}) {
+    std::uint64_t seed = 6;
+    const double seconds = ctx.time([&] {
+      for (std::uint64_t i = 0; i < sim_iters; ++i) {
+        race_config config;
+        config.n = n;
+        config.lead = 2;
+        config.sched = figure1_params(make_exponential(1.0));
+        config.seed = ++seed;
+        run_race(config);
+      }
+    });
+    const double us = seconds * 1e6 / static_cast<double>(sim_iters);
+    out.at(static_cast<double>(n)).set("us_per_race", us);
+    std::printf("race n=%-6zu     %14.1f us/race (%llu iters)\n", n, us,
+                static_cast<unsigned long long>(sim_iters));
   }
 }
-BENCHMARK(BM_RenewalRace)->Arg(16)->Arg(1024);
 
 }  // namespace
-}  // namespace leancon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::harness h("micro_primitives");
+  h.opts().add("iters", "2000000", "iterations per micro primitive");
+  h.opts().add("sim-iters", "20", "iterations per whole-simulation point");
+  h.add("rng", run_rng);
+  h.add("distributions", run_distributions);
+  h.add("memory", run_memory);
+  h.add("event_queue", run_event_queue);
+  h.add("solo_machines", run_solo_machines);
+  h.add("simulate_consensus", run_simulate_consensus);
+  h.add("renewal_race", run_renewal_race);
+  return h.main(argc, argv);
+}

@@ -9,21 +9,18 @@
 // as contention rises; mutual exclusion violations stay 0 everywhere.
 #include <cstdio>
 
+#include "harness.h"
 #include "mutex/fast_mutex.h"
 #include "noise/catalog.h"
 #include "stats/summary.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("trials", "100", "trials per point");
-  opts.add("entries", "8", "critical sections per process");
-  opts.add("seed", "25", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_contention_sweep(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto entries = static_cast<std::uint64_t>(opts.get_int("entries"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -33,6 +30,7 @@ int main(int argc, char** argv) {
 
   table tbl({"n", "fast-path %", "ops/entry", "sim time/entry",
              "overlap violations", "canary violations"});
+  auto& json = ctx.add_series("contention");
   for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
     summary ops_per_entry, time_per_entry, fast_rate;
     std::uint64_t overlaps = 0, canaries = 0;
@@ -43,6 +41,7 @@ int main(int argc, char** argv) {
       config.sched = figure1_params(make_exponential(1.0));
       config.seed = seed + n * 1013 + t;
       const auto r = run_mutex(config);
+      ctx.add_counter("sim_ops", static_cast<double>(r.total_ops));
       if (!r.all_finished || r.total_entries == 0) continue;
       overlaps += r.overlap_violations;
       canaries += r.canary_violations;
@@ -53,6 +52,12 @@ int main(int argc, char** argv) {
       time_per_entry.add(r.finish_time /
                          static_cast<double>(r.total_entries));
     }
+    json.at(static_cast<double>(n))
+        .set("fast_path_rate", fast_rate.mean())
+        .set("ops_per_entry", ops_per_entry.mean())
+        .set("time_per_entry", time_per_entry.mean())
+        .set("overlap_violations", static_cast<double>(overlaps))
+        .set("canary_violations", static_cast<double>(canaries));
     tbl.begin_row();
     tbl.cell(static_cast<std::uint64_t>(n));
     tbl.cell(100.0 * fast_rate.mean(), 1);
@@ -67,5 +72,15 @@ int main(int argc, char** argv) {
               " Noise disperses contenders, so the\nfast path survives"
               " moderate contention — the noisy-scheduling analogue of\n"
               "Gafni-Mitzenmacher's random-timing analysis.\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("mutex_noise");
+  h.opts().add("trials", "100", "trials per point");
+  h.opts().add("entries", "8", "critical sections per process");
+  h.opts().add("seed", "25", "base seed");
+  h.add("contention_sweep", run_contention_sweep);
+  return h.main(argc, argv);
 }

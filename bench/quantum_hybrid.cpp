@@ -10,18 +10,16 @@
 // 100% decided with max ops <= 12.
 #include <cstdio>
 
+#include "harness.h"
 #include "sched/hybrid.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("max-quantum", "16", "largest quantum swept");
-  opts.add("budget", "20000", "op budget per run (detects livelock)");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_quantum_sweep(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto max_quantum =
       static_cast<std::uint64_t>(opts.get_int("max-quantum"));
   const auto budget = static_cast<std::uint64_t>(opts.get_int("budget"));
@@ -31,6 +29,7 @@ int main(int argc, char** argv) {
               " decides within 12 operations.\n\n");
 
   table tbl({"quantum", "runs", "decided", "max ops/proc", "violations"});
+  auto& sweep = ctx.add_series("quantum_sweep");
 
   for (std::uint64_t quantum = 2; quantum <= max_quantum; ++quantum) {
     std::uint64_t runs = 0, decided = 0, violations = 0;
@@ -65,6 +64,8 @@ int main(int argc, char** argv) {
             }
             const auto result = run_hybrid(config, *adv);
             ++runs;
+            ctx.add_counter("sim_ops",
+                            static_cast<double>(result.total_ops));
             violations += result.violations.empty() ? 0 : 1;
             if (result.all_decided) {
               ++decided;
@@ -80,6 +81,13 @@ int main(int argc, char** argv) {
       }
     }
 
+    sweep.at(static_cast<double>(quantum))
+        .set("runs", static_cast<double>(runs))
+        .set("decided_fraction",
+             static_cast<double>(decided) / static_cast<double>(runs))
+        .set("livelock", worst_is_livelock ? 1.0 : 0.0)
+        .set("max_ops", static_cast<double>(worst_ops))
+        .set("violations", static_cast<double>(violations));
     tbl.begin_row();
     tbl.cell(quantum);
     tbl.cell(runs);
@@ -96,5 +104,14 @@ int main(int argc, char** argv) {
   std::printf("\n(livelock = some legal schedule kept the race tied for the"
               " whole op budget;\nthe paper's bound applies only from"
               " quantum 8 upward.)\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("quantum_hybrid");
+  h.opts().add("max-quantum", "16", "largest quantum swept");
+  h.opts().add("budget", "20000", "op budget per run (detects livelock)");
+  h.add("quantum_sweep", run_quantum_sweep);
+  return h.main(argc, argv);
 }

@@ -5,22 +5,19 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness.h"
 #include "noise/catalog.h"
 #include "race/renewal_race.h"
 #include "stats/regression.h"
 #include "stats/summary.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("trials", "400", "trials per point");
-  opts.add("nmax", "16384", "largest n (powers of four swept)");
-  opts.add("seed", "18", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_lead_sweep(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -30,6 +27,8 @@ int main(int argc, char** argv) {
               " lean-consensus).\n\n");
 
   table tbl({"n", "E[R] c=1", "E[R] c=2", "E[R] c=3", "p95 c=2"});
+  bench::series* json[3] = {&ctx.add_series("c=1"), &ctx.add_series("c=2"),
+                            &ctx.add_series("c=3")};
   std::vector<double> xs, ys_c2;
   for (std::uint64_t n = 1; n <= nmax; n *= 4) {
     tbl.begin_row();
@@ -47,6 +46,11 @@ int main(int argc, char** argv) {
           per_c[c - 1].add(static_cast<double>(result.winning_round));
         }
       }
+      json[c - 1]
+          ->at(static_cast<double>(n))
+          .set("mean_round", per_c[c - 1].mean())
+          .set("p95", per_c[c - 1].count() ? per_c[c - 1].quantile(0.95)
+                                           : 0.0);
       tbl.cell(per_c[c - 1].mean(), 2);
     }
     tbl.cell(per_c[1].quantile(0.95), 1);
@@ -56,8 +60,15 @@ int main(int argc, char** argv) {
   tbl.print();
 
   const auto fit = fit_against_log2(xs, ys_c2);
+  ctx.add_counter("fit_slope_c2", fit.slope);
   std::printf("\nfit (c=2): E[R] = %.3f * log2(n) + %.3f (R^2 = %.3f)\n",
               fit.slope, fit.intercept, fit.r_squared);
+}
+
+void run_tail(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
+  const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
 
   // Tail at fixed n: Pr[R > k] should decay geometrically.
   const std::uint64_t tail_n = 256;
@@ -75,8 +86,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(tail_n),
               static_cast<unsigned long long>(trials * 4));
   table tail_tbl({"k", "Pr[R > k]", "ln Pr"});
+  auto& json = ctx.add_series("tail");
   for (double k = tail.mean(); ; k += 3.0) {
     const double p = tail.tail_fraction_above(k);
+    json.at(k).set("pr_above", p).set("ln_pr", p > 0 ? std::log(p) : -99.0);
     tail_tbl.begin_row();
     tail_tbl.cell(k, 0);
     tail_tbl.cell(p, 4);
@@ -86,5 +99,16 @@ int main(int argc, char** argv) {
   tail_tbl.print();
   std::printf("\npaper claim: E[R] = O(log n); Pr[R > k] <="
               " e^{-floor(k/O(log n))}.\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("renewal_race");
+  h.opts().add("trials", "400", "trials per point");
+  h.opts().add("nmax", "16384", "largest n (powers of four swept)");
+  h.opts().add("seed", "18", "base seed");
+  h.add("lead_sweep", run_lead_sweep);
+  h.add("tail", run_tail);
+  return h.main(argc, argv);
 }

@@ -8,23 +8,18 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness.h"
 #include "noise/catalog.h"
 #include "sim/runner.h"
 #include "stats/regression.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("trials", "400", "trials per point");
-  opts.add("nmax", "1024", "largest n (powers of two swept)");
-  opts.add("tail-n", "64", "process count for the tail profile");
-  opts.add("tail-trials", "3000", "trials for the tail profile");
-  opts.add("seed", "12", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_scaling(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -32,6 +27,7 @@ int main(int argc, char** argv) {
   std::printf("Theorem 12: E[rounds] = O(log n) under noisy scheduling.\n\n");
 
   table tbl({"n", "mean round", "ci95", "p50", "p95", "max"});
+  auto& rounds_series = ctx.add_series("mean_round");
   std::vector<double> xs, ys;
   for (std::uint64_t n = 2; n <= nmax; n *= 2) {
     sim_config config;
@@ -41,8 +37,17 @@ int main(int argc, char** argv) {
     config.check_invariants = false;
     config.seed = seed + n;
     const auto stats = run_trials(config, trials);
+    ctx.add_counter("sim_ops",
+                    stats.total_ops.mean() *
+                        static_cast<double>(stats.total_ops.count()));
     xs.push_back(static_cast<double>(n));
     ys.push_back(stats.first_round.mean());
+    rounds_series.at(static_cast<double>(n))
+        .set("mean_round", stats.first_round.mean())
+        .set("ci95", stats.first_round.ci95_halfwidth())
+        .set("p50", stats.first_round.quantile(0.5))
+        .set("p95", stats.first_round.quantile(0.95))
+        .set("max", stats.first_round.max());
     tbl.begin_row();
     tbl.cell(n);
     tbl.cell(stats.first_round.mean(), 2);
@@ -54,11 +59,16 @@ int main(int argc, char** argv) {
   tbl.print();
 
   const auto fit = fit_against_log2(xs, ys);
+  ctx.add_counter("fit_slope", fit.slope);
+  ctx.add_counter("fit_r_squared", fit.r_squared);
   std::printf("\nfit: mean_round = %.3f * log2(n) + %.3f   (R^2 = %.3f)\n",
               fit.slope, fit.intercept, fit.r_squared);
   std::printf("paper claim: Theta(log n) -> positive slope, high R^2.\n\n");
+}
 
-  // Tail profile at fixed n.
+void run_tail(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
   const auto tail_n = static_cast<std::uint64_t>(opts.get_int("tail-n"));
   const auto tail_trials =
       static_cast<std::uint64_t>(opts.get_int("tail-trials"));
@@ -69,15 +79,21 @@ int main(int argc, char** argv) {
   config.check_invariants = false;
   config.seed = seed * 7 + 1;
   const auto stats = run_trials(config, tail_trials);
+  ctx.add_counter("sim_ops",
+                  stats.total_ops.mean() *
+                      static_cast<double>(stats.total_ops.count()));
 
   std::printf("Tail at n = %llu (%llu trials): Pr[round > k] should decay"
               " exponentially in k.\n\n",
               static_cast<unsigned long long>(tail_n),
               static_cast<unsigned long long>(tail_trials));
   table tail({"k", "Pr[round > k]", "ln Pr"});
+  auto& tail_series = ctx.add_series("tail");
   const double mean = stats.first_round.mean();
   for (double k = mean; ; k += 2.0) {
     const double p = stats.first_round.tail_fraction_above(k);
+    tail_series.at(k).set("pr_above", p).set("ln_pr",
+                                             p > 0 ? std::log(p) : -99.0);
     tail.begin_row();
     tail.cell(k, 0);
     tail.cell(p, 4);
@@ -85,5 +101,18 @@ int main(int argc, char** argv) {
     if (p < 0.001) break;
   }
   tail.print();
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("scaling_logn");
+  h.opts().add("trials", "400", "trials per point");
+  h.opts().add("nmax", "1024", "largest n (powers of two swept)");
+  h.opts().add("tail-n", "64", "process count for the tail profile");
+  h.opts().add("tail-trials", "3000", "trials for the tail profile");
+  h.opts().add("seed", "12", "base seed");
+  h.add("scaling", run_scaling);
+  h.add("tail", run_tail);
+  return h.main(argc, argv);
 }

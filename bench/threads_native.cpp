@@ -6,23 +6,21 @@
 // Expected shape: every run decides and agrees; per-thread step counts stay
 // small (a few rounds); injected noise dramatically reduces lockstep step
 // counts compared to tight spinning on an oversubscribed CPU.
+#include <algorithm>
 #include <cstdio>
 
+#include "harness.h"
 #include "noise/catalog.h"
 #include "runtime/thread_consensus.h"
 #include "stats/summary.h"
-#include "util/options.h"
 #include "util/table.h"
 
 using namespace leancon;
 
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("trials", "15", "runs per configuration");
-  opts.add("max-threads", "8", "largest thread count");
-  opts.add("seed", "19", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
+namespace {
 
+void run_native_threads(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto max_threads =
       static_cast<std::uint64_t>(opts.get_int("max-threads"));
@@ -46,8 +44,11 @@ int main(int argc, char** argv) {
 
   table tbl({"threads", "noise", "agree", "mean steps", "max steps",
              "mean rounds", "backup", "mean ms"});
+  std::vector<bench::series*> json;
+  for (const auto& noise : noises) json.push_back(&ctx.add_series(noise.label));
   for (std::uint64_t n = 2; n <= max_threads; n *= 2) {
-    for (const auto& noise : noises) {
+    for (std::size_t nz = 0; nz < std::size(noises); ++nz) {
+      const auto& noise = noises[nz];
       summary steps, rounds, wall;
       std::uint64_t max_steps = 0, backups = 0, disagreements = 0;
       for (std::uint64_t t = 0; t < trials; ++t) {
@@ -67,6 +68,14 @@ int main(int argc, char** argv) {
         backups += result.backup_entries;
         wall.add(result.wall_ms);
       }
+      json[nz]
+          ->at(static_cast<double>(n))
+          .set("disagreements", static_cast<double>(disagreements))
+          .set("mean_steps", steps.mean())
+          .set("max_steps", static_cast<double>(max_steps))
+          .set("mean_rounds", rounds.mean())
+          .set("backup_entries", static_cast<double>(backups))
+          .set("mean_ms", wall.mean());
       tbl.begin_row();
       tbl.cell(n);
       tbl.cell(noise.label);
@@ -85,5 +94,15 @@ int main(int argc, char** argv) {
   std::printf("\n(agreement must always hold; the combined fallback"
               " guarantees termination\neven under adversarial OS"
               " scheduling.)\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("threads_native");
+  h.opts().add("trials", "15", "runs per configuration");
+  h.opts().add("max-threads", "8", "largest thread count");
+  h.opts().add("seed", "19", "base seed");
+  h.add("native_threads", run_native_threads);
+  return h.main(argc, argv);
 }

@@ -10,9 +10,9 @@
 // shadow of the theorem.
 #include <cstdio>
 
+#include "harness.h"
 #include "noise/catalog.h"
 #include "stats/summary.h"
-#include "util/options.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -30,7 +30,6 @@ void measure_interleave(const distribution& dist, std::uint64_t seed,
     rng gen1(seed, 2 * static_cast<std::uint64_t>(t) + 2);
     double t0 = 0.0;  // p0's clock
     double t1 = 0.0;  // p1's clock
-    std::uint64_t pending = 0;
     for (int g = 0; g < gaps; ++g) {
       const double next0 = t0 + dist.sample(gen0);
       // Count p1 ops landing in (t0, next0].
@@ -39,7 +38,6 @@ void measure_interleave(const distribution& dist, std::uint64_t seed,
         t1 += dist.sample(gen1);
         if (t1 <= next0) ++count;
       }
-      (void)pending;
       per_gap.add(static_cast<double>(count));
       if (static_cast<double>(count) > global_max) {
         global_max = static_cast<double>(count);
@@ -49,15 +47,8 @@ void measure_interleave(const distribution& dist, std::uint64_t seed,
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  options opts;
-  opts.add("gaps", "40", "operation gaps examined per trial");
-  opts.add("trials", "150", "trials per distribution");
-  opts.add("seed", "16", "base seed");
-  if (!opts.parse(argc, argv)) return 1;
-
+void run_interleave(bench::run_context& ctx) {
+  const auto& opts = ctx.opts();
   const int gaps = static_cast<int>(opts.get_int("gaps"));
   const int trials = static_cast<int>(opts.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -68,12 +59,17 @@ int main(int argc, char** argv) {
               " in K; benign noise stays ~1.\n\n");
 
   table tbl({"distribution", "mean rival ops/gap", "p99", "max observed"});
+  auto& pathological = ctx.add_series("pathological");
   for (int max_k : {3, 4, 5, 6, 7, 8}) {
     const auto dist = make_pathological_heavy(max_k);
     summary per_gap;
     double global_max = 0.0;
     measure_interleave(*dist, seed + static_cast<std::uint64_t>(max_k), gaps,
                        trials, per_gap, global_max);
+    pathological.at(max_k)
+        .set("mean_rival_ops", per_gap.mean())
+        .set("p99", per_gap.quantile(0.99))
+        .set("max", global_max);
     tbl.begin_row();
     tbl.cell(dist->name());
     tbl.cell(per_gap.mean(), 2);
@@ -85,6 +81,11 @@ int main(int argc, char** argv) {
     double global_max = 0.0;
     measure_interleave(*entry.dist, seed + 100, gaps, trials, per_gap,
                        global_max);
+    ctx.add_series(entry.dist->name())
+        .at(0.0)
+        .set("mean_rival_ops", per_gap.mean())
+        .set("p99", per_gap.quantile(0.99))
+        .set("max", global_max);
     tbl.begin_row();
     tbl.cell(entry.dist->name());
     tbl.cell(per_gap.mean(), 2);
@@ -95,5 +96,15 @@ int main(int argc, char** argv) {
   std::printf("\n(the full theorem has unbounded K and an infinite"
               " expectation; each +1 in K\nroughly squares the dominant gap"
               " length 2^{K^2}, so the mean keeps climbing.)\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("unfairness");
+  h.opts().add("gaps", "40", "operation gaps examined per trial");
+  h.opts().add("trials", "150", "trials per distribution");
+  h.opts().add("seed", "16", "base seed");
+  h.add("interleave", run_interleave);
+  return h.main(argc, argv);
 }

@@ -1,5 +1,6 @@
 #include "noise/distribution.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -15,6 +16,7 @@ class constant_dist final : public distribution {
     return "constant(" + format(value_) + ")";
   }
   double mean() const override { return value_; }
+  double median() const override { return value_; }
   bool degenerate() const override { return true; }
 
  private:
@@ -40,6 +42,7 @@ class uniform_dist final : public distribution {
     return os.str();
   }
   double mean() const override { return 0.5 * (lo_ + hi_); }
+  double median() const override { return 0.5 * (lo_ + hi_); }
 
  private:
   double lo_, hi_;
@@ -57,6 +60,7 @@ class exponential_dist final : public distribution {
     return os.str();
   }
   double mean() const override { return mean_; }
+  double median() const override { return mean_ * std::log(2.0); }
 
  private:
   double mean_;
@@ -79,6 +83,7 @@ class shifted_exponential_dist final : public distribution {
     return os.str();
   }
   double mean() const override { return shift_ + mean_; }
+  double median() const override { return shift_ + mean_ * std::log(2.0); }
 
  private:
   double shift_, mean_;
@@ -106,6 +111,10 @@ class truncated_normal_dist final : public distribution {
     return os.str();
   }
   double mean() const override { return mu_; }  // symmetric truncation
+  double median() const override {
+    // Only the symmetric-truncation case has a closed form we rely on.
+    return std::abs(lo_ + (hi_ - lo_) * 0.5 - mu_) < 1e-12 ? mu_ : -1.0;
+  }
 
  private:
   double mu_, sigma_, lo_, hi_;
@@ -126,6 +135,7 @@ class two_point_dist final : public distribution {
     return os.str();
   }
   double mean() const override { return 0.5 * (a_ + b_); }
+  double median() const override { return std::min(a_, b_); }
 
  private:
   double a_, b_;
@@ -147,6 +157,9 @@ class geometric_dist final : public distribution {
     return os.str();
   }
   double mean() const override { return 1.0 / p_; }
+  double median() const override {
+    return std::ceil(std::log(0.5) / std::log(1.0 - p_));
+  }
 
  private:
   double p_;
@@ -171,6 +184,7 @@ class pathological_heavy_dist final : public distribution {
     return os.str();
   }
   double mean() const override { return -1.0; }  // infinite (in the limit)
+  double median() const override { return 2.0; }  // P[X = 2^1] = 1/2
 
  private:
   int max_k_;
@@ -194,6 +208,9 @@ class pareto_dist final : public distribution {
   double mean() const override {
     return alpha_ > 1.0 ? alpha_ * scale_ / (alpha_ - 1.0) : -1.0;
   }
+  double median() const override {
+    return scale_ * std::pow(2.0, 1.0 / alpha_);
+  }
 
  private:
   double scale_, alpha_;
@@ -215,6 +232,7 @@ class lognormal_dist final : public distribution {
   double mean() const override {
     return std::exp(mu_ + 0.5 * sigma_ * sigma_);
   }
+  double median() const override { return std::exp(mu_); }
 
  private:
   double mu_, sigma_;

@@ -39,6 +39,12 @@ class distribution {
   /// (e.g. the Theorem 1 pathological distribution).
   virtual double mean() const = 0;
 
+  /// Analytic median (inf{x : F(x) >= 1/2} for discrete supports), or a
+  /// negative value when unknown. Distributions reporting an infinite mean
+  /// MUST provide a median: it is their empirical-vs-analytic test anchor,
+  /// since no bounded number of trials can pin down an infinite mean.
+  virtual double median() const { return -1.0; }
+
   /// True when the distribution is concentrated on a point, i.e. violates the
   /// noisy-scheduling model's non-degeneracy requirement. Kept so tests and
   /// benches can exercise the boundary deliberately.

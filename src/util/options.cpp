@@ -1,7 +1,7 @@
 #include "util/options.h"
 
-#include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -12,34 +12,43 @@ void options::add(const std::string& name, const std::string& default_value,
   flags_[name] = flag{default_value, help, std::nullopt};
 }
 
+void options::set_diagnostics(std::ostream& os) { diag_ = &os; }
+
+std::ostream& options::diag() const { return diag_ ? *diag_ : std::cerr; }
+
 bool options::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::fputs(usage(argv[0]).c_str(), stderr);
+      diag() << usage(argv[0]);
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
-                   arg.c_str(), usage(argv[0]).c_str());
+      diag() << "unexpected positional argument: " << arg << "\n"
+             << usage(argv[0]);
       return false;
     }
     const auto eq = arg.find('=');
     std::string name = arg.substr(2, eq == std::string::npos ? arg.size() - 2
                                                              : eq - 2);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      diag() << "unknown flag --" << name << "\n" << usage(argv[0]);
+      return false;
+    }
+    const std::string& dflt = it->second.default_value;
+    const bool is_boolean = dflt == "true" || dflt == "false";
     std::string value;
     if (eq != std::string::npos) {
       value = arg.substr(eq + 1);
-    } else if (i + 1 < argc) {
+    } else if (i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
       value = argv[++i];
+    } else if (is_boolean) {
+      // A declared-boolean flag given bare (`--list`) means true.
+      value = "true";
     } else {
-      std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
-      return false;
-    }
-    auto it = flags_.find(name);
-    if (it == flags_.end()) {
-      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
-                   usage(argv[0]).c_str());
+      diag() << "flag --" << name << " needs a value\n";
       return false;
     }
     it->second.value = value;
@@ -74,6 +83,15 @@ std::vector<std::int64_t> options::get_int_list(const std::string& name) const {
   std::string item;
   while (std::getline(ss, item, ',')) {
     if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> options::flag_values() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(flags_.size());
+  for (const auto& [name, f] : flags_) {
+    out.emplace_back(name, f.value.value_or(f.default_value));
   }
   return out;
 }

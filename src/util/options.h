@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace leancon {
@@ -21,9 +23,14 @@ class options {
   void add(const std::string& name, const std::string& default_value,
            const std::string& help);
 
-  /// Parses argv. Returns false (after printing usage to stderr) on malformed
-  /// or unknown flags, or when `--help` was requested.
+  /// Parses argv. Returns false (after writing usage to the diagnostics
+  /// stream) on malformed or unknown flags, or when `--help` was requested.
   bool parse(int argc, const char* const* argv);
+
+  /// Redirects parse() diagnostics (usage, errors). Defaults to std::cerr so
+  /// they never pollute stdout result tables; tests inject a string stream
+  /// to keep logs clean and assert the messages.
+  void set_diagnostics(std::ostream& os);
 
   /// Typed accessors; the flag must have been declared via add().
   std::string get(const std::string& name) const;
@@ -37,13 +44,20 @@ class options {
   /// Writes a usage summary for all declared flags.
   std::string usage(const std::string& program) const;
 
+  /// Every declared flag with its final (parsed-or-default) value, in
+  /// declaration-name order. Used by the bench harness's JSON emitter.
+  std::vector<std::pair<std::string, std::string>> flag_values() const;
+
  private:
+  std::ostream& diag() const;
+
   struct flag {
     std::string default_value;
     std::string help;
     std::optional<std::string> value;
   };
   std::map<std::string, flag> flags_;
+  std::ostream* diag_ = nullptr;  // null means std::cerr
 };
 
 }  // namespace leancon

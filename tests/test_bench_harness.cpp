@@ -1,0 +1,219 @@
+// Tests for the shared bench harness: recording surfaces, warmup/repetition
+// accounting, run selection, the BENCH json emitter, and the schema
+// validator (including the committed smoke-scale baseline).
+#include "harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace leancon::bench {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Point, SetAppendsAndOverwrites) {
+  point p;
+  p.set("mean", 1.0).set("ci95", 0.5);
+  ASSERT_EQ(p.metrics.size(), 2u);
+  p.set("mean", 2.0);
+  ASSERT_EQ(p.metrics.size(), 2u);
+  EXPECT_EQ(p.metrics[0].first, "mean");
+  EXPECT_DOUBLE_EQ(p.metrics[0].second, 2.0);
+}
+
+TEST(Series, AtAppendsPointsInOrder) {
+  series s{"run", "curve", {}};
+  s.at(1.0).set("y", 10.0);
+  s.at(2.0).set("y", 20.0);
+  ASSERT_EQ(s.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.points[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(s.points[1].x, 2.0);
+}
+
+TEST(Harness, TimeExecutesWarmupPlusRepeat) {
+  harness h("timing");
+  int calls = 0;
+  double mean_seconds = -1.0;
+  h.add("timed", [&](run_context& ctx) {
+    EXPECT_EQ(ctx.warmup(), 2u);
+    EXPECT_EQ(ctx.repeat(), 3u);
+    mean_seconds = ctx.time([&] { ++calls; });
+  });
+  const char* argv[] = {"prog", "--warmup=2", "--repeat=3"};
+  ASSERT_EQ(h.main(3, argv), 0);
+  EXPECT_EQ(calls, 5);  // 2 untimed + 3 timed
+  EXPECT_GE(mean_seconds, 0.0);
+}
+
+TEST(Harness, RepeatZeroIsClampedToOne) {
+  harness h("timing");
+  int calls = 0;
+  h.add("timed", [&](run_context& ctx) { ctx.time([&] { ++calls; }); });
+  const char* argv[] = {"prog", "--repeat=0"};
+  ASSERT_EQ(h.main(2, argv), 0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Harness, RunFilterSelectsMatchingRuns) {
+  harness h("filtered");
+  std::vector<std::string> executed;
+  h.add("alpha", [&](run_context&) { executed.push_back("alpha"); });
+  h.add("beta", [&](run_context&) { executed.push_back("beta"); });
+  h.add("alphabet", [&](run_context&) { executed.push_back("alphabet"); });
+  const char* argv[] = {"prog", "--run=alpha"};
+  ASSERT_EQ(h.main(2, argv), 0);
+  ASSERT_EQ(executed.size(), 2u);
+  EXPECT_EQ(executed[0], "alpha");
+  EXPECT_EQ(executed[1], "alphabet");
+}
+
+TEST(Harness, RunFailurePropagatesToExitCode) {
+  harness h("failing");
+  testing::internal::CaptureStderr();
+  h.add("broken", [](run_context& ctx) { ctx.fail("cannot open sink"); });
+  const char* argv[] = {"prog"};
+  EXPECT_EQ(h.main(1, argv), 1);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("cannot open sink"),
+            std::string::npos);
+}
+
+TEST(Harness, NoMatchingRunFails) {
+  harness h("filtered");
+  h.add("alpha", [](run_context&) {});
+  const char* argv[] = {"prog", "--run=nope"};
+  EXPECT_EQ(h.main(2, argv), 1);
+}
+
+TEST(Harness, BadFlagFailsWithoutPollutingStderr) {
+  harness h("strict");
+  std::ostringstream sink;
+  h.opts().set_diagnostics(sink);
+  h.add("noop", [](run_context&) {});
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_EQ(h.main(2, argv), 1);
+  EXPECT_NE(sink.str().find("unknown flag --bogus"), std::string::npos);
+}
+
+TEST(Harness, SeriesReferencesSurviveLaterAdds) {
+  // Regression test: benches hold several series references at once (one
+  // per curve), so add_series must never invalidate previously returned
+  // references.
+  options opts;
+  results res;
+  run_context ctx("run", opts, res, 0, 1);
+  series& first = ctx.add_series("first");
+  for (int i = 0; i < 100; ++i) {
+    ctx.add_series("later" + std::to_string(i));
+  }
+  first.at(1.0).set("y", 42.0);
+  ASSERT_EQ(res.series_list.front().points.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.series_list.front().points[0].metrics[0].second, 42.0);
+}
+
+TEST(Harness, CountersAccumulateAcrossCalls) {
+  harness h("counting");
+  h.add("ops", [](run_context& ctx) {
+    ctx.add_counter("sim_ops", 10.0);
+    ctx.add_counter("sim_ops", 32.0);
+  });
+  const std::string path = testing::TempDir() + "counters.json";
+  const std::string json_flag = "--json=" + path;
+  const char* argv[] = {"prog", json_flag.c_str()};
+  ASSERT_EQ(h.main(2, argv), 0);
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("\"sim_ops\": 42"), std::string::npos);
+  EXPECT_NE(text.find("\"seconds/ops\""), std::string::npos);
+}
+
+TEST(Harness, JsonRoundTripValidatesAndCarriesParams) {
+  harness h("roundtrip");
+  h.opts().add("trials", "100", "trial count");
+  h.add("sweep", [](run_context& ctx) {
+    auto& s = ctx.add_series("exp(1)");
+    s.at(1.0).set("mean_round", 2.0).set("ci95", 0.125);
+    s.at(10.0).set("mean_round", 4.5).set("ci95", 0.25);
+  });
+  const std::string path = testing::TempDir() + "roundtrip.json";
+  const std::string json_flag = "--json=" + path;
+  const char* argv[] = {"prog", json_flag.c_str(), "--trials=7"};
+  ASSERT_EQ(h.main(3, argv), 0);
+
+  const std::string text = read_file(path);
+  EXPECT_EQ(validate_bench_json(text), std::nullopt)
+      << *validate_bench_json(text);
+  EXPECT_NE(text.find("\"bench\": \"roundtrip\""), std::string::npos);
+  EXPECT_NE(text.find("\"trials\": \"7\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"exp(1)\""), std::string::npos);
+  EXPECT_NE(text.find("\"mean_round\": 4.5"), std::string::npos);
+}
+
+TEST(Harness, NonFiniteMetricsSerializeAsNull) {
+  results r;
+  r.bench = "nulls";
+  series s{"run", "curve", {}};
+  s.at(0.0).set("bad", std::nan(""));
+  r.series_list.push_back(s);
+  const std::string text = to_json(r);
+  EXPECT_NE(text.find("\"bad\": null"), std::string::npos);
+  EXPECT_EQ(validate_bench_json(text), std::nullopt)
+      << *validate_bench_json(text);
+}
+
+TEST(Validator, AcceptsMinimalDocument) {
+  EXPECT_EQ(validate_bench_json(
+                R"({"bench": "b", "params": {}, "series": [], "seconds": 0})"),
+            std::nullopt);
+}
+
+TEST(Validator, RejectsSchemaViolations) {
+  // Each entry violates exactly one schema rule.
+  const char* bad[] = {
+      R"([])",                                                  // not an object
+      R"({"params": {}, "series": [], "seconds": 0})",          // no bench
+      R"({"bench": "", "params": {}, "series": [], "seconds": 0})",
+      R"({"bench": "b", "series": [], "seconds": 0})",          // no params
+      R"({"bench": "b", "params": {"k": 1}, "series": [], "seconds": 0})",
+      R"({"bench": "b", "params": {}, "series": {}, "seconds": 0})",
+      R"({"bench": "b", "params": {}, "series": [{"name": "s", "points": []}],
+          "seconds": 0})",                                      // series no run
+      R"({"bench": "b", "params": {}, "series":
+          [{"run": "r", "name": "s", "points": [{"y": 1}]}],
+          "seconds": 0})",                                      // point no x
+      R"({"bench": "b", "params": {}, "series":
+          [{"run": "r", "name": "s", "points": [{"x": 1, "m": "v"}]}],
+          "seconds": 0})",                                      // string metric
+      R"({"bench": "b", "params": {}, "series": [], "seconds": -1})",
+      R"({"bench": "b", "params": {}, "series": [],
+          "counters": {"c": "x"}, "seconds": 0})",
+      R"({"bench": "b", "params": {}, "series": [], "seconds": 0,
+          "extra": 1})",                                        // unknown key
+      R"({"bench": "b", "params": {}, "series": [], "seconds": 0} trailing)",
+      R"(not json at all)",
+  };
+  for (const char* doc : bad) {
+    EXPECT_NE(validate_bench_json(doc), std::nullopt) << doc;
+  }
+}
+
+TEST(Validator, CommittedFig1BaselineValidates) {
+  const std::string path =
+      std::string(LEANCON_SOURCE_DIR) + "/bench/baselines/BENCH_fig1_mean_round.json";
+  const std::string text = read_file(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(validate_bench_json(text), std::nullopt)
+      << *validate_bench_json(text);
+  EXPECT_NE(text.find("\"bench\": \"fig1_mean_round\""), std::string::npos);
+  EXPECT_NE(text.find("\"mean_round\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace leancon::bench

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace leancon {
 namespace {
 
@@ -15,6 +17,17 @@ options make_options() {
   opts.add("sweep", "1,10,100", "n sweep");
   return opts;
 }
+
+/// Fixture capturing parse() diagnostics so rejected-input tests keep the
+/// gtest log clean and can assert exactly what the user would be told.
+class OptionsDiagnostics : public ::testing::Test {
+ protected:
+  OptionsDiagnostics() : opts_(make_options()) {
+    opts_.set_diagnostics(diag_);
+  }
+  options opts_;
+  std::ostringstream diag_;
+};
 
 TEST(Options, DefaultsApply) {
   auto opts = make_options();
@@ -43,28 +56,72 @@ TEST(Options, SpaceSyntax) {
   EXPECT_EQ(opts.get_int("trials"), 7);
 }
 
-TEST(Options, UnknownFlagRejected) {
+TEST(Options, BareBooleanFlagImpliesTrue) {
   auto opts = make_options();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(opts.parse(2, argv));
+  EXPECT_TRUE(opts.get_bool("verbose"));
+}
+
+TEST(Options, BareBooleanFollowedByAnotherFlag) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--verbose", "--trials=9"};
+  ASSERT_TRUE(opts.parse(3, argv));
+  EXPECT_TRUE(opts.get_bool("verbose"));
+  EXPECT_EQ(opts.get_int("trials"), 9);
+}
+
+TEST_F(OptionsDiagnostics, UnknownFlagRejectedWithUsageOnStream) {
   const char* argv[] = {"prog", "--bogus=1"};
-  EXPECT_FALSE(opts.parse(2, argv));
+  EXPECT_FALSE(opts_.parse(2, argv));
+  EXPECT_NE(diag_.str().find("unknown flag --bogus"), std::string::npos);
+  EXPECT_NE(diag_.str().find("usage: prog"), std::string::npos);
 }
 
-TEST(Options, MissingValueRejected) {
-  auto opts = make_options();
+TEST_F(OptionsDiagnostics, MissingValueRejectedWithMessageOnStream) {
   const char* argv[] = {"prog", "--trials"};
-  EXPECT_FALSE(opts.parse(2, argv));
+  EXPECT_FALSE(opts_.parse(2, argv));
+  EXPECT_NE(diag_.str().find("flag --trials needs a value"),
+            std::string::npos);
 }
 
-TEST(Options, PositionalRejected) {
-  auto opts = make_options();
+TEST_F(OptionsDiagnostics, PositionalRejectedWithMessageOnStream) {
   const char* argv[] = {"prog", "17"};
-  EXPECT_FALSE(opts.parse(2, argv));
+  EXPECT_FALSE(opts_.parse(2, argv));
+  EXPECT_NE(diag_.str().find("unexpected positional argument: 17"),
+            std::string::npos);
 }
 
-TEST(Options, HelpReturnsFalse) {
-  auto opts = make_options();
+TEST_F(OptionsDiagnostics, HelpReturnsFalseAndWritesUsageToStream) {
   const char* argv[] = {"prog", "--help"};
-  EXPECT_FALSE(opts.parse(2, argv));
+  EXPECT_FALSE(opts_.parse(2, argv));
+  EXPECT_NE(diag_.str().find("usage: prog"), std::string::npos);
+  EXPECT_NE(diag_.str().find("--trials"), std::string::npos);
+}
+
+TEST_F(OptionsDiagnostics, AcceptedParseWritesNothing) {
+  const char* argv[] = {"prog", "--trials=42"};
+  EXPECT_TRUE(opts_.parse(2, argv));
+  EXPECT_TRUE(diag_.str().empty());
+}
+
+TEST(Options, FlagValuesReportParsedOverDefault) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--trials=42"};
+  ASSERT_TRUE(opts.parse(2, argv));
+  bool saw_trials = false, saw_noise = false;
+  for (const auto& [name, value] : opts.flag_values()) {
+    if (name == "trials") {
+      saw_trials = true;
+      EXPECT_EQ(value, "42");
+    }
+    if (name == "noise") {
+      saw_noise = true;
+      EXPECT_EQ(value, "exp1");  // default applies
+    }
+  }
+  EXPECT_TRUE(saw_trials);
+  EXPECT_TRUE(saw_noise);
 }
 
 TEST(Options, IntListParsing) {
