@@ -17,6 +17,7 @@ namespace {
 
 void run_delay_ablation(bench::run_context& ctx) {
   const auto& opts = ctx.opts();
+  const auto exec = ctx.executor();
   const auto n = static_cast<std::uint64_t>(opts.get_int("n"));
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -49,7 +50,7 @@ void run_delay_ablation(bench::run_context& ctx) {
       config.stop = stop_mode::first_decision;
       config.check_invariants = false;
       config.seed = seed + static_cast<std::uint64_t>(m * 1000);
-      const auto stats = run_trials(config, trials);
+      const auto stats = exec.run(config, trials);
       ctx.add_counter("sim_ops",
                       stats.total_ops.mean() *
                           static_cast<double>(stats.total_ops.count()));

@@ -7,6 +7,7 @@
 //       current leader. Restarting Theorem 12 after each crash gives
 //       O(f log n) expected rounds for f crashes; the paper conjectures
 //       O(log n). The bench fits mean rounds against f.
+#include <algorithm>
 #include <cstdio>
 
 #include "harness.h"
@@ -22,6 +23,7 @@ namespace {
 
 void run_random_halting(bench::run_context& ctx) {
   const auto& opts = ctx.opts();
+  const auto exec = ctx.executor();
   const auto n = static_cast<std::uint64_t>(opts.get_int("n"));
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -40,41 +42,29 @@ void run_random_halting(bench::run_context& ctx) {
     config.check_invariants = false;
     config.seed = seed + static_cast<std::uint64_t>(h * 1e6);
 
-    summary survivors;
-    summary first_round;
-    std::uint64_t decided = 0, all_halted = 0;
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      sim_config c = config;
-      c.seed = config.seed + t * 7919;
-      const auto r = simulate(c);
-      ctx.add_counter("sim_ops", static_cast<double>(r.total_ops));
-      if (r.any_decided) {
-        ++decided;
-        first_round.add(static_cast<double>(r.first_decision_round));
-      } else {
-        ++all_halted;
-      }
-      survivors.add(static_cast<double>(c.inputs.size() -
-                                        r.halted_processes));
-    }
+    const auto stats = exec.run(config, trials);
+    ctx.add_counter("sim_ops",
+                    stats.total_ops.mean() *
+                        static_cast<double>(stats.total_ops.count()));
     json.at(h)
-        .set("decided", static_cast<double>(decided))
-        .set("all_halted", static_cast<double>(all_halted))
+        .set("decided", static_cast<double>(stats.decided_trials))
+        .set("all_halted", static_cast<double>(stats.undecided_trials))
         .set("mean_first_round",
-             first_round.count() ? first_round.mean() : 0.0)
-        .set("mean_survivors", survivors.mean());
+             stats.first_round.count() ? stats.first_round.mean() : 0.0)
+        .set("mean_survivors", stats.survivors.mean());
     tbl.begin_row();
     tbl.cell(h, 4);
-    tbl.cell(decided);
-    tbl.cell(all_halted);
-    tbl.cell(first_round.count() ? first_round.mean() : 0.0, 2);
-    tbl.cell(survivors.mean(), 1);
+    tbl.cell(stats.decided_trials);
+    tbl.cell(stats.undecided_trials);
+    tbl.cell(stats.first_round.count() ? stats.first_round.mean() : 0.0, 2);
+    tbl.cell(stats.survivors.mean(), 1);
   }
   tbl.print();
 }
 
 void run_adaptive_crashes(bench::run_context& ctx) {
   const auto& opts = ctx.opts();
+  const auto exec = ctx.executor();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
 
@@ -88,27 +78,31 @@ void run_adaptive_crashes(bench::run_context& ctx) {
     tbl2.begin_row();
     tbl2.cell(procs);
     std::vector<double> fs, rounds;
-    const std::vector<std::uint64_t> budgets{0, 1, 2, 4, procs / 2};
+    std::vector<std::uint64_t> budgets{0, 1, 2, 4, procs / 2};
+    // procs/2 collides with a fixed budget for small n; drop the duplicate
+    // cell (it would rerun identical seeds and double-weight its x in the
+    // fit).
+    std::sort(budgets.begin(), budgets.end());
+    budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
     for (std::uint64_t f : budgets) {
-      summary first_round;
-      for (std::uint64_t t = 0; t < trials; ++t) {
-        sim_config config;
-        config.inputs = split_inputs(procs);
-        config.sched = figure1_params(make_exponential(1.0));
-        config.stop = stop_mode::first_decision;
-        config.check_invariants = false;
-        config.crashes = make_kill_poised(f);
-        config.seed = seed * 31 + procs * 977 + f * 101 + t;
-        const auto r = simulate(config);
-        ctx.add_counter("sim_ops", static_cast<double>(r.total_ops));
-        if (r.any_decided) {
-          first_round.add(static_cast<double>(r.first_decision_round));
-        }
-      }
+      sim_config config;
+      config.inputs = split_inputs(procs);
+      config.sched = figure1_params(make_exponential(1.0));
+      config.stop = stop_mode::first_decision;
+      config.check_invariants = false;
+      // The executor clones the adversary per trial, so every trial gets
+      // the full budget f.
+      config.crashes = make_kill_poised(f);
+      config.seed = seed * 31 + procs * 977 + f * 101;
+      const auto stats = exec.run(config, trials);
+      ctx.add_counter("sim_ops",
+                      stats.total_ops.mean() *
+                          static_cast<double>(stats.total_ops.count()));
       fs.push_back(static_cast<double>(f));
-      rounds.push_back(first_round.mean());
-      json.at(static_cast<double>(f)).set("mean_round", first_round.mean());
-      tbl2.cell(first_round.mean(), 2);
+      rounds.push_back(stats.first_round.mean());
+      json.at(static_cast<double>(f))
+          .set("mean_round", stats.first_round.mean());
+      tbl2.cell(stats.first_round.mean(), 2);
     }
     const auto fit = fit_linear(fs, rounds);
     ctx.add_counter("slope_per_f/n=" + std::to_string(procs), fit.slope);

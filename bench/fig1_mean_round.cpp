@@ -20,6 +20,7 @@
 
 #include "harness.h"
 #include "noise/catalog.h"
+#include "scenario/scenario.h"
 #include "sim/runner.h"
 #include "stats/regression.h"
 #include "util/table.h"
@@ -41,6 +42,7 @@ void run_figure1(bench::run_context& ctx) {
     std::fprintf(csv, "distribution,n,trials,mean_round,ci95\n");
   }
 
+  const auto exec = ctx.executor();
   const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
   const auto max_trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto op_budget = static_cast<std::uint64_t>(opts.get_int("op-budget"));
@@ -77,14 +79,12 @@ void run_figure1(bench::run_context& ctx) {
           std::max<std::uint64_t>(6,
                                   std::min(max_trials, op_budget / per_trial));
 
-      sim_config config;
-      config.inputs = split_inputs(n);
-      config.sched = figure1_params(catalog[d].dist);
-      config.stop = stop_mode::first_decision;
-      config.check_invariants = false;  // measured runs; invariants are
-                                        // enforced by the test suite
-      config.seed = seed + d * 1000003 + n;
-      const auto stats = run_trials(config, trials);
+      scenario_params params;
+      params.n = n;
+      params.seed = seed + d * 1000003 + n;
+      const sim_config config =
+          make_scenario("figure1-" + catalog[d].key, params);
+      const auto stats = exec.run(config, trials);
 
       const double mean = stats.first_round.mean();
       const double ci95 = stats.first_round.ci95_halfwidth();

@@ -27,6 +27,21 @@ void accumulate(std::vector<std::pair<std::string, double>>& counters,
   counters.emplace_back(name, delta);
 }
 
+void set_counter(std::vector<std::pair<std::string, double>>& counters,
+                 const std::string& name, double value) {
+  for (auto& [key, old] : counters) {
+    if (key == name) {
+      old = value;
+      return;
+    }
+  }
+  counters.emplace_back(name, value);
+}
+
+unsigned threads_from(const options& opts) {
+  return resolve_threads(opts.get_int("threads"));
+}
+
 // --- JSON writing ----------------------------------------------------------
 
 void write_escaped(std::ostringstream& os, const std::string& s) {
@@ -92,6 +107,15 @@ run_context::run_context(const std::string& run_name, const options& opts,
       warmup_(warmup),
       repeat_(repeat == 0 ? 1 : repeat) {}
 
+trial_executor run_context::executor() const {
+  executor_options exec;
+  exec.threads = threads_from(opts_);
+  // Recorded here, not in harness::main, so the json only claims a worker
+  // count for benches that actually run on the parallel engine.
+  set_counter(out_.counters, "threads", static_cast<double>(exec.threads));
+  return trial_executor(exec);
+}
+
 series& run_context::add_series(std::string name) {
   out_.series_list.push_back({run_name_, std::move(name), {}});
   return out_.series_list.back();
@@ -123,6 +147,9 @@ harness::harness(std::string bench_name) : bench_name_(std::move(bench_name)) {
   opts_.add("list", "false", "print registered run names and exit");
   opts_.add("warmup", "0", "untimed executions before each timed block");
   opts_.add("repeat", "1", "timed executions averaged per timed block");
+  opts_.add("threads", "1",
+            "worker threads for multi-trial runs (0 = hardware concurrency); "
+            "results are bit-identical for any value");
 }
 
 void harness::add(std::string run_name, std::function<void(run_context&)> fn) {

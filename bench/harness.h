@@ -9,6 +9,8 @@
 //   --list          print registered run names and exit
 //   --warmup <k>    untimed executions before each run_context::time() block
 //   --repeat <k>    timed executions averaged by run_context::time()
+//   --threads <k>   worker threads for multi-trial runs (0 = hardware
+//                   concurrency); results are bit-identical for any value
 //
 // BENCH json schema (all of it emitted by to_json, checked by
 // validate_bench_json, and round-tripped in tests/test_bench_harness.cpp):
@@ -23,7 +25,11 @@
 //     ],
 //     "counters": {"<name>": <number>},          // accumulated; includes
 //                                                // wall seconds per run as
-//                                                // "seconds/<run name>"
+//                                                // "seconds/<run name>", and
+//                                                // the resolved worker count
+//                                                // as "threads" when the
+//                                                // bench uses the parallel
+//                                                // executor
 //     "seconds": <number>                        // total wall clock
 //   }
 //
@@ -38,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/trial_executor.h"
 #include "util/options.h"
 
 namespace leancon::bench {
@@ -81,6 +88,10 @@ class run_context {
               std::uint64_t warmup, std::uint64_t repeat);
 
   const options& opts() const { return opts_; }
+
+  /// Builds a trial executor honouring the --threads flag, so every bench's
+  /// multi-trial loops parallelize with one call-site change.
+  trial_executor executor() const;
 
   /// Adds a series attributed to this run.
   series& add_series(std::string name);

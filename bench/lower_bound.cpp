@@ -26,6 +26,7 @@ namespace {
 
 void run_lower_bound(bench::run_context& ctx) {
   const auto& opts = ctx.opts();
+  const auto exec = ctx.executor();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -57,7 +58,7 @@ void run_lower_bound(bench::run_context& ctx) {
       config.stop = stop_mode::first_decision;
       config.check_invariants = false;
       config.seed = seed + n * 17;
-      const auto stats = run_trials(config, trials);
+      const auto stats = exec.run(config, trials);
       ctx.add_counter("sim_ops",
                       stats.total_ops.mean() *
                           static_cast<double>(stats.total_ops.count()));

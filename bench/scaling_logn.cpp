@@ -10,6 +10,7 @@
 
 #include "harness.h"
 #include "noise/catalog.h"
+#include "scenario/scenario.h"
 #include "sim/runner.h"
 #include "stats/regression.h"
 #include "util/table.h"
@@ -20,6 +21,7 @@ namespace {
 
 void run_scaling(bench::run_context& ctx) {
   const auto& opts = ctx.opts();
+  const auto exec = ctx.executor();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
@@ -30,13 +32,11 @@ void run_scaling(bench::run_context& ctx) {
   auto& rounds_series = ctx.add_series("mean_round");
   std::vector<double> xs, ys;
   for (std::uint64_t n = 2; n <= nmax; n *= 2) {
-    sim_config config;
-    config.inputs = split_inputs(n);
-    config.sched = figure1_params(make_exponential(1.0));
-    config.stop = stop_mode::first_decision;
-    config.check_invariants = false;
-    config.seed = seed + n;
-    const auto stats = run_trials(config, trials);
+    scenario_params params;
+    params.n = n;
+    params.seed = seed + n;
+    const auto stats =
+        exec.run(make_scenario("figure1-exp1", params), trials);
     ctx.add_counter("sim_ops",
                     stats.total_ops.mean() *
                         static_cast<double>(stats.total_ops.count()));
@@ -78,7 +78,7 @@ void run_tail(bench::run_context& ctx) {
   config.stop = stop_mode::first_decision;
   config.check_invariants = false;
   config.seed = seed * 7 + 1;
-  const auto stats = run_trials(config, tail_trials);
+  const auto stats = ctx.executor().run(config, tail_trials);
   ctx.add_counter("sim_ops",
                   stats.total_ops.mean() *
                       static_cast<double>(stats.total_ops.count()));

@@ -1,0 +1,136 @@
+#include "scenario/scenario.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "noise/catalog.h"
+#include "sched/crash_adversary.h"
+
+namespace leancon {
+namespace {
+
+/// Common skeleton: split inputs, Figure 1 scheduling around `noise`, first
+/// decision, invariants off (measured workloads; the test suite enforces
+/// the lemmas at small scale).
+sim_config measured_base(const scenario_params& p, distribution_ptr noise) {
+  sim_config config;
+  config.inputs = split_inputs(p.n);
+  config.sched = figure1_params(std::move(noise));
+  config.stop = stop_mode::first_decision;
+  config.check_invariants = false;
+  config.seed = p.seed;
+  return config;
+}
+
+std::vector<scenario_spec> build_registry() {
+  std::vector<scenario_spec> reg;
+
+  // Figure 1, one scenario per noise family of the paper's Section 9.
+  for (const auto& entry : figure1_catalog()) {
+    reg.push_back(
+        {"figure1-" + entry.key,
+         "Figure 1 workload under " + entry.dist->name() + " noise",
+         [dist = entry.dist](const scenario_params& p) {
+           return measured_base(p, dist);
+         }});
+  }
+
+  reg.push_back(
+      {"crash-heavy",
+       "kill-poised adversary with budget n/2 (Section 10 decapitation)",
+       [](const scenario_params& p) {
+         sim_config config = measured_base(p, make_exponential(1.0));
+         config.crashes = make_kill_poised(p.n / 2);
+         return config;
+       }});
+
+  reg.push_back(
+      {"staggered-starts",
+       "rolling start: process i wakes at i * 0.5 (exp(1) noise)",
+       [](const scenario_params& p) {
+         sim_config config = measured_base(p, make_exponential(1.0));
+         config.sched.starts = start_mode::staggered;
+         config.sched.stagger_step = 0.5;
+         return config;
+       }});
+
+  reg.push_back(
+      {"random-starts",
+       "starts uniform over a window of width 0.5 * n (exp(1) noise)",
+       [](const scenario_params& p) {
+         sim_config config = measured_base(p, make_exponential(1.0));
+         config.sched.starts = start_mode::random;
+         config.sched.stagger_step = 0.5;
+         return config;
+       }});
+
+  reg.push_back(
+      {"heavy-tail",
+       "Pareto(0.5, 1.5) interarrival noise: heavy tail, finite mean",
+       [](const scenario_params& p) {
+         return measured_base(p, make_pareto(0.5, 1.5));
+       }});
+
+  // Combined-protocol cutoff family (Theorem 15): from a punishingly small
+  // r_max (backup nearly always runs) to the default Theta(log^2 n).
+  const struct {
+    const char* key;
+    const char* description;
+    std::uint64_t r_max;
+  } cutoffs[] = {
+      {"combined-cutoff-1", "combined protocol, r_max = 1 (backup-heavy)", 1},
+      {"combined-cutoff-4", "combined protocol, r_max = 4", 4},
+      {"combined-default",
+       "combined protocol, default r_max = Theta(log^2 n)", 0},
+  };
+  for (const auto& c : cutoffs) {
+    reg.push_back({c.key, c.description,
+                   [r_max = c.r_max](const scenario_params& p) {
+                     sim_config config =
+                         measured_base(p, make_exponential(1.0));
+                     config.protocol = protocol_kind::combined;
+                     config.r_max = r_max;
+                     config.stop = stop_mode::all_decided;
+                     return config;
+                   }});
+  }
+
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<scenario_spec>& scenario_registry() {
+  static const std::vector<scenario_spec> registry = build_registry();
+  return registry;
+}
+
+const scenario_spec* find_scenario(const std::string& key) {
+  for (const auto& spec : scenario_registry()) {
+    if (spec.key == key) return &spec;
+  }
+  return nullptr;
+}
+
+sim_config make_scenario(const std::string& key,
+                         const scenario_params& params) {
+  const scenario_spec* spec = find_scenario(key);
+  if (spec == nullptr) {
+    throw std::invalid_argument("unknown scenario \"" + key +
+                                "\"; known: " + scenario_keys());
+  }
+  return spec->build(params);
+}
+
+std::string scenario_keys() {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& spec : scenario_registry()) {
+    if (!first) os << ",";
+    first = false;
+    os << spec.key;
+  }
+  return os.str();
+}
+
+}  // namespace leancon

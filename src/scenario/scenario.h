@@ -1,0 +1,50 @@
+// Named, options-constructible sim_config presets ("scenarios").
+//
+// Benches, examples, and the sweep driver share one registry of workloads —
+// the Figure 1 noise families, failure-heavy regimes, staggered/random
+// starts, heavy-tail noise, and the combined-protocol cutoff family — so a
+// new workload is one table entry in scenario.cpp instead of a new binary.
+// Every scenario is a pure function of (n, seed): building the same scenario
+// twice yields identical configs, and the trial executor keeps results
+// bit-identical for any thread count on top of that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace leancon {
+
+/// Knobs every preset accepts; scenario-specific structure is baked into
+/// the preset itself.
+struct scenario_params {
+  std::uint64_t n = 16;    ///< process count
+  std::uint64_t seed = 1;  ///< base seed of the built config
+};
+
+/// One registry entry: a stable CLI key, a one-line description, and the
+/// config builder.
+struct scenario_spec {
+  std::string key;
+  std::string description;
+  std::function<sim_config(const scenario_params&)> build;
+};
+
+/// All named presets, in display order. Keys are unique.
+const std::vector<scenario_spec>& scenario_registry();
+
+/// Looks up a preset by key; nullptr when unknown.
+const scenario_spec* find_scenario(const std::string& key);
+
+/// Builds a preset's config directly. Throws std::invalid_argument on an
+/// unknown key (the message lists the known keys).
+sim_config make_scenario(const std::string& key,
+                         const scenario_params& params);
+
+/// Comma-separated registry keys (for --help output).
+std::string scenario_keys();
+
+}  // namespace leancon

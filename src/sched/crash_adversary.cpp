@@ -10,7 +10,7 @@ namespace {
 class kill_leader final : public crash_adversary {
  public:
   kill_leader(std::uint64_t budget, std::uint64_t every)
-      : budget_(budget), every_(every) {}
+      : initial_budget_(budget), budget_(budget), every_(every) {}
 
   std::optional<int> maybe_kill(const std::vector<process_view>& processes,
                                 int) override {
@@ -35,9 +35,14 @@ class kill_leader final : public crash_adversary {
     return std::nullopt;
   }
 
+  std::shared_ptr<crash_adversary> clone(std::uint64_t) const override {
+    return std::make_shared<kill_leader>(initial_budget_, every_);
+  }
+
   std::string name() const override { return "kill-leader"; }
 
  private:
+  std::uint64_t initial_budget_ = 0;
   std::uint64_t budget_;
   std::uint64_t every_;
   std::uint64_t next_trigger_ = 2;
@@ -45,7 +50,8 @@ class kill_leader final : public crash_adversary {
 
 class kill_winner final : public crash_adversary {
  public:
-  explicit kill_winner(std::uint64_t budget) : budget_(budget) {}
+  explicit kill_winner(std::uint64_t budget)
+      : initial_budget_(budget), budget_(budget) {}
 
   std::optional<int> maybe_kill(const std::vector<process_view>& processes,
                                 int last_stepped) override {
@@ -63,15 +69,21 @@ class kill_winner final : public crash_adversary {
     return last_stepped;
   }
 
+  std::shared_ptr<crash_adversary> clone(std::uint64_t) const override {
+    return std::make_shared<kill_winner>(initial_budget_);
+  }
+
   std::string name() const override { return "kill-winner"; }
 
  private:
+  std::uint64_t initial_budget_ = 0;
   std::uint64_t budget_;
 };
 
 class kill_poised final : public crash_adversary {
  public:
-  explicit kill_poised(std::uint64_t budget) : budget_(budget) {}
+  explicit kill_poised(std::uint64_t budget)
+      : initial_budget_(budget), budget_(budget) {}
 
   std::optional<int> maybe_kill(const std::vector<process_view>& processes,
                                 int last_stepped) override {
@@ -82,16 +94,22 @@ class kill_poised final : public crash_adversary {
     return last_stepped;
   }
 
+  std::shared_ptr<crash_adversary> clone(std::uint64_t) const override {
+    return std::make_shared<kill_poised>(initial_budget_);
+  }
+
   std::string name() const override { return "kill-poised"; }
 
  private:
+  std::uint64_t initial_budget_ = 0;
   std::uint64_t budget_;
 };
 
 class kill_random final : public crash_adversary {
  public:
   kill_random(std::uint64_t budget, double p, std::uint64_t salt)
-      : budget_(budget), p_(p), gen_(salt) {}
+      : initial_budget_(budget), budget_(budget), p_(p), salt_(salt),
+        gen_(salt) {}
 
   std::optional<int> maybe_kill(const std::vector<process_view>& processes,
                                 int) override {
@@ -107,11 +125,19 @@ class kill_random final : public crash_adversary {
     return live[gen_.below(live.size())];
   }
 
+  std::shared_ptr<crash_adversary> clone(std::uint64_t salt) const override {
+    // Mix the trial salt into the construction salt so every trial draws an
+    // independent (but per-trial deterministic) kill stream.
+    return std::make_shared<kill_random>(initial_budget_, p_, salt_ ^ salt);
+  }
+
   std::string name() const override { return "kill-random"; }
 
  private:
+  std::uint64_t initial_budget_ = 0;
   std::uint64_t budget_;
   double p_;
+  std::uint64_t salt_ = 0;
   rng gen_;
 };
 

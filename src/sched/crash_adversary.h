@@ -39,6 +39,14 @@ class crash_adversary {
   virtual std::optional<int> maybe_kill(
       const std::vector<process_view>& processes, int last_stepped) = 0;
 
+  /// Returns a fresh adversary with the full budget, as originally
+  /// constructed. The trial runner clones the configured adversary for every
+  /// trial so trials stay independent (a shared instance would leak budget
+  /// state across trials and race under parallel execution). Randomized
+  /// adversaries mix `salt` into their internal stream so each trial is
+  /// deterministic given its seed; deterministic ones ignore it.
+  virtual std::shared_ptr<crash_adversary> clone(std::uint64_t salt) const = 0;
+
   virtual std::string name() const = 0;
 };
 

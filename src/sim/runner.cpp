@@ -2,54 +2,67 @@
 
 #include <algorithm>
 
-#include "util/rng.h"
+#include "sim/trial_executor.h"
 
 namespace leancon {
 
-trial_stats run_trials(const sim_config& base, std::uint64_t trials) {
-  trial_stats stats;
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    sim_config config = base;
-    std::uint64_t mix = base.seed;
-    (void)splitmix64_next(mix);
-    config.seed = mix + t * 0x9e3779b97f4a7c15ULL + t;
+void trial_stats::record(const sim_config& base, const sim_result& r) {
+  ++trials;
+  if (!r.violations.empty()) ++violation_trials;
+  if (r.backup_entries > 0) ++backup_trials;
 
-    const sim_result r = simulate(config);
-    ++stats.trials;
-    if (!r.violations.empty()) ++stats.violation_trials;
-    if (r.backup_entries > 0) ++stats.backup_trials;
+  // Ops-side metrics: every trial counts, decided or not.
+  total_ops.add(static_cast<double>(r.total_ops));
+  survivors.add(static_cast<double>(r.processes.size() - r.halted_processes));
 
-    if (!r.any_decided) {
-      ++stats.undecided_trials;
-      continue;
-    }
-    ++stats.decided_trials;
-    stats.first_round.add(static_cast<double>(r.first_decision_round));
-    stats.first_time.add(r.first_decision_time);
-    stats.total_ops.add(static_cast<double>(r.total_ops));
-
-    if (base.stop == stop_mode::all_decided && r.all_live_decided) {
-      stats.last_round.add(static_cast<double>(r.last_decision_round));
-    }
-
-    double ops_sum = 0.0;
-    std::uint64_t max_ops = 0;
-    std::uint64_t switches = 0;
-    std::uint64_t live = 0;
-    for (const auto& p : r.processes) {
-      if (p.halted && p.ops == 0) continue;
-      ++live;
-      ops_sum += static_cast<double>(p.ops);
-      max_ops = std::max(max_ops, p.ops);
-      switches += p.preference_switches;
-    }
-    if (live > 0) {
-      stats.ops_per_process.add(ops_sum / static_cast<double>(live));
-    }
-    stats.max_ops.add(static_cast<double>(max_ops));
-    stats.pref_switches.add(static_cast<double>(switches));
+  double ops_sum = 0.0;
+  std::uint64_t max_ops_seen = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t live = 0;
+  for (const auto& p : r.processes) {
+    if (p.halted && p.ops == 0) continue;  // never woke up
+    ++live;
+    ops_sum += static_cast<double>(p.ops);
+    max_ops_seen = std::max(max_ops_seen, p.ops);
+    switches += p.preference_switches;
   }
-  return stats;
+  if (live > 0) {
+    ops_per_process.add(ops_sum / static_cast<double>(live));
+  }
+  max_ops.add(static_cast<double>(max_ops_seen));
+  pref_switches.add(static_cast<double>(switches));
+
+  // Decision-side metrics: decided trials only.
+  if (!r.any_decided) {
+    ++undecided_trials;
+    return;
+  }
+  ++decided_trials;
+  first_round.add(static_cast<double>(r.first_decision_round));
+  first_time.add(r.first_decision_time);
+  if (base.stop == stop_mode::all_decided && r.all_live_decided) {
+    last_round.add(static_cast<double>(r.last_decision_round));
+  }
+}
+
+void trial_stats::merge(const trial_stats& other) {
+  trials += other.trials;
+  decided_trials += other.decided_trials;
+  undecided_trials += other.undecided_trials;
+  violation_trials += other.violation_trials;
+  backup_trials += other.backup_trials;
+  first_round.merge(other.first_round);
+  last_round.merge(other.last_round);
+  first_time.merge(other.first_time);
+  ops_per_process.merge(other.ops_per_process);
+  max_ops.merge(other.max_ops);
+  pref_switches.merge(other.pref_switches);
+  total_ops.merge(other.total_ops);
+  survivors.merge(other.survivors);
+}
+
+trial_stats run_trials(const sim_config& base, std::uint64_t trials) {
+  return trial_executor().run(base, trials);
 }
 
 }  // namespace leancon

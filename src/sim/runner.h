@@ -1,6 +1,7 @@
 // Multi-trial orchestration: runs `trials` independent simulations (seeds
 // derived deterministically from the base seed) and aggregates the metrics
-// every experiment reports.
+// every experiment reports. The parallel engine lives in
+// sim/trial_executor.h; run_trials below is its single-threaded form.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +12,14 @@
 namespace leancon {
 
 /// Aggregated outcome of a batch of simulated executions.
+///
+/// Metrics split into two groups. *Ops-side* metrics (`total_ops`,
+/// `ops_per_process`, `max_ops`, `pref_switches`, `survivors`) count EVERY
+/// trial, including budget-exhausted and all-halted ones — dropping them
+/// would bias cost statistics low exactly when the adversary is strongest.
+/// *Decision-side* metrics (`first_round`, `first_time`, `last_round`) count
+/// decided trials only, because an undecided trial has no decision round or
+/// time to report.
 struct trial_stats {
   std::uint64_t trials = 0;
   std::uint64_t decided_trials = 0;     ///< trials where someone decided
@@ -25,10 +34,22 @@ struct trial_stats {
   summary max_ops;           ///< max ops over processes, per trial
   summary pref_switches;     ///< total preference switches, per trial
   summary total_ops;         ///< total ops until stop, per trial
+  summary survivors;         ///< processes that never halted, per trial
+
+  /// Folds one simulated execution into the aggregate. `base` supplies the
+  /// stop mode (which gates `last_round`).
+  void record(const sim_config& base, const sim_result& r);
+
+  /// Folds another aggregate into this one; all summaries merge via
+  /// summary::merge, counters add.
+  void merge(const trial_stats& other);
 };
 
 /// Runs `trials` simulations of `base` with per-trial seeds
-/// splitmix(base.seed, trial). All other configuration is shared.
+/// trial_seed(base.seed, trial) — see sim/trial_executor.h for the seed
+/// contract. All other configuration is shared; stateful crash adversaries
+/// are cloned per trial. Equivalent to trial_executor with one thread (and
+/// bit-identical to any other thread count).
 trial_stats run_trials(const sim_config& base, std::uint64_t trials);
 
 }  // namespace leancon

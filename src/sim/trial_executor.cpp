@@ -1,0 +1,104 @@
+#include "sim/trial_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace leancon {
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial) {
+  // Jump the splitmix64 state to position `trial`, then take one step: the
+  // additive constant below is splitmix64's gamma, so this is exactly the
+  // trial-th output of the stream seeded with base_seed.
+  std::uint64_t state = base_seed + trial * 0x9e3779b97f4a7c15ULL;
+  return splitmix64_next(state);
+}
+
+unsigned resolve_threads(unsigned threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned resolve_threads(std::int64_t threads) {
+  return resolve_threads(threads < 0 ? 1u
+                                     : static_cast<unsigned>(threads));
+}
+
+trial_executor::trial_executor(executor_options opts)
+    : threads_(resolve_threads(opts.threads)) {}
+
+namespace {
+
+// Upper bound on the aggregation grid. Small enough that merging is noise,
+// large enough that dynamic chunk claiming load-balances even when a few
+// trials dominate the wall clock (large-n cells run single-digit trials).
+constexpr std::uint64_t kMaxChunks = 256;
+
+sim_config trial_config(const sim_config& base, std::uint64_t trial) {
+  sim_config config = base;
+  config.seed = trial_seed(base.seed, trial);
+  if (base.crashes) config.crashes = base.crashes->clone(config.seed);
+  return config;
+}
+
+}  // namespace
+
+trial_stats trial_executor::run(const sim_config& base,
+                                std::uint64_t trials) const {
+  trial_stats total;
+  if (trials == 0) return total;
+
+  const std::uint64_t n_chunks = std::min(trials, kMaxChunks);
+  const auto chunk_begin = [&](std::uint64_t c) {
+    return trials * c / n_chunks;
+  };
+
+  std::vector<trial_stats> chunk_stats(n_chunks);
+  const auto run_chunk = [&](std::uint64_t c) {
+    trial_stats& stats = chunk_stats[c];
+    const std::uint64_t end = chunk_begin(c + 1);
+    for (std::uint64_t t = chunk_begin(c); t < end; ++t) {
+      stats.record(base, simulate(trial_config(base, t)));
+    }
+  };
+
+  const unsigned workers =
+      base.event_hook ? 1u
+                      : static_cast<unsigned>(
+                            std::min<std::uint64_t>(threads_, n_chunks));
+  if (workers <= 1) {
+    for (std::uint64_t c = 0; c < n_chunks; ++c) run_chunk(c);
+  } else {
+    std::atomic<std::uint64_t> next_chunk{0};
+    std::exception_ptr failure;
+    std::mutex failure_mutex;
+    const auto worker = [&] {
+      try {
+        while (true) {
+          const std::uint64_t c = next_chunk.fetch_add(1);
+          if (c >= n_chunks) return;
+          run_chunk(c);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+    if (failure) std::rethrow_exception(failure);
+  }
+
+  for (const auto& chunk : chunk_stats) total.merge(chunk);
+  return total;
+}
+
+}  // namespace leancon

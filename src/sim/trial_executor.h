@@ -1,0 +1,65 @@
+// Parallel multi-trial engine. Trials in the noisy-scheduling model are
+// independent given their per-trial seed (paper Section 3.1), so batches are
+// embarrassingly parallel; this executor partitions them across a thread
+// pool while keeping the results a pure function of (config, trial count):
+//
+//  * Per-trial seeds are trial_seed(base.seed, t), a splitmix64 hash of the
+//    (base seed, trial index) pair — no state flows between trials.
+//  * Stateful crash adversaries are cloned per trial (a shared instance
+//    would leak budget across trials and race under parallel execution).
+//  * Aggregation runs over a fixed chunk grid that depends only on the
+//    trial count, never on the thread count: workers claim chunks
+//    dynamically, accumulate chunk-local trial_stats sequentially, and the
+//    chunks are merged in index order at the end.
+//
+// Together these make the output BIT-IDENTICAL for any thread count,
+// including the single-threaded run_trials path.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/runner.h"
+
+namespace leancon {
+
+/// The seed of trial `trial` under base seed `base_seed`: the trial-th
+/// output of the splitmix64 stream seeded with `base_seed`. The splitmix64
+/// output mix decorrelates nearby base seeds and nearby trial indices alike,
+/// unlike an affine map, whose images of nearby seeds overlap across
+/// batches.
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial);
+
+/// Resolves a requested worker count: 0 means hardware concurrency (at
+/// least 1).
+unsigned resolve_threads(unsigned threads);
+
+/// Signed-input form for values parsed from the command line: negative
+/// counts (a typo'd flag would otherwise wrap through unsigned) resolve
+/// to 1.
+unsigned resolve_threads(std::int64_t threads);
+
+struct executor_options {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 1;
+};
+
+/// Runs batches of independent trials across a thread pool and aggregates
+/// them into trial_stats. Configs with an event_hook run single-threaded:
+/// the hook observes operations in execution order and concurrent trials
+/// would interleave its calls. A custom machine `factory` must be safe to
+/// invoke concurrently.
+class trial_executor {
+ public:
+  explicit trial_executor(executor_options opts = {});
+
+  /// Runs `trials` simulations of `base`; bit-identical for any thread
+  /// count.
+  trial_stats run(const sim_config& base, std::uint64_t trials) const;
+
+  unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace leancon

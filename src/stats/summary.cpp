@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace leancon {
@@ -23,6 +24,37 @@ void summary::add(double x) {
   }
 }
 
+void summary::merge(const summary& other) {
+  if (other.count_ == 0) return;
+  if (keep_samples_) {
+    if (!other.keep_samples_) {
+      throw std::logic_error(
+          "summary::merge: cannot merge a summary without retained samples "
+          "into one that keeps them");
+    }
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+  if (count_ == 0) {
+    count_ = other.count_;
+    mean_ = other.mean_;
+    m2_ = other.m2_;
+    min_ = other.min_;
+    max_ = other.max_;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double total = na + nb;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * (nb / total);
+  m2_ += other.m2_ + delta * delta * (na * nb / total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
 double summary::mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double summary::variance() const {
@@ -37,8 +69,13 @@ double summary::stderror() const {
 
 double summary::ci95_halfwidth() const { return 1.96 * stderror(); }
 
-double summary::min() const { return min_; }
-double summary::max() const { return max_; }
+double summary::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double summary::max() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
 
 double summary::quantile(double q) const {
   if (!keep_samples_ || samples_.empty()) {

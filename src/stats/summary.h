@@ -16,6 +16,15 @@ class summary {
 
   void add(double x);
 
+  /// Folds `other` into this summary (Chan's parallel Welford combine).
+  /// Count, min, and max merge exactly; mean and variance agree with
+  /// single-pass accumulation up to floating-point grouping. Retained
+  /// samples are concatenated in order, so quantiles stay exact. Merging an
+  /// empty summary is a no-op; merging into an empty summary copies. Throws
+  /// std::logic_error when this summary retains samples but a non-empty
+  /// `other` does not (the quantile contract could not be preserved).
+  void merge(const summary& other);
+
   std::uint64_t count() const { return count_; }
   double mean() const;
   /// Unbiased sample variance (0 when fewer than two observations).
@@ -25,6 +34,8 @@ class summary {
   double stderror() const;
   /// Half-width of the normal-approximation 95% confidence interval.
   double ci95_halfwidth() const;
+  /// Smallest/largest observation; NaN when no observations were added
+  /// (emitters render non-finite values as absent).
   double min() const;
   double max() const;
 

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
 namespace leancon {
 
 std::string format_double(double value, int precision) {
+  if (!std::isfinite(value)) return "-";  // empty summaries render as absent
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, value);
   return buf;

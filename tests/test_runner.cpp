@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "noise/catalog.h"
+#include "sim/trial_executor.h"
 
 namespace leancon {
 namespace {
@@ -66,6 +67,39 @@ TEST(Runner, CertainFailureCountsUndecided) {
   const auto stats = run_trials(config, 5);
   EXPECT_EQ(stats.undecided_trials, 5u);
   EXPECT_EQ(stats.decided_trials, 0u);
+}
+
+TEST(Runner, UndecidedTrialsStillCountOpsMetrics) {
+  // Ops-side metrics must include budget-exhausted/all-halted trials:
+  // dropping them biases cost means low exactly when the adversary is
+  // strongest. Decision-side metrics stay decided-only.
+  auto config = base_config(4, 13);
+  config.sched.halt_probability = 1.0;  // nobody ever decides
+  const auto stats = run_trials(config, 5);
+  EXPECT_EQ(stats.total_ops.count(), 5u);
+  EXPECT_EQ(stats.max_ops.count(), 5u);
+  EXPECT_EQ(stats.pref_switches.count(), 5u);
+  EXPECT_EQ(stats.survivors.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.survivors.max(), 0.0);  // everyone halts
+  EXPECT_EQ(stats.first_round.count(), 0u);
+  EXPECT_EQ(stats.first_time.count(), 0u);
+  EXPECT_EQ(stats.last_round.count(), 0u);
+}
+
+TEST(Runner, SeedDerivationFollowsTheSplitmixContract) {
+  // run_trials(base, k) must simulate exactly the configs seeded with
+  // trial_seed(base.seed, 0..k-1).
+  const auto config = base_config(8, 29);
+  const auto stats = run_trials(config, 3);
+  ASSERT_EQ(stats.first_round.samples().size(), 3u);
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    sim_config manual = config;
+    manual.seed = trial_seed(config.seed, t);
+    const auto r = simulate(manual);
+    EXPECT_EQ(static_cast<double>(r.first_decision_round),
+              stats.first_round.samples()[t])
+        << "trial " << t;
+  }
 }
 
 TEST(Runner, CombinedProtocolTracksBackupEntries) {

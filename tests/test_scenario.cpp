@@ -1,0 +1,126 @@
+#include "scenario/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/trial_executor.h"
+
+namespace leancon {
+namespace {
+
+TEST(Scenario, RegistryHasUniqueNonEmptyKeys) {
+  const auto& registry = scenario_registry();
+  ASSERT_GE(registry.size(), 10u);  // 6 figure-1 families + the extras
+  std::set<std::string> keys;
+  for (const auto& spec : registry) {
+    EXPECT_FALSE(spec.key.empty());
+    EXPECT_FALSE(spec.description.empty());
+    EXPECT_TRUE(static_cast<bool>(spec.build)) << spec.key;
+    EXPECT_TRUE(keys.insert(spec.key).second) << "duplicate " << spec.key;
+  }
+}
+
+TEST(Scenario, FindRoundTripsAndUnknownIsNull) {
+  for (const auto& spec : scenario_registry()) {
+    const scenario_spec* found = find_scenario(spec.key);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->key, spec.key);
+  }
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+}
+
+TEST(Scenario, MakeScenarioThrowsWithKnownKeysListed) {
+  try {
+    make_scenario("no-such-scenario", {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-scenario"), std::string::npos);
+    EXPECT_NE(what.find("figure1-exp1"), std::string::npos);
+  }
+}
+
+TEST(Scenario, KeysStringListsEveryScenario) {
+  const std::string keys = scenario_keys();
+  for (const auto& spec : scenario_registry()) {
+    EXPECT_NE(keys.find(spec.key), std::string::npos) << spec.key;
+  }
+}
+
+TEST(Scenario, Figure1PresetMatchesThePaperSetup) {
+  scenario_params params;
+  params.n = 8;
+  params.seed = 3;
+  const sim_config config = make_scenario("figure1-exp1", params);
+  EXPECT_EQ(config.inputs.size(), 8u);
+  EXPECT_EQ(config.inputs, split_inputs(8));
+  EXPECT_EQ(config.stop, stop_mode::first_decision);
+  EXPECT_EQ(config.seed, 3u);
+  EXPECT_FALSE(config.check_invariants);
+  EXPECT_EQ(config.crashes, nullptr);
+}
+
+TEST(Scenario, CombinedCutoffFamilySetsProtocolAndRmax) {
+  const struct {
+    const char* key;
+    std::uint64_t r_max;
+  } expected[] = {{"combined-cutoff-1", 1},
+                  {"combined-cutoff-4", 4},
+                  {"combined-default", 0}};
+  for (const auto& e : expected) {
+    const sim_config config = make_scenario(e.key, {});
+    EXPECT_EQ(config.protocol, protocol_kind::combined) << e.key;
+    EXPECT_EQ(config.r_max, e.r_max) << e.key;
+    EXPECT_EQ(config.stop, stop_mode::all_decided) << e.key;
+  }
+}
+
+TEST(Scenario, CrashHeavyCarriesAnAdversary) {
+  scenario_params params;
+  params.n = 8;
+  const sim_config config = make_scenario("crash-heavy", params);
+  ASSERT_NE(config.crashes, nullptr);
+  EXPECT_EQ(config.crashes->name(), "kill-poised");
+}
+
+TEST(Scenario, StartModesDifferFromTheDitheredDefault) {
+  EXPECT_EQ(make_scenario("staggered-starts", {}).sched.starts,
+            start_mode::staggered);
+  EXPECT_EQ(make_scenario("random-starts", {}).sched.starts,
+            start_mode::random);
+  EXPECT_EQ(make_scenario("figure1-exp1", {}).sched.starts,
+            start_mode::dithered);
+}
+
+TEST(Scenario, EveryScenarioRunsOnTheExecutor) {
+  executor_options opts;
+  opts.threads = 2;
+  const trial_executor exec(opts);
+  for (const auto& spec : scenario_registry()) {
+    scenario_params params;
+    params.n = 4;
+    params.seed = 5;
+    sim_config config = spec.build(params);
+    config.max_total_ops = 200000;  // keep adversarial cells bounded
+    const auto stats = exec.run(config, 3);
+    EXPECT_EQ(stats.trials, 3u) << spec.key;
+    EXPECT_EQ(stats.total_ops.count(), 3u) << spec.key;
+  }
+}
+
+TEST(Scenario, BuildingTwiceIsDeterministic) {
+  scenario_params params;
+  params.n = 8;
+  params.seed = 17;
+  for (const char* key : {"figure1-norm", "crash-heavy", "heavy-tail"}) {
+    const auto a = run_trials(make_scenario(key, params), 10);
+    const auto b = run_trials(make_scenario(key, params), 10);
+    EXPECT_EQ(a.decided_trials, b.decided_trials) << key;
+    EXPECT_EQ(a.first_round.samples(), b.first_round.samples()) << key;
+    EXPECT_EQ(a.total_ops.samples(), b.total_ops.samples()) << key;
+  }
+}
+
+}  // namespace
+}  // namespace leancon

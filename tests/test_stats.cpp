@@ -28,6 +28,17 @@ TEST(Summary, EmptyIsSafe) {
   EXPECT_DOUBLE_EQ(s.stderror(), 0.0);
 }
 
+TEST(Summary, EmptyMinMaxIsNaN) {
+  // A fabricated 0.0 prints as a plausible value in bench tables; NaN
+  // renders as absent in both the table and the JSON emitters.
+  summary s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(-3.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
+}
+
 TEST(Summary, SingleValue) {
   summary s;
   s.add(3.5);
@@ -72,6 +83,105 @@ TEST(Summary, Ci95ShrinksWithSamples) {
   for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : 2.0);
   for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : 2.0);
   EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+// --- summary::merge (Chan's parallel Welford combine) ----------------------
+
+TEST(SummaryMerge, MatchesSinglePassAccumulation) {
+  // Property test: for random data and random split points, merging
+  // partials must agree with one-pass accumulation on every statistic.
+  rng gen(99);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t total = 1 + gen.below(400);
+    std::vector<double> data;
+    for (std::size_t i = 0; i < total; ++i) {
+      data.push_back(gen.normal(5.0, 3.0));
+    }
+
+    summary single;
+    for (double x : data) single.add(x);
+
+    const std::size_t parts = 1 + gen.below(8);
+    summary merged;
+    std::size_t next = 0;
+    for (std::size_t p = 0; p < parts; ++p) {
+      summary part;
+      // Last part takes the remainder; earlier parts take random (possibly
+      // empty) prefixes.
+      const std::size_t end =
+          p + 1 == parts ? total : next + gen.below(total - next + 1);
+      for (; next < end; ++next) part.add(data[next]);
+      merged.merge(part);
+    }
+
+    ASSERT_EQ(merged.count(), single.count());
+    EXPECT_NEAR(merged.mean(), single.mean(),
+                1e-12 * (1.0 + std::abs(single.mean())));
+    EXPECT_NEAR(merged.variance(), single.variance(),
+                1e-9 * (1.0 + single.variance()));
+    EXPECT_DOUBLE_EQ(merged.min(), single.min());
+    EXPECT_DOUBLE_EQ(merged.max(), single.max());
+    // Samples concatenate in order, so quantiles are exactly the one-pass
+    // quantiles.
+    EXPECT_EQ(merged.samples(), single.samples());
+    EXPECT_DOUBLE_EQ(merged.quantile(0.25), single.quantile(0.25));
+    EXPECT_DOUBLE_EQ(merged.median(), single.median());
+    EXPECT_DOUBLE_EQ(merged.quantile(0.95), single.quantile(0.95));
+  }
+}
+
+TEST(SummaryMerge, EmptySidesAreIdentities) {
+  summary full;
+  for (double x : {1.0, 2.0, 7.0}) full.add(x);
+
+  summary left;  // empty.merge(full) copies
+  left.merge(full);
+  EXPECT_EQ(left.count(), 3u);
+  EXPECT_DOUBLE_EQ(left.mean(), full.mean());
+  EXPECT_DOUBLE_EQ(left.variance(), full.variance());
+  EXPECT_DOUBLE_EQ(left.min(), 1.0);
+  EXPECT_DOUBLE_EQ(left.max(), 7.0);
+  EXPECT_EQ(left.samples(), full.samples());
+
+  summary right = full;  // full.merge(empty) is a no-op
+  right.merge(summary());
+  EXPECT_EQ(right.count(), 3u);
+  EXPECT_DOUBLE_EQ(right.mean(), full.mean());
+  EXPECT_DOUBLE_EQ(right.variance(), full.variance());
+  EXPECT_EQ(right.samples(), full.samples());
+
+  summary both;  // empty.merge(empty) stays empty
+  both.merge(summary());
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_TRUE(std::isnan(both.min()));
+}
+
+TEST(SummaryMerge, WithoutRetainedSamples) {
+  summary a(/*keep_samples=*/false), b(/*keep_samples=*/false);
+  for (double x : {2.0, 4.0, 4.0, 4.0}) a.add(x);
+  for (double x : {5.0, 5.0, 7.0, 9.0}) b.add(x);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(SummaryMerge, RetentionMismatchThrows) {
+  summary keeper;
+  summary dropper(/*keep_samples=*/false);
+  dropper.add(1.0);
+  // Folding sample-less data into a sample-keeping summary would silently
+  // break its quantile contract.
+  EXPECT_THROW(keeper.merge(dropper), std::logic_error);
+  // The other direction is fine: the target never promised quantiles.
+  summary dropper2(/*keep_samples=*/false);
+  summary keeper2;
+  keeper2.add(2.0);
+  dropper2.merge(keeper2);
+  EXPECT_EQ(dropper2.count(), 1u);
+  EXPECT_DOUBLE_EQ(dropper2.mean(), 2.0);
 }
 
 TEST(Histogram, BinningAndEdges) {

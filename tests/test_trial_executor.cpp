@@ -1,0 +1,159 @@
+#include "sim/trial_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "noise/catalog.h"
+#include "sched/crash_adversary.h"
+
+namespace leancon {
+namespace {
+
+sim_config base_config(std::size_t n, std::uint64_t seed) {
+  sim_config config;
+  config.inputs = split_inputs(n);
+  config.sched = figure1_params(make_exponential(1.0));
+  config.seed = seed;
+  return config;
+}
+
+trial_stats run_with_threads(const sim_config& config, std::uint64_t trials,
+                             unsigned threads) {
+  executor_options opts;
+  opts.threads = threads;
+  return trial_executor(opts).run(config, trials);
+}
+
+// Bit-identical: exact floating-point equality, not EXPECT_DOUBLE_EQ's
+// 4-ULP tolerance. Empty summaries have NaN min/max, which never compare
+// equal, so those are gated on count().
+void expect_bit_identical(const summary& a, const summary& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  if (a.count() > 0) {
+    EXPECT_EQ(a.mean(), b.mean()) << what;
+    EXPECT_EQ(a.variance(), b.variance()) << what;
+    EXPECT_EQ(a.min(), b.min()) << what;
+    EXPECT_EQ(a.max(), b.max()) << what;
+  }
+  EXPECT_EQ(a.samples(), b.samples()) << what;
+}
+
+void expect_bit_identical(const trial_stats& a, const trial_stats& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.decided_trials, b.decided_trials);
+  EXPECT_EQ(a.undecided_trials, b.undecided_trials);
+  EXPECT_EQ(a.violation_trials, b.violation_trials);
+  EXPECT_EQ(a.backup_trials, b.backup_trials);
+  expect_bit_identical(a.first_round, b.first_round, "first_round");
+  expect_bit_identical(a.last_round, b.last_round, "last_round");
+  expect_bit_identical(a.first_time, b.first_time, "first_time");
+  expect_bit_identical(a.ops_per_process, b.ops_per_process,
+                       "ops_per_process");
+  expect_bit_identical(a.max_ops, b.max_ops, "max_ops");
+  expect_bit_identical(a.pref_switches, b.pref_switches, "pref_switches");
+  expect_bit_identical(a.total_ops, b.total_ops, "total_ops");
+  expect_bit_identical(a.survivors, b.survivors, "survivors");
+}
+
+TEST(TrialExecutor, ThreadCountsProduceBitIdenticalStats) {
+  const auto config = base_config(16, 7);
+  const auto one = run_with_threads(config, 200, 1);
+  const auto two = run_with_threads(config, 200, 2);
+  const auto eight = run_with_threads(config, 200, 8);
+  expect_bit_identical(one, two);
+  expect_bit_identical(one, eight);
+}
+
+TEST(TrialExecutor, CombinedProtocolWithCrashesIdenticalAcrossThreads) {
+  auto config = base_config(8, 23);
+  config.protocol = protocol_kind::combined;
+  config.r_max = 2;  // frequent backup entry
+  config.crashes = make_kill_poised(2);
+  config.stop = stop_mode::first_decision;
+  const auto one = run_with_threads(config, 120, 1);
+  const auto four = run_with_threads(config, 120, 4);
+  const auto eight = run_with_threads(config, 120, 8);
+  expect_bit_identical(one, four);
+  expect_bit_identical(one, eight);
+  EXPECT_EQ(one.trials, 120u);
+}
+
+TEST(TrialExecutor, MatchesRunTrials) {
+  const auto config = base_config(8, 11);
+  expect_bit_identical(run_trials(config, 50), run_with_threads(config, 50, 4));
+}
+
+TEST(TrialExecutor, SeedsAreTheSplitmixStream) {
+  // Documented contract: trial t's seed is the t-th output of the splitmix64
+  // stream seeded with the base seed.
+  const std::uint64_t base = 20000625;
+  std::uint64_t state = base;
+  for (std::uint64_t t = 0; t < 16; ++t) {
+    EXPECT_EQ(trial_seed(base, t), splitmix64_next(state)) << "trial " << t;
+  }
+}
+
+TEST(TrialExecutor, NearbyBaseSeedsDoNotShareTrialSeeds) {
+  // The old affine map mix + t * gamma + t made nearby base seeds reuse each
+  // other's trial-seed sequences at shifted offsets.
+  std::set<std::uint64_t> seen;
+  constexpr std::uint64_t kBatches = 8;
+  constexpr std::uint64_t kTrials = 256;
+  for (std::uint64_t base = 1; base <= kBatches; ++base) {
+    for (std::uint64_t t = 0; t < kTrials; ++t) {
+      seen.insert(trial_seed(base, t));
+    }
+  }
+  EXPECT_EQ(seen.size(), kBatches * kTrials);
+}
+
+TEST(TrialExecutor, ZeroTrialsIsEmpty) {
+  const auto stats = run_with_threads(base_config(4, 1), 0, 4);
+  EXPECT_EQ(stats.trials, 0u);
+  EXPECT_EQ(stats.first_round.count(), 0u);
+  EXPECT_TRUE(std::isnan(stats.first_round.min()));
+  EXPECT_TRUE(std::isnan(stats.total_ops.max()));
+}
+
+TEST(TrialExecutor, HardwareConcurrencyResolves) {
+  executor_options opts;
+  opts.threads = 0;
+  const trial_executor exec(opts);
+  EXPECT_GE(exec.threads(), 1u);
+  const auto stats = exec.run(base_config(8, 3), 40);
+  EXPECT_EQ(stats.trials, 40u);
+  expect_bit_identical(stats, run_with_threads(base_config(8, 3), 40, 1));
+}
+
+TEST(TrialExecutor, BaseAdversaryIsNotConsumedAcrossRuns) {
+  // The configured adversary is cloned per trial, so its budget state never
+  // leaks between trials or between whole runs sharing one sim_config.
+  auto config = base_config(6, 31);
+  config.crashes = make_kill_poised(1);
+  config.stop = stop_mode::first_decision;
+  const auto first = run_with_threads(config, 30, 2);
+  const auto second = run_with_threads(config, 30, 2);
+  expect_bit_identical(first, second);
+}
+
+TEST(TrialExecutor, EventHookConfigsStillAggregateEverything) {
+  // Hooked configs run single-threaded (the hook observes operations in
+  // order) but must produce the same aggregate as an unhooked parallel run.
+  auto hooked = base_config(8, 13);
+  std::uint64_t observed = 0;
+  hooked.event_hook = [&observed](const trace_event&) { ++observed; };
+  const auto with_hook = run_with_threads(hooked, 25, 8);
+  EXPECT_GT(observed, 0u);
+
+  const auto plain = run_with_threads(base_config(8, 13), 25, 8);
+  expect_bit_identical(with_hook, plain);
+  double op_sum = 0.0;
+  for (const double ops : with_hook.total_ops.samples()) op_sum += ops;
+  EXPECT_EQ(static_cast<double>(observed), op_sum);
+}
+
+}  // namespace
+}  // namespace leancon
