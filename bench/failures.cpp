@@ -7,9 +7,16 @@
 //       current leader. Restarting Theorem 12 after each crash gives
 //       O(f log n) expected rounds for f crashes; the paper conjectures
 //       O(log n). The bench fits mean rounds against f.
+//
+// Both regimes are campaign grids over the figure1-exp1 preset: each cell
+// carries a `variant` (h=... or f=...) whose `tweak` adjusts the built
+// sim_config, so the whole bench shares the worker pool with everything
+// else and supports --cells/--resume streaming.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
+#include "exp/campaign_io.h"
 #include "harness.h"
 #include "noise/catalog.h"
 #include "sched/crash_adversary.h"
@@ -23,92 +30,120 @@ namespace {
 
 void run_random_halting(bench::run_context& ctx) {
   const auto& opts = ctx.opts();
-  const auto exec = ctx.executor();
   const auto n = static_cast<std::uint64_t>(opts.get_int("n"));
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  const std::vector<double> hs{0.0, 0.0005, 0.002, 0.008, 0.03, 0.1};
+  std::vector<campaign_cell> cells;
+  for (const double h : hs) {
+    campaign_cell cell;
+    cell.scenario = "figure1-exp1";
+    cell.params.n = n;
+    cell.params.seed = seed + static_cast<std::uint64_t>(h * 1e6);
+    cell.trials = trials;
+    char variant[32];
+    std::snprintf(variant, sizeof variant, "h=%.4f", h);
+    cell.variant = variant;
+    cell.tweak = [h](sim_config& config) {
+      config.sched.halt_probability = h;
+      config.stop = stop_mode::all_decided;
+    };
+    cells.push_back(std::move(cell));
+  }
+  // Each run streams to its own file so a non-resume open of the second
+  // run cannot truncate the first run's records.
+  auto copts = ctx.campaign();
+  std::unique_ptr<campaign_io> io;
+  if (!ctx.open_cells(copts, io, ".random_halting")) return;
+  const auto results = run_campaign(cells, copts);
 
   std::printf("(a) Random halting failures, n = %llu, exp(1) noise.\n\n",
               static_cast<unsigned long long>(n));
   table tbl({"h (per op)", "decided trials", "all-halted trials",
              "mean first round", "mean survivors"});
   auto& json = ctx.add_series("random_halting");
-  for (double h : {0.0, 0.0005, 0.002, 0.008, 0.03, 0.1}) {
-    sim_config config;
-    config.inputs = split_inputs(n);
-    config.sched = figure1_params(make_exponential(1.0));
-    config.sched.halt_probability = h;
-    config.stop = stop_mode::all_decided;
-    config.check_invariants = false;
-    config.seed = seed + static_cast<std::uint64_t>(h * 1e6);
-
-    const auto stats = exec.run(config, trials);
-    ctx.add_counter("sim_ops",
-                    stats.total_ops.mean() *
-                        static_cast<double>(stats.total_ops.count()));
-    json.at(h)
-        .set("decided", static_cast<double>(stats.decided_trials))
-        .set("all_halted", static_cast<double>(stats.undecided_trials))
-        .set("mean_first_round",
-             stats.first_round.count() ? stats.first_round.mean() : 0.0)
-        .set("mean_survivors", stats.survivors.mean());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& m = results[i].metrics;
+    ctx.add_counter("sim_ops", m.get("total_ops_sum"));
+    json.at(hs[i])
+        .set("decided", m.get("decided"))
+        .set("all_halted", m.get("undecided"))
+        .set("mean_first_round", m.get("mean_round"))
+        .set("mean_survivors", m.get("mean_survivors"));
     tbl.begin_row();
-    tbl.cell(h, 4);
-    tbl.cell(stats.decided_trials);
-    tbl.cell(stats.undecided_trials);
-    tbl.cell(stats.first_round.count() ? stats.first_round.mean() : 0.0, 2);
-    tbl.cell(stats.survivors.mean(), 1);
+    tbl.cell(hs[i], 4);
+    tbl.cell(static_cast<std::uint64_t>(m.get("decided")));
+    tbl.cell(static_cast<std::uint64_t>(m.get("undecided")));
+    tbl.cell(m.get("mean_round"), 2);
+    tbl.cell(m.get("mean_survivors"), 1);
   }
   tbl.print();
+  ctx.add_cell_counters(results);
 }
 
 void run_adaptive_crashes(bench::run_context& ctx) {
   const auto& opts = ctx.opts();
-  const auto exec = ctx.executor();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  // One grid over (n, f); budgets procs/2 collide with fixed budgets at
+  // small n, and the duplicate cell is dropped (it would rerun identical
+  // seeds and double-weight its x in the fit).
+  std::vector<campaign_cell> cells;
+  std::vector<std::uint64_t> cell_budget;
+  for (std::uint64_t procs : {2u, 4u, 8u, 32u}) {
+    std::vector<std::uint64_t> budgets{0, 1, 2, 4, procs / 2};
+    std::sort(budgets.begin(), budgets.end());
+    budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
+    for (const std::uint64_t f : budgets) {
+      campaign_cell cell;
+      cell.scenario = "figure1-exp1";
+      cell.params.n = procs;
+      cell.params.seed = seed * 31 + procs * 977 + f * 101;
+      cell.trials = trials;
+      cell.variant = "f=" + std::to_string(f);
+      // The campaign clones the adversary per trial, so every trial gets
+      // the full budget f.
+      cell.tweak = [f](sim_config& config) {
+        config.crashes = make_kill_poised(f);
+      };
+      cell_budget.push_back(f);
+      cells.push_back(std::move(cell));
+    }
+  }
+  auto copts = ctx.campaign();
+  std::unique_ptr<campaign_io> io;
+  if (!ctx.open_cells(copts, io, ".adaptive_crashes")) return;
+  const auto results = run_campaign(cells, copts);
 
   std::printf("\n(b) Adaptive crash adversary (kill-poised: crash a process"
               " the instant its\nnext operation would decide — Section 10's"
               " decapitation strategy).\nPaper: O(f log n) upper bound,"
               " conjectured O(log n).\n\n");
   table tbl2({"n", "f=0", "f=1", "f=2", "f=4", "f=n/2", "slope/f (small n)"});
-  for (std::uint64_t procs : {2u, 4u, 8u, 32u}) {
+  std::size_t i = 0;
+  while (i < results.size()) {
+    const std::uint64_t procs = results[i].cell.params.n;
     auto& json = ctx.add_series("adaptive_crashes n=" + std::to_string(procs));
     tbl2.begin_row();
     tbl2.cell(procs);
     std::vector<double> fs, rounds;
-    std::vector<std::uint64_t> budgets{0, 1, 2, 4, procs / 2};
-    // procs/2 collides with a fixed budget for small n; drop the duplicate
-    // cell (it would rerun identical seeds and double-weight its x in the
-    // fit).
-    std::sort(budgets.begin(), budgets.end());
-    budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
-    for (std::uint64_t f : budgets) {
-      sim_config config;
-      config.inputs = split_inputs(procs);
-      config.sched = figure1_params(make_exponential(1.0));
-      config.stop = stop_mode::first_decision;
-      config.check_invariants = false;
-      // The executor clones the adversary per trial, so every trial gets
-      // the full budget f.
-      config.crashes = make_kill_poised(f);
-      config.seed = seed * 31 + procs * 977 + f * 101;
-      const auto stats = exec.run(config, trials);
-      ctx.add_counter("sim_ops",
-                      stats.total_ops.mean() *
-                          static_cast<double>(stats.total_ops.count()));
-      fs.push_back(static_cast<double>(f));
-      rounds.push_back(stats.first_round.mean());
-      json.at(static_cast<double>(f))
-          .set("mean_round", stats.first_round.mean());
-      tbl2.cell(stats.first_round.mean(), 2);
+    for (; i < results.size() && results[i].cell.params.n == procs; ++i) {
+      const auto& m = results[i].metrics;
+      ctx.add_counter("sim_ops", m.get("total_ops_sum"));
+      fs.push_back(static_cast<double>(cell_budget[i]));
+      rounds.push_back(m.get("mean_round"));
+      json.at(static_cast<double>(cell_budget[i]))
+          .set("mean_round", m.get("mean_round"));
+      tbl2.cell(m.get("mean_round"), 2);
     }
     const auto fit = fit_linear(fs, rounds);
     ctx.add_counter("slope_per_f/n=" + std::to_string(procs), fit.slope);
     tbl2.cell(fit.slope, 2);
   }
   tbl2.print();
+  ctx.add_cell_counters(results);
   std::printf("\nmeasured shape: even this maximally adaptive strategy barely"
               " moves the mean\n(0.00 cells = the budget sufficed to kill"
               " every live process, so no trial\ndecided). The racing arrays"
@@ -125,6 +160,7 @@ int main(int argc, char** argv) {
   h.opts().add("n", "64", "process count");
   h.opts().add("trials", "400", "trials per cell");
   h.opts().add("seed", "17", "base seed");
+  bench::add_campaign_flags(h.opts());
   h.add("random_halting", run_random_halting);
   h.add("adaptive_crashes", run_adaptive_crashes);
   return h.main(argc, argv);

@@ -10,6 +10,14 @@
 // Default trial counts are scaled down so the whole bench suite stays fast;
 // pass --op-budget (per cell) and --nmax to approach the paper's scale.
 //
+// The (distribution × n) grid runs as one campaign on the persistent worker
+// pool (see src/exp/campaign.h): cells steal work from each other, per-cell
+// compute time lands in the "cell_seconds/..." counters, --cells streams
+// each finished cell to a JSON-lines file, and --resume skips cells already
+// on file. Results are bit-identical for any --threads value; the committed
+// baseline bench/baselines/BENCH_fig1_mean_round.json pins the smoke-scale
+// output (asserted by tests/test_campaign.cpp).
+//
 // Expected shape (paper Figure 1): slow logarithmic growth from ~2 rounds at
 // n = 1 to roughly 6-14 rounds at n = 10^5 depending on distribution, with
 // small constants; the truncated normal(1, 0.04) curve is flat or even
@@ -17,11 +25,12 @@
 // there are more chances for one to appear.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
+#include "exp/campaign_io.h"
 #include "harness.h"
 #include "noise/catalog.h"
 #include "scenario/scenario.h"
-#include "sim/runner.h"
 #include "stats/regression.h"
 #include "util/table.h"
 
@@ -42,7 +51,6 @@ void run_figure1(bench::run_context& ctx) {
     std::fprintf(csv, "distribution,n,trials,mean_round,ci95\n");
   }
 
-  const auto exec = ctx.executor();
   const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
   const auto max_trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto op_budget = static_cast<std::uint64_t>(opts.get_int("op-budget"));
@@ -52,6 +60,32 @@ void run_figure1(bench::run_context& ctx) {
   for (std::uint64_t n = 1; n <= nmax; n *= 10) ns.push_back(n);
 
   const auto catalog = figure1_catalog();
+
+  // The grid, n-major with distributions inner: cell order defines both the
+  // baseline's sim_ops accumulation order and the streaming order.
+  std::vector<campaign_cell> cells;
+  for (const auto n : ns) {
+    for (std::size_t d = 0; d < catalog.size(); ++d) {
+      // Cost of one trial is roughly n * 4 * E[rounds]; keep each cell
+      // within the op budget.
+      const std::uint64_t per_trial = n * 48 + 8;
+      campaign_cell cell;
+      cell.scenario = "figure1-" + catalog[d].key;
+      cell.params.n = n;
+      cell.params.seed = seed + d * 1000003 + n;
+      cell.trials = std::max<std::uint64_t>(
+          6, std::min(max_trials, op_budget / per_trial));
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  auto copts = ctx.campaign();
+  std::unique_ptr<campaign_io> io;
+  if (!ctx.open_cells(copts, io)) {
+    if (csv != nullptr) std::fclose(csv);
+    return;
+  }
+  const auto results = run_campaign(cells, copts);
 
   std::printf(
       "Figure 1: mean round of first termination, half-0/half-1 inputs,\n"
@@ -68,47 +102,36 @@ void run_figure1(bench::run_context& ctx) {
     json_series.push_back(&ctx.add_series(entry.dist->name()));
   }
 
-  for (const auto n : ns) {
-    tbl.begin_row();
-    tbl.cell(static_cast<std::uint64_t>(n));
-    for (std::size_t d = 0; d < catalog.size(); ++d) {
-      // Cost of one trial is roughly n * 4 * E[rounds]; keep each cell
-      // within the op budget.
-      const std::uint64_t per_trial = n * 48 + 8;
-      const std::uint64_t trials =
-          std::max<std::uint64_t>(6,
-                                  std::min(max_trials, op_budget / per_trial));
-
-      scenario_params params;
-      params.n = n;
-      params.seed = seed + d * 1000003 + n;
-      const sim_config config =
-          make_scenario("figure1-" + catalog[d].key, params);
-      const auto stats = exec.run(config, trials);
-
-      const double mean = stats.first_round.mean();
-      const double ci95 = stats.first_round.ci95_halfwidth();
-      series[d].push_back(mean);
-      json_series[d]
-          ->at(static_cast<double>(n))
-          .set("mean_round", mean)
-          .set("ci95", ci95)
-          .set("trials", static_cast<double>(trials));
-      ctx.add_counter("sim_ops",
-                      stats.total_ops.mean() *
-                          static_cast<double>(stats.total_ops.count()));
-      char cellbuf[64];
-      std::snprintf(cellbuf, sizeof cellbuf, "%.2f +-%.2f", mean, ci95);
-      tbl.cell(std::string(cellbuf));
-      if (csv != nullptr) {
-        std::fprintf(csv, "%s,%llu,%llu,%.4f,%.4f\n",
-                     catalog[d].dist->name().c_str(),
-                     static_cast<unsigned long long>(n),
-                     static_cast<unsigned long long>(trials), mean, ci95);
-      }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::size_t d = i % catalog.size();
+    const auto n = results[i].cell.params.n;
+    if (d == 0) {
+      tbl.begin_row();
+      tbl.cell(n);
+    }
+    const auto& m = results[i].metrics;
+    const double mean = m.get("mean_round");
+    const double ci95 = m.get("round_ci95");
+    const double trials = m.get("trials");
+    series[d].push_back(mean);
+    json_series[d]
+        ->at(static_cast<double>(n))
+        .set("mean_round", mean)
+        .set("ci95", ci95)
+        .set("trials", trials);
+    ctx.add_counter("sim_ops", m.get("total_ops_sum"));
+    char cellbuf[64];
+    std::snprintf(cellbuf, sizeof cellbuf, "%.2f +-%.2f", mean, ci95);
+    tbl.cell(std::string(cellbuf));
+    if (csv != nullptr) {
+      std::fprintf(csv, "%s,%llu,%llu,%.4f,%.4f\n",
+                   catalog[d].dist->name().c_str(),
+                   static_cast<unsigned long long>(n),
+                   static_cast<unsigned long long>(trials), mean, ci95);
     }
   }
   tbl.print();
+  ctx.add_cell_counters(results);
 
   std::printf("\nSlope of mean round per decade of n (paper: small positive"
               " growth;\nnormal(1,0.04) flat-to-inverted):\n\n");
@@ -143,6 +166,7 @@ int main(int argc, char** argv) {
                "trials down at large n)");
   h.opts().add("seed", "20000625", "base seed (PODC 2000 vintage)");
   h.opts().add("csv", "", "optional path for machine-readable series output");
+  bench::add_campaign_flags(h.opts());
   h.add("mean_round", run_figure1);
   return h.main(argc, argv);
 }

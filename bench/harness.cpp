@@ -6,7 +6,19 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exp/campaign.h"
+#include "exp/campaign_io.h"
+#include "exp/worker_pool.h"
+#include "util/json.h"
+
 namespace leancon::bench {
+
+void add_campaign_flags(options& opts) {
+  opts.add("cells", "",
+           "stream each finished campaign cell to this JSON-lines file");
+  opts.add("resume", "false",
+           "with --cells: skip cells already recorded in the file");
+}
 
 namespace {
 
@@ -42,40 +54,10 @@ unsigned threads_from(const options& opts) {
   return resolve_threads(opts.get_int("threads"));
 }
 
-// --- JSON writing ----------------------------------------------------------
-
-void write_escaped(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-/// Numbers render as JSON numbers; non-finite values as null.
-void write_number(std::ostringstream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << "null";
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  os << buf;
-}
+// JSON string/number writing (BENCH conventions: %.17g, null for
+// non-finite) is shared with the campaign emitter via util/json.
+using json::write_number;
+using json::write_string;
 
 }  // namespace
 
@@ -114,6 +96,37 @@ trial_executor run_context::executor() const {
   // count for benches that actually run on the parallel engine.
   set_counter(out_.counters, "threads", static_cast<double>(exec.threads));
   return trial_executor(exec);
+}
+
+campaign_options run_context::campaign() const {
+  campaign_options opts;
+  opts.threads = threads_from(opts_);
+  set_counter(out_.counters, "threads", static_cast<double>(opts.threads));
+  set_counter(out_.counters, "pool_size",
+              static_cast<double>(worker_pool::shared().size()));
+  return opts;
+}
+
+void run_context::add_cell_counters(const std::vector<cell_result>& cells) {
+  for (const auto& cell : cells) {
+    add_counter("cell_seconds/" + cell.cell.label(), cell.seconds);
+  }
+}
+
+bool run_context::open_cells(campaign_options& copts,
+                             std::unique_ptr<campaign_io>& io,
+                             const std::string& suffix) {
+  const std::string path = opts_.get("cells");
+  if (path.empty()) return true;
+  try {
+    io = std::make_unique<campaign_io>(path + suffix,
+                                       opts_.get_bool("resume"));
+  } catch (const std::exception& e) {
+    fail(e.what());
+    return false;
+  }
+  copts.io = io.get();
+  return true;
 }
 
 series& run_context::add_series(std::string name) {
@@ -216,21 +229,21 @@ int harness::main(int argc, const char* const* argv) {
 std::string to_json(const results& r) {
   std::ostringstream os;
   os << "{\n  \"bench\": ";
-  write_escaped(os, r.bench);
+  write_string(os, r.bench);
   os << ",\n  \"params\": {";
   for (std::size_t i = 0; i < r.params.size(); ++i) {
     os << (i == 0 ? "" : ", ");
-    write_escaped(os, r.params[i].first);
+    write_string(os, r.params[i].first);
     os << ": ";
-    write_escaped(os, r.params[i].second);
+    write_string(os, r.params[i].second);
   }
   os << "},\n  \"series\": [";
   for (std::size_t s = 0; s < r.series_list.size(); ++s) {
     const auto& ser = r.series_list[s];
     os << (s == 0 ? "\n" : ",\n") << "    {\"run\": ";
-    write_escaped(os, ser.run);
+    write_string(os, ser.run);
     os << ", \"name\": ";
-    write_escaped(os, ser.name);
+    write_string(os, ser.name);
     os << ", \"points\": [";
     for (std::size_t p = 0; p < ser.points.size(); ++p) {
       const auto& pt = ser.points[p];
@@ -238,7 +251,7 @@ std::string to_json(const results& r) {
       write_number(os, pt.x);
       for (const auto& [name, value] : pt.metrics) {
         os << ", ";
-        write_escaped(os, name);
+        write_string(os, name);
         os << ": ";
         write_number(os, value);
       }
@@ -250,7 +263,7 @@ std::string to_json(const results& r) {
   os << "  \"counters\": {";
   for (std::size_t i = 0; i < r.counters.size(); ++i) {
     os << (i == 0 ? "" : ", ");
-    write_escaped(os, r.counters[i].first);
+    write_string(os, r.counters[i].first);
     os << ": ";
     write_number(os, r.counters[i].second);
   }
@@ -264,218 +277,34 @@ std::string to_json(const results& r) {
 
 namespace {
 
-/// Minimal JSON document model, just rich enough for schema validation.
-struct jvalue {
-  enum class kind { null, boolean, number, string, object, array };
-  kind k = kind::null;
-  double num = 0.0;
-  bool b = false;
-  std::string str;
-  std::vector<std::pair<std::string, jvalue>> members;  // object
-  std::vector<jvalue> items;                            // array
+using jkind = json::value::kind;
 
-  const jvalue* find(const std::string& key) const {
-    for (const auto& [name, value] : members) {
-      if (name == key) return &value;
-    }
-    return nullptr;
-  }
-};
-
-/// Recursive-descent parser; throws std::runtime_error on malformed input.
-class json_parser {
- public:
-  explicit json_parser(const std::string& text) : text_(text) {}
-
-  jvalue parse() {
-    jvalue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error(what + " at offset " + std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const std::string& lit) {
-    if (text_.compare(pos_, lit.size(), lit) == 0) {
-      pos_ += lit.size();
-      return true;
-    }
-    return false;
-  }
-
-  jvalue parse_value() {
-    const char c = peek();
-    jvalue v;
-    switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"':
-        v.k = jvalue::kind::string;
-        v.str = parse_string();
-        return v;
-      case 't':
-        if (!consume_literal("true")) fail("bad literal");
-        v.k = jvalue::kind::boolean;
-        v.b = true;
-        return v;
-      case 'f':
-        if (!consume_literal("false")) fail("bad literal");
-        v.k = jvalue::kind::boolean;
-        v.b = false;
-        return v;
-      case 'n':
-        if (!consume_literal("null")) fail("bad literal");
-        v.k = jvalue::kind::null;
-        return v;
-      default: return parse_number();
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            // Decoded code points are not needed for validation; keep the
-            // raw escape so content checks still see something.
-            out += "\\u" + text_.substr(pos_, 4);
-            pos_ += 4;
-            break;
-          }
-          default: fail("bad escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  jvalue parse_number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    jvalue v;
-    v.k = jvalue::kind::number;
-    try {
-      v.num = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("malformed number");
-    }
-    return v;
-  }
-
-  jvalue parse_object() {
-    expect('{');
-    jvalue v;
-    v.k = jvalue::kind::object;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      expect(':');
-      v.members.emplace_back(std::move(key), parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}'");
-    }
-  }
-
-  jvalue parse_array() {
-    expect('[');
-    jvalue v;
-    v.k = jvalue::kind::array;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.items.push_back(parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']'");
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-std::optional<std::string> check_series(const jvalue& ser, std::size_t index) {
+std::optional<std::string> check_series(const json::value& ser,
+                                        std::size_t index) {
   const std::string where = "series[" + std::to_string(index) + "]";
-  if (ser.k != jvalue::kind::object) return where + " is not an object";
-  const jvalue* run = ser.find("run");
-  if (run == nullptr || run->k != jvalue::kind::string) {
+  if (ser.k != jkind::object) return where + " is not an object";
+  const json::value* run = ser.find("run");
+  if (run == nullptr || run->k != jkind::string) {
     return where + " lacks a string \"run\"";
   }
-  const jvalue* name = ser.find("name");
-  if (name == nullptr || name->k != jvalue::kind::string) {
+  const json::value* name = ser.find("name");
+  if (name == nullptr || name->k != jkind::string) {
     return where + " lacks a string \"name\"";
   }
-  const jvalue* points = ser.find("points");
-  if (points == nullptr || points->k != jvalue::kind::array) {
+  const json::value* points = ser.find("points");
+  if (points == nullptr || points->k != jkind::array) {
     return where + " lacks a \"points\" array";
   }
   for (std::size_t p = 0; p < points->items.size(); ++p) {
     const auto& pt = points->items[p];
     const std::string pwhere = where + ".points[" + std::to_string(p) + "]";
-    if (pt.k != jvalue::kind::object) return pwhere + " is not an object";
-    const jvalue* x = pt.find("x");
-    if (x == nullptr || x->k != jvalue::kind::number) {
+    if (pt.k != jkind::object) return pwhere + " is not an object";
+    const json::value* x = pt.find("x");
+    if (x == nullptr || x->k != jkind::number) {
       return pwhere + " lacks a numeric \"x\"";
     }
     for (const auto& [key, value] : pt.members) {
-      if (value.k != jvalue::kind::number &&
-          value.k != jvalue::kind::null) {
+      if (value.k != jkind::number && value.k != jkind::null) {
         return pwhere + "." + key + " is neither number nor null";
       }
     }
@@ -486,47 +315,46 @@ std::optional<std::string> check_series(const jvalue& ser, std::size_t index) {
 }  // namespace
 
 std::optional<std::string> validate_bench_json(const std::string& text) {
-  jvalue root;
+  json::value root;
   try {
-    root = json_parser(text).parse();
+    root = json::parse(text);
   } catch (const std::exception& e) {
     return std::string("parse error: ") + e.what();
   }
-  if (root.k != jvalue::kind::object) return "root is not an object";
+  if (root.k != jkind::object) return "root is not an object";
 
-  const jvalue* bench = root.find("bench");
-  if (bench == nullptr || bench->k != jvalue::kind::string ||
-      bench->str.empty()) {
+  const json::value* bench = root.find("bench");
+  if (bench == nullptr || bench->k != jkind::string || bench->str.empty()) {
     return "\"bench\" must be a non-empty string";
   }
-  const jvalue* params = root.find("params");
-  if (params == nullptr || params->k != jvalue::kind::object) {
+  const json::value* params = root.find("params");
+  if (params == nullptr || params->k != jkind::object) {
     return "\"params\" must be an object";
   }
   for (const auto& [key, value] : params->members) {
-    if (value.k != jvalue::kind::string) {
+    if (value.k != jkind::string) {
       return "params." + key + " is not a string";
     }
   }
-  const jvalue* series_node = root.find("series");
-  if (series_node == nullptr || series_node->k != jvalue::kind::array) {
+  const json::value* series_node = root.find("series");
+  if (series_node == nullptr || series_node->k != jkind::array) {
     return "\"series\" must be an array";
   }
   for (std::size_t i = 0; i < series_node->items.size(); ++i) {
     if (auto error = check_series(series_node->items[i], i)) return error;
   }
-  if (const jvalue* counters = root.find("counters")) {
-    if (counters->k != jvalue::kind::object) {
+  if (const json::value* counters = root.find("counters")) {
+    if (counters->k != jkind::object) {
       return "\"counters\" must be an object";
     }
     for (const auto& [key, value] : counters->members) {
-      if (value.k != jvalue::kind::number) {
+      if (value.k != jkind::number) {
         return "counters." + key + " is not a number";
       }
     }
   }
-  const jvalue* seconds = root.find("seconds");
-  if (seconds == nullptr || seconds->k != jvalue::kind::number ||
+  const json::value* seconds = root.find("seconds");
+  if (seconds == nullptr || seconds->k != jkind::number ||
       seconds->num < 0.0) {
     return "\"seconds\" must be a non-negative number";
   }

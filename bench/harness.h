@@ -39,15 +39,26 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "exp/campaign.h"
 #include "sim/trial_executor.h"
 #include "util/options.h"
 
+namespace leancon {
+class campaign_io;
+}
+
 namespace leancon::bench {
+
+/// Declares the campaign streaming flags (--cells, --resume) on a bench
+/// that runs its grid through run_campaign. Pair with
+/// run_context::open_cells.
+void add_campaign_flags(options& opts);
 
 /// One sample along a series: an x coordinate plus named metric values.
 struct point {
@@ -92,6 +103,25 @@ class run_context {
   /// Builds a trial executor honouring the --threads flag, so every bench's
   /// multi-trial loops parallelize with one call-site change.
   trial_executor executor() const;
+
+  /// Campaign options honouring the --threads flag (batches run on the
+  /// shared worker pool). Records the resolved concurrency cap as the
+  /// "threads" counter and the persistent pool's worker count as
+  /// "pool_size", so BENCH json trajectories can relate campaign wall time
+  /// to the compute that produced it.
+  campaign_options campaign() const;
+
+  /// Accumulates one "cell_seconds/<label>" counter per campaign cell (its
+  /// summed chunk execution time; 0 for resumed cells).
+  void add_cell_counters(const std::vector<cell_result>& cells);
+
+  /// Honours the --cells/--resume flags (see add_campaign_flags): opens the
+  /// stream at --cells + `suffix`, points `copts.io` at it, and hands
+  /// ownership to `io`. Returns false after reporting through fail() when
+  /// the path cannot be opened — the run should stop. With --cells unset,
+  /// returns true and leaves `io` null.
+  bool open_cells(campaign_options& copts, std::unique_ptr<campaign_io>& io,
+                  const std::string& suffix = "");
 
   /// Adds a series attributed to this run.
   series& add_series(std::string name);

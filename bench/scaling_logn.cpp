@@ -5,9 +5,18 @@
 // This bench (a) fits mean first-decision rounds against log2(n) and
 // (b) prints the empirical tail of the round distribution at a fixed n,
 // whose log-probabilities should fall roughly linearly in k.
+//
+// The scaling sweep runs as a campaign over n (shared worker pool,
+// work-stealing across cells, per-cell compute in "cell_seconds/..."
+// counters, --cells/--resume streaming); the single-cell tail profile stays
+// on the trial executor. Results are bit-identical for any --threads value;
+// the committed smoke-scale baseline is
+// bench/baselines/BENCH_scaling_logn.json.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
+#include "exp/campaign_io.h"
 #include "harness.h"
 #include "noise/catalog.h"
 #include "scenario/scenario.h"
@@ -21,42 +30,51 @@ namespace {
 
 void run_scaling(bench::run_context& ctx) {
   const auto& opts = ctx.opts();
-  const auto exec = ctx.executor();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto nmax = static_cast<std::uint64_t>(opts.get_int("nmax"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
 
   std::printf("Theorem 12: E[rounds] = O(log n) under noisy scheduling.\n\n");
 
+  std::vector<campaign_cell> cells;
+  for (std::uint64_t n = 2; n <= nmax; n *= 2) {
+    campaign_cell cell;
+    cell.scenario = "figure1-exp1";
+    cell.params.n = n;
+    cell.params.seed = seed + n;
+    cell.trials = trials;
+    cells.push_back(std::move(cell));
+  }
+  auto copts = ctx.campaign();
+  std::unique_ptr<campaign_io> io;
+  if (!ctx.open_cells(copts, io)) return;
+  const auto results = run_campaign(cells, copts);
+
   table tbl({"n", "mean round", "ci95", "p50", "p95", "max"});
   auto& rounds_series = ctx.add_series("mean_round");
   std::vector<double> xs, ys;
-  for (std::uint64_t n = 2; n <= nmax; n *= 2) {
-    scenario_params params;
-    params.n = n;
-    params.seed = seed + n;
-    const auto stats =
-        exec.run(make_scenario("figure1-exp1", params), trials);
-    ctx.add_counter("sim_ops",
-                    stats.total_ops.mean() *
-                        static_cast<double>(stats.total_ops.count()));
+  for (const auto& r : results) {
+    const auto n = r.cell.params.n;
+    const auto& m = r.metrics;
+    ctx.add_counter("sim_ops", m.get("total_ops_sum"));
     xs.push_back(static_cast<double>(n));
-    ys.push_back(stats.first_round.mean());
+    ys.push_back(m.get("mean_round"));
     rounds_series.at(static_cast<double>(n))
-        .set("mean_round", stats.first_round.mean())
-        .set("ci95", stats.first_round.ci95_halfwidth())
-        .set("p50", stats.first_round.quantile(0.5))
-        .set("p95", stats.first_round.quantile(0.95))
-        .set("max", stats.first_round.max());
+        .set("mean_round", m.get("mean_round"))
+        .set("ci95", m.get("round_ci95"))
+        .set("p50", m.get("round_p50"))
+        .set("p95", m.get("round_p95"))
+        .set("max", m.get("round_max"));
     tbl.begin_row();
     tbl.cell(n);
-    tbl.cell(stats.first_round.mean(), 2);
-    tbl.cell(stats.first_round.ci95_halfwidth(), 2);
-    tbl.cell(stats.first_round.quantile(0.5), 1);
-    tbl.cell(stats.first_round.quantile(0.95), 1);
-    tbl.cell(stats.first_round.max(), 0);
+    tbl.cell(m.get("mean_round"), 2);
+    tbl.cell(m.get("round_ci95"), 2);
+    tbl.cell(m.get("round_p50"), 1);
+    tbl.cell(m.get("round_p95"), 1);
+    tbl.cell(m.get("round_max"), 0);
   }
   tbl.print();
+  ctx.add_cell_counters(results);
 
   const auto fit = fit_against_log2(xs, ys);
   ctx.add_counter("fit_slope", fit.slope);
@@ -112,6 +130,7 @@ int main(int argc, char** argv) {
   h.opts().add("tail-n", "64", "process count for the tail profile");
   h.opts().add("tail-trials", "3000", "trials for the tail profile");
   h.opts().add("seed", "12", "base seed");
+  bench::add_campaign_flags(h.opts());
   h.add("scaling", run_scaling);
   h.add("tail", run_tail);
   return h.main(argc, argv);

@@ -1,17 +1,26 @@
 // Scenario sweep driver: run any set of registry scenarios across a list of
-// process counts on the parallel trial executor, and print one comparable
-// table. New workloads are one table entry in src/scenario/scenario.cpp —
-// no new binary needed.
+// process counts as one campaign on the persistent worker pool, and print
+// one comparable table. New workloads are one table entry in
+// src/scenario/scenario.cpp — no new binary needed. Custom-backend presets
+// (mp-abd, mutex-noise, hybrid-quantum) run right alongside the
+// shared-memory ones.
 //
-//   ./sweep --scenarios=figure1-exp1,crash-heavy --ns=4,16,64 \
-//           --trials=400 --threads=0
+//   ./sweep --scenarios=figure1-exp1,crash-heavy,mp-abd --ns=4,16,64 \
+//           --trials=400 --threads=0 --cells=cells.jsonl
 //
-// Results are bit-identical for any --threads value.
+// Results are bit-identical for any --threads value. --cells streams every
+// finished cell to a JSON-lines file as it completes; rerunning with
+// --resume=true skips the cells already on file.
+#include <cmath>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "exp/campaign.h"
+#include "exp/campaign_io.h"
+#include "exp/worker_pool.h"
 #include "scenario/scenario.h"
 #include "sim/trial_executor.h"
 #include "util/options.h"
@@ -44,9 +53,13 @@ int main(int argc, char** argv) {
   opts.add("ns", "4,16,64", "comma-separated process counts");
   opts.add("trials", "200", "trials per (scenario, n) cell");
   opts.add("threads", "0",
-           "worker threads (0 = hardware concurrency); results are "
-           "bit-identical for any value");
+           "campaign concurrency cap (0 = hardware concurrency); results "
+           "are bit-identical for any value");
   opts.add("seed", "1", "base seed");
+  opts.add("cells", "",
+           "stream each finished cell to this JSON-lines file");
+  opts.add("resume", "false",
+           "with --cells: skip cells already recorded in the file");
   opts.add("list", "false", "print scenario keys with descriptions and exit");
   if (!opts.parse(argc, argv)) return 1;
 
@@ -57,61 +70,83 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::vector<const scenario_spec*> selected;
+  campaign_grid grid;
   if (opts.get("scenarios") == "all") {
-    for (const auto& spec : scenario_registry()) selected.push_back(&spec);
+    for (const auto& spec : scenario_registry()) {
+      grid.scenarios.push_back(spec.key);
+    }
   } else {
     for (const auto& key : split_keys(opts.get("scenarios"))) {
-      const scenario_spec* spec = find_scenario(key);
-      if (spec == nullptr) {
+      if (find_scenario(key) == nullptr) {
         std::fprintf(stderr, "unknown scenario \"%s\"; known: %s\n",
                      key.c_str(), scenario_keys().c_str());
         return 1;
       }
-      selected.push_back(spec);
+      grid.scenarios.push_back(key);
+    }
+  }
+  for (const std::int64_t n : opts.get_int_list("ns")) {
+    grid.ns.push_back(static_cast<std::uint64_t>(n));
+  }
+  grid.trials = static_cast<std::uint64_t>(opts.get_int("trials"));
+  grid.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  campaign_options copts;
+  copts.threads = resolve_threads(opts.get_int("threads"));
+  std::unique_ptr<campaign_io> io;
+  if (!opts.get("cells").empty()) {
+    try {
+      io = std::make_unique<campaign_io>(opts.get("cells"),
+                                         opts.get_bool("resume"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    copts.io = io.get();
+    if (io->loaded() > 0) {
+      std::printf("resuming: %zu cell(s) already on file in %s\n",
+                  io->loaded(), io->path().c_str());
     }
   }
 
-  const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
-  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
-  executor_options exec_opts;
-  exec_opts.threads = resolve_threads(opts.get_int("threads"));
-  const trial_executor exec(exec_opts);
+  std::printf("campaign sweep: %llu trials per cell, concurrency %u, "
+              "pool of %u worker(s)\n\n",
+              static_cast<unsigned long long>(grid.trials), copts.threads,
+              worker_pool::shared().size());
 
-  std::printf("scenario sweep: %llu trials per cell, %u worker thread(s)\n\n",
-              static_cast<unsigned long long>(trials), exec.threads());
+  const auto results = run_campaign(grid, copts);
 
   table tbl({"scenario", "n", "decided", "mean round", "ci95", "p95",
              "mean ops/proc", "mean survivors"});
   bool all_safe = true;
-  for (const scenario_spec* spec : selected) {
-    for (const std::int64_t n : opts.get_int_list("ns")) {
-      scenario_params params;
-      params.n = static_cast<std::uint64_t>(n);
-      // Decorrelate cells while keeping every cell reproducible on its own.
-      params.seed = trial_seed(seed, params.n * 131 + 7);
-      const auto stats = exec.run(spec->build(params), trials);
-      all_safe = all_safe && stats.violation_trials == 0;
+  std::uint64_t resumed = 0;
+  for (const auto& r : results) {
+    const auto& m = r.metrics;
+    all_safe = all_safe && m.get("violations") == 0.0;
+    if (r.resumed) ++resumed;
 
-      char decided[32];
-      std::snprintf(decided, sizeof decided, "%llu/%llu",
-                    static_cast<unsigned long long>(stats.decided_trials),
-                    static_cast<unsigned long long>(stats.trials));
-      tbl.begin_row();
-      tbl.cell(spec->key);
-      tbl.cell(static_cast<std::uint64_t>(n));
-      tbl.cell(std::string(decided));
-      const bool any = stats.first_round.count() > 0;
-      tbl.cell(any ? stats.first_round.mean()
-                   : std::numeric_limits<double>::quiet_NaN(), 2);
-      tbl.cell(any ? stats.first_round.ci95_halfwidth()
-                   : std::numeric_limits<double>::quiet_NaN(), 2);
-      tbl.cell(any ? stats.first_round.quantile(0.95)
-                   : std::numeric_limits<double>::quiet_NaN(), 1);
-      tbl.cell(stats.ops_per_process.mean(), 1);
-      tbl.cell(stats.survivors.mean(), 1);
-    }
+    char decided[32];
+    std::snprintf(decided, sizeof decided, "%llu/%llu",
+                  static_cast<unsigned long long>(m.get("decided")),
+                  static_cast<unsigned long long>(m.get("trials")));
+    tbl.begin_row();
+    tbl.cell(r.cell.scenario);
+    tbl.cell(r.cell.params.n);
+    tbl.cell(std::string(decided));
+    const bool any = m.get("decided") > 0;
+    tbl.cell(any ? m.get("mean_round")
+                 : std::numeric_limits<double>::quiet_NaN(), 2);
+    tbl.cell(any ? m.get("round_ci95")
+                 : std::numeric_limits<double>::quiet_NaN(), 2);
+    tbl.cell(m.get("round_p95"), 1);
+    tbl.cell(m.get("mean_ops_per_process"), 1);
+    tbl.cell(m.get("mean_survivors"), 1);
   }
   tbl.print();
+  if (resumed > 0) {
+    std::printf("\n%llu of %zu cells resumed from %s\n",
+                static_cast<unsigned long long>(resumed), results.size(),
+                io->path().c_str());
+  }
   return all_safe ? 0 : 1;
 }

@@ -1,0 +1,274 @@
+#include "exp/campaign.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+#include "exp/campaign_io.h"
+#include "exp/worker_pool.h"
+#include "sim/trial_executor.h"
+
+namespace leancon {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t fnv1a_mix(std::uint64_t h, const std::string& s) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // Field separator, so ("ab", "c") and ("a", "bc") hash differently.
+  h ^= 0xff;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+std::string campaign_cell::label() const {
+  std::string out = scenario;
+  if (!variant.empty()) out += "/" + variant;
+  out += "/n=" + std::to_string(params.n);
+  return out;
+}
+
+std::uint64_t cell_hash(const campaign_cell& cell) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  h = fnv1a_mix(h, cell.scenario);
+  h = fnv1a_mix(h, cell.variant);
+  h = fnv1a_mix(h, std::to_string(cell.params.n));
+  h = fnv1a_mix(h, std::to_string(cell.trials));
+  return h;
+}
+
+std::vector<campaign_cell> campaign_grid::expand() const {
+  std::vector<campaign_cell> cells;
+  cells.reserve(scenarios.size() * ns.size());
+  std::uint64_t index = 0;
+  for (const auto& scenario : scenarios) {
+    for (const auto n : ns) {
+      campaign_cell cell;
+      cell.scenario = scenario;
+      cell.params.n = n;
+      // Decorrelate cells (nearby indices never share trial-seed streams)
+      // while keeping every cell reproducible from (seed, index) alone.
+      cell.params.seed = trial_seed(seed, index);
+      cell.trials = trials;
+      cells.push_back(std::move(cell));
+      ++index;
+    }
+  }
+  return cells;
+}
+
+cell_metrics& cell_metrics::set(const std::string& name, double value) {
+  for (auto& [key, old] : values) {
+    if (key == name) {
+      old = value;
+      return *this;
+    }
+  }
+  values.emplace_back(name, value);
+  return *this;
+}
+
+double cell_metrics::get(const std::string& name) const {
+  for (const auto& [key, value] : values) {
+    if (key == name) return value;
+  }
+  return kNaN;
+}
+
+cell_metrics default_cell_metrics(const trial_stats& stats) {
+  const bool any_round = stats.first_round.count() > 0;
+  cell_metrics m;
+  m.set("trials", static_cast<double>(stats.trials))
+      .set("decided", static_cast<double>(stats.decided_trials))
+      .set("undecided", static_cast<double>(stats.undecided_trials))
+      .set("violations", static_cast<double>(stats.violation_trials))
+      .set("backup", static_cast<double>(stats.backup_trials))
+      .set("mean_round", stats.first_round.mean())
+      .set("round_ci95", stats.first_round.ci95_halfwidth())
+      .set("round_p50", any_round ? stats.first_round.quantile(0.5) : kNaN)
+      .set("round_p95", any_round ? stats.first_round.quantile(0.95) : kNaN)
+      .set("round_min", stats.first_round.min())
+      .set("round_max", stats.first_round.max())
+      .set("mean_first_time", stats.first_time.mean())
+      .set("mean_last_round", stats.last_round.mean())
+      .set("mean_ops_per_process", stats.ops_per_process.mean())
+      .set("mean_max_ops", stats.max_ops.mean())
+      .set("mean_pref_switches", stats.pref_switches.mean())
+      .set("mean_total_ops", stats.total_ops.mean())
+      // Written exactly as the benches historically accumulated sim_ops, so
+      // campaign ports reproduce their counters bit-for-bit.
+      .set("total_ops_sum",
+           stats.total_ops.mean() *
+               static_cast<double>(stats.total_ops.count()))
+      .set("mean_survivors", stats.survivors.mean());
+  return m;
+}
+
+std::vector<cell_result> run_campaign(const std::vector<campaign_cell>& cells,
+                                      const campaign_options& opts) {
+  // Per-cell execution state for cells that actually run.
+  struct cell_state {
+    const scenario_spec* spec = nullptr;
+    sim_config base;  ///< built config (build scenarios; seed + tweak applied)
+    sim_config record_base;  ///< stop-mode carrier for run_one recording
+    std::vector<trial_stats> chunk_stats;
+    std::vector<double> chunk_seconds;
+    std::atomic<std::uint64_t> remaining{0};
+  };
+
+  const std::size_t n_cells = cells.size();
+  std::vector<cell_result> results(n_cells);
+  std::vector<cell_state> states(n_cells);
+
+  const auto extract = [&](const campaign_cell& cell,
+                           const trial_stats& stats) {
+    return opts.metrics ? opts.metrics(cell, stats)
+                        : default_cell_metrics(stats);
+  };
+
+  // Validate and prepare every cell up front: unknown scenario keys fail
+  // before any work is scheduled.
+  std::vector<char> complete(n_cells, 0);
+  struct task {
+    std::uint32_t cell = 0;
+    std::uint32_t chunk = 0;
+  };
+  std::vector<task> tasks;
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    cell_result& r = results[i];
+    r.cell = cells[i];
+    r.hash = cell_hash(cells[i]);
+
+    cell_state& st = states[i];
+    st.spec = find_scenario(cells[i].scenario);
+    if (st.spec == nullptr) {
+      throw std::invalid_argument("unknown scenario \"" + cells[i].scenario +
+                                  "\" in campaign cell " + std::to_string(i) +
+                                  "; known: " + scenario_keys());
+    }
+
+    if (opts.io != nullptr) {
+      if (const auto* rec = opts.io->find(r.hash, cells[i].params.seed)) {
+        r.metrics = rec->metrics;
+        r.resumed = true;
+        complete[i] = 1;
+        continue;
+      }
+    }
+    if (st.spec->build) {
+      st.base = st.spec->build(cells[i].params);
+      if (cells[i].tweak) cells[i].tweak(st.base);
+    } else {
+      // Custom backends gate recording like first_decision runs: the
+      // adapted results carry no last_round to collect.
+      st.record_base.stop = stop_mode::first_decision;
+    }
+
+    const std::uint64_t n_chunks = trial_chunk_count(cells[i].trials);
+    if (n_chunks == 0) {
+      r.metrics = extract(cells[i], trial_stats{});
+      complete[i] = 1;
+      continue;
+    }
+    st.chunk_stats.resize(n_chunks);
+    st.chunk_seconds.resize(n_chunks, 0.0);
+    st.remaining.store(n_chunks, std::memory_order_relaxed);
+    for (std::uint64_t c = 0; c < n_chunks; ++c) {
+      tasks.push_back({static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(c)});
+    }
+  }
+
+  // Ordered streaming: a cell flushes (io emission + on_cell) once it AND
+  // every cell before it completed, so output order equals cell order for
+  // any scheduling.
+  std::mutex flush_mutex;
+  std::size_t cursor = 0;
+  const auto flush_ready = [&] {
+    while (cursor < n_cells && complete[cursor]) {
+      const cell_result& r = results[cursor];
+      if (opts.io != nullptr && !r.resumed) opts.io->emit(r);
+      if (opts.on_cell) opts.on_cell(r);
+      ++cursor;
+    }
+  };
+
+  const auto finalize_cell = [&](std::size_t i) {
+    cell_state& st = states[i];
+    trial_stats total;
+    double seconds = 0.0;
+    for (std::size_t c = 0; c < st.chunk_stats.size(); ++c) {
+      total.merge(st.chunk_stats[c]);
+      seconds += st.chunk_seconds[c];
+    }
+    results[i].metrics = extract(cells[i], total);
+    results[i].seconds = seconds;
+    const std::lock_guard<std::mutex> lock(flush_mutex);
+    complete[i] = 1;
+    flush_ready();
+  };
+
+  const auto run_task = [&](std::uint64_t t) {
+    const auto [cell_index, chunk] = tasks[t];
+    const campaign_cell& cell = cells[cell_index];
+    cell_state& st = states[cell_index];
+    const auto start = std::chrono::steady_clock::now();
+
+    trial_stats& stats = st.chunk_stats[chunk];
+    const std::uint64_t end = trial_chunk_begin(cell.trials, chunk + 1);
+    if (st.spec->build) {
+      for (std::uint64_t trial = trial_chunk_begin(cell.trials, chunk);
+           trial < end; ++trial) {
+        stats.record(st.base, simulate(trial_config(st.base, trial)));
+      }
+    } else {
+      for (std::uint64_t trial = trial_chunk_begin(cell.trials, chunk);
+           trial < end; ++trial) {
+        stats.record(st.record_base,
+                     st.spec->run_one(
+                         cell.params, trial_seed(cell.params.seed, trial)));
+      }
+    }
+
+    st.chunk_seconds[chunk] = seconds_since(start);
+    if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      finalize_cell(cell_index);
+    }
+  };
+
+  if (!tasks.empty()) {
+    worker_pool& pool =
+        opts.pool != nullptr ? *opts.pool : worker_pool::shared();
+    pool.run(tasks.size(), run_task, resolve_threads(opts.threads));
+  }
+
+  // Resumed-only (or empty) campaigns never enter finalize_cell; flush the
+  // prefix that is already complete.
+  {
+    const std::lock_guard<std::mutex> lock(flush_mutex);
+    flush_ready();
+  }
+  return results;
+}
+
+std::vector<cell_result> run_campaign(const campaign_grid& grid,
+                                      const campaign_options& opts) {
+  return run_campaign(grid.expand(), opts);
+}
+
+}  // namespace leancon

@@ -1,0 +1,128 @@
+// Campaign engine: declarative experiment grids on the persistent worker
+// pool.
+//
+// The paper's results — Figure 1, the O(log n) scaling fit, the failure
+// tables — are all GRIDS of cells: scenario × n × noise/adversary variant,
+// some trials per cell. A campaign describes such a grid declaratively,
+// expands it into cells, and schedules every cell's chunk grid onto one
+// worker_pool so work steals across cells AND within them: a straggler cell
+// never idles the pool, and many tiny cells never pay per-batch thread
+// spawn.
+//
+// Determinism contract (inherited from the trial executor, asserted by
+// tests/test_campaign.cpp): each cell aggregates over the fixed chunk grid
+// of sim/trial_executor.h and merges chunks in index order, so campaign
+// results are BIT-IDENTICAL for any pool size, concurrency cap, or cell
+// scheduling order. Per-cell wall time (`cell_result::seconds`, the summed
+// chunk execution times) is the only non-deterministic output.
+//
+// Streaming + resume: give campaign_options an open campaign_io and every
+// finished cell is appended to its JSON-lines file in cell-index order the
+// moment it (and all cells before it) completes; re-opening the same file
+// in resume mode skips cells whose (config hash, seed) was already
+// recorded, restoring their metrics from disk instead of re-simulating.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "sim/runner.h"
+
+namespace leancon {
+
+class campaign_io;
+class worker_pool;
+
+/// One grid cell: a scenario preset at one (n, seed) with a trial count.
+struct campaign_cell {
+  std::string scenario;    ///< registry key
+  scenario_params params;  ///< n and the cell's base seed
+  std::uint64_t trials = 0;
+  /// Discriminator for cells that share (scenario, n) but differ in `tweak`
+  /// (e.g. "h=0.002"). Part of the label and the config hash — cells with
+  /// different tweaks MUST carry different variants for resume to be sound.
+  std::string variant;
+  /// Optional sim_config adjustment applied after the scenario builds (set
+  /// a halt probability, swap the adversary, change the stop mode...).
+  /// Ignored by custom-backend (run_one) scenarios.
+  std::function<void(sim_config&)> tweak;
+
+  /// "<scenario>[/<variant>]/n=<n>"
+  std::string label() const;
+};
+
+/// FNV-1a hash of the cell's declarative config (scenario, variant, n,
+/// trials). Together with the seed this keys resume/skip-completed.
+std::uint64_t cell_hash(const campaign_cell& cell);
+
+/// Declarative axes, expanded scenario-major: for each scenario, for each
+/// n, one cell with `trials` trials and seed trial_seed(seed, cell index)
+/// (cells are decorrelated but each reproducible on its own).
+struct campaign_grid {
+  std::vector<std::string> scenarios;
+  std::vector<std::uint64_t> ns;
+  std::uint64_t trials = 200;
+  std::uint64_t seed = 1;
+
+  std::vector<campaign_cell> expand() const;
+};
+
+/// Named per-cell metric values, in a fixed emission order.
+struct cell_metrics {
+  std::vector<std::pair<std::string, double>> values;
+
+  /// Appends (or overwrites) a named value; returns *this for chaining.
+  cell_metrics& set(const std::string& name, double value);
+  /// Value by name; NaN when absent.
+  double get(const std::string& name) const;
+};
+
+/// The standard extraction: counts (trials/decided/undecided/violations/
+/// backup), first-round location and spread (mean/ci95/p50/p95/min/max),
+/// and the means of the remaining trial_stats summaries, plus
+/// total_ops_sum (the cell's total simulated operations). Quantile metrics
+/// are NaN when no trial decided.
+cell_metrics default_cell_metrics(const trial_stats& stats);
+
+/// One finished (or resumed) cell, in cell-index order.
+struct cell_result {
+  campaign_cell cell;
+  std::uint64_t hash = 0;  ///< cell_hash(cell)
+  cell_metrics metrics;
+  /// Summed wall-clock seconds of the cell's chunks (its compute cost; the
+  /// campaign-level speedup metric). 0 for resumed cells. Not deterministic.
+  double seconds = 0.0;
+  bool resumed = false;  ///< metrics restored from campaign_io, not re-run
+};
+
+struct campaign_options {
+  /// Concurrency cap across the whole campaign (participating threads,
+  /// caller included); 0 = hardware concurrency.
+  unsigned threads = 1;
+  /// Pool the campaign runs on; null = worker_pool::shared().
+  worker_pool* pool = nullptr;
+  /// Streaming emission + resume index; null = neither.
+  campaign_io* io = nullptr;
+  /// Per-cell metric extraction; null = default_cell_metrics.
+  std::function<cell_metrics(const campaign_cell&, const trial_stats&)>
+      metrics;
+  /// Invoked for every cell (fresh and resumed) in cell-index order, as
+  /// soon as the cell and all its predecessors are done.
+  std::function<void(const cell_result&)> on_cell;
+};
+
+/// Runs every cell and returns their results in cell order. Scenario keys
+/// are validated up front (std::invalid_argument lists the known keys
+/// before any work starts). Results are bit-identical for any
+/// threads/pool/scheduling combination; see the header comment.
+std::vector<cell_result> run_campaign(const std::vector<campaign_cell>& cells,
+                                      const campaign_options& opts = {});
+
+/// Convenience: expand + run.
+std::vector<cell_result> run_campaign(const campaign_grid& grid,
+                                      const campaign_options& opts = {});
+
+}  // namespace leancon

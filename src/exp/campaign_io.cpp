@@ -1,0 +1,140 @@
+#include "exp/campaign_io.h"
+
+#include <cinttypes>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace leancon {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016" PRIx64, v);
+  return buf;
+}
+
+bool blank(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+/// Parses one emitted line back into a record; false when the line is not a
+/// well-formed cell record (torn writes, foreign content).
+bool parse_record(const std::string& line, campaign_io::record& out) {
+  json::value v;
+  try {
+    v = json::parse(line);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (v.k != json::value::kind::object) return false;
+  const json::value* hash = v.find("hash");
+  const json::value* seed = v.find("seed");
+  const json::value* metrics = v.find("metrics");
+  if (hash == nullptr || hash->k != json::value::kind::string ||
+      seed == nullptr || seed->k != json::value::kind::string ||
+      metrics == nullptr || metrics->k != json::value::kind::object) {
+    return false;
+  }
+  try {
+    out.hash = std::stoull(hash->str, nullptr, 16);
+    out.seed = std::stoull(seed->str, nullptr, 16);
+  } catch (const std::exception&) {
+    return false;
+  }
+  out.metrics.values.clear();
+  for (const auto& [name, value] : metrics->members) {
+    if (value.k == json::value::kind::number) {
+      out.metrics.set(name, value.num);
+    } else if (value.k == json::value::kind::null) {
+      // Non-finite values emit as null; NaN restores the "absent" reading.
+      out.metrics.set(name, std::numeric_limits<double>::quiet_NaN());
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+campaign_io::campaign_io(const std::string& path, bool resume)
+    : path_(path) {
+  bool unterminated = false;
+  if (resume) {
+    std::ifstream in(path_, std::ios::binary);
+    std::string line;
+    while (in.good() && std::getline(in, line)) {
+      if (blank(line)) continue;
+      record rec;
+      if (parse_record(line, rec)) {
+        records_.push_back(std::move(rec));
+      } else {
+        ++skipped_lines_;
+      }
+    }
+    // getline cannot see whether the final line carried its newline; check
+    // the raw tail so a torn line cannot fuse with the next appended record.
+    std::ifstream tail(path_, std::ios::binary | std::ios::ate);
+    if (tail.good() && tail.tellg() > 0) {
+      tail.seekg(-1, std::ios::end);
+      char c = '\n';
+      tail.get(c);
+      unterminated = c != '\n';
+    }
+  }
+  file_ = std::fopen(path_.c_str(), resume ? "a" : "w");
+  if (file_ == nullptr) {
+    throw std::runtime_error("campaign_io: cannot open " + path_);
+  }
+  if (unterminated) std::fputc('\n', file_);
+}
+
+campaign_io::~campaign_io() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+const campaign_io::record* campaign_io::find(std::uint64_t hash,
+                                             std::uint64_t seed) const {
+  for (const auto& rec : records_) {
+    if (rec.hash == hash && rec.seed == seed) return &rec;
+  }
+  return nullptr;
+}
+
+void campaign_io::emit(const cell_result& r) {
+  if (r.resumed) return;  // its line is already on file
+  std::ostringstream os;
+  os << "{\"cell\": ";
+  json::write_string(os, r.cell.label());
+  os << ", \"scenario\": ";
+  json::write_string(os, r.cell.scenario);
+  os << ", \"variant\": ";
+  json::write_string(os, r.cell.variant);
+  os << ", \"n\": " << r.cell.params.n;
+  os << ", \"trials\": " << r.cell.trials;
+  os << ", \"seed\": ";
+  json::write_string(os, hex64(r.cell.params.seed));
+  os << ", \"hash\": ";
+  json::write_string(os, hex64(r.hash));
+  os << ", \"metrics\": {";
+  for (std::size_t i = 0; i < r.metrics.values.size(); ++i) {
+    if (i > 0) os << ", ";
+    json::write_string(os, r.metrics.values[i].first);
+    os << ": ";
+    json::write_number(os, r.metrics.values[i].second);
+  }
+  os << "}}\n";
+  const std::string line = os.str();
+  std::fputs(line.c_str(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace leancon

@@ -1,0 +1,74 @@
+// Streaming campaign output and resume/skip-completed support.
+//
+// A campaign_io owns one JSON-lines file: one self-contained JSON object
+// per finished cell, appended and flushed the moment the cell completes (in
+// cell-index order), so a killed campaign loses at most the in-flight
+// cells. Metric values follow the BENCH json conventions (util/json
+// writers: %.17g numbers, null for non-finite), so every recorded value
+// round-trips bit-exactly through resume.
+//
+// Line schema:
+//
+//   {"cell": "<label>", "scenario": "<key>", "variant": "<or empty>",
+//    "n": <number>, "trials": <number>, "seed": "<0x hex>",
+//    "hash": "<0x hex of cell_hash>", "metrics": {"<name>": <number|null>}}
+//
+// (seed and hash are hex STRINGS: they are full 64-bit keys, which JSON
+// numbers — doubles — cannot carry exactly.)
+//
+// Resume: opening with resume = true indexes the existing records;
+// run_campaign skips any cell whose (cell_hash, seed) pair is on file and
+// restores its metrics from the record instead of re-simulating.
+// Unparseable lines (e.g. a torn final line from a crash) are skipped and
+// counted; their cells simply re-run.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+
+namespace leancon {
+
+class campaign_io {
+ public:
+  /// One previously recorded cell.
+  struct record {
+    std::uint64_t hash = 0;
+    std::uint64_t seed = 0;
+    cell_metrics metrics;
+  };
+
+  /// Opens `path` for appending. With resume = true an existing file is
+  /// first indexed for skip-completed; with resume = false the file is
+  /// truncated. Throws std::runtime_error when the file cannot be opened.
+  campaign_io(const std::string& path, bool resume = false);
+  ~campaign_io();
+
+  campaign_io(const campaign_io&) = delete;
+  campaign_io& operator=(const campaign_io&) = delete;
+
+  /// The indexed record for (hash, seed), or null when the cell has not
+  /// been recorded (or resume was off).
+  const record* find(std::uint64_t hash, std::uint64_t seed) const;
+
+  /// Appends one cell line and flushes. Resumed cells are not re-emitted
+  /// (their line is already on file).
+  void emit(const cell_result& r);
+
+  const std::string& path() const { return path_; }
+  /// Records indexed at open (0 unless resume).
+  std::size_t loaded() const { return records_.size(); }
+  /// Lines that failed to parse at open (each re-runs its cell).
+  std::size_t skipped_lines() const { return skipped_lines_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<record> records_;
+  std::size_t skipped_lines_ = 0;
+};
+
+}  // namespace leancon

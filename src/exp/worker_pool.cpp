@@ -1,0 +1,100 @@
+#include "exp/worker_pool.h"
+
+#include "sim/trial_executor.h"
+
+namespace leancon {
+
+worker_pool::worker_pool(unsigned threads) {
+  const unsigned n = resolve_threads(threads);
+  workers_.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+worker_pool::~worker_pool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& th : workers_) th.join();
+}
+
+void worker_pool::drain(std::unique_lock<std::mutex>& lock, batch& b) {
+  ++b.active;
+  while (b.next < b.count) {
+    const std::uint64_t index = b.next++;
+    lock.unlock();
+    try {
+      (*b.fn)(index);
+    } catch (...) {
+      lock.lock();
+      if (!b.failure) b.failure = std::current_exception();
+      // Drop the unclaimed remainder so the batch drains promptly; tasks
+      // already running elsewhere still finish and count toward done.
+      b.done += b.count - b.next;
+      b.next = b.count;
+      ++b.done;
+      continue;
+    }
+    lock.lock();
+    ++b.done;
+  }
+  --b.active;
+  if (b.done == b.count && b.active == 0) b.finished.notify_all();
+}
+
+void worker_pool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    batch* todo = nullptr;
+    for (batch* b : batches_) {
+      if (claimable(*b)) {
+        todo = b;
+        break;
+      }
+    }
+    if (todo != nullptr) {
+      drain(lock, *todo);
+      continue;
+    }
+    if (stopping_) return;
+    work_ready_.wait(lock);
+  }
+}
+
+void worker_pool::run(std::uint64_t count,
+                      const std::function<void(std::uint64_t)>& fn,
+                      unsigned cap) {
+  if (count == 0) return;
+
+  batch b;
+  b.fn = &fn;
+  b.count = count;
+  b.cap = cap;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  batches_.push_back(&b);
+  // Wake only as many workers as can usefully join (the caller takes one
+  // slot below).
+  const std::uint64_t useful =
+      cap == 0 ? count : std::min<std::uint64_t>(count, cap);
+  if (useful > 1) work_ready_.notify_all();
+
+  // The caller works its own batch; this guarantees progress even when all
+  // workers are busy elsewhere (including nested run() from inside a task).
+  // When workers already hold every cap slot, progress is theirs to make — a
+  // participant never leaves a batch while unclaimed tasks remain.
+  if (claimable(b)) drain(lock, b);
+  while (b.done < b.count || b.active > 0) b.finished.wait(lock);
+  batches_.remove(&b);
+  if (b.failure) std::rethrow_exception(b.failure);
+}
+
+worker_pool& worker_pool::shared() {
+  static worker_pool pool(0);
+  return pool;
+}
+
+}  // namespace leancon

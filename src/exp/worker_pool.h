@@ -1,0 +1,97 @@
+// Persistent worker pool shared across all experiment cells.
+//
+// The trial executor used to spawn a fresh thread team for every run_trials
+// batch; fine for a handful of big batches, wasteful for campaign grids made
+// of many tiny cells. A worker_pool is created once (threads park between
+// batches) and every batch — an executor's chunk grid, or a whole campaign's
+// flattened (cell, chunk) task list — is scheduled onto it.
+//
+// Scheduling model:
+//   * run(count, fn, cap) submits `count` indexed tasks. Workers claim
+//     indices dynamically in increasing order (work-stealing across
+//     whatever batches are live), so stragglers load-balance.
+//   * The CALLING thread participates as a worker on its own batch, so a
+//     pool with zero free workers still makes progress and nested run()
+//     calls from inside a task cannot deadlock.
+//   * `cap` bounds the number of concurrent participants (callers included)
+//     per batch; it is how an executor honours --threads without resizing
+//     the shared pool. 0 means no bound.
+//
+// Determinism: the pool only affects WHICH thread executes a task and WHEN;
+// callers that keep per-task state separate and merge in fixed index order
+// (the executor's chunk-grid contract) get bit-identical results for any
+// pool size, cap, or claim interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace leancon {
+
+class worker_pool {
+ public:
+  /// Spawns `threads` parked workers; 0 = hardware concurrency (at least 1).
+  explicit worker_pool(unsigned threads = 0);
+
+  /// Joins all workers. Outstanding run() calls must have returned.
+  ~worker_pool();
+
+  worker_pool(const worker_pool&) = delete;
+  worker_pool& operator=(const worker_pool&) = delete;
+
+  /// Worker threads owned by the pool (callers participate on top).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Executes fn(0) .. fn(count - 1), each exactly once, and returns when
+  /// all have finished. Tasks may run on any worker or on the calling
+  /// thread; indices are claimed in increasing order. At most `cap`
+  /// threads (including the caller) execute this batch concurrently; 0
+  /// means unbounded. If any task throws, the first exception is rethrown
+  /// here after the batch drains (remaining unclaimed tasks are dropped).
+  ///
+  /// Thread-safe: concurrent run() calls from different threads interleave
+  /// their batches across the workers.
+  void run(std::uint64_t count, const std::function<void(std::uint64_t)>& fn,
+           unsigned cap = 0);
+
+  /// The process-wide pool, created on first use with hardware-concurrency
+  /// workers. Executors and campaigns default to it; tests build their own
+  /// pools when they need a specific size.
+  static worker_pool& shared();
+
+ private:
+  struct batch {
+    const std::function<void(std::uint64_t)>* fn = nullptr;
+    std::uint64_t count = 0;
+    std::uint64_t next = 0;    ///< next unclaimed index (under mutex_)
+    std::uint64_t done = 0;    ///< finished tasks (under mutex_)
+    unsigned active = 0;       ///< threads currently inside this batch
+    unsigned cap = 0;          ///< max concurrent participants; 0 = none
+    std::exception_ptr failure;
+    std::condition_variable finished;
+  };
+
+  /// True when a thread may claim work from `b` right now.
+  static bool claimable(const batch& b) {
+    return b.next < b.count && (b.cap == 0 || b.active < b.cap);
+  }
+
+  /// Claims and executes tasks from `b` until it has none left to hand out.
+  /// Called with mutex_ held; returns with mutex_ held.
+  void drain(std::unique_lock<std::mutex>& lock, batch& b);
+
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::list<batch*> batches_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace leancon

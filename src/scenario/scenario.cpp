@@ -1,10 +1,15 @@
 #include "scenario/scenario.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
+#include "msg/abd_sim.h"
+#include "mutex/fast_mutex.h"
 #include "noise/catalog.h"
+#include "sched/adversary.h"
 #include "sched/crash_adversary.h"
+#include "sched/hybrid.h"
 
 namespace leancon {
 namespace {
@@ -20,6 +25,106 @@ sim_config measured_base(const scenario_params& p, distribution_ptr noise) {
   config.check_invariants = false;
   config.seed = p.seed;
   return config;
+}
+
+// --- Custom-backend trial adapters -----------------------------------------
+//
+// Each runs one trial of a non-shared-memory engine and maps its outcome
+// onto sim_result so trial_stats aggregation is uniform. Decision, ops,
+// time, and violation fields are mapped faithfully; round fields stay 0
+// where the backend has no lean-round notion.
+
+sim_result run_mp_abd_trial(const scenario_params& p, std::uint64_t seed) {
+  mp_config config;
+  config.inputs = split_inputs(p.n);
+  config.net = figure1_params(make_exponential(1.0));
+  config.protocol = protocol_kind::lean;
+  config.seed = seed;
+  const mp_result mp = run_message_passing(config);
+
+  sim_result r;
+  r.decision = mp.decision;
+  r.all_live_decided = mp.all_live_decided;
+  r.budget_exhausted = mp.budget_exhausted;
+  r.first_decision_time = mp.first_decision_time;
+  r.total_ops = mp.total_messages;
+  r.processes.resize(mp.processes.size());
+  for (std::size_t i = 0; i < mp.processes.size(); ++i) {
+    const auto& src = mp.processes[i];
+    r.any_decided = r.any_decided || src.decided;
+    r.processes[i].decided = src.decided;
+    r.processes[i].decision = src.decision;
+    r.processes[i].halted = src.crashed;
+    r.processes[i].ops = src.register_ops;
+    if (src.crashed) ++r.halted_processes;
+  }
+  return r;
+}
+
+sim_result run_mutex_trial(const scenario_params& p, std::uint64_t seed) {
+  mutex_config config;
+  config.processes = p.n;
+  config.entries_per_process = 4;
+  config.sched = figure1_params(make_exponential(1.0));
+  config.seed = seed;
+  const mutex_result mx = run_mutex(config);
+
+  sim_result r;
+  // "Deciding" here means the workload completed: every process performed
+  // all its critical sections.
+  r.any_decided = mx.all_finished;
+  r.all_live_decided = mx.all_finished;
+  r.decision = mx.all_finished ? 0 : -1;
+  r.budget_exhausted = !mx.all_finished;
+  r.first_decision_time = mx.finish_time;
+  r.total_ops = mx.total_ops;
+  if (mx.overlap_violations > 0) {
+    r.violations.push_back("mutex overlap violations: " +
+                           std::to_string(mx.overlap_violations));
+  }
+  if (mx.canary_violations > 0) {
+    r.violations.push_back("mutex canary violations: " +
+                           std::to_string(mx.canary_violations));
+  }
+  r.processes.resize(mx.ops_per_process.size());
+  for (std::size_t i = 0; i < mx.ops_per_process.size(); ++i) {
+    r.processes[i].decided = mx.all_finished;
+    r.processes[i].decision = r.decision;
+    r.processes[i].ops = mx.ops_per_process[i];
+  }
+  return r;
+}
+
+sim_result run_hybrid_trial(const scenario_params& p, std::uint64_t seed) {
+  hybrid_config config;
+  config.inputs = split_inputs(p.n);
+  // Two priority bands so both preemption rules (higher-priority any time,
+  // same-priority at quantum boundaries) are exercised.
+  config.priorities.resize(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    config.priorities[i] = static_cast<int>(i % 2);
+  }
+  config.quantum = 8;  // Theorem 14's threshold
+  // "No requirement that a process start at the beginning of a quantum":
+  // the first-dispatched process has part of its quantum pre-consumed.
+  config.initial_quantum_used.assign(p.n, seed % config.quantum);
+  const auto adversary = make_random_preemption(0.3, seed);
+  const hybrid_result hy = run_hybrid(config, *adversary);
+
+  sim_result r;
+  r.any_decided = hy.all_decided;
+  r.all_live_decided = hy.all_decided;
+  r.decision = hy.decision;
+  r.budget_exhausted = !hy.all_decided;
+  r.total_ops = hy.total_ops;
+  r.violations = hy.violations;
+  r.processes.resize(hy.ops_per_process.size());
+  for (std::size_t i = 0; i < hy.ops_per_process.size(); ++i) {
+    r.processes[i].decided = hy.all_decided;
+    r.processes[i].decision = hy.decision;
+    r.processes[i].ops = hy.ops_per_process[i];
+  }
+  return r;
 }
 
 std::vector<scenario_spec> build_registry() {
@@ -95,6 +200,65 @@ std::vector<scenario_spec> build_registry() {
                    }});
   }
 
+  // Adversary-delay family: Figure 1 noise with a non-trivial oblivious
+  // base-delay schedule Delta_ij on top (Theorem 12 claims the O(log n)
+  // bound for ANY such schedule with Delta_ij <= M).
+  const struct {
+    const char* key;
+    const char* description;
+    delay_adversary_ptr (*make)();
+  } delays[] = {
+      {"adv-pack",
+       "pack adversary, M = 2 (anti-race bunching; hardest in ablations)",
+       [] { return make_pack_delays(2.0); }},
+      {"adv-burst", "burst adversary: a full M = 4 stall every 16 ops",
+       [] { return make_burst_delays(4.0, 16); }},
+      {"adv-random", "oblivious pseudo-random delays in [0, 2]",
+       [] { return make_random_bounded_delays(2.0, 0x5eedULL); }},
+  };
+  for (const auto& d : delays) {
+    reg.push_back({d.key, d.description,
+                   [make = d.make](const scenario_params& p) {
+                     sim_config config =
+                         measured_base(p, make_exponential(1.0));
+                     config.sched.adversary = make();
+                     return config;
+                   }});
+  }
+
+  // Custom-backend presets: these workloads run on their own engines, so
+  // they provide run_one (trial seed -> adapted sim_result) instead of a
+  // sim_config builder.
+  scenario_spec mp;
+  mp.key = "mp-abd";
+  mp.description =
+      "message passing: lean-consensus on ABD-emulated registers, noisy "
+      "per-message delays (rounds read 0; see ops = messages, first_time)";
+  mp.run_one = [](const scenario_params& p, std::uint64_t seed) {
+    return run_mp_abd_trial(p, seed);
+  };
+  reg.push_back(std::move(mp));
+
+  scenario_spec mutex;
+  mutex.key = "mutex-noise";
+  mutex.description =
+      "Lamport fast mutex under noisy scheduling, 4 entries/process "
+      "(decided = all finished; rounds read 0, violations must stay 0)";
+  mutex.run_one = [](const scenario_params& p, std::uint64_t seed) {
+    return run_mutex_trial(p, seed);
+  };
+  reg.push_back(std::move(mutex));
+
+  scenario_spec hybrid;
+  hybrid.key = "hybrid-quantum";
+  hybrid.description =
+      "hybrid quantum/priority uniprocessor, quantum 8, random preemption "
+      "(Theorem 14: max_ops <= 12; rounds read 0)";
+  hybrid.run_one = [](const scenario_params& p, std::uint64_t seed) {
+    return run_hybrid_trial(p, seed);
+  };
+  reg.push_back(std::move(hybrid));
+
   return reg;
 }
 
@@ -119,7 +283,28 @@ sim_config make_scenario(const std::string& key,
     throw std::invalid_argument("unknown scenario \"" + key +
                                 "\"; known: " + scenario_keys());
   }
+  if (!spec->build) {
+    throw std::invalid_argument(
+        "scenario \"" + key +
+        "\" runs on a custom backend and has no sim_config; use "
+        "run_scenario_trial or the campaign engine");
+  }
   return spec->build(params);
+}
+
+sim_result run_scenario_trial(const std::string& key,
+                              const scenario_params& params,
+                              std::uint64_t seed) {
+  const scenario_spec* spec = find_scenario(key);
+  if (spec == nullptr) {
+    throw std::invalid_argument("unknown scenario \"" + key +
+                                "\"; known: " + scenario_keys());
+  }
+  if (spec->run_one) return spec->run_one(params, seed);
+  sim_config config = spec->build(params);
+  config.seed = seed;
+  if (config.crashes) config.crashes = config.crashes->clone(seed);
+  return simulate(config);
 }
 
 std::string scenario_keys() {

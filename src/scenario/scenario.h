@@ -1,12 +1,25 @@
-// Named, options-constructible sim_config presets ("scenarios").
+// Named, options-constructible experiment presets ("scenarios").
 //
-// Benches, examples, and the sweep driver share one registry of workloads —
-// the Figure 1 noise families, failure-heavy regimes, staggered/random
-// starts, heavy-tail noise, and the combined-protocol cutoff family — so a
-// new workload is one table entry in scenario.cpp instead of a new binary.
-// Every scenario is a pure function of (n, seed): building the same scenario
-// twice yields identical configs, and the trial executor keeps results
-// bit-identical for any thread count on top of that.
+// Benches, examples, the sweep driver, and the campaign engine share one
+// registry of workloads — the Figure 1 noise families, failure-heavy
+// regimes, staggered/random starts, heavy-tail noise, the combined-protocol
+// cutoff family, the adversary-delay family, and the custom-backend
+// extensions (message-passing/ABD, mutex under noise, hybrid quantum
+// scheduling) — so a new workload is one table entry in scenario.cpp
+// instead of a new binary. Every scenario is a pure function of (n, seed):
+// building the same scenario twice yields identical configs, and the trial
+// executor / campaign engine keep results bit-identical for any thread or
+// pool count on top of that.
+//
+// Two preset forms exist. Shared-memory presets provide `build`, a
+// sim_config factory consumed by simulate()/trial_executor. Custom-backend
+// presets (whose workload runs on a different engine: the ABD message
+// simulator, the mutex executor, the hybrid uniprocessor runner) provide
+// `run_one`, which executes ONE trial for a given trial seed and adapts the
+// backend's outcome into a sim_result so trial_stats aggregation is
+// uniform. Exactly one of the two is set per spec. Adapted results report
+// decision/ops/time metrics faithfully; lean-round metrics read 0 where the
+// backend has no round notion (noted per preset description).
 #pragma once
 
 #include <cstdint>
@@ -25,12 +38,18 @@ struct scenario_params {
   std::uint64_t seed = 1;  ///< base seed of the built config
 };
 
-/// One registry entry: a stable CLI key, a one-line description, and the
-/// config builder.
+/// One registry entry: a stable CLI key, a one-line description, and
+/// exactly one of the two workload forms.
 struct scenario_spec {
   std::string key;
   std::string description;
+  /// Shared-memory form: builds a sim_config for simulate()/trial_executor.
+  /// Null for custom-backend presets.
   std::function<sim_config(const scenario_params&)> build;
+  /// Custom-backend form: runs one trial with the given trial seed and
+  /// returns the adapted outcome. Null for shared-memory presets. Must be
+  /// safe to call concurrently (trials are independent given their seed).
+  std::function<sim_result(const scenario_params&, std::uint64_t)> run_one;
 };
 
 /// All named presets, in display order. Keys are unique.
@@ -39,10 +58,20 @@ const std::vector<scenario_spec>& scenario_registry();
 /// Looks up a preset by key; nullptr when unknown.
 const scenario_spec* find_scenario(const std::string& key);
 
-/// Builds a preset's config directly. Throws std::invalid_argument on an
-/// unknown key (the message lists the known keys).
+/// Builds a shared-memory preset's config directly. Throws
+/// std::invalid_argument on an unknown key (the message lists the known
+/// keys) or on a custom-backend preset (which has no sim_config; run it
+/// through run_scenario_trial or the campaign engine).
 sim_config make_scenario(const std::string& key,
                          const scenario_params& params);
+
+/// Runs one trial of any preset — shared-memory or custom-backend — with
+/// the given trial seed. For shared-memory presets this is
+/// simulate(build(params) with the seed swapped in); for custom backends it
+/// calls run_one. Throws std::invalid_argument on an unknown key.
+sim_result run_scenario_trial(const std::string& key,
+                              const scenario_params& params,
+                              std::uint64_t seed);
 
 /// Comma-separated registry keys (for --help output).
 std::string scenario_keys();

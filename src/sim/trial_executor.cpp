@@ -1,12 +1,10 @@
 #include "sim/trial_executor.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "exp/worker_pool.h"
 #include "util/rng.h"
 
 namespace leancon {
@@ -30,15 +28,22 @@ unsigned resolve_threads(std::int64_t threads) {
                                      : static_cast<unsigned>(threads));
 }
 
-trial_executor::trial_executor(executor_options opts)
-    : threads_(resolve_threads(opts.threads)) {}
-
 namespace {
 
 // Upper bound on the aggregation grid. Small enough that merging is noise,
 // large enough that dynamic chunk claiming load-balances even when a few
 // trials dominate the wall clock (large-n cells run single-digit trials).
 constexpr std::uint64_t kMaxChunks = 256;
+
+}  // namespace
+
+std::uint64_t trial_chunk_count(std::uint64_t trials) {
+  return std::min(trials, kMaxChunks);
+}
+
+std::uint64_t trial_chunk_begin(std::uint64_t trials, std::uint64_t chunk) {
+  return trials * chunk / trial_chunk_count(trials);
+}
 
 sim_config trial_config(const sim_config& base, std::uint64_t trial) {
   sim_config config = base;
@@ -47,23 +52,20 @@ sim_config trial_config(const sim_config& base, std::uint64_t trial) {
   return config;
 }
 
-}  // namespace
+trial_executor::trial_executor(executor_options opts)
+    : threads_(resolve_threads(opts.threads)), pool_(opts.pool) {}
 
 trial_stats trial_executor::run(const sim_config& base,
                                 std::uint64_t trials) const {
   trial_stats total;
   if (trials == 0) return total;
 
-  const std::uint64_t n_chunks = std::min(trials, kMaxChunks);
-  const auto chunk_begin = [&](std::uint64_t c) {
-    return trials * c / n_chunks;
-  };
-
+  const std::uint64_t n_chunks = trial_chunk_count(trials);
   std::vector<trial_stats> chunk_stats(n_chunks);
   const auto run_chunk = [&](std::uint64_t c) {
     trial_stats& stats = chunk_stats[c];
-    const std::uint64_t end = chunk_begin(c + 1);
-    for (std::uint64_t t = chunk_begin(c); t < end; ++t) {
+    const std::uint64_t end = trial_chunk_begin(trials, c + 1);
+    for (std::uint64_t t = trial_chunk_begin(trials, c); t < end; ++t) {
       stats.record(base, simulate(trial_config(base, t)));
     }
   };
@@ -75,26 +77,8 @@ trial_stats trial_executor::run(const sim_config& base,
   if (workers <= 1) {
     for (std::uint64_t c = 0; c < n_chunks; ++c) run_chunk(c);
   } else {
-    std::atomic<std::uint64_t> next_chunk{0};
-    std::exception_ptr failure;
-    std::mutex failure_mutex;
-    const auto worker = [&] {
-      try {
-        while (true) {
-          const std::uint64_t c = next_chunk.fetch_add(1);
-          if (c >= n_chunks) return;
-          run_chunk(c);
-        }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-    if (failure) std::rethrow_exception(failure);
+    worker_pool& pool = pool_ != nullptr ? *pool_ : worker_pool::shared();
+    pool.run(n_chunks, run_chunk, workers);
   }
 
   for (const auto& chunk : chunk_stats) total.merge(chunk);

@@ -14,6 +14,13 @@
 //
 // Together these make the output BIT-IDENTICAL for any thread count,
 // including the single-threaded run_trials path.
+//
+// Parallel batches execute on a persistent worker_pool (by default the
+// process-wide worker_pool::shared()) instead of spawning a thread team per
+// batch; --threads becomes a concurrency cap on the batch, not a thread
+// count. The campaign engine (exp/campaign.h) schedules whole grids of
+// cells onto the same pool using the same chunk grid, which is exposed
+// below so both engines share one aggregation contract.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,8 @@
 #include "sim/runner.h"
 
 namespace leancon {
+
+class worker_pool;
 
 /// The seed of trial `trial` under base seed `base_seed`: the trial-th
 /// output of the splitmix64 stream seeded with `base_seed`. The splitmix64
@@ -38,9 +47,24 @@ unsigned resolve_threads(unsigned threads);
 /// to 1.
 unsigned resolve_threads(std::int64_t threads);
 
+/// The fixed aggregation grid shared by the executor and the campaign
+/// engine: a batch of `trials` splits into trial_chunk_count(trials) chunks,
+/// chunk c covering trials [trial_chunk_begin(c), trial_chunk_begin(c + 1)).
+/// The grid depends only on the trial count, never on thread or pool sizes.
+std::uint64_t trial_chunk_count(std::uint64_t trials);
+std::uint64_t trial_chunk_begin(std::uint64_t trials, std::uint64_t chunk);
+
+/// The config trial `trial` of a batch of `base` runs with: the trial seed
+/// swapped in and any stateful crash adversary cloned for the trial.
+sim_config trial_config(const sim_config& base, std::uint64_t trial);
+
 struct executor_options {
-  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  /// Concurrency cap for a batch (participating threads, caller included);
+  /// 0 = std::thread::hardware_concurrency().
   unsigned threads = 1;
+  /// Pool the batch runs on; null = worker_pool::shared(). The pool's size
+  /// never affects results, only how many chunks run concurrently.
+  worker_pool* pool = nullptr;
 };
 
 /// Runs batches of independent trials across a thread pool and aggregates
@@ -60,6 +84,7 @@ class trial_executor {
 
  private:
   unsigned threads_;
+  worker_pool* pool_;
 };
 
 }  // namespace leancon

@@ -1,0 +1,217 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace leancon::json {
+
+namespace {
+
+/// Recursive-descent parser; throws std::runtime_error on malformed input.
+class parser {
+ public:
+  explicit parser(const std::string& text) : text_(text) {}
+
+  value parse_document() {
+    value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) == 0) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  value parse_value() {
+    const char c = peek();
+    value v;
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"':
+        v.k = value::kind::string;
+        v.str = parse_string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v.k = value::kind::boolean;
+        v.b = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v.k = value::kind::boolean;
+        v.b = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        v.k = value::kind::null;
+        return v;
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            // Decoded code points are not needed for validation; keep the
+            // raw escape so content checks still see something.
+            out += "\\u" + text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    value v;
+    v.k = value::kind::number;
+    try {
+      v.num = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  value parse_object() {
+    expect('{');
+    value v;
+    v.k = value::kind::object;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  value parse_array() {
+    expect('[');
+    value v;
+    v.k = value::kind::array;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+value parse(const std::string& text) { return parser(text).parse_document(); }
+
+void write_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace leancon::json

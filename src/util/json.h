@@ -1,0 +1,51 @@
+// Minimal JSON document model, parser, and writing helpers.
+//
+// Shared by the bench harness (BENCH json schema validation) and the
+// campaign engine (streaming per-cell records and resume parsing). The model
+// is deliberately small: just rich enough to validate schemas and read back
+// documents this library itself emitted. Writers follow the BENCH json
+// conventions — numbers render with %.17g (so doubles round-trip exactly)
+// and non-finite values render as null.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace leancon::json {
+
+/// One JSON value. Objects keep member order; duplicate keys are preserved
+/// (find returns the first).
+struct value {
+  enum class kind { null, boolean, number, string, object, array };
+  kind k = kind::null;
+  double num = 0.0;
+  bool b = false;
+  std::string str;
+  std::vector<std::pair<std::string, value>> members;  // object
+  std::vector<value> items;                            // array
+
+  const value* find(const std::string& key) const {
+    for (const auto& [name, member] : members) {
+      if (name == key) return &member;
+    }
+    return nullptr;
+  }
+
+  bool is(kind expected) const { return k == expected; }
+};
+
+/// Parses a complete JSON document. Throws std::runtime_error (with the
+/// offending byte offset) on malformed input or trailing content.
+value parse(const std::string& text);
+
+/// Writes `s` as a JSON string literal, escaping quotes, backslashes, and
+/// control characters.
+void write_string(std::ostream& os, const std::string& s);
+
+/// Writes a JSON number with %.17g (doubles round-trip exactly through
+/// parse); non-finite values render as null.
+void write_number(std::ostream& os, double v);
+
+}  // namespace leancon::json

@@ -213,6 +213,24 @@ TEST(Validator, CommittedFig1BaselineValidates) {
       << *validate_bench_json(text);
   EXPECT_NE(text.find("\"bench\": \"fig1_mean_round\""), std::string::npos);
   EXPECT_NE(text.find("\"mean_round\""), std::string::npos);
+  // Campaign-era counters: the resolved cap, the persistent pool size, and
+  // per-cell compute time.
+  EXPECT_NE(text.find("\"pool_size\""), std::string::npos);
+  EXPECT_NE(text.find("\"cell_seconds/figure1-exp1/n=100\""),
+            std::string::npos);
+}
+
+TEST(Validator, CommittedScalingBaselineValidates) {
+  const std::string path =
+      std::string(LEANCON_SOURCE_DIR) + "/bench/baselines/BENCH_scaling_logn.json";
+  const std::string text = read_file(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(validate_bench_json(text), std::nullopt)
+      << *validate_bench_json(text);
+  EXPECT_NE(text.find("\"bench\": \"scaling_logn\""), std::string::npos);
+  EXPECT_NE(text.find("\"fit_slope\""), std::string::npos);
+  EXPECT_NE(text.find("\"cell_seconds/figure1-exp1/n=64\""),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,406 @@
+// Tests for the campaign engine: grid expansion, pool-size/cap/scheduling
+// bit-identity, ordered streaming, resume/skip-completed, custom-backend
+// cells, and the acceptance pin — the Figure 1 smoke grid run through the
+// campaign engine reproduces the committed BENCH baseline exactly.
+#include "exp/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "exp/campaign_io.h"
+#include "exp/worker_pool.h"
+#include "noise/catalog.h"
+#include "sim/trial_executor.h"
+#include "util/json.h"
+
+namespace leancon {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<campaign_cell> small_grid() {
+  campaign_grid grid;
+  grid.scenarios = {"figure1-exp1", "crash-heavy", "figure1-norm"};
+  grid.ns = {4, 8};
+  grid.trials = 40;
+  grid.seed = 7;
+  return grid.expand();
+}
+
+void expect_same_metrics(const cell_metrics& a, const cell_metrics& b,
+                         const std::string& what) {
+  ASSERT_EQ(a.values.size(), b.values.size()) << what;
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_EQ(a.values[i].first, b.values[i].first) << what;
+    const double x = a.values[i].second;
+    const double y = b.values[i].second;
+    if (std::isnan(x) && std::isnan(y)) continue;
+    EXPECT_EQ(x, y) << what << " metric " << a.values[i].first;
+  }
+}
+
+TEST(CampaignGrid, ExpandsScenarioMajorWithDecorrelatedSeeds) {
+  campaign_grid grid;
+  grid.scenarios = {"a", "b"};
+  grid.ns = {2, 4, 8};
+  grid.trials = 11;
+  grid.seed = 3;
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells[0].scenario, "a");
+  EXPECT_EQ(cells[2].scenario, "a");
+  EXPECT_EQ(cells[3].scenario, "b");
+  EXPECT_EQ(cells[1].params.n, 4u);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].trials, 11u);
+    EXPECT_EQ(cells[i].params.seed, trial_seed(3, i));
+    seeds.insert(cells[i].params.seed);
+  }
+  EXPECT_EQ(seeds.size(), cells.size());
+}
+
+TEST(CampaignCell, LabelAndHashCoverTheConfig) {
+  campaign_cell cell;
+  cell.scenario = "figure1-exp1";
+  cell.params.n = 16;
+  cell.trials = 100;
+  EXPECT_EQ(cell.label(), "figure1-exp1/n=16");
+  const std::uint64_t base = cell_hash(cell);
+
+  campaign_cell variant = cell;
+  variant.variant = "h=0.01";
+  EXPECT_EQ(variant.label(), "figure1-exp1/h=0.01/n=16");
+  EXPECT_NE(cell_hash(variant), base);
+
+  campaign_cell other_n = cell;
+  other_n.params.n = 32;
+  EXPECT_NE(cell_hash(other_n), base);
+
+  campaign_cell other_trials = cell;
+  other_trials.trials = 101;
+  EXPECT_NE(cell_hash(other_trials), base);
+
+  // The seed is deliberately NOT part of the hash: resume keys on
+  // (hash, seed) pairs.
+  campaign_cell other_seed = cell;
+  other_seed.params.seed = 999;
+  EXPECT_EQ(cell_hash(other_seed), base);
+}
+
+TEST(Campaign, BitIdenticalAcrossPoolSizesAndCaps) {
+  const auto cells = small_grid();
+  campaign_options base_opts;
+  base_opts.threads = 1;
+  worker_pool pool1(1);
+  base_opts.pool = &pool1;
+  const auto reference = run_campaign(cells, base_opts);
+  ASSERT_EQ(reference.size(), cells.size());
+
+  for (const unsigned size : {2u, 4u, 8u}) {
+    worker_pool pool(size);
+    campaign_options opts;
+    opts.threads = size;
+    opts.pool = &pool;
+    const auto got = run_campaign(cells, opts);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_same_metrics(reference[i].metrics, got[i].metrics,
+                          "pool " + std::to_string(size) + " cell " +
+                              got[i].cell.label());
+    }
+  }
+}
+
+TEST(Campaign, BitIdenticalAcrossCellSchedulingOrders) {
+  const auto cells = small_grid();
+  std::vector<campaign_cell> reversed(cells.rbegin(), cells.rend());
+
+  worker_pool pool(4);
+  campaign_options opts;
+  opts.threads = 4;
+  opts.pool = &pool;
+  const auto forward = run_campaign(cells, opts);
+  const auto backward = run_campaign(reversed, opts);
+  ASSERT_EQ(forward.size(), backward.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    const std::size_t j = forward.size() - 1 - i;
+    EXPECT_EQ(forward[i].cell.label(), backward[j].cell.label());
+    expect_same_metrics(forward[i].metrics, backward[j].metrics,
+                        forward[i].cell.label());
+  }
+}
+
+TEST(Campaign, MatchesTrialExecutorCellByCell) {
+  // A campaign cell and a standalone executor batch of the same config are
+  // the same computation.
+  const auto cells = small_grid();
+  worker_pool pool(2);
+  campaign_options opts;
+  opts.threads = 2;
+  opts.pool = &pool;
+  const auto results = run_campaign(cells, opts);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto config = make_scenario(cells[i].scenario, cells[i].params);
+    const auto stats = trial_executor().run(config, cells[i].trials);
+    expect_same_metrics(results[i].metrics, default_cell_metrics(stats),
+                        cells[i].label());
+  }
+}
+
+TEST(Campaign, OnCellStreamsInCellOrder) {
+  const auto cells = small_grid();
+  worker_pool pool(4);
+  campaign_options opts;
+  opts.threads = 4;
+  opts.pool = &pool;
+  std::vector<std::string> seen;
+  opts.on_cell = [&](const cell_result& r) { seen.push_back(r.cell.label()); };
+  const auto results = run_campaign(cells, opts);
+  ASSERT_EQ(seen.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(seen[i], cells[i].label()) << i;
+    EXPECT_GT(results[i].seconds, 0.0);
+    EXPECT_FALSE(results[i].resumed);
+  }
+}
+
+TEST(Campaign, UnknownScenarioThrowsBeforeRunning) {
+  std::vector<campaign_cell> cells = small_grid();
+  cells[1].scenario = "no-such-scenario";
+  bool ran = false;
+  campaign_options opts;
+  opts.on_cell = [&](const cell_result&) { ran = true; };
+  EXPECT_THROW(run_campaign(cells, opts), std::invalid_argument);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Campaign, TweakAndVariantDefineDistinctCells) {
+  campaign_cell plain;
+  plain.scenario = "figure1-exp1";
+  plain.params.n = 8;
+  plain.params.seed = 5;
+  plain.trials = 60;
+
+  campaign_cell halting = plain;
+  halting.variant = "h=0.05";
+  halting.tweak = [](sim_config& config) {
+    config.sched.halt_probability = 0.05;
+  };
+
+  const auto results = run_campaign({plain, halting});
+  EXPECT_NE(cell_hash(plain), cell_hash(halting));
+  // Heavy halting at h = 0.05 loses processes; the plain cell never does.
+  EXPECT_EQ(results[0].metrics.get("mean_survivors"), 8.0);
+  EXPECT_LT(results[1].metrics.get("mean_survivors"), 8.0);
+}
+
+TEST(Campaign, CustomBackendCellsRunAndAggregate) {
+  campaign_grid grid;
+  grid.scenarios = {"mp-abd", "mutex-noise", "hybrid-quantum"};
+  grid.ns = {4};
+  grid.trials = 10;
+  grid.seed = 11;
+  worker_pool pool(4);
+  campaign_options opts;
+  opts.threads = 4;
+  opts.pool = &pool;
+  const auto results = run_campaign(grid, opts);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.metrics.get("trials"), 10.0) << r.cell.label();
+    EXPECT_EQ(r.metrics.get("decided"), 10.0) << r.cell.label();
+    EXPECT_EQ(r.metrics.get("violations"), 0.0) << r.cell.label();
+    EXPECT_GT(r.metrics.get("mean_total_ops"), 0.0) << r.cell.label();
+  }
+
+  // Determinism holds for custom backends too.
+  const auto again = run_campaign(grid, opts);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    expect_same_metrics(results[i].metrics, again[i].metrics,
+                        results[i].cell.label());
+  }
+}
+
+// --- Streaming + resume ----------------------------------------------------
+
+TEST(CampaignIo, EmittedFileIsByteIdenticalAcrossPoolSizes) {
+  const auto cells = small_grid();
+  std::vector<std::string> contents;
+  for (const unsigned size : {1u, 2u, 4u, 8u}) {
+    const std::string path = testing::TempDir() + "cells_pool" +
+                             std::to_string(size) + ".jsonl";
+    worker_pool pool(size);
+    campaign_io io(path, false);
+    campaign_options opts;
+    opts.threads = size;
+    opts.pool = &pool;
+    opts.io = &io;
+    run_campaign(cells, opts);
+    contents.push_back(read_file(path));
+  }
+  for (std::size_t i = 1; i < contents.size(); ++i) {
+    EXPECT_EQ(contents[0], contents[i]) << "pool size index " << i;
+  }
+  EXPECT_NE(contents[0].find("\"cell\": \"figure1-exp1/n=4\""),
+            std::string::npos);
+}
+
+TEST(CampaignIo, ResumeSkipsCompletedCellsAndRestoresMetrics) {
+  const auto cells = small_grid();
+  const std::string path = testing::TempDir() + "cells_resume.jsonl";
+
+  std::vector<cell_result> first;
+  {
+    campaign_io io(path, false);
+    campaign_options opts;
+    opts.io = &io;
+    first = run_campaign(cells, opts);
+  }
+
+  campaign_io io(path, true);
+  EXPECT_EQ(io.loaded(), cells.size());
+  EXPECT_EQ(io.skipped_lines(), 0u);
+  campaign_options opts;
+  opts.io = &io;
+  const auto second = run_campaign(cells, opts);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_TRUE(second[i].resumed) << i;
+    EXPECT_EQ(second[i].seconds, 0.0);
+    expect_same_metrics(first[i].metrics, second[i].metrics,
+                        second[i].cell.label());
+  }
+  // Nothing was re-emitted: the file still holds exactly one line per cell.
+  std::istringstream lines(read_file(path));
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) ++count;
+  }
+  EXPECT_EQ(count, cells.size());
+}
+
+TEST(CampaignIo, PartialFileRerunsOnlyMissingCells) {
+  const auto cells = small_grid();
+  const std::string path = testing::TempDir() + "cells_partial.jsonl";
+  {
+    campaign_io io(path, false);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(cells, opts);
+  }
+  // Keep the first three lines plus one torn line (a crash mid-write).
+  const std::string full = read_file(path);
+  std::size_t cut = 0;
+  for (int i = 0; i < 3; ++i) cut = full.find('\n', cut) + 1;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << full.substr(0, cut) << "{\"cell\": \"torn";
+  }
+
+  campaign_io io(path, true);
+  EXPECT_EQ(io.loaded(), 3u);
+  EXPECT_EQ(io.skipped_lines(), 1u);
+  campaign_options opts;
+  opts.io = &io;
+  const auto results = run_campaign(cells, opts);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].resumed, i < 3) << i;
+  }
+  // The re-run cells were appended; resume again finds everything.
+  campaign_io io2(path, true);
+  EXPECT_EQ(io2.loaded(), cells.size());
+}
+
+TEST(CampaignIo, ChangedConfigDoesNotMatchOldRecords) {
+  auto cells = small_grid();
+  const std::string path = testing::TempDir() + "cells_changed.jsonl";
+  {
+    campaign_io io(path, false);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(cells, opts);
+  }
+  // More trials = a different config hash = a fresh run for every cell.
+  for (auto& cell : cells) cell.trials += 1;
+  campaign_io io(path, true);
+  campaign_options opts;
+  opts.io = &io;
+  const auto results = run_campaign(cells, opts);
+  for (const auto& r : results) EXPECT_FALSE(r.resumed);
+}
+
+// --- Acceptance pin --------------------------------------------------------
+
+TEST(Campaign, Figure1SmokeGridMatchesCommittedBaseline) {
+  // The committed baseline was produced by bench/fig1_mean_round with
+  // --nmax=100 --trials=20 --op-budget=200000 --seed=20000625. Rebuilding
+  // that grid here and running it through the campaign engine must
+  // reproduce every series value bit-for-bit, for any pool size.
+  const std::string path = std::string(LEANCON_SOURCE_DIR) +
+                           "/bench/baselines/BENCH_fig1_mean_round.json";
+  const json::value baseline = json::parse(read_file(path));
+  const json::value* series = baseline.find("series");
+  ASSERT_NE(series, nullptr);
+
+  const auto catalog = figure1_catalog();
+  const std::uint64_t seed = 20000625;
+  const std::vector<std::uint64_t> ns{1, 10, 100};
+  std::vector<campaign_cell> cells;
+  for (const auto n : ns) {
+    for (std::size_t d = 0; d < catalog.size(); ++d) {
+      const std::uint64_t per_trial = n * 48 + 8;
+      campaign_cell cell;
+      cell.scenario = "figure1-" + catalog[d].key;
+      cell.params.n = n;
+      cell.params.seed = seed + d * 1000003 + n;
+      cell.trials = std::max<std::uint64_t>(
+          6, std::min<std::uint64_t>(20, 200000 / per_trial));
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  worker_pool pool(4);
+  campaign_options opts;
+  opts.threads = 4;
+  opts.pool = &pool;
+  const auto results = run_campaign(cells, opts);
+
+  double sim_ops = 0.0;
+  ASSERT_EQ(series->items.size(), catalog.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::size_t d = i % catalog.size();
+    const std::size_t n_index = i / catalog.size();
+    const auto& m = results[i].metrics;
+    sim_ops += m.get("total_ops_sum");
+
+    const json::value& ser = series->items[d];
+    ASSERT_EQ(ser.find("name")->str, catalog[d].dist->name());
+    const json::value& pt = ser.find("points")->items[n_index];
+    EXPECT_EQ(pt.find("x")->num, static_cast<double>(ns[n_index]));
+    EXPECT_EQ(pt.find("mean_round")->num, m.get("mean_round"))
+        << results[i].cell.label();
+    EXPECT_EQ(pt.find("ci95")->num, m.get("round_ci95"))
+        << results[i].cell.label();
+    EXPECT_EQ(pt.find("trials")->num, m.get("trials"))
+        << results[i].cell.label();
+  }
+  // The accumulated operation counter matches exactly too (same values,
+  // same summation order).
+  EXPECT_EQ(baseline.find("counters")->find("sim_ops")->num, sim_ops);
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,146 @@
+// Tests for the persistent worker pool: every submitted task runs exactly
+// once, the caller participates (progress with zero spare workers, nested
+// run), concurrency caps hold, exceptions propagate, and concurrent batches
+// from several threads all complete.
+#include "exp/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace leancon {
+namespace {
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
+  worker_pool pool(3);
+  constexpr std::uint64_t kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](std::uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(WorkerPool, ZeroTasksReturnsImmediately) {
+  worker_pool pool(2);
+  bool ran = false;
+  pool.run(0, [&](std::uint64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(WorkerPool, SizeResolvesHardwareConcurrency) {
+  worker_pool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(worker_pool(5).size(), 5u);
+}
+
+TEST(WorkerPool, CallerParticipates) {
+  // A pool whose single worker is parked still finishes: the caller drains
+  // its own batch. With cap 1 exactly one thread executes at a time.
+  worker_pool pool(1);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  pool.run(
+      64,
+      [&](std::uint64_t) {
+        const int now = concurrent.fetch_add(1) + 1;
+        int seen = max_concurrent.load();
+        while (now > seen && !max_concurrent.compare_exchange_weak(seen, now)) {
+        }
+        concurrent.fetch_sub(1);
+      },
+      1);
+  EXPECT_EQ(max_concurrent.load(), 1);
+}
+
+TEST(WorkerPool, CapBoundsConcurrency) {
+  worker_pool pool(8);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  pool.run(
+      200,
+      [&](std::uint64_t) {
+        const int now = concurrent.fetch_add(1) + 1;
+        int seen = max_concurrent.load();
+        while (now > seen && !max_concurrent.compare_exchange_weak(seen, now)) {
+        }
+        // A small spin so tasks overlap if the cap were violated.
+        for (volatile int spin = 0; spin < 1000; ++spin) {
+        }
+        concurrent.fetch_sub(1);
+      },
+      3);
+  EXPECT_LE(max_concurrent.load(), 3);
+  EXPECT_GE(max_concurrent.load(), 1);
+}
+
+TEST(WorkerPool, NestedRunDoesNotDeadlock) {
+  worker_pool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.run(4, [&](std::uint64_t) {
+    pool.run(8, [&](std::uint64_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(WorkerPool, FirstExceptionPropagates) {
+  worker_pool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    pool.run(100, [&](std::uint64_t i) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3 failed");
+  }
+  // The batch drains (unclaimed tasks are dropped) and the pool survives.
+  EXPECT_LE(executed.load(), 100);
+  std::atomic<int> after{0};
+  pool.run(10, [&](std::uint64_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(WorkerPool, ConcurrentBatchesFromManyThreadsComplete) {
+  worker_pool pool(3);
+  constexpr int kClients = 4;
+  constexpr std::uint64_t kTasks = 100;
+  std::vector<std::atomic<std::uint64_t>> done(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      pool.run(kTasks, [&, c](std::uint64_t) {
+        done[c].fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (auto& th : clients) th.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(done[c].load(), kTasks) << "client " << c;
+  }
+}
+
+TEST(WorkerPool, SharedPoolIsASingleton) {
+  worker_pool& a = worker_pool::shared();
+  worker_pool& b = worker_pool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+  std::atomic<int> total{0};
+  a.run(16, [&](std::uint64_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+}  // namespace
+}  // namespace leancon
