@@ -52,8 +52,8 @@ void run_delay_ablation(bench::run_context& ctx) {
       config.seed = seed + static_cast<std::uint64_t>(m * 1000);
       const auto stats = exec.run(config, trials);
       ctx.add_counter("sim_ops",
-                      stats.total_ops.mean() *
-                          static_cast<double>(stats.total_ops.count()));
+                      stats.total_ops().mean() *
+                          static_cast<double>(stats.total_ops().count()));
       if (json.find(adv->name()) == json.end()) {
         json[adv->name()] = &ctx.add_series(adv->name());
       }
@@ -62,17 +62,17 @@ void run_delay_ablation(bench::run_context& ctx) {
       json[adv->name()]
           ->at(m)
           .set("bound", adv->bound())
-          .set("mean_first_round", stats.first_round.mean())
-          .set("ci95", stats.first_round.ci95_halfwidth())
-          .set("p95", stats.first_round.quantile(0.95))
-          .set("mean_sim_time", stats.first_time.mean());
+          .set("mean_first_round", stats.round().mean())
+          .set("ci95", stats.round().ci95_halfwidth())
+          .set("p95", stats.round().quantile(0.95))
+          .set("mean_sim_time", stats.first_time().mean());
       tbl.begin_row();
       tbl.cell(adv->name());
       tbl.cell(adv->bound(), 1);
-      tbl.cell(stats.first_round.mean(), 2);
-      tbl.cell(stats.first_round.ci95_halfwidth(), 2);
-      tbl.cell(stats.first_round.quantile(0.95), 1);
-      tbl.cell(stats.first_time.mean(), 1);
+      tbl.cell(stats.round().mean(), 2);
+      tbl.cell(stats.round().ci95_halfwidth(), 2);
+      tbl.cell(stats.round().quantile(0.95), 1);
+      tbl.cell(stats.first_time().mean(), 1);
     }
   }
   tbl.print();

@@ -60,27 +60,27 @@ void run_r_max_sweep(bench::run_context& ctx) {
       config.seed = seed + n * 1009 + r_max;
       const auto stats = exec.run(config, trials);
       ctx.add_counter("sim_ops",
-                      stats.total_ops.mean() *
-                          static_cast<double>(stats.total_ops.count()));
+                      stats.total_ops().mean() *
+                          static_cast<double>(stats.total_ops().count()));
 
       const double backup_fraction =
           static_cast<double>(stats.backup_trials) /
           static_cast<double>(stats.trials);
       json.at(static_cast<double>(r_max))
           .set("backup_fraction", backup_fraction)
-          .set("mean_ops_per_proc", stats.ops_per_process.mean())
-          .set("max_ops", stats.max_ops.max())
+          .set("mean_ops_per_proc", stats.ops_per_process().mean())
+          .set("max_ops", stats.max_ops().max())
           .set("mean_last_round",
-               stats.last_round.count() > 0 ? stats.last_round.mean() : 0.0)
+               stats.last_round().count() > 0 ? stats.last_round().mean() : 0.0)
           .set("undecided", static_cast<double>(stats.undecided_trials));
       tbl.begin_row();
       tbl.cell(r_max);
       char frac[32];
       std::snprintf(frac, sizeof frac, "%.1f%%", 100.0 * backup_fraction);
       tbl.cell(std::string(frac));
-      tbl.cell(stats.ops_per_process.mean(), 1);
-      tbl.cell(stats.max_ops.max(), 0);
-      tbl.cell(stats.last_round.count() > 0 ? stats.last_round.mean() : 0.0,
+      tbl.cell(stats.ops_per_process().mean(), 1);
+      tbl.cell(stats.max_ops().max(), 0);
+      tbl.cell(stats.last_round().count() > 0 ? stats.last_round().mean() : 0.0,
                2);
       tbl.cell(stats.undecided_trials);
     }

@@ -1,0 +1,100 @@
+// Campaign-level BENCH emitter: aggregates one or more campaign cells
+// files (the JSON-lines streams written by --cells across benches, sweep
+// runs, processes, or hosts) into a single BENCH json plus one dynamic
+// metric table, so multi-file campaigns land in the existing
+// baseline/validator flow.
+//
+//   ./campaign_report --cells=a.jsonl,b.jsonl --name=my_campaign \
+//                     --json=BENCH_my_campaign.json
+//
+// Every metric recorded in the cells files flows through untouched —
+// backend-native metrics (messages, slow_path_entries, preemptions, ...)
+// included — and metrics a workload never emitted stay absent: `-` in the
+// table, omitted from the per-point JSON.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/campaign_io.h"
+#include "harness.h"
+#include "util/options.h"
+#include "util/table.h"
+
+using namespace leancon;
+
+namespace {
+
+std::vector<std::string> split_paths(const std::string& list) {
+  std::vector<std::string> paths;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) paths.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return paths;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts;
+  opts.add("cells", "",
+           "comma-separated campaign cells files (JSON-lines) to aggregate");
+  opts.add("name", "campaign_report", "bench name for the emitted json");
+  opts.add("json", "", "write aggregated results as BENCH json to this path");
+  opts.add("table", "true", "print the per-cell metric table");
+  if (!opts.parse(argc, argv)) return 1;
+
+  const auto paths = split_paths(opts.get("cells"));
+  if (paths.empty()) {
+    std::fprintf(stderr, "campaign_report: --cells is required\n");
+    return 1;
+  }
+
+  bench::results res;
+  try {
+    res = bench::campaign_bench(opts.get("name"), paths);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_report: %s\n", e.what());
+    return 1;
+  }
+  res.params = opts.flag_values();
+
+  if (opts.get_bool("table")) {
+    metric_table tbl({"cell", "n"});
+    for (const auto& ser : res.series_list) {
+      for (const auto& pt : ser.points) {
+        tbl.begin_row({ser.name, format_double(pt.x, 0)});
+        for (const auto& [name, value] : pt.metrics) {
+          tbl.set(name, value, 2);
+        }
+      }
+    }
+    tbl.print();
+  }
+
+  const std::string json_path = opts.get("json");
+  if (!json_path.empty()) {
+    const std::string text = bench::to_json(res);
+    if (const auto error = bench::validate_bench_json(text)) {
+      std::fprintf(stderr,
+                   "campaign_report: emitted json is invalid: %s\n",
+                   error->c_str());
+      return 1;
+    }
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "campaign_report: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), out);
+    std::fclose(out);
+    std::printf("aggregated %zu cells file(s) into %s\n", paths.size(),
+                json_path.c_str());
+  }
+  return 0;
+}

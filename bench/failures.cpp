@@ -13,6 +13,7 @@
 // sim_config, so the whole bench shares the worker pool with everything
 // else and supports --cells/--resume streaming.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 
@@ -132,11 +133,17 @@ void run_adaptive_crashes(bench::run_context& ctx) {
     for (; i < results.size() && results[i].cell.params.n == procs; ++i) {
       const auto& m = results[i].metrics;
       ctx.add_counter("sim_ops", m.get("total_ops_sum"));
-      fs.push_back(static_cast<double>(cell_budget[i]));
-      rounds.push_back(m.get("mean_round"));
+      const double mean_round = m.get("mean_round");
+      // Cells where the budget killed every live process have NO round
+      // metrics (absent, not zero); they render "-" and stay out of the
+      // fit instead of dragging its intercept to 0.
+      if (std::isfinite(mean_round)) {
+        fs.push_back(static_cast<double>(cell_budget[i]));
+        rounds.push_back(mean_round);
+      }
       json.at(static_cast<double>(cell_budget[i]))
-          .set("mean_round", m.get("mean_round"));
-      tbl2.cell(m.get("mean_round"), 2);
+          .set("mean_round", mean_round);
+      tbl2.cell(mean_round, 2);
     }
     const auto fit = fit_linear(fs, rounds);
     ctx.add_counter("slope_per_f/n=" + std::to_string(procs), fit.slope);
@@ -145,7 +152,7 @@ void run_adaptive_crashes(bench::run_context& ctx) {
   tbl2.print();
   ctx.add_cell_counters(results);
   std::printf("\nmeasured shape: even this maximally adaptive strategy barely"
-              " moves the mean\n(0.00 cells = the budget sufficed to kill"
+              " moves the mean\n(\"-\" cells = the budget sufficed to kill"
               " every live process, so no trial\ndecided). The racing arrays"
               " persist after a crash — the victim's marks keep\nworking for"
               " its team — so f kills buy far less than f restarts: strong\n"

@@ -18,6 +18,9 @@ void add_campaign_flags(options& opts) {
            "stream each finished campaign cell to this JSON-lines file");
   opts.add("resume", "false",
            "with --cells: skip cells already recorded in the file");
+  opts.add("cell-seconds", "false",
+           "with --cells: record per-cell wall seconds in each line (for "
+           "campaign_report; makes the file non-deterministic across runs)");
 }
 
 namespace {
@@ -120,7 +123,8 @@ bool run_context::open_cells(campaign_options& copts,
   if (path.empty()) return true;
   try {
     io = std::make_unique<campaign_io>(path + suffix,
-                                       opts_.get_bool("resume"));
+                                       opts_.get_bool("resume"),
+                                       opts_.get_bool("cell-seconds"));
   } catch (const std::exception& e) {
     fail(e.what());
     return false;
@@ -271,6 +275,59 @@ std::string to_json(const results& r) {
   write_number(os, r.seconds);
   os << "\n}\n";
   return os.str();
+}
+
+// --- Campaign-level BENCH emitter ------------------------------------------
+
+results campaign_bench(const std::string& bench_name,
+                       const std::vector<std::string>& cells_paths) {
+  results res;
+  res.bench = bench_name;
+
+  double cells = 0.0;
+  double trials_total = 0.0;
+  double sim_ops = 0.0;
+  double seconds_total = 0.0;
+  double skipped_total = 0.0;
+  for (const auto& path : cells_paths) {
+    std::size_t skipped = 0;
+    const auto records = campaign_io::read_records(path, &skipped);
+    skipped_total += static_cast<double>(skipped);
+    for (const auto& rec : records) {
+      const std::string group =
+          rec.variant.empty() ? rec.scenario : rec.scenario + "/" + rec.variant;
+      series* ser = nullptr;
+      for (auto& existing : res.series_list) {
+        if (existing.name == group) {
+          ser = &existing;
+          break;
+        }
+      }
+      if (ser == nullptr) {
+        res.series_list.push_back({"campaign", group, {}});
+        ser = &res.series_list.back();
+      }
+      point& pt = ser->at(static_cast<double>(rec.n));
+      for (const auto& [name, value] : rec.metrics.values) {
+        pt.set(name, value);
+      }
+
+      cells += 1.0;
+      const double trials = rec.metrics.get("trials");
+      if (std::isfinite(trials)) trials_total += trials;
+      const double ops = rec.metrics.get("total_ops_sum");
+      if (std::isfinite(ops)) sim_ops += ops;
+      const std::string label = rec.label.empty() ? group : rec.label;
+      accumulate(res.counters, "cell_seconds/" + label, rec.seconds);
+      seconds_total += rec.seconds;
+    }
+  }
+  accumulate(res.counters, "cells", cells);
+  accumulate(res.counters, "trials_total", trials_total);
+  accumulate(res.counters, "sim_ops", sim_ops);
+  accumulate(res.counters, "cell_seconds_total", seconds_total);
+  accumulate(res.counters, "skipped_lines", skipped_total);
+  return res;
 }
 
 // --- JSON validation -------------------------------------------------------

@@ -55,9 +55,9 @@ class campaign_io;
 
 namespace leancon::bench {
 
-/// Declares the campaign streaming flags (--cells, --resume) on a bench
-/// that runs its grid through run_campaign. Pair with
-/// run_context::open_cells.
+/// Declares the campaign streaming flags (--cells, --resume,
+/// --cell-seconds) on a bench that runs its grid through run_campaign.
+/// Pair with run_context::open_cells.
 void add_campaign_flags(options& opts);
 
 /// One sample along a series: an x coordinate plus named metric values.
@@ -182,5 +182,18 @@ std::string to_json(const results& r);
 /// Structurally validates BENCH json text against the documented schema.
 /// Returns std::nullopt on success, else a human-readable error.
 std::optional<std::string> validate_bench_json(const std::string& text);
+
+/// Campaign-level BENCH emitter: aggregates one or more campaign_io cells
+/// files (JSON-lines) into BENCH results, so multi-file campaigns — split
+/// across runs, processes, or hosts — land in the existing baseline/
+/// validator flow. One series per (scenario[/variant]) group in
+/// first-appearance order, x = n, every recorded metric carried through
+/// (absent metrics stay absent). Counters: "cells", "trials_total",
+/// "sim_ops" (summed total_ops_sum where present), per-cell
+/// "cell_seconds/<label>" and "cell_seconds_total" (0 unless the writer
+/// enabled record_seconds), and "skipped_lines". Throws
+/// std::runtime_error when a file cannot be read.
+results campaign_bench(const std::string& bench_name,
+                       const std::vector<std::string>& cells_paths);
 
 }  // namespace leancon::bench

@@ -60,13 +60,13 @@ void run_lower_bound(bench::run_context& ctx) {
       config.seed = seed + n * 17;
       const auto stats = exec.run(config, trials);
       ctx.add_counter("sim_ops",
-                      stats.total_ops.mean() *
-                          static_cast<double>(stats.total_ops.count()));
-      run.means.push_back(stats.first_round.mean());
+                      stats.total_ops().mean() *
+                          static_cast<double>(stats.total_ops().count()));
+      run.means.push_back(stats.round().mean());
       run.json->at(static_cast<double>(n))
-          .set("mean_round", stats.first_round.mean())
-          .set("ci95", stats.first_round.ci95_halfwidth());
-      tbl.cell(stats.first_round.mean(), 2);
+          .set("mean_round", stats.round().mean())
+          .set("ci95", stats.round().ci95_halfwidth());
+      tbl.cell(stats.round().mean(), 2);
     }
   }
   tbl.print();

@@ -98,8 +98,8 @@ void run_tail(bench::run_context& ctx) {
   config.seed = seed * 7 + 1;
   const auto stats = ctx.executor().run(config, tail_trials);
   ctx.add_counter("sim_ops",
-                  stats.total_ops.mean() *
-                      static_cast<double>(stats.total_ops.count()));
+                  stats.total_ops().mean() *
+                      static_cast<double>(stats.total_ops().count()));
 
   std::printf("Tail at n = %llu (%llu trials): Pr[round > k] should decay"
               " exponentially in k.\n\n",
@@ -107,9 +107,9 @@ void run_tail(bench::run_context& ctx) {
               static_cast<unsigned long long>(tail_trials));
   table tail({"k", "Pr[round > k]", "ln Pr"});
   auto& tail_series = ctx.add_series("tail");
-  const double mean = stats.first_round.mean();
+  const double mean = stats.round().mean();
   for (double k = mean; ; k += 2.0) {
-    const double p = stats.first_round.tail_fraction_above(k);
+    const double p = stats.round().tail_fraction_above(k);
     tail_series.at(k).set("pr_above", p).set("ln_pr",
                                              p > 0 ? std::log(p) : -99.0);
     tail.begin_row();

@@ -53,9 +53,9 @@ int main() {
               static_cast<unsigned long long>(stats.decided_trials),
               static_cast<unsigned long long>(stats.trials));
   std::printf("mean round of first decision : %.2f (p95 = %.1f)\n",
-              stats.first_round.mean(), stats.first_round.quantile(0.95));
+              stats.round().mean(), stats.round().quantile(0.95));
   std::printf("mean ops per node            : %.1f\n",
-              stats.ops_per_process.mean());
+              stats.ops_per_process().mean());
   std::printf("trials with safety violations: %llu (must be 0)\n",
               static_cast<unsigned long long>(stats.violation_trials));
   return stats.violation_trials == 0 ? 0 : 1;

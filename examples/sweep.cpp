@@ -1,19 +1,23 @@
 // Scenario sweep driver: run any set of registry scenarios across a list of
 // process counts as one campaign on the persistent worker pool, and print
 // one comparable table. New workloads are one table entry in
-// src/scenario/scenario.cpp — no new binary needed. Custom-backend presets
+// src/scenario/scenario.cpp — no new binary needed. Native-backend presets
 // (mp-abd, mutex-noise, hybrid-quantum) run right alongside the
-// shared-memory ones.
+// shared-memory ones, each reporting its own native metrics: the table's
+// metric columns are discovered dynamically from whatever the workloads
+// emitted, and a metric a workload does not have renders `-` (absent, never
+// a fabricated zero — no lean rounds for a message-passing cell).
 //
 //   ./sweep --scenarios=figure1-exp1,crash-heavy,mp-abd --ns=4,16,64 \
 //           --trials=400 --threads=0 --cells=cells.jsonl
 //
 // Results are bit-identical for any --threads value. --cells streams every
 // finished cell to a JSON-lines file as it completes; rerunning with
-// --resume=true skips the cells already on file.
+// --resume=true skips the cells already on file; --cell-seconds records
+// per-cell wall time for the campaign_report aggregator; --op-budget
+// scales trials down per cell at large n (resume keys stay stable).
 #include <cmath>
 #include <cstdio>
-#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +56,9 @@ int main(int argc, char** argv) {
                ")");
   opts.add("ns", "4,16,64", "comma-separated process counts");
   opts.add("trials", "200", "trials per (scenario, n) cell");
+  opts.add("op-budget", "0",
+           "approximate per-cell operation budget: scales trials down at "
+           "large n (0 = off; cell seeds and resume keys stay stable)");
   opts.add("threads", "0",
            "campaign concurrency cap (0 = hardware concurrency); results "
            "are bit-identical for any value");
@@ -60,6 +67,9 @@ int main(int argc, char** argv) {
            "stream each finished cell to this JSON-lines file");
   opts.add("resume", "false",
            "with --cells: skip cells already recorded in the file");
+  opts.add("cell-seconds", "false",
+           "with --cells: record per-cell wall seconds in each line (for "
+           "campaign_report; makes the file non-deterministic across runs)");
   opts.add("list", "false", "print scenario keys with descriptions and exit");
   if (!opts.parse(argc, argv)) return 1;
 
@@ -90,6 +100,19 @@ int main(int argc, char** argv) {
   }
   grid.trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   grid.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  const auto op_budget = static_cast<std::uint64_t>(opts.get_int("op-budget"));
+  if (op_budget > 0) {
+    // Same per-trial cost model as fig1_mean_round: ~n * 48 + 8 simulated
+    // operations per trial. Only the trial count varies — cell seeds stay
+    // a function of the grid shape, so resume keys are stable.
+    const std::uint64_t max_trials = grid.trials;
+    grid.trials_for = [op_budget, max_trials](const std::string&,
+                                              std::uint64_t n) {
+      const std::uint64_t per_trial = n * 48 + 8;
+      return std::max<std::uint64_t>(
+          1, std::min(max_trials, op_budget / per_trial));
+    };
+  }
 
   campaign_options copts;
   copts.threads = resolve_threads(opts.get_int("threads"));
@@ -97,7 +120,8 @@ int main(int argc, char** argv) {
   if (!opts.get("cells").empty()) {
     try {
       io = std::make_unique<campaign_io>(opts.get("cells"),
-                                         opts.get_bool("resume"));
+                                         opts.get_bool("resume"),
+                                         opts.get_bool("cell-seconds"));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 1;
@@ -109,15 +133,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("campaign sweep: %llu trials per cell, concurrency %u, "
+  std::printf("campaign sweep: %llu trials per cell%s, concurrency %u, "
               "pool of %u worker(s)\n\n",
-              static_cast<unsigned long long>(grid.trials), copts.threads,
+              static_cast<unsigned long long>(grid.trials),
+              op_budget > 0 ? " (op-budget capped)" : "", copts.threads,
               worker_pool::shared().size());
 
   const auto results = run_campaign(grid, copts);
 
-  table tbl({"scenario", "n", "decided", "mean round", "ci95", "p95",
-             "mean ops/proc", "mean survivors"});
+  // Lead columns are fixed; every other column is discovered from the
+  // metrics the workloads actually emitted (native backends included).
+  metric_table tbl({"scenario", "n", "decided"});
   bool all_safe = true;
   std::uint64_t resumed = 0;
   for (const auto& r : results) {
@@ -129,18 +155,16 @@ int main(int argc, char** argv) {
     std::snprintf(decided, sizeof decided, "%llu/%llu",
                   static_cast<unsigned long long>(m.get("decided")),
                   static_cast<unsigned long long>(m.get("trials")));
-    tbl.begin_row();
-    tbl.cell(r.cell.scenario);
-    tbl.cell(r.cell.params.n);
-    tbl.cell(std::string(decided));
-    const bool any = m.get("decided") > 0;
-    tbl.cell(any ? m.get("mean_round")
-                 : std::numeric_limits<double>::quiet_NaN(), 2);
-    tbl.cell(any ? m.get("round_ci95")
-                 : std::numeric_limits<double>::quiet_NaN(), 2);
-    tbl.cell(m.get("round_p95"), 1);
-    tbl.cell(m.get("mean_ops_per_process"), 1);
-    tbl.cell(m.get("mean_survivors"), 1);
+    tbl.begin_row({r.cell.scenario, std::to_string(r.cell.params.n),
+                   decided});
+    for (const auto& [name, value] : m.values) {
+      // The lead columns already carry the counts.
+      if (name == "trials" || name == "decided" || name == "undecided" ||
+          name == "violations" || name == "backup") {
+        continue;
+      }
+      tbl.set(name, value, 2);
+    }
   }
   tbl.print();
   if (resumed > 0) {

@@ -63,8 +63,10 @@ std::vector<campaign_cell> campaign_grid::expand() const {
       cell.params.n = n;
       // Decorrelate cells (nearby indices never share trial-seed streams)
       // while keeping every cell reproducible from (seed, index) alone.
+      // The seed never depends on the trial schedule, so op-budget reruns
+      // resume cleanly.
       cell.params.seed = trial_seed(seed, index);
-      cell.trials = trials;
+      cell.trials = trials_for ? trials_for(scenario, n) : trials;
       cells.push_back(std::move(cell));
       ++index;
     }
@@ -91,31 +93,37 @@ double cell_metrics::get(const std::string& name) const {
 }
 
 cell_metrics default_cell_metrics(const trial_stats& stats) {
-  const bool any_round = stats.first_round.count() > 0;
   cell_metrics m;
   m.set("trials", static_cast<double>(stats.trials))
       .set("decided", static_cast<double>(stats.decided_trials))
       .set("undecided", static_cast<double>(stats.undecided_trials))
       .set("violations", static_cast<double>(stats.violation_trials))
-      .set("backup", static_cast<double>(stats.backup_trials))
-      .set("mean_round", stats.first_round.mean())
-      .set("round_ci95", stats.first_round.ci95_halfwidth())
-      .set("round_p50", any_round ? stats.first_round.quantile(0.5) : kNaN)
-      .set("round_p95", any_round ? stats.first_round.quantile(0.95) : kNaN)
-      .set("round_min", stats.first_round.min())
-      .set("round_max", stats.first_round.max())
-      .set("mean_first_time", stats.first_time.mean())
-      .set("mean_last_round", stats.last_round.mean())
-      .set("mean_ops_per_process", stats.ops_per_process.mean())
-      .set("mean_max_ops", stats.max_ops.mean())
-      .set("mean_pref_switches", stats.pref_switches.mean())
-      .set("mean_total_ops", stats.total_ops.mean())
-      // Written exactly as the benches historically accumulated sim_ops, so
-      // campaign ports reproduce their counters bit-for-bit.
-      .set("total_ops_sum",
-           stats.total_ops.mean() *
-               static_cast<double>(stats.total_ops.count()))
-      .set("mean_survivors", stats.survivors.mean());
+      .set("backup", static_cast<double>(stats.backup_trials));
+  for (const auto& e : stats.metrics.entries()) {
+    if (e.is_counter) {
+      m.set(e.name, e.total);
+      continue;
+    }
+    const summary& s = e.stats;
+    m.set("mean_" + e.name, s.mean());
+    switch (e.rollup) {
+      case metric_rollup::mean:
+        break;
+      case metric_rollup::location:
+        m.set(e.name + "_ci95", s.ci95_halfwidth())
+            .set(e.name + "_p50", s.quantile(0.5))
+            .set(e.name + "_p95", s.quantile(0.95))
+            .set(e.name + "_min", s.min())
+            .set(e.name + "_max", s.max());
+        break;
+      case metric_rollup::mean_and_sum:
+        // Written exactly as the benches historically accumulated sim_ops
+        // (mean * count), so campaign ports reproduce counters bit-for-bit.
+        m.set(e.name + "_sum",
+              s.mean() * static_cast<double>(s.count()));
+        break;
+    }
+  }
   return m;
 }
 
@@ -123,9 +131,7 @@ std::vector<cell_result> run_campaign(const std::vector<campaign_cell>& cells,
                                       const campaign_options& opts) {
   // Per-cell execution state for cells that actually run.
   struct cell_state {
-    const scenario_spec* spec = nullptr;
-    sim_config base;  ///< built config (build scenarios; seed + tweak applied)
-    sim_config record_base;  ///< stop-mode carrier for run_one recording
+    workload work;  ///< the cell's bound workload (tweak already applied)
     std::vector<trial_stats> chunk_stats;
     std::vector<double> chunk_seconds;
     std::atomic<std::uint64_t> remaining{0};
@@ -155,11 +161,15 @@ std::vector<cell_result> run_campaign(const std::vector<campaign_cell>& cells,
     r.hash = cell_hash(cells[i]);
 
     cell_state& st = states[i];
-    st.spec = find_scenario(cells[i].scenario);
-    if (st.spec == nullptr) {
-      throw std::invalid_argument("unknown scenario \"" + cells[i].scenario +
-                                  "\" in campaign cell " + std::to_string(i) +
-                                  "; known: " + scenario_keys());
+    // Build every cell's workload up front — unknown scenario keys and
+    // tweaks on native backends fail here, before any work is scheduled,
+    // with the cell named in the message.
+    try {
+      st.work = make_workload(cells[i].scenario, cells[i].params,
+                              cells[i].tweak);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("campaign cell " + std::to_string(i) +
+                                  " (" + cells[i].label() + "): " + e.what());
     }
 
     if (opts.io != nullptr) {
@@ -169,14 +179,6 @@ std::vector<cell_result> run_campaign(const std::vector<campaign_cell>& cells,
         complete[i] = 1;
         continue;
       }
-    }
-    if (st.spec->build) {
-      st.base = st.spec->build(cells[i].params);
-      if (cells[i].tweak) cells[i].tweak(st.base);
-    } else {
-      // Custom backends gate recording like first_decision runs: the
-      // adapted results carry no last_round to collect.
-      st.record_base.stop = stop_mode::first_decision;
     }
 
     const std::uint64_t n_chunks = trial_chunk_count(cells[i].trials);
@@ -231,18 +233,9 @@ std::vector<cell_result> run_campaign(const std::vector<campaign_cell>& cells,
 
     trial_stats& stats = st.chunk_stats[chunk];
     const std::uint64_t end = trial_chunk_begin(cell.trials, chunk + 1);
-    if (st.spec->build) {
-      for (std::uint64_t trial = trial_chunk_begin(cell.trials, chunk);
-           trial < end; ++trial) {
-        stats.record(st.base, simulate(trial_config(st.base, trial)));
-      }
-    } else {
-      for (std::uint64_t trial = trial_chunk_begin(cell.trials, chunk);
-           trial < end; ++trial) {
-        stats.record(st.record_base,
-                     st.spec->run_one(
-                         cell.params, trial_seed(cell.params.seed, trial)));
-      }
+    for (std::uint64_t trial = trial_chunk_begin(cell.trials, chunk);
+         trial < end; ++trial) {
+      stats.record(st.work.run_trial(trial_seed(cell.params.seed, trial)));
     }
 
     st.chunk_seconds[chunk] = seconds_since(start);

@@ -45,10 +45,12 @@ struct campaign_cell {
   /// (e.g. "h=0.002"). Part of the label and the config hash — cells with
   /// different tweaks MUST carry different variants for resume to be sound.
   std::string variant;
-  /// Optional sim_config adjustment applied after the scenario builds (set
-  /// a halt probability, swap the adversary, change the stop mode...).
-  /// Ignored by custom-backend (run_one) scenarios.
-  std::function<void(sim_config&)> tweak;
+  /// Optional sim_config adjustment applied when the workload is built
+  /// (set a halt probability, swap the adversary, change the stop mode...).
+  /// Native-backend scenarios have no sim_config and REJECT a non-null
+  /// tweak: run_campaign throws std::invalid_argument before any work
+  /// starts — no silent drops.
+  config_tweak tweak;
 
   /// "<scenario>[/<variant>]/n=<n>"
   std::string label() const;
@@ -66,6 +68,14 @@ struct campaign_grid {
   std::vector<std::uint64_t> ns;
   std::uint64_t trials = 200;
   std::uint64_t seed = 1;
+  /// Optional per-cell trial count (op-budget style: down-weight large n so
+  /// every cell costs about the same compute). When set it overrides
+  /// `trials` for each (scenario, n). Cell seeds stay trial_seed(seed,
+  /// cell index) — a pure function of the grid SHAPE — so changing the
+  /// trial schedule never moves a cell's seed, and the (config hash, seed)
+  /// resume key of an unchanged cell stays stable.
+  std::function<std::uint64_t(const std::string& scenario, std::uint64_t n)>
+      trials_for;
 
   std::vector<campaign_cell> expand() const;
 };
@@ -80,11 +90,20 @@ struct cell_metrics {
   double get(const std::string& name) const;
 };
 
-/// The standard extraction: counts (trials/decided/undecided/violations/
-/// backup), first-round location and spread (mean/ci95/p50/p95/min/max),
-/// and the means of the remaining trial_stats summaries, plus
-/// total_ops_sum (the cell's total simulated operations). Quantile metrics
-/// are NaN when no trial decided.
+/// The standard extraction: the decision counters (trials/decided/
+/// undecided/violations/backup) followed by every metric_set entry in
+/// emission order, named by its rollup —
+///
+///   counter       -> <name>
+///   mean          -> mean_<name>
+///   location      -> mean_<name>, <name>_ci95, _p50, _p95, _min, _max
+///   mean_and_sum  -> mean_<name>, <name>_sum
+///
+/// so shared-memory cells keep their historical names (mean_round,
+/// round_ci95, ..., total_ops_sum) bit-identically, and backend-native
+/// metrics flow through with no schema change. Metrics a workload never
+/// emitted are ABSENT from the extraction (cell_metrics::get reads NaN;
+/// tables render `-`, JSON omits them) — never fabricated zeros.
 cell_metrics default_cell_metrics(const trial_stats& stats);
 
 /// One finished (or resumed) cell, in cell-index order.

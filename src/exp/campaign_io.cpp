@@ -49,6 +49,27 @@ bool parse_record(const std::string& line, campaign_io::record& out) {
   } catch (const std::exception&) {
     return false;
   }
+  // Declarative fields: best-effort (older files may lack them).
+  const auto read_string = [&v](const char* key, std::string& into) {
+    const json::value* node = v.find(key);
+    if (node != nullptr && node->k == json::value::kind::string) {
+      into = node->str;
+    }
+  };
+  const auto read_uint = [&v](const char* key, std::uint64_t& into) {
+    const json::value* node = v.find(key);
+    if (node != nullptr && node->k == json::value::kind::number) {
+      into = static_cast<std::uint64_t>(node->num);
+    }
+  };
+  read_string("cell", out.label);
+  read_string("scenario", out.scenario);
+  read_string("variant", out.variant);
+  read_uint("n", out.n);
+  read_uint("trials", out.trials);
+  if (const json::value* seconds = v.find("seconds")) {
+    if (seconds->k == json::value::kind::number) out.seconds = seconds->num;
+  }
   out.metrics.values.clear();
   for (const auto& [name, value] : metrics->members) {
     if (value.k == json::value::kind::number) {
@@ -65,8 +86,31 @@ bool parse_record(const std::string& line, campaign_io::record& out) {
 
 }  // namespace
 
-campaign_io::campaign_io(const std::string& path, bool resume)
-    : path_(path) {
+std::vector<campaign_io::record> campaign_io::read_records(
+    const std::string& path, std::size_t* skipped) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("campaign_io: cannot read " + path);
+  }
+  std::vector<record> records;
+  std::size_t bad = 0;
+  std::string line;
+  while (in.good() && std::getline(in, line)) {
+    if (blank(line)) continue;
+    record rec;
+    if (parse_record(line, rec)) {
+      records.push_back(std::move(rec));
+    } else {
+      ++bad;
+    }
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return records;
+}
+
+campaign_io::campaign_io(const std::string& path, bool resume,
+                         bool record_seconds)
+    : path_(path), record_seconds_(record_seconds) {
   bool unterminated = false;
   if (resume) {
     std::ifstream in(path_, std::ios::binary);
@@ -124,6 +168,10 @@ void campaign_io::emit(const cell_result& r) {
   json::write_string(os, hex64(r.cell.params.seed));
   os << ", \"hash\": ";
   json::write_string(os, hex64(r.hash));
+  if (record_seconds_) {
+    os << ", \"seconds\": ";
+    json::write_number(os, r.seconds);
+  }
   os << ", \"metrics\": {";
   for (std::size_t i = 0; i < r.metrics.values.size(); ++i) {
     if (i > 0) os << ", ";

@@ -11,10 +11,16 @@
 //
 //   {"cell": "<label>", "scenario": "<key>", "variant": "<or empty>",
 //    "n": <number>, "trials": <number>, "seed": "<0x hex>",
-//    "hash": "<0x hex of cell_hash>", "metrics": {"<name>": <number|null>}}
+//    "hash": "<0x hex of cell_hash>", "seconds": <number>,
+//    "metrics": {"<name>": <number|null>}}
 //
 // (seed and hash are hex STRINGS: they are full 64-bit keys, which JSON
-// numbers — doubles — cannot carry exactly.)
+// numbers — doubles — cannot carry exactly.) A workload's absent metrics
+// are OMITTED from the metrics object — absent is not zero — and restore
+// as absent on resume. The "seconds" field (per-cell wall clock, for the
+// campaign-level BENCH emitter) is opt-in via record_seconds: it is the
+// one non-deterministic value, so recording it trades away the
+// byte-identical-across-runs property of the default file.
 //
 // Resume: opening with resume = true indexes the existing records;
 // run_campaign skips any cell whose (cell_hash, seed) pair is on file and
@@ -34,21 +40,40 @@ namespace leancon {
 
 class campaign_io {
  public:
-  /// One previously recorded cell.
+  /// One previously recorded cell. The declarative fields (label, scenario,
+  /// variant, n, trials, seconds) are best-effort: files written before
+  /// they existed parse with their defaults.
   struct record {
     std::uint64_t hash = 0;
     std::uint64_t seed = 0;
+    std::string label;
+    std::string scenario;
+    std::string variant;
+    std::uint64_t n = 0;
+    std::uint64_t trials = 0;
+    double seconds = 0.0;  ///< 0 unless the writer enabled record_seconds
     cell_metrics metrics;
   };
 
   /// Opens `path` for appending. With resume = true an existing file is
   /// first indexed for skip-completed; with resume = false the file is
-  /// truncated. Throws std::runtime_error when the file cannot be opened.
-  campaign_io(const std::string& path, bool resume = false);
+  /// truncated. With record_seconds = true every emitted line carries the
+  /// cell's wall-clock seconds (see the header comment for the
+  /// determinism trade-off). Throws std::runtime_error when the file
+  /// cannot be opened.
+  campaign_io(const std::string& path, bool resume = false,
+              bool record_seconds = false);
   ~campaign_io();
 
   campaign_io(const campaign_io&) = delete;
   campaign_io& operator=(const campaign_io&) = delete;
+
+  /// Parses every well-formed cell record of a cells file (without opening
+  /// it for writing) — the read side the campaign-level BENCH emitter
+  /// aggregates from. Unparseable lines are counted into *skipped when
+  /// given. Throws std::runtime_error when the file cannot be read.
+  static std::vector<record> read_records(const std::string& path,
+                                          std::size_t* skipped = nullptr);
 
   /// The indexed record for (hash, seed), or null when the cell has not
   /// been recorded (or resume was off).
@@ -67,6 +92,7 @@ class campaign_io {
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
+  bool record_seconds_ = false;
   std::vector<record> records_;
   std::size_t skipped_lines_ = 0;
 };

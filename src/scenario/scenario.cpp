@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "msg/abd_sim.h"
 #include "mutex/fast_mutex.h"
@@ -27,14 +28,57 @@ sim_config measured_base(const scenario_params& p, distribution_ptr noise) {
   return config;
 }
 
-// --- Custom-backend trial adapters -----------------------------------------
-//
-// Each runs one trial of a non-shared-memory engine and maps its outcome
-// onto sim_result so trial_stats aggregation is uniform. Decision, ops,
-// time, and violation fields are mapped faithfully; round fields stay 0
-// where the backend has no lean-round notion.
+/// Wraps a sim_config builder as the unified workload form: the tweak (if
+/// any) applies to the built config, and `extra` lets a preset observe
+/// additional metrics off the raw sim_result (after the core names).
+scenario_spec sim_spec(
+    std::string key, std::string description,
+    std::function<sim_config(const scenario_params&)> build,
+    std::function<void(const sim_result&, trial_outcome&)> extra = nullptr) {
+  scenario_spec spec;
+  spec.key = std::move(key);
+  spec.description = std::move(description);
+  spec.make = [build = std::move(build), extra = std::move(extra)](
+                  const scenario_params& p, const config_tweak& tweak) {
+    sim_config config = build(p);
+    if (tweak) tweak(config);
+    return make_sim_workload(std::move(config), extra);
+  };
+  return spec;
+}
 
-sim_result run_mp_abd_trial(const scenario_params& p, std::uint64_t seed) {
+/// Wraps a native-backend trial function as the unified workload form.
+/// Native backends have no sim_config, so a non-null tweak fails fast
+/// instead of being silently dropped.
+scenario_spec native_spec(
+    std::string key, std::string description,
+    std::function<trial_outcome(const scenario_params&, std::uint64_t)> run) {
+  scenario_spec spec;
+  spec.key = key;
+  spec.description = std::move(description);
+  spec.make = [key = std::move(key), run = std::move(run)](
+                  const scenario_params& p, const config_tweak& tweak) {
+    if (tweak) {
+      throw std::invalid_argument(
+          "scenario \"" + key +
+          "\" runs on a native backend and has no sim_config to tweak; "
+          "drop the tweak or target a shared-memory scenario");
+    }
+    workload w;
+    w.run_trial = [run, p](std::uint64_t seed) { return run(p, seed); };
+    return w;
+  };
+  return spec;
+}
+
+// --- Native-backend workloads ----------------------------------------------
+//
+// Each runs one trial of a non-shared-memory engine and reports the
+// engine's NATIVE metrics (message round-trips, register ops, slow-path
+// contention, quantum preemptions). Lean-round metrics are omitted — the
+// backends have no round notion, and absent is not zero.
+
+trial_outcome run_mp_abd_trial(const scenario_params& p, std::uint64_t seed) {
   mp_config config;
   config.inputs = split_inputs(p.n);
   config.net = figure1_params(make_exponential(1.0));
@@ -42,26 +86,32 @@ sim_result run_mp_abd_trial(const scenario_params& p, std::uint64_t seed) {
   config.seed = seed;
   const mp_result mp = run_message_passing(config);
 
-  sim_result r;
-  r.decision = mp.decision;
-  r.all_live_decided = mp.all_live_decided;
-  r.budget_exhausted = mp.budget_exhausted;
-  r.first_decision_time = mp.first_decision_time;
-  r.total_ops = mp.total_messages;
-  r.processes.resize(mp.processes.size());
-  for (std::size_t i = 0; i < mp.processes.size(); ++i) {
-    const auto& src = mp.processes[i];
-    r.any_decided = r.any_decided || src.decided;
-    r.processes[i].decided = src.decided;
-    r.processes[i].decision = src.decision;
-    r.processes[i].halted = src.crashed;
-    r.processes[i].ops = src.register_ops;
-    if (src.crashed) ++r.halted_processes;
+  trial_outcome out;
+  std::uint64_t register_ops = 0;
+  std::uint64_t crashed = 0;
+  for (const auto& proc : mp.processes) {
+    out.decided = out.decided || proc.decided;
+    register_ops += proc.register_ops;
+    if (proc.crashed) ++crashed;
   }
-  return r;
+
+  auto& m = out.metrics;
+  m.observe("messages", static_cast<double>(mp.total_messages),
+            metric_rollup::mean_and_sum);
+  m.observe("register_ops", static_cast<double>(register_ops));
+  if (register_ops > 0) {
+    // ABD cost of one emulated register operation: two majority exchanges,
+    // so this sits near 4 * (majority size) messages per op.
+    m.observe("msgs_per_reg_op", static_cast<double>(mp.total_messages) /
+                                     static_cast<double>(register_ops));
+  }
+  m.observe("survivors",
+            static_cast<double>(mp.processes.size() - crashed));
+  if (out.decided) m.observe("first_time", mp.first_decision_time);
+  return out;
 }
 
-sim_result run_mutex_trial(const scenario_params& p, std::uint64_t seed) {
+trial_outcome run_mutex_trial(const scenario_params& p, std::uint64_t seed) {
   mutex_config config;
   config.processes = p.n;
   config.entries_per_process = 4;
@@ -69,33 +119,33 @@ sim_result run_mutex_trial(const scenario_params& p, std::uint64_t seed) {
   config.seed = seed;
   const mutex_result mx = run_mutex(config);
 
-  sim_result r;
+  trial_outcome out;
   // "Deciding" here means the workload completed: every process performed
   // all its critical sections.
-  r.any_decided = mx.all_finished;
-  r.all_live_decided = mx.all_finished;
-  r.decision = mx.all_finished ? 0 : -1;
-  r.budget_exhausted = !mx.all_finished;
-  r.first_decision_time = mx.finish_time;
-  r.total_ops = mx.total_ops;
-  if (mx.overlap_violations > 0) {
-    r.violations.push_back("mutex overlap violations: " +
-                           std::to_string(mx.overlap_violations));
+  out.decided = mx.all_finished;
+  out.violation = mx.overlap_violations > 0 || mx.canary_violations > 0;
+
+  auto& m = out.metrics;
+  m.observe("total_ops", static_cast<double>(mx.total_ops),
+            metric_rollup::mean_and_sum);
+  m.observe("entries", static_cast<double>(mx.total_entries));
+  // Contention-window metrics: entries that left Lamport's fast path
+  // observed another process inside the gate-to-release window.
+  m.observe("slow_path_entries",
+            static_cast<double>(mx.total_entries - mx.fast_path_entries));
+  if (mx.total_entries > 0) {
+    m.observe("fast_path_frac", static_cast<double>(mx.fast_path_entries) /
+                                    static_cast<double>(mx.total_entries));
   }
-  if (mx.canary_violations > 0) {
-    r.violations.push_back("mutex canary violations: " +
-                           std::to_string(mx.canary_violations));
+  if (p.n > 0) {
+    m.observe("ops_per_process", static_cast<double>(mx.total_ops) /
+                                     static_cast<double>(p.n));
   }
-  r.processes.resize(mx.ops_per_process.size());
-  for (std::size_t i = 0; i < mx.ops_per_process.size(); ++i) {
-    r.processes[i].decided = mx.all_finished;
-    r.processes[i].decision = r.decision;
-    r.processes[i].ops = mx.ops_per_process[i];
-  }
-  return r;
+  if (mx.all_finished) m.observe("finish_time", mx.finish_time);
+  return out;
 }
 
-sim_result run_hybrid_trial(const scenario_params& p, std::uint64_t seed) {
+trial_outcome run_hybrid_trial(const scenario_params& p, std::uint64_t seed) {
   hybrid_config config;
   config.inputs = split_inputs(p.n);
   // Two priority bands so both preemption rules (higher-priority any time,
@@ -111,20 +161,22 @@ sim_result run_hybrid_trial(const scenario_params& p, std::uint64_t seed) {
   const auto adversary = make_random_preemption(0.3, seed);
   const hybrid_result hy = run_hybrid(config, *adversary);
 
-  sim_result r;
-  r.any_decided = hy.all_decided;
-  r.all_live_decided = hy.all_decided;
-  r.decision = hy.decision;
-  r.budget_exhausted = !hy.all_decided;
-  r.total_ops = hy.total_ops;
-  r.violations = hy.violations;
-  r.processes.resize(hy.ops_per_process.size());
-  for (std::size_t i = 0; i < hy.ops_per_process.size(); ++i) {
-    r.processes[i].decided = hy.all_decided;
-    r.processes[i].decision = hy.decision;
-    r.processes[i].ops = hy.ops_per_process[i];
+  trial_outcome out;
+  out.decided = hy.all_decided;
+  out.violation = !hy.violations.empty();
+
+  auto& m = out.metrics;
+  m.observe("total_ops", static_cast<double>(hy.total_ops),
+            metric_rollup::mean_and_sum);
+  // Theorem 14's headline: max ops any process needs before deciding.
+  m.observe("max_ops", static_cast<double>(hy.max_ops_per_process));
+  m.observe("preemptions", static_cast<double>(hy.preemptions));
+  m.observe("dispatches", static_cast<double>(hy.dispatches));
+  if (p.n > 0) {
+    m.observe("ops_per_process", static_cast<double>(hy.total_ops) /
+                                     static_cast<double>(p.n));
   }
-  return r;
+  return out;
 }
 
 std::vector<scenario_spec> build_registry() {
@@ -132,49 +184,48 @@ std::vector<scenario_spec> build_registry() {
 
   // Figure 1, one scenario per noise family of the paper's Section 9.
   for (const auto& entry : figure1_catalog()) {
-    reg.push_back(
-        {"figure1-" + entry.key,
-         "Figure 1 workload under " + entry.dist->name() + " noise",
-         [dist = entry.dist](const scenario_params& p) {
-           return measured_base(p, dist);
-         }});
+    reg.push_back(sim_spec(
+        "figure1-" + entry.key,
+        "Figure 1 workload under " + entry.dist->name() + " noise",
+        [dist = entry.dist](const scenario_params& p) {
+          return measured_base(p, dist);
+        }));
   }
 
-  reg.push_back(
-      {"crash-heavy",
-       "kill-poised adversary with budget n/2 (Section 10 decapitation)",
-       [](const scenario_params& p) {
-         sim_config config = measured_base(p, make_exponential(1.0));
-         config.crashes = make_kill_poised(p.n / 2);
-         return config;
-       }});
+  reg.push_back(sim_spec(
+      "crash-heavy",
+      "kill-poised adversary with budget n/2 (Section 10 decapitation)",
+      [](const scenario_params& p) {
+        sim_config config = measured_base(p, make_exponential(1.0));
+        config.crashes = make_kill_poised(p.n / 2);
+        return config;
+      }));
 
-  reg.push_back(
-      {"staggered-starts",
-       "rolling start: process i wakes at i * 0.5 (exp(1) noise)",
-       [](const scenario_params& p) {
-         sim_config config = measured_base(p, make_exponential(1.0));
-         config.sched.starts = start_mode::staggered;
-         config.sched.stagger_step = 0.5;
-         return config;
-       }});
+  reg.push_back(sim_spec(
+      "staggered-starts",
+      "rolling start: process i wakes at i * 0.5 (exp(1) noise)",
+      [](const scenario_params& p) {
+        sim_config config = measured_base(p, make_exponential(1.0));
+        config.sched.starts = start_mode::staggered;
+        config.sched.stagger_step = 0.5;
+        return config;
+      }));
 
-  reg.push_back(
-      {"random-starts",
-       "starts uniform over a window of width 0.5 * n (exp(1) noise)",
-       [](const scenario_params& p) {
-         sim_config config = measured_base(p, make_exponential(1.0));
-         config.sched.starts = start_mode::random;
-         config.sched.stagger_step = 0.5;
-         return config;
-       }});
+  reg.push_back(sim_spec(
+      "random-starts",
+      "starts uniform over a window of width 0.5 * n (exp(1) noise)",
+      [](const scenario_params& p) {
+        sim_config config = measured_base(p, make_exponential(1.0));
+        config.sched.starts = start_mode::random;
+        config.sched.stagger_step = 0.5;
+        return config;
+      }));
 
-  reg.push_back(
-      {"heavy-tail",
-       "Pareto(0.5, 1.5) interarrival noise: heavy tail, finite mean",
-       [](const scenario_params& p) {
-         return measured_base(p, make_pareto(0.5, 1.5));
-       }});
+  reg.push_back(sim_spec(
+      "heavy-tail", "Pareto(0.5, 1.5) interarrival noise: heavy tail, finite mean",
+      [](const scenario_params& p) {
+        return measured_base(p, make_pareto(0.5, 1.5));
+      }));
 
   // Combined-protocol cutoff family (Theorem 15): from a punishingly small
   // r_max (backup nearly always runs) to the default Theta(log^2 n).
@@ -189,20 +240,28 @@ std::vector<scenario_spec> build_registry() {
        "combined protocol, default r_max = Theta(log^2 n)", 0},
   };
   for (const auto& c : cutoffs) {
-    reg.push_back({c.key, c.description,
-                   [r_max = c.r_max](const scenario_params& p) {
-                     sim_config config =
-                         measured_base(p, make_exponential(1.0));
-                     config.protocol = protocol_kind::combined;
-                     config.r_max = r_max;
-                     config.stop = stop_mode::all_decided;
-                     return config;
-                   }});
+    reg.push_back(sim_spec(c.key, c.description,
+                           [r_max = c.r_max](const scenario_params& p) {
+                             sim_config config =
+                                 measured_base(p, make_exponential(1.0));
+                             config.protocol = protocol_kind::combined;
+                             config.r_max = r_max;
+                             config.stop = stop_mode::all_decided;
+                             return config;
+                           }));
   }
 
   // Adversary-delay family: Figure 1 noise with a non-trivial oblivious
   // base-delay schedule Delta_ij on top (Theorem 12 claims the O(log n)
-  // bound for ANY such schedule with Delta_ij <= M).
+  // bound for ANY such schedule with Delta_ij <= M). These also observe
+  // "ops_to_first" — the operation count the schedule forces before the
+  // first decision — as an extra adversary-facing metric.
+  const auto adversary_extra = [](const sim_result& r, trial_outcome& out) {
+    if (r.any_decided) {
+      out.metrics.observe("ops_to_first",
+                          static_cast<double>(r.ops_until_first_decision));
+    }
+  };
   const struct {
     const char* key;
     const char* description;
@@ -217,47 +276,36 @@ std::vector<scenario_spec> build_registry() {
        [] { return make_random_bounded_delays(2.0, 0x5eedULL); }},
   };
   for (const auto& d : delays) {
-    reg.push_back({d.key, d.description,
-                   [make = d.make](const scenario_params& p) {
-                     sim_config config =
-                         measured_base(p, make_exponential(1.0));
-                     config.sched.adversary = make();
-                     return config;
-                   }});
+    reg.push_back(sim_spec(d.key, d.description,
+                           [make = d.make](const scenario_params& p) {
+                             sim_config config =
+                                 measured_base(p, make_exponential(1.0));
+                             config.sched.adversary = make();
+                             return config;
+                           },
+                           adversary_extra));
   }
 
-  // Custom-backend presets: these workloads run on their own engines, so
-  // they provide run_one (trial seed -> adapted sim_result) instead of a
-  // sim_config builder.
-  scenario_spec mp;
-  mp.key = "mp-abd";
-  mp.description =
+  // Native-backend presets: these workloads run on their own engines and
+  // report their engines' native metrics (no lean-round metrics — absent,
+  // not zero).
+  reg.push_back(native_spec(
+      "mp-abd",
       "message passing: lean-consensus on ABD-emulated registers, noisy "
-      "per-message delays (rounds read 0; see ops = messages, first_time)";
-  mp.run_one = [](const scenario_params& p, std::uint64_t seed) {
-    return run_mp_abd_trial(p, seed);
-  };
-  reg.push_back(std::move(mp));
+      "per-message delays (native: messages, register_ops, msgs_per_reg_op)",
+      run_mp_abd_trial));
 
-  scenario_spec mutex;
-  mutex.key = "mutex-noise";
-  mutex.description =
+  reg.push_back(native_spec(
+      "mutex-noise",
       "Lamport fast mutex under noisy scheduling, 4 entries/process "
-      "(decided = all finished; rounds read 0, violations must stay 0)";
-  mutex.run_one = [](const scenario_params& p, std::uint64_t seed) {
-    return run_mutex_trial(p, seed);
-  };
-  reg.push_back(std::move(mutex));
+      "(native: entries, slow_path_entries, fast_path_frac, finish_time)",
+      run_mutex_trial));
 
-  scenario_spec hybrid;
-  hybrid.key = "hybrid-quantum";
-  hybrid.description =
+  reg.push_back(native_spec(
+      "hybrid-quantum",
       "hybrid quantum/priority uniprocessor, quantum 8, random preemption "
-      "(Theorem 14: max_ops <= 12; rounds read 0)";
-  hybrid.run_one = [](const scenario_params& p, std::uint64_t seed) {
-    return run_hybrid_trial(p, seed);
-  };
-  reg.push_back(std::move(hybrid));
+      "(Theorem 14: max_ops <= 12; native: preemptions, dispatches)",
+      run_hybrid_trial));
 
   return reg;
 }
@@ -276,35 +324,32 @@ const scenario_spec* find_scenario(const std::string& key) {
   return nullptr;
 }
 
-sim_config make_scenario(const std::string& key,
-                         const scenario_params& params) {
+workload make_workload(const std::string& key, const scenario_params& params,
+                       const config_tweak& tweak) {
   const scenario_spec* spec = find_scenario(key);
   if (spec == nullptr) {
     throw std::invalid_argument("unknown scenario \"" + key +
                                 "\"; known: " + scenario_keys());
   }
-  if (!spec->build) {
-    throw std::invalid_argument(
-        "scenario \"" + key +
-        "\" runs on a custom backend and has no sim_config; use "
-        "run_scenario_trial or the campaign engine");
-  }
-  return spec->build(params);
+  return spec->make(params, tweak);
 }
 
-sim_result run_scenario_trial(const std::string& key,
-                              const scenario_params& params,
-                              std::uint64_t seed) {
-  const scenario_spec* spec = find_scenario(key);
-  if (spec == nullptr) {
-    throw std::invalid_argument("unknown scenario \"" + key +
-                                "\"; known: " + scenario_keys());
+sim_config make_scenario(const std::string& key,
+                         const scenario_params& params) {
+  const workload w = make_workload(key, params);
+  if (!w.config) {
+    throw std::invalid_argument(
+        "scenario \"" + key +
+        "\" runs on a native backend and has no sim_config; use "
+        "make_workload/run_scenario_trial or the campaign engine");
   }
-  if (spec->run_one) return spec->run_one(params, seed);
-  sim_config config = spec->build(params);
-  config.seed = seed;
-  if (config.crashes) config.crashes = config.crashes->clone(seed);
-  return simulate(config);
+  return *w.config;
+}
+
+trial_outcome run_scenario_trial(const std::string& key,
+                                 const scenario_params& params,
+                                 std::uint64_t seed) {
+  return make_workload(key, params).run_trial(seed);
 }
 
 std::string scenario_keys() {

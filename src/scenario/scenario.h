@@ -3,23 +3,26 @@
 // Benches, examples, the sweep driver, and the campaign engine share one
 // registry of workloads — the Figure 1 noise families, failure-heavy
 // regimes, staggered/random starts, heavy-tail noise, the combined-protocol
-// cutoff family, the adversary-delay family, and the custom-backend
-// extensions (message-passing/ABD, mutex under noise, hybrid quantum
+// cutoff family, the adversary-delay family, and the native-backend
+// presets (message-passing/ABD, mutex under noise, hybrid quantum
 // scheduling) — so a new workload is one table entry in scenario.cpp
 // instead of a new binary. Every scenario is a pure function of (n, seed):
-// building the same scenario twice yields identical configs, and the trial
-// executor / campaign engine keep results bit-identical for any thread or
-// pool count on top of that.
+// building the same scenario twice yields identical workloads, and the
+// trial executor / campaign engine keep results bit-identical for any
+// thread or pool count on top of that.
 //
-// Two preset forms exist. Shared-memory presets provide `build`, a
-// sim_config factory consumed by simulate()/trial_executor. Custom-backend
-// presets (whose workload runs on a different engine: the ABD message
-// simulator, the mutex executor, the hybrid uniprocessor runner) provide
-// `run_one`, which executes ONE trial for a given trial seed and adapts the
-// backend's outcome into a sim_result so trial_stats aggregation is
-// uniform. Exactly one of the two is set per spec. Adapted results report
-// decision/ops/time metrics faithfully; lean-round metrics read 0 where the
-// backend has no round notion (noted per preset description).
+// ONE workload form. Each spec exposes `make`, which binds
+// (params, optional sim_config tweak) into a `workload`
+// (sim/runner.h): `run_trial(trial_seed) -> trial_outcome`. Shared-memory
+// presets implement it over simulate() and emit the core metric names
+// documented on trial_stats; native-backend presets (ABD message passing,
+// the mutex executor, the hybrid uniprocessor runner) emit their own
+// native metrics — message round-trips, register ops, slow-path
+// contention, quantum preemptions — and OMIT the lean-round metrics they
+// have no notion of (absent, never zero-filled). A sim_config tweak
+// applies to shared-memory workloads at build time; native backends
+// reject a non-null tweak with std::invalid_argument instead of silently
+// dropping it.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/runner.h"
 #include "sim/simulator.h"
 
 namespace leancon {
@@ -35,21 +39,24 @@ namespace leancon {
 /// the preset itself.
 struct scenario_params {
   std::uint64_t n = 16;    ///< process count
-  std::uint64_t seed = 1;  ///< base seed of the built config
+  std::uint64_t seed = 1;  ///< base seed of the built workload
 };
 
-/// One registry entry: a stable CLI key, a one-line description, and
-/// exactly one of the two workload forms.
+/// Optional per-cell sim_config adjustment (set a halt probability, swap
+/// the adversary, change the stop mode...). Only shared-memory workloads
+/// can honor one; native backends fail fast.
+using config_tweak = std::function<void(sim_config&)>;
+
+/// One registry entry: a stable CLI key, a one-line description, and THE
+/// workload form.
 struct scenario_spec {
   std::string key;
   std::string description;
-  /// Shared-memory form: builds a sim_config for simulate()/trial_executor.
-  /// Null for custom-backend presets.
-  std::function<sim_config(const scenario_params&)> build;
-  /// Custom-backend form: runs one trial with the given trial seed and
-  /// returns the adapted outcome. Null for shared-memory presets. Must be
-  /// safe to call concurrently (trials are independent given their seed).
-  std::function<sim_result(const scenario_params&, std::uint64_t)> run_one;
+  /// Binds params (and an optional tweak) into a runnable workload.
+  /// Shared-memory presets apply the tweak to the built sim_config;
+  /// native-backend presets throw std::invalid_argument on a non-null
+  /// tweak — no silent drops.
+  std::function<workload(const scenario_params&, const config_tweak&)> make;
 };
 
 /// All named presets, in display order. Keys are unique.
@@ -58,20 +65,25 @@ const std::vector<scenario_spec>& scenario_registry();
 /// Looks up a preset by key; nullptr when unknown.
 const scenario_spec* find_scenario(const std::string& key);
 
-/// Builds a shared-memory preset's config directly. Throws
-/// std::invalid_argument on an unknown key (the message lists the known
-/// keys) or on a custom-backend preset (which has no sim_config; run it
-/// through run_scenario_trial or the campaign engine).
+/// Builds any preset's workload. Throws std::invalid_argument on an
+/// unknown key (the message lists the known keys) or on a native-backend
+/// preset with a non-null tweak.
+workload make_workload(const std::string& key, const scenario_params& params,
+                       const config_tweak& tweak = nullptr);
+
+/// Builds a shared-memory preset's sim_config directly (the workload's
+/// bound config). Throws std::invalid_argument on an unknown key or on a
+/// native-backend preset (which has no sim_config; use make_workload /
+/// run_scenario_trial or the campaign engine).
 sim_config make_scenario(const std::string& key,
                          const scenario_params& params);
 
-/// Runs one trial of any preset — shared-memory or custom-backend — with
-/// the given trial seed. For shared-memory presets this is
-/// simulate(build(params) with the seed swapped in); for custom backends it
-/// calls run_one. Throws std::invalid_argument on an unknown key.
-sim_result run_scenario_trial(const std::string& key,
-                              const scenario_params& params,
-                              std::uint64_t seed);
+/// Runs one trial of any preset with the given trial seed:
+/// make_workload(key, params).run_trial(seed). Throws
+/// std::invalid_argument on an unknown key.
+trial_outcome run_scenario_trial(const std::string& key,
+                                 const scenario_params& params,
+                                 std::uint64_t seed);
 
 /// Comma-separated registry keys (for --help output).
 std::string scenario_keys();

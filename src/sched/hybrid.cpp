@@ -182,6 +182,8 @@ hybrid_result run_hybrid(const hybrid_config& config,
       bool ok = false;
       for (int pid : legal) ok = ok || pid == choice;
       if (!ok) throw std::logic_error("preemption adversary made illegal pick");
+      ++result.dispatches;
+      if (running_usable && choice != running) ++result.preemptions;
       running = choice;
       auto& v = view[static_cast<std::size_t>(running)];
       if (!first_dispatch) v.quantum_remaining = config.quantum;

@@ -93,6 +93,12 @@ struct hybrid_result {
   std::vector<std::uint64_t> ops_per_process;
   std::uint64_t max_ops_per_process = 0;
   std::uint64_t total_ops = 0;
+  /// Dispatches that displaced a live running process (the model's native
+  /// cost driver: every preemption restarts the victim's quantum clock).
+  std::uint64_t preemptions = 0;
+  /// All CPU grants, including initial dispatches and takeovers of a
+  /// finished process's CPU.
+  std::uint64_t dispatches = 0;
   std::vector<std::string> violations;  ///< safety-lemma violations (expect none)
 };
 

@@ -1,19 +1,49 @@
 #include "sim/runner.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/trial_executor.h"
 
 namespace leancon {
 
-void trial_stats::record(const sim_config& base, const sim_result& r) {
+void trial_stats::record(const trial_outcome& outcome) {
   ++trials;
-  if (!r.violations.empty()) ++violation_trials;
-  if (r.backup_entries > 0) ++backup_trials;
+  if (outcome.violation) ++violation_trials;
+  if (outcome.backup) ++backup_trials;
+  if (outcome.decided) {
+    ++decided_trials;
+  } else {
+    ++undecided_trials;
+  }
+  metrics.record(outcome.metrics);
+}
+
+void trial_stats::record(const sim_config& base, const sim_result& r) {
+  record(sim_trial_outcome(base, r));
+}
+
+void trial_stats::merge(const trial_stats& other) {
+  trials += other.trials;
+  decided_trials += other.decided_trials;
+  undecided_trials += other.undecided_trials;
+  violation_trials += other.violation_trials;
+  backup_trials += other.backup_trials;
+  metrics.merge(other.metrics);
+}
+
+trial_outcome sim_trial_outcome(const sim_config& base, const sim_result& r) {
+  trial_outcome out;
+  out.decided = r.any_decided;
+  out.violation = !r.violations.empty();
+  out.backup = r.backup_entries > 0;
 
   // Ops-side metrics: every trial counts, decided or not.
-  total_ops.add(static_cast<double>(r.total_ops));
-  survivors.add(static_cast<double>(r.processes.size() - r.halted_processes));
+  auto& m = out.metrics;
+  m.observe("total_ops", static_cast<double>(r.total_ops),
+            metric_rollup::mean_and_sum);
+  m.observe("survivors",
+            static_cast<double>(r.processes.size() - r.halted_processes));
 
   double ops_sum = 0.0;
   std::uint64_t max_ops_seen = 0;
@@ -27,38 +57,39 @@ void trial_stats::record(const sim_config& base, const sim_result& r) {
     switches += p.preference_switches;
   }
   if (live > 0) {
-    ops_per_process.add(ops_sum / static_cast<double>(live));
+    m.observe("ops_per_process", ops_sum / static_cast<double>(live));
   }
-  max_ops.add(static_cast<double>(max_ops_seen));
-  pref_switches.add(static_cast<double>(switches));
+  m.observe("max_ops", static_cast<double>(max_ops_seen));
+  m.observe("pref_switches", static_cast<double>(switches));
 
-  // Decision-side metrics: decided trials only.
-  if (!r.any_decided) {
-    ++undecided_trials;
-    return;
+  // Decision-side metrics: decided trials only — absent otherwise.
+  if (r.any_decided) {
+    m.observe("round", static_cast<double>(r.first_decision_round),
+              metric_rollup::location);
+    m.observe("first_time", r.first_decision_time);
+    if (base.stop == stop_mode::all_decided && r.all_live_decided) {
+      m.observe("last_round", static_cast<double>(r.last_decision_round));
+    }
   }
-  ++decided_trials;
-  first_round.add(static_cast<double>(r.first_decision_round));
-  first_time.add(r.first_decision_time);
-  if (base.stop == stop_mode::all_decided && r.all_live_decided) {
-    last_round.add(static_cast<double>(r.last_decision_round));
-  }
+  return out;
 }
 
-void trial_stats::merge(const trial_stats& other) {
-  trials += other.trials;
-  decided_trials += other.decided_trials;
-  undecided_trials += other.undecided_trials;
-  violation_trials += other.violation_trials;
-  backup_trials += other.backup_trials;
-  first_round.merge(other.first_round);
-  last_round.merge(other.last_round);
-  first_time.merge(other.first_time);
-  ops_per_process.merge(other.ops_per_process);
-  max_ops.merge(other.max_ops);
-  pref_switches.merge(other.pref_switches);
-  total_ops.merge(other.total_ops);
-  survivors.merge(other.survivors);
+workload make_sim_workload(
+    sim_config base,
+    std::function<void(const sim_result&, trial_outcome&)> extra) {
+  auto cfg = std::make_shared<const sim_config>(std::move(base));
+  workload w;
+  w.config = cfg;
+  w.run_trial = [cfg, extra = std::move(extra)](std::uint64_t seed) {
+    sim_config config = *cfg;
+    config.seed = seed;
+    if (cfg->crashes) config.crashes = cfg->crashes->clone(seed);
+    const sim_result r = simulate(config);
+    trial_outcome out = sim_trial_outcome(*cfg, r);
+    if (extra) extra(r, out);
+    return out;
+  };
+  return w;
 }
 
 trial_stats run_trials(const sim_config& base, std::uint64_t trials) {

@@ -1,25 +1,49 @@
-// Multi-trial orchestration: runs `trials` independent simulations (seeds
+// Multi-trial orchestration: runs `trials` independent executions (seeds
 // derived deterministically from the base seed) and aggregates the metrics
 // every experiment reports. The parallel engine lives in
 // sim/trial_executor.h; run_trials below is its single-threaded form.
+//
+// Aggregation is workload-agnostic: each trial reports a `trial_outcome`
+// (stats/metric_set.h) and `trial_stats` folds outcomes generically, so the
+// shared-memory simulator, the ABD message-passing port, the mutex-noise
+// executor, and the hybrid-quantum model all aggregate through one path —
+// each with its own native metrics, none with fabricated zeros.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 #include "sim/simulator.h"
+#include "stats/metric_set.h"
 #include "stats/summary.h"
 
 namespace leancon {
 
-/// Aggregated outcome of a batch of simulated executions.
+/// Aggregated outcome of a batch of trials: the fixed decision counters
+/// plus a metric_set merging every trial's observations.
 ///
-/// Metrics split into two groups. *Ops-side* metrics (`total_ops`,
-/// `ops_per_process`, `max_ops`, `pref_switches`, `survivors`) count EVERY
-/// trial, including budget-exhausted and all-halted ones — dropping them
-/// would bias cost statistics low exactly when the adversary is strongest.
-/// *Decision-side* metrics (`first_round`, `first_time`, `last_round`) count
-/// decided trials only, because an undecided trial has no decision round or
-/// time to report.
+/// Core shared-memory metric names (the contract the committed baselines
+/// pin; see sim_trial_outcome):
+///
+///   name              rollup        when observed
+///   "total_ops"       mean_and_sum  every trial
+///   "survivors"       mean          every trial
+///   "ops_per_process" mean          every trial with a live process
+///   "max_ops"         mean          every trial
+///   "pref_switches"   mean          every trial
+///   "round"           location      decided trials (round of first decision)
+///   "first_time"      mean          decided trials
+///   "last_round"      mean          all_decided runs where everyone decided
+///
+/// *Ops-side* metrics count EVERY trial, including budget-exhausted and
+/// all-halted ones — dropping them would bias cost statistics low exactly
+/// when the adversary is strongest. *Decision-side* metrics ("round",
+/// "first_time", "last_round") are observed on decided trials only, because
+/// an undecided trial has no decision round or time to report — they are
+/// ABSENT (not zero) when nothing decided. Native backends emit their own
+/// names (e.g. "messages", "slow_path_entries", "preemptions") and omit
+/// the round metrics they have no notion of.
 struct trial_stats {
   std::uint64_t trials = 0;
   std::uint64_t decided_trials = 0;     ///< trials where someone decided
@@ -27,23 +51,62 @@ struct trial_stats {
   std::uint64_t violation_trials = 0;   ///< trials with any lemma violation
   std::uint64_t backup_trials = 0;      ///< trials where any process entered
                                         ///< the backup stage
-  summary first_round;       ///< round of first termination (Figure 1 metric)
-  summary last_round;        ///< round of last termination (all_decided mode)
-  summary first_time;        ///< simulated clock of first decision
-  summary ops_per_process;   ///< mean ops per live process, per trial
-  summary max_ops;           ///< max ops over processes, per trial
-  summary pref_switches;     ///< total preference switches, per trial
-  summary total_ops;         ///< total ops until stop, per trial
-  summary survivors;         ///< processes that never halted, per trial
+  metric_set metrics;                   ///< merged per-trial observations
 
-  /// Folds one simulated execution into the aggregate. `base` supplies the
-  /// stop mode (which gates `last_round`).
+  /// Folds one trial into the aggregate: decision counters bump and the
+  /// outcome's observations replay into `metrics` in emission order.
+  void record(const trial_outcome& outcome);
+
+  /// Shared-memory convenience: record(sim_trial_outcome(base, r)).
   void record(const sim_config& base, const sim_result& r);
 
-  /// Folds another aggregate into this one; all summaries merge via
-  /// summary::merge, counters add.
+  /// Folds another aggregate into this one; counters add, metric entries
+  /// merge per-name in index order (see metric_set::merge).
   void merge(const trial_stats& other);
+
+  /// Named views of the core metrics; an empty summary (count 0, NaN
+  /// min/max) when the workload never emitted them.
+  const summary& round() const { return metrics.sample("round"); }
+  const summary& last_round() const { return metrics.sample("last_round"); }
+  const summary& first_time() const { return metrics.sample("first_time"); }
+  const summary& ops_per_process() const {
+    return metrics.sample("ops_per_process");
+  }
+  const summary& max_ops() const { return metrics.sample("max_ops"); }
+  const summary& pref_switches() const {
+    return metrics.sample("pref_switches");
+  }
+  const summary& total_ops() const { return metrics.sample("total_ops"); }
+  const summary& survivors() const { return metrics.sample("survivors"); }
 };
+
+/// Adapts one shared-memory execution into the unified trial_outcome,
+/// emitting the core metric names documented on trial_stats. `base`
+/// supplies the stop mode (which gates "last_round").
+trial_outcome sim_trial_outcome(const sim_config& base, const sim_result& r);
+
+/// A bound workload: one scenario at one (n, seed), ready to run trials.
+/// This is the ONE way every backend executes — the scenario registry
+/// builds workloads, and trial_executor/campaign consume them.
+struct workload {
+  /// Runs one trial with the given trial seed and returns its outcome.
+  /// Must be safe to call concurrently (trials are independent given their
+  /// seed).
+  std::function<trial_outcome(std::uint64_t trial_seed)> run_trial;
+
+  /// The bound sim_config for workloads running on the shared-memory
+  /// simulator (null for native backends). Exposed for introspection and
+  /// config-level tooling; run_trial already has it bound.
+  std::shared_ptr<const sim_config> config;
+};
+
+/// Wraps a sim_config as a workload: each trial copies the config, swaps
+/// the trial seed in, clones any stateful crash adversary, simulates, and
+/// adapts the result via sim_trial_outcome. `extra` (optional) observes
+/// additional metrics from the raw sim_result after the core ones.
+workload make_sim_workload(
+    sim_config base,
+    std::function<void(const sim_result&, trial_outcome&)> extra = nullptr);
 
 /// Runs `trials` simulations of `base` with per-trial seeds
 /// trial_seed(base.seed, trial) — see sim/trial_executor.h for the seed

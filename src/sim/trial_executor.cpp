@@ -55,8 +55,10 @@ sim_config trial_config(const sim_config& base, std::uint64_t trial) {
 trial_executor::trial_executor(executor_options opts)
     : threads_(resolve_threads(opts.threads)), pool_(opts.pool) {}
 
-trial_stats trial_executor::run(const sim_config& base,
-                                std::uint64_t trials) const {
+trial_stats trial_executor::run_batch(
+    std::uint64_t trials,
+    const std::function<trial_outcome(std::uint64_t)>& one_trial,
+    unsigned workers) const {
   trial_stats total;
   if (trials == 0) return total;
 
@@ -66,14 +68,11 @@ trial_stats trial_executor::run(const sim_config& base,
     trial_stats& stats = chunk_stats[c];
     const std::uint64_t end = trial_chunk_begin(trials, c + 1);
     for (std::uint64_t t = trial_chunk_begin(trials, c); t < end; ++t) {
-      stats.record(base, simulate(trial_config(base, t)));
+      stats.record(one_trial(t));
     }
   };
 
-  const unsigned workers =
-      base.event_hook ? 1u
-                      : static_cast<unsigned>(
-                            std::min<std::uint64_t>(threads_, n_chunks));
+  workers = static_cast<unsigned>(std::min<std::uint64_t>(workers, n_chunks));
   if (workers <= 1) {
     for (std::uint64_t c = 0; c < n_chunks; ++c) run_chunk(c);
   } else {
@@ -83,6 +82,29 @@ trial_stats trial_executor::run(const sim_config& base,
 
   for (const auto& chunk : chunk_stats) total.merge(chunk);
   return total;
+}
+
+trial_stats trial_executor::run(const sim_config& base,
+                                std::uint64_t trials) const {
+  return run_batch(
+      trials,
+      [&base](std::uint64_t t) {
+        return sim_trial_outcome(base, simulate(trial_config(base, t)));
+      },
+      base.event_hook ? 1u : threads_);
+}
+
+trial_stats trial_executor::run(const workload& w, std::uint64_t base_seed,
+                                std::uint64_t trials) const {
+  // Hooked sim configs run single-threaded here too: every per-trial copy
+  // shares the hook's captured state.
+  const bool hooked = w.config != nullptr && w.config->event_hook;
+  return run_batch(
+      trials,
+      [&w, base_seed](std::uint64_t t) {
+        return w.run_trial(trial_seed(base_seed, t));
+      },
+      hooked ? 1u : threads_);
 }
 
 }  // namespace leancon

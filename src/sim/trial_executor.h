@@ -80,9 +80,23 @@ class trial_executor {
   /// count.
   trial_stats run(const sim_config& base, std::uint64_t trials) const;
 
+  /// Generic form: runs `trials` trials of any workload (shared-memory or
+  /// native backend) with per-trial seeds trial_seed(base_seed, t), over
+  /// the same chunk grid; bit-identical for any thread count. The
+  /// workload's run_trial must be safe to call concurrently; workloads
+  /// bound to a sim_config with an event_hook run single-threaded (the
+  /// per-trial config copies share the hook's state).
+  trial_stats run(const workload& w, std::uint64_t base_seed,
+                  std::uint64_t trials) const;
+
   unsigned threads() const { return threads_; }
 
  private:
+  trial_stats run_batch(
+      std::uint64_t trials,
+      const std::function<trial_outcome(std::uint64_t)>& one_trial,
+      unsigned workers) const;
+
   unsigned threads_;
   worker_pool* pool_;
 };

@@ -1,0 +1,91 @@
+#include "stats/metric_set.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace leancon {
+
+namespace {
+
+[[noreturn]] void kind_mismatch(const std::string& name, bool is_counter) {
+  throw std::logic_error("metric_set: \"" + name + "\" is already a " +
+                         (is_counter ? "sample metric" : "counter") +
+                         " and cannot change kind");
+}
+
+}  // namespace
+
+metric_set::entry& metric_set::upsert(const std::string& name,
+                                      bool is_counter, metric_rollup rollup) {
+  for (auto& e : entries_) {
+    if (e.name == name) {
+      if (e.is_counter != is_counter) kind_mismatch(name, is_counter);
+      return e;
+    }
+  }
+  entry e;
+  e.name = name;
+  e.is_counter = is_counter;
+  e.rollup = rollup;
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+metric_set& metric_set::count(const std::string& name, double delta) {
+  upsert(name, true, metric_rollup::mean).total += delta;
+  return *this;
+}
+
+metric_set& metric_set::observe(const std::string& name, double x,
+                                metric_rollup rollup) {
+  upsert(name, false, rollup).stats.add(x);
+  return *this;
+}
+
+void metric_set::record(const metric_set& one) {
+  for (const auto& e : one.entries_) {
+    if (e.is_counter) {
+      count(e.name, e.total);
+      continue;
+    }
+    if (e.stats.samples().size() != e.stats.count()) {
+      throw std::logic_error("metric_set::record: sample metric \"" + e.name +
+                             "\" lacks retained samples to replay");
+    }
+    entry& mine = upsert(e.name, false, e.rollup);
+    for (const double x : e.stats.samples()) mine.stats.add(x);
+  }
+}
+
+void metric_set::merge(const metric_set& other) {
+  for (const auto& e : other.entries_) {
+    entry& mine = upsert(e.name, e.is_counter, e.rollup);
+    if (e.is_counter) {
+      mine.total += e.total;
+    } else {
+      mine.stats.merge(e.stats);
+    }
+  }
+}
+
+const metric_set::entry* metric_set::find(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const summary& metric_set::sample(const std::string& name) const {
+  static const summary empty;
+  const entry* e = find(name);
+  return (e == nullptr || e->is_counter) ? empty : e->stats;
+}
+
+double metric_set::counter_total(const std::string& name) const {
+  const entry* e = find(name);
+  return (e == nullptr || !e->is_counter)
+             ? std::numeric_limits<double>::quiet_NaN()
+             : e->total;
+}
+
+}  // namespace leancon

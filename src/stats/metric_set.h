@@ -1,0 +1,110 @@
+// Extensible named metrics: the aggregation currency of the unified
+// workload API.
+//
+// Every workload — the shared-memory lean-consensus simulator, the ABD
+// message-passing port, the mutex-under-noise executor, the hybrid-quantum
+// uniprocessor — reports each trial as a `trial_outcome`: a small fixed
+// decision record plus a `metric_set` of NAMED metrics. A backend emits the
+// metrics it actually has (message round-trips, CAS-window contention,
+// quantum preemptions, lean rounds...) and simply omits the ones it does
+// not; nothing is ever zero-filled. Absent metrics stay absent end to end:
+// they render `-` in tables and are omitted from (or `null` in) JSON.
+//
+// Two metric kinds:
+//   * counters — additive doubles (merge = sum), reported by name;
+//   * samples  — per-trial observations aggregated into a `summary`, each
+//     carrying a `metric_rollup` that says which derived values a report
+//     extracts (mean only, full location/spread, or mean + sum).
+//
+// Determinism contract (shared with trial_executor/campaign): folding is
+// index-ordered. `record` replays a trial's observations with summary::add
+// in emission order — bit-identical to accumulating the trial directly —
+// and `merge` combines per-name in this set's entry order with new names
+// appended in the other's order. Merging chunk aggregates in a fixed chunk
+// order therefore yields bit-identical results for any pool size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace leancon {
+
+/// Which derived values a sample metric contributes to a per-cell report
+/// (see default_cell_metrics in exp/campaign.h for the exact names).
+enum class metric_rollup : std::uint8_t {
+  mean,          ///< mean_<name>
+  location,      ///< mean_<name>, <name>_ci95, _p50, _p95, _min, _max
+  mean_and_sum,  ///< mean_<name>, <name>_sum
+};
+
+/// Ordered, named counters and sample summaries. Entry order is
+/// first-insertion order and is preserved by record/merge (new names
+/// append), so reports and emitted files are deterministic.
+class metric_set {
+ public:
+  struct entry {
+    std::string name;
+    bool is_counter = false;
+    metric_rollup rollup = metric_rollup::mean;
+    double total = 0.0;  ///< counter accumulator (unused for samples)
+    summary stats;       ///< sample accumulator (unused for counters)
+  };
+
+  /// Adds `delta` to the named counter (created at 0 on first use).
+  /// Returns *this for chaining.
+  metric_set& count(const std::string& name, double delta);
+
+  /// Adds one observation to the named sample metric. The rollup is fixed
+  /// by the first observation; later calls ignore the argument.
+  /// Returns *this for chaining.
+  metric_set& observe(const std::string& name, double x,
+                      metric_rollup rollup = metric_rollup::mean);
+
+  /// Folds one trial's metric_set into this aggregate: counters add, and
+  /// every sample observation is replayed through summary::add in emission
+  /// order — bit-identical to having observed the trial here directly.
+  /// Throws std::logic_error when `one` holds a sample metric without
+  /// retained samples (nothing to replay) or a name changes kind.
+  void record(const metric_set& one);
+
+  /// Folds another aggregate into this one: counters add, summaries merge
+  /// via summary::merge (Chan combine). Per-name combination happens in
+  /// this set's entry order; names new to this set append in `other`'s
+  /// order. Throws std::logic_error when a name changes kind.
+  void merge(const metric_set& other);
+
+  /// Entry by name; nullptr when absent.
+  const entry* find(const std::string& name) const;
+
+  /// The named sample summary; a shared empty summary when the name is
+  /// absent or names a counter (so absent metrics read count() == 0 and
+  /// NaN min/max, never fabricated zeros).
+  const summary& sample(const std::string& name) const;
+
+  /// The named counter total; NaN when absent (absent != zero).
+  double counter_total(const std::string& name) const;
+
+  const std::vector<entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  entry& upsert(const std::string& name, bool is_counter,
+                metric_rollup rollup);
+
+  std::vector<entry> entries_;
+};
+
+/// One trial under the unified workload API: the fixed decision record
+/// every aggregator understands, plus the workload's named metrics.
+struct trial_outcome {
+  bool decided = false;    ///< the trial's success notion (someone decided,
+                           ///< the workload completed, ...)
+  bool violation = false;  ///< any safety violation observed
+  bool backup = false;     ///< any process entered a backup stage
+  metric_set metrics;      ///< this trial's observations
+};
+
+}  // namespace leancon

@@ -93,4 +93,42 @@ std::string table::to_string() const {
 
 void table::print() const { std::fputs(to_string().c_str(), stdout); }
 
+metric_table::metric_table(std::vector<std::string> lead_headers)
+    : lead_headers_(std::move(lead_headers)) {}
+
+void metric_table::begin_row(std::vector<std::string> lead) {
+  rows_.push_back({std::move(lead), {}});
+}
+
+void metric_table::set(const std::string& metric, double value,
+                       int precision) {
+  std::size_t column = metric_names_.size();
+  for (std::size_t c = 0; c < metric_names_.size(); ++c) {
+    if (metric_names_[c] == metric) {
+      column = c;
+      break;
+    }
+  }
+  if (column == metric_names_.size()) metric_names_.push_back(metric);
+  rows_.back().cells.emplace_back(column, format_double(value, precision));
+}
+
+table metric_table::build() const {
+  std::vector<std::string> headers = lead_headers_;
+  headers.insert(headers.end(), metric_names_.begin(), metric_names_.end());
+  table tbl(std::move(headers));
+  for (const auto& r : rows_) {
+    tbl.begin_row();
+    for (const auto& lead : r.lead) tbl.cell(lead);
+    std::vector<std::string> values(metric_names_.size(), "-");
+    for (const auto& [column, text] : r.cells) values[column] = text;
+    for (const auto& value : values) tbl.cell(value);
+  }
+  return tbl;
+}
+
+std::string metric_table::to_string() const { return build().to_string(); }
+
+void metric_table::print() const { build().print(); }
+
 }  // namespace leancon

@@ -2,7 +2,9 @@
 // paper-style rows (and by EXPERIMENTS.md generation).
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace leancon {
@@ -33,5 +35,37 @@ class table {
 
 /// Formats a double with fixed precision (helper shared with benches).
 std::string format_double(double value, int precision = 3);
+
+/// Table whose value columns are discovered dynamically: fixed lead
+/// columns (labels, n, ...) followed by the union of metric names set
+/// across all rows, in first-appearance order. Rows that never set a
+/// metric render `-` in its column — built for workloads whose metric
+/// sets differ (a shared-memory cell has round metrics, an ABD cell has
+/// message metrics; one table shows both without fabricating zeros).
+class metric_table {
+ public:
+  explicit metric_table(std::vector<std::string> lead_headers);
+
+  /// Starts a new row with the given lead cells.
+  void begin_row(std::vector<std::string> lead);
+
+  /// Sets a metric on the current row (creating its column on first use
+  /// anywhere). Non-finite values render as `-`.
+  void set(const std::string& metric, double value, int precision = 3);
+
+  /// Renders into a fixed table (lead headers + discovered metric columns).
+  table build() const;
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> lead_headers_;
+  std::vector<std::string> metric_names_;  ///< column order
+  struct row {
+    std::vector<std::string> lead;
+    std::vector<std::pair<std::size_t, std::string>> cells;  ///< (column, text)
+  };
+  std::vector<row> rows_;
+};
 
 }  // namespace leancon

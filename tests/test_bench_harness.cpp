@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "exp/campaign_io.h"
+
 namespace leancon::bench {
 namespace {
 
@@ -202,6 +204,80 @@ TEST(Validator, RejectsSchemaViolations) {
   for (const char* doc : bad) {
     EXPECT_NE(validate_bench_json(doc), std::nullopt) << doc;
   }
+}
+
+TEST(CampaignBench, AggregatesCellsFilesIntoValidBenchJson) {
+  // Run a mixed shared-memory/native grid streaming into two cells files
+  // (with per-cell seconds recorded), then aggregate both through the
+  // campaign-level BENCH emitter.
+  const std::string path_a = testing::TempDir() + "campaign_bench_a.jsonl";
+  const std::string path_b = testing::TempDir() + "campaign_bench_b.jsonl";
+  campaign_grid grid;
+  grid.scenarios = {"figure1-exp1", "mp-abd"};
+  grid.ns = {4, 8};
+  grid.trials = 12;
+  grid.seed = 3;
+  {
+    campaign_io io(path_a, false, /*record_seconds=*/true);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(grid, opts);
+  }
+  campaign_grid grid_b = grid;
+  grid_b.scenarios = {"mutex-noise"};
+  grid_b.seed = 4;
+  {
+    campaign_io io(path_b, false, /*record_seconds=*/true);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(grid_b, opts);
+  }
+
+  const results res = campaign_bench("unit_campaign", {path_a, path_b});
+  EXPECT_EQ(res.bench, "unit_campaign");
+  // One series per scenario group, points at each n.
+  ASSERT_EQ(res.series_list.size(), 3u);
+  EXPECT_EQ(res.series_list[0].name, "figure1-exp1");
+  EXPECT_EQ(res.series_list[1].name, "mp-abd");
+  EXPECT_EQ(res.series_list[2].name, "mutex-noise");
+  for (const auto& ser : res.series_list) {
+    ASSERT_EQ(ser.points.size(), 2u) << ser.name;
+    EXPECT_EQ(ser.points[0].x, 4.0) << ser.name;
+    EXPECT_EQ(ser.points[1].x, 8.0) << ser.name;
+  }
+  // Shared-memory points carry round metrics; native points carry their
+  // native metrics and NO round metrics at all.
+  const auto has_metric = [](const point& pt, const std::string& name) {
+    for (const auto& [key, value] : pt.metrics) {
+      if (key == name) return true;
+      (void)value;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_metric(res.series_list[0].points[0], "mean_round"));
+  EXPECT_FALSE(has_metric(res.series_list[1].points[0], "mean_round"));
+  EXPECT_TRUE(has_metric(res.series_list[1].points[0], "mean_messages"));
+  EXPECT_TRUE(
+      has_metric(res.series_list[2].points[0], "mean_slow_path_entries"));
+
+  // Counters: cells, roll-ups, per-cell seconds.
+  const auto counter = [&res](const std::string& name) {
+    for (const auto& [key, value] : res.counters) {
+      if (key == name) return value;
+    }
+    return std::nan("");
+  };
+  EXPECT_EQ(counter("cells"), 6.0);
+  EXPECT_EQ(counter("trials_total"), 72.0);
+  EXPECT_GT(counter("sim_ops"), 0.0);  // figure1 + mutex total_ops_sum
+  EXPECT_GT(counter("cell_seconds_total"), 0.0);
+  EXPECT_GT(counter("cell_seconds/figure1-exp1/n=4"), 0.0);
+  EXPECT_EQ(counter("skipped_lines"), 0.0);
+
+  // The aggregate lands in the existing BENCH validator flow.
+  const std::string text = to_json(res);
+  EXPECT_EQ(validate_bench_json(text), std::nullopt)
+      << *validate_bench_json(text);
 }
 
 TEST(Validator, CommittedFig1BaselineValidates) {

@@ -1,11 +1,15 @@
-// Tests for the campaign engine: grid expansion, pool-size/cap/scheduling
-// bit-identity, ordered streaming, resume/skip-completed, custom-backend
-// cells, and the acceptance pin — the Figure 1 smoke grid run through the
-// campaign engine reproduces the committed BENCH baseline exactly.
+// Tests for the campaign engine: grid expansion (incl. per-cell trial
+// counts), pool-size/cap/scheduling bit-identity (with native metrics
+// present), ordered streaming, resume/skip-completed, native-backend
+// cells (native metrics end-to-end, no fabricated round metrics, tweak
+// fail-fast), and the acceptance pin — the Figure 1 smoke grid run
+// through the campaign engine reproduces the committed BENCH baseline
+// exactly.
 #include "exp/campaign.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -206,7 +210,7 @@ TEST(Campaign, TweakAndVariantDefineDistinctCells) {
   EXPECT_LT(results[1].metrics.get("mean_survivors"), 8.0);
 }
 
-TEST(Campaign, CustomBackendCellsRunAndAggregate) {
+TEST(Campaign, NativeBackendCellsReportNativeMetricsAndNoFabricatedRounds) {
   campaign_grid grid;
   grid.scenarios = {"mp-abd", "mutex-noise", "hybrid-quantum"};
   grid.ns = {4};
@@ -222,14 +226,112 @@ TEST(Campaign, CustomBackendCellsRunAndAggregate) {
     EXPECT_EQ(r.metrics.get("trials"), 10.0) << r.cell.label();
     EXPECT_EQ(r.metrics.get("decided"), 10.0) << r.cell.label();
     EXPECT_EQ(r.metrics.get("violations"), 0.0) << r.cell.label();
-    EXPECT_GT(r.metrics.get("mean_total_ops"), 0.0) << r.cell.label();
+    // Native backends have no lean-round notion: every round metric is
+    // ABSENT from the extraction (NaN reads), never a fabricated zero.
+    for (const char* name : {"mean_round", "round_ci95", "round_p50",
+                             "round_p95", "round_min", "round_max",
+                             "mean_last_round"}) {
+      EXPECT_TRUE(std::isnan(r.metrics.get(name)))
+          << r.cell.label() << " " << name;
+    }
   }
+  // Each backend's native metrics flow through the extraction.
+  EXPECT_GT(results[0].metrics.get("mean_messages"), 0.0);
+  EXPECT_GT(results[0].metrics.get("messages_sum"), 0.0);
+  EXPECT_GT(results[0].metrics.get("mean_msgs_per_reg_op"), 2.0);
+  EXPECT_GT(results[1].metrics.get("mean_entries"), 0.0);
+  EXPECT_GE(results[1].metrics.get("mean_slow_path_entries"), 0.0);
+  EXPECT_GT(results[1].metrics.get("mean_total_ops"), 0.0);
+  EXPECT_GE(results[2].metrics.get("mean_preemptions"), 0.0);
+  EXPECT_LE(results[2].metrics.get("mean_max_ops"), 12.0);  // Theorem 14
 
-  // Determinism holds for custom backends too.
+  // Determinism holds for native backends too.
   const auto again = run_campaign(grid, opts);
   for (std::size_t i = 0; i < results.size(); ++i) {
     expect_same_metrics(results[i].metrics, again[i].metrics,
                         results[i].cell.label());
+  }
+}
+
+TEST(Campaign, NativeGridIsBitIdenticalAcrossPoolSizes) {
+  // Satellite of the unified-workload contract: pool-size bit-identity
+  // must hold with backend-native metrics present, not just for the
+  // shared-memory names.
+  campaign_grid grid;
+  grid.scenarios = {"mp-abd", "mutex-noise", "hybrid-quantum",
+                    "figure1-exp1"};
+  grid.ns = {4, 8};
+  grid.trials = 24;
+  grid.seed = 29;
+  const auto cells = grid.expand();
+
+  worker_pool pool1(1);
+  campaign_options base_opts;
+  base_opts.threads = 1;
+  base_opts.pool = &pool1;
+  const auto reference = run_campaign(cells, base_opts);
+  for (const unsigned size : {2u, 4u, 8u}) {
+    worker_pool pool(size);
+    campaign_options opts;
+    opts.threads = size;
+    opts.pool = &pool;
+    const auto got = run_campaign(cells, opts);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_same_metrics(reference[i].metrics, got[i].metrics,
+                          "pool " + std::to_string(size) + " cell " +
+                              got[i].cell.label());
+    }
+  }
+}
+
+TEST(Campaign, NativeBackendCellWithTweakFailsFastBeforeRunning) {
+  // A sim_config tweak cannot apply to a native backend; the campaign
+  // must reject it up front (no silent drop, no work scheduled).
+  std::vector<campaign_cell> cells = small_grid();
+  campaign_cell bad;
+  bad.scenario = "mp-abd";
+  bad.params.n = 4;
+  bad.trials = 5;
+  bad.variant = "tweaked";
+  bad.tweak = [](sim_config& config) { config.sched.halt_probability = 0.5; };
+  cells.push_back(bad);
+
+  bool ran = false;
+  campaign_options opts;
+  opts.on_cell = [&](const cell_result&) { ran = true; };
+  try {
+    run_campaign(cells, opts);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mp-abd"), std::string::npos);
+    EXPECT_NE(what.find("tweak"), std::string::npos);
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(CampaignGrid, TrialsForScalesPerCellWithStableSeeds) {
+  campaign_grid grid;
+  grid.scenarios = {"figure1-exp1", "mp-abd"};
+  grid.ns = {4, 64, 1024};
+  grid.trials = 100;
+  grid.seed = 5;
+  const auto flat = grid.expand();
+
+  // Op-budget style: down-weight large n.
+  grid.trials_for = [](const std::string&, std::uint64_t n) {
+    return std::max<std::uint64_t>(2, 4096 / n);
+  };
+  const auto budgeted = grid.expand();
+  ASSERT_EQ(budgeted.size(), flat.size());
+  for (std::size_t i = 0; i < budgeted.size(); ++i) {
+    EXPECT_EQ(budgeted[i].trials,
+              std::max<std::uint64_t>(2, 4096 / budgeted[i].params.n));
+    // The seed depends only on the grid shape, never on the trial
+    // schedule: resume keys of unchanged cells stay stable.
+    EXPECT_EQ(budgeted[i].params.seed, flat[i].params.seed) << i;
+    EXPECT_EQ(budgeted[i].scenario, flat[i].scenario) << i;
   }
 }
 
@@ -322,6 +424,47 @@ TEST(CampaignIo, PartialFileRerunsOnlyMissingCells) {
   // The re-run cells were appended; resume again finds everything.
   campaign_io io2(path, true);
   EXPECT_EQ(io2.loaded(), cells.size());
+}
+
+TEST(CampaignIo, RecordSecondsIsOptInAndRoundTrips) {
+  const auto cells = small_grid();
+  const std::string path = testing::TempDir() + "cells_seconds.jsonl";
+  {
+    campaign_io io(path, false, /*record_seconds=*/true);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(cells, opts);
+  }
+  std::size_t skipped = 0;
+  const auto records = campaign_io::read_records(path, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(records.size(), cells.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].label, cells[i].label()) << i;
+    EXPECT_EQ(records[i].scenario, cells[i].scenario) << i;
+    EXPECT_EQ(records[i].n, cells[i].params.n) << i;
+    EXPECT_EQ(records[i].trials, cells[i].trials) << i;
+    EXPECT_EQ(records[i].seed, cells[i].params.seed) << i;
+    EXPECT_GT(records[i].seconds, 0.0) << i;
+  }
+
+  // The default (seconds off) keeps the historical line shape.
+  const std::string plain_path = testing::TempDir() + "cells_noseconds.jsonl";
+  {
+    campaign_io io(plain_path, false);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(cells, opts);
+  }
+  const std::string plain = read_file(plain_path);
+  EXPECT_EQ(plain.find("\"seconds\""), std::string::npos);
+  // Resume works on a seconds-carrying file exactly as on a plain one.
+  campaign_io io(path, true, true);
+  EXPECT_EQ(io.loaded(), cells.size());
+  campaign_options opts;
+  opts.io = &io;
+  const auto resumed = run_campaign(cells, opts);
+  for (const auto& r : resumed) EXPECT_TRUE(r.resumed);
 }
 
 TEST(CampaignIo, ChangedConfigDoesNotMatchOldRecords) {

@@ -1,0 +1,228 @@
+// Tests for the unified workload API's aggregation currency: metric_set
+// counters/samples, record-vs-direct bit-identity, index-ordered merge
+// properties vs single-pass accumulation, and absent-vs-zero semantics
+// (absent metrics read NaN/empty, render "-" in tables, and are omitted
+// from JSON — never fabricated zeros).
+#include "stats/metric_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+#include "exp/campaign_io.h"
+#include "sim/runner.h"
+#include "util/table.h"
+
+namespace leancon {
+namespace {
+
+void expect_bit_identical(const summary& a, const summary& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.count(), b.count()) << what;
+  if (a.count() > 0) {
+    EXPECT_EQ(a.mean(), b.mean()) << what;
+    EXPECT_EQ(a.variance(), b.variance()) << what;
+    EXPECT_EQ(a.min(), b.min()) << what;
+    EXPECT_EQ(a.max(), b.max()) << what;
+  }
+  EXPECT_EQ(a.samples(), b.samples()) << what;
+}
+
+TEST(MetricSet, CountersAccumulateAndMergeByName) {
+  metric_set a;
+  a.count("retries", 2).count("retries", 3).count("drops", 1);
+  EXPECT_EQ(a.counter_total("retries"), 5.0);
+  EXPECT_EQ(a.counter_total("drops"), 1.0);
+
+  metric_set b;
+  b.count("drops", 4).count("new_counter", 7);
+  a.merge(b);
+  EXPECT_EQ(a.counter_total("retries"), 5.0);
+  EXPECT_EQ(a.counter_total("drops"), 5.0);
+  EXPECT_EQ(a.counter_total("new_counter"), 7.0);
+  // Entry order: a's entries stay in place, b's new names append.
+  ASSERT_EQ(a.entries().size(), 3u);
+  EXPECT_EQ(a.entries()[0].name, "retries");
+  EXPECT_EQ(a.entries()[1].name, "drops");
+  EXPECT_EQ(a.entries()[2].name, "new_counter");
+}
+
+TEST(MetricSet, ObservePreservesInsertionOrderAndRollup) {
+  metric_set m;
+  m.observe("round", 3.0, metric_rollup::location);
+  m.observe("ops", 12.0, metric_rollup::mean_and_sum);
+  m.observe("round", 5.0);  // rollup fixed by the first observation
+  ASSERT_EQ(m.entries().size(), 2u);
+  EXPECT_EQ(m.entries()[0].name, "round");
+  EXPECT_EQ(m.entries()[0].rollup, metric_rollup::location);
+  EXPECT_EQ(m.entries()[1].rollup, metric_rollup::mean_and_sum);
+  EXPECT_EQ(m.sample("round").count(), 2u);
+  EXPECT_EQ(m.sample("round").min(), 3.0);
+}
+
+TEST(MetricSet, RecordReplaysTrialsBitIdenticallyToDirectObservation) {
+  // Aggregating per-trial metric_sets via record() must be BIT-identical
+  // to observing every value on one set directly — the property that lets
+  // trial_stats wrap metric_set without moving any committed baseline.
+  metric_set direct;
+  metric_set recorded;
+  std::uint64_t state = 88172645463325252ULL;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state % 10000) / 100.0;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    metric_set one;
+    const double x = next();
+    one.observe("cost", x, metric_rollup::location);
+    direct.observe("cost", x, metric_rollup::location);
+    if (trial % 3 == 0) {  // a metric only some trials emit
+      const double y = next();
+      one.observe("sparse", y);
+      direct.observe("sparse", y);
+    }
+    one.count("ops", 2.0);
+    direct.count("ops", 2.0);
+    recorded.record(one);
+  }
+  ASSERT_EQ(recorded.entries().size(), direct.entries().size());
+  expect_bit_identical(recorded.sample("cost"), direct.sample("cost"), "cost");
+  expect_bit_identical(recorded.sample("sparse"), direct.sample("sparse"),
+                       "sparse");
+  EXPECT_EQ(recorded.counter_total("ops"), direct.counter_total("ops"));
+}
+
+TEST(MetricSet, IndexOrderedMergeIsDeterministicVsSinglePass) {
+  // The executor/campaign contract: chunk the trials any way, accumulate
+  // each chunk with record(), fold the chunks IN INDEX ORDER — count,
+  // min, max, and retained samples match single-pass accumulation
+  // exactly; mean/variance agree to floating-point grouping error; and
+  // re-folding the same chunks is bit-identical.
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) {
+    xs.push_back(std::sin(static_cast<double>(i)) * 50.0 + 50.0);
+  }
+  metric_set single;
+  for (const double x : xs) single.observe("cost", x);
+
+  for (const std::size_t n_chunks : {1u, 2u, 5u, 16u}) {
+    std::vector<metric_set> chunks(n_chunks);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      chunks[i * n_chunks / xs.size()].observe("cost", xs[i]);
+    }
+    metric_set folded;
+    for (const auto& chunk : chunks) folded.merge(chunk);
+    metric_set folded_again;
+    for (const auto& chunk : chunks) folded_again.merge(chunk);
+
+    const summary& f = folded.sample("cost");
+    const summary& s = single.sample("cost");
+    EXPECT_EQ(f.count(), s.count());
+    EXPECT_EQ(f.min(), s.min());
+    EXPECT_EQ(f.max(), s.max());
+    EXPECT_EQ(f.samples(), s.samples());
+    EXPECT_NEAR(f.mean(), s.mean(), 1e-9);
+    EXPECT_NEAR(f.variance(), s.variance(), 1e-9);
+    expect_bit_identical(f, folded_again.sample("cost"),
+                         "refold " + std::to_string(n_chunks));
+  }
+}
+
+TEST(MetricSet, KindChangesThrow) {
+  metric_set m;
+  m.count("x", 1.0);
+  EXPECT_THROW(m.observe("x", 2.0), std::logic_error);
+  metric_set other;
+  other.observe("x", 2.0);
+  EXPECT_THROW(m.merge(other), std::logic_error);
+  EXPECT_THROW(m.record(other), std::logic_error);
+}
+
+TEST(MetricSet, AbsentIsNotZero) {
+  metric_set m;
+  m.observe("present", 3.0);
+  EXPECT_EQ(m.find("absent"), nullptr);
+  EXPECT_EQ(m.sample("absent").count(), 0u);
+  EXPECT_TRUE(std::isnan(m.sample("absent").min()));
+  EXPECT_TRUE(std::isnan(m.counter_total("absent")));
+  // sample() of a counter name is also the empty summary, not a zero one.
+  m.count("c", 9.0);
+  EXPECT_EQ(m.sample("c").count(), 0u);
+}
+
+// --- Absent-vs-zero semantics through the reporting stack -------------------
+
+TEST(MetricSet, AbsentMetricsAreAbsentInCellMetricsTablesAndJson) {
+  // A native-style outcome with no round metrics, aggregated and extracted.
+  trial_stats stats;
+  trial_outcome out;
+  out.decided = true;
+  out.metrics.observe("messages", 120.0, metric_rollup::mean_and_sum);
+  stats.record(out);
+
+  const cell_metrics m = default_cell_metrics(stats);
+  // Native metric present...
+  EXPECT_EQ(m.get("mean_messages"), 120.0);
+  EXPECT_EQ(m.get("messages_sum"), 120.0);
+  // ...round metrics absent (NaN reads), not zero.
+  EXPECT_TRUE(std::isnan(m.get("mean_round")));
+  EXPECT_TRUE(std::isnan(m.get("round_p95")));
+  for (const auto& [name, value] : m.values) {
+    EXPECT_EQ(name.find("round"), std::string::npos) << name;
+    (void)value;
+  }
+
+  // Tables render the absent value as "-" (both via NaN cells and via
+  // columns the row never set).
+  {
+    table tbl({"cell", "mean_round"});
+    tbl.begin_row();
+    tbl.cell(std::string("mp-abd/n=4"));
+    tbl.cell(m.get("mean_round"), 2);
+    EXPECT_NE(tbl.to_string().find(" - "), std::string::npos);
+  }
+  {
+    metric_table tbl({"cell"});
+    tbl.begin_row({"mp-abd/n=4"});
+    tbl.set("mean_messages", m.get("mean_messages"), 1);
+    tbl.begin_row({"figure1/n=4"});
+    tbl.set("mean_round", 3.5, 1);
+    const std::string text = tbl.to_string();
+    EXPECT_NE(text.find("mean_messages"), std::string::npos);
+    EXPECT_NE(text.find("mean_round"), std::string::npos);
+    EXPECT_NE(text.find("-"), std::string::npos);
+  }
+
+  // The campaign_io line omits absent metrics entirely (no "mean_round"
+  // key, no null placeholder for it).
+  const std::string path = testing::TempDir() + "metricset_absent.jsonl";
+  {
+    campaign_io io(path, false);
+    cell_result r;
+    r.cell.scenario = "mp-abd";
+    r.cell.params.n = 4;
+    r.cell.trials = 1;
+    r.metrics = m;
+    io.emit(r);
+  }
+  const auto records = campaign_io::read_records(path);
+  ASSERT_EQ(records.size(), 1u);
+  bool has_round = false;
+  for (const auto& [name, value] : records[0].metrics.values) {
+    has_round = has_round || name == "mean_round";
+    (void)value;
+  }
+  EXPECT_FALSE(has_round);
+  EXPECT_EQ(records[0].metrics.get("mean_messages"), 120.0);
+  EXPECT_TRUE(std::isnan(records[0].metrics.get("mean_round")));
+}
+
+}  // namespace
+}  // namespace leancon

@@ -22,43 +22,43 @@ TEST(Runner, AggregatesAllTrials) {
   EXPECT_EQ(stats.decided_trials, 25u);
   EXPECT_EQ(stats.undecided_trials, 0u);
   EXPECT_EQ(stats.violation_trials, 0u);
-  EXPECT_EQ(stats.first_round.count(), 25u);
+  EXPECT_EQ(stats.round().count(), 25u);
 }
 
 TEST(Runner, FirstRoundAtLeastTwo) {
   const auto stats = run_trials(base_config(4, 2), 20);
-  EXPECT_GE(stats.first_round.min(), 2.0);
+  EXPECT_GE(stats.round().min(), 2.0);
 }
 
 TEST(Runner, TrialsUseDistinctSeeds) {
   // With one process the outcome is deterministic (always 8 ops), but with
   // several processes total op counts should vary across trials.
   const auto stats = run_trials(base_config(16, 3), 20);
-  EXPECT_GT(stats.total_ops.max(), stats.total_ops.min());
+  EXPECT_GT(stats.total_ops().max(), stats.total_ops().min());
 }
 
 TEST(Runner, ReproducibleAcrossCalls) {
   const auto a = run_trials(base_config(8, 7), 10);
   const auto b = run_trials(base_config(8, 7), 10);
-  EXPECT_DOUBLE_EQ(a.first_round.mean(), b.first_round.mean());
-  EXPECT_DOUBLE_EQ(a.total_ops.mean(), b.total_ops.mean());
+  EXPECT_DOUBLE_EQ(a.round().mean(), b.round().mean());
+  EXPECT_DOUBLE_EQ(a.total_ops().mean(), b.total_ops().mean());
 }
 
 TEST(Runner, LastRoundWithinOneOfFirst) {
   const auto stats = run_trials(base_config(8, 9), 25);
-  ASSERT_EQ(stats.last_round.count(), 25u);
+  ASSERT_EQ(stats.last_round().count(), 25u);
   // Lemma 4b, aggregated: last <= first + 1 in every trial, so the means
   // must satisfy the same bound.
-  EXPECT_LE(stats.last_round.mean(), stats.first_round.mean() + 1.0);
-  EXPECT_GE(stats.last_round.mean(), stats.first_round.mean());
+  EXPECT_LE(stats.last_round().mean(), stats.round().mean() + 1.0);
+  EXPECT_GE(stats.last_round().mean(), stats.round().mean());
 }
 
 TEST(Runner, FirstDecisionStopModeSkipsLastRound) {
   auto config = base_config(8, 11);
   config.stop = stop_mode::first_decision;
   const auto stats = run_trials(config, 10);
-  EXPECT_EQ(stats.last_round.count(), 0u);
-  EXPECT_EQ(stats.first_round.count(), 10u);
+  EXPECT_EQ(stats.last_round().count(), 0u);
+  EXPECT_EQ(stats.round().count(), 10u);
 }
 
 TEST(Runner, CertainFailureCountsUndecided) {
@@ -76,14 +76,14 @@ TEST(Runner, UndecidedTrialsStillCountOpsMetrics) {
   auto config = base_config(4, 13);
   config.sched.halt_probability = 1.0;  // nobody ever decides
   const auto stats = run_trials(config, 5);
-  EXPECT_EQ(stats.total_ops.count(), 5u);
-  EXPECT_EQ(stats.max_ops.count(), 5u);
-  EXPECT_EQ(stats.pref_switches.count(), 5u);
-  EXPECT_EQ(stats.survivors.count(), 5u);
-  EXPECT_DOUBLE_EQ(stats.survivors.max(), 0.0);  // everyone halts
-  EXPECT_EQ(stats.first_round.count(), 0u);
-  EXPECT_EQ(stats.first_time.count(), 0u);
-  EXPECT_EQ(stats.last_round.count(), 0u);
+  EXPECT_EQ(stats.total_ops().count(), 5u);
+  EXPECT_EQ(stats.max_ops().count(), 5u);
+  EXPECT_EQ(stats.pref_switches().count(), 5u);
+  EXPECT_EQ(stats.survivors().count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.survivors().max(), 0.0);  // everyone halts
+  EXPECT_EQ(stats.round().count(), 0u);
+  EXPECT_EQ(stats.first_time().count(), 0u);
+  EXPECT_EQ(stats.last_round().count(), 0u);
 }
 
 TEST(Runner, SeedDerivationFollowsTheSplitmixContract) {
@@ -91,13 +91,13 @@ TEST(Runner, SeedDerivationFollowsTheSplitmixContract) {
   // trial_seed(base.seed, 0..k-1).
   const auto config = base_config(8, 29);
   const auto stats = run_trials(config, 3);
-  ASSERT_EQ(stats.first_round.samples().size(), 3u);
+  ASSERT_EQ(stats.round().samples().size(), 3u);
   for (std::uint64_t t = 0; t < 3; ++t) {
     sim_config manual = config;
     manual.seed = trial_seed(config.seed, t);
     const auto r = simulate(manual);
     EXPECT_EQ(static_cast<double>(r.first_decision_round),
-              stats.first_round.samples()[t])
+              stats.round().samples()[t])
         << "trial " << t;
   }
 }
@@ -121,17 +121,17 @@ TEST(Runner, Theorem12ShapeHoldsInMiniature) {
   large.stop = stop_mode::first_decision;
   const auto s = run_trials(small, 300);
   const auto l = run_trials(large, 300);
-  EXPECT_GT(l.first_round.mean(), s.first_round.mean());
-  EXPECT_LT(l.first_round.mean(), 10.0)
+  EXPECT_GT(l.round().mean(), s.round().mean());
+  EXPECT_LT(l.round().mean(), 10.0)
       << "64 processes should settle within a handful of rounds";
-  EXPECT_GE(s.first_round.mean(), 2.0);
+  EXPECT_GE(s.round().mean(), 2.0);
 }
 
 TEST(Runner, OpsMetricsArePlausible) {
   const auto stats = run_trials(base_config(8, 19), 10);
   // Every live process performs at least 8 ops (two rounds minimum).
-  EXPECT_GE(stats.ops_per_process.min(), 8.0);
-  EXPECT_GE(stats.max_ops.min(), stats.ops_per_process.min());
+  EXPECT_GE(stats.ops_per_process().min(), 8.0);
+  EXPECT_GE(stats.max_ops().min(), stats.ops_per_process().min());
 }
 
 }  // namespace

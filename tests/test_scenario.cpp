@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "sim/trial_executor.h"
@@ -9,16 +10,23 @@
 namespace leancon {
 namespace {
 
-TEST(Scenario, RegistryHasUniqueNonEmptyKeys) {
+const char* const kNativeKeys[] = {"mp-abd", "mutex-noise", "hybrid-quantum"};
+
+bool is_native(const std::string& key) {
+  return !make_workload(key, {}).config;
+}
+
+TEST(Scenario, RegistryHasUniqueNonEmptyKeysAndOneWorkloadForm) {
   const auto& registry = scenario_registry();
   ASSERT_GE(registry.size(), 16u);  // figure-1 + extras + PR 3 families
   std::set<std::string> keys;
   for (const auto& spec : registry) {
     EXPECT_FALSE(spec.key.empty());
     EXPECT_FALSE(spec.description.empty());
-    // Exactly one workload form per spec.
-    EXPECT_NE(static_cast<bool>(spec.build), static_cast<bool>(spec.run_one))
-        << spec.key;
+    // THE workload form: every spec makes a runnable workload.
+    ASSERT_TRUE(static_cast<bool>(spec.make)) << spec.key;
+    const workload w = spec.make({}, nullptr);
+    EXPECT_TRUE(static_cast<bool>(w.run_trial)) << spec.key;
     EXPECT_TRUE(keys.insert(spec.key).second) << "duplicate " << spec.key;
   }
   // The four families ROADMAP listed as missing are now presets.
@@ -101,80 +109,181 @@ TEST(Scenario, StartModesDifferFromTheDitheredDefault) {
             start_mode::dithered);
 }
 
-TEST(Scenario, EveryBuildScenarioRunsOnTheExecutor) {
+TEST(Scenario, TweakAppliesToSharedMemoryWorkloadsAtBuildTime) {
+  scenario_params params;
+  params.n = 4;
+  params.seed = 5;
+  const workload w = make_workload(
+      "figure1-exp1", params,
+      [](sim_config& config) { config.sched.halt_probability = 1.0; });
+  ASSERT_TRUE(static_cast<bool>(w.config));
+  EXPECT_EQ(w.config->sched.halt_probability, 1.0);
+  // Everyone halts before deciding, so the trial reports undecided and
+  // carries no round metrics.
+  const trial_outcome out = w.run_trial(7);
+  EXPECT_FALSE(out.decided);
+  EXPECT_EQ(out.metrics.find("round"), nullptr);
+}
+
+TEST(Scenario, EverySharedMemoryScenarioRunsOnTheExecutor) {
   executor_options opts;
   opts.threads = 2;
   const trial_executor exec(opts);
   for (const auto& spec : scenario_registry()) {
-    if (!spec.build) continue;
     scenario_params params;
     params.n = 4;
     params.seed = 5;
-    sim_config config = spec.build(params);
+    const workload w = spec.make(params, nullptr);
+    if (!w.config) continue;  // native backends covered below
+    sim_config config = *w.config;
     config.max_total_ops = 200000;  // keep adversarial cells bounded
     const auto stats = exec.run(config, 3);
     EXPECT_EQ(stats.trials, 3u) << spec.key;
-    EXPECT_EQ(stats.total_ops.count(), 3u) << spec.key;
+    EXPECT_EQ(stats.total_ops().count(), 3u) << spec.key;
   }
 }
 
-TEST(Scenario, EveryScenarioRunsOneTrial) {
+TEST(Scenario, EveryScenarioRunsOneTrialThroughTheUnifiedForm) {
   for (const auto& spec : scenario_registry()) {
     scenario_params params;
     params.n = 4;
     params.seed = 9;
-    const sim_result r = run_scenario_trial(spec.key, params, 1234567);
-    EXPECT_GT(r.total_ops, 0u) << spec.key;
-    EXPECT_TRUE(r.violations.empty()) << spec.key;
+    const trial_outcome out = run_scenario_trial(spec.key, params, 1234567);
+    EXPECT_FALSE(out.violation) << spec.key;
+    EXPECT_FALSE(out.metrics.empty()) << spec.key;
+    // Every workload reports at least one cost metric with one observation.
+    bool any_sample = false;
+    for (const auto& e : out.metrics.entries()) {
+      any_sample = any_sample || (!e.is_counter && e.stats.count() > 0);
+    }
+    EXPECT_TRUE(any_sample) << spec.key;
   }
 }
 
-TEST(Scenario, AdversaryDelayFamilyCarriesAnAdversary) {
+TEST(Scenario, ExecutorRunsNativeWorkloads) {
+  executor_options opts;
+  opts.threads = 2;
+  const trial_executor exec(opts);
+  for (const char* key : kNativeKeys) {
+    scenario_params params;
+    params.n = 4;
+    params.seed = 31;
+    const workload w = make_workload(key, params);
+    const auto stats = exec.run(w, params.seed, 6);
+    EXPECT_EQ(stats.trials, 6u) << key;
+    EXPECT_EQ(stats.decided_trials, 6u) << key;
+    // Native workloads have no lean-round notion: the metric is ABSENT,
+    // not zero.
+    EXPECT_EQ(stats.round().count(), 0u) << key;
+    EXPECT_EQ(stats.metrics.find("round"), nullptr) << key;
+  }
+}
+
+TEST(Scenario, AdversaryDelayFamilyCarriesAnAdversaryAndExtraMetric) {
   for (const char* key : {"adv-pack", "adv-burst", "adv-random"}) {
     scenario_params params;
     params.n = 8;
     const sim_config config = make_scenario(key, params);
     ASSERT_NE(config.sched.adversary, nullptr) << key;
     EXPECT_GT(config.sched.adversary->bound(), 0.0) << key;
+    // The family's extra metric: operations the schedule forced before the
+    // first decision.
+    const trial_outcome out = run_scenario_trial(key, params, 99);
+    ASSERT_TRUE(out.decided) << key;
+    EXPECT_GT(out.metrics.sample("ops_to_first").count(), 0u) << key;
   }
   EXPECT_EQ(make_scenario("figure1-exp1", {}).sched.adversary, nullptr);
 }
 
-TEST(Scenario, CustomBackendPresetsHaveNoSimConfig) {
-  for (const char* key : {"mp-abd", "mutex-noise", "hybrid-quantum"}) {
+TEST(Scenario, NativeBackendPresetsHaveNoSimConfig) {
+  for (const char* key : kNativeKeys) {
+    EXPECT_TRUE(is_native(key)) << key;
     try {
       make_scenario(key, {});
       FAIL() << key << ": expected std::invalid_argument";
     } catch (const std::invalid_argument& e) {
-      EXPECT_NE(std::string(e.what()).find("custom backend"),
+      EXPECT_NE(std::string(e.what()).find("native backend"),
                 std::string::npos)
           << key;
     }
   }
 }
 
-TEST(Scenario, CustomBackendTrialsDecideAndAreDeterministic) {
-  for (const char* key : {"mp-abd", "mutex-noise", "hybrid-quantum"}) {
+TEST(Scenario, NativeBackendPresetsRejectTweaksLoudly) {
+  // A sim_config tweak cannot apply to a native backend; it must fail
+  // fast, not be silently dropped.
+  for (const char* key : kNativeKeys) {
+    try {
+      make_workload(key, {}, [](sim_config&) {});
+      FAIL() << key << ": expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(key), std::string::npos) << key;
+      EXPECT_NE(what.find("tweak"), std::string::npos) << key;
+    }
+  }
+  // Shared-memory presets accept a tweak (and a null tweak is fine
+  // everywhere).
+  EXPECT_NO_THROW(make_workload("figure1-exp1", {}, [](sim_config&) {}));
+  for (const char* key : kNativeKeys) {
+    EXPECT_NO_THROW(make_workload(key, {}, nullptr)) << key;
+  }
+}
+
+TEST(Scenario, NativeBackendsEmitNativeMetrics) {
+  scenario_params params;
+  params.n = 4;
+  params.seed = 21;
+
+  const trial_outcome mp = run_scenario_trial("mp-abd", params, 42);
+  EXPECT_TRUE(mp.decided);
+  EXPECT_GT(mp.metrics.sample("messages").mean(), 0.0);
+  EXPECT_GT(mp.metrics.sample("register_ops").mean(), 0.0);
+  // ABD: each emulated op is two majority exchanges, so several messages
+  // per register operation.
+  EXPECT_GT(mp.metrics.sample("msgs_per_reg_op").mean(), 2.0);
+
+  const trial_outcome mx = run_scenario_trial("mutex-noise", params, 42);
+  EXPECT_TRUE(mx.decided);
+  EXPECT_FALSE(mx.violation);
+  EXPECT_EQ(mx.metrics.sample("entries").mean(), 4.0 * params.n);
+  EXPECT_GT(mx.metrics.sample("fast_path_frac").count(), 0u);
+  EXPECT_GT(mx.metrics.sample("finish_time").mean(), 0.0);
+
+  const trial_outcome hy = run_scenario_trial("hybrid-quantum", params, 42);
+  EXPECT_TRUE(hy.decided);
+  EXPECT_GT(hy.metrics.sample("dispatches").mean(), 0.0);
+  EXPECT_GT(hy.metrics.sample("preemptions").count(), 0u);
+}
+
+TEST(Scenario, NativeBackendTrialsDecideAndAreDeterministic) {
+  for (const char* key : kNativeKeys) {
     scenario_params params;
     params.n = 4;
     params.seed = 21;
-    const sim_result a = run_scenario_trial(key, params, 42);
-    const sim_result b = run_scenario_trial(key, params, 42);
-    EXPECT_TRUE(a.any_decided) << key;
-    EXPECT_TRUE(a.all_live_decided) << key;
-    EXPECT_EQ(a.total_ops, b.total_ops) << key;
-    EXPECT_EQ(a.decision, b.decision) << key;
-    EXPECT_EQ(a.first_decision_time, b.first_decision_time) << key;
-    ASSERT_EQ(a.processes.size(), 4u) << key;
+    const workload w = make_workload(key, params);
+    const trial_outcome a = w.run_trial(42);
+    const trial_outcome b = w.run_trial(42);
+    EXPECT_TRUE(a.decided) << key;
+    ASSERT_EQ(a.metrics.entries().size(), b.metrics.entries().size()) << key;
+    for (std::size_t i = 0; i < a.metrics.entries().size(); ++i) {
+      const auto& ea = a.metrics.entries()[i];
+      const auto& eb = b.metrics.entries()[i];
+      EXPECT_EQ(ea.name, eb.name) << key;
+      EXPECT_EQ(ea.stats.samples(), eb.stats.samples())
+          << key << " " << ea.name;
+    }
     // Noise-driven backends vary with the seed (hybrid-quantum legitimately
     // does not have to: the protocol is deterministic and preemption only
     // moves op counts when it hits the pre-write window).
     if (std::string(key) == "hybrid-quantum") continue;
+    const std::string cost = std::string(key) == "mp-abd" ? "messages"
+                                                          : "total_ops";
     bool any_differs = false;
     for (std::uint64_t seed = 43; seed < 59 && !any_differs; ++seed) {
-      const sim_result c = run_scenario_trial(key, params, seed);
-      any_differs = c.total_ops != a.total_ops ||
-                    c.first_decision_time != a.first_decision_time;
+      const trial_outcome c = w.run_trial(seed);
+      any_differs =
+          c.metrics.sample(cost).mean() != a.metrics.sample(cost).mean();
     }
     EXPECT_TRUE(any_differs) << key;
   }
@@ -183,14 +292,15 @@ TEST(Scenario, CustomBackendTrialsDecideAndAreDeterministic) {
 TEST(Scenario, HybridQuantumRespectsTheoremFourteenBound) {
   // Theorem 14: quantum >= 8 bounds every process at 12 operations, for any
   // legal preemption schedule — including the preset's random adversary.
+  // max_ops is the native metric carrying the bound.
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     scenario_params params;
     params.n = 6;
-    const sim_result r = run_scenario_trial("hybrid-quantum", params, seed);
-    EXPECT_TRUE(r.any_decided);
-    for (const auto& p : r.processes) {
-      EXPECT_LE(p.ops, 12u) << "seed " << seed;
-    }
+    const trial_outcome out =
+        run_scenario_trial("hybrid-quantum", params, seed);
+    EXPECT_TRUE(out.decided);
+    ASSERT_EQ(out.metrics.sample("max_ops").count(), 1u);
+    EXPECT_LE(out.metrics.sample("max_ops").mean(), 12.0) << "seed " << seed;
   }
 }
 
@@ -202,8 +312,8 @@ TEST(Scenario, BuildingTwiceIsDeterministic) {
     const auto a = run_trials(make_scenario(key, params), 10);
     const auto b = run_trials(make_scenario(key, params), 10);
     EXPECT_EQ(a.decided_trials, b.decided_trials) << key;
-    EXPECT_EQ(a.first_round.samples(), b.first_round.samples()) << key;
-    EXPECT_EQ(a.total_ops.samples(), b.total_ops.samples()) << key;
+    EXPECT_EQ(a.round().samples(), b.round().samples()) << key;
+    EXPECT_EQ(a.total_ops().samples(), b.total_ops().samples()) << key;
   }
 }
 

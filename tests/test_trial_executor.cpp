@@ -47,15 +47,21 @@ void expect_bit_identical(const trial_stats& a, const trial_stats& b) {
   EXPECT_EQ(a.undecided_trials, b.undecided_trials);
   EXPECT_EQ(a.violation_trials, b.violation_trials);
   EXPECT_EQ(a.backup_trials, b.backup_trials);
-  expect_bit_identical(a.first_round, b.first_round, "first_round");
-  expect_bit_identical(a.last_round, b.last_round, "last_round");
-  expect_bit_identical(a.first_time, b.first_time, "first_time");
-  expect_bit_identical(a.ops_per_process, b.ops_per_process,
-                       "ops_per_process");
-  expect_bit_identical(a.max_ops, b.max_ops, "max_ops");
-  expect_bit_identical(a.pref_switches, b.pref_switches, "pref_switches");
-  expect_bit_identical(a.total_ops, b.total_ops, "total_ops");
-  expect_bit_identical(a.survivors, b.survivors, "survivors");
+  // The whole metric set — entry names, kinds, ORDER, and every summary —
+  // must match bit-for-bit.
+  ASSERT_EQ(a.metrics.entries().size(), b.metrics.entries().size());
+  for (std::size_t i = 0; i < a.metrics.entries().size(); ++i) {
+    const auto& ea = a.metrics.entries()[i];
+    const auto& eb = b.metrics.entries()[i];
+    EXPECT_EQ(ea.name, eb.name) << "entry " << i;
+    EXPECT_EQ(ea.is_counter, eb.is_counter) << ea.name;
+    EXPECT_EQ(ea.rollup, eb.rollup) << ea.name;
+    if (ea.is_counter) {
+      EXPECT_EQ(ea.total, eb.total) << ea.name;
+    } else {
+      expect_bit_identical(ea.stats, eb.stats, ea.name);
+    }
+  }
 }
 
 TEST(TrialExecutor, ThreadCountsProduceBitIdenticalStats) {
@@ -113,9 +119,20 @@ TEST(TrialExecutor, NearbyBaseSeedsDoNotShareTrialSeeds) {
 TEST(TrialExecutor, ZeroTrialsIsEmpty) {
   const auto stats = run_with_threads(base_config(4, 1), 0, 4);
   EXPECT_EQ(stats.trials, 0u);
-  EXPECT_EQ(stats.first_round.count(), 0u);
-  EXPECT_TRUE(std::isnan(stats.first_round.min()));
-  EXPECT_TRUE(std::isnan(stats.total_ops.max()));
+  EXPECT_EQ(stats.round().count(), 0u);
+  EXPECT_TRUE(std::isnan(stats.round().min()));
+  EXPECT_TRUE(std::isnan(stats.total_ops().max()));
+}
+
+TEST(TrialExecutor, WorkloadFormMatchesSimConfigForm) {
+  // The generic workload overload and the sim_config overload are the same
+  // computation: same chunk grid, same per-trial seeds, same outcomes.
+  const auto config = base_config(8, 17);
+  const workload w = make_sim_workload(config);
+  executor_options opts;
+  opts.threads = 4;
+  const trial_executor exec(opts);
+  expect_bit_identical(exec.run(config, 40), exec.run(w, config.seed, 40));
 }
 
 TEST(TrialExecutor, HardwareConcurrencyResolves) {
@@ -151,8 +168,26 @@ TEST(TrialExecutor, EventHookConfigsStillAggregateEverything) {
   const auto plain = run_with_threads(base_config(8, 13), 25, 8);
   expect_bit_identical(with_hook, plain);
   double op_sum = 0.0;
-  for (const double ops : with_hook.total_ops.samples()) op_sum += ops;
+  for (const double ops : with_hook.total_ops().samples()) op_sum += ops;
   EXPECT_EQ(static_cast<double>(observed), op_sum);
+}
+
+TEST(TrialExecutor, WorkloadFormRunsHookedConfigsSingleThreaded) {
+  // The workload overload honors the event_hook rule too: the per-trial
+  // config copies share the hook's captured state, so a parallel run
+  // would race on it.
+  auto hooked = base_config(8, 13);
+  std::uint64_t observed = 0;
+  hooked.event_hook = [&observed](const trace_event&) { ++observed; };
+  executor_options opts;
+  opts.threads = 8;
+  const auto stats =
+      trial_executor(opts).run(make_sim_workload(hooked), hooked.seed, 25);
+  EXPECT_GT(observed, 0u);
+  double op_sum = 0.0;
+  for (const double ops : stats.total_ops().samples()) op_sum += ops;
+  EXPECT_EQ(static_cast<double>(observed), op_sum);
+  expect_bit_identical(stats, run_with_threads(base_config(8, 13), 25, 8));
 }
 
 }  // namespace
