@@ -1,22 +1,40 @@
-// Campaign-level BENCH emitter: aggregates one or more campaign cells
-// files (the JSON-lines streams written by --cells across benches, sweep
-// runs, processes, or hosts) into a single BENCH json plus one dynamic
-// metric table, so multi-file campaigns land in the existing
-// baseline/validator flow.
+// Campaign-level BENCH emitter: merges one or more campaign cells files
+// (the JSON-lines streams written by --cells across benches, sweep runs,
+// campaign_worker shards, processes, or hosts) into a single BENCH json
+// plus one dynamic metric table, so multi-file campaigns land in the
+// existing baseline/validator flow.
 //
-//   ./campaign_report --cells=a.jsonl,b.jsonl --name=my_campaign \
-//                     --json=BENCH_my_campaign.json
+//   ./campaign_report --cells=shard0.jsonl,shard1.jsonl,shard2.jsonl \
+//                     --name=my_campaign --json=BENCH_my_campaign.json \
+//                     --merged=all.jsonl --effect=round:decided
 //
-// Every metric recorded in the cells files flows through untouched —
-// backend-native metrics (messages, slow_path_entries, preemptions, ...)
-// included — and metrics a workload never emitted stay absent: `-` in the
-// table, omitted from the per-point JSON.
+// The inputs are MERGED, not concatenated (campaign_io::merge_files):
+// records order by their campaign position ("index"), duplicate cells
+// (identical bytes, e.g. overlapping resume files) are dropped and counted,
+// and the same key with DIFFERING bytes is a hard error naming the cell and
+// files — so k shard files aggregate to the same BENCH series as the
+// single-process campaign's file, and --merged writes that reassembled
+// stream (byte-identical to the single-process file) for archival or
+// further resume. Every metric recorded in the cells files flows through
+// untouched — backend-native metrics included — and metrics a workload
+// never emitted stay absent: `-` in the table, omitted from the per-point
+// JSON.
+//
+// --effect=<metric>[:<count-column>] adds a pairwise effect-size summary
+// (Cohen's d and the normal overlap coefficient, stats/effect_size.h) for
+// a location-rollup metric: every pair of series is compared at each
+// common n from the recorded mean_<metric> / <metric>_ci95 columns, with
+// the observation count read from <count-column> (default "trials"; pass
+// e.g. "round:decided" for decided-only metrics).
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "exp/campaign_cli.h"
 #include "exp/campaign_io.h"
 #include "harness.h"
+#include "stats/effect_size.h"
 #include "util/options.h"
 #include "util/table.h"
 
@@ -24,17 +42,66 @@ using namespace leancon;
 
 namespace {
 
-std::vector<std::string> split_paths(const std::string& list) {
-  std::vector<std::string> paths;
-  std::size_t start = 0;
-  while (start <= list.size()) {
-    const std::size_t comma = list.find(',', start);
-    const std::size_t end = comma == std::string::npos ? list.size() : comma;
-    if (end > start) paths.push_back(list.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
+/// Value of a named metric at a series point; NaN when absent.
+double point_metric(const bench::point& pt, const std::string& name) {
+  for (const auto& [key, value] : pt.metrics) {
+    if (key == name) return value;
   }
-  return paths;
+  return std::nan("");
+}
+
+/// Appends the pairwise effect-size series and table for `metric` (counts
+/// read from the `count_col` column of each point).
+void report_effect(bench::results& res, const std::string& metric,
+                   const std::string& count_col, bool print_table) {
+  const std::string mean_col = "mean_" + metric;
+  const std::string ci_col = metric + "_ci95";
+  table tbl({"pair", "n", "mean A", "mean B", "cohens_d", "overlap"});
+  std::vector<bench::series> effects;
+  const std::size_t groups = res.series_list.size();
+  for (std::size_t a = 0; a < groups; ++a) {
+    for (std::size_t b = a + 1; b < groups; ++b) {
+      const auto& sa = res.series_list[a];
+      const auto& sb = res.series_list[b];
+      bench::series eff;
+      eff.run = "effect";
+      eff.name = metric + ": " + sa.name + " vs " + sb.name;
+      for (const auto& pa : sa.points) {
+        for (const auto& pb : sb.points) {
+          if (pa.x != pb.x) continue;
+          const double mean_a = point_metric(pa, mean_col);
+          const double mean_b = point_metric(pb, mean_col);
+          const double count_a = point_metric(pa, count_col);
+          const double count_b = point_metric(pb, count_col);
+          if (!std::isfinite(mean_a) || !std::isfinite(mean_b) ||
+              !std::isfinite(count_a) || !std::isfinite(count_b)) {
+            continue;  // a group that never emitted the metric
+          }
+          const effect_size e = cohens_d_from_ci95(
+              mean_a, point_metric(pa, ci_col),
+              static_cast<std::uint64_t>(count_a), mean_b,
+              point_metric(pb, ci_col), static_cast<std::uint64_t>(count_b));
+          eff.at(pa.x).set("cohens_d", e.cohens_d).set("overlap", e.overlap);
+          if (print_table) {
+            tbl.begin_row();
+            tbl.cell(sa.name + " vs " + sb.name);
+            tbl.cell(pa.x, 0);
+            tbl.cell(mean_a, 3);
+            tbl.cell(mean_b, 3);
+            tbl.cell(e.cohens_d, 3);
+            tbl.cell(e.overlap, 3);
+          }
+        }
+      }
+      if (!eff.points.empty()) effects.push_back(std::move(eff));
+    }
+  }
+  if (print_table && !effects.empty()) {
+    std::printf("\neffect sizes for \"%s\" (counts from \"%s\"):\n\n",
+                metric.c_str(), count_col.c_str());
+    tbl.print();
+  }
+  for (auto& eff : effects) res.series_list.push_back(std::move(eff));
 }
 
 }  // namespace
@@ -42,25 +109,54 @@ std::vector<std::string> split_paths(const std::string& list) {
 int main(int argc, char** argv) {
   options opts;
   opts.add("cells", "",
-           "comma-separated campaign cells files (JSON-lines) to aggregate");
+           "comma-separated campaign cells files (JSON-lines) to merge");
   opts.add("name", "campaign_report", "bench name for the emitted json");
   opts.add("json", "", "write aggregated results as BENCH json to this path");
+  opts.add("merged", "",
+           "write the merged cells stream (canonical order, duplicates "
+           "dropped) to this JSON-lines path");
+  opts.add("effect", "",
+           "location-rollup metric for a pairwise Cohen's-d/overlap "
+           "summary, as <metric>[:<count-column>] (e.g. round:decided)");
   opts.add("table", "true", "print the per-cell metric table");
   if (!opts.parse(argc, argv)) return 1;
 
-  const auto paths = split_paths(opts.get("cells"));
+  const auto paths = split_list(opts.get("cells"));
   if (paths.empty()) {
     std::fprintf(stderr, "campaign_report: --cells is required\n");
     return 1;
   }
 
-  bench::results res;
+  // One merge serves both outputs: the reassembled cells stream and the
+  // BENCH aggregation.
+  campaign_io::merged_cells merged;
   try {
-    res = bench::campaign_bench(opts.get("name"), paths);
+    merged = campaign_io::merge_files(paths);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign_report: %s\n", e.what());
     return 1;
   }
+
+  const std::string merged_path = opts.get("merged");
+  if (!merged_path.empty()) {
+    std::FILE* out = std::fopen(merged_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "campaign_report: cannot open %s\n",
+                   merged_path.c_str());
+      return 1;
+    }
+    for (const auto& line : merged.lines) {
+      std::fputs(line.c_str(), out);
+      std::fputc('\n', out);
+    }
+    std::fclose(out);
+    std::printf("merged %zu cell(s) (%zu duplicate(s) dropped, %zu line(s) "
+                "skipped) into %s\n",
+                merged.lines.size(), merged.duplicate_cells,
+                merged.skipped_lines, merged_path.c_str());
+  }
+
+  bench::results res = bench::campaign_bench(opts.get("name"), merged);
   res.params = opts.flag_values();
 
   if (opts.get_bool("table")) {
@@ -74,6 +170,21 @@ int main(int argc, char** argv) {
       }
     }
     tbl.print();
+  }
+
+  const std::string effect = opts.get("effect");
+  if (!effect.empty()) {
+    const std::size_t colon = effect.find(':');
+    const std::string metric =
+        colon == std::string::npos ? effect : effect.substr(0, colon);
+    const std::string count_col =
+        colon == std::string::npos ? "trials" : effect.substr(colon + 1);
+    if (metric.empty() || count_col.empty()) {
+      std::fprintf(stderr, "campaign_report: --effect expects "
+                           "<metric>[:<count-column>]\n");
+      return 1;
+    }
+    report_effect(res, metric, count_col, opts.get_bool("table"));
   }
 
   const std::string json_path = opts.get("json");

@@ -1,0 +1,124 @@
+// Shard worker for distributed campaigns: runs ONE shard of a declarative
+// scenario grid to its own cells file, so a grid can be split across
+// processes or hosts and reassembled exactly.
+//
+//   # host A                                           # host B
+//   ./campaign_worker --scenarios=mp-abd --ns=4,8,16 \
+//       --trials=200 --shard=0/2 --cells=shard0.jsonl  # ... --shard=1/2 ...
+//   # anywhere, afterwards:
+//   ./campaign_report --cells=shard0.jsonl,shard1.jsonl --merged=all.jsonl
+//
+// Every worker expands the SAME full grid (identical --scenarios/--ns/
+// --trials/--op-budget/--seed on every shard), keeps the cells
+// shard_of(cell, k) == i assigns to it, and runs them as a normal campaign
+// — streaming, resume, and the worker pool all behave as in a
+// single-process run. Because cell seeds and ordinals come from the full
+// grid, the shard's lines are byte-identical to the lines the
+// single-process campaign would write for those cells, and
+// campaign_io::merge_files reassembles the k files into that exact stream
+// (asserted for k in {1,2,3,5} by tests/test_invariant_fuzz.cpp). Leave
+// --cell-seconds off for byte-reproducible files.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+#include "exp/campaign_cli.h"
+#include "exp/campaign_io.h"
+#include "exp/campaign_shard.h"
+#include "exp/worker_pool.h"
+#include "scenario/scenario.h"
+#include "sim/trial_executor.h"
+#include "util/options.h"
+
+using namespace leancon;
+
+int main(int argc, char** argv) {
+  options opts;
+  // The full-grid flags are shared with examples/sweep (campaign_cli.h):
+  // every shard must pass identical values for the files to merge.
+  add_grid_flags(opts);
+  opts.add("shard", "0/1",
+           "the shard this worker runs, as i/k (cells are assigned by "
+           "config-hash: stable under grid edits, identical on every host)");
+  opts.add("threads", "0",
+           "campaign concurrency cap (0 = hardware concurrency); results "
+           "are bit-identical for any value");
+  opts.add("cells", "",
+           "REQUIRED: stream this shard's finished cells to this JSON-lines "
+           "file (give every shard its own file)");
+  opts.add("resume", "false",
+           "with --cells: skip cells already recorded in the file");
+  opts.add("cell-seconds", "false",
+           "record per-cell wall seconds in each line (makes the file "
+           "non-deterministic, so merged bytes will not match a "
+           "single-process run)");
+  if (!opts.parse(argc, argv)) return 1;
+
+  campaign_grid grid;
+  shard_spec shard;
+  try {
+    grid = grid_from_options(opts);
+    shard = parse_shard(opts.get("shard"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (opts.get("cells").empty()) {
+    std::fprintf(stderr, "campaign_worker: --cells is required (each shard "
+                         "writes its own file)\n");
+    return 1;
+  }
+
+  const auto all_cells = grid.expand();
+  const auto cells = filter_shard(all_cells, shard);
+
+  campaign_options copts;
+  copts.threads = resolve_threads(opts.get_int("threads"));
+  std::unique_ptr<campaign_io> io;
+  try {
+    io = std::make_unique<campaign_io>(opts.get("cells"),
+                                       opts.get_bool("resume"),
+                                       opts.get_bool("cell-seconds"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  copts.io = io.get();
+
+  std::printf("campaign_worker: shard %llu/%llu owns %zu of %zu cell(s), "
+              "concurrency %u\n",
+              static_cast<unsigned long long>(shard.index),
+              static_cast<unsigned long long>(shard.count), cells.size(),
+              all_cells.size(), copts.threads);
+
+  std::vector<cell_result> results;
+  try {
+    results = run_campaign(cells, copts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_worker: %s\n", e.what());
+    return 1;
+  }
+
+  std::uint64_t resumed = 0;
+  bool all_safe = true;
+  for (const auto& r : results) {
+    if (r.resumed) ++resumed;
+    all_safe = all_safe && r.metrics.get("violations") == 0.0;
+    std::printf("  %-28s trials=%-6.0f decided=%-6.0f%s\n",
+                r.cell.label().c_str(), r.metrics.get("trials"),
+                r.metrics.get("decided"), r.resumed ? "  (resumed)" : "");
+  }
+  if (resumed > 0) {
+    std::printf("%llu of %zu cell(s) resumed from %s\n",
+                static_cast<unsigned long long>(resumed), results.size(),
+                io->path().c_str());
+  }
+  std::printf("shard %llu/%llu done: %zu cell(s) in %s\n",
+              static_cast<unsigned long long>(shard.index),
+              static_cast<unsigned long long>(shard.count), results.size(),
+              io->path().c_str());
+  return all_safe ? 0 : 1;
+}

@@ -50,6 +50,7 @@ void run_random_halting(bench::run_context& ctx) {
       config.sched.halt_probability = h;
       config.stop = stop_mode::all_decided;
     };
+    cell.ordinal = cells.size();
     cells.push_back(std::move(cell));
   }
   // Each run streams to its own file so a non-resume open of the second
@@ -109,6 +110,7 @@ void run_adaptive_crashes(bench::run_context& ctx) {
       cell.tweak = [f](sim_config& config) {
         config.crashes = make_kill_poised(f);
       };
+      cell.ordinal = cells.size();
       cell_budget.push_back(f);
       cells.push_back(std::move(cell));
     }

@@ -75,6 +75,7 @@ void run_figure1(bench::run_context& ctx) {
       cell.params.seed = seed + d * 1000003 + n;
       cell.trials = std::max<std::uint64_t>(
           6, std::min(max_trials, op_budget / per_trial));
+      cell.ordinal = cells.size();  // canonical merge order for shard files
       cells.push_back(std::move(cell));
     }
   }

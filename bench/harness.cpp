@@ -281,6 +281,16 @@ std::string to_json(const results& r) {
 
 results campaign_bench(const std::string& bench_name,
                        const std::vector<std::string>& cells_paths) {
+  // Merging (rather than concatenating) the inputs deduplicates cells
+  // recorded in several files, orders the union by the cells' campaign
+  // positions, and rejects conflicting records — so aggregating k shard
+  // files yields the same BENCH series as aggregating the single-process
+  // campaign's file.
+  return campaign_bench(bench_name, campaign_io::merge_files(cells_paths));
+}
+
+results campaign_bench(const std::string& bench_name,
+                       const campaign_io::merged_cells& merged) {
   results res;
   res.bench = bench_name;
 
@@ -288,45 +298,42 @@ results campaign_bench(const std::string& bench_name,
   double trials_total = 0.0;
   double sim_ops = 0.0;
   double seconds_total = 0.0;
-  double skipped_total = 0.0;
-  for (const auto& path : cells_paths) {
-    std::size_t skipped = 0;
-    const auto records = campaign_io::read_records(path, &skipped);
-    skipped_total += static_cast<double>(skipped);
-    for (const auto& rec : records) {
-      const std::string group =
-          rec.variant.empty() ? rec.scenario : rec.scenario + "/" + rec.variant;
-      series* ser = nullptr;
-      for (auto& existing : res.series_list) {
-        if (existing.name == group) {
-          ser = &existing;
-          break;
-        }
+  for (const auto& rec : merged.records) {
+    const std::string group =
+        rec.variant.empty() ? rec.scenario : rec.scenario + "/" + rec.variant;
+    series* ser = nullptr;
+    for (auto& existing : res.series_list) {
+      if (existing.name == group) {
+        ser = &existing;
+        break;
       }
-      if (ser == nullptr) {
-        res.series_list.push_back({"campaign", group, {}});
-        ser = &res.series_list.back();
-      }
-      point& pt = ser->at(static_cast<double>(rec.n));
-      for (const auto& [name, value] : rec.metrics.values) {
-        pt.set(name, value);
-      }
-
-      cells += 1.0;
-      const double trials = rec.metrics.get("trials");
-      if (std::isfinite(trials)) trials_total += trials;
-      const double ops = rec.metrics.get("total_ops_sum");
-      if (std::isfinite(ops)) sim_ops += ops;
-      const std::string label = rec.label.empty() ? group : rec.label;
-      accumulate(res.counters, "cell_seconds/" + label, rec.seconds);
-      seconds_total += rec.seconds;
     }
+    if (ser == nullptr) {
+      res.series_list.push_back({"campaign", group, {}});
+      ser = &res.series_list.back();
+    }
+    point& pt = ser->at(static_cast<double>(rec.n));
+    for (const auto& [name, value] : rec.metrics.values) {
+      pt.set(name, value);
+    }
+
+    cells += 1.0;
+    const double trials = rec.metrics.get("trials");
+    if (std::isfinite(trials)) trials_total += trials;
+    const double ops = rec.metrics.get("total_ops_sum");
+    if (std::isfinite(ops)) sim_ops += ops;
+    const std::string label = rec.label.empty() ? group : rec.label;
+    accumulate(res.counters, "cell_seconds/" + label, rec.seconds);
+    seconds_total += rec.seconds;
   }
   accumulate(res.counters, "cells", cells);
   accumulate(res.counters, "trials_total", trials_total);
   accumulate(res.counters, "sim_ops", sim_ops);
   accumulate(res.counters, "cell_seconds_total", seconds_total);
-  accumulate(res.counters, "skipped_lines", skipped_total);
+  accumulate(res.counters, "duplicate_cells",
+             static_cast<double>(merged.duplicate_cells));
+  accumulate(res.counters, "skipped_lines",
+             static_cast<double>(merged.skipped_lines));
   return res;
 }
 

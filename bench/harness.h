@@ -46,12 +46,9 @@
 #include <vector>
 
 #include "exp/campaign.h"
+#include "exp/campaign_io.h"
 #include "sim/trial_executor.h"
 #include "util/options.h"
-
-namespace leancon {
-class campaign_io;
-}
 
 namespace leancon::bench {
 
@@ -183,17 +180,29 @@ std::string to_json(const results& r);
 /// Returns std::nullopt on success, else a human-readable error.
 std::optional<std::string> validate_bench_json(const std::string& text);
 
-/// Campaign-level BENCH emitter: aggregates one or more campaign_io cells
+/// Campaign-level BENCH emitter: MERGES one or more campaign_io cells
 /// files (JSON-lines) into BENCH results, so multi-file campaigns — split
-/// across runs, processes, or hosts — land in the existing baseline/
-/// validator flow. One series per (scenario[/variant]) group in
-/// first-appearance order, x = n, every recorded metric carried through
-/// (absent metrics stay absent). Counters: "cells", "trials_total",
-/// "sim_ops" (summed total_ops_sum where present), per-cell
-/// "cell_seconds/<label>" and "cell_seconds_total" (0 unless the writer
-/// enabled record_seconds), and "skipped_lines". Throws
-/// std::runtime_error when a file cannot be read.
+/// across runs, processes, hosts, or campaign_shard workers — land in the
+/// existing baseline/validator flow. The inputs go through
+/// campaign_io::merge_files first: the union is ordered by the cells'
+/// campaign positions ("index"), duplicate cells (identical bytes) are
+/// dropped and counted, and a duplicate key with differing bytes throws —
+/// aggregating k shard files therefore emits the same series as
+/// aggregating the single-process campaign's file. One series per
+/// (scenario[/variant]) group in first-appearance order, x = n, every
+/// recorded metric carried through (absent metrics stay absent). Counters:
+/// "cells", "trials_total", "sim_ops" (summed total_ops_sum where
+/// present), per-cell "cell_seconds/<label>" and "cell_seconds_total" (0
+/// unless the writer enabled record_seconds), "duplicate_cells", and
+/// "skipped_lines". Throws std::runtime_error when a file cannot be read
+/// or two files conflict.
 results campaign_bench(const std::string& bench_name,
                        const std::vector<std::string>& cells_paths);
+
+/// The same over an already-merged stream, for callers that need the
+/// merged cells themselves too (campaign_report --merged) — the files are
+/// read and merged exactly once.
+results campaign_bench(const std::string& bench_name,
+                       const campaign_io::merged_cells& merged);
 
 }  // namespace leancon::bench

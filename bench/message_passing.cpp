@@ -7,13 +7,24 @@
 // asynchronous message-passing model." Here each register operation becomes
 // two majority round-trips whose latencies carry the noise, and the measured
 // shape answers empirically: rounds still grow as O(log n).
+//
+// Both runs are campaigns over the scenario registry's native-backend
+// presets (`mp-abd` and the `mp-abd-crash<k>` family) — no engine loop
+// lives here: every trial flows through scenario_spec::make/run_trial on
+// the persistent worker pool, emits its native metric_set, and lands in
+// the --cells/--resume streaming flow. tests/test_workload_ports.cpp pins
+// the PER-TRIAL workload metrics to the pre-port engine-direct values;
+// cell-level means differ from the pre-port bench by design in one way:
+// cost metrics (messages, reg-ops) now average over EVERY trial rather
+// than decided trials only (the trial_stats convention — decided-only
+// cost means bias low exactly when trials fail).
 #include <cstdio>
+#include <memory>
 
+#include "exp/campaign_io.h"
 #include "harness.h"
-#include "msg/abd_sim.h"
-#include "noise/catalog.h"
+#include "scenario/scenario.h"
 #include "stats/regression.h"
-#include "stats/summary.h"
 #include "util/table.h"
 
 using namespace leancon;
@@ -29,47 +40,42 @@ void run_scaling(bench::run_context& ctx) {
   std::printf("lean-consensus over ABD-emulated registers, noisy message"
               " delays (exp(1)).\n\n");
 
+  campaign_grid grid;
+  grid.scenarios = {"mp-abd"};
+  for (std::uint64_t n = 2; n <= nmax; n *= 2) grid.ns.push_back(n);
+  grid.trials = trials;
+  grid.seed = seed;
+
+  auto copts = ctx.campaign();
+  std::unique_ptr<campaign_io> io;
+  if (!ctx.open_cells(copts, io, ".scaling")) return;
+  const auto results = run_campaign(grid, copts);
+
   table tbl({"n", "mean reg-ops/proc", "mean msgs total", "mean decision time",
              "failures"});
   auto& json = ctx.add_series("scaling");
   std::vector<double> xs, ys;
-  for (std::uint64_t n = 2; n <= nmax; n *= 2) {
-    summary ops, msgs, when;
-    std::uint64_t failures = 0;
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      mp_config config;
-      config.inputs = split_inputs(n);
-      config.net = figure1_params(make_exponential(1.0));
-      config.seed = seed + n * 101 + t;
-      const auto r = run_message_passing(config);
-      ctx.add_counter("messages", static_cast<double>(r.total_messages));
-      if (!r.all_live_decided) {
-        ++failures;
-        continue;
-      }
-      double ops_sum = 0.0;
-      for (const auto& p : r.processes) {
-        ops_sum += static_cast<double>(p.register_ops);
-      }
-      ops.add(ops_sum / static_cast<double>(n));
-      msgs.add(static_cast<double>(r.total_messages));
-      when.add(r.last_decision_time);
-    }
+  for (const auto& r : results) {
+    const auto n = r.cell.params.n;
+    const auto& m = r.metrics;
+    const double failures = m.get("trials") - m.get("decided");
+    ctx.add_counter("messages", m.get("messages_sum"));
     json.at(static_cast<double>(n))
-        .set("mean_reg_ops_per_proc", ops.mean())
-        .set("mean_msgs", msgs.mean())
-        .set("mean_decision_time", when.mean())
-        .set("failures", static_cast<double>(failures));
+        .set("mean_reg_ops_per_proc", m.get("mean_reg_ops_per_proc"))
+        .set("mean_msgs", m.get("mean_messages"))
+        .set("mean_decision_time", m.get("mean_last_time"))
+        .set("failures", failures);
     tbl.begin_row();
     tbl.cell(n);
-    tbl.cell(ops.mean(), 1);
-    tbl.cell(msgs.mean(), 0);
-    tbl.cell(when.mean(), 1);
-    tbl.cell(failures);
+    tbl.cell(m.get("mean_reg_ops_per_proc"), 1);
+    tbl.cell(m.get("mean_messages"), 0);
+    tbl.cell(m.get("mean_last_time"), 1);
+    tbl.cell(failures, 0);
     xs.push_back(static_cast<double>(n));
-    ys.push_back(ops.mean());
+    ys.push_back(m.get("mean_reg_ops_per_proc"));
   }
   tbl.print();
+  ctx.add_cell_counters(results);
 
   const auto fit = fit_against_log2(xs, ys);
   ctx.add_counter("fit_slope", fit.slope);
@@ -82,41 +88,37 @@ void run_crash_tolerance(bench::run_context& ctx) {
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
 
-  // Crash tolerance: a strict minority of processes crash mid-run.
+  // Crash tolerance: a strict minority of processes crash mid-run, swept
+  // as the mp-abd-crash<k> presets at fixed n = 8.
   std::printf("\nWith minority crashes (n = 8):\n\n");
+
+  campaign_grid grid;
+  grid.scenarios = {"mp-abd", "mp-abd-crash1", "mp-abd-crash2",
+                    "mp-abd-crash3"};
+  grid.ns = {8};
+  grid.trials = trials;
+  grid.seed = seed * 7 + 1;
+
+  auto copts = ctx.campaign();
+  std::unique_ptr<campaign_io> io;
+  if (!ctx.open_cells(copts, io, ".crash")) return;
+  const auto results = run_campaign(grid, copts);
+
   table tbl2({"crashes", "decided trials", "mean reg-ops/proc"});
   auto& json = ctx.add_series("minority_crashes n=8");
-  for (std::uint64_t crashes : {0u, 1u, 2u, 3u}) {
-    summary ops;
-    std::uint64_t decided = 0;
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      mp_config config;
-      config.inputs = split_inputs(8);
-      config.net = figure1_params(make_exponential(1.0));
-      config.crashes = crashes;
-      config.seed = seed * 7 + crashes * 31 + t;
-      const auto r = run_message_passing(config);
-      ctx.add_counter("messages", static_cast<double>(r.total_messages));
-      if (!r.all_live_decided) continue;
-      ++decided;
-      double ops_sum = 0.0;
-      std::uint64_t live = 0;
-      for (const auto& p : r.processes) {
-        if (p.crashed) continue;
-        ops_sum += static_cast<double>(p.register_ops);
-        ++live;
-      }
-      if (live > 0) ops.add(ops_sum / static_cast<double>(live));
-    }
+  for (std::size_t crashes = 0; crashes < results.size(); ++crashes) {
+    const auto& m = results[crashes].metrics;
+    ctx.add_counter("messages", m.get("messages_sum"));
     json.at(static_cast<double>(crashes))
-        .set("decided", static_cast<double>(decided))
-        .set("mean_reg_ops_per_proc", ops.mean());
+        .set("decided", m.get("decided"))
+        .set("mean_reg_ops_per_proc", m.get("mean_reg_ops_per_proc"));
     tbl2.begin_row();
-    tbl2.cell(crashes);
-    tbl2.cell(decided);
-    tbl2.cell(ops.mean(), 1);
+    tbl2.cell(static_cast<std::uint64_t>(crashes));
+    tbl2.cell(m.get("decided"), 0);
+    tbl2.cell(m.get("mean_reg_ops_per_proc"), 1);
   }
   tbl2.print();
+  ctx.add_cell_counters(results);
   std::printf("\nexpected: every trial decides (ABD tolerates any strict"
               " minority of crashes);\nops grow mildly as crashes thin the"
               " race.\n");
@@ -129,6 +131,7 @@ int main(int argc, char** argv) {
   h.opts().add("trials", "150", "trials per point");
   h.opts().add("nmax", "32", "largest process count (powers of two)");
   h.opts().add("seed", "24", "base seed");
+  bench::add_campaign_flags(h.opts());
   h.add("scaling", run_scaling);
   h.add("crash_tolerance", run_crash_tolerance);
   return h.main(argc, argv);

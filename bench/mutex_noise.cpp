@@ -7,12 +7,20 @@
 // rival), operations per entry, and simulated time per entry. Expected
 // shape: ~100% fast path solo; fast-path rate collapses and ops/entry climb
 // as contention rises; mutual exclusion violations stay 0 everywhere.
+//
+// The contention sweep is a campaign over the registry's `mutex-noise`
+// native-backend preset (4 critical sections per process) — the engine
+// loop that used to live here is gone: trials flow through
+// scenario_spec::make/run_trial on the worker pool, emit the preset's
+// native metric_set (fast_path_frac, ops_per_entry, time_per_entry, ...),
+// and gain --cells/--resume streaming (tests/test_workload_ports.cpp pins
+// the workload-path metrics to the pre-port engine-direct values).
 #include <cstdio>
+#include <memory>
 
+#include "exp/campaign_io.h"
 #include "harness.h"
-#include "mutex/fast_mutex.h"
-#include "noise/catalog.h"
-#include "stats/summary.h"
+#include "scenario/scenario.h"
 #include "util/table.h"
 
 using namespace leancon;
@@ -22,56 +30,54 @@ namespace {
 void run_contention_sweep(bench::run_context& ctx) {
   const auto& opts = ctx.opts();
   const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
-  const auto entries = static_cast<std::uint64_t>(opts.get_int("entries"));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
 
   std::printf("Lamport's fast mutex under noisy scheduling (exp(1)"
-              " interarrivals).\n\n");
+              " interarrivals), 4 critical\nsections per process.\n\n");
+
+  campaign_grid grid;
+  grid.scenarios = {"mutex-noise"};
+  for (const std::int64_t n : opts.get_int_list("ns")) {
+    grid.ns.push_back(static_cast<std::uint64_t>(n));
+  }
+  grid.trials = trials;
+  grid.seed = seed;
+
+  auto copts = ctx.campaign();
+  std::unique_ptr<campaign_io> io;
+  if (!ctx.open_cells(copts, io)) return;
+  const auto results = run_campaign(grid, copts);
 
   table tbl({"n", "fast-path %", "ops/entry", "sim time/entry",
-             "overlap violations", "canary violations"});
+             "violating trials"});
   auto& json = ctx.add_series("contention");
-  for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
-    summary ops_per_entry, time_per_entry, fast_rate;
-    std::uint64_t overlaps = 0, canaries = 0;
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      mutex_config config;
-      config.processes = n;
-      config.entries_per_process = entries;
-      config.sched = figure1_params(make_exponential(1.0));
-      config.seed = seed + n * 1013 + t;
-      const auto r = run_mutex(config);
-      ctx.add_counter("sim_ops", static_cast<double>(r.total_ops));
-      if (!r.all_finished || r.total_entries == 0) continue;
-      overlaps += r.overlap_violations;
-      canaries += r.canary_violations;
-      fast_rate.add(static_cast<double>(r.fast_path_entries) /
-                    static_cast<double>(r.total_entries));
-      ops_per_entry.add(static_cast<double>(r.total_ops) /
-                        static_cast<double>(r.total_entries));
-      time_per_entry.add(r.finish_time /
-                         static_cast<double>(r.total_entries));
-    }
+  bool all_safe = true;
+  for (const auto& r : results) {
+    const auto n = r.cell.params.n;
+    const auto& m = r.metrics;
+    ctx.add_counter("sim_ops", m.get("total_ops_sum"));
+    all_safe = all_safe && m.get("violations") == 0.0;
     json.at(static_cast<double>(n))
-        .set("fast_path_rate", fast_rate.mean())
-        .set("ops_per_entry", ops_per_entry.mean())
-        .set("time_per_entry", time_per_entry.mean())
-        .set("overlap_violations", static_cast<double>(overlaps))
-        .set("canary_violations", static_cast<double>(canaries));
+        .set("fast_path_rate", m.get("mean_fast_path_frac"))
+        .set("ops_per_entry", m.get("mean_ops_per_entry"))
+        .set("time_per_entry", m.get("mean_time_per_entry"))
+        .set("violations", m.get("violations"));
     tbl.begin_row();
-    tbl.cell(static_cast<std::uint64_t>(n));
-    tbl.cell(100.0 * fast_rate.mean(), 1);
-    tbl.cell(ops_per_entry.mean(), 1);
-    tbl.cell(time_per_entry.mean(), 2);
-    tbl.cell(overlaps);
-    tbl.cell(canaries);
+    tbl.cell(n);
+    tbl.cell(100.0 * m.get("mean_fast_path_frac"), 1);
+    tbl.cell(m.get("mean_ops_per_entry"), 1);
+    tbl.cell(m.get("mean_time_per_entry"), 2);
+    tbl.cell(m.get("violations"), 0);
   }
   tbl.print();
-  std::printf("\nviolation columns must be 0: mutual exclusion is checked"
-              " after every atomic\nstep and via an in-CS canary register."
-              " Noise disperses contenders, so the\nfast path survives"
-              " moderate contention — the noisy-scheduling analogue of\n"
-              "Gafni-Mitzenmacher's random-timing analysis.\n");
+  ctx.add_cell_counters(results);
+  std::printf("\nthe violations column must be 0: mutual exclusion is"
+              " checked after every atomic\nstep and via an in-CS canary"
+              " register. Noise disperses contenders, so the\nfast path"
+              " survives moderate contention — the noisy-scheduling"
+              " analogue of\nGafni-Mitzenmacher's random-timing"
+              " analysis.\n");
+  if (!all_safe) ctx.fail("mutual exclusion violated");
 }
 
 }  // namespace
@@ -79,8 +85,9 @@ void run_contention_sweep(bench::run_context& ctx) {
 int main(int argc, char** argv) {
   bench::harness h("mutex_noise");
   h.opts().add("trials", "100", "trials per point");
-  h.opts().add("entries", "8", "critical sections per process");
+  h.opts().add("ns", "1,2,4,8,16", "contention levels (process counts)");
   h.opts().add("seed", "25", "base seed");
+  bench::add_campaign_flags(h.opts());
   h.add("contention_sweep", run_contention_sweep);
   return h.main(argc, argv);
 }

@@ -2,16 +2,31 @@
 // quantum >= 8, every process decides after at most 12 operations, for every
 // legal preemption strategy.
 //
-// The bench sweeps quantum size x preemption adversary x priority layout x
-// initial mid-quantum offsets and reports, per quantum: the fraction of runs
-// where all processes decided (within an op budget) and the worst observed
-// per-process operation count. Expected shape: decided < 100% and/or
-// unbounded ops below quantum 8 (the offset-2 lockstep); at quantum >= 8,
-// 100% decided with max ops <= 12.
+// The sweep is a campaign over the registry's `hybrid-q<Q>` preset family
+// (one preset per quantum): each trial seed-samples a process count's
+// priority layout, initial mid-quantum offset, and preemption adversary —
+// including the deterministic worst-case strategies (round-robin lockstep,
+// preempt-before-write) the old hand-rolled enumeration used — and the
+// bench aggregates per quantum across the n axis. The engine loop that
+// lived here is gone: trials flow through scenario_spec::make/run_trial on
+// the worker pool, emit native metric_sets (max_ops with a full location
+// rollup, preemptions, dispatches), and gain --cells/--resume streaming
+// (tests/test_workload_ports.cpp pins the workload path to engine-direct
+// values).
+//
+// Expected shape: decided < 100% below quantum 8 whenever a sampled
+// schedule livelocks (the offset lockstep), with per-process op counts
+// capped only by the budget; at quantum >= 8, 100% decided with worst
+// observed max ops <= 12.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <memory>
+#include <string>
 
+#include "exp/campaign_io.h"
 #include "harness.h"
-#include "sched/hybrid.h"
+#include "scenario/scenario.h"
 #include "util/table.h"
 
 using namespace leancon;
@@ -22,87 +37,74 @@ void run_quantum_sweep(bench::run_context& ctx) {
   const auto& opts = ctx.opts();
   const auto max_quantum =
       static_cast<std::uint64_t>(opts.get_int("max-quantum"));
-  const auto budget = static_cast<std::uint64_t>(opts.get_int("budget"));
+  const auto trials = static_cast<std::uint64_t>(opts.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  if (max_quantum < 2 || max_quantum > 16) {
+    ctx.fail("--max-quantum must be in [2, 16] (the registered hybrid-q "
+             "presets)");
+    return;
+  }
 
   std::printf("Theorem 14: hybrid quantum/priority scheduling on a"
               " uniprocessor.\nPaper claim: quantum >= 8 => every process"
               " decides within 12 operations.\n\n");
 
-  table tbl({"quantum", "runs", "decided", "max ops/proc", "violations"});
-  auto& sweep = ctx.add_series("quantum_sweep");
-
+  campaign_grid grid;
   for (std::uint64_t quantum = 2; quantum <= max_quantum; ++quantum) {
-    std::uint64_t runs = 0, decided = 0, violations = 0;
-    std::uint64_t worst_ops = 0;
-    bool worst_is_livelock = false;
+    grid.scenarios.push_back("hybrid-q" + std::to_string(quantum));
+  }
+  for (const std::int64_t n : opts.get_int_list("ns")) {
+    grid.ns.push_back(static_cast<std::uint64_t>(n));
+  }
+  grid.trials = trials;
+  grid.seed = seed;
 
-    for (std::size_t n : {2u, 3u, 4u, 8u}) {
-      for (int adversary = 0; adversary < 4; ++adversary) {
-        for (std::uint64_t offset = 0; offset <= quantum;
-             offset += (quantum >= 4 ? quantum / 4 : 1)) {
-          for (int layout = 0; layout < 3; ++layout) {
-            hybrid_config config;
-            for (std::size_t i = 0; i < n; ++i) {
-              config.inputs.push_back(static_cast<int>(i % 2));
-              switch (layout) {
-                case 0: config.priorities.push_back(0); break;
-                case 1: config.priorities.push_back(static_cast<int>(i)); break;
-                default: config.priorities.push_back(static_cast<int>(i / 2));
-              }
-              config.initial_quantum_used.push_back(offset);
-            }
-            config.quantum = quantum;
-            config.max_total_ops = budget;
-            preemption_adversary_ptr adv;
-            switch (adversary) {
-              case 0: adv = make_run_to_completion(); break;
-              case 1: adv = make_round_robin(); break;
-              case 2: adv = make_preempt_before_write(); break;
-              default:
-                adv = make_random_preemption(
-                    0.4, quantum * 131 + n * 17 + offset);
-            }
-            const auto result = run_hybrid(config, *adv);
-            ++runs;
-            ctx.add_counter("sim_ops",
-                            static_cast<double>(result.total_ops));
-            violations += result.violations.empty() ? 0 : 1;
-            if (result.all_decided) {
-              ++decided;
-              if (result.max_ops_per_process > worst_ops &&
-                  !worst_is_livelock) {
-                worst_ops = result.max_ops_per_process;
-              }
-            } else {
-              worst_is_livelock = true;
-            }
-          }
-        }
-      }
+  auto copts = ctx.campaign();
+  std::unique_ptr<campaign_io> io;
+  if (!ctx.open_cells(copts, io)) return;
+  const auto results = run_campaign(grid, copts);
+
+  table tbl({"quantum", "trials", "decided", "worst max ops", "violations"});
+  auto& sweep = ctx.add_series("quantum_sweep");
+  // Cells are scenario-major (quantum outer, n inner): aggregate each
+  // quantum's row across the n axis.
+  const std::size_t per_quantum = grid.ns.size();
+  for (std::size_t q = 0; q * per_quantum < results.size(); ++q) {
+    const std::uint64_t quantum = 2 + q;
+    double runs = 0.0, decided = 0.0, violations = 0.0;
+    double worst_ops = 0.0;
+    for (std::size_t i = 0; i < per_quantum; ++i) {
+      const auto& m = results[q * per_quantum + i].metrics;
+      runs += m.get("trials");
+      decided += m.get("decided");
+      violations += m.get("violations");
+      worst_ops = std::max(worst_ops, m.get("max_ops_max"));
+      ctx.add_counter("sim_ops", m.get("total_ops_sum"));
     }
-
+    const bool livelock = decided < runs;
     sweep.at(static_cast<double>(quantum))
-        .set("runs", static_cast<double>(runs))
-        .set("decided_fraction",
-             static_cast<double>(decided) / static_cast<double>(runs))
-        .set("livelock", worst_is_livelock ? 1.0 : 0.0)
-        .set("max_ops", static_cast<double>(worst_ops))
-        .set("violations", static_cast<double>(violations));
+        .set("runs", runs)
+        .set("decided_fraction", decided / runs)
+        .set("livelock", livelock ? 1.0 : 0.0)
+        // The budget caps a livelocked schedule's op count, so the worst
+        // observed value is only Theorem 14's statistic when every sampled
+        // schedule decided: absent (null) otherwise, never fabricated.
+        .set("max_ops", livelock ? std::nan("") : worst_ops)
+        .set("violations", violations);
     tbl.begin_row();
     tbl.cell(quantum);
-    tbl.cell(runs);
+    tbl.cell(runs, 0);
     char frac[32];
-    std::snprintf(frac, sizeof frac, "%.1f%%",
-                  100.0 * static_cast<double>(decided) /
-                      static_cast<double>(runs));
+    std::snprintf(frac, sizeof frac, "%.1f%%", 100.0 * decided / runs);
     tbl.cell(std::string(frac));
-    tbl.cell(worst_is_livelock ? std::string("livelock")
-                               : std::to_string(worst_ops));
-    tbl.cell(violations);
+    tbl.cell(livelock ? std::string("livelock")
+                      : std::to_string(static_cast<std::uint64_t>(worst_ops)));
+    tbl.cell(violations, 0);
   }
   tbl.print();
-  std::printf("\n(livelock = some legal schedule kept the race tied for the"
-              " whole op budget;\nthe paper's bound applies only from"
+  ctx.add_cell_counters(results);
+  std::printf("\n(livelock = some sampled legal schedule kept the race tied"
+              " for the whole op\nbudget; the paper's bound applies only from"
               " quantum 8 upward.)\n");
 }
 
@@ -110,8 +112,13 @@ void run_quantum_sweep(bench::run_context& ctx) {
 
 int main(int argc, char** argv) {
   bench::harness h("quantum_hybrid");
-  h.opts().add("max-quantum", "16", "largest quantum swept");
-  h.opts().add("budget", "20000", "op budget per run (detects livelock)");
+  h.opts().add("max-quantum", "16", "largest quantum swept (in [2, 16])");
+  h.opts().add("trials", "64",
+               "seed-sampled (layout, offset, adversary) draws per "
+               "(quantum, n) cell");
+  h.opts().add("ns", "2,3,4,8", "process counts swept within each quantum");
+  h.opts().add("seed", "26", "base seed");
+  bench::add_campaign_flags(h.opts());
   h.add("quantum_sweep", run_quantum_sweep);
   return h.main(argc, argv);
 }

@@ -43,6 +43,7 @@ void run_scaling(bench::run_context& ctx) {
     cell.params.n = n;
     cell.params.seed = seed + n;
     cell.trials = trials;
+    cell.ordinal = cells.size();
     cells.push_back(std::move(cell));
   }
   auto copts = ctx.campaign();

@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "exp/campaign.h"
+#include "exp/campaign_cli.h"
 #include "exp/campaign_io.h"
+#include "exp/campaign_shard.h"
 #include "exp/worker_pool.h"
 #include "scenario/scenario.h"
 #include "sim/trial_executor.h"
@@ -32,37 +34,15 @@
 
 using namespace leancon;
 
-namespace {
-
-std::vector<std::string> split_keys(const std::string& list) {
-  std::vector<std::string> keys;
-  std::size_t start = 0;
-  while (start <= list.size()) {
-    const std::size_t comma = list.find(',', start);
-    const std::size_t end = comma == std::string::npos ? list.size() : comma;
-    if (end > start) keys.push_back(list.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return keys;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   options opts;
-  opts.add("scenarios", "all",
-           "comma-separated scenario keys, or \"all\" (" + scenario_keys() +
-               ")");
-  opts.add("ns", "4,16,64", "comma-separated process counts");
-  opts.add("trials", "200", "trials per (scenario, n) cell");
-  opts.add("op-budget", "0",
-           "approximate per-cell operation budget: scales trials down at "
-           "large n (0 = off; cell seeds and resume keys stay stable)");
+  add_grid_flags(opts);  // --scenarios/--ns/--trials/--op-budget/--seed
   opts.add("threads", "0",
            "campaign concurrency cap (0 = hardware concurrency); results "
            "are bit-identical for any value");
-  opts.add("seed", "1", "base seed");
+  opts.add("shard", "0/1",
+           "run only this shard of the grid, as i/k (cells are assigned by "
+           "config-hash; see bench/campaign_worker for the full workflow)");
   opts.add("cells", "",
            "stream each finished cell to this JSON-lines file");
   opts.add("resume", "false",
@@ -81,38 +61,17 @@ int main(int argc, char** argv) {
   }
 
   campaign_grid grid;
-  if (opts.get("scenarios") == "all") {
-    for (const auto& spec : scenario_registry()) {
-      grid.scenarios.push_back(spec.key);
-    }
-  } else {
-    for (const auto& key : split_keys(opts.get("scenarios"))) {
-      if (find_scenario(key) == nullptr) {
-        std::fprintf(stderr, "unknown scenario \"%s\"; known: %s\n",
-                     key.c_str(), scenario_keys().c_str());
-        return 1;
-      }
-      grid.scenarios.push_back(key);
-    }
+  shard_spec shard;
+  try {
+    grid = grid_from_options(opts);
+    shard = parse_shard(opts.get("shard"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
   }
-  for (const std::int64_t n : opts.get_int_list("ns")) {
-    grid.ns.push_back(static_cast<std::uint64_t>(n));
-  }
-  grid.trials = static_cast<std::uint64_t>(opts.get_int("trials"));
-  grid.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
-  const auto op_budget = static_cast<std::uint64_t>(opts.get_int("op-budget"));
-  if (op_budget > 0) {
-    // Same per-trial cost model as fig1_mean_round: ~n * 48 + 8 simulated
-    // operations per trial. Only the trial count varies — cell seeds stay
-    // a function of the grid shape, so resume keys are stable.
-    const std::uint64_t max_trials = grid.trials;
-    grid.trials_for = [op_budget, max_trials](const std::string&,
-                                              std::uint64_t n) {
-      const std::uint64_t per_trial = n * 48 + 8;
-      return std::max<std::uint64_t>(
-          1, std::min(max_trials, op_budget / per_trial));
-    };
-  }
+  const auto all_cells = grid.expand();
+  const auto cells =
+      shard.count == 1 ? all_cells : filter_shard(all_cells, shard);
 
   campaign_options copts;
   copts.threads = resolve_threads(opts.get_int("threads"));
@@ -134,12 +93,19 @@ int main(int argc, char** argv) {
   }
 
   std::printf("campaign sweep: %llu trials per cell%s, concurrency %u, "
-              "pool of %u worker(s)\n\n",
+              "pool of %u worker(s)\n",
               static_cast<unsigned long long>(grid.trials),
-              op_budget > 0 ? " (op-budget capped)" : "", copts.threads,
+              grid.trials_for ? " (op-budget capped)" : "", copts.threads,
               worker_pool::shared().size());
+  if (shard.count > 1) {
+    std::printf("shard %llu/%llu: %zu of %zu cell(s)\n",
+                static_cast<unsigned long long>(shard.index),
+                static_cast<unsigned long long>(shard.count), cells.size(),
+                all_cells.size());
+  }
+  std::printf("\n");
 
-  const auto results = run_campaign(grid, copts);
+  const auto results = run_campaign(cells, copts);
 
   // Lead columns are fixed; every other column is discovered from the
   // metrics the workloads actually emitted (native backends included).

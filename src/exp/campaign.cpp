@@ -67,6 +67,7 @@ std::vector<campaign_cell> campaign_grid::expand() const {
       // resume cleanly.
       cell.params.seed = trial_seed(seed, index);
       cell.trials = trials_for ? trials_for(scenario, n) : trials;
+      cell.ordinal = index;
       cells.push_back(std::move(cell));
       ++index;
     }

@@ -51,6 +51,14 @@ struct campaign_cell {
   /// tweak: run_campaign throws std::invalid_argument before any work
   /// starts — no silent drops.
   config_tweak tweak;
+  /// The cell's position in the FULL campaign it belongs to.
+  /// campaign_grid::expand fills it; ad-hoc cell lists should too when they
+  /// will be sharded or merged. It is emitted as the "index" field of the
+  /// cell's campaign_io line, and campaign_io::merge_files orders merged
+  /// records by it — that is what lets shard files (exp/campaign_shard.h)
+  /// reassemble byte-identically to the single-process campaign. NOT part
+  /// of cell_hash: moving a cell does not invalidate its resume record.
+  std::uint64_t ordinal = 0;
 
   /// "<scenario>[/<variant>]/n=<n>"
   std::string label() const;

@@ -1,0 +1,71 @@
+#include "exp/campaign_cli.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "scenario/scenario.h"
+#include "util/options.h"
+
+namespace leancon {
+
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) items.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+void add_grid_flags(options& opts) {
+  opts.add("scenarios", "all",
+           "comma-separated scenario keys, or \"all\" (" + scenario_keys() +
+               ")");
+  opts.add("ns", "4,16,64", "comma-separated process counts");
+  opts.add("trials", "200", "trials per (scenario, n) cell");
+  opts.add("op-budget", "0",
+           "approximate per-cell operation budget: scales trials down at "
+           "large n (0 = off; cell seeds and resume keys stay stable)");
+  opts.add("seed", "1", "base seed");
+}
+
+campaign_grid grid_from_options(const options& opts) {
+  campaign_grid grid;
+  if (opts.get("scenarios") == "all") {
+    for (const auto& spec : scenario_registry()) {
+      grid.scenarios.push_back(spec.key);
+    }
+  } else {
+    for (const auto& key : split_list(opts.get("scenarios"))) {
+      if (find_scenario(key) == nullptr) {
+        throw std::invalid_argument("unknown scenario \"" + key +
+                                    "\"; known: " + scenario_keys());
+      }
+      grid.scenarios.push_back(key);
+    }
+  }
+  for (const std::int64_t n : opts.get_int_list("ns")) {
+    grid.ns.push_back(static_cast<std::uint64_t>(n));
+  }
+  grid.trials = static_cast<std::uint64_t>(opts.get_int("trials"));
+  grid.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  const auto op_budget = static_cast<std::uint64_t>(opts.get_int("op-budget"));
+  if (op_budget > 0) {
+    // THE shared cost model (see the header comment: a drifting copy would
+    // fork resume keys between drivers). Only the trial count varies.
+    const std::uint64_t max_trials = grid.trials;
+    grid.trials_for = [op_budget, max_trials](const std::string&,
+                                              std::uint64_t n) {
+      const std::uint64_t per_trial = n * 48 + 8;
+      return std::max<std::uint64_t>(
+          1, std::min(max_trials, op_budget / per_trial));
+    };
+  }
+  return grid;
+}
+
+}  // namespace leancon

@@ -1,0 +1,42 @@
+// Shared CLI → campaign_grid construction for the grid drivers
+// (examples/sweep, bench/campaign_worker).
+//
+// The shard/merge byte-identity contract requires every worker and the
+// single-process reference to expand EXACTLY the same grid from the same
+// flags — cell_hash includes the per-cell trial count, so even the
+// op-budget cost model drifting between two binaries would fork the
+// (hash, seed) resume keys and make their files unmergeable. Keeping the
+// flag set and the expansion in one place makes that divergence
+// impossible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+
+namespace leancon {
+
+class options;
+
+/// Splits a comma-separated CLI list ("a,b,c") into its non-empty items —
+/// the parsing every list-valued campaign flag (--scenarios, --cells)
+/// shares.
+std::vector<std::string> split_list(const std::string& list);
+
+/// Declares the grid flags: --scenarios, --ns, --trials, --op-budget,
+/// --seed. Every binary that calls grid_from_options must declare these
+/// (and should document that distributed runs pass identical values on
+/// every shard).
+void add_grid_flags(options& opts);
+
+/// Builds the declarative grid from the parsed flags. "all" expands to the
+/// whole scenario registry in registry order. With --op-budget > 0 the
+/// per-cell trial count scales down at large n under the shared cost model
+/// (~n * 48 + 8 simulated ops per trial); only the trial count varies, so
+/// cell seeds — and with them shard assignment and resume keys — stay a
+/// pure function of the grid shape. Throws std::invalid_argument on an
+/// unknown scenario key (the message lists the known keys).
+campaign_grid grid_from_options(const options& opts);
+
+}  // namespace leancon

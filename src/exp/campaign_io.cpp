@@ -1,10 +1,13 @@
 #include "exp/campaign_io.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "util/json.h"
 
@@ -67,6 +70,7 @@ bool parse_record(const std::string& line, campaign_io::record& out) {
   read_string("variant", out.variant);
   read_uint("n", out.n);
   read_uint("trials", out.trials);
+  read_uint("index", out.ordinal);
   if (const json::value* seconds = v.find("seconds")) {
     if (seconds->k == json::value::kind::number) out.seconds = seconds->num;
   }
@@ -106,6 +110,67 @@ std::vector<campaign_io::record> campaign_io::read_records(
   }
   if (skipped != nullptr) *skipped = bad;
   return records;
+}
+
+campaign_io::merged_cells campaign_io::merge_files(
+    const std::vector<std::string>& paths) {
+  merged_cells merged;
+  // (hash, seed) key -> index of the kept record, so duplicate/conflict
+  // detection stays linear in the total line count.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> by_key;
+  // Source file of each kept record, for conflict diagnostics.
+  std::vector<const std::string*> sources;
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      throw std::runtime_error("campaign_io: cannot read " + path);
+    }
+    std::string line;
+    while (in.good() && std::getline(in, line)) {
+      if (blank(line)) continue;
+      record rec;
+      if (!parse_record(line, rec)) {
+        ++merged.skipped_lines;
+        continue;
+      }
+      const auto [it, inserted] =
+          by_key.try_emplace({rec.hash, rec.seed}, merged.records.size());
+      if (!inserted) {
+        if (merged.lines[it->second] == line) {
+          ++merged.duplicate_cells;
+          continue;
+        }
+        throw std::runtime_error(
+            "campaign_io: conflicting records for cell \"" + rec.label +
+            "\" (hash " + hex64(rec.hash) + ", seed " + hex64(rec.seed) +
+            "): " + *sources[it->second] + " and " + path +
+            " hold the same key with different bytes");
+      }
+      merged.lines.push_back(line);
+      merged.records.push_back(std::move(rec));
+      sources.push_back(&path);
+    }
+  }
+  // Canonical order: the cells' positions in the full campaign. The sort is
+  // stable, so records without an "index" (older files, ad-hoc campaigns)
+  // keep their file-then-line order.
+  std::vector<std::size_t> order(merged.records.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return merged.records[a].ordinal <
+                            merged.records[b].ordinal;
+                   });
+  merged_cells sorted;
+  sorted.duplicate_cells = merged.duplicate_cells;
+  sorted.skipped_lines = merged.skipped_lines;
+  sorted.lines.reserve(order.size());
+  sorted.records.reserve(order.size());
+  for (const std::size_t i : order) {
+    sorted.lines.push_back(std::move(merged.lines[i]));
+    sorted.records.push_back(std::move(merged.records[i]));
+  }
+  return sorted;
 }
 
 campaign_io::campaign_io(const std::string& path, bool resume,
@@ -162,8 +227,12 @@ void campaign_io::emit(const cell_result& r) {
   json::write_string(os, r.cell.scenario);
   os << ", \"variant\": ";
   json::write_string(os, r.cell.variant);
-  os << ", \"n\": " << r.cell.params.n;
-  os << ", \"trials\": " << r.cell.trials;
+  os << ", \"n\": ";
+  json::write_uint(os, r.cell.params.n);
+  os << ", \"trials\": ";
+  json::write_uint(os, r.cell.trials);
+  os << ", \"index\": ";
+  json::write_uint(os, r.cell.ordinal);
   os << ", \"seed\": ";
   json::write_string(os, hex64(r.cell.params.seed));
   os << ", \"hash\": ";

@@ -10,9 +10,14 @@
 // Line schema:
 //
 //   {"cell": "<label>", "scenario": "<key>", "variant": "<or empty>",
-//    "n": <number>, "trials": <number>, "seed": "<0x hex>",
-//    "hash": "<0x hex of cell_hash>", "seconds": <number>,
-//    "metrics": {"<name>": <number|null>}}
+//    "n": <number>, "trials": <number>, "index": <number>,
+//    "seed": "<0x hex>", "hash": "<0x hex of cell_hash>",
+//    "seconds": <number>, "metrics": {"<name>": <number|null>}}
+//
+// ("index" is campaign_cell::ordinal — the cell's position in the FULL
+// campaign. merge_files orders merged records by it, which is what lets a
+// set of shard files written by exp/campaign_shard.h workers reassemble
+// byte-identically to the single-process campaign's file.)
 //
 // (seed and hash are hex STRINGS: they are full 64-bit keys, which JSON
 // numbers — doubles — cannot carry exactly.) A workload's absent metrics
@@ -51,6 +56,7 @@ class campaign_io {
     std::string variant;
     std::uint64_t n = 0;
     std::uint64_t trials = 0;
+    std::uint64_t ordinal = 0;  ///< "index": position in the full campaign
     double seconds = 0.0;  ///< 0 unless the writer enabled record_seconds
     cell_metrics metrics;
   };
@@ -74,6 +80,33 @@ class campaign_io {
   /// given. Throws std::runtime_error when the file cannot be read.
   static std::vector<record> read_records(const std::string& path,
                                           std::size_t* skipped = nullptr);
+
+  /// The union of several cells files in canonical order. Each parallel
+  /// (lines[i], records[i]) pair is one cell: the raw line bytes exactly as
+  /// on file (no trailing newline) plus its parsed record.
+  struct merged_cells {
+    std::vector<std::string> lines;
+    std::vector<record> records;
+    /// (hash, seed) keys seen more than once with IDENTICAL bytes —
+    /// dropped after the first occurrence (e.g. overlapping resume files).
+    std::size_t duplicate_cells = 0;
+    /// Lines that failed to parse (torn tails, foreign content) — skipped.
+    std::size_t skipped_lines = 0;
+  };
+
+  /// Merges many cells files — shard outputs, resume fragments, repeated
+  /// runs — into one canonical stream: records sorted by their "index"
+  /// field (stable, so records without one keep file-then-line order),
+  /// duplicate (hash, seed) keys with byte-identical lines deduplicated
+  /// and counted, and a duplicate key with DIFFERING bytes a hard error —
+  /// std::runtime_error naming the cell and both files (two shards that
+  /// disagree about the same cell mean a corrupted or mismatched campaign,
+  /// never something to merge silently; note record_seconds makes
+  /// overlapping lines differ by construction). When every input was
+  /// written by workers over the same full grid, the merged lines are
+  /// byte-identical to the single-process campaign's file. Throws
+  /// std::runtime_error when a file cannot be read.
+  static merged_cells merge_files(const std::vector<std::string>& paths);
 
   /// The indexed record for (hash, seed), or null when the cell has not
   /// been recorded (or resume was off).

@@ -1,0 +1,66 @@
+#include "exp/campaign_shard.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace leancon {
+
+shard_spec parse_shard(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  shard_spec spec;
+  try {
+    std::size_t index_end = 0;
+    std::size_t count_end = 0;
+    if (slash == std::string::npos || slash == 0) throw std::exception();
+    spec.index = std::stoull(text.substr(0, slash), &index_end);
+    const std::string count_text = text.substr(slash + 1);
+    if (count_text.empty()) throw std::exception();
+    spec.count = std::stoull(count_text, &count_end);
+    if (index_end != slash || count_end != count_text.size()) {
+      throw std::exception();
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("shard \"" + text +
+                                "\" is not of the form i/k (e.g. 0/3)");
+  }
+  if (spec.count == 0) {
+    throw std::invalid_argument("shard \"" + text +
+                                "\": shard count must be >= 1");
+  }
+  if (spec.index >= spec.count) {
+    throw std::invalid_argument("shard \"" + text + "\": index " +
+                                std::to_string(spec.index) +
+                                " is out of range for " +
+                                std::to_string(spec.count) + " shard(s)");
+  }
+  return spec;
+}
+
+std::uint64_t shard_of(const campaign_cell& cell, std::uint64_t count) {
+  if (count == 0) {
+    throw std::invalid_argument("shard_of: shard count must be >= 1");
+  }
+  // Hash the full resume key (config hash, seed). The golden-ratio multiply
+  // spreads the seed before the xor so (hash, seed) and (hash ^ seed, 0)
+  // cannot collide trivially; splitmix64 then mixes the combined word.
+  std::uint64_t state =
+      cell_hash(cell) ^ (cell.params.seed * 0x9e3779b97f4a7c15ULL);
+  return splitmix64_next(state) % count;
+}
+
+std::vector<campaign_cell> filter_shard(const std::vector<campaign_cell>& cells,
+                                        const shard_spec& shard) {
+  if (shard.index >= shard.count) {
+    throw std::invalid_argument(
+        "filter_shard: index " + std::to_string(shard.index) +
+        " is out of range for " + std::to_string(shard.count) + " shard(s)");
+  }
+  std::vector<campaign_cell> mine;
+  for (const auto& cell : cells) {
+    if (shard_of(cell, shard.count) == shard.index) mine.push_back(cell);
+  }
+  return mine;
+}
+
+}  // namespace leancon

@@ -1,0 +1,50 @@
+// Deterministic cell → shard assignment for distributing a campaign across
+// processes or hosts.
+//
+// Every worker expands the SAME full grid, keeps only the cells its shard
+// owns, and streams them to its own campaign_io cells file; the files then
+// merge back (campaign_io::merge_files / bench/campaign_report) into a
+// stream byte-identical to the single-process campaign. The assignment is a
+// pure function of the cell's (config hash, seed) resume key — never of its
+// position — so editing the grid (appending a scenario, dropping a cell)
+// moves no surviving cell to a different shard, and a shard's partial cells
+// file stays resumable after the edit.
+//
+//   shard_of(cell, k) == splitmix64(cell_hash(cell) ^ mix(seed)) % k
+//
+// The k shards partition the grid exactly: every cell belongs to one and
+// only one shard for any k >= 1. Balance is statistical (hash-uniform), not
+// exact — fine for grids of tens of cells and up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+
+namespace leancon {
+
+/// One shard of a campaign: run the cells assigned to `index` of `count`.
+struct shard_spec {
+  std::uint64_t index = 0;
+  std::uint64_t count = 1;  ///< total shards; 1 = the whole campaign
+};
+
+/// Parses the CLI form "i/k" (e.g. "0/3"). Throws std::invalid_argument on
+/// malformed text, k == 0, or i >= k.
+shard_spec parse_shard(const std::string& text);
+
+/// The shard (in [0, count)) that owns `cell` among `count` shards. Depends
+/// only on (cell_hash(cell), cell.params.seed) — the cell's resume key —
+/// so the assignment is stable under grid edits and identical on every
+/// host. Throws std::invalid_argument when count == 0.
+std::uint64_t shard_of(const campaign_cell& cell, std::uint64_t count);
+
+/// The subset of `cells` owned by `shard`, in their original order (ordinals
+/// and seeds untouched, so the shard's campaign_io lines are byte-identical
+/// to the lines the single-process campaign would write for those cells).
+std::vector<campaign_cell> filter_shard(const std::vector<campaign_cell>& cells,
+                                        const shard_spec& shard);
+
+}  // namespace leancon

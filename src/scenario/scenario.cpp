@@ -11,6 +11,7 @@
 #include "sched/adversary.h"
 #include "sched/crash_adversary.h"
 #include "sched/hybrid.h"
+#include "util/rng.h"
 
 namespace leancon {
 namespace {
@@ -78,23 +79,55 @@ scenario_spec native_spec(
 // contention, quantum preemptions). Lean-round metrics are omitted — the
 // backends have no round notion, and absent is not zero.
 
-trial_outcome run_mp_abd_trial(const scenario_params& p, std::uint64_t seed) {
+trial_outcome run_mp_abd_trial(const scenario_params& p, std::uint64_t seed,
+                               std::uint64_t crashes = 0) {
   mp_config config;
   config.inputs = split_inputs(p.n);
   config.net = figure1_params(make_exponential(1.0));
   config.protocol = protocol_kind::lean;
   config.seed = seed;
+  // ABD needs a live majority: cap at a strict minority of n so every
+  // (n, seed) is legal for any preset of the family.
+  config.crashes = p.n > 0 ? std::min(crashes, (p.n - 1) / 2) : 0;
   const mp_result mp = run_message_passing(config);
 
   trial_outcome out;
+  // The workload's success notion is the protocol's: EVERY live process
+  // decided (a crashed process owes nothing). Any-decided trials that
+  // exhaust the budget before the stragglers finish count as failures,
+  // exactly as the pre-port bench counted them.
+  out.decided = mp.all_live_decided;
   std::uint64_t register_ops = 0;
+  std::uint64_t live_register_ops = 0;
   std::uint64_t crashed = 0;
+  int decision = -1;
   for (const auto& proc : mp.processes) {
-    out.decided = out.decided || proc.decided;
     register_ops += proc.register_ops;
-    if (proc.crashed) ++crashed;
+    if (proc.crashed) {
+      ++crashed;
+    } else {
+      live_register_ops += proc.register_ops;
+    }
+    if (proc.decided) {
+      // Agreement: every decided process (crashed-after-deciding included)
+      // reports the same value.
+      if (decision == -1) decision = proc.decision;
+      if (proc.decision != decision) out.violation = true;
+      // Validity: the value must be some process's input.
+      bool is_input = false;
+      for (const int input : config.inputs) {
+        is_input = is_input || input == proc.decision;
+      }
+      if (!is_input) out.violation = true;
+    }
   }
 
+  // Cost-side metrics follow the library's every-trial convention (see
+  // trial_stats): budget-truncated trials still spent their messages and
+  // register operations, and dropping them would bias cost means low
+  // exactly when the run is hardest. (The pre-port bench averaged these
+  // over decided trials only — a deliberate fix, not drift; decision-side
+  // metrics below stay decided-only.)
   auto& m = out.metrics;
   m.observe("messages", static_cast<double>(mp.total_messages),
             metric_rollup::mean_and_sum);
@@ -105,9 +138,20 @@ trial_outcome run_mp_abd_trial(const scenario_params& p, std::uint64_t seed) {
     m.observe("msgs_per_reg_op", static_cast<double>(mp.total_messages) /
                                      static_cast<double>(register_ops));
   }
-  m.observe("survivors",
-            static_cast<double>(mp.processes.size() - crashed));
-  if (out.decided) m.observe("first_time", mp.first_decision_time);
+  const std::uint64_t live = mp.processes.size() - crashed;
+  m.observe("survivors", static_cast<double>(live));
+  if (live > 0) {
+    // Per-LIVE-process cost, the bench's historical reg-ops/proc column
+    // (crashed processes stop mid-run and would bias the mean low).
+    m.observe("reg_ops_per_proc", static_cast<double>(live_register_ops) /
+                                      static_cast<double>(live));
+  }
+  if (out.decided) {
+    m.observe("first_time", mp.first_decision_time);
+    // When the LAST live process decided — the bench's decision-time
+    // column (the protocol is only done once everyone is).
+    m.observe("last_time", mp.last_decision_time);
+  }
   return out;
 }
 
@@ -130,7 +174,12 @@ trial_outcome run_mutex_trial(const scenario_params& p, std::uint64_t seed) {
             metric_rollup::mean_and_sum);
   m.observe("entries", static_cast<double>(mx.total_entries));
   // Contention-window metrics: entries that left Lamport's fast path
-  // observed another process inside the gate-to-release window.
+  // observed another process inside the gate-to-release window. Observed
+  // on every trial with entries (a COMPLETED entry is a valid observation
+  // even when the op budget later aborted the run — the every-trial
+  // convention of trial_stats); the per-entry cost metrics below are
+  // finished-run-only because an aborted attempt's partial ops would
+  // distort them.
   m.observe("slow_path_entries",
             static_cast<double>(mx.total_entries - mx.fast_path_entries));
   if (mx.total_entries > 0) {
@@ -142,6 +191,15 @@ trial_outcome run_mutex_trial(const scenario_params& p, std::uint64_t seed) {
                                      static_cast<double>(p.n));
   }
   if (mx.all_finished) m.observe("finish_time", mx.finish_time);
+  // Per-entry costs, observed on completed runs only (an aborted run's
+  // partial entries would bias them): the mutex bench's historical
+  // ops/entry and sim-time/entry columns.
+  if (mx.all_finished && mx.total_entries > 0) {
+    m.observe("ops_per_entry", static_cast<double>(mx.total_ops) /
+                                   static_cast<double>(mx.total_entries));
+    m.observe("time_per_entry",
+              mx.finish_time / static_cast<double>(mx.total_entries));
+  }
   return out;
 }
 
@@ -170,6 +228,61 @@ trial_outcome run_hybrid_trial(const scenario_params& p, std::uint64_t seed) {
             metric_rollup::mean_and_sum);
   // Theorem 14's headline: max ops any process needs before deciding.
   m.observe("max_ops", static_cast<double>(hy.max_ops_per_process));
+  m.observe("preemptions", static_cast<double>(hy.preemptions));
+  m.observe("dispatches", static_cast<double>(hy.dispatches));
+  if (p.n > 0) {
+    m.observe("ops_per_process", static_cast<double>(hy.total_ops) /
+                                     static_cast<double>(p.n));
+  }
+  return out;
+}
+
+/// One seed-sampled execution of the hybrid quantum/priority model at a
+/// given quantum: the trial seed draws the priority layout (flat / all
+/// distinct / paired bands), the initial mid-quantum offset, and the
+/// preemption adversary — including the deterministic worst-case strategies
+/// — so a cell of trials covers the legality space the quantum_hybrid
+/// bench used to enumerate. Theorem 14's bound (quantum >= 8 => max_ops <=
+/// 12) must hold for EVERY draw; below quantum 8 some draws (round-robin
+/// lockstep at the right offset) livelock until the op budget.
+trial_outcome run_hybrid_sweep_trial(const scenario_params& p,
+                                     std::uint64_t seed,
+                                     std::uint64_t quantum) {
+  rng gen(seed, quantum);
+  hybrid_config config;
+  config.inputs = split_inputs(p.n);
+  config.priorities.resize(p.n);
+  const std::uint64_t layout = gen.below(3);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    switch (layout) {
+      case 0: config.priorities[i] = 0; break;
+      case 1: config.priorities[i] = static_cast<int>(i); break;
+      default: config.priorities[i] = static_cast<int>(i / 2);
+    }
+  }
+  config.quantum = quantum;
+  config.initial_quantum_used.assign(p.n, gen.below(quantum + 1));
+  config.max_total_ops = 20000;  // bounds livelocked schedules
+  preemption_adversary_ptr adversary;
+  switch (gen.below(4)) {
+    case 0: adversary = make_run_to_completion(); break;
+    case 1: adversary = make_round_robin(); break;
+    case 2: adversary = make_preempt_before_write(); break;
+    default: adversary = make_random_preemption(0.4, gen.next());
+  }
+  const hybrid_result hy = run_hybrid(config, *adversary);
+
+  trial_outcome out;
+  out.decided = hy.all_decided;
+  out.violation = !hy.violations.empty();
+
+  auto& m = out.metrics;
+  m.observe("total_ops", static_cast<double>(hy.total_ops),
+            metric_rollup::mean_and_sum);
+  // Theorem 14's headline is a WORST case, so the location rollup carries
+  // max_ops_max through to reports (unlike hybrid-quantum's mean).
+  m.observe("max_ops", static_cast<double>(hy.max_ops_per_process),
+            metric_rollup::location);
   m.observe("preemptions", static_cast<double>(hy.preemptions));
   m.observe("dispatches", static_cast<double>(hy.dispatches));
   if (p.n > 0) {
@@ -293,7 +406,21 @@ std::vector<scenario_spec> build_registry() {
       "mp-abd",
       "message passing: lean-consensus on ABD-emulated registers, noisy "
       "per-message delays (native: messages, register_ops, msgs_per_reg_op)",
-      run_mp_abd_trial));
+      [](const scenario_params& p, std::uint64_t seed) {
+        return run_mp_abd_trial(p, seed);
+      }));
+
+  // Crash-tolerance family: the same ABD substrate with c adversarially
+  // crashed processes (capped at a strict minority so majorities form).
+  for (const std::uint64_t c : {1, 2, 3}) {
+    reg.push_back(native_spec(
+        "mp-abd-crash" + std::to_string(c),
+        "mp-abd with " + std::to_string(c) +
+            " mid-run crash(es), capped at a strict minority of n",
+        [c](const scenario_params& p, std::uint64_t seed) {
+          return run_mp_abd_trial(p, seed, c);
+        }));
+  }
 
   reg.push_back(native_spec(
       "mutex-noise",
@@ -306,6 +433,21 @@ std::vector<scenario_spec> build_registry() {
       "hybrid quantum/priority uniprocessor, quantum 8, random preemption "
       "(Theorem 14: max_ops <= 12; native: preemptions, dispatches)",
       run_hybrid_trial));
+
+  // Quantum-sweep family (Theorem 14's x axis): one preset per quantum,
+  // each trial seed-sampling layout x offset x preemption adversary. The
+  // quantum_hybrid bench runs these as a campaign grid.
+  for (std::uint64_t quantum = 2; quantum <= 16; ++quantum) {
+    reg.push_back(native_spec(
+        "hybrid-q" + std::to_string(quantum),
+        "hybrid uniprocessor at quantum " + std::to_string(quantum) +
+            ", seed-sampled layout/offset/adversary (Theorem 14 bound " +
+            std::string(quantum >= 8 ? "applies: max_ops <= 12)"
+                                     : "not yet in force)"),
+        [quantum](const scenario_params& p, std::uint64_t seed) {
+          return run_hybrid_sweep_trial(p, seed, quantum);
+        }));
+  }
 
   return reg;
 }

@@ -1,0 +1,59 @@
+#include "stats/effect_size.h"
+
+#include <cmath>
+#include <limits>
+
+namespace leancon {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// The z in summary::ci95_halfwidth; inverted exactly when recovering sd.
+constexpr double kZ95 = 1.96;
+
+}  // namespace
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+effect_size cohens_d(double mean_a, double sd_a, std::uint64_t count_a,
+                     double mean_b, double sd_b, std::uint64_t count_b) {
+  effect_size e;
+  if (count_a < 2 || count_b < 2) {
+    e.cohens_d = kNaN;
+    e.overlap = kNaN;
+    return e;
+  }
+  const double dof_a = static_cast<double>(count_a - 1);
+  const double dof_b = static_cast<double>(count_b - 1);
+  const double pooled_var =
+      (dof_a * sd_a * sd_a + dof_b * sd_b * sd_b) / (dof_a + dof_b);
+  const double diff = mean_a - mean_b;
+  if (pooled_var == 0.0) {
+    // Two point masses: identical (d = 0) or infinitely separated.
+    e.cohens_d = diff == 0.0 ? 0.0
+                             : std::copysign(
+                                   std::numeric_limits<double>::infinity(),
+                                   diff);
+  } else {
+    e.cohens_d = diff / std::sqrt(pooled_var);
+  }
+  e.overlap = std::isnan(e.cohens_d)
+                  ? kNaN
+                  : 2.0 * normal_cdf(-std::fabs(e.cohens_d) / 2.0);
+  return e;
+}
+
+effect_size cohens_d_from_ci95(double mean_a, double ci95_a,
+                               std::uint64_t count_a, double mean_b,
+                               double ci95_b, std::uint64_t count_b) {
+  const double sd_a =
+      ci95_a / kZ95 * std::sqrt(static_cast<double>(count_a));
+  const double sd_b =
+      ci95_b / kZ95 * std::sqrt(static_cast<double>(count_b));
+  return cohens_d(mean_a, sd_a, count_a, mean_b, sd_b, count_b);
+}
+
+}  // namespace leancon

@@ -1,0 +1,50 @@
+// Effect-size summaries for comparing two measured groups (the ROADMAP's
+// "per-metric significance" follow-up to the ci95 rollup).
+//
+// A campaign records, per cell and location-rollup metric, a mean and a
+// normal-approximation 95% CI half-width (summary::ci95_halfwidth = 1.96 *
+// sd / sqrt(count)). Two cells' values of the same metric — two scenarios
+// at the same n, two adversaries, two protocol cutoffs — compare via
+// Cohen's d, the standardized mean difference
+//
+//   d = (mean_a - mean_b) / s_pooled,
+//   s_pooled^2 = ((n_a - 1) s_a^2 + (n_b - 1) s_b^2) / (n_a + n_b - 2),
+//
+// and the overlapping coefficient OVL = 2 * Phi(-|d| / 2): the shared area
+// of two unit-variance normals d apart — 1 when the groups coincide, → 0 as
+// they separate. |d| ~ 0.2 is conventionally "small", 0.5 "medium", 0.8
+// "large". bench/campaign_report --effect computes these per (series pair,
+// n) straight from the recorded mean/ci95/count columns.
+#pragma once
+
+#include <cstdint>
+
+namespace leancon {
+
+/// Standardized comparison of two sample means.
+struct effect_size {
+  double cohens_d = 0.0;  ///< (mean_a - mean_b) / pooled sd; signed
+  double overlap = 1.0;   ///< OVL = 2 * Phi(-|d| / 2), in [0, 1]
+};
+
+/// Standard normal CDF Phi(x).
+double normal_cdf(double x);
+
+/// Cohen's d and OVL from raw group moments (sample standard deviations).
+/// Degenerate inputs follow the arithmetic: equal means with zero pooled
+/// variance give d = 0 (identical point masses); differing means with zero
+/// pooled variance give d = +-inf and overlap 0. Counts below 2 per group
+/// leave no variance information: d is NaN.
+effect_size cohens_d(double mean_a, double sd_a, std::uint64_t count_a,
+                     double mean_b, double sd_b, std::uint64_t count_b);
+
+/// The same, from the values a campaign cell records for a location-rollup
+/// metric: mean_<m>, <m>_ci95, and the metric's observation count (e.g.
+/// the "decided" column for decided-only metrics like "round", "trials"
+/// for every-trial metrics). Inverts ci95 = 1.96 * sd / sqrt(count) back
+/// to the sample sd, then defers to cohens_d.
+effect_size cohens_d_from_ci95(double mean_a, double ci95_a,
+                               std::uint64_t count_a, double mean_b,
+                               double ci95_b, std::uint64_t count_b);
+
+}  // namespace leancon

@@ -214,4 +214,10 @@ void write_number(std::ostream& os, double v) {
   os << buf;
 }
 
+void write_uint(std::ostream& os, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  os << buf;
+}
+
 }  // namespace leancon::json

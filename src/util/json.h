@@ -8,6 +8,7 @@
 // and non-finite values render as null.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <utility>
@@ -47,5 +48,11 @@ void write_string(std::ostream& os, const std::string& s);
 /// Writes a JSON number with %.17g (doubles round-trip exactly through
 /// parse); non-finite values render as null.
 void write_number(std::ostream& os, double v);
+
+/// Writes an unsigned integer in plain decimal, independent of any locale
+/// imbued on the stream. Cells files and BENCH json are compared
+/// byte-for-byte (shard merges, committed baselines), so integer fields
+/// must never pick up digit grouping from the environment.
+void write_uint(std::ostream& os, std::uint64_t v);
 
 }  // namespace leancon::json

@@ -235,11 +235,14 @@ TEST(CampaignBench, AggregatesCellsFilesIntoValidBenchJson) {
 
   const results res = campaign_bench("unit_campaign", {path_a, path_b});
   EXPECT_EQ(res.bench, "unit_campaign");
-  // One series per scenario group, points at each n.
+  // One series per scenario group, points at each n. The inputs are MERGED
+  // in campaign-position order (both files carry cells at indices 0 and 1,
+  // which interleave), so mutex-noise — index 0 of its campaign — groups
+  // before mp-abd — indices 2, 3 of its campaign.
   ASSERT_EQ(res.series_list.size(), 3u);
   EXPECT_EQ(res.series_list[0].name, "figure1-exp1");
-  EXPECT_EQ(res.series_list[1].name, "mp-abd");
-  EXPECT_EQ(res.series_list[2].name, "mutex-noise");
+  EXPECT_EQ(res.series_list[1].name, "mutex-noise");
+  EXPECT_EQ(res.series_list[2].name, "mp-abd");
   for (const auto& ser : res.series_list) {
     ASSERT_EQ(ser.points.size(), 2u) << ser.name;
     EXPECT_EQ(ser.points[0].x, 4.0) << ser.name;
@@ -255,10 +258,10 @@ TEST(CampaignBench, AggregatesCellsFilesIntoValidBenchJson) {
     return false;
   };
   EXPECT_TRUE(has_metric(res.series_list[0].points[0], "mean_round"));
-  EXPECT_FALSE(has_metric(res.series_list[1].points[0], "mean_round"));
-  EXPECT_TRUE(has_metric(res.series_list[1].points[0], "mean_messages"));
+  EXPECT_FALSE(has_metric(res.series_list[2].points[0], "mean_round"));
+  EXPECT_TRUE(has_metric(res.series_list[2].points[0], "mean_messages"));
   EXPECT_TRUE(
-      has_metric(res.series_list[2].points[0], "mean_slow_path_entries"));
+      has_metric(res.series_list[1].points[0], "mean_slow_path_entries"));
 
   // Counters: cells, roll-ups, per-cell seconds.
   const auto counter = [&res](const std::string& name) {

@@ -485,6 +485,136 @@ TEST(CampaignIo, ChangedConfigDoesNotMatchOldRecords) {
   for (const auto& r : results) EXPECT_FALSE(r.resumed);
 }
 
+// --- Merging shard/overlap files -------------------------------------------
+
+std::string write_lines(const std::string& name,
+                        const std::vector<std::string>& lines) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  for (const auto& line : lines) out << line << "\n";
+  return path;
+}
+
+std::vector<std::string> file_lines(const std::string& path) {
+  std::istringstream in(read_file(path));
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(CampaignIoMerge, DuplicateIdenticalCellsDeduplicateAndCount) {
+  const auto cells = small_grid();
+  const std::string path = testing::TempDir() + "merge_dup_full.jsonl";
+  {
+    campaign_io io(path, false);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(cells, opts);
+  }
+  const auto lines = file_lines(path);
+  ASSERT_EQ(lines.size(), cells.size());
+  // A second file repeating the first three cells (e.g. two resume
+  // fragments of the same shard): identical bytes merge away.
+  const std::string overlap = write_lines(
+      "merge_dup_overlap.jsonl", {lines[0], lines[1], lines[2]});
+
+  const auto merged = campaign_io::merge_files({path, overlap});
+  EXPECT_EQ(merged.lines.size(), cells.size());
+  EXPECT_EQ(merged.records.size(), cells.size());
+  EXPECT_EQ(merged.duplicate_cells, 3u);
+  EXPECT_EQ(merged.skipped_lines, 0u);
+  for (std::size_t i = 0; i < merged.lines.size(); ++i) {
+    EXPECT_EQ(merged.lines[i], lines[i]) << i;
+    EXPECT_EQ(merged.records[i].ordinal, i);
+  }
+}
+
+TEST(CampaignIoMerge, SameKeyDifferentBytesIsAHardErrorNamingTheCell) {
+  const auto cells = small_grid();
+  const std::string path = testing::TempDir() + "merge_conflict_a.jsonl";
+  {
+    campaign_io io(path, false);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(cells, opts);
+  }
+  auto lines = file_lines(path);
+  // Corrupt one metric digit of the second cell: same (hash, seed) key,
+  // different bytes — two shards disagreeing about one cell must never
+  // merge silently.
+  std::string& line = lines[1];
+  const std::size_t pos = line.find("\"metrics\": {");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t digit = line.find_first_of("0123456789", pos + 12 + 12);
+  ASSERT_NE(digit, std::string::npos);
+  line[digit] = line[digit] == '9' ? '8' : '9';
+  const std::string conflicting =
+      write_lines("merge_conflict_b.jsonl", {lines[1]});
+
+  try {
+    campaign_io::merge_files({path, conflicting});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(cells[1].label()), std::string::npos) << what;
+    EXPECT_NE(what.find("merge_conflict_a.jsonl"), std::string::npos) << what;
+    EXPECT_NE(what.find("merge_conflict_b.jsonl"), std::string::npos) << what;
+  }
+}
+
+TEST(CampaignIoMerge, TornTailInOneShardIsSkippedAndCounted) {
+  const auto cells = small_grid();
+  const std::string path = testing::TempDir() + "merge_torn_a.jsonl";
+  {
+    campaign_io io(path, false);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(cells, opts);
+  }
+  const auto lines = file_lines(path);
+  // Shard B dies mid-write: a healthy line plus a torn final one.
+  const std::string torn_path = testing::TempDir() + "merge_torn_b.jsonl";
+  {
+    std::ofstream out(torn_path, std::ios::trunc | std::ios::binary);
+    out << lines[3] << "\n" << lines[4].substr(0, lines[4].size() / 2);
+  }
+
+  const auto merged = campaign_io::merge_files({torn_path, path});
+  EXPECT_EQ(merged.lines.size(), cells.size());
+  EXPECT_EQ(merged.skipped_lines, 1u);  // the torn tail
+  EXPECT_EQ(merged.duplicate_cells, 1u);  // lines[3], intact in both
+  for (std::size_t i = 0; i < merged.lines.size(); ++i) {
+    EXPECT_EQ(merged.lines[i], lines[i]) << i;
+  }
+}
+
+TEST(CampaignIoMerge, EmptyShardFilesAndEmptyInputsAreFine) {
+  const std::string empty = write_lines("merge_empty.jsonl", {});
+  const auto cells = small_grid();
+  const std::string path = testing::TempDir() + "merge_with_empty.jsonl";
+  {
+    campaign_io io(path, false);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(cells, opts);
+  }
+  // An empty shard (its hash range owned no cells) contributes nothing.
+  const auto merged = campaign_io::merge_files({empty, path, empty});
+  EXPECT_EQ(merged.lines.size(), cells.size());
+  EXPECT_EQ(merged.duplicate_cells, 0u);
+  EXPECT_EQ(merged.skipped_lines, 0u);
+
+  const auto nothing = campaign_io::merge_files({empty});
+  EXPECT_TRUE(nothing.lines.empty());
+  EXPECT_TRUE(nothing.records.empty());
+
+  EXPECT_THROW(campaign_io::merge_files({"no/such/file.jsonl"}),
+               std::runtime_error);
+}
+
 // --- Acceptance pin --------------------------------------------------------
 
 TEST(Campaign, Figure1SmokeGridMatchesCommittedBaseline) {

@@ -1,0 +1,136 @@
+// Tests for deterministic cell → shard assignment: CLI parsing, exact
+// partitioning for any shard count, stability of the assignment under grid
+// edits (append a scenario — surviving cells keep their shard), and
+// order/ordinal preservation through filter_shard.
+#include "exp/campaign_shard.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+namespace leancon {
+namespace {
+
+std::vector<campaign_cell> demo_cells() {
+  campaign_grid grid;
+  grid.scenarios = {"figure1-exp1", "mp-abd", "mutex-noise", "crash-heavy"};
+  grid.ns = {2, 4, 8, 16};
+  grid.trials = 50;
+  grid.seed = 9;
+  return grid.expand();
+}
+
+TEST(ShardSpec, ParsesTheCliForm) {
+  const shard_spec s = parse_shard("2/5");
+  EXPECT_EQ(s.index, 2u);
+  EXPECT_EQ(s.count, 5u);
+  const shard_spec whole = parse_shard("0/1");
+  EXPECT_EQ(whole.index, 0u);
+  EXPECT_EQ(whole.count, 1u);
+}
+
+TEST(ShardSpec, RejectsMalformedAndOutOfRangeText) {
+  for (const char* bad : {"", "3", "/4", "3/", "a/b", "1/1x", "x1/2", "1//2",
+                          "1/0", "3/3", "5/2", "-1/2"}) {
+    EXPECT_THROW(parse_shard(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Shard, EveryCellBelongsToExactlyOneShard) {
+  const auto cells = demo_cells();
+  for (const std::uint64_t k : {1u, 2u, 3u, 5u, 7u}) {
+    std::size_t total = 0;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      total += filter_shard(cells, {i, k}).size();
+    }
+    EXPECT_EQ(total, cells.size()) << "k=" << k;
+    for (const auto& cell : cells) {
+      EXPECT_LT(shard_of(cell, k), k);
+    }
+  }
+  // k = 1 is the whole campaign.
+  EXPECT_EQ(filter_shard(cells, {0, 1}).size(), cells.size());
+}
+
+TEST(Shard, AssignmentDependsOnlyOnTheResumeKey) {
+  // Two cells with the same (scenario, variant, n, trials, seed) — i.e. the
+  // same (config hash, seed) resume key — land in the same shard no matter
+  // how they were built; changing the seed or the config moves the key.
+  campaign_cell cell;
+  cell.scenario = "figure1-exp1";
+  cell.params.n = 8;
+  cell.params.seed = 1234;
+  cell.trials = 100;
+  cell.ordinal = 3;  // position must NOT matter
+
+  campaign_cell moved = cell;
+  moved.ordinal = 17;
+  for (const std::uint64_t k : {2u, 3u, 5u, 16u}) {
+    EXPECT_EQ(shard_of(cell, k), shard_of(moved, k)) << "k=" << k;
+  }
+
+  // Distinct seeds (or configs) spread across shards eventually: with 64
+  // key variations and k = 2 it is statistically impossible for the hash
+  // to put all of them on one side unless it ignored the field.
+  std::map<std::uint64_t, int> by_seed, by_n;
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    campaign_cell seeded = cell;
+    seeded.params.seed = v;
+    ++by_seed[shard_of(seeded, 2)];
+    campaign_cell resized = cell;
+    resized.params.n = v + 1;
+    ++by_n[shard_of(resized, 2)];
+  }
+  EXPECT_EQ(by_seed.size(), 2u);
+  EXPECT_EQ(by_n.size(), 2u);
+}
+
+TEST(Shard, StableUnderAppendingGridEdits) {
+  // Appending a scenario leaves earlier cells' (seed, hash) intact, so
+  // their shard assignment must not move — a shard's partial cells file
+  // stays valid after the grid grows.
+  campaign_grid grid;
+  grid.scenarios = {"figure1-exp1", "mp-abd"};
+  grid.ns = {4, 8};
+  grid.trials = 30;
+  grid.seed = 5;
+  const auto before = grid.expand();
+
+  grid.scenarios.push_back("mutex-noise");
+  const auto after = grid.expand();
+  ASSERT_GT(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    ASSERT_EQ(before[i].scenario, after[i].scenario) << i;
+    ASSERT_EQ(before[i].params.seed, after[i].params.seed) << i;
+    for (const std::uint64_t k : {2u, 3u, 5u}) {
+      EXPECT_EQ(shard_of(before[i], k), shard_of(after[i], k))
+          << "cell " << i << " k=" << k;
+    }
+  }
+}
+
+TEST(Shard, FilterPreservesOrderOrdinalsAndSeeds) {
+  const auto cells = demo_cells();
+  for (const std::uint64_t k : {2u, 3u}) {
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const auto mine = filter_shard(cells, {i, k});
+      std::uint64_t last_ordinal = 0;
+      bool first = true;
+      for (const auto& cell : mine) {
+        EXPECT_EQ(shard_of(cell, k), i);
+        if (!first) EXPECT_GT(cell.ordinal, last_ordinal);
+        last_ordinal = cell.ordinal;
+        first = false;
+        // The filtered cell is the grid's cell verbatim.
+        EXPECT_EQ(cell.params.seed, cells[cell.ordinal].params.seed);
+        EXPECT_EQ(cell.scenario, cells[cell.ordinal].scenario);
+      }
+    }
+  }
+  EXPECT_THROW(filter_shard(cells, {3, 3}), std::invalid_argument);
+  EXPECT_THROW(shard_of(cells[0], 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,91 @@
+// Effect-size helper tests on hand-computed fixtures: Cohen's d and the
+// normal overlapping coefficient from raw moments and from the
+// mean/ci95/count triple a campaign cell records.
+#include "stats/effect_size.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/summary.h"
+
+namespace leancon {
+namespace {
+
+TEST(EffectSize, NormalCdfMatchesTabulatedValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.96), 0.9750021048517795, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145707, 1e-12);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(EffectSize, HandComputedCohensD) {
+  // Equal spread, one-sd mean gap: d = (12 - 10) / 2 = 1, and
+  // OVL = 2 * Phi(-1/2) = 2 * 0.30853753872598694 = 0.6170750774519739.
+  const effect_size e = cohens_d(12.0, 2.0, 100, 10.0, 2.0, 100);
+  EXPECT_DOUBLE_EQ(e.cohens_d, 1.0);
+  EXPECT_NEAR(e.overlap, 0.6170750774519739, 1e-12);
+
+  // Sign follows the argument order; the overlap does not.
+  const effect_size flipped = cohens_d(10.0, 2.0, 100, 12.0, 2.0, 100);
+  EXPECT_DOUBLE_EQ(flipped.cohens_d, -1.0);
+  EXPECT_NEAR(flipped.overlap, e.overlap, 1e-15);
+
+  // Unequal groups: pooled sd = sqrt((9*1 + 4*9) / 13) = sqrt(45/13)
+  // = 1.8605210188381265, d = (7 - 5) / 1.8605210188381265.
+  const effect_size uneven = cohens_d(7.0, 1.0, 10, 5.0, 3.0, 5);
+  EXPECT_NEAR(uneven.cohens_d, 2.0 / std::sqrt(45.0 / 13.0), 1e-15);
+
+  // Identical groups: no effect, full overlap.
+  const effect_size none = cohens_d(4.0, 1.5, 30, 4.0, 1.5, 30);
+  EXPECT_DOUBLE_EQ(none.cohens_d, 0.0);
+  EXPECT_DOUBLE_EQ(none.overlap, 1.0);
+}
+
+TEST(EffectSize, DegenerateInputsFollowTheArithmetic) {
+  // Zero pooled variance: identical point masses (d = 0) or infinitely
+  // separated ones (d = +-inf, overlap 0).
+  const effect_size same = cohens_d(3.0, 0.0, 10, 3.0, 0.0, 10);
+  EXPECT_DOUBLE_EQ(same.cohens_d, 0.0);
+  EXPECT_DOUBLE_EQ(same.overlap, 1.0);
+  const effect_size apart = cohens_d(4.0, 0.0, 10, 3.0, 0.0, 10);
+  EXPECT_TRUE(std::isinf(apart.cohens_d));
+  EXPECT_GT(apart.cohens_d, 0.0);
+  EXPECT_DOUBLE_EQ(apart.overlap, 0.0);
+
+  // Below two observations per group there is no variance information.
+  const effect_size tiny = cohens_d(4.0, 0.0, 1, 3.0, 1.0, 50);
+  EXPECT_TRUE(std::isnan(tiny.cohens_d));
+  EXPECT_TRUE(std::isnan(tiny.overlap));
+}
+
+TEST(EffectSize, InvertsTheCi95ASummaryRecords) {
+  // ci95 = 1.96 * sd / sqrt(n) (summary::ci95_halfwidth), so the ci95 form
+  // must recover the raw-moment answer exactly: sd 2, n 100 => ci95 0.392.
+  const effect_size from_ci =
+      cohens_d_from_ci95(12.0, 1.96 * 2.0 / 10.0, 100, 10.0,
+                         1.96 * 2.0 / 10.0, 100);
+  EXPECT_DOUBLE_EQ(from_ci.cohens_d, 1.0);
+
+  // Round-trip through an actual summary: two synthetic samples with known
+  // means; cohens_d_from_ci95 over (mean, ci95, count) must agree with
+  // cohens_d over (mean, stddev, count) to floating-point rounding.
+  summary a, b;
+  for (int i = 0; i < 40; ++i) {
+    a.add(10.0 + (i % 5));  // mean 12, spread {0..4}
+    b.add(14.0 + (i % 3));  // mean 15, spread {0..2}
+  }
+  const effect_size direct =
+      cohens_d(a.mean(), a.stddev(), a.count(), b.mean(), b.stddev(),
+               b.count());
+  const effect_size via_ci =
+      cohens_d_from_ci95(a.mean(), a.ci95_halfwidth(), a.count(), b.mean(),
+                         b.ci95_halfwidth(), b.count());
+  EXPECT_NEAR(via_ci.cohens_d, direct.cohens_d, 1e-12);
+  EXPECT_NEAR(via_ci.overlap, direct.overlap, 1e-12);
+  EXPECT_LT(direct.cohens_d, 0.0);  // a sits below b
+}
+
+}  // namespace
+}  // namespace leancon

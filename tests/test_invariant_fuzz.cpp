@@ -1,0 +1,146 @@
+// Scenario-wide invariant fuzzing: every registered preset — shared-memory
+// and native backends alike — is swept over seeds and process counts, and
+// every trial_outcome is checked against the paper's safety invariants:
+// no violation flag (agreement, validity, mutual exclusion, and the hybrid
+// lemmas all fold into it; shared-memory presets run with the full
+// invariant checker enabled via a tweak), decision-side metrics observed
+// only on deciding trials (never fabricated), and all observations finite.
+// Related work (Aspnes, arXiv:cs/0206012; Clementi et al.,
+// arXiv:1807.05626) stresses that noisy-schedule guarantees must hold
+// under EVERY adversary — the registry's adversary families are part of
+// the sweep by construction.
+//
+// The second half fuzzes the distributed-campaign contract: a grid split
+// across k campaign_shard workers (k in {1, 2, 3, 5}) must reassemble —
+// via campaign_io::merge_files — byte-for-byte into the single-process
+// campaign's cells file.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "exp/campaign.h"
+#include "exp/campaign_io.h"
+#include "exp/campaign_shard.h"
+#include "scenario/scenario.h"
+#include "sim/trial_executor.h"
+
+namespace leancon {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(InvariantFuzz, EveryRegisteredScenarioIsSafeAcrossSeedsAndSizes) {
+  ASSERT_GE(scenario_registry().size(), 30u)
+      << "the registry shrank; update the fuzz expectations";
+  for (const auto& spec : scenario_registry()) {
+    for (const std::uint64_t n : {4u, 9u}) {
+      scenario_params params;
+      params.n = n;
+      params.seed = 0xF0220 + n;
+      // Native backends reject tweaks; shared-memory presets get the full
+      // invariant checker turned on (measured presets default it off).
+      workload w = spec.make(params, nullptr);
+      if (w.config) {
+        w = spec.make(params, [](sim_config& config) {
+          config.check_invariants = true;
+        });
+      }
+      trial_stats stats;
+      for (std::uint64_t t = 0; t < 6; ++t) {
+        const trial_outcome out = w.run_trial(trial_seed(params.seed, t));
+        ASSERT_FALSE(out.violation)
+            << spec.key << " n=" << n << " trial " << t
+            << ": safety violated";
+        // Decision-side observations exist only when something decided: a
+        // fabricated round/time for an undecided trial is the bug class
+        // the unified workload API eliminated.
+        for (const char* name :
+             {"round", "first_time", "last_round", "last_time"}) {
+          const std::uint64_t count = out.metrics.sample(name).count();
+          EXPECT_LE(count, out.decided ? 1u : 0u)
+              << spec.key << " n=" << n << " trial " << t << " " << name;
+        }
+        // Every observation and counter must be finite — absent metrics
+        // are omitted, never recorded as NaN/inf.
+        for (const auto& e : out.metrics.entries()) {
+          if (e.is_counter) {
+            EXPECT_TRUE(std::isfinite(e.total))
+                << spec.key << " n=" << n << " " << e.name;
+          } else {
+            for (const double x : e.stats.samples()) {
+              EXPECT_TRUE(std::isfinite(x))
+                  << spec.key << " n=" << n << " " << e.name;
+            }
+          }
+        }
+        stats.record(out);
+      }
+      EXPECT_EQ(stats.trials, 6u) << spec.key;
+      EXPECT_EQ(stats.decided_trials + stats.undecided_trials, 6u)
+          << spec.key;
+      EXPECT_EQ(stats.violation_trials, 0u) << spec.key;
+    }
+  }
+}
+
+TEST(InvariantFuzz, ShardedCampaignMergesByteIdenticalToSingleProcess) {
+  // A mixed shared-memory/native grid, run once in-process and once split
+  // into k shard files for every k in {1, 2, 3, 5}: the merged union must
+  // reproduce the single-process cells file byte-for-byte.
+  campaign_grid grid;
+  grid.scenarios = {"figure1-exp1", "crash-heavy", "mp-abd", "mutex-noise",
+                    "hybrid-q8"};
+  grid.ns = {2, 5};
+  grid.trials = 6;
+  grid.seed = 17;
+  const auto cells = grid.expand();
+
+  const std::string single_path = testing::TempDir() + "fuzz_single.jsonl";
+  {
+    campaign_io io(single_path, false);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(cells, opts);
+  }
+  const std::string single = read_file(single_path);
+  ASSERT_FALSE(single.empty());
+
+  for (const std::uint64_t k : {1u, 2u, 3u, 5u}) {
+    std::vector<std::string> shard_paths;
+    std::size_t assigned = 0;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const auto mine = filter_shard(cells, {i, k});
+      assigned += mine.size();
+      const std::string path = testing::TempDir() + "fuzz_shard_" +
+                               std::to_string(k) + "_" + std::to_string(i) +
+                               ".jsonl";
+      campaign_io io(path, false);
+      campaign_options opts;
+      opts.io = &io;
+      run_campaign(mine, opts);
+      shard_paths.push_back(path);
+    }
+    ASSERT_EQ(assigned, cells.size()) << "k=" << k;
+
+    const auto merged = campaign_io::merge_files(shard_paths);
+    EXPECT_EQ(merged.duplicate_cells, 0u) << "k=" << k;
+    EXPECT_EQ(merged.skipped_lines, 0u) << "k=" << k;
+    std::string reassembled;
+    for (const auto& line : merged.lines) {
+      reassembled += line;
+      reassembled += '\n';
+    }
+    EXPECT_EQ(reassembled, single) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,232 @@
+// Port-parity pins for the three native-backend bench ports
+// (message_passing, mutex_noise, quantum_hybrid → workload campaigns):
+//
+//  1. ENGINE-DIRECT PARITY — at pinned seeds, the workload path
+//     (run_scenario_trial) reports metrics bit-identical to driving the
+//     engine directly with the preset's configuration, i.e. exactly what
+//     the pre-port benches computed per trial.
+//  2. GOLDEN BASELINE — a committed cells file
+//     (tests/baselines/workload_ports.jsonl, generated once with
+//     bench/campaign_worker at the parameters below) is reproduced
+//     byte-for-byte by re-running the same grid, so the ported values can
+//     never drift silently (the fig1 pattern).
+//
+// Regenerate the golden after an INTENDED behavior change with:
+//   ./bench/campaign_worker --scenarios=mp-abd,mp-abd-crash2,mutex-noise,\
+//     hybrid-quantum,hybrid-q4,hybrid-q8 --ns=4,8 --trials=12 \
+//     --seed=20000625 --shard=0/1 --cells=tests/baselines/workload_ports.jsonl
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "exp/campaign.h"
+#include "exp/campaign_io.h"
+#include "msg/abd_sim.h"
+#include "mutex/fast_mutex.h"
+#include "noise/catalog.h"
+#include "scenario/scenario.h"
+#include "sched/hybrid.h"
+#include "sim/trial_executor.h"
+
+namespace leancon {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// The single observation of a sample metric in a one-trial outcome.
+double observed(const trial_outcome& out, const std::string& name) {
+  const summary& s = out.metrics.sample(name);
+  EXPECT_EQ(s.count(), 1u) << name;
+  return s.mean();
+}
+
+TEST(WorkloadPorts, MpAbdMatchesEngineDirectAtPinnedSeeds) {
+  // The exact per-trial values the pre-port message_passing bench computed
+  // from mp_result must flow through the workload unchanged.
+  scenario_params params;
+  params.n = 8;
+  for (const std::uint64_t seed : {24u, 25u, 19937u}) {
+    const trial_outcome out = run_scenario_trial("mp-abd", params, seed);
+
+    mp_config config;  // the mp-abd preset's configuration, replicated
+    config.inputs = split_inputs(params.n);
+    config.net = figure1_params(make_exponential(1.0));
+    config.protocol = protocol_kind::lean;
+    config.seed = seed;
+    const mp_result mp = run_message_passing(config);
+
+    std::uint64_t register_ops = 0;
+    for (const auto& proc : mp.processes) {
+      register_ops += proc.register_ops;
+    }
+    // The success notion is the pre-port bench's: all LIVE processes
+    // decided, with the decision-time columns taken from the same fields.
+    EXPECT_EQ(out.decided, mp.all_live_decided) << seed;
+    EXPECT_FALSE(out.violation) << seed;
+    EXPECT_EQ(observed(out, "messages"),
+              static_cast<double>(mp.total_messages))
+        << seed;
+    EXPECT_EQ(observed(out, "register_ops"),
+              static_cast<double>(register_ops))
+        << seed;
+    EXPECT_EQ(observed(out, "msgs_per_reg_op"),
+              static_cast<double>(mp.total_messages) /
+                  static_cast<double>(register_ops))
+        << seed;
+    EXPECT_EQ(observed(out, "reg_ops_per_proc"),
+              static_cast<double>(register_ops) /
+                  static_cast<double>(params.n))
+        << seed;
+    EXPECT_EQ(observed(out, "first_time"), mp.first_decision_time) << seed;
+    EXPECT_EQ(observed(out, "last_time"), mp.last_decision_time) << seed;
+  }
+}
+
+TEST(WorkloadPorts, MpAbdCrashFamilyCapsAtAStrictMinority) {
+  scenario_params params;
+  params.n = 8;
+  const trial_outcome out =
+      run_scenario_trial("mp-abd-crash2", params, 77);
+  EXPECT_EQ(observed(out, "survivors"), 6.0);
+  EXPECT_FALSE(out.violation);
+
+  // At n = 4 the requested 3 crashes cap to (n - 1) / 2 = 1, so majorities
+  // still form and the run completes.
+  params.n = 4;
+  const trial_outcome capped =
+      run_scenario_trial("mp-abd-crash3", params, 78);
+  EXPECT_EQ(observed(capped, "survivors"), 3.0);
+  EXPECT_FALSE(capped.violation);
+}
+
+TEST(WorkloadPorts, MutexNoiseMatchesEngineDirectAtPinnedSeeds) {
+  scenario_params params;
+  params.n = 4;
+  for (const std::uint64_t seed : {25u, 26u, 4099u}) {
+    const trial_outcome out = run_scenario_trial("mutex-noise", params, seed);
+
+    mutex_config config;  // the mutex-noise preset's configuration
+    config.processes = params.n;
+    config.entries_per_process = 4;
+    config.sched = figure1_params(make_exponential(1.0));
+    config.seed = seed;
+    const mutex_result mx = run_mutex(config);
+
+    EXPECT_EQ(out.decided, mx.all_finished) << seed;
+    EXPECT_EQ(out.violation,
+              mx.overlap_violations > 0 || mx.canary_violations > 0)
+        << seed;
+    EXPECT_EQ(observed(out, "total_ops"), static_cast<double>(mx.total_ops))
+        << seed;
+    EXPECT_EQ(observed(out, "entries"),
+              static_cast<double>(mx.total_entries))
+        << seed;
+    EXPECT_EQ(observed(out, "fast_path_frac"),
+              static_cast<double>(mx.fast_path_entries) /
+                  static_cast<double>(mx.total_entries))
+        << seed;
+    // The port's per-entry columns (the pre-port bench's ops/entry and
+    // sim-time/entry) derive from the same engine values.
+    EXPECT_EQ(observed(out, "ops_per_entry"),
+              static_cast<double>(mx.total_ops) /
+                  static_cast<double>(mx.total_entries))
+        << seed;
+    EXPECT_EQ(observed(out, "time_per_entry"),
+              mx.finish_time / static_cast<double>(mx.total_entries))
+        << seed;
+  }
+}
+
+TEST(WorkloadPorts, HybridQuantumMatchesEngineDirectAtPinnedSeeds) {
+  scenario_params params;
+  params.n = 4;
+  for (const std::uint64_t seed : {26u, 27u, 65537u}) {
+    const trial_outcome out =
+        run_scenario_trial("hybrid-quantum", params, seed);
+
+    hybrid_config config;  // the hybrid-quantum preset's configuration
+    config.inputs = split_inputs(params.n);
+    config.priorities.resize(params.n);
+    for (std::size_t i = 0; i < params.n; ++i) {
+      config.priorities[i] = static_cast<int>(i % 2);
+    }
+    config.quantum = 8;
+    config.initial_quantum_used.assign(params.n, seed % config.quantum);
+    const auto adversary = make_random_preemption(0.3, seed);
+    const hybrid_result hy = run_hybrid(config, *adversary);
+
+    EXPECT_EQ(out.decided, hy.all_decided) << seed;
+    EXPECT_EQ(observed(out, "total_ops"), static_cast<double>(hy.total_ops))
+        << seed;
+    EXPECT_EQ(observed(out, "max_ops"),
+              static_cast<double>(hy.max_ops_per_process))
+        << seed;
+    EXPECT_EQ(observed(out, "preemptions"),
+              static_cast<double>(hy.preemptions))
+        << seed;
+    EXPECT_EQ(observed(out, "dispatches"),
+              static_cast<double>(hy.dispatches))
+        << seed;
+    EXPECT_LE(observed(out, "max_ops"), 12.0) << seed;  // Theorem 14
+  }
+}
+
+TEST(WorkloadPorts, HybridSweepFamilyHonorsTheorem14FromQuantum8) {
+  // The seed-sampled quantum family: every draw at quantum >= 8 decides
+  // within 12 ops; the location rollup exposes the worst case.
+  scenario_params params;
+  params.n = 8;
+  for (const char* key : {"hybrid-q8", "hybrid-q12", "hybrid-q16"}) {
+    trial_stats stats;
+    for (std::uint64_t t = 0; t < 24; ++t) {
+      const trial_outcome out =
+          run_scenario_trial(key, params, trial_seed(99, t));
+      EXPECT_TRUE(out.decided) << key << " trial " << t;
+      EXPECT_FALSE(out.violation) << key << " trial " << t;
+      stats.record(out);
+    }
+    EXPECT_LE(stats.max_ops().max(), 12.0) << key;
+  }
+}
+
+TEST(WorkloadPorts, GoldenCellsFileReproducesByteForByte) {
+  // The committed golden was produced by campaign_worker (header comment);
+  // the identical grid re-run here must rewrite it byte-for-byte.
+  campaign_grid grid;
+  grid.scenarios = {"mp-abd", "mp-abd-crash2", "mutex-noise",
+                    "hybrid-quantum", "hybrid-q4", "hybrid-q8"};
+  grid.ns = {4, 8};
+  grid.trials = 12;
+  grid.seed = 20000625;
+
+  const std::string golden_path = std::string(LEANCON_SOURCE_DIR) +
+                                  "/tests/baselines/workload_ports.jsonl";
+  const std::string golden = read_file(golden_path);
+  ASSERT_FALSE(golden.empty());
+
+  const std::string fresh_path = testing::TempDir() + "workload_ports.jsonl";
+  {
+    campaign_io io(fresh_path, false);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(grid, opts);
+  }
+  EXPECT_EQ(read_file(fresh_path), golden)
+      << "ported workload output drifted from the committed golden";
+
+  // And the golden parses into exactly the grid's cells.
+  std::size_t skipped = 0;
+  const auto records = campaign_io::read_records(golden_path, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(records.size(), grid.scenarios.size() * grid.ns.size());
+}
+
+}  // namespace
+}  // namespace leancon
