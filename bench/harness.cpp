@@ -53,6 +53,14 @@ void set_counter(std::vector<std::pair<std::string, double>>& counters,
   counters.emplace_back(name, value);
 }
 
+double counter_value(const std::vector<std::pair<std::string, double>>& counters,
+                     const std::string& name) {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return 0.0;
+}
+
 unsigned threads_from(const options& opts) {
   return resolve_threads(opts.get_int("threads"));
 }
@@ -111,8 +119,25 @@ campaign_options run_context::campaign() const {
 }
 
 void run_context::add_cell_counters(const std::vector<cell_result>& cells) {
+  double trials = 0.0;
+  double seconds = 0.0;
   for (const auto& cell : cells) {
     add_counter("cell_seconds/" + cell.cell.label(), cell.seconds);
+    if (!cell.resumed) {  // resumed cells carry no fresh execution time
+      trials += static_cast<double>(cell.cell.trials);
+      seconds += cell.seconds;
+    }
+  }
+  add_counter("campaign_trials", trials);
+  add_counter("cell_seconds_total", seconds);
+  // Recompute the throughput over everything accumulated so far, so a bench
+  // calling this for several grids reports one coherent rate. This is the
+  // number the perf gate (tools/perf_gate.py) compares against committed
+  // baselines.
+  const double all_trials = counter_value(out_.counters, "campaign_trials");
+  const double all_seconds = counter_value(out_.counters, "cell_seconds_total");
+  if (all_seconds > 0.0) {
+    set_counter(out_.counters, "trials_per_sec", all_trials / all_seconds);
   }
 }
 
@@ -330,6 +355,11 @@ results campaign_bench(const std::string& bench_name,
   accumulate(res.counters, "trials_total", trials_total);
   accumulate(res.counters, "sim_ops", sim_ops);
   accumulate(res.counters, "cell_seconds_total", seconds_total);
+  // Throughput of the recorded campaign; absent when the writer did not
+  // record per-cell seconds (resumed/secondless files would divide by 0).
+  if (seconds_total > 0.0) {
+    set_counter(res.counters, "trials_per_sec", trials_total / seconds_total);
+  }
   accumulate(res.counters, "duplicate_cells",
              static_cast<double>(merged.duplicate_cells));
   accumulate(res.counters, "skipped_lines",

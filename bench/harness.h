@@ -109,7 +109,11 @@ class run_context {
   campaign_options campaign() const;
 
   /// Accumulates one "cell_seconds/<label>" counter per campaign cell (its
-  /// summed chunk execution time; 0 for resumed cells).
+  /// summed chunk execution time; 0 for resumed cells), plus the totals
+  /// "campaign_trials" and "cell_seconds_total" over freshly-executed
+  /// (non-resumed) cells, and sets "trials_per_sec" to their running ratio —
+  /// the throughput number tools/perf_gate.py compares against committed
+  /// perf baselines (bench/baselines/PERF_*.json).
   void add_cell_counters(const std::vector<cell_result>& cells);
 
   /// Honours the --cells/--resume flags (see add_campaign_flags): opens the
@@ -193,9 +197,10 @@ std::optional<std::string> validate_bench_json(const std::string& text);
 /// recorded metric carried through (absent metrics stay absent). Counters:
 /// "cells", "trials_total", "sim_ops" (summed total_ops_sum where
 /// present), per-cell "cell_seconds/<label>" and "cell_seconds_total" (0
-/// unless the writer enabled record_seconds), "duplicate_cells", and
-/// "skipped_lines". Throws std::runtime_error when a file cannot be read
-/// or two files conflict.
+/// unless the writer enabled record_seconds), "trials_per_sec"
+/// (trials_total / cell_seconds_total; omitted when the writer recorded no
+/// seconds), "duplicate_cells", and "skipped_lines". Throws
+/// std::runtime_error when a file cannot be read or two files conflict.
 results campaign_bench(const std::string& bench_name,
                        const std::vector<std::string>& cells_paths);
 

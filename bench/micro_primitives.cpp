@@ -91,6 +91,86 @@ void run_event_queue(bench::run_context& ctx) {
   });
 }
 
+void run_event_scheduler(bench::run_context& ctx) {
+  // The trial loop's serial chain: top() -> reschedule_top(), nothing in
+  // between but a cheap deterministic increment. Measures the tournament
+  // replay's dependency LATENCY (the next winner is unknown until the
+  // replay finishes), which is what the simulator pays per operation.
+  auto& out = ctx.add_series("event_scheduler");
+  for (const std::size_t n : {16u, 128u, 1024u}) {
+    event_scheduler s;
+    s.reset(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.prime(static_cast<int>(i), 1.0 + 0.01 * static_cast<double>(i));
+    }
+    s.build();
+    double tsink = 0.0;
+    measure(ctx, out, static_cast<double>(n),
+            "scheduler replay n=" + std::to_string(n), [&](std::uint64_t i) {
+              const sim_event e = s.top();
+              std::uint64_t z = (e.seq + i) * 0x9e3779b97f4a7c15ULL;
+              z ^= z >> 32;
+              s.reschedule_top(e.time + 0.5 +
+                               static_cast<double>(z >> 40) * 1e-7);
+              tsink += e.time;
+            });
+    if (tsink < 0.0) std::printf("\n");
+  }
+}
+
+void run_sampler_batch(bench::run_context& ctx) {
+  // Batched vs single increment draws, per distribution: the simulator's
+  // fast path refills a small per-process ring via increment_sampler::fill
+  // so the libm-heavy samplers spill the loop's registers once per batch
+  // instead of once per operation.
+  constexpr std::size_t kBatch = 8;
+  const auto catalog = figure1_catalog();
+  double sink = 0.0;
+  for (std::size_t d = 0; d < catalog.size(); ++d) {
+    auto& out = ctx.add_series("increment " + catalog[d].dist->name());
+    const noisy_params params = figure1_params(catalog[d].dist);
+    const increment_sampler sampler(params);
+    rng single_gen(7 + d);
+    measure(ctx, out, 0, "single " + catalog[d].key, [&](std::uint64_t) {
+      bool halted = false;
+      sink += sampler(0, 1, false, single_gen, halted);
+    });
+    rng batch_gen(7 + d);
+    double inc[kBatch];
+    std::uint8_t halt[kBatch];
+    std::size_t pos = kBatch;
+    measure(ctx, out, 1, "batched " + catalog[d].key, [&](std::uint64_t) {
+      if (pos == kBatch) {
+        sampler.fill(0, batch_gen, inc, halt, kBatch);
+        pos = 0;
+      }
+      sink += inc[pos++];
+    });
+  }
+  if (sink < 0.0) std::printf("\n");
+}
+
+void run_metric_record(bench::run_context& ctx) {
+  // Metric emission by pre-bound handle vs by name. A handle resolves by
+  // index (one vector access plus a confirming compare); a name is a
+  // linear scan over the set's entries — the difference is what
+  // runner-side pre-binding buys per recorded trial metric.
+  auto& out = ctx.add_series("metric_record");
+  metric_binder binder;
+  const metric_handle h_ops = binder.counter("total_ops");
+  const metric_handle h_round = binder.sample("round", metric_rollup::mean);
+  metric_set by_handle;
+  measure(ctx, out, 0, "metric record (handle)", [&](std::uint64_t i) {
+    by_handle.count(h_ops, 1.0);
+    by_handle.observe(h_round, static_cast<double>(i & 15));
+  });
+  metric_set by_name;
+  measure(ctx, out, 1, "metric record (name)", [&](std::uint64_t i) {
+    by_name.count("total_ops", 1.0);
+    by_name.observe("round", static_cast<double>(i & 15));
+  });
+}
+
 void run_solo_machines(bench::run_context& ctx) {
   auto& out = ctx.add_series("solo_machines");
   measure(ctx, out, 0, "lean solo decision", [&](std::uint64_t) {
@@ -167,6 +247,9 @@ int main(int argc, char** argv) {
   h.add("distributions", run_distributions);
   h.add("memory", run_memory);
   h.add("event_queue", run_event_queue);
+  h.add("event_scheduler", run_event_scheduler);
+  h.add("sampler_batch", run_sampler_batch);
+  h.add("metric_record", run_metric_record);
   h.add("solo_machines", run_solo_machines);
   h.add("simulate_consensus", run_simulate_consensus);
   h.add("renewal_race", run_renewal_race);

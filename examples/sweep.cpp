@@ -29,6 +29,7 @@
 #include "exp/worker_pool.h"
 #include "scenario/scenario.h"
 #include "sim/trial_executor.h"
+#include "stats/effect_size.h"
 #include "util/options.h"
 #include "util/table.h"
 
@@ -50,6 +51,14 @@ int main(int argc, char** argv) {
   opts.add("cell-seconds", "false",
            "with --cells: record per-cell wall seconds in each line (for "
            "campaign_report; makes the file non-deterministic across runs)");
+  opts.add("effect", "",
+           "add cohens_d / overlap columns for this sample metric (e.g. "
+           "round), comparing each scenario against the FIRST listed "
+           "scenario at the same n");
+  opts.add("effect-count", "decided",
+           "with --effect: the column holding each cell's observation "
+           "count for the metric (decided for decided-only metrics like "
+           "round, trials for every-trial metrics)");
   opts.add("list", "false", "print scenario keys with descriptions and exit");
   if (!opts.parse(argc, argv)) return 1;
 
@@ -107,6 +116,21 @@ int main(int argc, char** argv) {
 
   const auto results = run_campaign(cells, copts);
 
+  // --effect: each scenario's cells compare against the first listed
+  // scenario's cell at the same n (the sweep's natural control group).
+  const std::string eff_metric = opts.get("effect");
+  const std::string eff_count = opts.get("effect-count");
+  const std::string eff_base =
+      grid.scenarios.empty() ? std::string() : grid.scenarios.front();
+  const auto baseline_for = [&](std::uint64_t n) -> const cell_metrics* {
+    for (const auto& r : results) {
+      if (r.cell.scenario == eff_base && r.cell.params.n == n) {
+        return &r.metrics;
+      }
+    }
+    return nullptr;
+  };
+
   // Lead columns are fixed; every other column is discovered from the
   // metrics the workloads actually emitted (native backends included).
   metric_table tbl({"scenario", "n", "decided"});
@@ -131,8 +155,32 @@ int main(int argc, char** argv) {
       }
       tbl.set(name, value, 2);
     }
+    if (!eff_metric.empty() && r.cell.scenario != eff_base) {
+      const cell_metrics* base = baseline_for(r.cell.params.n);
+      if (base != nullptr) {
+        const double mean_a = m.get("mean_" + eff_metric);
+        const double mean_b = base->get("mean_" + eff_metric);
+        const double count_a = m.get(eff_count);
+        const double count_b = base->get(eff_count);
+        if (std::isfinite(mean_a) && std::isfinite(mean_b) &&
+            std::isfinite(count_a) && std::isfinite(count_b)) {
+          const effect_size e = cohens_d_from_ci95(
+              mean_a, m.get(eff_metric + "_ci95"),
+              static_cast<std::uint64_t>(count_a), mean_b,
+              base->get(eff_metric + "_ci95"),
+              static_cast<std::uint64_t>(count_b));
+          tbl.set("cohens_d", e.cohens_d, 3);
+          tbl.set("overlap", e.overlap, 3);
+        }
+      }
+    }
   }
   tbl.print();
+  if (!eff_metric.empty()) {
+    std::printf("\ncohens_d / overlap: \"%s\" vs scenario \"%s\" at the "
+                "same n (counts from \"%s\"; baseline rows blank)\n",
+                eff_metric.c_str(), eff_base.c_str(), eff_count.c_str());
+  }
   if (resumed > 0) {
     std::printf("\n%llu of %zu cells resumed from %s\n",
                 static_cast<unsigned long long>(resumed), results.size(),

@@ -14,21 +14,34 @@ lean_machine::lean_machine(int input, std::uint64_t max_round)
   }
 }
 
+// next_op and apply are the innermost calls of the discrete-event
+// simulator, executed once per simulated operation with the stepping
+// machine chosen quasi-randomly by the event order. A switch over phase_
+// therefore presents the branch predictor with an effectively random
+// 4-way target and costs a pipeline flush on most operations. Both
+// functions instead compute their results arithmetically from the phase
+// index — every select below is a branch-free conditional move — and the
+// single remaining data-dependent branch (decide/exhaust) is taken at
+// most once per machine lifetime. The state evolution is EXACTLY the
+// switch-based one: same fields, same updates, same counters.
 operation lean_machine::next_op() const {
   if (decided_ || exhausted_) {
     throw std::logic_error("lean_machine: next_op after done/exhausted");
   }
-  switch (phase_) {
-    case phase::read_a0:
-      return operation::read({space::race0, round_});
-    case phase::read_a1:
-      return operation::read({space::race1, round_});
-    case phase::write_own:
-      return operation::write({own_space(pref_), round_}, 1);
-    case phase::read_rival_prev:
-      return operation::read({own_space(1 - pref_), round_ - 1});
-  }
-  throw std::logic_error("lean_machine: invalid phase");
+  const auto p = static_cast<std::uint32_t>(phase_);
+  // Space by phase: 1→a0, 2→a1, 3→own(pref), 4→own(1-pref). own_space(b)
+  // is race0+b, so the selector bit is (phase&1) for the fixed reads and
+  // pref^(phase&1) for the preference-directed pair.
+  const auto pref = static_cast<std::uint32_t>(pref_);
+  const std::uint32_t bit = (p & 2u) != 0 ? (pref ^ (p & 1u)) : (p & 1u);
+  const bool is_write = p == static_cast<std::uint32_t>(phase::write_own);
+  const bool is_rival = p == static_cast<std::uint32_t>(phase::read_rival_prev);
+  operation op;
+  op.kind = is_write ? op_kind::write : op_kind::read;
+  op.where = location{static_cast<space>(bit),
+                      round_ - static_cast<std::uint64_t>(is_rival)};
+  op.value = static_cast<std::uint64_t>(is_write);
+  return op;
 }
 
 void lean_machine::apply(std::uint64_t result) {
@@ -36,36 +49,38 @@ void lean_machine::apply(std::uint64_t result) {
     throw std::logic_error("lean_machine: apply after done/exhausted");
   }
   ++steps_;
-  switch (phase_) {
-    case phase::read_a0:
-      a0_value_ = result;
-      phase_ = phase::read_a1;
-      break;
-    case phase::read_a1:
-      // Step 2 rule: "If for some b, ab[r] is 1 and a(1-b)[r] is 0, set p=b."
-      if (a0_value_ == 1 && result == 0) {
-        if (pref_ != 0) ++pref_switches_;
-        pref_ = 0;
-      } else if (result == 1 && a0_value_ == 0) {
-        if (pref_ != 1) ++pref_switches_;
-        pref_ = 1;
-      }
-      phase_ = phase::write_own;
-      break;
-    case phase::write_own:
-      phase_ = phase::read_rival_prev;
-      break;
-    case phase::read_rival_prev:
-      if (result == 0) {
-        decided_ = true;
-        decision_ = pref_;
-      } else if (round_ >= max_round_) {
-        exhausted_ = true;  // Section 8: hand preference to the backup
-      } else {
-        ++round_;
-        phase_ = phase::read_a0;
-      }
-      break;
+  const auto p = static_cast<std::uint32_t>(phase_);
+
+  // Step 1 stages a0[r]; a no-op store in every other phase.
+  a0_value_ = p == static_cast<std::uint32_t>(phase::read_a0) ? result
+                                                              : a0_value_;
+
+  // Step 2 rule: "If for some b, ab[r] is 1 and a(1-b)[r] is 0, set p=b."
+  // The two conditions are mutually exclusive; outside step 2 the mask
+  // keeps the preference (and the switch counter) unchanged.
+  {
+    const bool in_step2 = p == static_cast<std::uint32_t>(phase::read_a1);
+    const bool to0 = a0_value_ == 1 && result == 0;
+    const bool to1 = result == 1 && a0_value_ == 0;
+    const int target = to0 ? 0 : (to1 ? 1 : pref_);
+    const int next_pref = in_step2 ? target : pref_;
+    pref_switches_ += static_cast<std::uint64_t>(next_pref != pref_);
+    pref_ = next_pref;
+  }
+
+  // Step 4 outcome: decide on a zero read, exhaust at the round cap,
+  // otherwise enter the next round. The round advances branchlessly; the
+  // terminal transition (at most once per machine) keeps phase_ frozen,
+  // exactly like the switch-based code.
+  const bool is_rival = p == static_cast<std::uint32_t>(phase::read_rival_prev);
+  const bool decide = is_rival & (result == 0);
+  const bool exhaust = is_rival & !decide & (round_ >= max_round_);
+  round_ += static_cast<std::uint64_t>(is_rival & !decide & !exhaust);
+  phase_ = static_cast<phase>((decide | exhaust) ? p : ((p + 1u) & 3u));
+  if (decide | exhaust) {
+    decided_ = decide;
+    decision_ = decide ? pref_ : decision_;
+    exhausted_ = exhaust;  // Section 8: hand preference to the backup
   }
 }
 

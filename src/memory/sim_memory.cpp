@@ -16,44 +16,17 @@ std::string_view space_name(space s) {
   return "?";
 }
 
-sim_memory::sim_memory() { reset(); }
-
 void sim_memory::reset() {
-  cells_.clear();
+  for (auto& v : spaces_) v.clear();
+  overflow_.clear();
   total_ops_ = 0;
   reads_ = 0;
   writes_ = 0;
   ops_by_space_.fill(0);
   // Paper, Section 4: a0 and a1 "are prefixed with (effectively read-only)
   // locations a0[0] and a1[0], both set to 1."
-  cells_[location{space::race0, 0}.packed()] = 1;
-  cells_[location{space::race1, 0}.packed()] = 1;
-}
-
-std::uint64_t sim_memory::execute(int pid, const operation& op) {
-  ++total_ops_;
-  ++ops_by_space_[static_cast<std::size_t>(op.where.where)];
-  std::uint64_t result;
-  if (op.kind == op_kind::read) {
-    ++reads_;
-    auto it = cells_.find(op.where.packed());
-    result = it == cells_.end() ? 0 : it->second;
-  } else {
-    ++writes_;
-    cells_[op.where.packed()] = op.value;
-    result = op.value;
-  }
-  if (hook_) hook_(pid, op, result);
-  return result;
-}
-
-std::uint64_t sim_memory::peek(location l) const {
-  auto it = cells_.find(l.packed());
-  return it == cells_.end() ? 0 : it->second;
-}
-
-void sim_memory::poke(location l, std::uint64_t value) {
-  cells_[l.packed()] = value;
+  poke(location{space::race0, 0}, 1);
+  poke(location{space::race1, 0}, 1);
 }
 
 }  // namespace leancon

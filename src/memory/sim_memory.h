@@ -1,13 +1,21 @@
-// Simulated shared memory: a sparse map of 64-bit registers with operation
-// counting and an optional trace hook. This is the backend used by the
-// discrete-event simulator, the hybrid uniprocessor scheduler, and the
-// exhaustive model checker.
+// Simulated shared memory: per-space registers with operation counting and
+// an optional trace hook. This is the backend used by the discrete-event
+// simulator, the hybrid uniprocessor scheduler, and the exhaustive model
+// checker.
+//
+// Storage is a flat vector per register space, grown on write, with a sparse
+// overflow map for the rare huge indices (custom protocols that pack node
+// ids into the index). A vector slot never written reads 0 — identical to
+// the "absent key" semantics of the hash-map representation this replaced —
+// and reset() keeps the capacity, so a reused instance stops allocating
+// after the first trial.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "memory/register_model.h"
 
@@ -22,16 +30,30 @@ class sim_memory {
   using trace_hook =
       std::function<void(int pid, const operation& op, std::uint64_t value)>;
 
-  sim_memory();
+  sim_memory() { reset(); }
 
   /// Executes one atomic operation on behalf of `pid`. Returns the value read
   /// (for writes, returns the written value).
-  std::uint64_t execute(int pid, const operation& op);
+  std::uint64_t execute(int pid, const operation& op) {
+    ++total_ops_;
+    ++ops_by_space_[static_cast<std::size_t>(op.where.where)];
+    std::uint64_t result;
+    if (op.kind == op_kind::read) {
+      ++reads_;
+      result = load(op.where);
+    } else {
+      ++writes_;
+      store(op.where, op.value);
+      result = op.value;
+    }
+    if (hook_) hook_(pid, op, result);
+    return result;
+  }
 
   /// Direct access helpers used by tests and invariant checkers. These do not
   /// count as protocol operations.
-  std::uint64_t peek(location l) const;
-  void poke(location l, std::uint64_t value);
+  std::uint64_t peek(location l) const { return load(l); }
+  void poke(location l, std::uint64_t value) { store(l, value); }
 
   /// Number of protocol operations executed, total and by space.
   std::uint64_t op_count() const { return total_ops_; }
@@ -43,17 +65,36 @@ class sim_memory {
 
   void set_trace_hook(trace_hook hook) { hook_ = std::move(hook); }
 
-  /// Resets contents and counters to the initial state.
+  /// Resets contents and counters to the initial state (keeping capacity).
   void reset();
 
-  /// Snapshot of the raw contents, used by the model checker to key visited
-  /// states. Deterministic order is not guaranteed; callers canonicalize.
-  const std::unordered_map<std::uint64_t, std::uint64_t>& cells() const {
-    return cells_;
+ private:
+  /// Indices below this live in the flat vectors; at or above, in overflow_.
+  /// Every protocol here stays far below the limit; the map is a safety net
+  /// so a pathological index cannot demand gigabytes of dense storage.
+  static constexpr std::uint64_t kDenseLimit = 1ULL << 20;
+
+  std::uint64_t load(location l) const {
+    const auto& v = spaces_[static_cast<std::size_t>(l.where)];
+    if (l.index < v.size()) return v[l.index];
+    if (l.index < kDenseLimit) return 0;
+    const auto it = overflow_.find(l.packed());
+    return it == overflow_.end() ? 0 : it->second;
   }
 
- private:
-  std::unordered_map<std::uint64_t, std::uint64_t> cells_;
+  void store(location l, std::uint64_t value) {
+    if (l.index < kDenseLimit) {
+      auto& v = spaces_[static_cast<std::size_t>(l.where)];
+      // resize() value-initializes the gap, so unwritten slots read 0.
+      if (l.index >= v.size()) v.resize(l.index + 1);
+      v[l.index] = value;
+    } else {
+      overflow_[l.packed()] = value;
+    }
+  }
+
+  std::array<std::vector<std::uint64_t>, space_cardinality> spaces_;
+  std::unordered_map<std::uint64_t, std::uint64_t> overflow_;
   std::uint64_t total_ops_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;

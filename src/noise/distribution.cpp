@@ -15,6 +15,12 @@ class constant_dist final : public distribution {
   std::string name() const override {
     return "constant(" + format(value_) + ")";
   }
+  compiled_sampler compile() const override {
+    compiled_sampler s;
+    s.kind = sampler_kind::constant;
+    s.a = value_;
+    return s;
+  }
   double mean() const override { return value_; }
   double median() const override { return value_; }
   bool degenerate() const override { return true; }
@@ -41,6 +47,13 @@ class uniform_dist final : public distribution {
     os << "uniform[" << lo_ << "," << hi_ << "]";
     return os.str();
   }
+  compiled_sampler compile() const override {
+    compiled_sampler s;
+    s.kind = sampler_kind::uniform;
+    s.a = lo_;
+    s.b = hi_;
+    return s;
+  }
   double mean() const override { return 0.5 * (lo_ + hi_); }
   double median() const override { return 0.5 * (lo_ + hi_); }
 
@@ -59,6 +72,12 @@ class exponential_dist final : public distribution {
     os << "exponential(" << mean_ << ")";
     return os.str();
   }
+  compiled_sampler compile() const override {
+    compiled_sampler s;
+    s.kind = sampler_kind::exponential;
+    s.a = mean_;
+    return s;
+  }
   double mean() const override { return mean_; }
   double median() const override { return mean_ * std::log(2.0); }
 
@@ -76,6 +95,13 @@ class shifted_exponential_dist final : public distribution {
   }
   double sample(rng& gen) const override {
     return shift_ + gen.exponential(mean_);
+  }
+  compiled_sampler compile() const override {
+    compiled_sampler s;
+    s.kind = sampler_kind::shifted_exponential;
+    s.a = shift_;
+    s.b = mean_;
+    return s;
   }
   std::string name() const override {
     std::ostringstream os;
@@ -105,6 +131,15 @@ class truncated_normal_dist final : public distribution {
       if (x > lo_ && x < hi_) return x;
     }
   }
+  compiled_sampler compile() const override {
+    compiled_sampler s;
+    s.kind = sampler_kind::truncated_normal;
+    s.a = mu_;
+    s.b = sigma_;
+    s.c = lo_;
+    s.d = hi_;
+    return s;
+  }
   std::string name() const override {
     std::ostringstream os;
     os << "normal(" << mu_ << "," << sigma_ * sigma_ << ")";
@@ -129,6 +164,13 @@ class two_point_dist final : public distribution {
   double sample(rng& gen) const override {
     return gen.bernoulli(0.5) ? a_ : b_;
   }
+  compiled_sampler compile() const override {
+    compiled_sampler s;
+    s.kind = sampler_kind::two_point;
+    s.a = a_;
+    s.b = b_;
+    return s;
+  }
   std::string name() const override {
     std::ostringstream os;
     os << "{" << a_ << "," << b_ << "}";
@@ -150,6 +192,16 @@ class geometric_dist final : public distribution {
   }
   double sample(rng& gen) const override {
     return static_cast<double>(gen.geometric(p_));
+  }
+  compiled_sampler compile() const override {
+    compiled_sampler s;
+    s.kind = sampler_kind::geometric;
+    s.a = p_;
+    // The inverse-CDF denominator, hoisted out of the per-draw path. The
+    // compiled draw keeps the division by this exact value, so it returns
+    // bit-identical variates to rng::geometric.
+    s.b = std::log1p(-p_);
+    return s;
   }
   std::string name() const override {
     std::ostringstream os;

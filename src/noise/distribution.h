@@ -12,6 +12,8 @@
 //    testing the "not concentrated on a point" boundary.
 #pragma once
 
+#include <bit>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +21,37 @@
 #include "util/rng.h"
 
 namespace leancon {
+
+class distribution;
+
+/// Sealed tags for the distributions this module ships: the simulator's
+/// per-operation noise draw goes through `compiled_sampler` with one switch
+/// instead of a virtual call. `custom` routes back through the virtual
+/// sample() — the escape hatch for distributions defined elsewhere (and for
+/// the heavy-tail ones whose sampling loop isn't worth flattening).
+enum class sampler_kind : std::uint8_t {
+  custom,
+  constant,
+  uniform,
+  exponential,
+  shifted_exponential,
+  truncated_normal,
+  two_point,
+  geometric,
+};
+
+/// A distribution reduced to a tagged union of its sampling parameters.
+/// Each arm replays the corresponding class's sample() arithmetic verbatim
+/// — same rng calls in the same order — so compiled and virtual draws are
+/// bit-identical. Produced by distribution::compile() once per trial batch;
+/// borrows the distribution for the `custom` arm, so it must not outlive it.
+struct compiled_sampler {
+  sampler_kind kind = sampler_kind::custom;
+  double a = 0.0, b = 0.0, c = 0.0, d = 0.0;  ///< meaning depends on kind
+  const distribution* fallback = nullptr;
+
+  double sample(rng& gen) const;
+};
 
 /// A sampleable non-negative delay distribution.
 ///
@@ -31,6 +64,15 @@ class distribution {
 
   /// Draws one variate (always >= 0).
   virtual double sample(rng& gen) const = 0;
+
+  /// Reduces the distribution to its tagged-union fast path; the default is
+  /// a `custom` record that defers to the virtual sample().
+  virtual compiled_sampler compile() const {
+    compiled_sampler s;
+    s.kind = sampler_kind::custom;
+    s.fallback = this;
+    return s;
+  }
 
   /// Human-readable name used in tables (e.g. "exponential(1)").
   virtual std::string name() const = 0;
@@ -52,6 +94,48 @@ class distribution {
 };
 
 using distribution_ptr = std::shared_ptr<const distribution>;
+
+inline double compiled_sampler::sample(rng& gen) const {
+  switch (kind) {
+    case sampler_kind::constant:
+      return a;
+    case sampler_kind::uniform:
+      return gen.uniform(a, b);
+    case sampler_kind::exponential:
+      return gen.exponential(a);
+    case sampler_kind::shifted_exponential:
+      return a + gen.exponential(b);
+    case sampler_kind::truncated_normal:
+      // Rejection sampling, identical to truncated_normal_dist::sample.
+      for (;;) {
+        const double x = gen.normal(a, b);
+        if (x > c && x < d) return x;
+      }
+    case sampler_kind::two_point: {
+      // Same single draw as rng::bernoulli(0.5) — uniform01() < 0.5 — but
+      // the select is a bit mask: the outcome is a fair coin, so a branch
+      // here mispredicts half the time.
+      const std::uint64_t mask =
+          -static_cast<std::uint64_t>(gen.uniform01() < 0.5);
+      return std::bit_cast<double>((std::bit_cast<std::uint64_t>(a) & mask) |
+                                   (std::bit_cast<std::uint64_t>(b) & ~mask));
+    }
+    case sampler_kind::geometric: {
+      // rng::geometric(a) with the constant log1p(-a) precomputed as b at
+      // compile() time (one libm call per draw instead of two). Same draw,
+      // same division, same truncation — bit-identical output. The
+      // constructor guarantees 0 < a < 1, so the rng's p<=0 / p>=1 guards
+      // are unreachable here.
+      const double u = gen.uniform01();
+      const double value = std::ceil(std::log1p(-u) / b);
+      return static_cast<double>(
+          value < 1.0 ? std::uint64_t{1} : static_cast<std::uint64_t>(value));
+    }
+    case sampler_kind::custom:
+      break;
+  }
+  return fallback->sample(gen);
+}
 
 // --- Factories -------------------------------------------------------------
 

@@ -13,6 +13,11 @@ class zero_delays final : public delay_adversary {
   double delay(int, std::uint64_t) const override { return 0.0; }
   double bound() const override { return 0.0; }
   std::string name() const override { return "zero"; }
+  compiled_delays compile() const override {
+    compiled_delays c;
+    c.kind = adversary_kind::zero;
+    return c;
+  }
 };
 
 class constant_delays final : public delay_adversary {
@@ -21,6 +26,12 @@ class constant_delays final : public delay_adversary {
   double delay(int, std::uint64_t) const override { return m_; }
   double bound() const override { return m_; }
   std::string name() const override { return "constant"; }
+  compiled_delays compile() const override {
+    compiled_delays c;
+    c.kind = adversary_kind::constant;
+    c.m = m_;
+    return c;
+  }
 
  private:
   double m_;
@@ -34,6 +45,12 @@ class alternating_delays final : public delay_adversary {
   }
   double bound() const override { return m_; }
   std::string name() const override { return "alternating"; }
+  compiled_delays compile() const override {
+    compiled_delays c;
+    c.kind = adversary_kind::alternating;
+    c.m = m_;
+    return c;
+  }
 
  private:
   double m_;
@@ -48,6 +65,13 @@ class staggered_delays final : public delay_adversary {
   }
   double bound() const override { return m_; }
   std::string name() const override { return "staggered"; }
+  compiled_delays compile() const override {
+    compiled_delays c;
+    c.kind = adversary_kind::staggered;
+    c.m = m_;
+    c.period = period_;
+    return c;
+  }
 
  private:
   double m_;
@@ -66,6 +90,13 @@ class random_bounded_delays final : public delay_adversary {
   }
   double bound() const override { return m_; }
   std::string name() const override { return "random-bounded"; }
+  compiled_delays compile() const override {
+    compiled_delays c;
+    c.kind = adversary_kind::random_bounded;
+    c.m = m_;
+    c.u = salt_;
+    return c;
+  }
 
  private:
   double m_;
@@ -80,6 +111,13 @@ class burst_delays final : public delay_adversary {
   }
   double bound() const override { return m_; }
   std::string name() const override { return "burst"; }
+  compiled_delays compile() const override {
+    compiled_delays c;
+    c.kind = adversary_kind::burst;
+    c.m = m_;
+    c.u = period_;
+    return c;
+  }
 
  private:
   double m_;
@@ -99,6 +137,12 @@ class pack_delays final : public delay_adversary {
   }
   double bound() const override { return m_; }
   std::string name() const override { return "pack"; }
+  compiled_delays compile() const override {
+    compiled_delays c;
+    c.kind = adversary_kind::pack;
+    c.m = m_;
+    return c;
+  }
 
  private:
   double m_;
@@ -117,6 +161,12 @@ class zeno_delays final : public delay_adversary {
     return std::numeric_limits<double>::infinity();
   }
   std::string name() const override { return "zeno-statistical"; }
+  compiled_delays compile() const override {
+    compiled_delays c;
+    c.kind = adversary_kind::zeno;
+    c.m = m_;
+    return c;
+  }
 
  private:
   double m_;

@@ -15,7 +15,42 @@
 #include <memory>
 #include <string>
 
+#include "util/rng.h"
+
 namespace leancon {
+
+class delay_adversary;
+
+/// Sealed tags for the delay strategies this module ships. The simulator's
+/// per-operation path evaluates these through `compiled_delays` without a
+/// virtual call; `custom` is the extension escape hatch that routes back
+/// through the virtual delay().
+enum class adversary_kind : std::uint8_t {
+  custom,
+  zero,
+  constant,
+  alternating,
+  staggered,
+  random_bounded,
+  burst,
+  pack,
+  zeno,
+};
+
+/// A delay schedule compiled down to a tagged union: one branch-predictable
+/// switch instead of a virtual dispatch per operation. Produced once per
+/// trial batch by delay_adversary::compile(); each arm replicates the
+/// corresponding class's delay() arithmetic exactly, so the compiled path
+/// is bit-identical to the virtual one.
+struct compiled_delays {
+  adversary_kind kind = adversary_kind::zero;
+  double m = 0.0;          ///< magnitude parameter M of the strategy
+  std::uint64_t u = 0;     ///< burst period / random-bounded salt
+  int period = 0;          ///< staggered period
+  const delay_adversary* fallback = nullptr;  ///< custom only
+
+  double operator()(int pid, std::uint64_t j) const;
+};
 
 /// Deterministic oblivious schedule of base delays, bounded by bound().
 class delay_adversary {
@@ -30,7 +65,51 @@ class delay_adversary {
   virtual double bound() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Reduces the strategy to its tagged-union fast path. Third-party
+  /// subclasses keep the default: a `custom` record whose evaluation calls
+  /// the virtual delay(). The returned record borrows `this`; it must not
+  /// outlive the adversary.
+  virtual compiled_delays compile() const {
+    compiled_delays c;
+    c.kind = adversary_kind::custom;
+    c.fallback = this;
+    return c;
+  }
 };
+
+inline double compiled_delays::operator()(int pid, std::uint64_t j) const {
+  switch (kind) {
+    case adversary_kind::zero:
+      return 0.0;
+    case adversary_kind::constant:
+      return m;
+    case adversary_kind::alternating:
+      return (static_cast<std::uint64_t>(pid) + j) % 2 == 0 ? m : 0.0;
+    case adversary_kind::staggered:
+      return m * static_cast<double>(pid % period) /
+             static_cast<double>(period);
+    case adversary_kind::random_bounded: {
+      std::uint64_t state =
+          u ^ (static_cast<std::uint64_t>(pid) * 0x9e3779b97f4a7c15ULL) ^
+          (j * 0xd1b54a32d192ed03ULL);
+      const std::uint64_t h = splitmix64_next(state);
+      return m * static_cast<double>(h >> 11) * 0x1.0p-53;
+    }
+    case adversary_kind::burst:
+      return (j + static_cast<std::uint64_t>(pid)) % u == 0 ? m : 0.0;
+    case adversary_kind::pack: {
+      const double handicap = m / (1.0 + 0.25 * static_cast<double>(j));
+      return pid % 2 == 0 ? handicap : 0.0;
+    }
+    case adversary_kind::zeno:
+      return (j & (j - 1)) == 0 && j >= 2 ? m * static_cast<double>(j) / 2.0
+                                          : 0.0;
+    case adversary_kind::custom:
+      break;
+  }
+  return fallback->delay(pid, j);
+}
 
 using delay_adversary_ptr = std::shared_ptr<const delay_adversary>;
 

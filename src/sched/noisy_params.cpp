@@ -43,6 +43,22 @@ double noisy_params::op_increment(int pid, std::uint64_t op_index,
   return inc;
 }
 
+increment_sampler::increment_sampler(const noisy_params& p) {
+  if (p.noise == nullptr) {
+    throw std::logic_error("noisy_params: noise distribution not set");
+  }
+  noise_ = p.noise->compile();
+  if (p.write_noise) {
+    write_noise_ = p.write_noise->compile();
+    has_write_noise_ = true;
+  }
+  if (p.adversary) {
+    delays_ = p.adversary->compile();
+    has_adversary_ = true;
+  }
+  halt_probability_ = p.halt_probability;
+}
+
 noisy_params figure1_params(distribution_ptr noise) {
   noisy_params p;
   p.noise = std::move(noise);

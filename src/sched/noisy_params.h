@@ -49,4 +49,69 @@ struct noisy_params {
 /// zero adversary delays, dithered equal starts, no failures.
 noisy_params figure1_params(distribution_ptr noise);
 
+/// op_increment with the per-op virtual dispatch compiled away: the noise
+/// distributions and the adversary are reduced to tagged unions once, then
+/// every operation evaluates through plain switches. Draws the same rng
+/// sequence as op_increment, so the two are bit-identical.
+///
+/// Borrows the distributions/adversary owned by the source noisy_params;
+/// the sampler must not outlive them.
+class increment_sampler {
+ public:
+  increment_sampler() = default;
+
+  /// Compiles `p`. Throws std::logic_error when p.noise is unset (the same
+  /// complaint op_increment raises, just at compile time instead of on the
+  /// first operation).
+  explicit increment_sampler(const noisy_params& p);
+
+  /// True when the drawn increment depends on WHICH operation is being
+  /// scheduled — an adversary keyed on (pid, op_index) or a distinct
+  /// write-noise distribution keyed on the op kind. When false, the draw is
+  /// a pure function of the rng stream, so a caller may draw the increment
+  /// before computing the operation it schedules (the simulator's
+  /// pipelined fast path) and still consume the exact same stream values.
+  bool schedule_sensitive() const {
+    return has_adversary_ || has_write_noise_;
+  }
+
+  /// Batched draw: writes the next `count` values of operator() on this
+  /// stream into inc[]/halted[], consuming the rng exactly as `count`
+  /// successive calls would. Only meaningful when !schedule_sensitive()
+  /// (the per-op arguments are ignored then, so the draws do not depend on
+  /// which operations they will schedule). Batching matters because the
+  /// heavier samplers call into libm: one call per simulated operation
+  /// forces the simulator loop's live registers to spill around every
+  /// operation, while a batch spills them once per `count` draws.
+  void fill(int pid, rng& gen, double* inc, std::uint8_t* halted,
+            std::size_t count) const {
+    for (std::size_t k = 0; k < count; ++k) {
+      bool h = false;
+      inc[k] = (*this)(pid, /*op_index=*/0, /*is_write=*/false, gen, h);
+      halted[k] = static_cast<std::uint8_t>(h);
+    }
+  }
+
+  /// Drop-in replacement for noisy_params::op_increment.
+  double operator()(int pid, std::uint64_t op_index, bool is_write, rng& gen,
+                    bool& halted) const {
+    halted = halt_probability_ > 0.0 && gen.bernoulli(halt_probability_);
+    if (halted) return 0.0;
+    double inc = 0.0;
+    if (has_adversary_) inc += delays_(pid, op_index);
+    const compiled_sampler& f =
+        is_write && has_write_noise_ ? write_noise_ : noise_;
+    inc += f.sample(gen);
+    return inc;
+  }
+
+ private:
+  compiled_sampler noise_;
+  compiled_sampler write_noise_;
+  compiled_delays delays_;
+  double halt_probability_ = 0.0;
+  bool has_adversary_ = false;
+  bool has_write_noise_ = false;
+};
+
 }  // namespace leancon

@@ -5,10 +5,27 @@
 // The paper's model forbids simultaneous operations (probability-zero ties,
 // arranged via dithered starts); the tiebreak is a safety net that keeps a
 // tie from producing nondeterminism rather than a modeling feature.
+//
+// The container is a hand-rolled flat 4-ary min-heap rather than
+// std::priority_queue, tuned for the simulator's pop-one/push-one cadence:
+//
+//  - 4-ary layout: half the depth of a binary heap, and a node's children
+//    sit adjacent in memory, so a sift touches fewer cache lines.
+//  - Lazy hole: pop() only copies the minimum out and marks the root slot
+//    as a hole; the heap is repaired on the NEXT operation. When that
+//    operation is push() — the simulator schedules the stepping process's
+//    next event right after popping it — the new event sinks from the root
+//    directly (a classic replace-top), doing one sift instead of a
+//    sift-down plus a sift-up.
+//  - Reusable storage: clear() keeps capacity, reserve() pre-sizes it.
+//
+// Because (time, seq) is a total order, any correct heap pops in exactly
+// the same sequence — arity, hole timing, and layout are unobservable.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <queue>
+#include <limits>
 #include <vector>
 
 namespace leancon {
@@ -22,29 +39,341 @@ struct sim_event {
 class event_queue {
  public:
   void push(double time, int pid) {
-    events_.push(sim_event{time, next_seq_++, pid});
+    const sim_event e{time, next_seq_++, pid};
+    if (hole_) {
+      // Replace-top: the new event sinks from the root hole; nothing grows.
+      hole_ = false;
+      sift_down(e);
+      return;
+    }
+    events_.push_back(e);
+    sift_up(events_.size() - 1);
   }
 
-  bool empty() const { return events_.empty(); }
-  std::size_t size() const { return events_.size(); }
+  bool empty() const { return size() == 0; }
+  std::size_t size() const {
+    return events_.size() - static_cast<std::size_t>(hole_);
+  }
 
   /// Removes and returns the earliest event. Precondition: !empty().
   sim_event pop() {
-    sim_event e = events_.top();
-    events_.pop();
-    return e;
+    if (hole_) repair();
+    hole_ = true;
+    return events_.front();
   }
 
-  const sim_event& peek() const { return events_.top(); }
+  const sim_event& peek() {
+    if (hole_) repair();
+    return events_.front();
+  }
+
+  /// Pre-sizes the backing storage for n pending events.
+  void reserve(std::size_t n) { events_.reserve(n); }
+
+  /// Drops all pending events and resets the tiebreak counter; keeps the
+  /// backing storage so a reused queue stops allocating after warm-up.
+  void clear() {
+    events_.clear();
+    hole_ = false;
+    next_seq_ = 0;
+  }
 
  private:
-  struct later {
-    bool operator()(const sim_event& a, const sim_event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  static bool earlier(const sim_event& a, const sim_event& b) {
+    // Bitwise instead of short-circuit logic: the comparison compiles to
+    // setcc/cmov with no data-dependent branch, which matters inside the
+    // sift loops (event order is essentially random → branches mispredict).
+    return (a.time < b.time) |
+           (static_cast<int>(a.time == b.time) &
+            static_cast<int>(a.seq < b.seq));
+  }
+
+  /// Fills the root hole with the last element (standard heap deletion,
+  /// deferred from pop()).
+  void repair() {
+    const sim_event last = events_.back();
+    events_.pop_back();
+    hole_ = false;
+    if (!events_.empty()) sift_down(last);
+  }
+
+  void sift_up(std::size_t i) {
+    const sim_event e = events_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(e, events_[parent])) break;
+      events_[i] = events_[parent];
+      i = parent;
     }
-  };
-  std::priority_queue<sim_event, std::vector<sim_event>, later> events_;
+    events_[i] = e;
+  }
+
+  /// Re-inserts `e` starting from the hole at the root, bottom-up style:
+  /// the hole first descends along the min-child path all the way to a
+  /// leaf (no exit test, and the child selection is branchless), then `e`
+  /// sifts up from the leaf. Replace-top insertions usually belong deep —
+  /// the simulator pushes the popped event's successor, which is later
+  /// than everything scheduled in between — so the up-walk is short, and
+  /// dropping the per-level exit comparison removes the loop's only
+  /// unpredictable branch.
+  void sift_down(const sim_event& e) {
+    const std::size_t n = events_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        best = earlier(events_[c], events_[best]) ? c : best;
+      }
+      events_[i] = events_[best];
+      i = best;
+    }
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(e, events_[parent])) break;
+      events_[i] = events_[parent];
+      i = parent;
+    }
+    events_[i] = e;
+  }
+
+  std::vector<sim_event> events_;
+  std::uint64_t next_seq_ = 0;
+  bool hole_ = false;  ///< events_[0] was popped but not yet repaired
+};
+
+/// Fixed-slot replace-min scheduler: at most ONE pending event per process,
+/// which is exactly the interleaving simulator's shape (each process has
+/// one next operation scheduled).
+///
+/// The structure is a loser tree (tournament tree of replacement
+/// selection), tuned for dependency LATENCY rather than comparison count.
+/// The simulator's loop is a serial chain — the next event is unknown
+/// until the current update finishes — so the scheduler's update latency
+/// is paid in full on every operation. Three choices keep that chain
+/// short:
+///
+///  - An update replays ONE leaf-to-root path (ceil(log2 n) comparisons,
+///    vs. a binary heap's down-AND-up sift), and the path's node addresses
+///    depend only on the slot index, so every load issues as soon as the
+///    previous winner is known.
+///  - Each pending event packs into a single sortable 128-bit integer,
+///    (time-bits << 64) | (seq << 32) | slot. Simulated times are finite
+///    and non-negative (offsets and increments never go below zero), and
+///    for non-negative IEEE doubles the bit pattern is order-isomorphic
+///    to the value — so unsigned 128-bit comparison IS the (time, seq)
+///    lexicographic order: seq is unique per event, so the slot bits
+///    never decide between two real events. Packing the slot into the
+///    key halves the tree's stores and loads — each internal node is one
+///    16-byte value instead of a key plus a side index array — which
+///    matters because the replay's stores all leave through the core's
+///    single store port. seq fits 32 bits because it resets with the
+///    trial and a trial's events are bounded by n plus the op budget,
+///    orders of magnitude under 2^32.
+///  - The per-level conditional swap must not become a data-dependent
+///    branch: comparison outcomes are effectively random, and a branch
+///    costs a mispredict every other level (measured ~55ns/update branchy
+///    at n = 100). On x86-64/GCC the swap is a hand-scheduled
+///    cmp/sbb/cmov sequence (~3 cycles of chain per level);
+///    elsewhere it falls back to an XOR-mask dance, which the compiler
+///    cannot turn back into a branch (~6 cycles).
+///
+/// The winner's packed key lives in a register-friendly member, so top()
+/// and empty() touch no tree storage.
+///
+/// The simulator only ever changes the winner's slot: prime()+build() to
+/// start a trial, then reschedule_top()/remove_top() against top().
+///
+/// Sequence numbers are assigned per prime()/reschedule_top() in call
+/// order, mirroring event_queue::push, and (time, seq) is a total order —
+/// the minimum is unique, so ANY correct structure reports the same pop
+/// sequence and the committed baselines cannot tell them apart. (Empty
+/// slots share the one duplicate key, {+inf, seq ~0, slot ~0}; which of
+/// them wins an all-empty tournament is deterministic and unobservable —
+/// empty() is true either way, and top() is never consulted then.)
+class event_scheduler {
+ public:
+  /// Resets to `n` empty slots and restarts the tiebreak counter. Keeps
+  /// backing storage, so a reused scheduler stops allocating after warm-up.
+  void reset(std::size_t n) {
+    size_ = 1;
+    while (size_ < n) size_ <<= 1;
+    // Only leaf_ needs clearing: slots never primed must read empty. The
+    // loser array and the build workspace are fully overwritten by
+    // build(), so they are merely sized here.
+    leaf_.assign(size_, kEmpty);
+    lkey_.resize(size_);
+    wkey_.resize(2 * size_);
+    next_seq_ = 0;
+    win_key_ = kEmpty;
+  }
+
+  /// Stages `pid`'s initial event, assigning the next sequence number —
+  /// exactly like the initial pushes on event_queue. Call between reset()
+  /// and build(); slots never primed (processes halted before their first
+  /// op) stay empty.
+  void prime(int pid, double time) {
+    leaf_[static_cast<std::size_t>(pid)] =
+        encode(time, next_seq_++, static_cast<std::uint32_t>(pid));
+  }
+
+  /// Runs the initial tournament over every slot, recording the loser of
+  /// each internal match. Must be called once after priming; winner-path
+  /// replays keep the tree consistent from then on.
+  void build() {
+    for (std::size_t i = 0; i < size_; ++i) {
+      wkey_[size_ + i] = leaf_[i];
+    }
+    for (std::size_t i = size_ - 1; i >= 1; --i) {
+      const bool r = wkey_[2 * i + 1] < wkey_[2 * i];
+      wkey_[i] = r ? wkey_[2 * i + 1] : wkey_[2 * i];
+      lkey_[i] = r ? wkey_[2 * i] : wkey_[2 * i + 1];
+    }
+    win_key_ = wkey_[1];
+  }
+
+  /// Reschedules the winner's slot to `time` (its process's next
+  /// operation), assigning the next sequence number. Precondition:
+  /// !empty().
+  void reschedule_top(double time) {
+    replay(encode(time, next_seq_++,
+                  static_cast<std::uint32_t>(win_key_)));
+  }
+
+  /// Drops the winner's pending event (its process halted or decided).
+  /// Precondition: !empty().
+  void remove_top() { replay(kEmpty); }
+
+  /// True when no slot has a pending event. Precondition: build() ran.
+  bool empty() const { return win_key_ == kEmpty; }
+
+  /// The earliest pending event. Precondition: !empty(). The slot stays
+  /// scheduled until reschedule_top()/remove_top() — the simulator steps
+  /// the winner and then either reschedules it or removes it.
+  sim_event top() const {
+    return sim_event{
+        decode_time(win_key_),
+        static_cast<std::uint64_t>(win_key_) >> 32,
+        static_cast<int>(static_cast<std::uint32_t>(win_key_))};
+  }
+
+ private:
+  using u128 = unsigned __int128;
+
+  static u128 encode(double time, std::uint64_t seq, std::uint32_t slot) {
+    return (static_cast<u128>(std::bit_cast<std::uint64_t>(time)) << 64) |
+           (seq << 32) | slot;
+  }
+  static double decode_time(u128 k) {
+    return std::bit_cast<double>(static_cast<std::uint64_t>(k >> 64));
+  }
+
+  /// Later than every real event: +inf time, maximal seq and slot.
+  static constexpr u128 kEmpty =
+      (static_cast<u128>(0x7FF0000000000000ULL) << 64) | ~std::uint64_t{0};
+
+  /// One tournament level of the winner-path replay: the candidate
+  /// (ck_hi:ck_lo) meets the loser stored at internal node `i`; the
+  /// smaller key continues up as the new candidate, the larger stays as
+  /// the node's loser. The slot index travels inside the key's low bits,
+  /// so one 16-byte exchange is the whole level. `lk64` views lkey_ as
+  /// u64 pairs (little-endian: element i's low half at lk64[2i], high
+  /// half at lk64[2i+1] — the in-memory layout of the u128).
+  static inline void level(std::uint64_t* __restrict lk64, std::size_t i,
+                           std::uint64_t& ck_lo, std::uint64_t& ck_hi) {
+    const std::uint64_t ok_lo = lk64[2 * i];
+    const std::uint64_t ok_hi = lk64[2 * i + 1];
+#if defined(__GNUC__) && defined(__x86_64__)
+    // cmp/sbb computes the 128-bit (ok < ck) into CF, then four cmovs swap
+    // candidate and loser when it holds. The serial chain per level is
+    // just cmp+sbb+cmov (~3 cycles); GCC compiles the equivalent ternaries
+    // (and even the XOR-mask form) into longer chains or, worse, into
+    // data-dependent branches that mispredict on random event orders.
+    std::uint64_t t0, t1;
+    asm("cmpq %[cklo], %[olo]\n\t"
+        "movq %[ohi], %[t0]\n\t"
+        "sbbq %[ckhi], %[t0]\n\t"
+        "movq %[olo], %[t0]\n\t"
+        "cmovcq %[cklo], %[t0]\n\t"
+        "cmovcq %[olo], %[cklo]\n\t"
+        "movq %[ohi], %[t1]\n\t"
+        "cmovcq %[ckhi], %[t1]\n\t"
+        "cmovcq %[ohi], %[ckhi]\n\t"
+        : [t0] "=&r"(t0), [t1] "=&r"(t1),
+          [cklo] "+&r"(ck_lo), [ckhi] "+&r"(ck_hi)
+        : [olo] "r"(ok_lo), [ohi] "r"(ok_hi)
+        : "cc");
+    lk64[2 * i] = t0;
+    lk64[2 * i + 1] = t1;
+#else
+    // XOR-mask conditional swap: dk is (old ^ cand) when the swap happens
+    // and 0 when it doesn't, so x ^ dk applies or skips the exchange with
+    // no data-dependent branch.
+    const u128 ok = (static_cast<u128>(ok_hi) << 64) | ok_lo;
+    const u128 ck = (static_cast<u128>(ck_hi) << 64) | ck_lo;
+    const bool r = ok < ck;
+    const u128 m = static_cast<u128>(0) - static_cast<u128>(r);
+    const u128 dk = (ok ^ ck) & m;
+    const u128 nk = ok ^ dk;
+    lk64[2 * i] = static_cast<std::uint64_t>(nk);
+    lk64[2 * i + 1] = static_cast<std::uint64_t>(nk >> 64);
+    const u128 nc = ck ^ dk;
+    ck_lo = static_cast<std::uint64_t>(nc);
+    ck_hi = static_cast<std::uint64_t>(nc >> 64);
+#endif
+  }
+
+  /// Replays the winner's leaf-to-root path with new key `k` (see level()).
+  template <int Depth>
+  void replay_fixed(u128 k) {
+    const auto pid =
+        static_cast<std::size_t>(static_cast<std::uint32_t>(win_key_));
+    std::uint64_t ck_lo = static_cast<std::uint64_t>(k);
+    std::uint64_t ck_hi = static_cast<std::uint64_t>(k >> 64);
+    std::uint64_t* __restrict lk64 =
+        reinterpret_cast<std::uint64_t*>(lkey_.data());
+    std::size_t i = (pid + size_) >> 1;
+    for (int d = 0; d < Depth; ++d, i >>= 1) {
+      level(lk64, i, ck_lo, ck_hi);
+    }
+    win_key_ = (static_cast<u128>(ck_hi) << 64) | ck_lo;
+  }
+
+  /// Dispatches replay_fixed on the (power-of-two) tree size so the path
+  /// loop fully unrolls for every size the benchmarks use.
+  void replay(u128 k) {
+    switch (size_) {
+      case 1: replay_fixed<0>(k); return;
+      case 2: replay_fixed<1>(k); return;
+      case 4: replay_fixed<2>(k); return;
+      case 8: replay_fixed<3>(k); return;
+      case 16: replay_fixed<4>(k); return;
+      case 32: replay_fixed<5>(k); return;
+      case 64: replay_fixed<6>(k); return;
+      case 128: replay_fixed<7>(k); return;
+      case 256: replay_fixed<8>(k); return;
+      case 512: replay_fixed<9>(k); return;
+      case 1024: replay_fixed<10>(k); return;
+      default: break;
+    }
+    const auto pid =
+        static_cast<std::size_t>(static_cast<std::uint32_t>(win_key_));
+    std::uint64_t ck_lo = static_cast<std::uint64_t>(k);
+    std::uint64_t ck_hi = static_cast<std::uint64_t>(k >> 64);
+    std::uint64_t* lk64 = reinterpret_cast<std::uint64_t*>(lkey_.data());
+    for (std::size_t i = (pid + size_) >> 1; i >= 1; i >>= 1) {
+      level(lk64, i, ck_lo, ck_hi);
+    }
+    win_key_ = (static_cast<u128>(ck_hi) << 64) | ck_lo;
+  }
+
+  std::size_t size_ = 1;        ///< leaf count, power of two
+  std::vector<u128> lkey_;      ///< loser key per internal node (1-based)
+  std::vector<u128> leaf_;      ///< staging area for prime()/build()
+  std::vector<u128> wkey_;      ///< build() workspace (winner keys)
+  u128 win_key_ = kEmpty;
   std::uint64_t next_seq_ = 0;
 };
 

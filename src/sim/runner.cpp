@@ -32,7 +32,25 @@ void trial_stats::merge(const trial_stats& other) {
   metrics.merge(other.metrics);
 }
 
+const sim_metric_handles& sim_metric_handles::core() {
+  static const sim_metric_handles handles = [] {
+    metric_binder bind;
+    sim_metric_handles h;
+    h.total_ops = bind.sample("total_ops", metric_rollup::mean_and_sum);
+    h.survivors = bind.sample("survivors");
+    h.ops_per_process = bind.sample("ops_per_process");
+    h.max_ops = bind.sample("max_ops");
+    h.pref_switches = bind.sample("pref_switches");
+    h.round = bind.sample("round", metric_rollup::location);
+    h.first_time = bind.sample("first_time");
+    h.last_round = bind.sample("last_round");
+    return h;
+  }();
+  return handles;
+}
+
 trial_outcome sim_trial_outcome(const sim_config& base, const sim_result& r) {
+  const sim_metric_handles& h = sim_metric_handles::core();
   trial_outcome out;
   out.decided = r.any_decided;
   out.violation = !r.violations.empty();
@@ -40,9 +58,8 @@ trial_outcome sim_trial_outcome(const sim_config& base, const sim_result& r) {
 
   // Ops-side metrics: every trial counts, decided or not.
   auto& m = out.metrics;
-  m.observe("total_ops", static_cast<double>(r.total_ops),
-            metric_rollup::mean_and_sum);
-  m.observe("survivors",
+  m.observe(h.total_ops, static_cast<double>(r.total_ops));
+  m.observe(h.survivors,
             static_cast<double>(r.processes.size() - r.halted_processes));
 
   double ops_sum = 0.0;
@@ -57,18 +74,20 @@ trial_outcome sim_trial_outcome(const sim_config& base, const sim_result& r) {
     switches += p.preference_switches;
   }
   if (live > 0) {
-    m.observe("ops_per_process", ops_sum / static_cast<double>(live));
+    m.observe(h.ops_per_process, ops_sum / static_cast<double>(live));
   }
-  m.observe("max_ops", static_cast<double>(max_ops_seen));
-  m.observe("pref_switches", static_cast<double>(switches));
+  m.observe(h.max_ops, static_cast<double>(max_ops_seen));
+  m.observe(h.pref_switches, static_cast<double>(switches));
 
-  // Decision-side metrics: decided trials only — absent otherwise.
+  // Decision-side metrics: decided trials only — absent otherwise. Their
+  // handle hints only match when every ops-side metric was emitted; on the
+  // (rare) live == 0 trials the hints shift and resolution falls back to
+  // the name scan, keeping entry order identical to the name-based path.
   if (r.any_decided) {
-    m.observe("round", static_cast<double>(r.first_decision_round),
-              metric_rollup::location);
-    m.observe("first_time", r.first_decision_time);
+    m.observe(h.round, static_cast<double>(r.first_decision_round));
+    m.observe(h.first_time, r.first_decision_time);
     if (base.stop == stop_mode::all_decided && r.all_live_decided) {
-      m.observe("last_round", static_cast<double>(r.last_decision_round));
+      m.observe(h.last_round, static_cast<double>(r.last_decision_round));
     }
   }
   return out;
@@ -81,10 +100,19 @@ workload make_sim_workload(
   workload w;
   w.config = cfg;
   w.run_trial = [cfg, extra = std::move(extra)](std::uint64_t seed) {
-    sim_config config = *cfg;
-    config.seed = seed;
-    if (cfg->crashes) config.crashes = cfg->crashes->clone(seed);
-    const sim_result r = simulate(config);
+    sim_result r;
+    if (cfg->crashes) {
+      // Crash adversaries are stateful per trial: clone against the trial
+      // seed, which needs a mutable config copy.
+      sim_config config = *cfg;
+      config.seed = seed;
+      config.crashes = cfg->crashes->clone(seed);
+      r = simulate(config);
+    } else {
+      // Common case: only the seed varies, so skip the per-trial copy of
+      // the config (inputs vector, shared_ptrs, std::functions).
+      r = simulate(*cfg, seed);
+    }
     trial_outcome out = sim_trial_outcome(*cfg, r);
     if (extra) extra(r, out);
     return out;

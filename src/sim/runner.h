@@ -85,6 +85,24 @@ struct trial_stats {
 /// supplies the stop mode (which gates "last_round").
 trial_outcome sim_trial_outcome(const sim_config& base, const sim_result& r);
 
+/// The core metric names pre-bound as handles in emission order (see
+/// metric_handle). Resolved once per process and shared by every workload
+/// make_sim_workload builds; sim_trial_outcome emits through these, so the
+/// per-trial recording path indexes entries instead of scanning names.
+struct sim_metric_handles {
+  metric_handle total_ops;
+  metric_handle survivors;
+  metric_handle ops_per_process;
+  metric_handle max_ops;
+  metric_handle pref_switches;
+  metric_handle round;
+  metric_handle first_time;
+  metric_handle last_round;
+
+  /// The shared instance (bind order = the emission order above).
+  static const sim_metric_handles& core();
+};
+
 /// A bound workload: one scenario at one (n, seed), ready to run trials.
 /// This is the ONE way every backend executes — the scenario registry
 /// builds workloads, and trial_executor/campaign consume them.

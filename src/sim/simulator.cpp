@@ -1,7 +1,9 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "core/combined_machine.h"
 #include "core/invariants.h"
@@ -33,95 +35,326 @@ std::vector<int> unanimous_inputs(std::size_t n, int bit) {
 
 namespace {
 
-std::unique_ptr<consensus_machine> build_machine(const sim_config& config,
-                                                 int pid, int input, rng gen) {
-  if (config.factory) return config.factory(pid, input, std::move(gen));
-  const auto n = config.inputs.size();
-  backup_params bp = backup_params::for_processes(n);
-  if (config.backup_write_prob > 0.0) bp.write_prob = config.backup_write_prob;
-  switch (config.protocol) {
-    case protocol_kind::lean:
-      return std::make_unique<lean_machine>(input);
-    case protocol_kind::combined: {
-      const std::uint64_t r_max =
-          config.r_max != 0 ? config.r_max : default_r_max(n);
-      return std::make_unique<combined_machine>(input, r_max, bp, gen);
-    }
-    case protocol_kind::backup:
-      return std::make_unique<backup_machine>(input, bp, gen);
-  }
-  throw std::logic_error("build_machine: bad protocol kind");
+// The hot loop is templated on the concrete machine type: lean_machine,
+// combined_machine and backup_machine are final classes, so every next_op /
+// apply / done call below compiles to a direct (usually inlined) call. The
+// sim_config::factory escape hatch instantiates the same loop over
+// unique_ptr<consensus_machine> and keeps its virtual dispatch.
+template <class M>
+M& deref(M& machine) {
+  return machine;
+}
+consensus_machine& deref(std::unique_ptr<consensus_machine>& machine) {
+  return *machine;
 }
 
-}  // namespace
+// backup_entries counts combined machines that fell through to the backup
+// stage; the sentinel pre-refactor behaviour (a dynamic_cast per machine)
+// counted nothing for lean and standalone-backup runs, which the typed
+// overloads reproduce for free.
+void count_backup_entry(const lean_machine&, sim_result&) {}
+void count_backup_entry(const backup_machine&, sim_result&) {}
+void count_backup_entry(const combined_machine& m, sim_result& r) {
+  if (m.backup_entered()) ++r.backup_entries;
+}
+void count_backup_entry(const std::unique_ptr<consensus_machine>& m,
+                        sim_result& r) {
+  if (const auto* cm = dynamic_cast<const combined_machine*>(m.get())) {
+    if (cm->backup_entered()) ++r.backup_entries;
+  }
+}
 
-sim_result simulate(const sim_config& config) {
+/// Reusable per-trial state: machines, rng streams, the event heap, shared
+/// memory, and struct-of-arrays process bookkeeping. One instance lives per
+/// (thread, machine type); consecutive trials on a worker reuse its storage
+/// instead of allocating, and every field is fully reinitialized per trial,
+/// so reuse cannot leak state between trials.
+template <class M>
+struct sim_workspace {
+  std::vector<M> machines;
+  std::vector<rng> streams;
+  std::vector<process_view> views;  ///< only maintained under crash adversaries
+  event_scheduler sched;
+  sim_memory memory;
+  // Struct-of-arrays per-process state; folded into sim_result::processes
+  // once at the end of the trial.
+  std::vector<std::uint8_t> halted;
+  std::vector<std::uint8_t> decided;
+  std::vector<int> decisions;
+  std::vector<std::uint64_t> ops;
+  std::vector<std::uint64_t> rounds;
+  // Fast-path pre-drawn increments: pending_inc[p]/pending_halt[p] hold the
+  // NEXT draw off streams[p], made early so the sampler's latency overlaps
+  // the tournament replay instead of extending it. Behind them sits a
+  // per-process ring of kIncBatch draws (inc_buf/halt_buf stripes) refilled
+  // with increment_sampler::fill, so the libm-heavy samplers run in batches
+  // instead of once per simulated operation.
+  std::vector<double> pending_inc;
+  std::vector<std::uint8_t> pending_halt;
+  std::vector<double> inc_buf;
+  std::vector<std::uint8_t> halt_buf;
+  std::vector<std::uint8_t> buf_pos;
+  bool in_use = false;  ///< re-entrancy guard (factories may nest simulate)
+};
+
+/// Pre-drawn increments per process in the pipelined fast path. Large
+/// enough to amortize the spill around the samplers' libm calls, small
+/// enough that the draws left unconsumed when a trial ends stay cheap.
+constexpr std::size_t kIncBatch = 4;
+
+template <class M, class MakeMachine>
+sim_result run_simulation(const sim_config& config, std::uint64_t seed,
+                          sim_workspace<M>& ws, MakeMachine&& make_machine) {
   const auto n = config.inputs.size();
-  if (n == 0) throw std::invalid_argument("simulate: no processes");
 
   sim_result result;
-  result.processes.assign(n, sim_process_result{});
 
-  sim_memory memory;
-  invariant_checker checker(config.inputs);
+  // Compile the per-op increment once per trial: adversary and noise become
+  // tagged unions, so the loop below draws without virtual dispatch.
+  const increment_sampler next_increment(config.sched);
+
+  std::optional<invariant_checker> checker;
+  ws.memory.reset();
   if (config.check_invariants) {
-    memory.set_trace_hook([&checker](int pid, const operation& op,
-                                     std::uint64_t value) {
-      checker.on_op(pid, op, value);
-    });
+    checker.emplace(config.inputs);
+    ws.memory.set_trace_hook(
+        [&checker](int pid, const operation& op, std::uint64_t value) {
+          checker->on_op(pid, op, value);
+        });
+  } else {
+    ws.memory.set_trace_hook(nullptr);
   }
 
-  // Per-process state.
-  std::vector<std::unique_ptr<consensus_machine>> machines(n);
-  std::vector<rng> streams;
-  streams.reserve(n);
-  std::vector<process_view> views(n);
-  rng root(config.seed);
+  const bool track_views = config.crashes != nullptr;
+  // The fast path below needs the draws to be position-independent; decided
+  // before the init loop so it can pre-draw each stream's next increment.
+  const bool pipelined =
+      config.crashes == nullptr && !next_increment.schedule_sensitive();
+  ws.sched.reset(n);
+  ws.machines.clear();
+  ws.machines.reserve(n);
+  ws.streams.clear();
+  ws.streams.reserve(n);
+  if (track_views) ws.views.assign(n, process_view{});
+  ws.halted.assign(n, 0);
+  ws.decided.assign(n, 0);
+  ws.decisions.assign(n, -1);
+  ws.ops.assign(n, 0);
+  ws.rounds.assign(n, 1);
+  if (pipelined) {
+    ws.pending_inc.assign(n, 0.0);
+    ws.pending_halt.assign(n, 0);
+    // resize, not assign: every slot is written by fill() before it is read
+    // (buf_pos gates validity), so stale values from the previous trial are
+    // unreachable and re-zeroing would be pure cost.
+    ws.inc_buf.resize(n * kIncBatch);
+    ws.halt_buf.resize(n * kIncBatch);
+    ws.buf_pos.assign(n, 0);
+  }
 
-  event_queue queue;
   for (std::size_t i = 0; i < n; ++i) {
-    streams.emplace_back(config.seed, /*stream=*/i + 1);
-    machines[i] = build_machine(config, static_cast<int>(i), config.inputs[i],
-                                streams[i].fork());
-    views[i].preference = config.inputs[i];
+    ws.streams.emplace_back(seed, /*stream=*/i + 1);
+    // The fork() below advances stream i by one draw even when the machine
+    // (lean) never uses the forked generator; the stream positions are part
+    // of the bit-identity contract.
+    ws.machines.emplace_back(make_machine(static_cast<int>(i),
+                                          config.inputs[i],
+                                          ws.streams[i].fork()));
+    if (track_views) ws.views[i].preference = config.inputs[i];
 
     double t = config.sched.start_offset(static_cast<int>(i),
-                                         static_cast<int>(n), streams[i]);
+                                         static_cast<int>(n), ws.streams[i]);
     bool halted = false;
-    t += config.sched.op_increment(static_cast<int>(i), 1, /*is_write=*/false,
-                                   streams[i], halted);
+    if (pipelined) {
+      // Batch the stream's first kIncBatch increments. The first one is
+      // the op_index=1 draw the general path makes right here; the rest
+      // are the same stream's next draws, just made early (the draws are
+      // position-independent — see schedule_sensitive).
+      double* buf = ws.inc_buf.data() + i * kIncBatch;
+      std::uint8_t* hbuf = ws.halt_buf.data() + i * kIncBatch;
+      next_increment.fill(static_cast<int>(i), ws.streams[i], buf, hbuf,
+                          kIncBatch);
+      t += buf[0];
+      halted = hbuf[0] != 0;
+      ws.pending_inc[i] = buf[1];
+      ws.pending_halt[i] = hbuf[1];
+      ws.buf_pos[i] = 2;
+    } else {
+      t += next_increment(static_cast<int>(i), 1, /*is_write=*/false,
+                          ws.streams[i], halted);
+    }
     if (halted) {
-      result.processes[i].halted = true;
-      views[i].halted = true;
+      ws.halted[i] = 1;
+      if (track_views) ws.views[i].halted = true;
       ++result.halted_processes;
     } else {
-      queue.push(t, static_cast<int>(i));
+      // prime() assigns sequence numbers in pid order, exactly like the
+      // pushes the generic heap used to see.
+      ws.sched.prime(static_cast<int>(i), t);
     }
   }
+  ws.sched.build();
 
   std::uint64_t decided_live = 0;
   auto live_undecided = [&]() {
     return n - result.halted_processes - decided_live;
   };
 
-  while (!queue.empty()) {
-    if (result.total_ops >= config.max_total_ops) {
+  const std::uint64_t max_total_ops = config.max_total_ops;
+  const bool has_hook = static_cast<bool>(config.event_hook);
+
+  // Pipelined fast path. The general loop below is latency-bound: every
+  // iteration serializes top -> next_op -> execute -> apply -> draw ->
+  // replay, because the next event is unknown until the tournament replay
+  // finishes — nothing overlaps across iterations. When the increment draw
+  // does not depend on WHICH operation is scheduled (no adversary delays,
+  // no per-op-kind write noise) and no crash adversary watches the step,
+  // the draw and the reschedule can issue FIRST: the replay then runs
+  // concurrently with the machine/memory work in the out-of-order window,
+  // roughly halving the per-operation critical path.
+  //
+  // Bit-identity with the general loop:
+  //  - The rng stream draws are identical: the increment is the next draw
+  //    off streams[pid] either way (schedule_sensitive()==false means the
+  //    arguments the draw ignores are the only ones that changed), and the
+  //    halting Bernoulli stays in the same position inside the draw.
+  //  - A process that decides or halts AFTER its slot was rescheduled
+  //    leaves a stale slot behind instead of a removed one. Stale slots are
+  //    skipped (and removed) when they win, which cannot move any real
+  //    event's pop position: (time, seq) is a total order over real events
+  //    and their relative seq order is preserved — doomed reschedules only
+  //    shift later seq values up, never reorder them.
+  //  - Each step consumes a PRE-DRAWN increment, made up to kIncBatch
+  //    steps early by a batched draw on the same stream. Draws stay in
+  //    per-stream order — streams are per-process, so moving a draw earlier
+  //    in wall time never reorders it within its own stream, and
+  //    cross-stream order is immaterial.
+  //  - Up to kIncBatch draws sit unconsumed on a stream when its process
+  //    decides or halts (or the trial ends); such a stream is never drawn
+  //    from again, so no later value changes.
+  //  - The budget check runs after the stale skip, so it still fires only
+  //    ahead of real operations, exactly like the general loop (which never
+  //    sees stale slots in fast-path-eligible configs).
+  while (pipelined && !ws.sched.empty()) {
+    const sim_event ev = ws.sched.top();
+    const auto pid = static_cast<std::size_t>(ev.pid);
+    if (ws.halted[pid] || ws.decided[pid]) {
+      ws.sched.remove_top();  // stale slot of a decided/halted process
+      continue;
+    }
+    if (result.total_ops >= max_total_ops) {
       result.budget_exhausted = true;
       break;
     }
-    const sim_event ev = queue.pop();
+
+    // Reschedule with the increment pre-drawn at this process's previous
+    // step: the only work between the tournament replays is an indexed
+    // load and an add, so consecutive replays nearly abut, and the actual
+    // sampler draw below runs in the replay's out-of-order shadow.
+    const double inc = ws.pending_inc[pid];
+    const bool halted_next = ws.pending_halt[pid] != 0;
+    ws.sched.reschedule_top(ev.time + inc);
+
+    // Advance this process's pre-draw pipeline (all off the critical
+    // path): stage the stream's next increment from its ring, refilling
+    // the ring by a batched draw when it runs dry.
+    {
+      std::size_t idx = ws.buf_pos[pid];
+      double* buf = ws.inc_buf.data() + pid * kIncBatch;
+      std::uint8_t* hbuf = ws.halt_buf.data() + pid * kIncBatch;
+      if (idx == kIncBatch) {
+        next_increment.fill(ev.pid, ws.streams[pid], buf, hbuf, kIncBatch);
+        idx = 0;
+      }
+      ws.pending_inc[pid] = buf[idx];
+      ws.pending_halt[pid] = hbuf[idx];
+      ws.buf_pos[pid] = static_cast<std::uint8_t>(idx + 1);
+    }
+
+    // Execute one atomic operation.
+    auto& machine = deref(ws.machines[pid]);
+    const operation op = machine.next_op();
+    const std::uint64_t value = ws.memory.execute(ev.pid, op);
+    machine.apply(value);
+    ++ws.ops[pid];
+    ++result.total_ops;
+    if (has_hook) {
+      trace_event te;
+      te.time = ev.time;
+      te.pid = ev.pid;
+      te.op = op;
+      te.value = value;
+      te.round = machine.lean_round();
+      te.decided = machine.done();
+      te.decision = machine.done() ? machine.decision() : -1;
+      config.event_hook(te);
+    }
+
+    const std::uint64_t lr = machine.lean_round();
+    if (lr != 0) {
+      ws.rounds[pid] = lr;
+      result.max_round_reached = std::max(result.max_round_reached, lr);
+    }
+
+    if (machine.done()) {
+      ws.decided[pid] = 1;  // the rescheduled slot goes stale
+      ws.decisions[pid] = machine.decision();
+      ++decided_live;
+      const std::uint64_t round = machine.lean_round();
+      if (checker) {
+        if (round != 0) {
+          checker->on_decision(ev.pid, ws.decisions[pid], round);
+        } else {
+          checker->on_backup_decision(ev.pid, ws.decisions[pid]);
+        }
+      }
+      if (!result.any_decided) {
+        result.any_decided = true;
+        result.decision = ws.decisions[pid];
+        result.first_decision_round = round != 0 ? round : ws.rounds[pid];
+        result.first_decision_time = ev.time;
+        result.ops_until_first_decision = result.total_ops;
+        if (config.stop == stop_mode::first_decision) break;
+      }
+      result.last_decision_round =
+          std::max(result.last_decision_round,
+                   round != 0 ? round : ws.rounds[pid]);
+      if (live_undecided() == 0) break;
+      continue;
+    }
+
+    if (halted_next) {
+      // The halting failure lands on the operation just scheduled; its
+      // slot goes stale exactly like a decided process's.
+      ws.halted[pid] = 1;
+      ++result.halted_processes;
+      if (live_undecided() == 0) break;
+    }
+  }
+
+  while (!pipelined && !ws.sched.empty()) {
+    if (result.total_ops >= max_total_ops) {
+      result.budget_exhausted = true;
+      break;
+    }
+    const sim_event ev = ws.sched.top();
     const auto pid = static_cast<std::size_t>(ev.pid);
-    auto& machine = *machines[pid];
-    auto& pr = result.processes[pid];
-    if (pr.halted || pr.decided) continue;  // stale event (defensive)
+    auto& machine = deref(ws.machines[pid]);
+    if (ws.halted[pid] || ws.decided[pid]) {
+      // Stale event: the process was crashed by the adversary after this
+      // event was scheduled. The generic heap popped and skipped it; the
+      // scheduler drops the slot at the same point in the pop order.
+      ws.sched.remove_top();
+      continue;
+    }
 
     // Execute one atomic operation.
     const operation op = machine.next_op();
-    const std::uint64_t value = memory.execute(ev.pid, op);
+    const std::uint64_t value = ws.memory.execute(ev.pid, op);
     machine.apply(value);
-    ++pr.ops;
+    ++ws.ops[pid];
     ++result.total_ops;
-    if (config.event_hook) {
+    if (has_hook) {
       trace_event te;
       te.time = ev.time;
       te.pid = ev.pid;
@@ -136,97 +369,170 @@ sim_result simulate(const sim_config& config) {
     // Update bookkeeping visible to adaptive adversaries and metrics.
     const std::uint64_t lr = machine.lean_round();
     if (lr != 0) {
-      pr.round_reached = lr;
+      ws.rounds[pid] = lr;
       result.max_round_reached = std::max(result.max_round_reached, lr);
     }
-    pr.preference_switches = machine.preference_switches();
-    views[pid].round = pr.round_reached;
-    views[pid].ops = pr.ops;
+    if (track_views) {
+      ws.views[pid].round = ws.rounds[pid];
+      ws.views[pid].ops = ws.ops[pid];
+    }
 
     if (machine.done()) {
-      pr.decided = true;
-      pr.decision = machine.decision();
-      views[pid].decided = true;
+      ws.sched.remove_top();  // no further ops for this process
+      ws.decided[pid] = 1;
+      ws.decisions[pid] = machine.decision();
+      if (track_views) ws.views[pid].decided = true;
       ++decided_live;
       const std::uint64_t round = machine.lean_round();
-      if (config.check_invariants) {
+      if (checker) {
         if (round != 0) {
-          checker.on_decision(ev.pid, pr.decision, round);
+          checker->on_decision(ev.pid, ws.decisions[pid], round);
         } else {
-          checker.on_backup_decision(ev.pid, pr.decision);
+          checker->on_backup_decision(ev.pid, ws.decisions[pid]);
         }
       }
       if (!result.any_decided) {
         result.any_decided = true;
-        result.decision = pr.decision;
-        result.first_decision_round = round != 0 ? round : pr.round_reached;
+        result.decision = ws.decisions[pid];
+        result.first_decision_round = round != 0 ? round : ws.rounds[pid];
         result.first_decision_time = ev.time;
         result.ops_until_first_decision = result.total_ops;
         if (config.stop == stop_mode::first_decision) break;
       }
       result.last_decision_round =
           std::max(result.last_decision_round,
-                   round != 0 ? round : pr.round_reached);
+                   round != 0 ? round : ws.rounds[pid]);
       if (live_undecided() == 0) break;
       continue;  // no further ops for this process
     }
+
+    // The process's next operation, computed once: the crash adversary's
+    // poised-to-decide view and the write-noise selection below both key
+    // off it (next_op is const, so one call serves both).
+    const operation next = machine.next_op();
 
     // Adaptive crash adversary moves after observing the step. It also sees
     // whether the stepping process's NEXT operation would decide (the
     // round-final read of a still-zero rival cell).
     if (config.crashes) {
-      const operation next = machine.next_op();
       const std::uint64_t next_round = machine.lean_round();
-      views[pid].poised_to_decide =
+      ws.views[pid].poised_to_decide =
           next_round != 0 && next.kind == op_kind::read &&
           (next.where.where == space::race0 ||
            next.where.where == space::race1) &&
           next.where.index + 1 == next_round &&
-          memory.peek(next.where) == 0;
-      if (auto victim = config.crashes->maybe_kill(views, ev.pid)) {
+          ws.memory.peek(next.where) == 0;
+      if (auto victim = config.crashes->maybe_kill(ws.views, ev.pid)) {
         const auto v = static_cast<std::size_t>(*victim);
-        if (v < n && !result.processes[v].halted &&
-            !result.processes[v].decided) {
-          result.processes[v].halted = true;
-          views[v].halted = true;
+        if (v < n && !ws.halted[v] && !ws.decided[v]) {
+          ws.halted[v] = 1;
+          ws.views[v].halted = true;
           ++result.halted_processes;
           if (live_undecided() == 0) break;
           // The victim's pending event, if any, becomes stale and is skipped
           // when popped.
         }
       }
+      if (ws.halted[pid]) {
+        ws.sched.remove_top();  // the adversary crashed the stepping process
+        continue;
+      }
     }
-    if (pr.halted) continue;  // the adversary crashed the stepping process
 
     // Schedule this process's next operation.
-    const operation next = machine.next_op();
     bool halted = false;
-    const double inc = config.sched.op_increment(
-        ev.pid, pr.ops + 1, next.kind == op_kind::write, streams[pid], halted);
+    const double inc =
+        next_increment(ev.pid, ws.ops[pid] + 1, next.kind == op_kind::write,
+                       ws.streams[pid], halted);
     if (halted) {
-      pr.halted = true;
-      views[pid].halted = true;
+      ws.sched.remove_top();
+      ws.halted[pid] = 1;
+      if (track_views) ws.views[pid].halted = true;
       ++result.halted_processes;
       if (live_undecided() == 0) break;
     } else {
-      queue.push(ev.time + inc, ev.pid);
+      ws.sched.reschedule_top(ev.time + inc);
     }
   }
 
   result.all_live_decided = live_undecided() == 0 && decided_live > 0;
-  for (const auto& pr : result.processes) {
+
+  // Fold the struct-of-arrays bookkeeping into the public per-process form.
+  result.processes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& pr = result.processes[i];
+    pr.decided = ws.decided[i] != 0;
+    pr.decision = ws.decisions[i];
+    pr.halted = ws.halted[i] != 0;
+    pr.ops = ws.ops[i];
+    pr.round_reached = ws.rounds[i];
+    pr.preference_switches = deref(ws.machines[i]).preference_switches();
     if (pr.decided && pr.round_reached != 0) {
       result.last_decision_round =
           std::max(result.last_decision_round, pr.round_reached);
     }
+    count_backup_entry(ws.machines[i], result);
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (auto* cm = dynamic_cast<combined_machine*>(machines[i].get())) {
-      if (cm->backup_entered()) ++result.backup_entries;
-    }
-  }
-  result.violations = checker.violations();
+  if (checker) result.violations = checker->violations();
   return result;
+}
+
+template <class M, class MakeMachine>
+sim_result simulate_typed(const sim_config& config, std::uint64_t seed,
+                          MakeMachine&& make_machine) {
+  static thread_local sim_workspace<M> shared_ws;
+  if (!shared_ws.in_use) {
+    shared_ws.in_use = true;
+    struct release {
+      bool* flag;
+      ~release() { *flag = false; }
+    } rel{&shared_ws.in_use};
+    return run_simulation(config, seed, shared_ws, make_machine);
+  }
+  // Nested simulate() (e.g. from a factory or hook): fall back to a fresh
+  // local workspace instead of clobbering the one mid-trial.
+  sim_workspace<M> local;
+  return run_simulation(config, seed, local, make_machine);
+}
+
+}  // namespace
+
+sim_result simulate(const sim_config& config, std::uint64_t seed) {
+  const auto n = config.inputs.size();
+  if (n == 0) throw std::invalid_argument("simulate: no processes");
+
+  if (config.factory) {
+    return simulate_typed<std::unique_ptr<consensus_machine>>(
+        config, seed, [&config](int pid, int input, rng gen) {
+          return config.factory(pid, input, std::move(gen));
+        });
+  }
+  backup_params bp = backup_params::for_processes(n);
+  if (config.backup_write_prob > 0.0) bp.write_prob = config.backup_write_prob;
+  switch (config.protocol) {
+    case protocol_kind::lean:
+      return simulate_typed<lean_machine>(
+          config, seed,
+          [](int, int input, rng) { return lean_machine(input); });
+    case protocol_kind::combined: {
+      const std::uint64_t r_max =
+          config.r_max != 0 ? config.r_max : default_r_max(n);
+      return simulate_typed<combined_machine>(
+          config, seed, [&bp, r_max](int, int input, rng gen) {
+            return combined_machine(input, r_max, bp, std::move(gen));
+          });
+    }
+    case protocol_kind::backup:
+      return simulate_typed<backup_machine>(
+          config, seed, [&bp](int, int input, rng gen) {
+            return backup_machine(input, bp, std::move(gen));
+          });
+  }
+  throw std::logic_error("build_machine: bad protocol kind");
+}
+
+sim_result simulate(const sim_config& config) {
+  return simulate(config, config.seed);
 }
 
 }  // namespace leancon

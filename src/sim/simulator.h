@@ -92,6 +92,12 @@ struct sim_result {
 /// Runs one simulated execution.
 sim_result simulate(const sim_config& config);
 
+/// Runs one simulated execution with `seed` in place of config.seed — the
+/// per-trial form used by workloads, which would otherwise copy the whole
+/// config (inputs vector and all) just to change the seed. Bit-identical to
+/// copying the config and setting its seed.
+sim_result simulate(const sim_config& config, std::uint64_t seed);
+
 /// Convenience: a half-zeros/half-ones input vector (the Figure 1 workload;
 /// inputs alternate so cohort membership is independent of start dither).
 std::vector<int> split_inputs(std::size_t n);

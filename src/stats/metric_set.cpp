@@ -42,24 +42,64 @@ metric_set& metric_set::observe(const std::string& name, double x,
   return *this;
 }
 
+metric_set::entry& metric_set::resolve_slow(const metric_handle& h,
+                                            bool is_counter) {
+  if (h.hint == entries_.size()) {
+    // Canonical append: the producer is emitting in bind order onto a set
+    // that has exactly the previously-bound entries, so the name cannot be
+    // present yet (metric_binder hands out each name once). Skip the scan.
+    entry e;
+    e.name = h.name;
+    e.is_counter = is_counter;
+    e.rollup = h.rollup;
+    entries_.push_back(std::move(e));
+    return entries_.back();
+  }
+  return upsert(h.name, is_counter, h.rollup);
+}
+
 void metric_set::record(const metric_set& one) {
+  // Trials from one producer arrive with entries in a fixed emission order,
+  // so after the first trial each incoming entry is usually at the cursor
+  // position in this aggregate; conditionally-omitted metrics make the
+  // cursor miss and fall back to the name scan.
+  std::size_t cursor = 0;
   for (const auto& e : one.entries_) {
-    if (e.is_counter) {
-      count(e.name, e.total);
-      continue;
-    }
-    if (e.stats.samples().size() != e.stats.count()) {
+    if (!e.is_counter && e.stats.samples().size() != e.stats.count()) {
       throw std::logic_error("metric_set::record: sample metric \"" + e.name +
                              "\" lacks retained samples to replay");
     }
-    entry& mine = upsert(e.name, false, e.rollup);
+    std::size_t idx;
+    if (cursor < entries_.size() && entries_[cursor].name == e.name &&
+        entries_[cursor].is_counter == e.is_counter) {
+      idx = cursor;
+    } else {
+      idx = static_cast<std::size_t>(&upsert(e.name, e.is_counter, e.rollup) -
+                                     entries_.data());
+    }
+    cursor = idx + 1;
+    entry& mine = entries_[idx];
+    if (e.is_counter) {
+      mine.total += e.total;
+      continue;
+    }
     for (const double x : e.stats.samples()) mine.stats.add(x);
   }
 }
 
 void metric_set::merge(const metric_set& other) {
+  std::size_t cursor = 0;  // same cursor heuristic as record()
   for (const auto& e : other.entries_) {
-    entry& mine = upsert(e.name, e.is_counter, e.rollup);
+    std::size_t idx;
+    if (cursor < entries_.size() && entries_[cursor].name == e.name &&
+        entries_[cursor].is_counter == e.is_counter) {
+      idx = cursor;
+    } else {
+      idx = static_cast<std::size_t>(&upsert(e.name, e.is_counter, e.rollup) -
+                                     entries_.data());
+    }
+    cursor = idx + 1;
+    entry& mine = entries_[idx];
     if (e.is_counter) {
       mine.total += e.total;
     } else {

@@ -40,6 +40,26 @@ enum class metric_rollup : std::uint8_t {
   mean_and_sum,  ///< mean_<name>, <name>_sum
 };
 
+/// Pre-bound identity of one metric: its name, kind, rollup, and the entry
+/// index it lands at under the producer's canonical emission order. Hot
+/// recording paths resolve a handle by index — one vector access plus a
+/// confirming name compare — instead of a linear name scan per emission.
+/// The hint is advisory: when it does not match (conditionally omitted
+/// metrics shift indices), resolution falls back to the name scan, so a
+/// handle is never wrong, only occasionally slower.
+///
+/// Build handles through `metric_binder`, which assigns hints in emission
+/// order and hands out each name exactly once. A handle whose hint equals
+/// the set's current size appends WITHOUT scanning — that is what makes a
+/// fresh per-trial emission O(1) per metric — so two hand-built handles
+/// sharing a name can create duplicate entries. Don't hand-build them.
+struct metric_handle {
+  std::string name;
+  metric_rollup rollup = metric_rollup::mean;
+  bool is_counter = false;
+  std::uint32_t hint = 0;
+};
+
 /// Ordered, named counters and sample summaries. Entry order is
 /// first-insertion order and is preserved by record/merge (new names
 /// append), so reports and emitted files are deterministic.
@@ -62,6 +82,18 @@ class metric_set {
   /// Returns *this for chaining.
   metric_set& observe(const std::string& name, double x,
                       metric_rollup rollup = metric_rollup::mean);
+
+  /// Handle forms of count/observe: index hit or canonical append on the
+  /// fast path, name-scan fallback when the hint is stale. Equivalent to
+  /// the name forms entry-for-entry (same order, same kind checks).
+  metric_set& count(const metric_handle& h, double delta) {
+    resolve(h, /*is_counter=*/true).total += delta;
+    return *this;
+  }
+  metric_set& observe(const metric_handle& h, double x) {
+    resolve(h, /*is_counter=*/false).stats.add(x);
+    return *this;
+  }
 
   /// Folds one trial's metric_set into this aggregate: counters add, and
   /// every sample observation is replayed through summary::add in emission
@@ -94,7 +126,36 @@ class metric_set {
   entry& upsert(const std::string& name, bool is_counter,
                 metric_rollup rollup);
 
+  entry& resolve(const metric_handle& h, bool is_counter) {
+    if (h.hint < entries_.size()) {
+      entry& e = entries_[h.hint];
+      if (e.name == h.name && e.is_counter == is_counter) return e;
+    }
+    return resolve_slow(h, is_counter);
+  }
+  entry& resolve_slow(const metric_handle& h, bool is_counter);
+
   std::vector<entry> entries_;
+};
+
+/// Assigns handles with hints in emission order: the k-th bound name gets
+/// hint k, matching the entry index it will occupy when the producer emits
+/// every bound metric, in bind order, onto a fresh metric_set. One binder
+/// per producer; bind each name once.
+class metric_binder {
+ public:
+  metric_handle counter(std::string name) {
+    return metric_handle{std::move(name), metric_rollup::mean,
+                         /*is_counter=*/true, next_++};
+  }
+  metric_handle sample(std::string name,
+                       metric_rollup rollup = metric_rollup::mean) {
+    return metric_handle{std::move(name), rollup, /*is_counter=*/false,
+                         next_++};
+  }
+
+ private:
+  std::uint32_t next_ = 0;
 };
 
 /// One trial under the unified workload API: the fixed decision record

@@ -6,8 +6,15 @@
 //
 // The generator is xoshiro256++ (Blackman & Vigna), seeded through splitmix64,
 // which is the recommended seeding procedure for the xoshiro family.
+//
+// Everything here is header-inline: the simulator draws noise on every
+// simulated operation, and an out-of-line call per draw costs more than the
+// generator itself. The definitions are the same ones that used to live in
+// rng.cpp — moving them is invisible to the output bytes.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -15,7 +22,20 @@ namespace leancon {
 
 /// Advances a splitmix64 state and returns the next output. Used for seeding
 /// and for cheap one-off hashes of (seed, stream) pairs.
-std::uint64_t splitmix64_next(std::uint64_t& state);
+inline std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Writes `count` consecutive splitmix64 outputs to `out`, starting from
+/// `state`. The block form keeps the sequential dependency chain out of the
+/// caller's loop body; seeding and bulk hashing use it.
+inline void splitmix64_fill(std::uint64_t state, std::uint64_t* out,
+                            std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) out[i] = splitmix64_next(state);
+}
 
 /// Deterministic PRNG with value semantics. Cheap to copy; copying forks an
 /// identical stream, so prefer `fork()` when independent streams are needed.
@@ -24,14 +44,34 @@ class rng {
   using result_type = std::uint64_t;
 
   /// Seeds the four xoshiro256++ words from splitmix64(seed).
-  explicit rng(std::uint64_t seed = 0) noexcept;
+  explicit rng(std::uint64_t seed = 0) noexcept { splitmix64_fill(seed, s_, 4); }
 
   /// Seeds from a (seed, stream) pair; distinct streams are statistically
   /// independent for any fixed seed.
-  rng(std::uint64_t seed, std::uint64_t stream) noexcept;
+  rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+    // Mix the stream id through splitmix64 so that nearby streams diverge.
+    std::uint64_t sm = stream;
+    splitmix64_fill(seed ^ splitmix64_next(sm), s_, 4);
+  }
 
   /// Next raw 64-bit output.
-  std::uint64_t next() noexcept;
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Writes `count` consecutive next() outputs to `out` — a batched draw for
+  /// bulk consumers (identical to calling next() in a loop).
+  void fill(std::uint64_t* out, std::size_t count) noexcept {
+    for (std::size_t i = 0; i < count; ++i) out[i] = next();
+  }
 
   /// UniformRandomBitGenerator interface (usable with <random> adaptors).
   std::uint64_t operator()() noexcept { return next(); }
@@ -41,37 +81,123 @@ class rng {
   }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double uniform01() noexcept;
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept;
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
 
   /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
-  std::uint64_t below(std::uint64_t bound) noexcept;
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Bernoulli trial with success probability p (clamped to [0, 1]).
-  bool bernoulli(double p) noexcept;
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
 
   /// Exponential variate with the given mean (mean > 0).
-  double exponential(double mean) noexcept;
+  double exponential(double mean) noexcept {
+    // Inverse CDF; 1 - uniform01() is in (0, 1], so the log argument is
+    // nonzero.
+    return -mean * std::log(1.0 - uniform01());
+  }
 
   /// Standard normal variate (Marsaglia polar method, cached spare).
-  double normal() noexcept;
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_normal_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_normal_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
 
   /// Normal variate with the given mean and standard deviation.
-  double normal(double mu, double sigma) noexcept;
+  double normal(double mu, double sigma) noexcept {
+    return mu + sigma * normal();
+  }
 
   /// Geometric variate: number of Bernoulli(p) trials up to and including the
   /// first success (support {1, 2, ...}).
-  std::uint64_t geometric(double p) noexcept;
+  std::uint64_t geometric(double p) noexcept {
+    if (p >= 1.0) return 1;
+    if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+    // Inverse CDF: ceil(log(1-u) / log(1-p)) over support {1, 2, ...}.
+    const double u = uniform01();
+    const double value = std::ceil(std::log1p(-u) / std::log1p(-p));
+    return value < 1.0 ? 1 : static_cast<std::uint64_t>(value);
+  }
 
   /// Derives an independent child generator; the parent advances by one.
-  rng fork() noexcept;
+  rng fork() noexcept { return rng(next(), 0x5eedf02dULL); }
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   double spare_normal_ = 0.0;
   bool has_spare_ = false;
+};
+
+/// A bounded integer draw with the Lemire rejection threshold precomputed.
+/// rng::below() computes `-bound % bound` lazily on the (rare) low-product
+/// path; a caller drawing against the same bound many times pins it here
+/// once instead. The accepted/rejected word sequence — and therefore every
+/// output — is identical to below(): a product below the threshold is
+/// rejected in both, a product at or above it is accepted in both.
+class bounded_uint {
+ public:
+  explicit bounded_uint(std::uint64_t bound) noexcept
+      : bound_(bound), threshold_(bound ? (0 - bound) % bound : 0) {}
+
+  std::uint64_t bound() const noexcept { return bound_; }
+
+  std::uint64_t operator()(rng& gen) const noexcept {
+    if (bound_ == 0) return 0;
+    std::uint64_t x = gen.next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound_;
+    auto lo = static_cast<std::uint64_t>(m);
+    while (lo < threshold_) {
+      x = gen.next();
+      m = static_cast<__uint128_t>(x) * bound_;
+      lo = static_cast<std::uint64_t>(m);
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+ private:
+  std::uint64_t bound_;
+  std::uint64_t threshold_;
 };
 
 }  // namespace leancon

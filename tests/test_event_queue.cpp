@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <queue>
+#include <vector>
+
+#include "util/rng.h"
+
 namespace leancon {
 namespace {
 
@@ -64,6 +69,196 @@ TEST(EventQueue, ManyEventsStaySorted) {
     const auto e = q.pop();
     ASSERT_GE(e.time, last);
     last = e.time;
+  }
+}
+
+TEST(EventQueue, ReserveDoesNotChangeContents) {
+  event_queue q;
+  q.push(2.0, 0);
+  q.reserve(1024);
+  q.push(1.0, 1);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().pid, 1);
+  EXPECT_EQ(q.pop().pid, 0);
+}
+
+TEST(EventQueue, ClearResetsTiebreakCounter) {
+  event_queue q;
+  q.push(1.0, 0);
+  q.push(1.0, 1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  // After clear(), insertion order restarts: a fresh tie must pop in the
+  // fresh insertion order, proving the sequence counter was reset too.
+  q.push(5.0, 9);
+  q.push(5.0, 8);
+  EXPECT_EQ(q.pop().pid, 9);
+  EXPECT_EQ(q.pop().pid, 8);
+}
+
+// Reference model: std::priority_queue with the exact (time, seq) order the
+// flat heap promises. Any correct heap pops a total order identically, so
+// the two must agree event-for-event over random interleaved push/pop
+// sequences — including deliberate timestamp ties.
+TEST(EventQueue, RandomOpsMatchPriorityQueueReference) {
+  struct later {
+    bool operator()(const sim_event& a, const sim_event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    event_queue q;
+    std::priority_queue<sim_event, std::vector<sim_event>, later> ref;
+    std::uint64_t next_seq = 0;
+    rng gen(seed, 0xe4e27);
+    for (int step = 0; step < 4000; ++step) {
+      const bool do_push = ref.empty() || gen.below(100) < 60;
+      if (do_push) {
+        // Coarse timestamps so ties are common, not probability-zero.
+        const double time = static_cast<double>(gen.below(64));
+        const int pid = static_cast<int>(gen.below(16));
+        q.push(time, pid);
+        ref.push(sim_event{time, next_seq++, pid});
+      } else {
+        ASSERT_EQ(q.empty(), ref.empty());
+        const sim_event got = q.pop();
+        const sim_event want = ref.top();
+        ref.pop();
+        ASSERT_EQ(got.time, want.time) << "seed=" << seed << " step=" << step;
+        ASSERT_EQ(got.seq, want.seq) << "seed=" << seed << " step=" << step;
+        ASSERT_EQ(got.pid, want.pid) << "seed=" << seed << " step=" << step;
+      }
+    }
+    while (!ref.empty()) {
+      ASSERT_FALSE(q.empty());
+      const sim_event got = q.pop();
+      ASSERT_EQ(got.seq, ref.top().seq);
+      ASSERT_EQ(got.pid, ref.top().pid);
+      ref.pop();
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// --- event_scheduler -------------------------------------------------------
+
+TEST(EventScheduler, PopsPrimedSlotsInTimeOrder) {
+  event_scheduler s;
+  s.reset(3);
+  s.prime(0, 3.0);
+  s.prime(1, 1.0);
+  s.prime(2, 2.0);
+  s.build();
+  EXPECT_EQ(s.top().pid, 1);
+  s.remove_top();
+  EXPECT_EQ(s.top().pid, 2);
+  s.remove_top();
+  EXPECT_EQ(s.top().pid, 0);
+  s.remove_top();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(EventScheduler, TiesBreakByPrimeOrder) {
+  event_scheduler s;
+  s.reset(4);
+  // Primed out of pid order: the tiebreak is the prime() call order (the
+  // sequence number), exactly like event_queue's push order.
+  s.prime(2, 1.0);
+  s.prime(0, 1.0);
+  s.prime(3, 1.0);
+  s.build();
+  EXPECT_EQ(s.top().pid, 2);
+  s.remove_top();
+  EXPECT_EQ(s.top().pid, 0);
+  s.remove_top();
+  EXPECT_EQ(s.top().pid, 3);
+  s.remove_top();
+  EXPECT_TRUE(s.empty());  // pid 1 was never primed
+}
+
+TEST(EventScheduler, RescheduleTiesLoseToEarlierSeq) {
+  event_scheduler s;
+  s.reset(2);
+  s.prime(0, 1.0);  // seq 0
+  s.prime(1, 1.0);  // seq 1
+  s.build();
+  EXPECT_EQ(s.top().pid, 0);
+  // Rescheduling pid 0 to the SAME time gives it a fresh (larger) sequence
+  // number, so pid 1's untouched event now wins the tie.
+  s.reschedule_top(1.0);
+  EXPECT_EQ(s.top().pid, 1);
+}
+
+TEST(EventScheduler, SingleSlotAndReuse) {
+  event_scheduler s;
+  s.reset(1);
+  s.prime(0, 2.0);
+  s.build();
+  EXPECT_EQ(s.top().pid, 0);
+  EXPECT_EQ(s.top().time, 2.0);
+  s.reschedule_top(5.0);
+  EXPECT_EQ(s.top().time, 5.0);
+  s.remove_top();
+  EXPECT_TRUE(s.empty());
+  // reset() restarts the tiebreak counter for the next trial.
+  s.reset(2);
+  s.prime(0, 1.0);
+  s.prime(1, 1.0);
+  s.build();
+  EXPECT_EQ(s.top().pid, 0);
+}
+
+// Reference model: the scheduler's winner-only discipline replayed against
+// std::priority_queue under the exact (time, seq) order. Each live slot
+// holds one pending event; every step either reschedules the winner to a
+// later (sometimes EQUAL — ties must break on seq) time or removes it.
+// Runs across sizes spanning every unrolled replay depth plus a
+// non-power-of-two n, so the padded empty slots are exercised too.
+TEST(EventScheduler, RandomRescheduleMatchesPriorityQueueReference) {
+  struct later {
+    bool operator()(const sim_event& a, const sim_event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  for (const std::size_t n : {1, 2, 3, 5, 8, 17, 33, 100, 130}) {
+    event_scheduler s;
+    s.reset(n);
+    std::priority_queue<sim_event, std::vector<sim_event>, later> ref;
+    std::uint64_t next_seq = 0;
+    rng gen(n, 0x5ced);
+    for (std::size_t pid = 0; pid < n; ++pid) {
+      // Coarse timestamps so ties are common, not probability-zero.
+      const double t = static_cast<double>(gen.below(8)) * 0.25;
+      s.prime(static_cast<int>(pid), t);
+      ref.push(sim_event{t, next_seq++, static_cast<int>(pid)});
+    }
+    s.build();
+    for (int step = 0; step < 2000 && !ref.empty(); ++step) {
+      ASSERT_FALSE(s.empty());
+      const sim_event want = ref.top();
+      const sim_event got = s.top();
+      ASSERT_EQ(got.time, want.time) << "n=" << n << " step=" << step;
+      ASSERT_EQ(got.seq, want.seq) << "n=" << n << " step=" << step;
+      ASSERT_EQ(got.pid, want.pid) << "n=" << n << " step=" << step;
+      ref.pop();
+      if (gen.below(10) == 0) {
+        s.remove_top();
+      } else {
+        const double t = want.time + static_cast<double>(gen.below(6)) * 0.25;
+        s.reschedule_top(t);
+        ref.push(sim_event{t, next_seq++, want.pid});
+      }
+    }
+    while (!ref.empty()) {
+      ASSERT_FALSE(s.empty());
+      ASSERT_EQ(s.top().seq, ref.top().seq) << "n=" << n;
+      ASSERT_EQ(s.top().pid, ref.top().pid) << "n=" << n;
+      s.remove_top();
+      ref.pop();
+    }
+    EXPECT_TRUE(s.empty()) << "n=" << n;
   }
 }
 

@@ -224,5 +224,95 @@ TEST(MetricSet, AbsentMetricsAreAbsentInCellMetricsTablesAndJson) {
   EXPECT_TRUE(std::isnan(records[0].metrics.get("mean_round")));
 }
 
+// --- Pre-bound metric handles ----------------------------------------------
+
+TEST(MetricHandles, HandleEmissionMatchesNameEmissionExactly) {
+  metric_binder bind;
+  const metric_handle ops = bind.sample("ops", metric_rollup::mean_and_sum);
+  const metric_handle round = bind.sample("round", metric_rollup::location);
+  const metric_handle retries = bind.counter("retries");
+
+  metric_set by_handle, by_name;
+  for (int t = 0; t < 50; ++t) {
+    by_handle.observe(ops, 10.0 + t).observe(round, 3.0 + t % 4);
+    by_handle.count(retries, t % 3);
+    by_name.observe("ops", 10.0 + t, metric_rollup::mean_and_sum)
+        .observe("round", 3.0 + t % 4, metric_rollup::location);
+    by_name.count("retries", t % 3);
+  }
+  ASSERT_EQ(by_handle.entries().size(), by_name.entries().size());
+  for (std::size_t i = 0; i < by_handle.entries().size(); ++i) {
+    const auto& a = by_handle.entries()[i];
+    const auto& b = by_name.entries()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.is_counter, b.is_counter);
+    EXPECT_EQ(a.rollup, b.rollup);
+    EXPECT_EQ(a.total, b.total);
+    EXPECT_EQ(a.stats.count(), b.stats.count());
+    EXPECT_EQ(a.stats.mean(), b.stats.mean());
+  }
+}
+
+TEST(MetricHandles, StaleHintFallsBackToNameScan) {
+  metric_binder bind;
+  const metric_handle first = bind.sample("first");
+  const metric_handle second = bind.sample("second");
+
+  // Omit "first": "second" arrives with hint 1 on an empty set (hint >
+  // size), then with hint 1 while sitting at index 0 (name mismatch at the
+  // hinted slot after "late" lands there... exercised below). Both misses
+  // must resolve by name without duplicating entries.
+  metric_set m;
+  m.observe(second, 5.0);
+  ASSERT_EQ(m.entries().size(), 1u);
+  EXPECT_EQ(m.entries()[0].name, "second");
+
+  m.observe("late", 1.0);
+  m.observe(second, 7.0);  // hint 1 now points at "late"
+  ASSERT_EQ(m.entries().size(), 2u);
+  EXPECT_EQ(m.sample("second").count(), 2u);
+  EXPECT_EQ(m.sample("late").count(), 1u);
+  (void)first;
+}
+
+TEST(MetricHandles, KindMismatchThrowsLikeNamePath) {
+  metric_binder bind;
+  const metric_handle h = bind.counter("x");
+  metric_set m;
+  m.observe("x", 1.0);
+  EXPECT_THROW(m.count(h, 1.0), std::logic_error);
+}
+
+TEST(MetricHandles, RecordOfHandleEmittedTrialsMatchesNameEmittedTrials) {
+  metric_binder bind;
+  const metric_handle ops = bind.sample("ops");
+  const metric_handle gap = bind.sample("gap");  // conditionally omitted
+  const metric_handle tailm = bind.sample("tail");
+
+  metric_set agg_handle, agg_name;
+  for (int t = 0; t < 40; ++t) {
+    metric_set one_h, one_n;
+    one_h.observe(ops, 1.0 * t);
+    one_n.observe("ops", 1.0 * t);
+    if (t % 3 != 0) {
+      one_h.observe(gap, 2.0 * t);
+      one_n.observe("gap", 2.0 * t);
+    }
+    one_h.observe(tailm, 3.0 * t);
+    one_n.observe("tail", 3.0 * t);
+    agg_handle.record(one_h);
+    agg_name.record(one_n);
+  }
+  ASSERT_EQ(agg_handle.entries().size(), agg_name.entries().size());
+  for (std::size_t i = 0; i < agg_handle.entries().size(); ++i) {
+    const auto& a = agg_handle.entries()[i];
+    const auto& b = agg_name.entries()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.stats.count(), b.stats.count());
+    EXPECT_EQ(a.stats.mean(), b.stats.mean());
+    EXPECT_EQ(a.stats.variance(), b.stats.variance());
+  }
+}
+
 }  // namespace
 }  // namespace leancon

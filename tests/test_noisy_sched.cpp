@@ -202,5 +202,115 @@ TEST(Adversary, ZenoDoesNotPreventTermination) {
   }
 }
 
+// --- Compiled fast-path bit-equality ---------------------------------------
+//
+// The simulator evaluates adversaries and noise through the tagged-union
+// fast path (compile()); the virtual interface stays the reference. These
+// tests pin exact double equality between the two over a (pid, j) grid and
+// over shared rng streams, so any drift in the compiled arithmetic — not
+// just a statistical change — fails loudly.
+
+TEST(CompiledDelays, EveryBuiltinMatchesVirtualExactly) {
+  const delay_adversary_ptr adversaries[] = {
+      make_zero_delays(),
+      make_constant_delays(0.75),
+      make_alternating_delays(1.25),
+      make_staggered_delays(2.0, 8),
+      make_staggered_delays(0.5, 3),
+      make_random_bounded_delays(1.5, 0x5eedULL),
+      make_burst_delays(3.0, 7),
+      make_pack_delays(1.0),
+      make_zeno_delays(2.0),
+  };
+  for (const auto& adv : adversaries) {
+    const compiled_delays fast = adv->compile();
+    for (int pid = 0; pid < 17; ++pid) {
+      for (std::uint64_t j = 1; j <= 130; ++j) {
+        ASSERT_EQ(fast(pid, j), adv->delay(pid, j))
+            << adv->name() << " pid=" << pid << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(CompiledDelays, CustomSubclassRoutesThroughVirtual) {
+  class tent_delays final : public delay_adversary {
+   public:
+    double delay(int pid, std::uint64_t j) const override {
+      return pid == 0 && j % 3 == 0 ? 0.5 : 0.0;
+    }
+    double bound() const override { return 0.5; }
+    std::string name() const override { return "tent"; }
+  };
+  tent_delays adv;
+  const compiled_delays fast = adv.compile();
+  EXPECT_EQ(fast.kind, adversary_kind::custom);
+  for (int pid = 0; pid < 3; ++pid) {
+    for (std::uint64_t j = 1; j <= 12; ++j) {
+      ASSERT_EQ(fast(pid, j), adv.delay(pid, j));
+    }
+  }
+}
+
+TEST(CompiledSampler, EveryBuiltinDistributionMatchesVirtualExactly) {
+  const distribution_ptr dists[] = {
+      make_constant(1.5),
+      make_uniform(0.25, 2.0),
+      make_exponential(1.0),
+      make_shifted_exponential(0.5, 0.5),
+      make_truncated_normal(1.0, 0.2, 0.0, 2.0),
+      make_two_point(2.0 / 3.0, 4.0 / 3.0),
+      make_geometric(0.5),
+      make_pathological_heavy(12),  // custom fallback
+      make_pareto(1.0, 2.5),        // custom fallback
+      make_lognormal(0.0, 0.5),     // custom fallback
+  };
+  for (const auto& dist : dists) {
+    const compiled_sampler fast = dist->compile();
+    // Identical seeds: the two paths must consume the identical draw
+    // sequence and produce the identical doubles.
+    rng a(99, 7), b(99, 7);
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_EQ(fast.sample(a), dist->sample(b))
+          << dist->name() << " draw " << i;
+    }
+    // And leave the generators in the same state.
+    ASSERT_EQ(a.next(), b.next()) << dist->name();
+  }
+}
+
+TEST(IncrementSampler, MatchesOpIncrementAcrossConfigurations) {
+  const auto base_noise = make_truncated_normal(1.0, 0.2, 0.0, 2.0);
+  noisy_params configs[4];
+  configs[0] = figure1_params(make_exponential(1.0));
+  configs[1] = figure1_params(base_noise);
+  configs[1].adversary = make_pack_delays(1.0);
+  configs[2] = figure1_params(make_geometric(0.5));
+  configs[2].write_noise = make_two_point(2.0 / 3.0, 4.0 / 3.0);
+  configs[2].adversary = make_random_bounded_delays(1.0, 0xabcdULL);
+  configs[3] = figure1_params(make_pathological_heavy(6));
+  configs[3].halt_probability = 0.05;
+  for (const auto& p : configs) {
+    const increment_sampler fast(p);
+    rng a(5, 11), b(5, 11);
+    for (std::uint64_t j = 1; j <= 3000; ++j) {
+      const bool is_write = j % 4 == 3;
+      bool halted_fast = false, halted_ref = false;
+      const double inc_fast =
+          fast(static_cast<int>(j % 5), j, is_write, a, halted_fast);
+      const double inc_ref =
+          p.op_increment(static_cast<int>(j % 5), j, is_write, b, halted_ref);
+      ASSERT_EQ(halted_fast, halted_ref) << "op " << j;
+      ASSERT_EQ(inc_fast, inc_ref) << "op " << j;
+    }
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(IncrementSampler, MissingNoiseThrowsAtCompileTime) {
+  noisy_params p;
+  EXPECT_THROW(increment_sampler{p}, std::logic_error);
+}
+
 }  // namespace
 }  // namespace leancon

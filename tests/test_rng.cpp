@@ -170,5 +170,52 @@ TEST(Rng, SplitmixAdvances) {
   EXPECT_NE(s, 0u);
 }
 
+
+TEST(Rng, FillMatchesRepeatedNext) {
+  rng a(7), b(7);
+  std::uint64_t block[257];
+  a.fill(block, 257);
+  for (int i = 0; i < 257; ++i) {
+    ASSERT_EQ(block[i], b.next()) << "index " << i;
+  }
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitmixFillMatchesRepeatedAdvance) {
+  std::uint64_t block[16];
+  splitmix64_fill(0xfeedULL, block, 16);
+  std::uint64_t state = 0xfeedULL;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(block[i], splitmix64_next(state));
+  }
+}
+
+TEST(Rng, BoundedUintMatchesBelowExactly) {
+  // Across bounds with different rejection thresholds (powers of two have
+  // threshold 0; odd bounds near 2^63 reject nearly half the words).
+  const std::uint64_t bounds[] = {1,
+                                  2,
+                                  3,
+                                  10,
+                                  64,
+                                  1000003,
+                                  (1ULL << 62) + 12345,
+                                  0x9000000000000001ULL};
+  for (const std::uint64_t bound : bounds) {
+    const bounded_uint draw(bound);
+    rng a(21, bound), b(21, bound);
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_EQ(draw(a), b.below(bound)) << "bound " << bound << " i " << i;
+    }
+    ASSERT_EQ(a.next(), b.next()) << "stream diverged for bound " << bound;
+  }
+}
+
+TEST(Rng, BoundedUintZeroBoundReturnsZero) {
+  const bounded_uint draw(0);
+  rng gen(1);
+  EXPECT_EQ(draw(gen), 0u);
+}
+
 }  // namespace
 }  // namespace leancon

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Advisory performance gate for the fig1 smoke-grid throughput.
+
+Compares the ``trials_per_sec`` counter of a freshly produced BENCH json
+against the committed baseline (bench/baselines/PERF_fig1.json by
+default). CI machines are noisy shared VMs — run-to-run throughput on the
+identical binary swings tens of percent — so moderate regressions only
+WARN (exit 0, annotated output); the gate hard-fails (exit 1) only on a
+collapse past --fail-ratio, the kind a real algorithmic regression (a
+re-virtualized hot path, an accidental O(n) scan per event) produces.
+
+Usage:
+    perf_gate.py BENCH_fig1.json [--baseline=...] \
+        [--warn-ratio=0.67] [--fail-ratio=0.5]
+
+Measure the fresh json with the SAME grid as the baseline's ``command``
+(single-threaded, fixed trial count) or the comparison is meaningless.
+"""
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="fresh BENCH json to check")
+    parser.add_argument("--baseline", default="bench/baselines/PERF_fig1.json")
+    parser.add_argument("--warn-ratio", type=float, default=0.67,
+                        help="warn below this fraction of baseline (default "
+                             "0.67, i.e. a >1.5x slowdown)")
+    parser.add_argument("--fail-ratio", type=float, default=0.5,
+                        help="hard-fail below this fraction of baseline "
+                             "(default 0.5, i.e. a >2x slowdown)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.bench_json) as f:
+        bench = json.load(f)
+
+    expected = float(baseline["trials_per_sec"])
+    try:
+        measured = float(bench["counters"]["trials_per_sec"])
+    except KeyError:
+        print(f"perf gate: {args.bench_json} has no counters.trials_per_sec "
+              "(was the bench built from this tree?)")
+        return 1
+
+    ratio = measured / expected
+    line = (f"perf gate: {measured:,.0f} trials/sec vs baseline "
+            f"{expected:,.0f} (ratio {ratio:.2f}; warn<{args.warn_ratio}, "
+            f"fail<{args.fail_ratio})")
+    if ratio < args.fail_ratio:
+        print(f"FAIL {line}")
+        print("perf gate: throughput collapsed past the hard threshold — "
+              "this is larger than machine noise; inspect the hot path.")
+        return 1
+    if ratio < args.warn_ratio:
+        print(f"WARN {line}")
+        print("perf gate: advisory only (noisy-runner tolerance); "
+              "re-run locally with repeated measurements before concluding "
+              "a regression.")
+        return 0
+    print(f"OK   {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
