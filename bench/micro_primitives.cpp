@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "backup/adopt_commit.h"
+#include "check/explorer.h"
+#include "check/systems.h"
 #include "core/lean_machine.h"
 #include "harness.h"
 #include "memory/atomic_memory.h"
@@ -185,6 +187,47 @@ void run_solo_machines(bench::run_context& ctx) {
   });
 }
 
+void run_model_check(bench::run_context& ctx) {
+  // The explorer's two hot primitives, measured on representative joint
+  // states so states/sec regressions in bench/model_check can be
+  // attributed: hashing a state (dedup lookups) and one full expansion
+  // step (clone + apply + hash).
+  auto& out = ctx.add_series("model_check");
+  const auto lean = check::make_lean_system({0, 1, 1}, 4);
+  const auto abd = check::make_abd_register_system(2);
+  std::uint64_t sink = 0;
+  measure(ctx, out, 0, "state_hash lean n=3", [&](std::uint64_t) {
+    check::state_hasher h;
+    lean->hash_state(h);
+    sink ^= h.digest();
+  });
+  measure(ctx, out, 1, "state_hash abd n=2", [&](std::uint64_t) {
+    check::state_hasher h;
+    abd->hash_state(h);
+    sink ^= h.digest();
+  });
+  std::vector<check::check_action> actions;
+  measure(ctx, out, 2, "explorer_step lean n=3", [&](std::uint64_t i) {
+    actions.clear();
+    lean->enabled(actions);
+    auto next = lean->clone();
+    next->apply(actions[i % actions.size()].id);
+    check::state_hasher h;
+    next->hash_state(h);
+    sink ^= h.digest();
+  });
+  measure(ctx, out, 3, "explorer_step abd n=2", [&](std::uint64_t i) {
+    actions.clear();
+    abd->enabled(actions);
+    auto next = abd->clone();
+    next->apply(actions[i % actions.size()].id);
+    check::state_hasher h;
+    next->hash_state(h);
+    sink ^= h.digest();
+  });
+  if (sink == 0xdeadbeef) std::printf("\n");
+}
+
 void run_simulate_consensus(bench::run_context& ctx) {
   auto& out = ctx.add_series("simulate_consensus");
   const std::uint64_t sim_iters =
@@ -251,6 +294,7 @@ int main(int argc, char** argv) {
   h.add("sampler_batch", run_sampler_batch);
   h.add("metric_record", run_metric_record);
   h.add("solo_machines", run_solo_machines);
+  h.add("model_check", run_model_check);
   h.add("simulate_consensus", run_simulate_consensus);
   h.add("renewal_race", run_renewal_race);
   return h.main(argc, argv);

@@ -1,0 +1,188 @@
+// E16 — Exhaustive model checking as a tracked number: explores every
+// check-* preset (src/check/presets.h) on the shared harness so state
+// coverage and explorer throughput land in BENCH json like every other
+// bench.
+//
+// Runs:
+//   * explore          — each preset under its default options (POR on);
+//                        states_visited, states_per_sec, por_skipped,
+//                        max_depth, frontier_peak per (family, n).
+//   * frontier_parity  — DFS vs BFS, POR on and off: the reachable set is
+//                        frontier-order independent, so states_visited and
+//                        transitions must match exactly; any drift fails
+//                        the bench.
+//   * por_ablation     — POR off vs on: the reduction must never grow the
+//                        space or change the verdict, and must strictly
+//                        shrink it on at least one preset.
+//
+// --presets <csv> restricts every run to presets whose key contains one of
+// the comma-separated substrings (e.g. --presets=n2 for the CI smoke).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/explorer.h"
+#include "check/presets.h"
+#include "harness.h"
+
+using namespace leancon;
+using namespace leancon::check;
+
+namespace {
+
+/// The canonical bench seed: a mixed input combination for the register
+/// protocols (and ignored by the abd presets, which have no input cube).
+constexpr std::uint64_t kSeed = 1;
+
+std::vector<const check_preset*> selected(const bench::run_context& ctx) {
+  const std::string csv = ctx.opts().get("presets");
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) tokens.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+  std::vector<const check_preset*> out;
+  for (const auto& p : check_presets()) {
+    bool take = tokens.empty();
+    for (const auto& t : tokens) {
+      take = take || p.key.find(t) != std::string::npos;
+    }
+    if (take) out.push_back(&p);
+  }
+  return out;
+}
+
+bench::series& family_series(bench::run_context& ctx,
+                             std::vector<bench::series*>& cache,
+                             std::vector<std::string>& names,
+                             const std::string& family) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == family) return *cache[i];
+  }
+  names.push_back(family);
+  cache.push_back(&ctx.add_series(family));
+  return *cache.back();
+}
+
+void run_explore(bench::run_context& ctx) {
+  std::vector<bench::series*> cache;
+  std::vector<std::string> names;
+  double states_total = 0.0;
+  for (const check_preset* p : selected(ctx)) {
+    mc_verdict v;
+    const double seconds = ctx.time([&] { v = explore(*p->build(kSeed), p->options); });
+    if (!v.ok()) {
+      std::string detail = v.truncated ? "truncated" : "violations:";
+      for (const auto& s : v.violations) detail += " [" + s + "]";
+      ctx.fail(p->key + ": exploration not clean (" + detail + ")");
+      continue;
+    }
+    const double states = static_cast<double>(v.states_visited);
+    const double per_sec = seconds > 0.0 ? states / seconds : 0.0;
+    states_total += states;
+    family_series(ctx, cache, names, p->family)
+        .at(static_cast<double>(p->n))
+        .set("states_visited", states)
+        .set("states_per_sec", per_sec)
+        .set("transitions", static_cast<double>(v.transitions))
+        .set("por_skipped", static_cast<double>(v.por_skipped))
+        .set("terminal_states", static_cast<double>(v.terminal_states))
+        .set("max_depth", static_cast<double>(v.max_depth_seen))
+        .set("frontier_peak", static_cast<double>(v.frontier_peak));
+    std::printf("%-14s %9llu states  %12.0f states/sec  depth %llu\n",
+                p->key.c_str(), (unsigned long long)v.states_visited, per_sec,
+                (unsigned long long)v.max_depth_seen);
+  }
+  ctx.add_counter("states_visited_total", states_total);
+}
+
+void run_frontier_parity(bench::run_context& ctx) {
+  std::vector<bench::series*> cache;
+  std::vector<std::string> names;
+  for (const check_preset* p : selected(ctx)) {
+    for (const bool por : {false, true}) {
+      explore_options dfs = p->options;
+      dfs.order = frontier_order::dfs;
+      dfs.por = por;
+      explore_options bfs = dfs;
+      bfs.order = frontier_order::bfs;
+      const mc_verdict vd = explore(*p->build(kSeed), dfs);
+      const mc_verdict vb = explore(*p->build(kSeed), bfs);
+      // Discovery depth and frontier shape are order-dependent by nature;
+      // the reachable set is not.
+      if (vd.states_visited != vb.states_visited ||
+          vd.transitions != vb.transitions ||
+          vd.terminal_states != vb.terminal_states ||
+          vd.violations_total != vb.violations_total ||
+          vd.truncated != vb.truncated) {
+        ctx.fail(p->key + (por ? " (por)" : " (full)") +
+                 ": DFS and BFS disagree on the reachable set");
+      }
+      family_series(ctx, cache, names, p->family + (por ? ":por" : ":full"))
+          .at(static_cast<double>(p->n))
+          .set("dfs_states", static_cast<double>(vd.states_visited))
+          .set("bfs_states", static_cast<double>(vb.states_visited));
+      std::printf("%-14s %-5s dfs=%llu bfs=%llu %s\n", p->key.c_str(),
+                  por ? "por" : "full", (unsigned long long)vd.states_visited,
+                  (unsigned long long)vb.states_visited,
+                  vd.states_visited == vb.states_visited ? "ok" : "MISMATCH");
+    }
+  }
+}
+
+void run_por_ablation(bench::run_context& ctx) {
+  std::vector<bench::series*> cache;
+  std::vector<std::string> names;
+  bool any_strict = false;
+  for (const check_preset* p : selected(ctx)) {
+    explore_options full = p->options;
+    full.por = false;
+    const mc_verdict vf = explore(*p->build(kSeed), full);
+    const mc_verdict vp = explore(*p->build(kSeed), p->options);
+    if (vp.states_visited > vf.states_visited) {
+      ctx.fail(p->key + ": POR grew the explored space");
+    }
+    if (vp.violations_total != vf.violations_total ||
+        vp.truncated != vf.truncated ||
+        vp.terminal_states != vf.terminal_states) {
+      ctx.fail(p->key + ": POR changed the verdict");
+    }
+    any_strict = any_strict || vp.states_visited < vf.states_visited;
+    const double reduction =
+        vf.states_visited > 0
+            ? 100.0 * (1.0 - static_cast<double>(vp.states_visited) /
+                                 static_cast<double>(vf.states_visited))
+            : 0.0;
+    family_series(ctx, cache, names, p->family)
+        .at(static_cast<double>(p->n))
+        .set("full_states", static_cast<double>(vf.states_visited))
+        .set("por_states", static_cast<double>(vp.states_visited))
+        .set("por_skipped", static_cast<double>(vp.por_skipped))
+        .set("reduction_pct", reduction);
+    std::printf("%-14s full=%llu por=%llu (-%.1f%%)\n", p->key.c_str(),
+                (unsigned long long)vf.states_visited,
+                (unsigned long long)vp.states_visited, reduction);
+  }
+  if (!any_strict) {
+    ctx.fail("POR reduced no preset strictly; the reduction is inert");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::harness h("model_check");
+  h.opts().add("presets", "",
+               "comma-separated key substrings selecting presets (default "
+               "all)");
+  h.add("explore", run_explore);
+  h.add("frontier_parity", run_frontier_parity);
+  h.add("por_ablation", run_por_ablation);
+  return h.main(argc, argv);
+}

@@ -1,0 +1,130 @@
+// The generic "checkable" step interface of the exhaustive model-checking
+// subsystem (src/check/).
+//
+// A checkable system is the WHOLE joint state — every protocol machine plus
+// the shared medium they communicate through (registers, or the pending
+// messages of the ABD emulation) — treated as one state machine, the way the
+// classic model-checking-a-distributed-system exercises frame it. A system
+//   * enumerates the transitions enabled in its current state,
+//   * applies one of them in place,
+//   * hashes its complete logical state (splitmix64 chaining) for dedup,
+//   * snapshots itself via clone() so an explorer can keep frontiers, and
+//   * asserts its safety invariants into a bounded violation sink.
+//
+// This splits what tests/model_check.h used to entangle: the protocol-
+// specific state encoding lives in src/check/systems.*, and the exploration
+// strategy (DFS/BFS frontiers, memoized dedup, bounds, partial-order
+// reduction) lives once in src/check/explorer.*.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace leancon::check {
+
+/// Order-sensitive splitmix64 chaining over the words a system feeds it.
+/// Two states hash equal iff they feed the same word sequence (modulo the
+/// usual 64-bit collision odds; the golden state-count tests would catch a
+/// hash change that started merging distinct states).
+class state_hasher {
+ public:
+  void word(std::uint64_t w) noexcept {
+    std::uint64_t s = state_ ^ w;
+    state_ = splitmix64_next(s);
+    ++count_;
+  }
+
+  /// Folds the word count in so a prefix never collides with its extension.
+  std::uint64_t digest() const noexcept {
+    std::uint64_t s = state_ ^ count_;
+    return splitmix64_next(s);
+  }
+
+ private:
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t count_ = 0;
+};
+
+/// One transition enabled in the current state.
+struct check_action {
+  /// System-defined index, stable until the next apply().
+  std::uint32_t id = 0;
+  /// True when the system can PROVE the action is invisible: it neither
+  /// changes any state another process or invariant reads, nor has an
+  /// effect that any other transition (current or future) could alter —
+  /// e.g. a write of a value the register already holds, or an ABD ack
+  /// that only bumps a private below-majority counter. The explorer's
+  /// partial-order reduction may then fire it as a singleton ample set.
+  bool invisible = false;
+};
+
+/// Bounded, deduplicated violation collector: keeps the first `keep`
+/// distinct messages and counts every report, so a broken invariant in a
+/// large state space cannot balloon memory with millions of identical
+/// strings.
+class violation_sink {
+ public:
+  explicit violation_sink(std::size_t keep) : keep_(keep) {}
+
+  void report(std::string message) {
+    ++total_;
+    if (kept_.size() >= keep_) return;
+    for (const auto& existing : kept_) {
+      if (existing == message) return;
+    }
+    kept_.push_back(std::move(message));
+  }
+
+  std::uint64_t total() const { return total_; }
+  const std::vector<std::string>& distinct() const { return kept_; }
+  bool empty() const { return total_ == 0; }
+
+ private:
+  std::size_t keep_;
+  std::uint64_t total_ = 0;
+  std::vector<std::string> kept_;
+};
+
+/// A joint protocol state explorable by src/check/explorer.
+///
+/// Driving contract: enabled() appends the currently enabled actions;
+/// apply(id) fires one of them in place; clone() deep-copies the state
+/// (internal pointers rebound); hash_state() feeds every word that
+/// determines future behavior — and nothing that does not, such as step
+/// counters, so logically identical states dedup.
+class checkable {
+ public:
+  virtual ~checkable() = default;
+
+  virtual std::unique_ptr<checkable> clone() const = 0;
+
+  /// Appends the enabled transitions. An empty result means the state is
+  /// terminal.
+  virtual void enabled(std::vector<check_action>& out) const = 0;
+
+  /// Fires the action with the given id (one previously enumerated by
+  /// enabled() on this exact state).
+  virtual void apply(std::uint32_t action_id) = 0;
+
+  /// Feeds the complete logical state into the hasher.
+  virtual void hash_state(state_hasher& h) const = 0;
+
+  /// Asserts the invariants that must hold at EVERY reachable state.
+  virtual void check(violation_sink& sink) const = 0;
+
+  /// Asserts the invariants that only make sense once no transition is
+  /// enabled (e.g. adopt-commit convergence over complete return sets).
+  virtual void check_terminal(violation_sink& sink) const { (void)sink; }
+
+  /// Monotone count of noteworthy protocol events reached in this state
+  /// (decisions made, operations completed). The explorer reports the
+  /// maximum over all visited states, so "some schedule actually decides"
+  /// stays assertable without protocol-specific engine hooks.
+  virtual std::uint64_t progress() const { return 0; }
+};
+
+}  // namespace leancon::check

@@ -1,0 +1,106 @@
+#include "check/explorer.h"
+
+#include <deque>
+#include <unordered_set>
+#include <utility>
+
+namespace leancon::check {
+namespace {
+
+struct frontier_node {
+  std::unique_ptr<checkable> sys;
+  std::uint64_t depth = 0;
+};
+
+std::uint64_t hash_of(const checkable& sys) {
+  state_hasher h;
+  sys.hash_state(h);
+  return h.digest();
+}
+
+}  // namespace
+
+mc_verdict explore(const checkable& initial, const explore_options& opts) {
+  mc_verdict verdict;
+  violation_sink sink(opts.max_violation_reports);
+
+  std::deque<frontier_node> frontier;
+  std::unordered_set<std::uint64_t> visited;
+
+  visited.insert(hash_of(initial));
+  frontier.push_back({initial.clone(), 0});
+  verdict.frontier_peak = 1;
+
+  std::vector<check_action> actions;
+  while (!frontier.empty()) {
+    if (verdict.states_visited >= opts.max_states) {
+      verdict.truncated = true;
+      break;
+    }
+    frontier_node node;
+    if (opts.order == frontier_order::dfs) {
+      node = std::move(frontier.back());
+      frontier.pop_back();
+    } else {
+      node = std::move(frontier.front());
+      frontier.pop_front();
+    }
+
+    ++verdict.states_visited;
+    if (node.depth > verdict.max_depth_seen) {
+      verdict.max_depth_seen = node.depth;
+    }
+    const std::uint64_t progress = node.sys->progress();
+    if (progress > verdict.max_progress) verdict.max_progress = progress;
+    node.sys->check(sink);
+
+    actions.clear();
+    node.sys->enabled(actions);
+    if (actions.empty()) {
+      ++verdict.terminal_states;
+      node.sys->check_terminal(sink);
+      continue;
+    }
+    if (opts.max_depth != 0 && node.depth >= opts.max_depth) {
+      verdict.truncated = true;  // enabled actions were left unexplored
+      continue;
+    }
+
+    // Partial-order reduction: an invisible action commutes with every
+    // other transition and cannot affect any invariant, so firing it alone
+    // reaches (a superset of the behavior of) every skipped interleaving.
+    std::size_t begin = 0, end = actions.size();
+    if (opts.por) {
+      for (std::size_t i = 0; i < actions.size(); ++i) {
+        if (actions[i].invisible) {
+          begin = i;
+          end = i + 1;
+          verdict.por_skipped += actions.size() - 1;
+          break;
+        }
+      }
+    }
+
+    for (std::size_t i = begin; i < end; ++i) {
+      ++verdict.transitions;
+      // The last expansion consumes the node in place; earlier ones clone.
+      std::unique_ptr<checkable> next =
+          i + 1 == end ? std::move(node.sys) : node.sys->clone();
+      next->apply(actions[i].id);
+      if (!visited.insert(hash_of(*next)).second) {
+        ++verdict.deduped;
+        continue;
+      }
+      frontier.push_back({std::move(next), node.depth + 1});
+      if (frontier.size() > verdict.frontier_peak) {
+        verdict.frontier_peak = frontier.size();
+      }
+    }
+  }
+
+  verdict.violations_total = sink.total();
+  verdict.violations = sink.distinct();
+  return verdict;
+}
+
+}  // namespace leancon::check

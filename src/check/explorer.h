@@ -1,0 +1,67 @@
+// The exploration engine of src/check/: one explorer for every checkable
+// system, replacing the per-protocol copy-pasted search loops that used to
+// live in tests/model_check.h.
+//
+//   * DFS or BFS frontier order — the reachable set (and therefore
+//     states_visited) is identical either way, which the bench driver and
+//     the determinism tests assert.
+//   * Memoized state dedup via the splitmix64 state hash.
+//   * State and depth bounds (a depth bound prunes order-dependently; the
+//     golden-count presets run unbounded and rely on the machines' own
+//     round caps for finiteness).
+//   * A partial-order-reduction pass: when a system flags an enabled
+//     action as invisible (independent of every other transition and of
+//     the invariants), the explorer fires it alone and skips the
+//     commuting siblings. The reduced verdict must match the full one —
+//     property-tested across every preset — while visiting strictly fewer
+//     states wherever invisible actions occur.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/checkable.h"
+
+namespace leancon::check {
+
+enum class frontier_order : std::uint8_t { dfs, bfs };
+
+struct explore_options {
+  frontier_order order = frontier_order::dfs;
+  /// Fire a flagged-invisible action as a singleton ample set.
+  bool por = true;
+  /// Hard cap on visited states; exceeding it sets verdict.truncated.
+  std::uint64_t max_states = 20'000'000;
+  /// 0 = unbounded. A bounded exploration prunes states whose discovery
+  /// depth exceeds the bound, so visited counts become frontier-order
+  /// dependent — use only as a safety net, never under a golden count.
+  std::uint64_t max_depth = 0;
+  /// Distinct violation strings retained (the total is always counted).
+  std::size_t max_violation_reports = 8;
+};
+
+/// Everything one exploration established. ok() is the verdict the
+/// scenario presets and the bench assert: the full bounded space was
+/// explored and no invariant ever failed.
+struct mc_verdict {
+  std::uint64_t states_visited = 0;   ///< distinct states expanded
+  std::uint64_t transitions = 0;      ///< actions fired
+  std::uint64_t deduped = 0;          ///< successors already in the table
+  std::uint64_t por_skipped = 0;      ///< commuting siblings never fired
+  std::uint64_t terminal_states = 0;  ///< states with no enabled action
+  std::uint64_t frontier_peak = 0;    ///< high-water frontier size
+  std::uint64_t max_depth_seen = 0;   ///< deepest discovery depth
+  std::uint64_t max_progress = 0;     ///< peak checkable::progress() seen
+  bool truncated = false;             ///< a bound cut the exploration short
+  std::uint64_t violations_total = 0;
+  std::vector<std::string> violations;  ///< first K distinct messages
+
+  bool ok() const { return violations_total == 0 && !truncated; }
+};
+
+/// Explores every schedule of `initial` reachable within the bounds.
+/// `initial` itself is not modified.
+mc_verdict explore(const checkable& initial, const explore_options& opts = {});
+
+}  // namespace leancon::check

@@ -1,0 +1,138 @@
+#include "check/presets.h"
+
+#include "check/systems.h"
+
+namespace leancon::check {
+namespace {
+
+/// The seed picks one input combination; each combination's schedule space
+/// is explored exhaustively, so a handful of trials covers the whole cube.
+std::vector<int> inputs_for(std::size_t n, std::uint64_t seed) {
+  const std::uint64_t combo = seed % (std::uint64_t{1} << n);
+  std::vector<int> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs[i] = static_cast<int>((combo >> i) & 1);
+  }
+  return inputs;
+}
+
+check_preset lean_preset(std::size_t n, std::uint64_t cap) {
+  check_preset p;
+  p.key = "check-lean-n" + std::to_string(n);
+  p.family = "lean";
+  p.n = n;
+  p.description = "exhaustive lean-consensus safety check, " +
+                  std::to_string(n) + " processes, rounds capped at " +
+                  std::to_string(cap) +
+                  " (Lemmas 2/4a/4b + agreement/validity at every state; "
+                  "seed selects the input combination)";
+  p.build = [n, cap](std::uint64_t seed) {
+    return make_lean_system(inputs_for(n, seed), cap);
+  };
+  return p;
+}
+
+check_preset ac_preset(std::size_t n) {
+  check_preset p;
+  p.key = "check-ac-n" + std::to_string(n);
+  p.family = "adopt-commit";
+  p.n = n;
+  p.description = "exhaustive adopt-commit check, " + std::to_string(n) +
+                  " processes (coherence/validity at every state, "
+                  "convergence at terminal states; seed selects the input "
+                  "combination)";
+  p.build = [n](std::uint64_t seed) {
+    return make_adopt_commit_system(inputs_for(n, seed));
+  };
+  return p;
+}
+
+check_preset conc_preset(std::size_t n) {
+  check_preset p;
+  p.key = "check-conc-n" + std::to_string(n);
+  p.family = "conciliator";
+  p.n = n;
+  p.description = "exhaustive conciliator check, " + std::to_string(n) +
+                  " processes, both outcomes of every local coin "
+                  "(validity, unanimity preservation, register integrity; "
+                  "seed selects the input combination)";
+  p.build = [n](std::uint64_t seed) {
+    return make_conciliator_system(inputs_for(n, seed));
+  };
+  return p;
+}
+
+check_preset abd_preset(std::size_t n) {
+  check_preset p;
+  p.key = "check-abd-n" + std::to_string(n);
+  p.family = "abd";
+  p.n = n;
+  p.description = "exhaustive ABD message-layer check, " + std::to_string(n) +
+                  " processes on the canonical register workload, every "
+                  "delivery order (atomicity against a committed watermark, "
+                  "timestamp/value consistency)";
+  // The schedule space is the set of delivery orders; there is no input
+  // cube, so every seed explores the same (complete) space.
+  p.build = [n](std::uint64_t) { return make_abd_register_system(n); };
+  return p;
+}
+
+std::vector<check_preset> build_presets() {
+  std::vector<check_preset> presets;
+  presets.push_back(lean_preset(2, /*cap=*/5));
+  presets.push_back(lean_preset(3, /*cap=*/4));
+  presets.push_back(ac_preset(2));
+  presets.push_back(ac_preset(3));
+  presets.push_back(conc_preset(2));
+  presets.push_back(conc_preset(3));
+  presets.push_back(abd_preset(2));
+  presets.push_back(abd_preset(3));
+  for (auto& p : presets) {
+    // Safety net far above every preset's honest size (the largest, lean
+    // n=3, is ~44k states): a regression that explodes the space truncates
+    // and fails fast instead of grinding toward the 20M default.
+    p.options.max_states = 2'000'000;
+  }
+  return presets;
+}
+
+}  // namespace
+
+const std::vector<check_preset>& check_presets() {
+  static const std::vector<check_preset> presets = build_presets();
+  return presets;
+}
+
+const check_preset* find_check_preset(const std::string& key) {
+  for (const auto& p : check_presets()) {
+    if (p.key == key) return &p;
+  }
+  return nullptr;
+}
+
+trial_outcome run_check_trial(const check_preset& preset,
+                              std::uint64_t seed) {
+  const mc_verdict v = explore(*preset.build(seed), preset.options);
+  trial_outcome out;
+  out.decided = !v.truncated;
+  out.violation = v.violations_total > 0;
+  auto& m = out.metrics;
+  m.observe("states_visited", static_cast<double>(v.states_visited),
+            metric_rollup::mean_and_sum);
+  m.observe("transitions", static_cast<double>(v.transitions),
+            metric_rollup::mean);
+  m.observe("deduped", static_cast<double>(v.deduped), metric_rollup::mean);
+  m.observe("por_skipped", static_cast<double>(v.por_skipped),
+            metric_rollup::mean);
+  m.observe("terminal_states", static_cast<double>(v.terminal_states),
+            metric_rollup::mean);
+  m.observe("frontier_peak", static_cast<double>(v.frontier_peak),
+            metric_rollup::mean);
+  m.observe("max_depth", static_cast<double>(v.max_depth_seen),
+            metric_rollup::location);
+  m.observe("max_progress", static_cast<double>(v.max_progress),
+            metric_rollup::mean);
+  return out;
+}
+
+}  // namespace leancon::check

@@ -1,0 +1,49 @@
+// The surface layer of src/check/: named exhaustive-checking presets that
+// plug into the scenario registry and the bench/model_check driver.
+//
+// A check preset is a pure function of (key, seed): `build(seed)` yields the
+// initial joint state (the seed selects the input combination for the
+// register protocols — every combination is itself explored exhaustively,
+// the seed only picks which one this trial covers), and `run_check_trial`
+// maps the explorer's verdict onto the unified trial_outcome form. Every
+// emitted metric is structural (state counts, depths, frontier sizes) and
+// therefore deterministic per seed, preserving the campaign engine's
+// bit-identical merging; wall-clock rates (states_per_sec) exist only in
+// bench/model_check, computed from harness timing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/explorer.h"
+#include "stats/metric_set.h"
+
+namespace leancon::check {
+
+struct check_preset {
+  std::string key;     ///< registry key, e.g. "check-lean-n2"
+  std::string family;  ///< "lean" | "adopt-commit" | "conciliator" | "abd"
+  std::size_t n;       ///< process count baked into the preset
+  std::string description;
+  /// Builds the initial joint state for this trial's seed.
+  std::function<std::unique_ptr<checkable>(std::uint64_t seed)> build;
+  /// Default exploration bounds for this preset.
+  explore_options options;
+};
+
+/// All check presets, in display order. Keys are unique and prefixed
+/// "check-".
+const std::vector<check_preset>& check_presets();
+
+/// Preset by key; nullptr when unknown.
+const check_preset* find_check_preset(const std::string& key);
+
+/// Explores build(seed) under the preset's options and reports the verdict
+/// as a trial: decided = the bounded space was fully explored, violation =
+/// any invariant failed, metrics = the structural exploration counts.
+trial_outcome run_check_trial(const check_preset& preset, std::uint64_t seed);
+
+}  // namespace leancon::check

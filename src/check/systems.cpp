@@ -1,0 +1,808 @@
+#include "check/systems.h"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "backup/adopt_commit.h"
+#include "backup/conciliator.h"
+#include "core/lean_machine.h"
+#include "msg/abd_sim.h"
+
+namespace leancon::check {
+namespace {
+
+bool input_present(const std::vector<int>& inputs, int v) {
+  for (int in : inputs) {
+    if (in == v) return true;
+  }
+  return false;
+}
+
+bool unanimous(const std::vector<int>& inputs) {
+  for (int in : inputs) {
+    if (in != inputs[0]) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Lean-consensus: machines over the two racing-bit arrays. Bit r of a_[b]
+// is the value of ab[r]; the honest initial state sets bit 0 (the virtual
+// 1-prefix a*[0] = 1). The cap must stay <= 62 so rounds fit the masks.
+// ---------------------------------------------------------------------------
+
+class lean_system final : public checkable {
+ public:
+  lean_system(std::vector<int> inputs, std::uint64_t cap, std::uint64_t a0,
+              std::uint64_t a1)
+      : inputs_(std::move(inputs)) {
+    a_[0] = a0;
+    a_[1] = a1;
+    machines_.reserve(inputs_.size());
+    for (int b : inputs_) machines_.emplace_back(b, cap);
+  }
+
+  std::unique_ptr<checkable> clone() const override {
+    return std::make_unique<lean_system>(*this);
+  }
+
+  void enabled(std::vector<check_action>& out) const override {
+    for (std::uint32_t i = 0; i < machines_.size(); ++i) {
+      const auto& m = machines_[i];
+      if (m.done() || m.exhausted()) continue;
+      check_action a{i, false};
+      // Step 3's write is invisible when the bit is already set: the shared
+      // arrays don't change, the machine's own phase advance is private, and
+      // a write's effect cannot be altered by any other transition.
+      if (m.current_phase() == lean_machine::phase::write_own) {
+        const operation op = m.next_op();
+        const int array = op.where.where == space::race0 ? 0 : 1;
+        a.invisible = ((a_[array] >> op.where.index) & 1) != 0;
+      }
+      out.push_back(a);
+    }
+  }
+
+  void apply(std::uint32_t action_id) override {
+    auto& m = machines_[action_id];
+    const operation op = m.next_op();
+    const int array = op.where.where == space::race0 ? 0 : 1;
+    std::uint64_t value = 1;
+    if (op.kind == op_kind::read) {
+      value = (a_[array] >> op.where.index) & 1;
+    } else {
+      a_[array] |= std::uint64_t{1} << op.where.index;
+    }
+    m.apply(value);
+  }
+
+  void hash_state(state_hasher& h) const override {
+    for (const auto& m : machines_) {
+      h.word((static_cast<std::uint64_t>(m.current_phase()) << 0) |
+             (static_cast<std::uint64_t>(m.preference()) << 2) |
+             (m.round() << 3) | (m.staged_a0() << 11) |
+             (static_cast<std::uint64_t>(m.done()) << 12) |
+             (static_cast<std::uint64_t>(m.done() ? m.decision() : 0) << 13) |
+             (static_cast<std::uint64_t>(m.exhausted()) << 14));
+    }
+    h.word(a_[0]);
+    h.word(a_[1]);
+  }
+
+  void check(violation_sink& sink) const override {
+    // Lemma 2: each array is a contiguous prefix of set bits (bits+1 is a
+    // power of two iff bits is all-ones from bit 0).
+    for (int b = 0; b < 2; ++b) {
+      const std::uint64_t bits = a_[b];
+      if ((bits & (bits + 1)) != 0) {
+        sink.report("Lemma 2: a" + std::to_string(b) +
+                    " not contiguous: " + std::to_string(bits));
+      }
+      // Validity precondition of Lemma 2(a): a_b[1] set requires input b.
+      if ((bits & 2) != 0 && !input_present(inputs_, b)) {
+        sink.report("Lemma 2a: a" + std::to_string(b) +
+                    "[1] set without input " + std::to_string(b));
+      }
+    }
+    int decided_bit = -1;
+    std::uint64_t min_round = 0, max_round = 0;
+    for (const auto& m : machines_) {
+      if (!m.done()) continue;
+      const int bit = m.decision();
+      const std::uint64_t r = m.round();
+      if (!input_present(inputs_, bit)) {
+        sink.report("Validity: decided " + std::to_string(bit));
+      }
+      if (decided_bit == -1) {
+        decided_bit = bit;
+        min_round = max_round = r;
+      } else {
+        if (bit != decided_bit) {
+          sink.report("Agreement: " + std::to_string(bit) + " vs " +
+                      std::to_string(decided_bit));
+        }
+        min_round = std::min(min_round, r);
+        max_round = std::max(max_round, r);
+      }
+      // Lemma 4a: rival array bit at the decision round must be clear.
+      if ((a_[1 - bit] >> r) & 1) {
+        sink.report("Lemma 4a: a" + std::to_string(1 - bit) + "[" +
+                    std::to_string(r) + "] set despite decision");
+      }
+    }
+    // Lemma 4b: all decision rounds within a window of one.
+    if (decided_bit != -1 && max_round > min_round + 1) {
+      sink.report("Lemma 4b: rounds span [" + std::to_string(min_round) +
+                  "," + std::to_string(max_round) + "]");
+    }
+  }
+
+  std::uint64_t progress() const override {
+    std::uint64_t decided = 0;
+    for (const auto& m : machines_) decided += m.done() ? 1 : 0;
+    return decided;
+  }
+
+ private:
+  std::vector<int> inputs_;
+  std::vector<lean_machine> machines_;
+  std::uint64_t a_[2] = {0, 0};
+};
+
+// ---------------------------------------------------------------------------
+// Adopt-commit: machines over door[2] + proposal (encoded; 0 = empty).
+// ---------------------------------------------------------------------------
+
+class adopt_commit_system final : public checkable {
+ public:
+  adopt_commit_system(std::vector<int> inputs, std::uint64_t door0,
+                      std::uint64_t door1, std::uint64_t proposal)
+      : inputs_(std::move(inputs)), proposal_(proposal) {
+    door_[0] = door0;
+    door_[1] = door1;
+    machines_.reserve(inputs_.size());
+    for (int b : inputs_) machines_.emplace_back(/*round=*/1, b);
+  }
+
+  std::unique_ptr<checkable> clone() const override {
+    return std::make_unique<adopt_commit_system>(*this);
+  }
+
+  void enabled(std::vector<check_action>& out) const override {
+    for (std::uint32_t i = 0; i < machines_.size(); ++i) {
+      const auto& m = machines_[i];
+      if (m.done()) continue;
+      check_action a{i, false};
+      // A write whose target already holds the written word is invisible.
+      const operation op = m.next_op();
+      if (op.kind == op_kind::write) {
+        a.invisible = register_of(op.where.where) == op.value;
+      }
+      out.push_back(a);
+    }
+  }
+
+  void apply(std::uint32_t action_id) override {
+    auto& m = machines_[action_id];
+    const operation op = m.next_op();
+    std::uint64_t& reg = register_of(op.where.where);
+    std::uint64_t value = 0;
+    if (op.kind == op_kind::read) {
+      value = reg;
+    } else {
+      reg = op.value;
+      value = op.value;
+    }
+    m.apply(value);
+  }
+
+  void hash_state(state_hasher& h) const override {
+    for (const auto& m : machines_) {
+      std::uint64_t enc = static_cast<std::uint64_t>(m.phase_index()) |
+                          (static_cast<std::uint64_t>(m.done()) << 8);
+      if (m.done()) {
+        enc |= (static_cast<std::uint64_t>(m.value()) << 9) |
+               (static_cast<std::uint64_t>(
+                    m.outcome() == adopt_commit_machine::verdict::commit)
+                << 10);
+      }
+      h.word(enc);
+    }
+    h.word(door_[0]);
+    h.word(door_[1]);
+    h.word(proposal_);
+  }
+
+  void check(violation_sink& sink) const override {
+    // Coherence and validity hold at every state over the machines done so
+    // far (their verdicts are final).
+    int committed_value = -1;
+    for (const auto& m : machines_) {
+      if (!m.done()) continue;
+      if (m.outcome() == adopt_commit_machine::verdict::commit) {
+        if (committed_value != -1 && committed_value != m.value()) {
+          sink.report("AC: two different commits");
+        }
+        committed_value = m.value();
+      }
+      if (!input_present(inputs_, m.value())) {
+        sink.report("AC validity: returned " + std::to_string(m.value()));
+      }
+    }
+    if (committed_value != -1) {
+      for (const auto& m : machines_) {
+        if (m.done() && m.value() != committed_value) {
+          sink.report("AC coherence: adopt " + std::to_string(m.value()) +
+                      " alongside commit " + std::to_string(committed_value));
+        }
+      }
+    }
+  }
+
+  void check_terminal(violation_sink& sink) const override {
+    // Convergence needs the complete return set: unanimous inputs force
+    // every process to (commit, input).
+    if (!unanimous(inputs_)) return;
+    for (const auto& m : machines_) {
+      if (m.outcome() != adopt_commit_machine::verdict::commit ||
+          m.value() != inputs_[0]) {
+        sink.report("AC convergence violated");
+      }
+    }
+  }
+
+  std::uint64_t progress() const override {
+    std::uint64_t done = 0;
+    for (const auto& m : machines_) done += m.done() ? 1 : 0;
+    return done;
+  }
+
+ private:
+  std::uint64_t& register_of(space s) {
+    return s == space::ac_door0   ? door_[0]
+           : s == space::ac_door1 ? door_[1]
+                                  : proposal_;
+  }
+  std::uint64_t register_of(space s) const {
+    return const_cast<adopt_commit_system*>(this)->register_of(s);
+  }
+
+  std::vector<int> inputs_;
+  std::vector<adopt_commit_machine> machines_;
+  std::uint64_t door_[2] = {0, 0};
+  std::uint64_t proposal_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Conciliator: machines over the race register, with BOTH outcomes of every
+// consumed coin enumerated as separate actions (id = 2*machine + outcome).
+// A step consumes the coin iff the machine is about to read an empty
+// register — the only path that reaches coin_source::flip.
+// ---------------------------------------------------------------------------
+
+class conciliator_system final : public checkable {
+ public:
+  conciliator_system(std::vector<int> inputs, std::uint64_t reg)
+      : inputs_(std::move(inputs)), reg_(reg) {
+    machines_.reserve(inputs_.size());
+    for (int b : inputs_) {
+      // The write probability is irrelevant under a forced coin; any value
+      // in (0, 1] is accepted by the constructor.
+      machines_.emplace_back(/*round=*/1, b, 0.5, &coin_);
+    }
+  }
+
+  conciliator_system(const conciliator_system& other)
+      : inputs_(other.inputs_),
+        coin_(other.coin_),
+        machines_(other.machines_),
+        reg_(other.reg_) {
+    for (auto& m : machines_) m.rebind_coin(&coin_);
+  }
+
+  std::unique_ptr<checkable> clone() const override {
+    return std::make_unique<conciliator_system>(*this);
+  }
+
+  void enabled(std::vector<check_action>& out) const override {
+    for (std::uint32_t i = 0; i < machines_.size(); ++i) {
+      const auto& m = machines_[i];
+      if (m.done()) continue;
+      const operation op = m.next_op();
+      if (op.kind == op_kind::read && proposal_empty(reg_)) {
+        // The read will consume the coin: explore both outcomes.
+        out.push_back({2 * i + 0, false});
+        out.push_back({2 * i + 1, false});
+      } else {
+        // Re-writing the value the register already holds is invisible.
+        const bool idempotent = op.kind == op_kind::write && reg_ == op.value;
+        out.push_back({2 * i + 0, idempotent});
+      }
+    }
+  }
+
+  void apply(std::uint32_t action_id) override {
+    coin_.value = (action_id & 1) != 0;
+    auto& m = machines_[action_id >> 1];
+    const operation op = m.next_op();
+    std::uint64_t value = 0;
+    if (op.kind == op_kind::read) {
+      value = reg_;
+    } else {
+      reg_ = op.value;
+      value = op.value;
+    }
+    m.apply(value);
+  }
+
+  void hash_state(state_hasher& h) const override {
+    for (const auto& m : machines_) {
+      h.word(static_cast<std::uint64_t>(m.phase_index()) |
+             (static_cast<std::uint64_t>(m.done()) << 8) |
+             (static_cast<std::uint64_t>(m.done() ? m.value() + 1 : 0) << 9));
+    }
+    h.word(reg_);
+  }
+
+  void check(violation_sink& sink) const override {
+    if (!proposal_empty(reg_) &&
+        !input_present(inputs_, decode_proposal(reg_))) {
+      sink.report("conciliator: register holds non-input");
+    }
+    const bool all_same = unanimous(inputs_);
+    for (const auto& m : machines_) {
+      if (!m.done()) continue;
+      if (!input_present(inputs_, m.value())) {
+        sink.report("conciliator validity: returned " +
+                    std::to_string(m.value()));
+      }
+      if (all_same && m.value() != inputs_[0]) {
+        sink.report("conciliator unanimity violated");
+      }
+    }
+  }
+
+  std::uint64_t progress() const override {
+    std::uint64_t done = 0;
+    for (const auto& m : machines_) done += m.done() ? 1 : 0;
+    return done;
+  }
+
+ private:
+  /// Coin returning a preset outcome; apply() sets it from the action id
+  /// immediately before the step that may consume it.
+  struct forced_coin final : coin_source {
+    bool value = false;
+    bool flip(double) override { return value; }
+  };
+
+  std::vector<int> inputs_;
+  forced_coin coin_;
+  std::vector<conciliator_machine> machines_;
+  std::uint64_t reg_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ABD: scripted register clients over a model of the abd_sim message layer.
+// The network is the multiset of pending messages, kept as a sorted vector
+// so two states with the same pending multiset hash identically; one action
+// = deliver one pending message (adjacent duplicates are enumerated once —
+// delivering either copy yields the same successor).
+//
+// Atomicity is asserted against ghost state the protocol cannot see: a
+// per-location committed watermark (the highest timestamp any COMPLETED
+// operation settled on) plus each client's last-completed-operation record.
+// A write must complete above the watermark it started after; a read must
+// not complete below it (no stale reads past a completed write). Equal
+// timestamps must carry equal values everywhere they appear.
+// ---------------------------------------------------------------------------
+
+enum class abd_kind : std::uint8_t { query, query_ack, update, update_ack };
+
+struct abd_cell {
+  std::uint64_t value = 0;
+  abd_timestamp ts;
+  friend bool operator==(const abd_cell&, const abd_cell&) = default;
+};
+
+struct abd_message {
+  abd_kind kind = abd_kind::query;
+  std::int32_t from = 0;
+  std::int32_t to = 0;
+  std::uint32_t op_id = 0;
+  std::uint32_t loc = 0;
+  abd_cell cell;
+
+  friend bool operator==(const abd_message&, const abd_message&) = default;
+  friend bool operator<(const abd_message& a, const abd_message& b) {
+    return std::tuple(a.to, static_cast<int>(a.kind), a.from, a.op_id, a.loc,
+                      a.cell.ts.seq, a.cell.ts.writer, a.cell.value) <
+           std::tuple(b.to, static_cast<int>(b.kind), b.from, b.op_id, b.loc,
+                      b.cell.ts.seq, b.cell.ts.writer, b.cell.value);
+  }
+};
+
+struct abd_client {
+  std::uint32_t pos = 0;  ///< script position; == ops completed so far
+  bool active = false;
+  std::uint8_t phase = 1;
+  std::uint32_t acks = 0;
+  abd_cell best;
+  abd_timestamp started_after;  ///< committed watermark when the op began
+  // Last completed operation (ghost, for the atomicity invariant).
+  bool has_completed = false;
+  bool last_was_write = false;
+  std::uint32_t last_loc = 0;
+  std::uint64_t last_value = 0;
+  abd_timestamp last_ts;
+  abd_timestamp last_started_after;
+};
+
+class abd_system final : public checkable {
+ public:
+  abd_system(std::vector<std::vector<operation>> scripts,
+             std::uint32_t quorum)
+      : scripts_(std::make_shared<const std::vector<std::vector<operation>>>(
+            std::move(scripts))),
+        quorum_(quorum) {
+    const std::size_t n = scripts_->size();
+    for (const auto& script : *scripts_) {
+      for (const auto& op : script) {
+        if (loc_index(op.where) == locs_.size()) locs_.push_back(op.where);
+      }
+    }
+    replicas_.assign(n, std::vector<abd_cell>(locs_.size()));
+    committed_.assign(locs_.size(), abd_timestamp{});
+    clients_.assign(n, abd_client{});
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!(*scripts_)[p].empty()) start_op(static_cast<int>(p));
+    }
+  }
+
+  std::unique_ptr<checkable> clone() const override {
+    return std::make_unique<abd_system>(*this);  // scripts_ shared, immutable
+  }
+
+  void enabled(std::vector<check_action>& out) const override {
+    for (std::uint32_t i = 0; i < network_.size(); ++i) {
+      if (i > 0 && network_[i] == network_[i - 1]) continue;
+      out.push_back({i, is_invisible(network_[i])});
+    }
+  }
+
+  void apply(std::uint32_t action_id) override {
+    const abd_message msg = network_[action_id];
+    network_.erase(network_.begin() + action_id);
+    switch (msg.kind) {
+      case abd_kind::query:
+        send({abd_kind::query_ack, msg.to, msg.from, msg.op_id, msg.loc,
+              replicas_[static_cast<std::size_t>(msg.to)][msg.loc]});
+        break;
+      case abd_kind::update: {
+        abd_cell& cell = replicas_[static_cast<std::size_t>(msg.to)][msg.loc];
+        if (cell.ts < msg.cell.ts) cell = msg.cell;
+        send({abd_kind::update_ack, msg.to, msg.from, msg.op_id, msg.loc,
+              abd_cell{}});
+        break;
+      }
+      case abd_kind::query_ack: {
+        abd_client& c = clients_[static_cast<std::size_t>(msg.to)];
+        if (!c.active || current_op_id(msg.to) != msg.op_id || c.phase != 1) {
+          break;
+        }
+        if (c.acks == 0 || c.best.ts < msg.cell.ts) c.best = msg.cell;
+        ++c.acks;
+        if (c.acks >= quorum_) {
+          // Phase 2: a write imposes a fresh higher timestamp; a read
+          // writes back what it is about to return.
+          c.phase = 2;
+          c.acks = 0;
+          const operation& op = current_op(msg.to);
+          abd_cell payload;
+          if (op.kind == op_kind::write) {
+            payload.value = op.value;
+            payload.ts = abd_timestamp{c.best.ts.seq + 1, msg.to};
+            c.best = payload;
+          } else {
+            payload = c.best;
+          }
+          for (std::size_t to = 0; to < clients_.size(); ++to) {
+            send({abd_kind::update, msg.to, static_cast<std::int32_t>(to),
+                  msg.op_id, msg.loc, payload});
+          }
+        }
+        break;
+      }
+      case abd_kind::update_ack: {
+        abd_client& c = clients_[static_cast<std::size_t>(msg.to)];
+        if (!c.active || current_op_id(msg.to) != msg.op_id || c.phase != 2) {
+          break;
+        }
+        ++c.acks;
+        if (c.acks >= quorum_) complete_op(msg.to);
+        break;
+      }
+    }
+  }
+
+  void hash_state(state_hasher& h) const override {
+    for (std::size_t p = 0; p < clients_.size(); ++p) {
+      const abd_client& c = clients_[p];
+      h.word(c.pos);
+      h.word((c.active ? 1u : 0u) | (static_cast<std::uint64_t>(c.phase) << 1) |
+             (static_cast<std::uint64_t>(c.acks) << 8));
+      hash_cell(h, c.best);
+      hash_ts(h, c.started_after);
+      h.word((c.has_completed ? 1u : 0u) | (c.last_was_write ? 2u : 0u) |
+             (static_cast<std::uint64_t>(c.last_loc) << 2));
+      h.word(c.last_value);
+      hash_ts(h, c.last_ts);
+      hash_ts(h, c.last_started_after);
+      for (const abd_cell& cell : replicas_[p]) hash_cell(h, cell);
+    }
+    for (const abd_timestamp& ts : committed_) hash_ts(h, ts);
+    h.word(network_.size());
+    for (const abd_message& m : network_) {
+      h.word(static_cast<std::uint64_t>(m.kind) |
+             (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.from))
+              << 8) |
+             (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.to))
+              << 20) |
+             (static_cast<std::uint64_t>(m.op_id) << 32));
+      h.word(m.loc);
+      hash_cell(h, m.cell);
+    }
+  }
+
+  void check(violation_sink& sink) const override {
+    // Atomicity of completed operations against the ghost watermark.
+    for (const abd_client& c : clients_) {
+      if (!c.has_completed) continue;
+      if (c.last_was_write) {
+        if (!(c.last_started_after < c.last_ts)) {
+          sink.report("abd atomicity: write completed at ts not above the "
+                      "watermark it started after");
+        }
+      } else if (c.last_ts < c.last_started_after) {
+        sink.report("abd atomicity: stale read (completed below the "
+                    "watermark it started after)");
+      }
+    }
+    // Timestamp -> value consistency per location: a timestamp is written
+    // with exactly one value, so every carrier of (loc, ts) must agree.
+    cells_.clear();
+    for (std::size_t p = 0; p < clients_.size(); ++p) {
+      for (std::uint32_t l = 0; l < locs_.size(); ++l) {
+        note_cell(l, replicas_[p][l]);
+      }
+      const abd_client& c = clients_[p];
+      if (c.active && (c.phase == 2 || c.acks > 0)) {
+        note_cell(current_loc(static_cast<int>(p)), c.best);
+      }
+      if (c.has_completed) {
+        note_cell(c.last_loc, abd_cell{c.last_value, c.last_ts});
+      }
+    }
+    for (const abd_message& m : network_) {
+      if (m.kind == abd_kind::query_ack || m.kind == abd_kind::update) {
+        note_cell(m.loc, m.cell);
+      }
+    }
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      for (std::size_t j = i + 1; j < cells_.size(); ++j) {
+        if (std::get<0>(cells_[i]) == std::get<0>(cells_[j]) &&
+            std::get<1>(cells_[i]) == std::get<1>(cells_[j]) &&
+            std::get<2>(cells_[i]) != std::get<2>(cells_[j])) {
+          sink.report("abd: one timestamp carries two values");
+        }
+      }
+    }
+  }
+
+  void check_terminal(violation_sink& sink) const override {
+    // With an honest quorum the network only drains once every script
+    // finished: an in-flight phase always has outstanding messages.
+    for (std::size_t p = 0; p < clients_.size(); ++p) {
+      if (clients_[p].active || clients_[p].pos < (*scripts_)[p].size()) {
+        sink.report("abd: empty network with unfinished scripts (process " +
+                    std::to_string(p) + ")");
+      }
+    }
+  }
+
+  std::uint64_t progress() const override {
+    std::uint64_t completed = 0;
+    for (const abd_client& c : clients_) completed += c.pos;
+    return completed;
+  }
+
+ private:
+  static void hash_ts(state_hasher& h, const abd_timestamp& ts) {
+    h.word(ts.seq);
+    h.word(static_cast<std::uint64_t>(static_cast<std::int64_t>(ts.writer)));
+  }
+  static void hash_cell(state_hasher& h, const abd_cell& cell) {
+    h.word(cell.value);
+    hash_ts(h, cell.ts);
+  }
+
+  std::uint32_t loc_index(const location& where) const {
+    for (std::uint32_t i = 0; i < locs_.size(); ++i) {
+      if (locs_[i] == where) return i;
+    }
+    return static_cast<std::uint32_t>(locs_.size());
+  }
+
+  const operation& current_op(int pid) const {
+    const abd_client& c = clients_[static_cast<std::size_t>(pid)];
+    return (*scripts_)[static_cast<std::size_t>(pid)][c.pos];
+  }
+  std::uint32_t current_loc(int pid) const {
+    return loc_index(current_op(pid).where);
+  }
+  // Deterministic per-(process, script position) id; never reused, so a
+  // message from an earlier operation can never be mistaken for the
+  // current one.
+  std::uint32_t current_op_id(int pid) const {
+    return static_cast<std::uint32_t>(pid) * 64u +
+           clients_[static_cast<std::size_t>(pid)].pos + 1u;
+  }
+
+  void send(abd_message msg) {
+    network_.insert(std::upper_bound(network_.begin(), network_.end(), msg),
+                    msg);
+  }
+
+  void start_op(int pid) {
+    abd_client& c = clients_[static_cast<std::size_t>(pid)];
+    c.active = true;
+    c.phase = 1;
+    c.acks = 0;
+    c.best = abd_cell{};
+    const std::uint32_t loc = current_loc(pid);
+    c.started_after = committed_[loc];
+    for (std::size_t to = 0; to < clients_.size(); ++to) {
+      send({abd_kind::query, pid, static_cast<std::int32_t>(to),
+            current_op_id(pid), loc, abd_cell{}});
+    }
+  }
+
+  void complete_op(int pid) {
+    abd_client& c = clients_[static_cast<std::size_t>(pid)];
+    const operation& op = current_op(pid);
+    const std::uint32_t loc = current_loc(pid);
+    c.has_completed = true;
+    c.last_was_write = op.kind == op_kind::write;
+    c.last_loc = loc;
+    c.last_value = op.kind == op_kind::read ? c.best.value : op.value;
+    c.last_ts = c.best.ts;
+    c.last_started_after = c.started_after;
+    if (committed_[loc] < c.best.ts) committed_[loc] = c.best.ts;
+    c.active = false;
+    ++c.pos;
+    if (c.pos < (*scripts_)[static_cast<std::size_t>(pid)].size()) {
+      start_op(pid);
+    }
+  }
+
+  bool is_invisible(const abd_message& msg) const {
+    switch (msg.kind) {
+      case abd_kind::query:
+        // Reads the target's replica, which other deliveries mutate.
+        return false;
+      case abd_kind::update: {
+        // A no-op update (timestamp not above the replica's) stays a no-op
+        // forever — replica timestamps only grow — and its ack carries no
+        // payload, so delivering it commutes with everything.
+        const abd_cell& cell =
+            replicas_[static_cast<std::size_t>(msg.to)][msg.loc];
+        return !(cell.ts < msg.cell.ts);
+      }
+      case abd_kind::query_ack: {
+        const abd_client& c = clients_[static_cast<std::size_t>(msg.to)];
+        // Stale acks (finished/superseded op or wrong phase) are dropped;
+        // staleness is permanent because op ids are never reused. Live
+        // ones fold into `best`, which feeds the phase-2 payload — order
+        // matters, so they stay visible even below the quorum.
+        return !c.active || current_op_id(msg.to) != msg.op_id ||
+               c.phase != 1;
+      }
+      case abd_kind::update_ack: {
+        const abd_client& c = clients_[static_cast<std::size_t>(msg.to)];
+        if (!c.active || current_op_id(msg.to) != msg.op_id || c.phase != 2) {
+          return true;  // stale, permanently
+        }
+        // Below the quorum an update_ack only bumps a private counter;
+        // increments commute and nothing else observes the count.
+        return c.acks + 1 < quorum_;
+      }
+    }
+    return false;
+  }
+
+  void note_cell(std::uint32_t loc, const abd_cell& cell) const {
+    if (cell.ts.writer < 0) return;  // initial cells carry no real write
+    cells_.emplace_back(loc, cell.ts, cell.value);
+  }
+
+  std::shared_ptr<const std::vector<std::vector<operation>>> scripts_;
+  std::uint32_t quorum_;
+  std::vector<location> locs_;
+  std::vector<std::vector<abd_cell>> replicas_;  ///< [pid][loc]
+  std::vector<abd_client> clients_;
+  std::vector<abd_timestamp> committed_;  ///< ghost watermark per location
+  std::vector<abd_message> network_;      ///< sorted = canonical multiset
+  /// check() scratch (loc, ts, value); mutable to keep check() const.
+  mutable std::vector<std::tuple<std::uint32_t, abd_timestamp, std::uint64_t>>
+      cells_;
+};
+
+}  // namespace
+
+std::unique_ptr<checkable> make_lean_system(std::vector<int> inputs,
+                                            std::uint64_t round_cap) {
+  // Bit 0 = virtual prefix cell a*[0] = 1.
+  return make_lean_system_with_arrays(std::move(inputs), round_cap, 1, 1);
+}
+
+std::unique_ptr<checkable> make_lean_system_with_arrays(
+    std::vector<int> inputs, std::uint64_t round_cap, std::uint64_t a0,
+    std::uint64_t a1) {
+  return std::make_unique<lean_system>(std::move(inputs), round_cap, a0, a1);
+}
+
+std::unique_ptr<checkable> make_adopt_commit_system(std::vector<int> inputs) {
+  return make_adopt_commit_system_with_registers(std::move(inputs), 0, 0, 0);
+}
+
+std::unique_ptr<checkable> make_adopt_commit_system_with_registers(
+    std::vector<int> inputs, std::uint64_t door0, std::uint64_t door1,
+    std::uint64_t proposal) {
+  return std::make_unique<adopt_commit_system>(std::move(inputs), door0,
+                                               door1, proposal);
+}
+
+std::unique_ptr<checkable> make_conciliator_system(std::vector<int> inputs) {
+  return make_conciliator_system_with_register(std::move(inputs), 0);
+}
+
+std::unique_ptr<checkable> make_conciliator_system_with_register(
+    std::vector<int> inputs, std::uint64_t reg) {
+  return std::make_unique<conciliator_system>(std::move(inputs), reg);
+}
+
+std::unique_ptr<checkable> make_abd_system(
+    std::vector<std::vector<operation>> scripts) {
+  const std::uint32_t quorum =
+      static_cast<std::uint32_t>(scripts.size() / 2 + 1);
+  return make_abd_system_with_quorum(std::move(scripts), quorum);
+}
+
+std::unique_ptr<checkable> make_abd_system_with_quorum(
+    std::vector<std::vector<operation>> scripts, std::uint32_t quorum) {
+  return std::make_unique<abd_system>(std::move(scripts), quorum);
+}
+
+std::unique_ptr<checkable> make_abd_register_system(std::size_t n) {
+  const location reg{space::scratch, 0};
+  std::vector<std::vector<operation>> scripts(n);
+  if (n == 2) {
+    // Two write+read-back clients: both roles contend on both phases
+    // (~5k joint states, fully explored).
+    scripts[0] = {operation::write(reg, 1), operation::read(reg)};
+    scripts[1] = {operation::write(reg, 2), operation::read(reg)};
+  } else {
+    // One writer racing one reader over n replicas — the core atomicity
+    // scenario (a read overlapping a write may return old or new, but a
+    // read STARTED after the write completed must not return old). Two
+    // concurrent ops keep the delivery-order space tractable at n = 3
+    // (~139k joint states); three concurrent ops already exceed 5M.
+    scripts[0] = {operation::write(reg, 1)};
+    scripts[1] = {operation::read(reg)};
+  }
+  return make_abd_system(std::move(scripts));
+}
+
+}  // namespace leancon::check

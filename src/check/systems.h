@@ -1,0 +1,77 @@
+// Concrete checkable systems: the joint state of each protocol family plus
+// its shared medium, ready for src/check/explorer.
+//
+//   * lean        — lean_machine processes over the two racing-bit arrays
+//                   (Lemmas 2/4a/4b + agreement/validity at every state).
+//   * adopt-commit— adopt_commit_machine processes over the doorway/proposal
+//                   registers (coherence/validity per state, convergence at
+//                   terminal states).
+//   * conciliator — conciliator_machine processes over the race register,
+//                   exploring BOTH outcomes of every consumed local coin
+//                   (validity, unanimity preservation, register integrity).
+//   * abd         — scripted register clients over a model of the abd_sim
+//                   message layer: the network is the multiset of pending
+//                   messages, every delivery order is explored, and ABD
+//                   atomicity (completed-operation timestamps against a
+//                   ghost committed watermark, timestamp->value consistency)
+//                   is asserted at every state.
+//
+// Every factory has a fault-injection variant that seeds the shared medium
+// (or weakens the ABD quorum) so tests can drive the violation path of the
+// whole stack, not just the happy path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "check/checkable.h"
+#include "memory/register_model.h"
+
+namespace leancon::check {
+
+/// Lean-consensus at `inputs.size()` processes, rounds capped at
+/// `round_cap` (machines exhaust past it; safety must hold regardless).
+std::unique_ptr<checkable> make_lean_system(std::vector<int> inputs,
+                                            std::uint64_t round_cap);
+
+/// Fault injection: start from the given array bitmasks (bit r of `aB` is
+/// aB[r]; the honest initial state is a0 = a1 = 1, the virtual 1-prefix).
+std::unique_ptr<checkable> make_lean_system_with_arrays(
+    std::vector<int> inputs, std::uint64_t round_cap, std::uint64_t a0,
+    std::uint64_t a1);
+
+/// One adopt-commit object at `inputs.size()` processes.
+std::unique_ptr<checkable> make_adopt_commit_system(std::vector<int> inputs);
+
+/// Fault injection: seed the doorway bits and the (encoded) proposal.
+std::unique_ptr<checkable> make_adopt_commit_system_with_registers(
+    std::vector<int> inputs, std::uint64_t door0, std::uint64_t door1,
+    std::uint64_t proposal);
+
+/// One conciliator round at `inputs.size()` processes; both coin outcomes
+/// are explored wherever a step consumes the local coin.
+std::unique_ptr<checkable> make_conciliator_system(std::vector<int> inputs);
+
+/// Fault injection: seed the (encoded) race register.
+std::unique_ptr<checkable> make_conciliator_system_with_register(
+    std::vector<int> inputs, std::uint64_t reg);
+
+/// ABD-emulated registers: process p runs `scripts[p]` (read/write
+/// operations, executed sequentially) over the two-phase majority protocol;
+/// every message delivery order is explored.
+std::unique_ptr<checkable> make_abd_system(
+    std::vector<std::vector<operation>> scripts);
+
+/// Fault injection: override the quorum size (the honest value is
+/// n/2 + 1; e.g. 1 makes two disjoint "majorities" possible and lets the
+/// explorer reach a stale read, proving the atomicity check has teeth).
+std::unique_ptr<checkable> make_abd_system_with_quorum(
+    std::vector<std::vector<operation>> scripts, std::uint32_t quorum);
+
+/// The canonical n-process register workload used by the check-abd presets:
+/// concurrent writers of distinct values plus a double reader, all on one
+/// location.
+std::unique_ptr<checkable> make_abd_register_system(std::size_t n);
+
+}  // namespace leancon::check

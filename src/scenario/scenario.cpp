@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "check/presets.h"
 #include "msg/abd_sim.h"
 #include "mutex/fast_mutex.h"
 #include "noise/catalog.h"
@@ -446,6 +447,18 @@ std::vector<scenario_spec> build_registry() {
                                      : "not yet in force)"),
         [quantum](const scenario_params& p, std::uint64_t seed) {
           return run_hybrid_sweep_trial(p, seed, quantum);
+        }));
+  }
+
+  // Exhaustive model-checking presets (src/check/): each trial explores
+  // EVERY schedule of a small instance and reports structural exploration
+  // counts. The process count is baked into the preset key; params.n is
+  // ignored (exhaustive exploration is only tractable at the baked-in n).
+  for (const auto& preset : check::check_presets()) {
+    reg.push_back(native_spec(
+        preset.key, preset.description,
+        [preset = &preset](const scenario_params&, std::uint64_t seed) {
+          return check::run_check_trial(*preset, seed);
         }));
   }
 

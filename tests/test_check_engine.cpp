@@ -1,0 +1,408 @@
+// The src/check/ subsystem itself: hasher and violation-sink semantics,
+// explorer bounds/frontiers/partial-order reduction on a toy system with
+// closed-form counts, golden exact state counts for the real protocol
+// systems, frontier-order and POR determinism properties across every
+// registered preset, and the fault-injection violation paths that prove
+// each family's invariants have teeth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/checkable.h"
+#include "check/explorer.h"
+#include "check/presets.h"
+#include "check/systems.h"
+#include "memory/register_model.h"
+
+namespace leancon::check {
+namespace {
+
+// ---------------------------------------------------------------------------
+// state_hasher
+
+TEST(StateHasher, IsDeterministic) {
+  state_hasher a, b;
+  for (std::uint64_t w : {3u, 1u, 4u, 1u, 5u}) {
+    a.word(w);
+    b.word(w);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(StateHasher, IsOrderSensitive) {
+  state_hasher ab, ba;
+  ab.word(1);
+  ab.word(2);
+  ba.word(2);
+  ba.word(1);
+  EXPECT_NE(ab.digest(), ba.digest());
+}
+
+TEST(StateHasher, PrefixNeverEqualsExtension) {
+  // The digest folds the word count, so feeding an extra zero word (the
+  // classic length-extension hazard for plain chaining) changes it.
+  state_hasher shorter, longer, empty;
+  shorter.word(7);
+  longer.word(7);
+  longer.word(0);
+  EXPECT_NE(shorter.digest(), longer.digest());
+  EXPECT_NE(empty.digest(), shorter.digest());
+  state_hasher zero;
+  zero.word(0);
+  EXPECT_NE(empty.digest(), zero.digest());
+}
+
+// ---------------------------------------------------------------------------
+// violation_sink
+
+TEST(ViolationSink, CountsEverythingKeepsFirstDistinct) {
+  violation_sink sink(/*keep=*/2);
+  EXPECT_TRUE(sink.empty());
+  sink.report("a");
+  sink.report("a");
+  sink.report("b");
+  sink.report("c");  // beyond keep: counted, not retained
+  sink.report("a");
+  EXPECT_FALSE(sink.empty());
+  EXPECT_EQ(sink.total(), 5u);
+  ASSERT_EQ(sink.distinct().size(), 2u);
+  EXPECT_EQ(sink.distinct()[0], "a");
+  EXPECT_EQ(sink.distinct()[1], "b");
+}
+
+// ---------------------------------------------------------------------------
+// A toy checkable with closed-form counts: walk a (limit+1) x (limit+1)
+// grid by incrementing x (action 0) or y (action 1); terminal at the far
+// corner. Options make action 1 invisible (to test POR accounting) or
+// report a violation on the diagonal (to test bounded dedup end to end).
+
+struct grid_system final : checkable {
+  std::uint32_t limit;
+  bool y_invisible;
+  bool violate_on_diagonal;
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+
+  grid_system(std::uint32_t limit, bool y_invisible, bool violate_on_diagonal)
+      : limit(limit),
+        y_invisible(y_invisible),
+        violate_on_diagonal(violate_on_diagonal) {}
+
+  std::unique_ptr<checkable> clone() const override {
+    return std::make_unique<grid_system>(*this);
+  }
+  void enabled(std::vector<check_action>& out) const override {
+    if (x < limit) out.push_back({0, false});
+    if (y < limit) out.push_back({1, y_invisible});
+  }
+  void apply(std::uint32_t action_id) override {
+    if (action_id == 0) {
+      ++x;
+    } else {
+      ++y;
+    }
+  }
+  void hash_state(state_hasher& h) const override {
+    h.word(x);
+    h.word(y);
+  }
+  void check(violation_sink& sink) const override {
+    if (violate_on_diagonal && x == y && x > 0) {
+      sink.report("diagonal parity " + std::to_string(x % 2));
+    }
+  }
+  std::uint64_t progress() const override { return x + y; }
+};
+
+TEST(Explorer, ToyGridHasClosedFormCounts) {
+  const grid_system sys(/*limit=*/4, false, false);
+  const mc_verdict v = explore(sys);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.states_visited, 25u);      // (limit+1)^2
+  EXPECT_EQ(v.transitions, 40u);         // 2 * limit * (limit+1)
+  EXPECT_EQ(v.terminal_states, 1u);      // the far corner
+  EXPECT_EQ(v.max_depth_seen, 8u);       // 2 * limit
+  EXPECT_EQ(v.max_progress, 8u);
+  EXPECT_EQ(v.deduped, 40u - 24u);       // transitions minus new states
+  EXPECT_GT(v.frontier_peak, 0u);
+}
+
+TEST(Explorer, PartialOrderReductionFiresInvisibleActionsAlone) {
+  const grid_system sys(/*limit=*/4, /*y_invisible=*/true, false);
+  const mc_verdict v = explore(sys);
+  EXPECT_TRUE(v.ok());
+  // Whenever y can move it moves alone, so only the y-then-x staircase
+  // survives: limit+1 states up, then limit more across.
+  EXPECT_EQ(v.states_visited, 9u);   // 2 * limit + 1
+  EXPECT_EQ(v.por_skipped, 4u);      // one sibling skipped per mixed state
+  EXPECT_EQ(v.terminal_states, 1u);
+}
+
+TEST(Explorer, MaxStatesTruncates) {
+  const grid_system sys(/*limit=*/10, false, false);
+  explore_options opts;
+  opts.max_states = 50;
+  const mc_verdict v = explore(sys, opts);
+  EXPECT_TRUE(v.truncated);
+  EXPECT_FALSE(v.ok());
+  EXPECT_LE(v.states_visited, 50u);
+}
+
+TEST(Explorer, MaxDepthTruncates) {
+  const grid_system sys(/*limit=*/2, false, false);
+  explore_options opts;
+  opts.order = frontier_order::bfs;
+  opts.max_depth = 2;
+  const mc_verdict v = explore(sys, opts);
+  EXPECT_TRUE(v.truncated);
+  // BFS discovery depth is the grid distance, so exactly the six states
+  // with x + y <= 2 are expanded.
+  EXPECT_EQ(v.states_visited, 6u);
+}
+
+TEST(Explorer, ViolationsAreCountedInFullAndDedupedBounded) {
+  const grid_system sys(/*limit=*/4, false, /*violate_on_diagonal=*/true);
+  explore_options opts;
+  opts.max_violation_reports = 1;
+  const mc_verdict v = explore(sys, opts);
+  EXPECT_FALSE(v.ok());
+  EXPECT_FALSE(v.truncated);
+  // check() fires once per visited diagonal state (1,1)..(4,4); only the
+  // first distinct message (in discovery order) is retained under the
+  // bound of 1.
+  EXPECT_EQ(v.violations_total, 4u);
+  ASSERT_EQ(v.violations.size(), 1u);
+  EXPECT_TRUE(v.violations[0] == "diagonal parity 0" ||
+              v.violations[0] == "diagonal parity 1")
+      << v.violations[0];
+}
+
+// ---------------------------------------------------------------------------
+// Golden exact counts for the real systems. These pin the joint state
+// encodings: any change to what the protocols or the hasher consider
+// "a state" shows up here as an exact-number diff.
+
+TEST(GoldenCounts, LeanTwoProcessSplitRoundCapTwo) {
+  explore_options full;
+  full.por = false;
+  const mc_verdict v = explore(*make_lean_system({0, 1}, /*round_cap=*/2), full);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.states_visited, 213u);
+  EXPECT_EQ(v.transitions, 344u);
+  EXPECT_EQ(v.terminal_states, 9u);
+  // POR merges schedules without losing states here, only transitions.
+  const mc_verdict r = explore(*make_lean_system({0, 1}, /*round_cap=*/2));
+  EXPECT_EQ(r.states_visited, 213u);
+  EXPECT_EQ(r.transitions, 326u);
+  EXPECT_EQ(r.por_skipped, 18u);
+  EXPECT_EQ(r.terminal_states, 9u);
+}
+
+TEST(GoldenCounts, AdoptCommitThreeProcesses) {
+  explore_options full;
+  full.por = false;
+  const mc_verdict v = explore(*make_adopt_commit_system({0, 1, 1}), full);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.states_visited, 298u);
+  EXPECT_EQ(v.transitions, 585u);
+  EXPECT_EQ(v.terminal_states, 11u);
+  const mc_verdict r = explore(*make_adopt_commit_system({0, 1, 1}));
+  EXPECT_EQ(r.states_visited, 210u);
+  EXPECT_EQ(r.terminal_states, 11u);
+}
+
+TEST(GoldenCounts, ConciliatorBothCoinOutcomes) {
+  explore_options full;
+  full.por = false;
+  EXPECT_EQ(explore(*make_conciliator_system({0, 1}), full).states_visited,
+            12u);
+  EXPECT_EQ(explore(*make_conciliator_system({0, 0}), full).states_visited,
+            9u);
+  EXPECT_EQ(explore(*make_conciliator_system({0, 1, 1}), full).states_visited,
+            46u);
+}
+
+TEST(GoldenCounts, AbdTwoProcessRegisterWorkload) {
+  explore_options full;
+  full.por = false;
+  const mc_verdict v = explore(*make_abd_register_system(2), full);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.states_visited, 5204u);
+  EXPECT_EQ(v.transitions, 14736u);
+  EXPECT_EQ(v.terminal_states, 9u);
+  EXPECT_EQ(v.max_progress, 4u);
+  const mc_verdict r = explore(*make_abd_register_system(2));
+  EXPECT_EQ(r.states_visited, 3089u);
+  EXPECT_EQ(r.terminal_states, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism properties across every registered preset: the reachable set
+// is frontier-order independent, and POR never grows it or changes the
+// verdict. (Discovery depth and frontier peak ARE order-dependent, so they
+// are deliberately not compared.)
+
+void expect_same_reachable_set(const mc_verdict& a, const mc_verdict& b,
+                               const std::string& what) {
+  EXPECT_EQ(a.states_visited, b.states_visited) << what;
+  EXPECT_EQ(a.transitions, b.transitions) << what;
+  EXPECT_EQ(a.terminal_states, b.terminal_states) << what;
+  EXPECT_EQ(a.violations_total, b.violations_total) << what;
+  EXPECT_EQ(a.truncated, b.truncated) << what;
+}
+
+TEST(PresetProperties, FrontierOrderAndPorAreSoundOnEveryPreset) {
+  for (const auto& preset : check_presets()) {
+    // The abd presets have no input cube, so one seed covers them.
+    const std::vector<std::uint64_t> seeds =
+        preset.family == "abd" ? std::vector<std::uint64_t>{1}
+                               : std::vector<std::uint64_t>{1, 6};
+    for (std::uint64_t seed : seeds) {
+      explore_options dfs_full = preset.options;
+      dfs_full.por = false;
+      dfs_full.order = frontier_order::dfs;
+      explore_options bfs_full = dfs_full;
+      bfs_full.order = frontier_order::bfs;
+
+      const mc_verdict vd = explore(*preset.build(seed), dfs_full);
+      const mc_verdict vb = explore(*preset.build(seed), bfs_full);
+      expect_same_reachable_set(
+          vd, vb, preset.key + " seed " + std::to_string(seed) + " dfs/bfs");
+
+      const mc_verdict vp = explore(*preset.build(seed), preset.options);
+      EXPECT_LE(vp.states_visited, vd.states_visited) << preset.key;
+      EXPECT_EQ(vp.terminal_states, vd.terminal_states) << preset.key;
+      EXPECT_EQ(vp.violations_total, vd.violations_total) << preset.key;
+      EXPECT_EQ(vp.truncated, vd.truncated) << preset.key;
+      EXPECT_EQ(vp.max_progress, vd.max_progress) << preset.key;
+    }
+  }
+}
+
+TEST(PresetProperties, PorStrictlyReducesWhereInvisibleActionsOccur) {
+  // The reduction must actually bite somewhere, or it is dead code: the
+  // ABD message layer is its richest target (stale acks, no-op updates).
+  explore_options full;
+  full.por = false;
+  const mc_verdict vf = explore(*make_abd_register_system(2), full);
+  const mc_verdict vp = explore(*make_abd_register_system(2));
+  EXPECT_LT(vp.states_visited, vf.states_visited);
+  EXPECT_GT(vp.por_skipped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: seed the shared medium with corrupt contents and make
+// sure each family's invariants actually fire. Without these, a check()
+// that silently returns would still pass every happy-path test above.
+
+TEST(FaultInjection, LeanArrayGapTripsLemma2) {
+  // a0 = 0b101 has a gap at round 1: "a[r] = 1 for r <= round" fails.
+  const auto v = explore(
+      *make_lean_system_with_arrays({0, 1}, /*round_cap=*/2, 0b101, 0b1));
+  EXPECT_GT(v.violations_total, 0u);
+  ASSERT_FALSE(v.violations.empty());
+  EXPECT_NE(v.violations[0].find("Lemma 2"), std::string::npos)
+      << v.violations[0];
+}
+
+TEST(FaultInjection, LeanForeignBitTripsLemma2a) {
+  // a1 shows progress past the virtual prefix with no process holding
+  // input 1.
+  const auto v = explore(
+      *make_lean_system_with_arrays({0, 0}, /*round_cap=*/2, 0b1, 0b11));
+  EXPECT_GT(v.violations_total, 0u);
+  bool lemma2a = false;
+  for (const auto& s : v.violations) {
+    lemma2a = lemma2a || s.find("Lemma 2a") != std::string::npos;
+  }
+  EXPECT_TRUE(lemma2a);
+}
+
+TEST(FaultInjection, AdoptCommitSeededProposalTripsValidity) {
+  // Doorway already crossed for 1 with proposal 1: the lone 0-input
+  // process can return 1, which validity forbids.
+  const auto v = explore(*make_adopt_commit_system_with_registers(
+      {0}, /*door0=*/0, /*door1=*/1, encode_proposal(1)));
+  EXPECT_GT(v.violations_total, 0u);
+  bool validity = false;
+  for (const auto& s : v.violations) {
+    validity = validity || s.find("AC validity") != std::string::npos;
+  }
+  EXPECT_TRUE(validity);
+}
+
+TEST(FaultInjection, ConciliatorSeededRegisterTripsIntegrity) {
+  const auto v = explore(
+      *make_conciliator_system_with_register({0, 0}, encode_proposal(1)));
+  EXPECT_GT(v.violations_total, 0u);
+  ASSERT_FALSE(v.violations.empty());
+  EXPECT_NE(v.violations[0].find("conciliator"), std::string::npos);
+}
+
+TEST(FaultInjection, AbdWeakQuorumTripsAtomicity) {
+  const location reg{space::scratch, 0};
+  std::vector<std::vector<operation>> scripts = {
+      {operation::write(reg, 1)},
+      {operation::read(reg), operation::read(reg)}};
+  explore_options full;
+  full.por = false;
+  const auto v =
+      explore(*make_abd_system_with_quorum(std::move(scripts), 1), full);
+  EXPECT_GT(v.violations_total, 0u);
+  bool atomicity = false;
+  for (const auto& s : v.violations) {
+    atomicity = atomicity || s.find("abd atomicity") != std::string::npos;
+  }
+  EXPECT_TRUE(atomicity);
+}
+
+// ---------------------------------------------------------------------------
+// The preset surface the scenario registry and the bench drive.
+
+TEST(CheckPresets, RegistryExposesEveryFamilyAtBothSizes) {
+  for (const char* key :
+       {"check-lean-n2", "check-lean-n3", "check-ac-n2", "check-ac-n3",
+        "check-conc-n2", "check-conc-n3", "check-abd-n2", "check-abd-n3"}) {
+    const check_preset* p = find_check_preset(key);
+    ASSERT_NE(p, nullptr) << key;
+    EXPECT_EQ(p->key, key);
+    EXPECT_FALSE(p->description.empty());
+  }
+  EXPECT_EQ(find_check_preset("check-nope-n9"), nullptr);
+}
+
+TEST(CheckPresets, TrialOutcomeCarriesExplorerMetrics) {
+  const check_preset* p = find_check_preset("check-lean-n2");
+  ASSERT_NE(p, nullptr);
+  const trial_outcome out = run_check_trial(*p, /*seed=*/1);
+  EXPECT_TRUE(out.decided);
+  EXPECT_FALSE(out.violation);
+  for (const char* name :
+       {"states_visited", "transitions", "deduped", "por_skipped",
+        "terminal_states", "frontier_peak", "max_depth", "max_progress"}) {
+    EXPECT_NE(out.metrics.find(name), nullptr) << name;
+    EXPECT_EQ(out.metrics.sample(name).count(), 1u) << name;
+  }
+  // The trial wraps explore() with the preset's own options and nothing
+  // else: states agree with a direct exploration exactly.
+  const mc_verdict direct = explore(*p->build(1), p->options);
+  EXPECT_EQ(out.metrics.sample("states_visited").mean(),
+            static_cast<double>(direct.states_visited));
+}
+
+TEST(CheckPresets, TrialsAreDeterministicPerSeed) {
+  const check_preset* p = find_check_preset("check-abd-n2");
+  ASSERT_NE(p, nullptr);
+  const trial_outcome a = run_check_trial(*p, /*seed=*/3);
+  const trial_outcome b = run_check_trial(*p, /*seed=*/3);
+  EXPECT_EQ(a.metrics.sample("states_visited").mean(),
+            b.metrics.sample("states_visited").mean());
+  EXPECT_EQ(a.metrics.sample("max_depth").mean(),
+            b.metrics.sample("max_depth").mean());
+}
+
+}  // namespace
+}  // namespace leancon::check
