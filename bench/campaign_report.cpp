@@ -26,7 +26,9 @@
 // common n from the recorded mean_<metric> / <metric>_ci95 columns, with
 // the observation count read from <count-column> (default "trials"; pass
 // e.g. "round:decided" for decided-only metrics).
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -104,6 +106,35 @@ void report_effect(bench::results& res, const std::string& metric,
   for (auto& eff : effects) res.series_list.push_back(std::move(eff));
 }
 
+/// Top-k slowest cells by recorded wall seconds, for straggler hunting
+/// across shards/hosts. Silent when no input recorded --cell-seconds.
+void report_stragglers(const campaign_io::merged_cells& merged,
+                       std::size_t top_k) {
+  std::vector<const campaign_io::record*> timed;
+  for (const auto& rec : merged.records) {
+    if (rec.seconds > 0.0) timed.push_back(&rec);
+  }
+  if (timed.empty()) return;
+  std::stable_sort(timed.begin(), timed.end(),
+                   [](const campaign_io::record* a,
+                      const campaign_io::record* b) {
+                     return a->seconds > b->seconds;
+                   });
+  if (timed.size() > top_k) timed.resize(top_k);
+
+  std::printf("\nslowest %zu cell(s) by wall time:\n\n", timed.size());
+  table tbl({"cell", "seconds", "trials", "trials/sec"});
+  for (const auto* rec : timed) {
+    const double trials = rec->metrics.get("trials");
+    tbl.begin_row();
+    tbl.cell(rec->label.empty() ? rec->scenario : rec->label);
+    tbl.cell(rec->seconds, 3);
+    tbl.cell(trials, 0);
+    tbl.cell(std::isfinite(trials) ? trials / rec->seconds : 0.0, 1);
+  }
+  tbl.print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,6 +150,9 @@ int main(int argc, char** argv) {
            "location-rollup metric for a pairwise Cohen's-d/overlap "
            "summary, as <metric>[:<count-column>] (e.g. round:decided)");
   opts.add("table", "true", "print the per-cell metric table");
+  opts.add("stragglers", "10",
+           "print the top-k slowest cells by recorded wall seconds "
+           "(0 = off; needs inputs written with --cell-seconds)");
   if (!opts.parse(argc, argv)) return 1;
 
   const auto paths = split_list(opts.get("cells"));
@@ -170,6 +204,11 @@ int main(int argc, char** argv) {
       }
     }
     tbl.print();
+  }
+
+  const std::int64_t top_k = opts.get_int("stragglers");
+  if (top_k > 0) {
+    report_stragglers(merged, static_cast<std::size_t>(top_k));
   }
 
   const std::string effect = opts.get("effect");

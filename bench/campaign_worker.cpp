@@ -29,6 +29,7 @@
 #include "exp/campaign_io.h"
 #include "exp/campaign_shard.h"
 #include "exp/worker_pool.h"
+#include "obs/heartbeat.h"
 #include "scenario/scenario.h"
 #include "sim/trial_executor.h"
 #include "util/options.h"
@@ -55,6 +56,11 @@ int main(int argc, char** argv) {
            "record per-cell wall seconds in each line (makes the file "
            "non-deterministic, so merged bytes will not match a "
            "single-process run)");
+  opts.add("heartbeat", "",
+           "append a progress JSONL heartbeat to this file (cells done, "
+           "trials/sec, ETA, rss); give every shard its own file");
+  opts.add("heartbeat-interval", "1.0",
+           "with --heartbeat: seconds between heartbeat lines");
   if (!opts.parse(argc, argv)) return 1;
 
   campaign_grid grid;
@@ -87,6 +93,20 @@ int main(int argc, char** argv) {
     return 1;
   }
   copts.io = io.get();
+
+  std::unique_ptr<obs::heartbeat> hb;
+  if (!opts.get("heartbeat").empty()) {
+    try {
+      hb = std::make_unique<obs::heartbeat>(
+          opts.get("heartbeat"), opts.get_double("heartbeat-interval"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    std::uint64_t total_trials = 0;
+    for (const auto& c : cells) total_trials += c.trials;
+    hb->set_totals(cells.size(), total_trials);
+  }
 
   std::printf("campaign_worker: shard %llu/%llu owns %zu of %zu cell(s), "
               "concurrency %u\n",

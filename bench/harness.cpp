@@ -9,6 +9,7 @@
 #include "exp/campaign.h"
 #include "exp/campaign_io.h"
 #include "exp/worker_pool.h"
+#include "stats/summary.h"
 #include "util/json.h"
 
 namespace leancon::bench {
@@ -323,6 +324,7 @@ results campaign_bench(const std::string& bench_name,
   double trials_total = 0.0;
   double sim_ops = 0.0;
   double seconds_total = 0.0;
+  summary seconds_dist(/*keep_samples=*/true);
   for (const auto& rec : merged.records) {
     const std::string group =
         rec.variant.empty() ? rec.scenario : rec.scenario + "/" + rec.variant;
@@ -350,6 +352,7 @@ results campaign_bench(const std::string& bench_name,
     const std::string label = rec.label.empty() ? group : rec.label;
     accumulate(res.counters, "cell_seconds/" + label, rec.seconds);
     seconds_total += rec.seconds;
+    if (rec.seconds > 0.0) seconds_dist.add(rec.seconds);
   }
   accumulate(res.counters, "cells", cells);
   accumulate(res.counters, "trials_total", trials_total);
@@ -359,6 +362,13 @@ results campaign_bench(const std::string& bench_name,
   // record per-cell seconds (resumed/secondless files would divide by 0).
   if (seconds_total > 0.0) {
     set_counter(res.counters, "trials_per_sec", trials_total / seconds_total);
+  }
+  // Cell wall-time distribution for straggler hunting; absent (like
+  // trials_per_sec) when the writer did not record per-cell seconds.
+  if (seconds_dist.count() > 0) {
+    set_counter(res.counters, "cell_seconds_p50", seconds_dist.quantile(0.5));
+    set_counter(res.counters, "cell_seconds_p95", seconds_dist.quantile(0.95));
+    set_counter(res.counters, "cell_seconds_max", seconds_dist.max());
   }
   accumulate(res.counters, "duplicate_cells",
              static_cast<double>(merged.duplicate_cells));

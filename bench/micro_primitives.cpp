@@ -15,6 +15,7 @@
 #include "memory/atomic_memory.h"
 #include "memory/sim_memory.h"
 #include "noise/catalog.h"
+#include "obs/obs.h"
 #include "race/renewal_race.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
@@ -228,6 +229,41 @@ void run_model_check(bench::run_context& ctx) {
   if (sink == 0xdeadbeef) std::printf("\n");
 }
 
+void run_trace_record(bench::run_context& ctx) {
+  // Cost of one obs event, enabled (ring append) and disabled (the guard
+  // every instrumented hot path pays: one relaxed load + branch). The
+  // disabled number is the overhead budget of compiling tracing in.
+  auto& out = ctx.add_series("trace_record");
+  obs::drain();  // leave nothing from earlier runs in the ring
+  obs::set_enabled(true);
+  measure(ctx, out, 0, "trace_record (on)", [&](std::uint64_t i) {
+    if (obs::enabled()) {
+      obs::emit(obs::event_kind::mark, static_cast<double>(i), i, 0, 0);
+    }
+  });
+  obs::set_enabled(false);
+  measure(ctx, out, 1, "trace_record (off)", [&](std::uint64_t i) {
+    if (obs::enabled()) {
+      obs::emit(obs::event_kind::mark, static_cast<double>(i), i, 0, 0);
+    }
+  });
+  obs::drain();
+}
+
+void run_span_enter_exit(bench::run_context& ctx) {
+  // RAII span construct+destruct. Enabled pays two clock reads plus one
+  // ring append; disabled pays the cached enabled() check only.
+  auto& out = ctx.add_series("span_enter_exit");
+  obs::drain();
+  obs::set_enabled(true);
+  measure(ctx, out, 0, "span enter+exit (on)",
+          [&](std::uint64_t) { obs::span s("bench.span"); });
+  obs::set_enabled(false);
+  measure(ctx, out, 1, "span enter+exit (off)",
+          [&](std::uint64_t) { obs::span s("bench.span"); });
+  obs::drain();
+}
+
 void run_simulate_consensus(bench::run_context& ctx) {
   auto& out = ctx.add_series("simulate_consensus");
   const std::uint64_t sim_iters =
@@ -295,6 +331,8 @@ int main(int argc, char** argv) {
   h.add("metric_record", run_metric_record);
   h.add("solo_machines", run_solo_machines);
   h.add("model_check", run_model_check);
+  h.add("trace_record", run_trace_record);
+  h.add("span_enter_exit", run_span_enter_exit);
   h.add("simulate_consensus", run_simulate_consensus);
   h.add("renewal_race", run_renewal_race);
   return h.main(argc, argv);

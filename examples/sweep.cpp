@@ -27,6 +27,7 @@
 #include "exp/campaign_io.h"
 #include "exp/campaign_shard.h"
 #include "exp/worker_pool.h"
+#include "obs/heartbeat.h"
 #include "scenario/scenario.h"
 #include "sim/trial_executor.h"
 #include "stats/effect_size.h"
@@ -59,6 +60,11 @@ int main(int argc, char** argv) {
            "with --effect: the column holding each cell's observation "
            "count for the metric (decided for decided-only metrics like "
            "round, trials for every-trial metrics)");
+  opts.add("heartbeat", "",
+           "append a progress JSONL heartbeat to this file (cells done, "
+           "trials/sec, ETA, rss)");
+  opts.add("heartbeat-interval", "1.0",
+           "with --heartbeat: seconds between heartbeat lines");
   opts.add("list", "false", "print scenario keys with descriptions and exit");
   if (!opts.parse(argc, argv)) return 1;
 
@@ -99,6 +105,20 @@ int main(int argc, char** argv) {
       std::printf("resuming: %zu cell(s) already on file in %s\n",
                   io->loaded(), io->path().c_str());
     }
+  }
+
+  std::unique_ptr<obs::heartbeat> hb;
+  if (!opts.get("heartbeat").empty()) {
+    try {
+      hb = std::make_unique<obs::heartbeat>(
+          opts.get("heartbeat"), opts.get_double("heartbeat-interval"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    std::uint64_t total_trials = 0;
+    for (const auto& c : cells) total_trials += c.trials;
+    hb->set_totals(cells.size(), total_trials);
   }
 
   std::printf("campaign sweep: %llu trials per cell%s, concurrency %u, "

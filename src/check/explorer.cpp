@@ -1,8 +1,11 @@
 #include "check/explorer.h"
 
 #include <deque>
+#include <limits>
 #include <unordered_set>
 #include <utility>
+
+#include "obs/obs.h"
 
 namespace leancon::check {
 namespace {
@@ -23,6 +26,21 @@ std::uint64_t hash_of(const checkable& sys) {
 mc_verdict explore(const checkable& initial, const explore_options& opts) {
   mc_verdict verdict;
   violation_sink sink(opts.max_violation_reports);
+
+  obs::span explore_span("check.explore");
+  static auto* explored_counter = obs::counter("check.states_visited");
+  const bool obs_on = obs::enabled();
+  if (obs_on) {
+    obs::emit(obs::event_kind::explore_begin,
+              std::numeric_limits<double>::quiet_NaN(), opts.max_states,
+              opts.max_depth);
+  }
+  // Frontier milestones: every new maximum depth plus every kMilestone
+  // states, so even tiny explorations leave a visible trail and huge ones
+  // stay bounded.
+  constexpr std::uint64_t kMilestone = 4096;
+  std::uint64_t next_milestone = kMilestone;
+  std::uint64_t last_depth_reported = 0;
 
   std::deque<frontier_node> frontier;
   std::unordered_set<std::uint64_t> visited;
@@ -49,6 +67,19 @@ mc_verdict explore(const checkable& initial, const explore_options& opts) {
     ++verdict.states_visited;
     if (node.depth > verdict.max_depth_seen) {
       verdict.max_depth_seen = node.depth;
+      if (obs_on && node.depth >= last_depth_reported + 1) {
+        last_depth_reported = node.depth;
+        obs::emit(obs::event_kind::frontier,
+                  std::numeric_limits<double>::quiet_NaN(),
+                  verdict.states_visited, frontier.size(), node.depth);
+      }
+    }
+    if (obs_on && verdict.states_visited >= next_milestone) {
+      next_milestone += kMilestone;
+      obs::emit(obs::event_kind::frontier,
+                std::numeric_limits<double>::quiet_NaN(),
+                verdict.states_visited, frontier.size(),
+                verdict.max_depth_seen);
     }
     const std::uint64_t progress = node.sys->progress();
     if (progress > verdict.max_progress) verdict.max_progress = progress;
@@ -100,6 +131,13 @@ mc_verdict explore(const checkable& initial, const explore_options& opts) {
 
   verdict.violations_total = sink.total();
   verdict.violations = sink.distinct();
+  explored_counter->fetch_add(verdict.states_visited,
+                              std::memory_order_relaxed);
+  if (obs_on) {
+    obs::emit(obs::event_kind::explore_end,
+              std::numeric_limits<double>::quiet_NaN(),
+              verdict.states_visited, verdict.violations_total != 0 ? 1 : 0);
+  }
   return verdict;
 }
 

@@ -9,6 +9,7 @@
 
 #include "exp/campaign_io.h"
 #include "exp/worker_pool.h"
+#include "obs/obs.h"
 #include "sim/trial_executor.h"
 
 namespace leancon {
@@ -130,6 +131,7 @@ cell_metrics default_cell_metrics(const trial_stats& stats) {
 
 std::vector<cell_result> run_campaign(const std::vector<campaign_cell>& cells,
                                       const campaign_options& opts) {
+  obs::span campaign_span("campaign.run");
   // Per-cell execution state for cells that actually run.
   struct cell_state {
     workload work;  ///< the cell's bound workload (tweak already applied)
@@ -200,6 +202,12 @@ std::vector<cell_result> run_campaign(const std::vector<campaign_cell>& cells,
   // Ordered streaming: a cell flushes (io emission + on_cell) once it AND
   // every cell before it completed, so output order equals cell order for
   // any scheduling.
+  // Progress counters feeding the heartbeat emitter (always on; bumped at
+  // chunk/cell granularity only). Resumed cells count their trials here,
+  // since they never reach run_task.
+  static auto* cells_done_counter = obs::counter("campaign.cells_done");
+  static auto* trials_done_counter = obs::counter("campaign.trials_done");
+
   std::mutex flush_mutex;
   std::size_t cursor = 0;
   const auto flush_ready = [&] {
@@ -207,6 +215,11 @@ std::vector<cell_result> run_campaign(const std::vector<campaign_cell>& cells,
       const cell_result& r = results[cursor];
       if (opts.io != nullptr && !r.resumed) opts.io->emit(r);
       if (opts.on_cell) opts.on_cell(r);
+      cells_done_counter->fetch_add(1, std::memory_order_relaxed);
+      if (r.resumed) {
+        trials_done_counter->fetch_add(r.cell.trials,
+                                       std::memory_order_relaxed);
+      }
       ++cursor;
     }
   };
@@ -230,16 +243,19 @@ std::vector<cell_result> run_campaign(const std::vector<campaign_cell>& cells,
     const auto [cell_index, chunk] = tasks[t];
     const campaign_cell& cell = cells[cell_index];
     cell_state& st = states[cell_index];
+    if (obs::status_active()) obs::set_status(cell.label());
+    obs::span chunk_span("campaign.chunk");
     const auto start = std::chrono::steady_clock::now();
 
     trial_stats& stats = st.chunk_stats[chunk];
+    const std::uint64_t begin = trial_chunk_begin(cell.trials, chunk);
     const std::uint64_t end = trial_chunk_begin(cell.trials, chunk + 1);
-    for (std::uint64_t trial = trial_chunk_begin(cell.trials, chunk);
-         trial < end; ++trial) {
+    for (std::uint64_t trial = begin; trial < end; ++trial) {
       stats.record(st.work.run_trial(trial_seed(cell.params.seed, trial)));
     }
 
     st.chunk_seconds[chunk] = seconds_since(start);
+    trials_done_counter->fetch_add(end - begin, std::memory_order_relaxed);
     if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       finalize_cell(cell_index);
     }

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/json.h"
 
 namespace leancon {
@@ -114,6 +115,8 @@ std::vector<campaign_io::record> campaign_io::read_records(
 
 campaign_io::merged_cells campaign_io::merge_files(
     const std::vector<std::string>& paths) {
+  obs::span merge_span("campaign_io.merge");
+  static auto* merged_counter = obs::counter("campaign_io.merged_records");
   merged_cells merged;
   // (hash, seed) key -> index of the kept record, so duplicate/conflict
   // detection stays linear in the total line count.
@@ -170,12 +173,16 @@ campaign_io::merged_cells campaign_io::merge_files(
     sorted.lines.push_back(std::move(merged.lines[i]));
     sorted.records.push_back(std::move(merged.records[i]));
   }
+  merged_counter->fetch_add(sorted.records.size(),
+                            std::memory_order_relaxed);
   return sorted;
 }
 
 campaign_io::campaign_io(const std::string& path, bool resume,
                          bool record_seconds)
     : path_(path), record_seconds_(record_seconds) {
+  obs::span resume_span("campaign_io.open");
+  static auto* resumed_counter = obs::counter("campaign_io.resume_records");
   bool unterminated = false;
   if (resume) {
     std::ifstream in(path_, std::ios::binary);
@@ -199,6 +206,7 @@ campaign_io::campaign_io(const std::string& path, bool resume,
       unterminated = c != '\n';
     }
   }
+  resumed_counter->fetch_add(records_.size(), std::memory_order_relaxed);
   file_ = std::fopen(path_.c_str(), resume ? "a" : "w");
   if (file_ == nullptr) {
     throw std::runtime_error("campaign_io: cannot open " + path_);

@@ -1,5 +1,6 @@
 #include "exp/worker_pool.h"
 
+#include "obs/obs.h"
 #include "sim/trial_executor.h"
 
 namespace leancon {
@@ -68,6 +69,12 @@ void worker_pool::run(std::uint64_t count,
                       const std::function<void(std::uint64_t)>& fn,
                       unsigned cap) {
   if (count == 0) return;
+
+  static auto* batches_counter = obs::counter("pool.batches");
+  static auto* tasks_counter = obs::counter("pool.tasks");
+  batches_counter->fetch_add(1, std::memory_order_relaxed);
+  tasks_counter->fetch_add(count, std::memory_order_relaxed);
+  obs::span batch_span("pool.batch");
 
   batch b;
   b.fn = &fn;

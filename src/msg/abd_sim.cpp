@@ -8,6 +8,7 @@
 #include "backup/backup_machine.h"
 #include "core/combined_machine.h"
 #include "core/lean_machine.h"
+#include "obs/obs.h"
 
 namespace leancon {
 namespace {
@@ -96,6 +97,14 @@ mp_result run_message_passing(const mp_config& config) {
   mp_result result;
   result.processes.assign(n, mp_process_result{});
 
+  // Sampled once per emulation; per-message emission lives on the general
+  // dispatch below, so the untraced path costs one predictable branch per
+  // send/deliver.
+  const bool obs_on = obs::enabled();
+  if (obs_on) {
+    obs::emit(obs::event_kind::trial_begin, 0.0, n, config.seed);
+  }
+
   std::vector<process_state> procs(n);
   std::priority_queue<pending_event, std::vector<pending_event>, event_later>
       events;
@@ -117,7 +126,21 @@ mp_result run_message_passing(const mp_config& config) {
     const double delay = config.net.op_increment(
         from, ++p.msg_index, /*is_write=*/false, p.stream, halted);
     // Halting failures in the network model drop the message.
-    if (halted) return;
+    if (halted) {
+      if (obs_on) {
+        obs::emit(obs::event_kind::msg_drop, now,
+                  static_cast<std::uint64_t>(from),
+                  static_cast<std::uint64_t>(msg.to),
+                  static_cast<std::uint64_t>(msg.kind));
+      }
+      return;
+    }
+    if (obs_on) {
+      obs::emit(obs::event_kind::msg_send, now,
+                static_cast<std::uint64_t>(from),
+                static_cast<std::uint64_t>(msg.to),
+                static_cast<std::uint64_t>(msg.kind));
+    }
     ++result.processes[static_cast<std::size_t>(from)].messages_sent;
     events.push(pending_event{now + delay, event_seq++, std::move(msg)});
   };
@@ -194,6 +217,12 @@ mp_result run_message_passing(const mp_config& config) {
       pr.decided = true;
       pr.decision = p.machine->decision();
       ++decided_live;
+      if (obs_on) {
+        obs::emit(obs::event_kind::decision, now,
+                  static_cast<std::uint64_t>(pid),
+                  static_cast<std::uint64_t>(pr.decision),
+                  p.machine->lean_round());
+      }
       if (result.decision == -1) {
         result.decision = pr.decision;
         result.first_decision_time = now;
@@ -220,9 +249,16 @@ mp_result run_message_passing(const mp_config& config) {
       if (crash_at[i] >= 0.0 && ev.time >= crash_at[i] && !procs[i].crashed) {
         procs[i].crashed = true;
         result.processes[i].crashed = true;
+        if (obs_on) obs::emit(obs::event_kind::crash, ev.time, i, i);
       }
     }
     if (dst.crashed) continue;
+    if (obs_on) {
+      obs::emit(obs::event_kind::msg_deliver, ev.time,
+                static_cast<std::uint64_t>(msg.from),
+                static_cast<std::uint64_t>(msg.to),
+                static_cast<std::uint64_t>(msg.kind));
+    }
 
     switch (msg.kind) {
       case msg_kind::query: {
@@ -295,6 +331,10 @@ mp_result run_message_passing(const mp_config& config) {
     if (!procs[i].crashed && !procs[i].decided) {
       result.all_live_decided = false;
     }
+  }
+  if (obs_on) {
+    obs::emit(obs::event_kind::trial_end, result.last_decision_time,
+              decided_live, 0, result.total_messages);
   }
   return result;
 }

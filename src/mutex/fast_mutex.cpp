@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "memory/sim_memory.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 
 namespace leancon {
@@ -166,6 +167,11 @@ mutex_result run_mutex(const mutex_config& config) {
     if (!halted) queue.push(t, static_cast<int>(i));
   }
 
+  const bool obs_on = obs::enabled();
+  if (obs_on) {
+    obs::emit(obs::event_kind::trial_begin, 0.0, n, config.seed);
+  }
+
   std::uint64_t in_cs_count = 0;
   while (!queue.empty() && result.total_ops < config.max_total_ops) {
     const sim_event ev = queue.pop();
@@ -184,6 +190,16 @@ mutex_result run_mutex(const mutex_config& config) {
     if (m.in_critical_section() != was_in_cs) {
       in_cs_count += m.in_critical_section() ? 1 : -1;
       if (in_cs_count > 1) ++result.overlap_violations;
+      if (obs_on) {
+        if (m.in_critical_section()) {
+          obs::emit(obs::event_kind::cs_enter, ev.time,
+                    static_cast<std::uint64_t>(ev.pid));
+        } else {
+          obs::emit(obs::event_kind::cs_exit, ev.time,
+                    static_cast<std::uint64_t>(ev.pid),
+                    m.completed_entries());
+        }
+      }
     }
 
     if (!m.done()) {
@@ -203,6 +219,10 @@ mutex_result run_mutex(const mutex_config& config) {
     result.total_entries += m.completed_entries();
     result.fast_path_entries += m.fast_path_entries();
     result.canary_violations += m.canary_violations();
+  }
+  if (obs_on) {
+    obs::emit(obs::event_kind::trial_end, result.finish_time,
+              result.all_finished ? n : 0, 0, result.total_ops);
   }
   return result;
 }

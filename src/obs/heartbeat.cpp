@@ -1,0 +1,124 @@
+#include "obs/heartbeat.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "util/json.h"
+
+namespace leancon::obs {
+namespace {
+
+std::uint64_t counter_value(const char* name) {
+  return obs::counter(name)->load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t rss_kb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+heartbeat::heartbeat(const std::string& path, double interval_s)
+    : out_(path, std::ios::app),
+      interval_s_(interval_s < 0.01 ? 0.01 : interval_s) {
+  if (!out_) {
+    throw std::runtime_error("heartbeat: cannot open " + path);
+  }
+  base_cells_ = counter_value("campaign.cells_done");
+  base_trials_ = counter_value("campaign.trials_done");
+  start_ns_ = obs::now_ns();
+  detail::add_status_consumer(+1);
+  thread_ = std::thread([this] { run(); });
+}
+
+heartbeat::~heartbeat() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  emit_line();  // final line with the finished totals
+  detail::add_status_consumer(-1);
+}
+
+void heartbeat::set_totals(std::uint64_t cells, std::uint64_t trials) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cells_total_ = cells;
+  trials_total_ = trials;
+}
+
+void heartbeat::run() {
+  emit_line();  // immediate first line so short runs still report
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto interval = std::chrono::duration<double>(interval_s_);
+  while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+    lock.unlock();
+    emit_line();
+    lock.lock();
+  }
+}
+
+void heartbeat::emit_line() {
+  const double uptime_s =
+      static_cast<double>(obs::now_ns() - start_ns_) / 1e9;
+  const std::uint64_t cells_done =
+      counter_value("campaign.cells_done") - base_cells_;
+  const std::uint64_t trials_done =
+      counter_value("campaign.trials_done") - base_trials_;
+  std::uint64_t cells_total = 0;
+  std::uint64_t trials_total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells_total = cells_total_;
+    trials_total = trials_total_;
+  }
+  const double rate =
+      uptime_s > 0.0 ? static_cast<double>(trials_done) / uptime_s : 0.0;
+  const std::uint64_t remaining =
+      trials_total > trials_done ? trials_total - trials_done : 0;
+  const double eta_s =
+      rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
+
+  auto& os = out_;
+  os << "{\"uptime_s\":";
+  json::write_number(os, uptime_s);
+  os << ",\"cells_done\":";
+  json::write_uint(os, cells_done);
+  os << ",\"cells_total\":";
+  json::write_uint(os, cells_total);
+  os << ",\"trials_done\":";
+  json::write_uint(os, trials_done);
+  os << ",\"trials_total\":";
+  json::write_uint(os, trials_total);
+  os << ",\"trials_per_sec\":";
+  json::write_number(os, rate);
+  os << ",\"eta_s\":";
+  json::write_number(os, eta_s);
+  os << ",\"current_cell\":";
+  json::write_string(os, obs::status());
+  os << ",\"rss_kb\":";
+  json::write_uint(os, rss_kb());
+  os << "}\n";
+  os.flush();
+}
+
+}  // namespace leancon::obs

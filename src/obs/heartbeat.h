@@ -1,0 +1,64 @@
+// Periodic campaign progress heartbeat: one JSON object per line appended
+// to a file, consumable by a supervisor (the ROADMAP's campaign_launch)
+// or a human with tail -f.
+//
+// Line schema (all fields always present):
+//   {"uptime_s": <double>, "cells_done": <u64>, "cells_total": <u64>,
+//    "trials_done": <u64>, "trials_total": <u64>,
+//    "trials_per_sec": <double>, "eta_s": <double>,
+//    "current_cell": <string>, "rss_kb": <u64>}
+//
+// Progress is read from the always-on obs counters the campaign engine
+// bumps ("campaign.cells_done", "campaign.trials_done") relative to their
+// values at construction, so one emitter reports exactly the campaign(s)
+// run during its lifetime. Durations use std::chrono::steady_clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+namespace leancon::obs {
+
+class heartbeat {
+ public:
+  /// Opens `path` for append and starts the emitter thread. Throws
+  /// std::runtime_error if the file cannot be opened. `interval_s` is the
+  /// emission period (clamped to >= 10ms).
+  explicit heartbeat(const std::string& path, double interval_s = 1.0);
+
+  /// Emits one final line and stops the thread.
+  ~heartbeat();
+
+  /// Totals the progress fractions and ETA are computed against.
+  void set_totals(std::uint64_t cells, std::uint64_t trials);
+
+  heartbeat(const heartbeat&) = delete;
+  heartbeat& operator=(const heartbeat&) = delete;
+
+ private:
+  void run();
+  void emit_line();
+
+  std::ofstream out_;
+  double interval_s_;
+  std::uint64_t base_cells_ = 0;
+  std::uint64_t base_trials_ = 0;
+  std::uint64_t cells_total_ = 0;
+  std::uint64_t trials_total_ = 0;
+  std::uint64_t start_ns_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Resident set size in kB from /proc/self/status (0 where unavailable).
+std::uint64_t rss_kb();
+
+}  // namespace leancon::obs

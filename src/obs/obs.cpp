@@ -1,0 +1,240 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace leancon::obs {
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+steady::time_point trace_epoch() {
+  static const steady::time_point epoch = steady::now();
+  return epoch;
+}
+
+// --- per-thread rings -------------------------------------------------------
+
+struct ring {
+  explicit ring(std::size_t capacity, std::uint32_t tid)
+      : slots(capacity), mask(capacity - 1), tid(tid) {}
+
+  std::vector<event> slots;
+  std::size_t mask;
+  std::uint32_t tid;
+  // Total events ever appended (writer-owned; release-published so drain
+  // sees completed slots). Oldest retained index is max(consumed, head-cap).
+  std::atomic<std::uint64_t> head{0};
+  std::uint64_t consumed = 0;  // drain() bookkeeping, guarded by sink mutex
+};
+
+struct sink_state {
+  std::mutex mutex;  // ring registry + capacity + drain
+  std::deque<std::unique_ptr<ring>> rings;
+  std::size_t capacity = std::size_t{1} << 16;
+};
+
+sink_state& sink() {
+  static sink_state* s = new sink_state;  // leaked: threads may outlive exit
+  return *s;
+}
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+ring* this_thread_ring() {
+  thread_local ring* r = nullptr;
+  if (r == nullptr) {
+    auto& s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.rings.push_back(std::make_unique<ring>(
+        s.capacity, static_cast<std::uint32_t>(s.rings.size())));
+    r = s.rings.back().get();
+  }
+  return r;
+}
+
+void append(ring& r, event& e) {
+  const std::uint64_t head = r.head.load(std::memory_order_relaxed);
+  e.tid = r.tid;
+  r.slots[head & r.mask] = e;
+  r.head.store(head + 1, std::memory_order_release);
+}
+
+// --- status -----------------------------------------------------------------
+
+struct status_state {
+  std::mutex mutex;
+  std::string text;
+  std::atomic<int> consumers{0};
+};
+
+status_state& status_store() {
+  static status_state* s = new status_state;
+  return *s;
+}
+
+// --- counters ---------------------------------------------------------------
+
+struct counter_slot {
+  std::string name;
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct counter_state {
+  std::mutex mutex;
+  std::deque<counter_slot> slots;  // deque: stable addresses on growth
+};
+
+counter_state& counters() {
+  static counter_state* s = new counter_state;
+  return *s;
+}
+
+// Honour LEANCON_TRACE=1 before main() so any binary can be traced without
+// growing its own flag.
+const bool g_env_init = [] {
+  const char* v = std::getenv("LEANCON_TRACE");
+  if (v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0')) {
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+
+void add_status_consumer(int delta) {
+  status_store().consumers.fetch_add(delta, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(steady::now() -
+                                                           trace_epoch())
+          .count());
+}
+
+void record(event e) {
+  e.ts_ns = now_ns();
+  append(*this_thread_ring(), e);
+}
+
+void span::record_at(event e) {
+  append(*this_thread_ring(), e);
+}
+
+drained_events drain() {
+  drained_events out;
+  auto& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& rp : s.rings) {
+    ring& r = *rp;
+    const std::uint64_t head = r.head.load(std::memory_order_acquire);
+    const std::uint64_t capacity = r.mask + 1;
+    std::uint64_t first = r.consumed;
+    if (head - first > capacity) {
+      out.dropped += (head - first) - capacity;
+      first = head - capacity;
+    }
+    for (std::uint64_t i = first; i < head; ++i) {
+      out.events.push_back(r.slots[i & r.mask]);
+    }
+    r.consumed = head;
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const event& x, const event& y) {
+                     return x.ts_ns < y.ts_ns;
+                   });
+  return out;
+}
+
+void set_ring_capacity(std::size_t events) {
+  auto& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.capacity = round_up_pow2(events < 2 ? 2 : events);
+}
+
+std::atomic<std::uint64_t>* counter(std::string_view name) {
+  auto& c = counters();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  for (auto& slot : c.slots) {
+    if (slot.name == name) return &slot.value;
+  }
+  c.slots.emplace_back();
+  c.slots.back().name.assign(name);
+  return &c.slots.back().value;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot() {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  auto& c = counters();
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    out.reserve(c.slots.size());
+    for (auto& slot : c.slots) {
+      out.emplace_back(slot.name,
+                       slot.value.load(std::memory_order_relaxed));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool status_active() {
+  return status_store().consumers.load(std::memory_order_relaxed) > 0;
+}
+
+void set_status(std::string s) {
+  auto& st = status_store();
+  if (st.consumers.load(std::memory_order_relaxed) <= 0) return;
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.text = std::move(s);
+}
+
+std::string status() {
+  auto& st = status_store();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return st.text;
+}
+
+std::string_view kind_name(event_kind k) {
+  switch (k) {
+    case event_kind::trial_begin: return "trial_begin";
+    case event_kind::trial_end: return "trial_end";
+    case event_kind::round_advance: return "round_advance";
+    case event_kind::pref_switch: return "pref_switch";
+    case event_kind::halt: return "halt";
+    case event_kind::crash: return "crash";
+    case event_kind::decision: return "decision";
+    case event_kind::msg_send: return "msg_send";
+    case event_kind::msg_deliver: return "msg_deliver";
+    case event_kind::msg_drop: return "msg_drop";
+    case event_kind::dispatch: return "dispatch";
+    case event_kind::preemption: return "preemption";
+    case event_kind::cs_enter: return "cs_enter";
+    case event_kind::cs_exit: return "cs_exit";
+    case event_kind::frontier: return "frontier";
+    case event_kind::explore_begin: return "explore_begin";
+    case event_kind::explore_end: return "explore_end";
+    case event_kind::span: return "span";
+    case event_kind::mark: return "mark";
+  }
+  return "unknown";
+}
+
+}  // namespace leancon::obs

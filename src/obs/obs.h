@@ -1,0 +1,202 @@
+// Observability core: a process-wide tracing flag, typed trial/engine
+// events collected in per-thread ring buffers, RAII span timers, and a
+// registry of always-on counters.
+//
+// Design contract (PR 6 hot path depends on it):
+//   - Tracing is OFF by default. Every event-recording site is guarded by a
+//     branch-predictable `if (obs::enabled())` (or a bool cached once per
+//     trial), so the disabled cost is one relaxed atomic load per guard and
+//     all committed goldens stay byte-identical.
+//   - Counters are always on but are only bumped at coarse boundaries
+//     (per chunk / cell / batch / merge), never per simulated op.
+//   - Event append is lock-free: each thread owns a private ring buffer
+//     (registry mutex taken only on a thread's first event). Rings have
+//     bounded memory; when one wraps, the oldest events are overwritten and
+//     counted as dropped. `drain()` is meant to run while recording threads
+//     are quiescent (after a pool batch / at end of a trial); it is not a
+//     concurrent consumer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace leancon::obs {
+
+// ---------------------------------------------------------------------------
+// Runtime flag
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when event tracing is on. Relaxed load; safe to call from any
+/// thread at any frequency.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips event tracing. Also honoured at process start: setting the
+/// LEANCON_TRACE environment variable to anything but "0" enables tracing
+/// before main() runs (useful for binaries without their own flag).
+void set_enabled(bool on);
+
+// ---------------------------------------------------------------------------
+// Events
+
+/// Typed events. The payload fields a/b/c are interpreted per kind (see
+/// arg_names in trace_json.cpp and the table in kind_name's definition).
+enum class event_kind : std::uint8_t {
+  trial_begin,    ///< a=n, b=seed
+  trial_end,      ///< a=decided count, b=max round, c=total ops
+  round_advance,  ///< a=pid, b=new round
+  pref_switch,    ///< a=pid, b=cumulative switches
+  halt,           ///< a=pid (random halt drawn by the simulator)
+  crash,          ///< a=victim, b=killer pid (adversary action)
+  decision,       ///< a=pid, b=value, c=round
+  msg_send,       ///< a=from, b=to, c=message kind
+  msg_deliver,    ///< a=from, b=to, c=message kind
+  msg_drop,       ///< a=from, b=to, c=message kind
+  dispatch,       ///< a=pid, b=quantum/dispatch index
+  preemption,     ///< a=victim, b=preempting pid
+  cs_enter,       ///< a=pid, b=1 if via fast path
+  cs_exit,        ///< a=pid, b=completed entries
+  frontier,       ///< a=states visited, b=frontier size, c=depth
+  explore_begin,  ///< a=state budget, b=depth budget
+  explore_end,    ///< a=states visited, b=1 if violation found
+  span,           ///< completed span: name + dur_ns
+  mark,           ///< free-form instant: name + payloads
+};
+
+/// Stable lowercase name for a kind ("round_advance", ...).
+std::string_view kind_name(event_kind k);
+
+/// One recorded event. POD; `name` must point at static storage (string
+/// literals) — rings outlive any dynamic string a caller could pass.
+struct event {
+  std::uint64_t ts_ns = 0;   ///< steady-clock ns since process trace epoch
+  std::uint64_t dur_ns = 0;  ///< span kind only
+  const char* name = nullptr;  ///< span/mark label; null => kind_name(kind)
+  double sim_time = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint32_t tid = 0;  ///< recording thread (small dense index)
+  event_kind kind = event_kind::mark;
+};
+
+/// Steady-clock nanoseconds since the process trace epoch (first use).
+std::uint64_t now_ns();
+
+/// Appends one event to the calling thread's ring. ts_ns and tid are filled
+/// in here. Callers are expected to guard with enabled() (or a cached copy);
+/// recording while disabled is harmless but wasted work.
+void record(event e);
+
+/// Convenience: record a typed instant carrying a simulated timestamp.
+inline void emit(event_kind k, double sim_time, std::uint64_t a = 0,
+                 std::uint64_t b = 0, std::uint64_t c = 0) {
+  event e;
+  e.kind = k;
+  e.sim_time = sim_time;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  record(e);
+}
+
+/// Convenience: record a named instant on the wall-clock track.
+inline void mark(const char* name, std::uint64_t a = 0, std::uint64_t b = 0,
+                 std::uint64_t c = 0) {
+  event e;
+  e.kind = event_kind::mark;
+  e.name = name;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  record(e);
+}
+
+/// Result of drain(): all buffered events merged across threads in
+/// timestamp order, plus how many were lost to ring wrap.
+struct drained_events {
+  std::vector<event> events;
+  std::uint64_t dropped = 0;
+};
+
+/// Collects and clears every thread's buffered events. Call while recording
+/// threads are quiescent (concurrent recorders may race with the copy-out).
+drained_events drain();
+
+/// Sets the per-thread ring capacity (rounded up to a power of two) for
+/// rings created *after* this call; existing rings keep their size. Call
+/// early — e.g. explain_trial raises it before the trial starts.
+void set_ring_capacity(std::size_t events);
+
+// ---------------------------------------------------------------------------
+// Counters (always on; coarse-grained)
+
+/// Returns a stable pointer to the named counter cell, registering it on
+/// first use. Typical call site:
+///     static auto* c = obs::counter("pool.batches");
+///     c->fetch_add(1, std::memory_order_relaxed);
+std::atomic<std::uint64_t>* counter(std::string_view name);
+
+/// Snapshot of every registered counter, sorted by name.
+std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot();
+
+// ---------------------------------------------------------------------------
+// Spans
+
+/// RAII wall-clock timer. Emits one `span` event (with dur_ns) on
+/// destruction when tracing was enabled at construction. `name` must be a
+/// string literal / static storage.
+class span {
+ public:
+  explicit span(const char* name)
+      : name_(name), armed_(enabled()), start_(armed_ ? now_ns() : 0) {}
+  ~span() {
+    if (!armed_) return;
+    event e;
+    e.kind = event_kind::span;
+    e.name = name_;
+    e.ts_ns = start_;
+    e.dur_ns = now_ns() - start_;
+    record_at(e);
+  }
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+
+ private:
+  // Like record() but keeps the caller-provided ts_ns (the span start).
+  static void record_at(event e);
+
+  const char* name_;
+  bool armed_;
+  std::uint64_t start_;
+};
+
+// ---------------------------------------------------------------------------
+// Status line (what is this process working on right now?)
+
+/// Cheap no-op unless a consumer (the heartbeat emitter) is active, so the
+/// campaign engine can call it per chunk unconditionally.
+void set_status(std::string s);
+
+/// True while a status consumer is registered. Callers whose status string
+/// is costly to build should check this first.
+bool status_active();
+
+/// Last status set (empty if none). Used by the heartbeat emitter.
+std::string status();
+
+namespace detail {
+/// Heartbeat registration: set_status only stores while >0 consumers exist.
+void add_status_consumer(int delta);
+}  // namespace detail
+
+}  // namespace leancon::obs

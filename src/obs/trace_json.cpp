@@ -1,0 +1,189 @@
+#include "obs/trace_json.h"
+
+#include <cmath>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace leancon::obs {
+namespace {
+
+// Trace-process ids: real time vs simulated time (see header).
+constexpr int kWallPid = 0;
+constexpr int kSimPid = 1;
+// Trial-scoped sim events (begin/end, frontier) share one sentinel lane
+// instead of a per-process lane.
+constexpr std::uint32_t kTrialLane = 9999;
+
+struct arg_names_t {
+  const char* a;
+  const char* b;
+  const char* c;
+};
+
+arg_names_t arg_names(event_kind k) {
+  switch (k) {
+    case event_kind::trial_begin: return {"n", "seed", nullptr};
+    case event_kind::trial_end: return {"decided", "round", "total_ops"};
+    case event_kind::round_advance: return {"pid", "round", nullptr};
+    case event_kind::pref_switch: return {"pid", "switches", nullptr};
+    case event_kind::halt: return {"pid", nullptr, nullptr};
+    case event_kind::crash: return {"victim", "by", nullptr};
+    case event_kind::decision: return {"pid", "value", "round"};
+    case event_kind::msg_send:
+    case event_kind::msg_deliver:
+    case event_kind::msg_drop: return {"from", "to", "kind"};
+    case event_kind::dispatch: return {"pid", "index", nullptr};
+    case event_kind::preemption: return {"victim", "by", nullptr};
+    case event_kind::cs_enter: return {"pid", "fast", nullptr};
+    case event_kind::cs_exit: return {"pid", "entries", nullptr};
+    case event_kind::frontier: return {"visited", "frontier", "depth"};
+    case event_kind::explore_begin: return {"state_budget", "depth_budget", nullptr};
+    case event_kind::explore_end: return {"visited", "violation", nullptr};
+    case event_kind::span:
+    case event_kind::mark: return {"a", "b", "c"};
+  }
+  return {"a", "b", "c"};
+}
+
+// Does this event belong on the simulated-time track?
+bool on_sim_track(const event& e) {
+  return std::isfinite(e.sim_time) && e.kind != event_kind::span &&
+         e.kind != event_kind::mark;
+}
+
+// Thread lane within the simulated-time process.
+std::uint32_t sim_lane(const event& e) {
+  switch (e.kind) {
+    case event_kind::msg_deliver:
+      return static_cast<std::uint32_t>(e.b);  // receiver's lane
+    case event_kind::trial_begin:
+    case event_kind::trial_end:
+    case event_kind::frontier:
+    case event_kind::explore_begin:
+    case event_kind::explore_end:
+      return kTrialLane;
+    default:
+      return static_cast<std::uint32_t>(e.a);  // pid-like first payload
+  }
+}
+
+void write_args(std::ostream& os, const event& e) {
+  const arg_names_t names = arg_names(e.kind);
+  os << "\"args\":{";
+  bool first = true;
+  auto field = [&](const char* name, std::uint64_t v) {
+    if (name == nullptr) return;
+    if (!first) os << ",";
+    first = false;
+    json::write_string(os, name);
+    os << ":";
+    json::write_uint(os, v);
+  };
+  field(names.a, e.a);
+  field(names.b, e.b);
+  field(names.c, e.c);
+  os << "}";
+}
+
+void write_event(std::ostream& os, const event& e) {
+  const std::string name(e.name != nullptr ? std::string_view(e.name)
+                                           : kind_name(e.kind));
+  os << "{\"name\":";
+  json::write_string(os, name);
+  if (e.kind == event_kind::span) {
+    os << ",\"ph\":\"X\",\"pid\":" << kWallPid << ",\"tid\":" << e.tid
+       << ",\"ts\":";
+    json::write_number(os, static_cast<double>(e.ts_ns) / 1000.0);
+    os << ",\"dur\":";
+    json::write_number(os, static_cast<double>(e.dur_ns) / 1000.0);
+    os << ",";
+    write_args(os, e);
+    os << "}";
+    return;
+  }
+  const bool sim = on_sim_track(e);
+  os << ",\"cat\":";
+  json::write_string(os, std::string(kind_name(e.kind)));
+  os << ",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << (sim ? kSimPid : kWallPid)
+     << ",\"tid\":" << (sim ? sim_lane(e) : e.tid) << ",\"ts\":";
+  json::write_number(os, sim ? e.sim_time * 1e6
+                             : static_cast<double>(e.ts_ns) / 1000.0);
+  os << ",";
+  write_args(os, e);
+  os << "}";
+}
+
+void write_metadata(std::ostream& os, int pid, std::uint32_t tid,
+                    const char* what, const std::string& name) {
+  os << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid;
+  if (what[0] == 't') os << ",\"tid\":" << tid;
+  os << ",\"args\":{\"name\":";
+  json::write_string(os, name);
+  os << "}}";
+}
+
+}  // namespace
+
+void write_trace_json(
+    std::ostream& os, const std::vector<event>& events,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  sep();
+  write_metadata(os, kWallPid, 0, "process_name", "wall clock");
+  sep();
+  write_metadata(os, kSimPid, 0, "process_name", "simulated time");
+
+  // Name the simulated lanes that actually appear.
+  std::set<std::uint32_t> lanes;
+  std::uint64_t last_ts_ns = 0;
+  for (const event& e : events) {
+    if (on_sim_track(e)) lanes.insert(sim_lane(e));
+    const std::uint64_t end = e.ts_ns + e.dur_ns;
+    if (end > last_ts_ns) last_ts_ns = end;
+  }
+  for (std::uint32_t lane : lanes) {
+    sep();
+    write_metadata(os, kSimPid, lane, "thread_name",
+                   lane == kTrialLane ? std::string("trial")
+                                      : "p" + std::to_string(lane));
+  }
+
+  for (const event& e : events) {
+    sep();
+    write_event(os, e);
+  }
+
+  // Final counter values as Chrome counter tracks at the last timestamp.
+  for (const auto& [name, value] : counters) {
+    sep();
+    os << "{\"name\":";
+    json::write_string(os, name);
+    os << ",\"ph\":\"C\",\"pid\":" << kWallPid << ",\"tid\":0,\"ts\":";
+    json::write_number(os, static_cast<double>(last_ts_ns) / 1000.0);
+    os << ",\"args\":{\"value\":";
+    json::write_uint(os, value);
+    os << "}}";
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string trace_json(
+    const std::vector<event>& events,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  std::ostringstream os;
+  write_trace_json(os, events, counters);
+  return os.str();
+}
+
+}  // namespace leancon::obs

@@ -1,0 +1,32 @@
+// Chrome trace-event / Perfetto JSON export for drained obs events.
+//
+// Layout: two trace "processes". pid 0 ("wall clock") carries spans,
+// marks, and counter tracks on real (steady-clock) time in microseconds;
+// pid 1 ("simulated time") carries per-trial events with ts = simulated
+// time * 1e6 and one thread lane per simulated process, so Perfetto shows
+// the schedule the simulator actually produced. Load the file at
+// https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace leancon::obs {
+
+/// Writes the events (and a final snapshot of the counters, as Chrome "C"
+/// counter events) as a complete Chrome trace-event JSON document.
+void write_trace_json(
+    std::ostream& os, const std::vector<event>& events,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters);
+
+/// As write_trace_json, into a string.
+std::string trace_json(
+    const std::vector<event>& events,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters);
+
+}  // namespace leancon::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/invariants.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace leancon {
@@ -144,6 +145,17 @@ hybrid_result run_hybrid(const hybrid_config& config,
   std::uint64_t total_ops = 0;
   std::vector<int> legal;
 
+  // Uniprocessor executions have no simulated clock; traced events use the
+  // operation count as their timeline.
+  const bool obs_on = obs::enabled();
+  std::vector<std::uint64_t> obs_rounds;
+  if (obs_on) {
+    obs_rounds.assign(n, 1);
+    // The uniprocessor runner has no seed of its own (the adversary carries
+    // the randomness); the begin event reports n only.
+    obs::emit(obs::event_kind::trial_begin, 0.0, n, 0);
+  }
+
   auto remaining = [&]() {
     std::size_t live = 0;
     for (const auto& v : view) {
@@ -183,7 +195,19 @@ hybrid_result run_hybrid(const hybrid_config& config,
       for (int pid : legal) ok = ok || pid == choice;
       if (!ok) throw std::logic_error("preemption adversary made illegal pick");
       ++result.dispatches;
-      if (running_usable && choice != running) ++result.preemptions;
+      if (running_usable && choice != running) {
+        ++result.preemptions;
+        if (obs_on) {
+          obs::emit(obs::event_kind::preemption,
+                    static_cast<double>(total_ops),
+                    static_cast<std::uint64_t>(running),
+                    static_cast<std::uint64_t>(choice));
+        }
+      }
+      if (obs_on) {
+        obs::emit(obs::event_kind::dispatch, static_cast<double>(total_ops),
+                  static_cast<std::uint64_t>(choice), result.dispatches);
+      }
       running = choice;
       auto& v = view[static_cast<std::size_t>(running)];
       if (!first_dispatch) v.quantum_remaining = config.quantum;
@@ -200,10 +224,20 @@ hybrid_result run_hybrid(const hybrid_config& config,
     ++v.ops;
     ++total_ops;
     if (v.quantum_remaining > 0) --v.quantum_remaining;
+    if (obs_on && m.round() != obs_rounds[static_cast<std::size_t>(running)]) {
+      obs_rounds[static_cast<std::size_t>(running)] = m.round();
+      obs::emit(obs::event_kind::round_advance, static_cast<double>(total_ops),
+                static_cast<std::uint64_t>(running), m.round());
+    }
     if (m.done()) {
       v.done = true;
       checker.on_decision(running, m.decision(), m.round());
       if (result.decision == -1) result.decision = m.decision();
+      if (obs_on) {
+        obs::emit(obs::event_kind::decision, static_cast<double>(total_ops),
+                  static_cast<std::uint64_t>(running),
+                  static_cast<std::uint64_t>(m.decision()), m.round());
+      }
     }
   }
 
@@ -215,6 +249,10 @@ hybrid_result run_hybrid(const hybrid_config& config,
         std::max(result.max_ops_per_process, view[i].ops);
   }
   result.violations = checker.violations();
+  if (obs_on) {
+    obs::emit(obs::event_kind::trial_end, static_cast<double>(total_ops),
+              result.all_decided ? n : 0, 0, total_ops);
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "core/lean_machine.h"
 #include "backup/backup_machine.h"
 #include "memory/sim_memory.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 
 namespace leancon {
@@ -83,6 +84,7 @@ struct sim_workspace {
   std::vector<int> decisions;
   std::vector<std::uint64_t> ops;
   std::vector<std::uint64_t> rounds;
+  std::vector<std::uint64_t> obs_prefs;  ///< last seen switch counts (tracing)
   // Fast-path pre-drawn increments: pending_inc[p]/pending_halt[p] hold the
   // NEXT draw off streams[p], made early so the sampler's latency overlaps
   // the tournament replay instead of extending it. Behind them sits a
@@ -126,10 +128,14 @@ sim_result run_simulation(const sim_config& config, std::uint64_t seed,
   }
 
   const bool track_views = config.crashes != nullptr;
+  // Event tracing runs on the general loop: it produces bit-identical
+  // results (documented below) and has natural per-event emission points.
+  // The flag is sampled once per trial so the hot loops never re-load it.
+  const bool obs_on = obs::enabled();
   // The fast path below needs the draws to be position-independent; decided
   // before the init loop so it can pre-draw each stream's next increment.
-  const bool pipelined =
-      config.crashes == nullptr && !next_increment.schedule_sensitive();
+  const bool pipelined = config.crashes == nullptr &&
+                         !next_increment.schedule_sensitive() && !obs_on;
   ws.sched.reset(n);
   ws.machines.clear();
   ws.machines.reserve(n);
@@ -150,6 +156,10 @@ sim_result run_simulation(const sim_config& config, std::uint64_t seed,
     ws.inc_buf.resize(n * kIncBatch);
     ws.halt_buf.resize(n * kIncBatch);
     ws.buf_pos.assign(n, 0);
+  }
+  if (obs_on) {
+    ws.obs_prefs.assign(n, 0);
+    obs::emit(obs::event_kind::trial_begin, 0.0, n, seed);
   }
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -187,6 +197,7 @@ sim_result run_simulation(const sim_config& config, std::uint64_t seed,
       ws.halted[i] = 1;
       if (track_views) ws.views[i].halted = true;
       ++result.halted_processes;
+      if (obs_on) obs::emit(obs::event_kind::halt, t, i);
     } else {
       // prime() assigns sequence numbers in pid order, exactly like the
       // pushes the generic heap used to see.
@@ -332,6 +343,7 @@ sim_result run_simulation(const sim_config& config, std::uint64_t seed,
     }
   }
 
+  double obs_last_time = 0.0;  // latest executed-event time (tracing only)
   while (!pipelined && !ws.sched.empty()) {
     if (result.total_ops >= max_total_ops) {
       result.budget_exhausted = true;
@@ -340,6 +352,7 @@ sim_result run_simulation(const sim_config& config, std::uint64_t seed,
     const sim_event ev = ws.sched.top();
     const auto pid = static_cast<std::size_t>(ev.pid);
     auto& machine = deref(ws.machines[pid]);
+    if (obs_on) obs_last_time = ev.time;
     if (ws.halted[pid] || ws.decided[pid]) {
       // Stale event: the process was crashed by the adversary after this
       // event was scheduled. The generic heap popped and skipped it; the
@@ -369,8 +382,20 @@ sim_result run_simulation(const sim_config& config, std::uint64_t seed,
     // Update bookkeeping visible to adaptive adversaries and metrics.
     const std::uint64_t lr = machine.lean_round();
     if (lr != 0) {
+      if (obs_on && lr != ws.rounds[pid]) {
+        obs::emit(obs::event_kind::round_advance, ev.time,
+                  static_cast<std::uint64_t>(ev.pid), lr);
+      }
       ws.rounds[pid] = lr;
       result.max_round_reached = std::max(result.max_round_reached, lr);
+    }
+    if (obs_on) {
+      const std::uint64_t switches = machine.preference_switches();
+      if (switches != ws.obs_prefs[pid]) {
+        ws.obs_prefs[pid] = switches;
+        obs::emit(obs::event_kind::pref_switch, ev.time,
+                  static_cast<std::uint64_t>(ev.pid), switches);
+      }
     }
     if (track_views) {
       ws.views[pid].round = ws.rounds[pid];
@@ -384,6 +409,12 @@ sim_result run_simulation(const sim_config& config, std::uint64_t seed,
       if (track_views) ws.views[pid].decided = true;
       ++decided_live;
       const std::uint64_t round = machine.lean_round();
+      if (obs_on) {
+        obs::emit(obs::event_kind::decision, ev.time,
+                  static_cast<std::uint64_t>(ev.pid),
+                  static_cast<std::uint64_t>(ws.decisions[pid]),
+                  round != 0 ? round : ws.rounds[pid]);
+      }
       if (checker) {
         if (round != 0) {
           checker->on_decision(ev.pid, ws.decisions[pid], round);
@@ -428,6 +459,10 @@ sim_result run_simulation(const sim_config& config, std::uint64_t seed,
           ws.halted[v] = 1;
           ws.views[v].halted = true;
           ++result.halted_processes;
+          if (obs_on) {
+            obs::emit(obs::event_kind::crash, ev.time, v,
+                      static_cast<std::uint64_t>(ev.pid));
+          }
           if (live_undecided() == 0) break;
           // The victim's pending event, if any, becomes stale and is skipped
           // when popped.
@@ -449,10 +484,19 @@ sim_result run_simulation(const sim_config& config, std::uint64_t seed,
       ws.halted[pid] = 1;
       if (track_views) ws.views[pid].halted = true;
       ++result.halted_processes;
+      if (obs_on) {
+        obs::emit(obs::event_kind::halt, ev.time + inc,
+                  static_cast<std::uint64_t>(ev.pid));
+      }
       if (live_undecided() == 0) break;
     } else {
       ws.sched.reschedule_top(ev.time + inc);
     }
+  }
+
+  if (obs_on) {
+    obs::emit(obs::event_kind::trial_end, obs_last_time, decided_live,
+              result.max_round_reached, result.total_ops);
   }
 
   result.all_live_decided = live_undecided() == 0 && decided_live > 0;

@@ -1,0 +1,390 @@
+// Tests for the observability layer (src/obs/): ring buffering and wrap
+// accounting, span nesting and monotonicity, Chrome trace-event JSON
+// structure, heartbeat line schema, counters — and the two identity
+// contracts the instrumentation must uphold: with tracing DISABLED the
+// fig1 smoke grid reproduces the committed BENCH baseline's series bytes
+// exactly, and with tracing ENABLED trial results do not change.
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/campaign.h"
+#include "exp/worker_pool.h"
+#include "harness.h"
+#include "noise/catalog.h"
+#include "obs/heartbeat.h"
+#include "obs/trace_json.h"
+#include "scenario/scenario.h"
+#include "util/json.h"
+
+namespace leancon {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// RAII tracing toggle so a failing assertion cannot leak tracing into
+/// later tests.
+struct scoped_tracing {
+  explicit scoped_tracing(bool on) { obs::set_enabled(on); }
+  ~scoped_tracing() {
+    obs::set_enabled(false);
+    obs::drain();
+  }
+};
+
+TEST(ObsRing, WrapKeepsNewestEventsInOrderAndCountsDropped) {
+  obs::drain();  // discard anything earlier tests left buffered
+  constexpr std::uint64_t kTotal = 200;
+  constexpr std::uint64_t kCapacity = 64;
+  obs::set_ring_capacity(kCapacity);
+  {
+    scoped_tracing on(true);
+    // A fresh thread gets a fresh ring at the just-set capacity (the
+    // capacity only applies to rings created after the call).
+    std::thread writer([] {
+      for (std::uint64_t i = 0; i < kTotal; ++i) {
+        obs::mark("test.wrap", i);
+      }
+    });
+    writer.join();
+    const obs::drained_events drained = obs::drain();
+
+    std::vector<std::uint64_t> payloads;
+    for (const auto& e : drained.events) {
+      if (e.kind == obs::event_kind::mark && e.name != nullptr &&
+          std::string_view(e.name) == "test.wrap") {
+        payloads.push_back(e.a);
+      }
+    }
+    // The ring wraps: only the newest kCapacity events survive, in append
+    // order, and the overwritten ones are accounted as dropped.
+    ASSERT_EQ(payloads.size(), kCapacity);
+    for (std::uint64_t i = 0; i < kCapacity; ++i) {
+      EXPECT_EQ(payloads[i], kTotal - kCapacity + i) << i;
+    }
+    EXPECT_EQ(drained.dropped, kTotal - kCapacity);
+  }
+}
+
+TEST(ObsRing, DrainClearsAndSecondDrainIsEmpty) {
+  obs::drain();
+  {
+    scoped_tracing on(true);
+    obs::mark("test.clear", 1);
+    const auto first = obs::drain();
+    bool found = false;
+    for (const auto& e : first.events) {
+      found = found || (e.name != nullptr &&
+                        std::string_view(e.name) == "test.clear");
+    }
+    EXPECT_TRUE(found);
+    const auto second = obs::drain();
+    for (const auto& e : second.events) {
+      EXPECT_TRUE(e.name == nullptr ||
+                  std::string_view(e.name) != "test.clear");
+    }
+  }
+}
+
+TEST(ObsSpan, NestedSpansStayWithinParentAndAreMonotone) {
+  obs::drain();
+  {
+    scoped_tracing on(true);
+    {
+      obs::span outer("test.outer");
+      {
+        obs::span inner("test.inner");
+        obs::mark("test.inside");
+      }
+    }
+    const auto drained = obs::drain();
+    const obs::event* outer_ev = nullptr;
+    const obs::event* inner_ev = nullptr;
+    for (const auto& e : drained.events) {
+      if (e.kind != obs::event_kind::span || e.name == nullptr) continue;
+      if (std::string_view(e.name) == "test.outer") outer_ev = &e;
+      if (std::string_view(e.name) == "test.inner") inner_ev = &e;
+    }
+    ASSERT_NE(outer_ev, nullptr);
+    ASSERT_NE(inner_ev, nullptr);
+    // The inner span nests inside the outer one on the wall clock.
+    EXPECT_GE(inner_ev->ts_ns, outer_ev->ts_ns);
+    EXPECT_LE(inner_ev->ts_ns + inner_ev->dur_ns,
+              outer_ev->ts_ns + outer_ev->dur_ns);
+    // Spans end no later than "now" — the steady-clock regression guard:
+    // a wall-clock (system_clock) regression would show up as spans that
+    // jump around NTP adjustments.
+    const std::uint64_t now = obs::now_ns();
+    EXPECT_LE(outer_ev->ts_ns + outer_ev->dur_ns, now);
+    EXPECT_LE(inner_ev->ts_ns + inner_ev->dur_ns, now);
+  }
+}
+
+TEST(ObsClock, NowIsMonotoneNonDecreasing) {
+  std::uint64_t last = obs::now_ns();
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t now = obs::now_ns();
+    ASSERT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(ObsDrain, EventsAreTimestampOrdered) {
+  obs::drain();
+  {
+    scoped_tracing on(true);
+    std::thread other([] {
+      for (int i = 0; i < 50; ++i) obs::mark("test.order.other", i);
+    });
+    for (int i = 0; i < 50; ++i) obs::mark("test.order.main", i);
+    other.join();
+    const auto drained = obs::drain();
+    for (std::size_t i = 1; i < drained.events.size(); ++i) {
+      ASSERT_GE(drained.events[i].ts_ns, drained.events[i - 1].ts_ns) << i;
+    }
+  }
+}
+
+TEST(ObsCounters, RegistryIsStableAndSnapshotSorted) {
+  auto* c1 = obs::counter("test.counter.alpha");
+  auto* c2 = obs::counter("test.counter.beta");
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(c2, nullptr);
+  EXPECT_EQ(c1, obs::counter("test.counter.alpha"));
+  const std::uint64_t before = c1->load();
+  c1->fetch_add(3);
+  c2->fetch_add(1);
+  const auto snapshot = obs::counter_snapshot();
+  bool found = false;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (i > 0) EXPECT_LT(snapshot[i - 1].first, snapshot[i].first);
+    if (snapshot[i].first == "test.counter.alpha") {
+      found = true;
+      EXPECT_EQ(snapshot[i].second, before + 3);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsTraceJson, OutputRoundTripsThroughJsonParser) {
+  obs::drain();
+  std::string text;
+  {
+    scoped_tracing on(true);
+    obs::emit(obs::event_kind::trial_begin, 0.0, 4, 7);
+    obs::emit(obs::event_kind::round_advance, 1.5, 2, 3);
+    obs::emit(obs::event_kind::decision, 2.0, 1, 0, 2);
+    { obs::span s("test.json.span"); }
+    obs::counter("test.json.counter")->fetch_add(5);
+    const auto drained = obs::drain();
+    text = obs::trace_json(drained.events, obs::counter_snapshot());
+  }
+
+  const json::value doc = json::parse(text);
+  ASSERT_TRUE(doc.is(json::value::kind::object));
+  const json::value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is(json::value::kind::array));
+  ASSERT_FALSE(events->items.empty());
+
+  bool saw_instant = false, saw_span = false, saw_counter = false;
+  for (const auto& ev : events->items) {
+    ASSERT_TRUE(ev.is(json::value::kind::object));
+    const json::value* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(ev.find("name"), nullptr);
+    ASSERT_NE(ev.find("pid"), nullptr);
+    if (ph->str == "i") {
+      saw_instant = true;
+      EXPECT_NE(ev.find("ts"), nullptr);
+      EXPECT_NE(ev.find("args"), nullptr);
+    } else if (ph->str == "X") {
+      saw_span = true;
+      EXPECT_NE(ev.find("dur"), nullptr);
+    } else if (ph->str == "C") {
+      saw_counter = true;
+      const json::value* args = ev.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_NE(args->find("value"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(ObsHeartbeat, LinesCarryTheDocumentedSchema) {
+  const std::string path = testing::TempDir() + "obs_heartbeat_test.jsonl";
+  std::remove(path.c_str());
+  {
+    obs::heartbeat hb(path, 0.02);
+    hb.set_totals(3, 300);
+    obs::set_status("cell A");
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  }  // destructor emits a final line and joins the thread
+  std::istringstream lines(read_file(path));
+  std::string line;
+  std::string last;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const json::value hb = json::parse(line);
+    ASSERT_TRUE(hb.is(json::value::kind::object)) << line;
+    for (const char* field :
+         {"uptime_s", "cells_done", "cells_total", "trials_done",
+          "trials_total", "trials_per_sec", "eta_s", "rss_kb"}) {
+      const json::value* v = hb.find(field);
+      ASSERT_NE(v, nullptr) << field;
+      EXPECT_TRUE(v->is(json::value::kind::number)) << field;
+    }
+    const json::value* cell = hb.find("current_cell");
+    ASSERT_NE(cell, nullptr);
+    EXPECT_TRUE(cell->is(json::value::kind::string));
+    last = line;
+    ++count;
+  }
+  // At least the immediate line plus the final line.
+  EXPECT_GE(count, 2u);
+  // The first line may precede set_totals (it is emitted immediately so
+  // short runs still report); the final line must carry the totals.
+  const json::value final_line = json::parse(last);
+  EXPECT_EQ(final_line.find("cells_total")->num, 3.0);
+  EXPECT_EQ(final_line.find("trials_total")->num, 300.0);
+}
+
+// --- Identity contracts ----------------------------------------------------
+
+std::vector<campaign_cell> fig1_smoke_grid() {
+  // The exact grid of the committed smoke baseline (bench/fig1_mean_round
+  // with --nmax=100 --trials=20 --op-budget=200000 --seed=20000625).
+  const auto catalog = figure1_catalog();
+  const std::uint64_t seed = 20000625;
+  std::vector<campaign_cell> cells;
+  for (const std::uint64_t n : {1u, 10u, 100u}) {
+    for (std::size_t d = 0; d < catalog.size(); ++d) {
+      const std::uint64_t per_trial = n * 48 + 8;
+      campaign_cell cell;
+      cell.scenario = "figure1-" + catalog[d].key;
+      cell.params.n = n;
+      cell.params.seed = seed + d * 1000003 + n;
+      cell.trials = std::max<std::uint64_t>(
+          6, std::min<std::uint64_t>(20, 200000 / per_trial));
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+/// The `"series": [...]` section of a BENCH json text — the deterministic
+/// part (counters and seconds carry wall-clock values).
+std::string series_section(const std::string& text) {
+  const std::size_t begin = text.find("\"series\"");
+  const std::size_t end = text.find("\"counters\"");
+  EXPECT_NE(begin, std::string::npos);
+  EXPECT_NE(end, std::string::npos);
+  return text.substr(begin, end - begin);
+}
+
+TEST(ObsIdentity, TracingDisabledReproducesBaselineSeriesBytes) {
+  // Tracing compiled in but DISABLED must leave the committed golden
+  // byte-identical: rebuild the fig1 smoke grid, emit the same series
+  // through the same serializer, and compare the series section bytes
+  // against bench/baselines/BENCH_fig1_mean_round.json.
+  ASSERT_FALSE(obs::enabled());
+  const auto cells = fig1_smoke_grid();
+  worker_pool pool(4);
+  campaign_options opts;
+  opts.threads = 4;
+  opts.pool = &pool;
+  const auto results = run_campaign(cells, opts);
+
+  const auto catalog = figure1_catalog();
+  bench::results res;
+  res.bench = "fig1_mean_round";
+  std::vector<bench::series*> json_series;
+  for (const auto& entry : catalog) {
+    res.series_list.push_back({"mean_round", entry.dist->name(), {}});
+    json_series.push_back(&res.series_list.back());
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::size_t d = i % catalog.size();
+    const auto& m = results[i].metrics;
+    json_series[d]
+        ->at(static_cast<double>(results[i].cell.params.n))
+        .set("mean_round", m.get("mean_round"))
+        .set("ci95", m.get("round_ci95"))
+        .set("trials", m.get("trials"));
+  }
+
+  const std::string baseline =
+      read_file(std::string(LEANCON_SOURCE_DIR) +
+                "/bench/baselines/BENCH_fig1_mean_round.json");
+  EXPECT_EQ(series_section(bench::to_json(res)), series_section(baseline));
+}
+
+TEST(ObsIdentity, TracingEnabledDoesNotChangeTrialResults) {
+  // Tracing ON must not perturb results either: the simulator falls back
+  // from the pipelined loop to the general loop, whose results are
+  // bit-identical by the documented loop-equivalence contract. Checked
+  // across all backend families.
+  const std::vector<std::pair<std::string, std::uint64_t>> presets = {
+      {"figure1-exp1", 16}, {"mp-abd", 4},         {"mutex-noise", 4},
+      {"hybrid-quantum", 4}, {"check-lean-n2", 2},
+  };
+  for (const auto& [preset, n] : presets) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      scenario_params params;
+      params.n = n;
+      params.seed = seed;
+      obs::set_enabled(false);
+      const trial_outcome off = run_scenario_trial(preset, params, seed);
+      trial_outcome on;
+      {
+        scoped_tracing tracing(true);
+        on = run_scenario_trial(preset, params, seed);
+      }
+      EXPECT_EQ(off.decided, on.decided) << preset << " seed " << seed;
+      EXPECT_EQ(off.violation, on.violation) << preset << " seed " << seed;
+      EXPECT_EQ(off.backup, on.backup) << preset << " seed " << seed;
+      const auto& eo = off.metrics.entries();
+      const auto& en = on.metrics.entries();
+      ASSERT_EQ(eo.size(), en.size()) << preset << " seed " << seed;
+      for (std::size_t i = 0; i < eo.size(); ++i) {
+        EXPECT_EQ(eo[i].name, en[i].name) << preset;
+        if (eo[i].is_counter) {
+          EXPECT_EQ(eo[i].total, en[i].total) << preset << " " << eo[i].name;
+        } else {
+          EXPECT_EQ(eo[i].stats.count(), en[i].stats.count())
+              << preset << " " << eo[i].name;
+          if (eo[i].stats.count() > 0) {
+            EXPECT_EQ(eo[i].stats.mean(), en[i].stats.mean())
+                << preset << " " << eo[i].name;
+            EXPECT_EQ(eo[i].stats.min(), en[i].stats.min())
+                << preset << " " << eo[i].name;
+            EXPECT_EQ(eo[i].stats.max(), en[i].stats.max())
+                << preset << " " << eo[i].name;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,269 @@
+// explain_trial: replay ONE trial of any registered scenario preset with
+// tracing forced on, and explain what happened.
+//
+//   explain_trial --preset fig1-base --n 16 --seed 7 --trace out.trace.json
+//
+// Output is a human-readable timeline on stdout (round advances, preference
+// switches, crashes/halts, message traffic, decisions — whatever the
+// backend emits) plus, with --trace, a Chrome trace-event JSON file
+// loadable at https://ui.perfetto.dev. Works for shared-memory sim presets,
+// the native backends (mp-abd, mutex-noise, hybrid-quantum), and check-*
+// exhaustive explorations (which report frontier milestones instead of a
+// simulated clock).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/trace_json.h"
+#include "scenario/scenario.h"
+#include "util/options.h"
+
+namespace {
+
+using namespace leancon;
+
+std::string pname(std::uint64_t pid) { return "p" + std::to_string(pid); }
+
+const char* abd_kind_name(std::uint64_t k) {
+  switch (k) {
+    case 0: return "query";
+    case 1: return "query_ack";
+    case 2: return "update";
+    case 3: return "update_ack";
+  }
+  return "?";
+}
+
+/// One human line for a sim-track event (finite simulated timestamp).
+std::string describe(const obs::event& e) {
+  using k = obs::event_kind;
+  switch (e.kind) {
+    case k::trial_begin:
+      return "trial begins: n=" + std::to_string(e.a) +
+             " seed=" + std::to_string(e.b);
+    case k::trial_end:
+      return "trial ends: decided=" + std::to_string(e.a) +
+             " max_round=" + std::to_string(e.b) +
+             " total_ops=" + std::to_string(e.c);
+    case k::round_advance:
+      return pname(e.a) + " advances to round " + std::to_string(e.b);
+    case k::pref_switch:
+      return pname(e.a) + " switches preference (switch #" +
+             std::to_string(e.b) + ")";
+    case k::halt:
+      return pname(e.a) + " halts (noise failure)";
+    case k::crash:
+      return pname(e.a) + " CRASHED (adversary, after " + pname(e.b) +
+             " stepped)";
+    case k::decision:
+      return pname(e.a) + " DECIDES value=" + std::to_string(e.b) +
+             " at round " + std::to_string(e.c);
+    case k::msg_send:
+      return pname(e.a) + " -> " + pname(e.b) + "  send " +
+             abd_kind_name(e.c);
+    case k::msg_deliver:
+      return pname(e.a) + " -> " + pname(e.b) + "  deliver " +
+             abd_kind_name(e.c);
+    case k::msg_drop:
+      return pname(e.a) + " -> " + pname(e.b) + "  DROPPED " +
+             abd_kind_name(e.c);
+    case k::dispatch:
+      return pname(e.a) + " dispatched (dispatch #" + std::to_string(e.b) +
+             ")";
+    case k::preemption:
+      return pname(e.a) + " preempted by " + pname(e.b);
+    case k::cs_enter:
+      return pname(e.a) + " enters the critical section";
+    case k::cs_exit:
+      return pname(e.a) + " leaves the critical section (entries=" +
+             std::to_string(e.b) + ")";
+    default:
+      return std::string(obs::kind_name(e.kind));
+  }
+}
+
+/// One human line for a wall-track event (exploration milestones, spans).
+std::string describe_wall(const obs::event& e) {
+  using k = obs::event_kind;
+  switch (e.kind) {
+    case k::explore_begin:
+      return "exploration begins (state budget " + std::to_string(e.a) +
+             ", depth budget " + std::to_string(e.b) + ")";
+    case k::explore_end:
+      return "exploration ends: " + std::to_string(e.a) + " states" +
+             (e.b != 0 ? ", VIOLATIONS FOUND" : ", no violations");
+    case k::frontier:
+      return "frontier: " + std::to_string(e.a) + " states visited, " +
+             std::to_string(e.b) + " queued, depth " + std::to_string(e.c);
+    default:
+      return std::string(obs::kind_name(e.kind));
+  }
+}
+
+// The registry's fig1 family keys are "figure1-<dist>"; accept the short
+// campaign-style spellings too.
+std::string resolve_preset(const std::string& key) {
+  if (key == "fig1-base" || key == "fig1") return "figure1-exp1";
+  return key;
+}
+
+// options::parse only accepts --key=value; fuse "--key value" pairs so the
+// documented command shape works as typed.
+std::vector<std::string> fuse_argv(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() > 2 && arg.rfind("--", 0) == 0 &&
+        arg.find('=') == std::string::npos && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      arg += "=";
+      arg += argv[++i];
+    }
+    out.push_back(std::move(arg));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts;
+  opts.add("preset", "fig1-base",
+           "scenario preset key (fig1-base = figure1-exp1); see --list");
+  opts.add("n", "16", "process count");
+  opts.add("seed", "7", "trial seed (also the workload base seed)");
+  opts.add("trace", "", "write Chrome trace-event JSON (Perfetto) here");
+  opts.add("max-events", "200", "timeline rows to print, 0 = unlimited");
+  opts.add("ring", "1048576", "per-thread trace ring capacity (events)");
+  opts.add("list", "false", "list the registered presets and exit");
+
+  const std::vector<std::string> fused = fuse_argv(argc, argv);
+  std::vector<const char*> argv2;
+  argv2.push_back(argc > 0 ? argv[0] : "explain_trial");
+  for (const auto& s : fused) argv2.push_back(s.c_str());
+  if (!opts.parse(static_cast<int>(argv2.size()), argv2.data())) return 1;
+
+  if (opts.get_bool("list")) {
+    for (const auto& spec : scenario_registry()) {
+      std::printf("%-24s %s\n", spec.key.c_str(), spec.description.c_str());
+    }
+    return 0;
+  }
+
+  const std::string preset = resolve_preset(opts.get("preset"));
+  scenario_params params;
+  params.n = static_cast<std::uint64_t>(opts.get_int("n"));
+  params.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  const std::uint64_t seed = params.seed;
+
+  // Tracing forced on for exactly the replayed trial: a big ring so long
+  // trials keep every event, a drain first so the trace holds only ours.
+  obs::set_ring_capacity(
+      static_cast<std::size_t>(opts.get_int("ring")));
+  obs::drain();
+  obs::set_enabled(true);
+
+  trial_outcome outcome;
+  try {
+    outcome = run_scenario_trial(preset, params, seed);
+  } catch (const std::exception& e) {
+    obs::set_enabled(false);
+    std::fprintf(stderr, "explain_trial: %s\n", e.what());
+    return 2;
+  }
+  obs::set_enabled(false);
+  obs::drained_events drained = obs::drain();
+
+  std::printf("explain_trial: preset=%s n=%llu seed=%llu\n", preset.c_str(),
+              static_cast<unsigned long long>(params.n),
+              static_cast<unsigned long long>(seed));
+  std::printf("outcome: decided=%s violation=%s backup=%s\n",
+              outcome.decided ? "yes" : "no",
+              outcome.violation ? "yes" : "no",
+              outcome.backup ? "yes" : "no");
+  for (const auto& e : outcome.metrics.entries()) {
+    const double v = e.is_counter ? e.total : e.stats.mean();
+    std::printf("  metric %-18s %.6g\n", e.name.c_str(), v);
+  }
+  if (drained.dropped != 0) {
+    std::printf("note: ring wrapped, %llu oldest events dropped "
+                "(raise --ring)\n",
+                static_cast<unsigned long long>(drained.dropped));
+  }
+
+  // Split the timeline: simulated-clock events vs wall-clock milestones.
+  std::vector<const obs::event*> sim_events;
+  std::vector<const obs::event*> wall_events;
+  for (const auto& e : drained.events) {
+    if (e.kind == obs::event_kind::span || e.kind == obs::event_kind::mark) {
+      continue;
+    }
+    if (e.sim_time == e.sim_time) {  // finite (never NaN) => sim track
+      sim_events.push_back(&e);
+    } else {
+      wall_events.push_back(&e);
+    }
+  }
+
+  const std::uint64_t max_rows =
+      static_cast<std::uint64_t>(opts.get_int("max-events"));
+  auto print_rows = [&](const std::vector<const obs::event*>& events,
+                        bool sim_clock) {
+    const std::uint64_t total = events.size();
+    // When over budget, keep the head and tail halves: begins/early rounds
+    // AND the decisions at the end both survive the elision.
+    std::uint64_t head = total, tail = 0;
+    if (max_rows != 0 && total > max_rows) {
+      head = max_rows / 2;
+      tail = max_rows - head;
+    }
+    for (std::uint64_t i = 0; i < total; ++i) {
+      if (i == head && tail != 0) {
+        std::printf("  ... (%llu events elided; see --trace for all)\n",
+                    static_cast<unsigned long long>(total - head - tail));
+        i = total - tail;
+      }
+      const obs::event& e = *events[i];
+      if (sim_clock) {
+        std::printf("  t=%11.4f  %s\n", e.sim_time, describe(e).c_str());
+      } else {
+        std::printf("  wall=%9.3fms  %s\n",
+                    static_cast<double>(e.ts_ns) / 1e6,
+                    describe_wall(e).c_str());
+      }
+    }
+  };
+
+  if (!sim_events.empty()) {
+    std::printf("\ntimeline (simulated clock, %llu events):\n",
+                static_cast<unsigned long long>(sim_events.size()));
+    print_rows(sim_events, /*sim_clock=*/true);
+  }
+  if (!wall_events.empty()) {
+    std::printf("\nexploration timeline (%llu events):\n",
+                static_cast<unsigned long long>(wall_events.size()));
+    print_rows(wall_events, /*sim_clock=*/false);
+  }
+  if (sim_events.empty() && wall_events.empty()) {
+    std::printf("\n(no trace events recorded — nothing to explain)\n");
+  }
+
+  const std::string trace_path = opts.get("trace");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "explain_trial: cannot write %s\n",
+                   trace_path.c_str());
+      return 3;
+    }
+    obs::write_trace_json(out, drained.events, obs::counter_snapshot());
+    std::printf("\ntrace written: %s (%llu events) — open at "
+                "https://ui.perfetto.dev\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(drained.events.size()));
+  }
+  return 0;
+}

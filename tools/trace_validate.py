@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Schema validator for observability artifacts.
+
+Checks Chrome trace-event JSON files written by obs::write_trace_json
+(``--trace``) and heartbeat JSONL files written by obs::heartbeat
+(``--heartbeat``). Used by CI after the explain_trial smoke run and the
+sharded-campaign smoke; exits non-zero with a pointed message on the first
+schema violation.
+
+Usage:
+    trace_validate.py --trace out.trace.json [--trace more.json ...]
+                      --heartbeat hb.jsonl [--heartbeat ...]
+"""
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "C", "M"}
+
+HEARTBEAT_FIELDS = {
+    "uptime_s": (int, float),
+    "cells_done": int,
+    "cells_total": int,
+    "trials_done": int,
+    "trials_total": int,
+    "trials_per_sec": (int, float),
+    "eta_s": (int, float),
+    "current_cell": str,
+    "rss_kb": int,
+}
+
+
+def fail(msg):
+    print(f"trace_validate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"{path}: cannot read: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+    payload_events = 0
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            fail(f"{where}: bad ph {ph!r} (want one of {sorted(VALID_PHASES)})")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(f"{where}: missing/empty name")
+        if not isinstance(ev.get("pid"), int):
+            fail(f"{where}: missing integer pid")
+        if ph != "M":
+            payload_events += 1
+            if not isinstance(ev.get("tid"), int):
+                fail(f"{where}: missing integer tid")
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)):
+                fail(f"{where}: missing numeric ts")
+            if ts < 0:
+                fail(f"{where}: negative ts {ts}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: complete event needs non-negative dur")
+        if ph in ("X", "i", "C") and not isinstance(ev.get("args"), dict):
+            fail(f"{where}: missing args object")
+        if ph == "C" and "value" not in ev["args"]:
+            fail(f"{where}: counter event needs args.value")
+    if payload_events == 0:
+        fail(f"{path}: only metadata events, no payload")
+    print(f"trace_validate: OK {path}: {payload_events} events")
+
+
+def validate_heartbeat(path):
+    lines = 0
+    last_uptime = -1.0
+    try:
+        f = open(path, "r", encoding="utf-8")
+    except OSError as e:
+        fail(f"{path}: cannot read: {e}")
+    with f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                hb = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{where}: not valid JSON: {e}")
+            if not isinstance(hb, dict):
+                fail(f"{where}: heartbeat line must be an object")
+            for field, types in HEARTBEAT_FIELDS.items():
+                if field not in hb:
+                    fail(f"{where}: missing field {field!r}")
+                if not isinstance(hb[field], types) or isinstance(
+                        hb[field], bool):
+                    fail(f"{where}: field {field!r} has wrong type "
+                         f"({type(hb[field]).__name__})")
+            for field in ("uptime_s", "trials_per_sec", "eta_s"):
+                if hb[field] < 0:
+                    fail(f"{where}: negative {field}")
+            if hb["uptime_s"] < last_uptime:
+                fail(f"{where}: uptime_s went backwards "
+                     f"({last_uptime} -> {hb['uptime_s']})")
+            last_uptime = hb["uptime_s"]
+            if hb["cells_total"] and hb["cells_done"] > hb["cells_total"]:
+                fail(f"{where}: cells_done > cells_total")
+            lines += 1
+    if lines == 0:
+        fail(f"{path}: no heartbeat lines")
+    print(f"trace_validate: OK {path}: {lines} heartbeat lines")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", action="append", default=[],
+                    help="Chrome trace-event JSON file to validate")
+    ap.add_argument("--heartbeat", action="append", default=[],
+                    help="heartbeat JSONL file to validate")
+    args = ap.parse_args()
+    if not args.trace and not args.heartbeat:
+        ap.error("nothing to validate (pass --trace and/or --heartbeat)")
+    for path in args.trace:
+        validate_trace(path)
+    for path in args.heartbeat:
+        validate_heartbeat(path)
+
+
+if __name__ == "__main__":
+    main()
