@@ -1,0 +1,195 @@
+// Elastic campaign launcher: one command that runs a whole grid through a
+// supervised fleet of local campaign_worker processes — fork, watch, heal,
+// merge, report (src/fleet/supervisor.h).
+//
+//   ./campaign_launch --scenarios=mp-abd --ns=4,8,16 --trials=200 \
+//       --shards=3 --run-dir=/tmp/fleet --merged=all.jsonl \
+//       --json=BENCH_fleet.json
+//
+// Each shard runs in its own process with its own cells file and heartbeat
+// under --run-dir. A worker that dies or freezes re-runs with --resume
+// (bounded retries, exponential backoff); past the retry budget its
+// remaining cells rebalance onto the survivors as explicit --only-cells
+// lists. Because shard files are content-addressed memo tables over the
+// SAME full grid, the merged stream is byte-identical to a single-process
+// run — even across injected worker deaths (--kill-shard=i@cells:c,
+// --kill-prob) — and the BENCH json carries the healing story in its
+// fleet.* counters (restarts, rebalanced_cells, lost, injected_kills,
+// worker_seconds). A missing or short merge is a loud nonzero exit, never
+// a silently small report.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exp/campaign_cli.h"
+#include "fleet/supervisor.h"
+#include "harness.h"
+#include "obs/heartbeat.h"
+#include "util/options.h"
+
+using namespace leancon;
+
+int main(int argc, char** argv) {
+  options opts;
+  // Grid flags are DECLARED here and FORWARDED verbatim to every worker:
+  // launcher and workers must expand the identical full grid
+  // (campaign_cli.h explains why byte-identity depends on it).
+  add_grid_flags(opts);
+  opts.add("shards", "3", "worker processes to fork (one shard each)");
+  opts.add("run-dir", "",
+           "REQUIRED: directory for per-shard cells files, heartbeats, and "
+           "worker logs (created if absent)");
+  opts.add("worker", "",
+           "campaign_worker binary (default: next to this binary)");
+  opts.add("worker-threads", "1", "campaign concurrency cap per worker");
+  opts.add("retries", "2",
+           "re-runs (with --resume) per shard before its remaining cells "
+           "rebalance onto the survivors");
+  opts.add("backoff", "0.25",
+           "first-retry backoff seconds; doubles per subsequent attempt");
+  opts.add("stale-timeout", "30",
+           "declare a worker frozen when its heartbeat uptime stops "
+           "advancing for this many seconds");
+  opts.add("term-grace", "1.0",
+           "SIGTERM to SIGKILL grace for frozen workers");
+  opts.add("max-restarts", "64",
+           "fleet-wide cap on heal spawns; exceeding it aborts the run");
+  opts.add("kill-shard", "",
+           "fault injection: comma-separated i@cells:c rules — shard i's "
+           "first attempt kills itself after c flushed cells");
+  opts.add("kill-prob", "0",
+           "fault injection: per-poll probability of SIGKILLing a running "
+           "worker (seeded; see --kill-seed)");
+  opts.add("kill-seed", "1", "seed for --kill-prob injection");
+  opts.add("poll-interval", "0.02", "supervisor poll seconds");
+  opts.add("heartbeat", "",
+           "fleet aggregate heartbeat JSONL (default: "
+           "<run-dir>/fleet_hb.jsonl)");
+  opts.add("heartbeat-interval", "0.5",
+           "seconds between fleet heartbeat lines");
+  opts.add("worker-heartbeat-interval", "0.1",
+           "seconds between each worker's heartbeat lines");
+  opts.add("merged", "",
+           "write the merged cells stream (canonical order, byte-identical "
+           "to a single-process run) to this JSON-lines path");
+  opts.add("name", "campaign_launch", "bench name for the emitted json");
+  opts.add("json", "", "write fleet results as BENCH json to this path");
+  opts.add("quiet", "false", "suppress per-event fleet progress lines");
+  if (!opts.parse(argc, argv)) return 1;
+
+  if (opts.get("run-dir").empty()) {
+    std::fprintf(stderr, "campaign_launch: --run-dir is required\n");
+    return 1;
+  }
+
+  fleet::fleet_config cfg;
+  try {
+    cfg.grid = grid_from_options(opts);
+    for (const auto& rule : split_list(opts.get("kill-shard"))) {
+      cfg.kill_rules.push_back(fleet::parse_kill_rule(rule));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_launch: %s\n", e.what());
+    return 1;
+  }
+  for (const char* flag : {"scenarios", "ns", "trials", "op-budget", "seed"}) {
+    cfg.grid_flags.push_back("--" + std::string(flag) + "=" + opts.get(flag));
+  }
+  cfg.shards = static_cast<std::uint64_t>(opts.get_int("shards"));
+  cfg.run_dir = opts.get("run-dir");
+  std::string worker = opts.get("worker");
+  if (worker.empty()) {
+    // The worker ships next to the launcher in every build tree.
+    worker = (std::filesystem::path(argv[0]).parent_path() /
+              "campaign_worker")
+                 .string();
+  }
+  cfg.worker_argv = {worker};
+  cfg.worker_threads =
+      static_cast<unsigned>(opts.get_int("worker-threads"));
+  cfg.worker_heartbeat_interval_s =
+      opts.get_double("worker-heartbeat-interval");
+  cfg.poll_interval_s = opts.get_double("poll-interval");
+  cfg.stale_timeout_s = opts.get_double("stale-timeout");
+  cfg.term_grace_s = opts.get_double("term-grace");
+  cfg.retries = static_cast<unsigned>(opts.get_int("retries"));
+  cfg.backoff_s = opts.get_double("backoff");
+  cfg.max_restarts = static_cast<unsigned>(opts.get_int("max-restarts"));
+  cfg.kill_prob = opts.get_double("kill-prob");
+  cfg.kill_seed = static_cast<std::uint64_t>(opts.get_int("kill-seed"));
+  cfg.heartbeat_path = opts.get("heartbeat");
+  cfg.heartbeat_interval_s = opts.get_double("heartbeat-interval");
+  cfg.argv_hash = obs::argv_fingerprint(argc, argv);
+  cfg.verbose = !opts.get_bool("quiet");
+
+  fleet::fleet_report rep;
+  try {
+    rep = fleet::run_fleet(cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_launch: %s\n", e.what());
+    return 1;
+  }
+  if (!rep.ok) {
+    std::fprintf(stderr, "campaign_launch: FAILED: %s\n", rep.error.c_str());
+    return 1;
+  }
+
+  const std::string merged_path = opts.get("merged");
+  if (!merged_path.empty()) {
+    std::FILE* out = std::fopen(merged_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "campaign_launch: cannot open %s\n",
+                   merged_path.c_str());
+      return 1;
+    }
+    for (const auto& line : rep.merged.lines) {
+      std::fputs(line.c_str(), out);
+      std::fputc('\n', out);
+    }
+    std::fclose(out);
+    std::printf("merged %zu cell(s) into %s\n", rep.merged.lines.size(),
+                merged_path.c_str());
+  }
+
+  bench::results res = bench::campaign_bench(opts.get("name"), rep.merged);
+  res.params = opts.flag_values();
+  res.counters.emplace_back("fleet.shards",
+                            static_cast<double>(cfg.shards));
+  res.counters.emplace_back("fleet.restarts",
+                            static_cast<double>(rep.restarts));
+  res.counters.emplace_back("fleet.rebalanced_cells",
+                            static_cast<double>(rep.rebalanced_cells));
+  res.counters.emplace_back("fleet.lost", static_cast<double>(rep.lost_events));
+  res.counters.emplace_back("fleet.injected_kills",
+                            static_cast<double>(rep.injected_kills));
+  res.counters.emplace_back("fleet.worker_seconds", rep.worker_seconds);
+
+  const std::string json_path = opts.get("json");
+  if (!json_path.empty()) {
+    const std::string text = bench::to_json(res);
+    if (const auto error = bench::validate_bench_json(text)) {
+      std::fprintf(stderr, "campaign_launch: emitted json is invalid: %s\n",
+                   error->c_str());
+      return 1;
+    }
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "campaign_launch: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), out);
+    std::fclose(out);
+    std::printf("fleet BENCH written to %s\n", json_path.c_str());
+  }
+
+  std::printf("campaign_launch: %zu cell(s) via %llu shard(s) — "
+              "%llu restart(s), %llu rebalanced cell(s), %.1f worker-s\n",
+              rep.merged.records.size(),
+              static_cast<unsigned long long>(cfg.shards),
+              static_cast<unsigned long long>(rep.restarts),
+              static_cast<unsigned long long>(rep.rebalanced_cells),
+              rep.worker_seconds);
+  return 0;
+}

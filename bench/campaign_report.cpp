@@ -170,6 +170,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "campaign_report: %s\n", e.what());
     return 1;
   }
+  // merge_files threw on unreadable paths above; files that parsed to zero
+  // records still deserve a loud warning — a dead shard's file aggregates
+  // into a silently short report otherwise.
+  for (const auto& path : merged.empty_files) {
+    std::fprintf(stderr,
+                 "campaign_report: WARNING: %s holds no cell records\n",
+                 path.c_str());
+  }
 
   const std::string merged_path = opts.get("merged");
   if (!merged_path.empty()) {

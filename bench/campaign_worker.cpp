@@ -18,10 +18,27 @@
 // campaign_io::merge_files reassembles the k files into that exact stream
 // (asserted for k in {1,2,3,5} by tests/test_invariant_fuzz.cpp). Leave
 // --cell-seconds off for byte-reproducible files.
+//
+// Supervision protocol (src/fleet/ is the caller): the exit code tells the
+// supervisor whether re-running can help — 0 all owned cells recorded and
+// safe, 2 unusable flags (retrying the same argv cannot succeed), 3
+// incomplete (crash mid-grid, violations, or SIGTERM shutdown; re-run with
+// --resume to heal). SIGTERM flushes one final heartbeat line before
+// exiting so the tail shows where the shard stopped. --only-cells runs an
+// explicit ordinal list instead of the shard filter (rebalanced cells keep
+// full-grid seeds/hashes/ordinals, so their lines stay byte-identical),
+// and --die-after-cells makes THIS process SIGKILL itself after that many
+// flushed cells — deterministic fault injection for the fleet's healing
+// path.
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/campaign.h"
@@ -29,12 +46,21 @@
 #include "exp/campaign_io.h"
 #include "exp/campaign_shard.h"
 #include "exp/worker_pool.h"
+#include "fleet/worker_proc.h"
 #include "obs/heartbeat.h"
 #include "scenario/scenario.h"
 #include "sim/trial_executor.h"
 #include "util/options.h"
 
 using namespace leancon;
+
+namespace {
+
+std::atomic<bool> g_sigterm{false};
+
+extern "C" void on_sigterm(int) { g_sigterm.store(true); }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   options opts;
@@ -61,7 +87,14 @@ int main(int argc, char** argv) {
            "trials/sec, ETA, rss); give every shard its own file");
   opts.add("heartbeat-interval", "1.0",
            "with --heartbeat: seconds between heartbeat lines");
-  if (!opts.parse(argc, argv)) return 1;
+  opts.add("only-cells", "",
+           "run exactly these full-grid cell ordinals (comma-separated) "
+           "instead of the --shard selection; the cells keep their "
+           "full-grid seeds and hashes (fleet rebalance)");
+  opts.add("die-after-cells", "0",
+           "fault injection: SIGKILL this process after that many flushed "
+           "cells (0 = off; the flushed lines survive for --resume)");
+  if (!opts.parse(argc, argv)) return fleet::exit_usage;
 
   campaign_grid grid;
   shard_spec shard;
@@ -70,16 +103,27 @@ int main(int argc, char** argv) {
     shard = parse_shard(opts.get("shard"));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
-    return 1;
+    return fleet::exit_usage;
   }
   if (opts.get("cells").empty()) {
     std::fprintf(stderr, "campaign_worker: --cells is required (each shard "
                          "writes its own file)\n");
-    return 1;
+    return fleet::exit_usage;
   }
 
   const auto all_cells = grid.expand();
-  const auto cells = filter_shard(all_cells, shard);
+  std::vector<campaign_cell> cells;
+  try {
+    if (!opts.get("only-cells").empty()) {
+      cells = filter_ordinals(all_cells,
+                              parse_ordinal_list(opts.get("only-cells")));
+    } else {
+      cells = filter_shard(all_cells, shard);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_worker: %s\n", e.what());
+    return fleet::exit_usage;
+  }
 
   campaign_options copts;
   copts.threads = resolve_threads(opts.get_int("threads"));
@@ -90,7 +134,7 @@ int main(int argc, char** argv) {
                                        opts.get_bool("cell-seconds"));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
-    return 1;
+    return fleet::exit_usage;
   }
   copts.io = io.get();
 
@@ -101,11 +145,41 @@ int main(int argc, char** argv) {
           opts.get("heartbeat"), opts.get_double("heartbeat-interval"));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
-      return 1;
+      return fleet::exit_usage;
     }
+    hb->set_identity(opts.get("shard"), obs::argv_fingerprint(argc, argv));
     std::uint64_t total_trials = 0;
     for (const auto& c : cells) total_trials += c.trials;
     hb->set_totals(cells.size(), total_trials);
+  }
+
+  // Graceful shutdown: the handler only sets a flag (async-signal-safe);
+  // a watcher thread does the real work — flush one last heartbeat line so
+  // the supervisor's tail records where the shard stopped, then exit
+  // "incomplete" without unwinding (worker threads may hold locks).
+  std::signal(SIGTERM, on_sigterm);
+  std::atomic<bool> watcher_stop{false};
+  std::thread term_watcher([&watcher_stop, &hb] {
+    while (!watcher_stop.load(std::memory_order_relaxed)) {
+      if (g_sigterm.load(std::memory_order_relaxed)) {
+        if (hb != nullptr) hb->flush_now();
+        std::fprintf(stderr, "campaign_worker: SIGTERM — shutting down with "
+                             "completed cells on file\n");
+        std::_Exit(fleet::exit_incomplete);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // Deterministic fault injection: on_cell fires right after the cell's
+  // line hits the file, so exactly `die_after` cells survive for --resume.
+  const auto die_after =
+      static_cast<std::uint64_t>(opts.get_int("die-after-cells"));
+  std::uint64_t flushed = 0;
+  if (die_after > 0) {
+    copts.on_cell = [die_after, &flushed](const cell_result&) {
+      if (++flushed >= die_after) std::raise(SIGKILL);
+    };
   }
 
   std::printf("campaign_worker: shard %llu/%llu owns %zu of %zu cell(s), "
@@ -119,7 +193,9 @@ int main(int argc, char** argv) {
     results = run_campaign(cells, copts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign_worker: %s\n", e.what());
-    return 1;
+    watcher_stop.store(true);
+    term_watcher.join();
+    return fleet::exit_incomplete;
   }
 
   std::uint64_t resumed = 0;
@@ -140,5 +216,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(shard.index),
               static_cast<unsigned long long>(shard.count), results.size(),
               io->path().c_str());
-  return all_safe ? 0 : 1;
+  if (hb != nullptr) hb->flush_now();
+  watcher_stop.store(true);
+  term_watcher.join();
+  return all_safe ? fleet::exit_ok : fleet::exit_incomplete;
 }

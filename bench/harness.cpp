@@ -374,6 +374,13 @@ results campaign_bench(const std::string& bench_name,
              static_cast<double>(merged.duplicate_cells));
   accumulate(res.counters, "skipped_lines",
              static_cast<double>(merged.skipped_lines));
+  // Non-zero only when the caller merged with tolerate_missing: inputs
+  // that contributed no cells. Aggregators must treat these as loud
+  // failures (a short BENCH from a dead shard is worse than no BENCH).
+  accumulate(res.counters, "missing_files",
+             static_cast<double>(merged.missing_files.size()));
+  accumulate(res.counters, "empty_files",
+             static_cast<double>(merged.empty_files.size()));
   return res;
 }
 

@@ -68,4 +68,55 @@ campaign_grid grid_from_options(const options& opts) {
   return grid;
 }
 
+std::vector<std::uint64_t> parse_ordinal_list(const std::string& list) {
+  std::vector<std::uint64_t> ordinals;
+  for (const auto& item : split_list(list)) {
+    std::size_t used = 0;
+    std::uint64_t value = 0;
+    try {
+      value = std::stoull(item, &used, 10);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("malformed cell ordinal \"" + item + "\"");
+    }
+    if (used != item.size()) {
+      throw std::invalid_argument("malformed cell ordinal \"" + item + "\"");
+    }
+    ordinals.push_back(value);
+  }
+  return ordinals;
+}
+
+std::string format_ordinal_list(const std::vector<std::uint64_t>& ordinals) {
+  std::string out;
+  for (const auto o : ordinals) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(o);
+  }
+  return out;
+}
+
+std::vector<campaign_cell> filter_ordinals(
+    const std::vector<campaign_cell>& cells,
+    const std::vector<std::uint64_t>& ordinals) {
+  std::vector<campaign_cell> kept;
+  std::vector<std::uint64_t> unmatched = ordinals;
+  for (const auto& cell : cells) {
+    const auto it =
+        std::find(unmatched.begin(), unmatched.end(), cell.ordinal);
+    if (it == unmatched.end()) continue;
+    kept.push_back(cell);
+    // Erase every copy so a duplicate listed ordinal selects once.
+    unmatched.erase(std::remove(unmatched.begin(), unmatched.end(),
+                                cell.ordinal),
+                    unmatched.end());
+  }
+  if (!unmatched.empty()) {
+    throw std::invalid_argument(
+        "cell ordinal " + std::to_string(unmatched.front()) +
+        " matches no cell of the expanded grid (" +
+        std::to_string(cells.size()) + " cells)");
+  }
+  return kept;
+}
+
 }  // namespace leancon

@@ -39,4 +39,28 @@ void add_grid_flags(options& opts);
 /// unknown scenario key (the message lists the known keys).
 campaign_grid grid_from_options(const options& opts);
 
+// --- Explicit-cell (rebalance) grids ---------------------------------------
+//
+// When a shard exhausts its retry budget, the fleet supervisor re-issues
+// the shard's REMAINING cells as explicit ordinal lists onto surviving
+// workers (campaign_worker --only-cells=3,7,11). Ordinals index the FULL
+// expanded grid, so the selected cells keep their seeds, hashes, and
+// "index" fields — the rebalanced lines stay byte-identical to the lines
+// the single-process campaign would write.
+
+/// Parses a comma-separated ordinal list ("3,7,11"). Throws
+/// std::invalid_argument on malformed or negative entries.
+std::vector<std::uint64_t> parse_ordinal_list(const std::string& list);
+
+/// Renders ordinals back into the --only-cells CLI form.
+std::string format_ordinal_list(const std::vector<std::uint64_t>& ordinals);
+
+/// The subset of `cells` whose ordinal is listed, in original grid order
+/// (duplicate listed ordinals select once). Throws std::invalid_argument
+/// when an ordinal matches no cell — a stale list must fail loudly, never
+/// silently shrink the rebalanced set.
+std::vector<campaign_cell> filter_ordinals(
+    const std::vector<campaign_cell>& cells,
+    const std::vector<std::uint64_t>& ordinals);
+
 }  // namespace leancon

@@ -114,7 +114,7 @@ std::vector<campaign_io::record> campaign_io::read_records(
 }
 
 campaign_io::merged_cells campaign_io::merge_files(
-    const std::vector<std::string>& paths) {
+    const std::vector<std::string>& paths, bool tolerate_missing) {
   obs::span merge_span("campaign_io.merge");
   static auto* merged_counter = obs::counter("campaign_io.merged_records");
   merged_cells merged;
@@ -126,8 +126,13 @@ campaign_io::merged_cells campaign_io::merge_files(
   for (const auto& path : paths) {
     std::ifstream in(path, std::ios::binary);
     if (!in.good()) {
-      throw std::runtime_error("campaign_io: cannot read " + path);
+      if (!tolerate_missing) {
+        throw std::runtime_error("campaign_io: cannot read " + path);
+      }
+      merged.missing_files.push_back(path);
+      continue;
     }
+    std::size_t file_records = 0;
     std::string line;
     while (in.good() && std::getline(in, line)) {
       if (blank(line)) continue;
@@ -136,6 +141,7 @@ campaign_io::merged_cells campaign_io::merge_files(
         ++merged.skipped_lines;
         continue;
       }
+      ++file_records;
       const auto [it, inserted] =
           by_key.try_emplace({rec.hash, rec.seed}, merged.records.size());
       if (!inserted) {
@@ -153,6 +159,7 @@ campaign_io::merged_cells campaign_io::merge_files(
       merged.records.push_back(std::move(rec));
       sources.push_back(&path);
     }
+    if (file_records == 0) merged.empty_files.push_back(path);
   }
   // Canonical order: the cells' positions in the full campaign. The sort is
   // stable, so records without an "index" (older files, ad-hoc campaigns)
@@ -167,6 +174,8 @@ campaign_io::merged_cells campaign_io::merge_files(
   merged_cells sorted;
   sorted.duplicate_cells = merged.duplicate_cells;
   sorted.skipped_lines = merged.skipped_lines;
+  sorted.missing_files = std::move(merged.missing_files);
+  sorted.empty_files = std::move(merged.empty_files);
   sorted.lines.reserve(order.size());
   sorted.records.reserve(order.size());
   for (const std::size_t i : order) {

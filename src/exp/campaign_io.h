@@ -92,6 +92,14 @@ class campaign_io {
     std::size_t duplicate_cells = 0;
     /// Lines that failed to parse (torn tails, foreign content) — skipped.
     std::size_t skipped_lines = 0;
+    /// Input paths that could not be read at all (tolerate_missing mode
+    /// only — without it an unreadable path throws). A missing shard file
+    /// is a worker that never produced output; callers aggregating a
+    /// sharded campaign must surface these, not emit a short result.
+    std::vector<std::string> missing_files;
+    /// Input paths that were readable but held zero well-formed records —
+    /// a worker that opened its file and then died before its first cell.
+    std::vector<std::string> empty_files;
   };
 
   /// Merges many cells files — shard outputs, resume fragments, repeated
@@ -105,8 +113,14 @@ class campaign_io {
   /// overlapping lines differ by construction). When every input was
   /// written by workers over the same full grid, the merged lines are
   /// byte-identical to the single-process campaign's file. Throws
-  /// std::runtime_error when a file cannot be read.
-  static merged_cells merge_files(const std::vector<std::string>& paths);
+  /// std::runtime_error when a file cannot be read, unless
+  /// tolerate_missing — then unreadable paths are collected into
+  /// merged_cells::missing_files instead (for supervisors that already
+  /// know which shards died and verify full-grid coverage themselves).
+  /// Readable files with zero records are recorded in empty_files either
+  /// way.
+  static merged_cells merge_files(const std::vector<std::string>& paths,
+                                  bool tolerate_missing = false);
 
   /// The indexed record for (hash, seed), or null when the cell has not
   /// been recorded (or resume was off).

@@ -1,0 +1,84 @@
+#include "fleet/hb_tail.h"
+
+#include <fstream>
+#include <utility>
+
+#include "util/json.h"
+
+namespace leancon::fleet {
+
+bool parse_hb_line(const std::string& line, hb_sample& out) {
+  json::value v;
+  try {
+    v = json::parse(line);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (v.k != json::value::kind::object) return false;
+  const auto number = [&v](const char* key, double& into) {
+    const json::value* node = v.find(key);
+    if (node == nullptr || node->k != json::value::kind::number) return false;
+    into = node->num;
+    return true;
+  };
+  const auto uint = [&number](const char* key, std::uint64_t& into) {
+    double d = 0.0;
+    if (!number(key, d) || d < 0.0) return false;
+    into = static_cast<std::uint64_t>(d);
+    return true;
+  };
+  const auto text = [&v](const char* key, std::string& into) {
+    const json::value* node = v.find(key);
+    if (node == nullptr || node->k != json::value::kind::string) return false;
+    into = node->str;
+    return true;
+  };
+  hb_sample s;
+  if (!number("uptime_s", s.uptime_s) || !uint("cells_done", s.cells_done) ||
+      !uint("cells_total", s.cells_total) ||
+      !uint("trials_done", s.trials_done) ||
+      !uint("trials_total", s.trials_total) ||
+      !number("trials_per_sec", s.trials_per_sec) ||
+      !number("eta_s", s.eta_s) || !text("current_cell", s.current_cell) ||
+      !uint("rss_kb", s.rss_kb) || !text("shard", s.shard) ||
+      !uint("pid", s.pid) || !text("argv_hash", s.argv_hash)) {
+    return false;
+  }
+  out = std::move(s);
+  return true;
+}
+
+hb_tail::hb_tail(std::string path) : path_(std::move(path)) {}
+
+std::size_t hb_tail::poll() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.good()) return 0;  // not created yet (or transiently unreadable)
+  in.seekg(static_cast<std::streamoff>(offset_));
+  if (!in.good()) return 0;
+  std::string fresh((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  offset_ += fresh.size();
+  pending_ += fresh;
+
+  std::size_t parsed = 0;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = pending_.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = pending_.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    hb_sample s;
+    if (parse_hb_line(line, s)) {
+      last_ = std::move(s);
+      ++samples_;
+      ++parsed;
+    } else {
+      ++skipped_;
+    }
+  }
+  pending_.erase(0, start);
+  return parsed;
+}
+
+}  // namespace leancon::fleet

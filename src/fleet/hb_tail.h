@@ -1,0 +1,68 @@
+// Incremental tailer for one worker heartbeat JSONL file — the fleet
+// supervisor's liveness/progress channel (obs/heartbeat.h writes the
+// lines; tools/trace_validate.py pins the schema).
+//
+// poll() reads whatever bytes were appended since the last call, splits
+// them into complete lines, and parses each into an hb_sample. A partial
+// final line (the worker is mid-write, or died mid-write) is buffered and
+// completed by a later poll — or never, which is fine: the supervisor's
+// staleness clock, not the tailer, decides when silence means loss.
+// Attribution is the caller's job: every sample carries the identity
+// triple (shard, pid, argv_hash) and the supervisor rejects samples whose
+// pid/argv_hash do not match the worker it spawned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace leancon::fleet {
+
+/// One parsed heartbeat line (field meanings in obs/heartbeat.h).
+struct hb_sample {
+  double uptime_s = 0.0;
+  std::uint64_t cells_done = 0;
+  std::uint64_t cells_total = 0;
+  std::uint64_t trials_done = 0;
+  std::uint64_t trials_total = 0;
+  double trials_per_sec = 0.0;
+  double eta_s = 0.0;
+  std::string current_cell;
+  std::uint64_t rss_kb = 0;
+  std::string shard;
+  std::uint64_t pid = 0;
+  std::string argv_hash;
+};
+
+/// Parses one heartbeat JSONL line. False when the line is not a
+/// well-formed heartbeat object (torn writes, foreign content).
+bool parse_hb_line(const std::string& line, hb_sample& out);
+
+class hb_tail {
+ public:
+  /// Tails `path`. The file need not exist yet — polls simply return 0
+  /// until the worker creates it.
+  explicit hb_tail(std::string path);
+
+  /// Reads and parses newly appended complete lines; returns how many new
+  /// samples were parsed. Unparseable complete lines are counted into
+  /// skipped() and otherwise ignored.
+  std::size_t poll();
+
+  bool has_sample() const { return samples_ > 0; }
+  /// The most recent sample (valid once has_sample()).
+  const hb_sample& last() const { return last_; }
+
+  std::uint64_t samples() const { return samples_; }
+  std::uint64_t skipped() const { return skipped_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;  ///< bytes of the file consumed so far
+  std::string pending_;       ///< buffered partial final line
+  hb_sample last_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace leancon::fleet

@@ -1,0 +1,604 @@
+#include "fleet/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "exp/campaign_cli.h"
+#include "exp/campaign_shard.h"
+#include "fleet/hb_tail.h"
+#include "fleet/worker_proc.h"
+#include "obs/heartbeat.h"
+#include "obs/obs.h"
+#include "sim/trial_executor.h"
+#include "util/json.h"
+
+namespace leancon::fleet {
+
+namespace {
+
+double now_s() { return static_cast<double>(obs::now_ns()) / 1e9; }
+
+double u01(std::uint64_t seed, std::uint64_t n) {
+  // 53-bit mantissa draw from the shared splitmix64 stream.
+  return static_cast<double>(trial_seed(seed, n) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+enum class jstate { pending, running, done, exhausted };
+
+const char* jstate_name(jstate s) {
+  switch (s) {
+    case jstate::pending: return "pending";
+    case jstate::running: return "running";
+    case jstate::done: return "done";
+    case jstate::exhausted: return "exhausted";
+  }
+  return "?";
+}
+
+/// One supervised job: a full shard, or an --only-cells rebalance slice.
+struct job {
+  std::uint64_t shard = 0;  ///< originating shard index
+  bool rebalance = false;
+  std::size_t id = 0;  ///< unique across the run, for file naming
+  std::vector<campaign_cell> cells;  ///< the cells this job owns
+  std::string cells_path;
+  std::string log_path;
+
+  jstate state = jstate::pending;
+  unsigned attempts = 0;  ///< processes spawned so far
+  double respawn_at = 0.0;
+  worker_proc proc;
+  std::unique_ptr<hb_tail> tail;
+  std::string expected_hash;  ///< argv_fingerprint of the spawned argv
+  double spawned_at = 0.0;
+  double last_progress_at = 0.0;
+  double term_deadline = 0.0;  ///< SIGTERM sent; SIGKILL past this time
+  double last_uptime = -1.0;
+  std::uint64_t progress_cells = 0;
+  std::uint64_t progress_trials = 0;
+  bool die_injected = false;  ///< this attempt carries --die-after-cells
+
+  std::uint64_t owned_trials() const {
+    std::uint64_t total = 0;
+    for (const auto& c : cells) total += c.trials;
+    return total;
+  }
+};
+
+}  // namespace
+
+kill_rule parse_kill_rule(const std::string& text) {
+  const std::size_t at = text.find("@cells:");
+  if (at == std::string::npos || at == 0 ||
+      at + 7 >= text.size() + 1) {
+    throw std::invalid_argument("malformed kill rule \"" + text +
+                                "\" (want i@cells:c)");
+  }
+  kill_rule rule;
+  try {
+    std::size_t used = 0;
+    rule.shard = std::stoull(text.substr(0, at), &used, 10);
+    if (used != at) throw std::invalid_argument(text);
+    const std::string count = text.substr(at + 7);
+    rule.after_cells = std::stoull(count, &used, 10);
+    if (used != count.size()) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("malformed kill rule \"" + text +
+                                "\" (want i@cells:c)");
+  }
+  return rule;
+}
+
+fleet_report run_fleet(const fleet_config& cfg) {
+  if (cfg.shards == 0) {
+    throw std::invalid_argument("fleet: shards must be >= 1");
+  }
+  if (cfg.worker_argv.empty()) {
+    throw std::invalid_argument("fleet: worker_argv is empty");
+  }
+  if (cfg.run_dir.empty()) {
+    throw std::invalid_argument("fleet: run_dir is required");
+  }
+  const auto all_cells = cfg.grid.expand();
+  if (all_cells.empty()) {
+    throw std::invalid_argument("fleet: the grid expands to no cells");
+  }
+  std::filesystem::create_directories(cfg.run_dir);
+
+  fleet_report rep;
+  const double start = now_s();
+
+  const auto log = [&cfg](const std::string& line) {
+    if (!cfg.verbose) return;
+    std::printf("fleet: %s\n", line.c_str());
+    std::fflush(stdout);
+  };
+
+  // --- Job table -----------------------------------------------------------
+  std::deque<job> jobs;
+  std::size_t next_id = 0;
+  for (std::uint64_t i = 0; i < cfg.shards; ++i) {
+    job j;
+    j.shard = i;
+    j.id = next_id++;
+    j.cells = filter_shard(all_cells, {i, cfg.shards});
+    j.cells_path =
+        cfg.run_dir + "/shard_" + std::to_string(i) + ".jsonl";
+    j.log_path = cfg.run_dir + "/log_s" + std::to_string(i) + ".txt";
+    j.respawn_at = start;
+    jobs.push_back(std::move(j));
+  }
+
+  const auto shard_str = [&cfg](const job& j) {
+    return std::to_string(j.shard) + "/" + std::to_string(cfg.shards);
+  };
+  const auto job_name = [&](const job& j) {
+    std::string name = (j.rebalance ? "rebalance " : "shard ") + shard_str(j);
+    if (j.rebalance) name += " #" + std::to_string(j.id);
+    return name;
+  };
+
+  // --- Fleet-level aggregate heartbeat -------------------------------------
+  const std::string fleet_hb_path = cfg.heartbeat_path.empty()
+                                        ? cfg.run_dir + "/fleet_hb.jsonl"
+                                        : cfg.heartbeat_path;
+  std::ofstream fleet_hb(fleet_hb_path, std::ios::app);
+  if (!fleet_hb) {
+    throw std::invalid_argument("fleet: cannot open heartbeat " +
+                                fleet_hb_path);
+  }
+  const std::uint64_t cells_total = all_cells.size();
+  std::uint64_t trials_total = 0;
+  for (const auto& c : all_cells) trials_total += c.trials;
+
+  const auto emit_fleet_hb = [&] {
+    const double uptime = now_s() - start;
+    std::uint64_t cells_done = 0;
+    std::uint64_t trials_done = 0;
+    std::size_t n_running = 0, n_pending = 0, n_done = 0, n_exhausted = 0;
+    for (const auto& j : jobs) {
+      cells_done += j.progress_cells;
+      trials_done += j.progress_trials;
+      switch (j.state) {
+        case jstate::pending: ++n_pending; break;
+        case jstate::running: ++n_running; break;
+        case jstate::done: ++n_done; break;
+        case jstate::exhausted: ++n_exhausted; break;
+      }
+    }
+    const double rate = uptime > 0.0
+                            ? static_cast<double>(trials_done) / uptime
+                            : 0.0;
+    const std::uint64_t remaining =
+        trials_total > trials_done ? trials_total - trials_done : 0;
+    const double eta = rate > 0.0
+                           ? static_cast<double>(remaining) / rate
+                           : 0.0;
+    std::ostringstream status;
+    status << "running=" << n_running << " pending=" << n_pending
+           << " done=" << n_done << " exhausted=" << n_exhausted
+           << " lost=" << rep.lost_events;
+
+    std::ostringstream os;
+    os << "{\"uptime_s\":";
+    json::write_number(os, uptime);
+    os << ",\"cells_done\":";
+    json::write_uint(os, cells_done);
+    os << ",\"cells_total\":";
+    json::write_uint(os, cells_total);
+    os << ",\"trials_done\":";
+    json::write_uint(os, trials_done);
+    os << ",\"trials_total\":";
+    json::write_uint(os, trials_total);
+    os << ",\"trials_per_sec\":";
+    json::write_number(os, rate);
+    os << ",\"eta_s\":";
+    json::write_number(os, eta);
+    os << ",\"current_cell\":";
+    json::write_string(os, status.str());
+    os << ",\"rss_kb\":";
+    json::write_uint(os, obs::rss_kb());
+    os << ",\"shard\":";
+    json::write_string(os, "fleet");
+    os << ",\"pid\":";
+    json::write_uint(os, obs::own_pid());
+    os << ",\"argv_hash\":";
+    json::write_string(os, cfg.argv_hash);
+    os << ",\"shards\":[";
+    bool first = true;
+    for (const auto& j : jobs) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"shard\":";
+      json::write_string(os, shard_str(j));
+      os << ",\"rebalance\":" << (j.rebalance ? "true" : "false");
+      os << ",\"state\":";
+      json::write_string(os, jstate_name(j.state));
+      os << ",\"pid\":";
+      json::write_uint(os,
+                       static_cast<std::uint64_t>(std::max<std::int64_t>(
+                           j.proc.pid(), 0)));
+      os << ",\"attempts\":";
+      json::write_uint(os, j.attempts);
+      os << ",\"cells_done\":";
+      json::write_uint(os, j.progress_cells);
+      os << ",\"cells_owned\":";
+      json::write_uint(os, j.cells.size());
+      os << "}";
+    }
+    os << "]}\n";
+    fleet_hb << os.str();
+    fleet_hb.flush();
+  };
+
+  // --- Spawning ------------------------------------------------------------
+  std::vector<char> rule_fired(cfg.kill_rules.size(), 0);
+  unsigned heal_spawns = 0;  // retries + rebalance jobs, vs max_restarts
+
+  const auto spawn = [&](job& j) {
+    spawn_plan plan;
+    plan.shard = j.shard;
+    plan.attempt = j.attempts;
+    plan.rebalance = j.rebalance;
+    plan.cells_path = j.cells_path;
+    plan.heartbeat_path = cfg.run_dir + "/hb_" +
+                          (j.rebalance ? "r" : "s") + std::to_string(j.id) +
+                          "_a" + std::to_string(j.attempts) + ".jsonl";
+    plan.argv = cfg.worker_argv;
+    for (const auto& flag : cfg.grid_flags) plan.argv.push_back(flag);
+    plan.argv.push_back("--shard=" + shard_str(j));
+    plan.argv.push_back("--threads=" + std::to_string(cfg.worker_threads));
+    plan.argv.push_back("--cells=" + j.cells_path);
+    plan.argv.push_back("--resume=true");
+    plan.argv.push_back("--heartbeat=" + plan.heartbeat_path);
+    plan.argv.push_back(
+        "--heartbeat-interval=" +
+        std::to_string(cfg.worker_heartbeat_interval_s));
+    if (j.rebalance) {
+      std::vector<std::uint64_t> ordinals;
+      ordinals.reserve(j.cells.size());
+      for (const auto& c : j.cells) ordinals.push_back(c.ordinal);
+      plan.argv.push_back("--only-cells=" + format_ordinal_list(ordinals));
+    }
+    j.die_injected = false;
+    if (!j.rebalance && j.attempts == 0) {
+      for (std::size_t r = 0; r < cfg.kill_rules.size(); ++r) {
+        if (rule_fired[r] || cfg.kill_rules[r].shard != j.shard) continue;
+        rule_fired[r] = 1;
+        j.die_injected = true;
+        ++rep.injected_kills;
+        plan.argv.push_back(
+            "--die-after-cells=" +
+            std::to_string(cfg.kill_rules[r].after_cells));
+        log(job_name(j) + ": injecting self-kill after " +
+            std::to_string(cfg.kill_rules[r].after_cells) + " cell(s)");
+      }
+    }
+    if (cfg.plan_hook) cfg.plan_hook(plan);
+
+    j.expected_hash = obs::argv_fingerprint(plan.argv);
+    j.proc = worker_proc{};
+    j.proc.spawn(plan.argv, j.log_path);
+    j.tail = std::make_unique<hb_tail>(plan.heartbeat_path);
+    j.state = jstate::running;
+    ++j.attempts;
+    j.spawned_at = now_s();
+    j.last_progress_at = j.spawned_at;
+    j.term_deadline = 0.0;
+    j.last_uptime = -1.0;
+    log(job_name(j) + ": spawned pid " + std::to_string(j.proc.pid()) +
+        " (attempt " + std::to_string(j.attempts) + ", " +
+        std::to_string(j.cells.size()) + " cell(s))");
+  };
+
+  const auto complete = [&](job& j) {
+    j.state = jstate::done;
+    j.progress_cells = j.cells.size();
+    j.progress_trials = j.owned_trials();
+    log(job_name(j) + ": complete (" + std::to_string(j.cells.size()) +
+        " cell(s), " + std::to_string(j.attempts) + " attempt(s))");
+  };
+
+  /// Cells of `j` not yet recorded in its cells file.
+  const auto remaining_cells = [](const job& j) {
+    std::set<std::pair<std::uint64_t, std::uint64_t>> recorded;
+    try {
+      for (const auto& rec : campaign_io::read_records(j.cells_path)) {
+        recorded.insert({rec.hash, rec.seed});
+      }
+    } catch (const std::exception&) {
+      // No file yet: the worker died before opening it; everything remains.
+    }
+    std::vector<campaign_cell> remaining;
+    for (const auto& c : j.cells) {
+      if (recorded.count({cell_hash(c), c.params.seed}) == 0) {
+        remaining.push_back(c);
+      }
+    }
+    return remaining;
+  };
+
+  const auto abort_run = [&](const std::string& why) {
+    rep.error = why;
+    log("ABORT: " + why);
+    for (auto& j : jobs) {
+      if (j.state == jstate::running && j.proc.running()) {
+        j.proc.kill(SIGKILL);
+      }
+    }
+    // Reap briefly so no zombies outlive the supervisor.
+    const double deadline = now_s() + 2.0;
+    for (auto& j : jobs) {
+      while (j.proc.spawned() && j.proc.running() && now_s() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (j.state == jstate::running) rep.worker_seconds += j.proc.seconds();
+    }
+  };
+
+  const auto rebalance = [&](job& j,
+                             const std::vector<campaign_cell>& remaining) {
+    j.state = jstate::exhausted;
+    rep.rebalanced_cells += remaining.size();
+    std::size_t live = 0;
+    for (const auto& other : jobs) {
+      if (&other != &j && (other.state == jstate::running ||
+                           other.state == jstate::pending)) {
+        ++live;
+      }
+    }
+    // One slice per surviving worker slot — at least one either way: with
+    // no survivors the fleet still owes the cells, so it forks anew.
+    const std::size_t parts =
+        std::max<std::size_t>(1, std::min(live, remaining.size()));
+    if (heal_spawns + parts > cfg.max_restarts) {
+      abort_run("restart budget exhausted (max_restarts=" +
+                std::to_string(cfg.max_restarts) + ") while rebalancing " +
+                job_name(j));
+      return;
+    }
+    heal_spawns += static_cast<unsigned>(parts);
+    log(job_name(j) + ": retry budget exhausted; rebalancing " +
+        std::to_string(remaining.size()) + " cell(s) onto " +
+        std::to_string(parts) + " new worker(s)");
+    const double t = now_s();
+    for (std::size_t p = 0; p < parts; ++p) {
+      job nj;
+      nj.shard = j.shard;
+      nj.rebalance = true;
+      nj.id = next_id++;
+      for (std::size_t c = p; c < remaining.size(); c += parts) {
+        nj.cells.push_back(remaining[c]);
+      }
+      nj.cells_path = cfg.run_dir + "/rebalance_" +
+                      std::to_string(j.shard) + "_" +
+                      std::to_string(nj.id) + ".jsonl";
+      nj.log_path = cfg.run_dir + "/log_r" + std::to_string(nj.id) + ".txt";
+      nj.respawn_at = t;
+      jobs.push_back(std::move(nj));
+    }
+  };
+
+  const auto on_exit = [&](job& j) {
+    rep.worker_seconds += j.proc.seconds();
+    if (!j.proc.signaled() && j.proc.exit_code() == exit_ok) {
+      complete(j);
+      return;
+    }
+    if (!j.proc.signaled() && j.proc.exit_code() == exit_usage) {
+      abort_run(job_name(j) +
+                " exited with a usage/config error (code 2); re-running "
+                "the same argv cannot succeed — see " +
+                j.log_path);
+      return;
+    }
+    if (!j.proc.signaled() && j.proc.exit_code() == 127) {
+      abort_run("cannot exec worker binary " + cfg.worker_argv.front());
+      return;
+    }
+    const auto remaining = remaining_cells(j);
+    const std::string cause =
+        j.proc.signaled()
+            ? "killed by signal " + std::to_string(j.proc.term_signal())
+            : "exited with code " + std::to_string(j.proc.exit_code());
+    if (remaining.empty()) {
+      // Incomplete exit but every owned cell is on file: the shard finished
+      // its work and reported violations (or was told to stop after the
+      // final flush) — nothing to heal.
+      log(job_name(j) + ": " + cause + " with all cells recorded");
+      complete(j);
+      return;
+    }
+    ++rep.lost_events;
+    log(job_name(j) + ": LOST (" + cause + ", " +
+        std::to_string(remaining.size()) + " cell(s) remaining)");
+    if (j.attempts - 1 < cfg.retries) {
+      if (heal_spawns + 1 > cfg.max_restarts) {
+        abort_run("restart budget exhausted (max_restarts=" +
+                  std::to_string(cfg.max_restarts) + ") while healing " +
+                  job_name(j));
+        return;
+      }
+      ++heal_spawns;
+      ++rep.restarts;
+      const double backoff =
+          cfg.backoff_s * std::pow(2.0, static_cast<double>(j.attempts - 1));
+      j.state = jstate::pending;
+      j.respawn_at = now_s() + backoff;
+      log(job_name(j) + ": re-running with --resume in " +
+          std::to_string(backoff) + "s (attempt " +
+          std::to_string(j.attempts + 1) + "/" +
+          std::to_string(1 + cfg.retries) + ")");
+    } else {
+      rebalance(j, remaining);
+    }
+  };
+
+  // --- Watch loop ----------------------------------------------------------
+  std::uint64_t kill_draws = 0;
+  double next_hb = start;  // first line immediately
+  while (rep.error.empty()) {
+    const double t = now_s();
+    bool any_active = false;
+    for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+      job& j = jobs[idx];
+      if (j.state == jstate::pending) {
+        any_active = true;
+        if (t >= j.respawn_at) spawn(j);
+        continue;
+      }
+      if (j.state != jstate::running) continue;
+      any_active = true;
+
+      // Drain the heartbeat tail; accept only samples attributable to the
+      // child we spawned (pid + argv fingerprint — file names are not
+      // trusted).
+      if (j.tail != nullptr && j.tail->poll() > 0) {
+        const hb_sample& s = j.tail->last();
+        if (s.pid == static_cast<std::uint64_t>(j.proc.pid()) &&
+            s.argv_hash == j.expected_hash) {
+          if (s.uptime_s > j.last_uptime) {
+            j.last_uptime = s.uptime_s;
+            j.last_progress_at = t;
+          }
+          j.progress_cells = std::max(j.progress_cells, s.cells_done);
+          j.progress_trials = std::max(j.progress_trials, s.trials_done);
+        }
+      }
+
+      if (!j.proc.running()) {
+        on_exit(j);
+        if (!rep.error.empty()) break;
+        continue;
+      }
+
+      // Random fault injection (supervisor-side SIGKILL).
+      if (cfg.kill_prob > 0.0 && j.term_deadline == 0.0 &&
+          u01(cfg.kill_seed, kill_draws++) < cfg.kill_prob) {
+        ++rep.injected_kills;
+        log(job_name(j) + ": injected SIGKILL (pid " +
+            std::to_string(j.proc.pid()) + ")");
+        j.proc.kill(SIGKILL);
+        continue;
+      }
+
+      // Freeze detection: a live pid whose heartbeat uptime stopped
+      // advancing. SIGTERM first (the worker flushes a final heartbeat
+      // line and exits with exit_incomplete), SIGKILL past the grace.
+      if (j.term_deadline == 0.0 &&
+          t - j.last_progress_at > cfg.stale_timeout_s) {
+        log(job_name(j) + ": heartbeat stale for " +
+            std::to_string(t - j.last_progress_at) +
+            "s — declaring frozen, sending SIGTERM to pid " +
+            std::to_string(j.proc.pid()));
+        j.proc.kill(SIGTERM);
+        j.term_deadline = t + cfg.term_grace_s;
+      } else if (j.term_deadline != 0.0 && t > j.term_deadline) {
+        j.proc.kill(SIGKILL);
+      }
+    }
+    if (!rep.error.empty()) break;
+    if (t >= next_hb) {
+      emit_fleet_hb();
+      next_hb = t + cfg.heartbeat_interval_s;
+    }
+    if (!any_active) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg.poll_interval_s));
+  }
+
+  // --- Merge + coverage ----------------------------------------------------
+  for (const auto& j : jobs) {
+    rep.cells_paths.push_back(j.cells_path);
+    job_status st;
+    st.shard = j.shard;
+    st.rebalance = j.rebalance;
+    st.cells_path = j.cells_path;
+    st.attempts = j.attempts;
+    st.complete = j.state == jstate::done;
+    st.cells = j.cells.size();
+    rep.jobs.push_back(std::move(st));
+  }
+  if (rep.error.empty()) {
+    try {
+      rep.merged =
+          campaign_io::merge_files(rep.cells_paths, /*tolerate_missing=*/true);
+    } catch (const std::exception& e) {
+      rep.error = std::string("merge failed: ") + e.what();
+    }
+  }
+  if (rep.error.empty()) {
+    std::set<std::pair<std::uint64_t, std::uint64_t>> present;
+    for (const auto& rec : rep.merged.records) {
+      present.insert({rec.hash, rec.seed});
+    }
+    std::string missing_labels;
+    for (const auto& c : all_cells) {
+      if (present.count({cell_hash(c), c.params.seed}) == 0) {
+        ++rep.missing_cells;
+        if (rep.missing_cells <= 4) {
+          missing_labels += (missing_labels.empty() ? "" : ", ") + c.label();
+        }
+      }
+    }
+    if (rep.missing_cells > 0) {
+      rep.error = std::to_string(rep.missing_cells) +
+                  " grid cell(s) missing from the merged union (" +
+                  missing_labels + "...) — refusing to emit a short BENCH";
+    }
+    // A DONE job whose cells file cannot be read claimed completion it
+    // cannot back up — fail loudly. Exhausted jobs may legitimately have
+    // no file (a worker that crashed before opening it); their cells were
+    // re-issued to rebalance jobs and the coverage check above is the
+    // authority for them.
+    if (rep.error.empty()) {
+      for (const auto& missing : rep.merged.missing_files) {
+        for (const auto& j : jobs) {
+          if (j.cells_path == missing && j.state == jstate::done) {
+            rep.error = "completed job's cells file is missing: " + missing;
+            break;
+          }
+        }
+        if (!rep.error.empty()) break;
+      }
+    }
+  }
+  rep.ok = rep.error.empty();
+  emit_fleet_hb();  // final line with the settled totals
+
+  // Always-on fleet counters (coarse; once per run).
+  obs::counter("fleet.restarts")
+      ->fetch_add(rep.restarts, std::memory_order_relaxed);
+  obs::counter("fleet.rebalanced_cells")
+      ->fetch_add(rep.rebalanced_cells, std::memory_order_relaxed);
+  obs::counter("fleet.lost")
+      ->fetch_add(rep.lost_events, std::memory_order_relaxed);
+  obs::counter("fleet.injected_kills")
+      ->fetch_add(rep.injected_kills, std::memory_order_relaxed);
+  obs::counter("fleet.worker_seconds_ms")
+      ->fetch_add(static_cast<std::uint64_t>(rep.worker_seconds * 1e3),
+                  std::memory_order_relaxed);
+
+  if (rep.ok) {
+    log("fleet complete: " + std::to_string(rep.merged.records.size()) +
+        " cell(s) from " + std::to_string(jobs.size()) + " job(s), " +
+        std::to_string(rep.restarts) + " restart(s), " +
+        std::to_string(rep.rebalanced_cells) + " rebalanced cell(s)");
+  }
+  return rep;
+}
+
+}  // namespace leancon::fleet

@@ -1,0 +1,155 @@
+// Elastic campaign fleet supervisor: fork, watch, heal, merge, report.
+//
+// run_fleet forks k local campaign_worker processes (one config-hash shard
+// each, exp/campaign_shard.h), tails every shard's heartbeat JSONL as the
+// liveness/progress protocol (fleet/hb_tail.h), and survives the same
+// adversary the simulations model:
+//
+//   lost   a worker died (nonzero exit, signal) or froze (its heartbeat's
+//          uptime_s stopped advancing for stale_timeout_s while the pid
+//          still exists — the supervisor SIGTERMs it, waits term_grace_s
+//          for the worker's final-heartbeat flush, then SIGKILLs)
+//   heal   the lost shard re-runs with --resume after an exponential
+//          backoff: its cells file is a content-addressed memo table
+//          keyed on (config hash, seed), so completed cells are never
+//          re-simulated and re-run lines are byte-identical
+//   rebalance  after `retries` re-runs the job is declared exhausted and
+//          its REMAINING cells are re-issued as explicit ordinal lists
+//          (campaign_worker --only-cells) split across the surviving
+//          workers' slots — ordinals index the full grid, so seeds,
+//          hashes, and "index" fields are unchanged
+//
+// On completion the supervisor merges every cells file
+// (campaign_io::merge_files) and verifies coverage: every cell of the
+// full grid must be present in the union, and expected-but-missing or
+// empty shard files are surfaced — a short BENCH is an error, never a
+// silent success. The merged stream is byte-identical to the
+// single-process campaign's file even across injected worker deaths.
+//
+// Fault injection (so the healing path is CI-testable, not just
+// promised): kill_rules make shard i's FIRST attempt self-SIGKILL after
+// c flushed cells (campaign_worker --die-after-cells — deterministic, no
+// race against worker completion), and kill_prob fires supervisor-side
+// SIGKILLs from a seeded generator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+#include "exp/campaign_io.h"
+
+namespace leancon::fleet {
+
+/// Deterministic fault injection: shard `shard`'s first attempt self-kills
+/// (SIGKILL) after `after_cells` cells have been flushed to its file.
+struct kill_rule {
+  std::uint64_t shard = 0;
+  std::uint64_t after_cells = 1;
+};
+
+/// Parses the CLI form "i@cells:c" (e.g. "1@cells:2"). Throws
+/// std::invalid_argument on malformed text.
+kill_rule parse_kill_rule(const std::string& text);
+
+/// Everything the supervisor is about to fork: tests mutate `argv` through
+/// fleet_config::plan_hook to substitute fake workers for specific
+/// (shard, attempt) pairs; the supervisor keeps its own paths either way.
+struct spawn_plan {
+  std::uint64_t shard = 0;      ///< originating shard index
+  unsigned attempt = 0;         ///< 0 = first launch
+  bool rebalance = false;       ///< an --only-cells job, not a full shard
+  std::string cells_path;
+  std::string heartbeat_path;
+  std::vector<std::string> argv;
+};
+
+struct fleet_config {
+  /// The full grid — MUST expand to the same cells as `grid_flags` do in
+  /// the workers (use campaign_cli's grid_from_options on both sides).
+  campaign_grid grid;
+  /// Grid flags forwarded verbatim to every worker ("--scenarios=...",
+  /// "--ns=...", "--trials=...", "--op-budget=...", "--seed=...").
+  std::vector<std::string> grid_flags;
+  std::uint64_t shards = 1;
+  /// Per-run directory for cells files, heartbeats, and worker logs
+  /// (created if absent).
+  std::string run_dir;
+  /// Worker argv prefix, typically {"<path>/campaign_worker"}.
+  std::vector<std::string> worker_argv;
+  unsigned worker_threads = 1;
+  double worker_heartbeat_interval_s = 0.1;
+
+  double poll_interval_s = 0.02;
+  /// A running worker whose heartbeat uptime_s has not advanced for this
+  /// long is declared frozen.
+  double stale_timeout_s = 30.0;
+  /// SIGTERM → SIGKILL grace for frozen workers.
+  double term_grace_s = 1.0;
+  /// Re-runs (with --resume) per job before its remaining cells rebalance.
+  unsigned retries = 2;
+  /// First-retry backoff; doubles per subsequent attempt.
+  double backoff_s = 0.25;
+  /// Fleet-wide cap on heal spawns (retries + rebalance jobs); exceeding
+  /// it aborts the run — a crash-looping configuration must not fork
+  /// forever.
+  unsigned max_restarts = 64;
+
+  std::vector<kill_rule> kill_rules;
+  /// Per poll, per running worker probability of an injected SIGKILL.
+  double kill_prob = 0.0;
+  std::uint64_t kill_seed = 1;
+
+  /// Fleet-level aggregate heartbeat JSONL (empty = run_dir/fleet_hb.jsonl;
+  /// schema-compatible with worker heartbeats, shard = "fleet", plus a
+  /// per-shard "shards" status array).
+  std::string heartbeat_path;
+  double heartbeat_interval_s = 0.5;
+  /// argv_hash stamped on fleet heartbeat lines (the launcher passes
+  /// obs::argv_fingerprint of its own command line).
+  std::string argv_hash = "0x0";
+
+  bool verbose = true;  ///< per-event progress lines on stdout
+
+  /// Test hook: invoked just before each fork; may rewrite plan.argv.
+  std::function<void(spawn_plan&)> plan_hook;
+};
+
+/// Final status of one supervised job.
+struct job_status {
+  std::uint64_t shard = 0;
+  bool rebalance = false;
+  std::string cells_path;
+  unsigned attempts = 0;  ///< processes spawned for this job
+  bool complete = false;
+  std::uint64_t cells = 0;  ///< cells the job owned
+};
+
+struct fleet_report {
+  bool ok = false;
+  std::string error;  ///< non-empty when !ok
+  /// The merged union of every job's cells file, in canonical (full-grid
+  /// index) order — byte-identical to the single-process campaign when ok.
+  campaign_io::merged_cells merged;
+  std::vector<std::string> cells_paths;
+  std::vector<job_status> jobs;
+
+  std::uint64_t restarts = 0;          ///< heal re-spawns (beyond first launches)
+  std::uint64_t rebalanced_cells = 0;  ///< cells re-issued via --only-cells
+  std::uint64_t lost_events = 0;       ///< deaths + freezes observed
+  std::uint64_t injected_kills = 0;    ///< kill_rules fired + kill_prob shots
+  std::uint64_t missing_cells = 0;     ///< grid cells absent from the union
+  double worker_seconds = 0.0;         ///< summed child process lifetimes
+};
+
+/// Runs the whole campaign through a supervised worker fleet; blocks until
+/// every cell is accounted for (or the run aborts). Also bumps the obs
+/// counters fleet.restarts / fleet.rebalanced_cells / fleet.lost /
+/// fleet.injected_kills / fleet.worker_seconds_ms. Throws
+/// std::invalid_argument on an unusable configuration (no shards, no
+/// worker binary, unexpandable grid).
+fleet_report run_fleet(const fleet_config& cfg);
+
+}  // namespace leancon::fleet

@@ -1,0 +1,123 @@
+#include "fleet/worker_proc.h"
+
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "obs/obs.h"
+
+namespace leancon::fleet {
+
+void worker_proc::spawn(const std::vector<std::string>& argv,
+                        const std::string& log_path) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (argv.empty()) {
+    throw std::runtime_error("worker_proc: empty argv");
+  }
+  if (pid_ != 0) {
+    throw std::runtime_error("worker_proc: already spawned");
+  }
+  // Everything that allocates happens BEFORE fork: in a multithreaded
+  // parent the child may only call async-signal-safe functions between
+  // fork and exec (another thread could hold the allocator lock at the
+  // moment of the fork).
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+  int log_fd = -1;
+  if (!log_path.empty()) {
+    log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (log_fd < 0) {
+      throw std::runtime_error("worker_proc: cannot open log " + log_path);
+    }
+  }
+
+  const pid_t child = ::fork();
+  if (child < 0) {
+    if (log_fd >= 0) ::close(log_fd);
+    throw std::runtime_error("worker_proc: fork failed");
+  }
+  if (child == 0) {
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    ::execv(cargv[0], cargv.data());
+    _exit(127);  // exec failed; the supervisor sees a distinct code
+  }
+  if (log_fd >= 0) ::close(log_fd);
+  pid_ = child;
+  spawn_ns_ = obs::now_ns();
+#else
+  (void)argv;
+  (void)log_path;
+  throw std::runtime_error("worker_proc: unsupported platform");
+#endif
+}
+
+bool worker_proc::running() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (pid_ == 0 || reaped_) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(pid_), &status, WNOHANG);
+  if (r == 0) return true;  // still alive
+  // r == pid: reaped. r < 0 (ECHILD...) should not happen for our own
+  // children; treat it as reaped-with-failure so the supervisor never
+  // spins on a phantom process.
+  status_ = r > 0 ? status : 0;
+  reaped_ = true;
+  reap_ns_ = obs::now_ns();
+  return false;
+#else
+  return false;
+#endif
+}
+
+bool worker_proc::signaled() const {
+#if defined(__unix__) || defined(__APPLE__)
+  return reaped_ && WIFSIGNALED(status_);
+#else
+  return false;
+#endif
+}
+
+int worker_proc::term_signal() const {
+#if defined(__unix__) || defined(__APPLE__)
+  return signaled() ? WTERMSIG(status_) : 0;
+#else
+  return 0;
+#endif
+}
+
+int worker_proc::exit_code() const {
+#if defined(__unix__) || defined(__APPLE__)
+  return reaped_ && WIFEXITED(status_) ? WEXITSTATUS(status_) : -1;
+#else
+  return -1;
+#endif
+}
+
+void worker_proc::kill(int sig) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (pid_ != 0 && !reaped_) ::kill(static_cast<pid_t>(pid_), sig);
+#else
+  (void)sig;
+#endif
+}
+
+double worker_proc::seconds() const {
+  if (pid_ == 0) return 0.0;
+  const std::uint64_t end = reaped_ ? reap_ns_ : obs::now_ns();
+  return static_cast<double>(end - spawn_ns_) / 1e9;
+}
+
+}  // namespace leancon::fleet

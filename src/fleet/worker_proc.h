@@ -1,0 +1,80 @@
+// One supervised worker process: fork/exec, non-blocking reap, signals.
+//
+// The fleet supervisor (fleet/supervisor.h) forks k campaign_worker
+// processes and has to tell four outcomes apart without ambiguity, so the
+// worker exit protocol is pinned here and shared by both sides:
+//
+//   exit_ok         (0)  the shard ran to completion, every cell safe
+//   exit_usage      (2)  flag/config error (unknown scenario, malformed
+//                        shard, unopenable file) — re-running the same
+//                        argv can never succeed, so the supervisor treats
+//                        it as fatal instead of burning the retry budget
+//   exit_incomplete (3)  the shard ran but ended incomplete or unsafe:
+//                        recorded violations, a runtime error mid-run, or
+//                        a SIGTERM-initiated shutdown (the worker flushes a
+//                        final heartbeat line, then exits with this code)
+//
+// Anything else — including death by signal, which waitpid reports
+// separately — means the shard is lost and its cells file holds only a
+// prefix; the supervisor re-runs it with --resume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leancon::fleet {
+
+/// The worker exit protocol (see the header comment).
+inline constexpr int exit_ok = 0;
+inline constexpr int exit_usage = 2;
+inline constexpr int exit_incomplete = 3;
+
+/// A forked child process. Movable handle; the destructor does NOT kill or
+/// reap — the supervisor owns the lifecycle explicitly.
+class worker_proc {
+ public:
+  worker_proc() = default;
+
+  /// Forks and execs `argv` (argv[0] is the binary path), redirecting the
+  /// child's stdout+stderr to `log_path` (append; empty = inherit). All
+  /// allocation happens before fork so a multithreaded parent cannot
+  /// deadlock the child. Throws std::runtime_error when fork fails or
+  /// argv is empty; exec failure surfaces as exit code 127.
+  void spawn(const std::vector<std::string>& argv,
+             const std::string& log_path);
+
+  /// Polls waitpid(WNOHANG). True while the child is alive (or was never
+  /// spawned... false); once the child is reaped, records its status and
+  /// returns false from then on.
+  bool running();
+
+  bool spawned() const { return pid_ != 0; }
+  bool reaped() const { return reaped_; }
+
+  /// True when the reaped child terminated by signal (SIGKILL, a crash...).
+  bool signaled() const;
+  /// The terminating signal (signaled() only).
+  int term_signal() const;
+  /// The exit code (reaped and not signaled; see the protocol above).
+  int exit_code() const;
+
+  /// Sends `sig` to the child (no-op once reaped).
+  void kill(int sig);
+
+  /// Child pid (0 before spawn).
+  std::int64_t pid() const { return pid_; }
+
+  /// Wall-clock seconds from spawn to reap (to now while running) — the
+  /// fleet.worker_seconds accounting unit.
+  double seconds() const;
+
+ private:
+  std::int64_t pid_ = 0;
+  bool reaped_ = false;
+  int status_ = 0;
+  std::uint64_t spawn_ns_ = 0;
+  std::uint64_t reap_ns_ = 0;
+};
+
+}  // namespace leancon::fleet

@@ -1,9 +1,15 @@
 #include "obs/heartbeat.h"
 
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "obs/obs.h"
 #include "util/json.h"
@@ -36,6 +42,37 @@ std::uint64_t rss_kb() {
 #endif
 }
 
+std::uint64_t own_pid() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+std::string argv_fingerprint(const std::vector<std::string>& argv) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const auto& arg : argv) {
+    for (const unsigned char c : arg) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    // Argument separator, so {"ab"} and {"a", "b"} hash differently.
+    h ^= 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016" PRIx64, h);
+  return buf;
+}
+
+std::string argv_fingerprint(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) args.emplace_back(argv[i]);
+  return argv_fingerprint(args);
+}
+
 heartbeat::heartbeat(const std::string& path, double interval_s)
     : out_(path, std::ios::app),
       interval_s_(interval_s < 0.01 ? 0.01 : interval_s) {
@@ -66,6 +103,14 @@ void heartbeat::set_totals(std::uint64_t cells, std::uint64_t trials) {
   trials_total_ = trials;
 }
 
+void heartbeat::set_identity(std::string shard, std::string argv_hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shard_ = std::move(shard);
+  argv_hash_ = std::move(argv_hash);
+}
+
+void heartbeat::flush_now() { emit_line(); }
+
 void heartbeat::run() {
   emit_line();  // immediate first line so short runs still report
   std::unique_lock<std::mutex> lock(mutex_);
@@ -86,10 +131,14 @@ void heartbeat::emit_line() {
       counter_value("campaign.trials_done") - base_trials_;
   std::uint64_t cells_total = 0;
   std::uint64_t trials_total = 0;
+  std::string shard;
+  std::string argv_hash;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     cells_total = cells_total_;
     trials_total = trials_total_;
+    shard = shard_;
+    argv_hash = argv_hash_;
   }
   const double rate =
       uptime_s > 0.0 ? static_cast<double>(trials_done) / uptime_s : 0.0;
@@ -98,7 +147,11 @@ void heartbeat::emit_line() {
   const double eta_s =
       rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
 
-  auto& os = out_;
+  // Build the whole line first and append it with one buffered write, so a
+  // process killed mid-emission tears at most one unflushed line (the
+  // supervisor's tailer and tools/trace_validate.py never see a torn
+  // prefix followed by a healthy suffix fused together).
+  std::ostringstream os;
   os << "{\"uptime_s\":";
   json::write_number(os, uptime_s);
   os << ",\"cells_done\":";
@@ -117,8 +170,17 @@ void heartbeat::emit_line() {
   json::write_string(os, obs::status());
   os << ",\"rss_kb\":";
   json::write_uint(os, rss_kb());
+  os << ",\"shard\":";
+  json::write_string(os, shard);
+  os << ",\"pid\":";
+  json::write_uint(os, own_pid());
+  os << ",\"argv_hash\":";
+  json::write_string(os, argv_hash);
   os << "}\n";
-  os.flush();
+
+  const std::lock_guard<std::mutex> emit_lock(emit_mutex_);
+  out_ << os.str();
+  out_.flush();
 }
 
 }  // namespace leancon::obs

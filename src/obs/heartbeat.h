@@ -1,12 +1,20 @@
 // Periodic campaign progress heartbeat: one JSON object per line appended
-// to a file, consumable by a supervisor (the ROADMAP's campaign_launch)
-// or a human with tail -f.
+// to a file, consumable by a supervisor (fleet/supervisor.h tails these
+// files as its liveness/progress protocol) or a human with tail -f.
 //
-// Line schema (all fields always present):
+// Line schema (all fields always present; pinned by tools/trace_validate.py):
 //   {"uptime_s": <double>, "cells_done": <u64>, "cells_total": <u64>,
 //    "trials_done": <u64>, "trials_total": <u64>,
 //    "trials_per_sec": <double>, "eta_s": <double>,
-//    "current_cell": <string>, "rss_kb": <u64>}
+//    "current_cell": <string>, "rss_kb": <u64>,
+//    "shard": "<i/k>", "pid": <u64>, "argv_hash": "<0x hex>"}
+//
+// The identity triple (shard, pid, argv_hash) lets a supervisor attribute a
+// heartbeat file to the worker it spawned without trusting file names: the
+// shard is the worker's "i/k" assignment (set_identity; "0/1" for unsharded
+// runs), pid is the emitting process, and argv_hash is argv_fingerprint()
+// over the worker's exact command line — a reused or mixed-up file fails
+// the pid/argv check instead of silently feeding another shard's progress.
 //
 // Progress is read from the always-on obs counters the campaign engine
 // bumps ("campaign.cells_done", "campaign.trials_done") relative to their
@@ -16,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include <condition_variable>
 #include <fstream>
@@ -37,6 +46,17 @@ class heartbeat {
   /// Totals the progress fractions and ETA are computed against.
   void set_totals(std::uint64_t cells, std::uint64_t trials);
 
+  /// The identity fields of every emitted line: the worker's shard
+  /// assignment ("i/k"; defaults to "0/1" for unsharded runs) and the
+  /// fingerprint of its command line (argv_fingerprint; defaults to "0x0").
+  /// The pid field is always the emitting process's own pid.
+  void set_identity(std::string shard, std::string argv_hash);
+
+  /// Emits one line immediately (serialized against the periodic emitter).
+  /// The worker's SIGTERM path calls this so the supervisor sees a final
+  /// progress line even when the process exits without running destructors.
+  void flush_now();
+
   heartbeat(const heartbeat&) = delete;
   heartbeat& operator=(const heartbeat&) = delete;
 
@@ -51,8 +71,14 @@ class heartbeat {
   std::uint64_t cells_total_ = 0;
   std::uint64_t trials_total_ = 0;
   std::uint64_t start_ns_ = 0;
+  std::string shard_ = "0/1";
+  std::string argv_hash_ = "0x0";
 
   std::mutex mutex_;
+  // Serializes whole-line emission (periodic thread vs flush_now callers)
+  // so lines never interleave; distinct from mutex_, which emit_line takes
+  // internally for the totals/identity snapshot.
+  std::mutex emit_mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
   std::thread thread_;
@@ -60,5 +86,14 @@ class heartbeat {
 
 /// Resident set size in kB from /proc/self/status (0 where unavailable).
 std::uint64_t rss_kb();
+
+/// The calling process's pid (0 where unavailable).
+std::uint64_t own_pid();
+
+/// Stable "0x..." FNV-1a fingerprint of a command line, for the heartbeat
+/// argv_hash field. The supervisor computes the same fingerprint over the
+/// argv it spawned and rejects heartbeat lines that do not match.
+std::string argv_fingerprint(const std::vector<std::string>& argv);
+std::string argv_fingerprint(int argc, const char* const* argv);
 
 }  // namespace leancon::obs

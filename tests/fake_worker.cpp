@@ -1,0 +1,50 @@
+// Misbehaving stand-in for campaign_worker, exec'd by tests/test_fleet.cpp
+// through fleet_config::plan_hook to drive the supervisor's failure paths
+// deterministically:
+//
+//   --mode=die     exit 1 immediately (a crash before any work)
+//   --mode=usage   exit 2 (the worker's "re-running cannot help" code)
+//   --mode=freeze  emit ONE valid heartbeat line (real pid + fingerprint of
+//                  this exact argv, so the supervisor attributes it), ignore
+//                  SIGTERM, and hang — the live-pid-but-stale-heartbeat case
+//                  that forces the SIGTERM → grace → SIGKILL escalation
+//
+// Unknown flags are ignored so the supervisor's standard worker argv
+// (--scenarios=..., --cells=...) passes through harmlessly.
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/heartbeat.h"
+
+int main(int argc, char** argv) {
+  std::string mode = "die";
+  std::string hb_path;
+  std::string shard = "0/1";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--mode=")) mode = v;
+    if (const char* v = value("--heartbeat=")) hb_path = v;
+    if (const char* v = value("--shard=")) shard = v;
+  }
+  if (mode == "usage") return 2;
+  if (mode == "freeze") {
+    std::signal(SIGTERM, SIG_IGN);
+    if (!hb_path.empty()) {
+      leancon::obs::heartbeat hb(hb_path, /*interval_s=*/3600.0);
+      hb.set_identity(shard, leancon::obs::argv_fingerprint(argc, argv));
+      hb.flush_now();
+      std::this_thread::sleep_for(std::chrono::seconds(600));
+    } else {
+      std::this_thread::sleep_for(std::chrono::seconds(600));
+    }
+    return 0;
+  }
+  return 1;  // mode=die
+}

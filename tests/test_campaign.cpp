@@ -615,6 +615,37 @@ TEST(CampaignIoMerge, EmptyShardFilesAndEmptyInputsAreFine) {
                std::runtime_error);
 }
 
+TEST(CampaignIoMerge, SurfacesMissingAndEmptyInputsAsNamedLists) {
+  const std::string empty = write_lines("merge_surfaced_empty.jsonl", {});
+  const auto cells = small_grid();
+  const std::string path = testing::TempDir() + "merge_surfaced.jsonl";
+  {
+    campaign_io io(path, false);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(cells, opts);
+  }
+  // tolerate_missing collects unreadable paths instead of throwing — the
+  // fleet supervisor knows which shards died and must see WHICH inputs
+  // contributed nothing rather than a short merge.
+  const auto merged = campaign_io::merge_files(
+      {path, "no/such/shard.jsonl", empty}, /*tolerate_missing=*/true);
+  EXPECT_EQ(merged.lines.size(), cells.size());
+  ASSERT_EQ(merged.missing_files.size(), 1u);
+  EXPECT_EQ(merged.missing_files[0], "no/such/shard.jsonl");
+  ASSERT_EQ(merged.empty_files.size(), 1u);
+  EXPECT_EQ(merged.empty_files[0], empty);
+
+  // Without tolerate_missing the unreadable path still throws (the
+  // campaign_report CLI path), and readable-but-empty inputs are still
+  // named.
+  EXPECT_THROW(campaign_io::merge_files({path, "no/such/shard.jsonl"}),
+               std::runtime_error);
+  const auto strict = campaign_io::merge_files({path, empty});
+  EXPECT_TRUE(strict.missing_files.empty());
+  ASSERT_EQ(strict.empty_files.size(), 1u);
+}
+
 // --- Acceptance pin --------------------------------------------------------
 
 TEST(Campaign, Figure1SmokeGridMatchesCommittedBaseline) {

@@ -1,0 +1,272 @@
+// Supervisor tests: the fleet's fork/watch/heal/merge loop against the real
+// campaign_worker binary plus a deliberately misbehaving fake worker
+// (tests/fake_worker.cpp), substituted per (shard, attempt) through
+// fleet_config::plan_hook. The load-bearing property throughout: the merged
+// stream stays byte-identical to a single-process campaign no matter which
+// workers died on the way.
+#include "fleet/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "exp/campaign.h"
+#include "exp/campaign_io.h"
+#include "exp/campaign_shard.h"
+#include "fleet/worker_proc.h"
+#include "harness.h"
+
+namespace leancon {
+namespace {
+
+// Both binaries are injected by tests/CMakeLists.txt as $<TARGET_FILE:...>.
+#ifndef LEANCON_WORKER_BIN
+#define LEANCON_WORKER_BIN "campaign_worker"
+#endif
+#ifndef LEANCON_FAKE_WORKER_BIN
+#define LEANCON_FAKE_WORKER_BIN "fake_worker"
+#endif
+
+campaign_grid test_grid() {
+  campaign_grid grid;
+  grid.scenarios = {"mutex-noise", "hybrid-q8"};
+  grid.ns = {2, 4};
+  grid.trials = 4;
+  grid.seed = 1;
+  return grid;
+}
+
+std::vector<std::string> test_grid_flags() {
+  return {"--scenarios=mutex-noise,hybrid-q8", "--ns=2,4", "--trials=4",
+          "--op-budget=0", "--seed=1"};
+}
+
+/// A fresh run directory under the gtest temp root.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "fleet_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// The file a single-process campaign writes for the same grid — the byte
+/// reference every fleet assertion compares against.
+std::string single_process_bytes(const std::string& dir) {
+  const std::string path = dir + "/single.jsonl";
+  {
+    campaign_io io(path);
+    campaign_options copts;
+    copts.threads = 2;
+    copts.io = &io;
+    run_campaign(test_grid(), copts);
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string merged_bytes(const fleet::fleet_report& rep) {
+  std::string bytes;
+  for (const auto& line : rep.merged.lines) {
+    bytes += line;
+    bytes += '\n';
+  }
+  return bytes;
+}
+
+fleet::fleet_config base_config(const std::string& dir,
+                                std::uint64_t shards) {
+  fleet::fleet_config cfg;
+  cfg.grid = test_grid();
+  cfg.grid_flags = test_grid_flags();
+  cfg.shards = shards;
+  cfg.run_dir = dir;
+  cfg.worker_argv = {LEANCON_WORKER_BIN};
+  cfg.worker_threads = 1;
+  cfg.worker_heartbeat_interval_s = 0.02;
+  cfg.backoff_s = 0.01;
+  cfg.heartbeat_interval_s = 0.05;
+  cfg.verbose = false;
+  return cfg;
+}
+
+/// A shard (for k = `shards`) owning at least `min_cells` cells, so an
+/// injected death at cell 1 leaves work to heal.
+std::uint64_t shard_owning(std::uint64_t shards, std::size_t min_cells) {
+  const auto cells = test_grid().expand();
+  for (std::uint64_t i = 0; i < shards; ++i) {
+    if (filter_shard(cells, {i, shards}).size() >= min_cells) return i;
+  }
+  ADD_FAILURE() << "no shard owns " << min_cells << " cells";
+  return 0;
+}
+
+double counter_of(const bench::results& res, const std::string& name) {
+  for (const auto& [key, value] : res.counters) {
+    if (key == name) return value;
+  }
+  return -1.0;
+}
+
+TEST(FleetKillRule, ParsesAndRejects) {
+  const fleet::kill_rule rule = fleet::parse_kill_rule("1@cells:2");
+  EXPECT_EQ(rule.shard, 1u);
+  EXPECT_EQ(rule.after_cells, 2u);
+  EXPECT_THROW(fleet::parse_kill_rule("nonsense"), std::invalid_argument);
+  EXPECT_THROW(fleet::parse_kill_rule("@cells:2"), std::invalid_argument);
+  EXPECT_THROW(fleet::parse_kill_rule("1@cells:x"), std::invalid_argument);
+  EXPECT_THROW(fleet::parse_kill_rule("1.5@cells:2"), std::invalid_argument);
+}
+
+TEST(FleetWorkerProc, WorkerExitsWithUsageCodeOnBadFlags) {
+  const std::string dir = fresh_dir("usage");
+  fleet::worker_proc proc;
+  proc.spawn({LEANCON_WORKER_BIN, "--scenarios=no-such-scenario",
+              "--cells=" + dir + "/cells.jsonl"},
+             dir + "/log.txt");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (proc.running()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(proc.reaped());
+  ASSERT_FALSE(proc.signaled());
+  EXPECT_EQ(proc.exit_code(), fleet::exit_usage);
+
+  fleet::worker_proc no_cells;
+  no_cells.spawn({LEANCON_WORKER_BIN, "--scenarios=mutex-noise"},
+                 dir + "/log2.txt");
+  while (no_cells.running()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(no_cells.exit_code(), fleet::exit_usage);
+}
+
+TEST(FleetSupervisor, CleanRunIsByteIdenticalToSingleProcess) {
+  const std::string dir = fresh_dir("clean");
+  const auto rep = fleet::run_fleet(base_config(dir, 3));
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.restarts, 0u);
+  EXPECT_EQ(rep.lost_events, 0u);
+  EXPECT_EQ(rep.missing_cells, 0u);
+  EXPECT_EQ(rep.jobs.size(), 3u);
+  EXPECT_EQ(merged_bytes(rep), single_process_bytes(dir));
+}
+
+TEST(FleetSupervisor, KilledWorkerHealsWithResumeByteIdentical) {
+  const std::string dir = fresh_dir("heal");
+  auto cfg = base_config(dir, 2);
+  const std::uint64_t victim = shard_owning(2, 2);
+  cfg.kill_rules = {{victim, 1}};
+  cfg.retries = 2;
+  const auto rep = fleet::run_fleet(cfg);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_GE(rep.injected_kills, 1u);
+  EXPECT_GE(rep.lost_events, 1u);
+  EXPECT_GE(rep.restarts, 1u);
+  EXPECT_EQ(rep.rebalanced_cells, 0u);
+  for (const auto& job : rep.jobs) {
+    if (job.shard == victim) EXPECT_EQ(job.attempts, 2u);
+    EXPECT_TRUE(job.complete);
+  }
+  EXPECT_EQ(merged_bytes(rep), single_process_bytes(dir));
+}
+
+TEST(FleetSupervisor, FrozenWorkerIsDetectedAndHealed) {
+  const std::string dir = fresh_dir("freeze");
+  auto cfg = base_config(dir, 2);
+  const std::uint64_t victim = shard_owning(2, 1);
+  // First attempt of the victim shard: a live pid that emits one valid
+  // heartbeat line (correct pid + fingerprint) and then stops advancing —
+  // only the uptime_s staleness check can catch it. It also ignores
+  // SIGTERM, forcing the SIGKILL escalation.
+  cfg.stale_timeout_s = 0.4;
+  cfg.term_grace_s = 0.2;
+  cfg.plan_hook = [victim](fleet::spawn_plan& plan) {
+    if (plan.shard == victim && plan.attempt == 0 && !plan.rebalance) {
+      plan.argv = {LEANCON_FAKE_WORKER_BIN, "--mode=freeze",
+                   "--heartbeat=" + plan.heartbeat_path,
+                   "--shard=" + std::to_string(victim) + "/2"};
+    }
+  };
+  const auto rep = fleet::run_fleet(cfg);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_GE(rep.lost_events, 1u);
+  EXPECT_GE(rep.restarts, 1u);
+  EXPECT_EQ(merged_bytes(rep), single_process_bytes(dir));
+}
+
+TEST(FleetSupervisor, ExhaustedRetriesRebalanceOntoSurvivors) {
+  const std::string dir = fresh_dir("rebalance");
+  auto cfg = base_config(dir, 2);
+  const std::uint64_t victim = shard_owning(2, 1);
+  const std::uint64_t victim_cells =
+      filter_shard(test_grid().expand(), {victim, 2}).size();
+  // EVERY direct attempt of the victim shard crashes instantly; only the
+  // post-exhaustion rebalance jobs (--only-cells, not rewritten here) run
+  // the real worker.
+  cfg.retries = 1;
+  cfg.plan_hook = [victim](fleet::spawn_plan& plan) {
+    if (plan.shard == victim && !plan.rebalance) {
+      plan.argv = {LEANCON_FAKE_WORKER_BIN, "--mode=die"};
+    }
+  };
+  const auto rep = fleet::run_fleet(cfg);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.rebalanced_cells, victim_cells);
+  EXPECT_GE(rep.restarts, 1u);  // the retry that also crashed
+  bool saw_rebalance_job = false;
+  for (const auto& job : rep.jobs) {
+    if (job.rebalance) {
+      saw_rebalance_job = true;
+      EXPECT_TRUE(job.complete);
+      EXPECT_EQ(job.shard, victim);
+    }
+  }
+  EXPECT_TRUE(saw_rebalance_job);
+  EXPECT_EQ(merged_bytes(rep), single_process_bytes(dir));
+}
+
+TEST(FleetSupervisor, UsageExitAbortsInsteadOfRetrying) {
+  const std::string dir = fresh_dir("usage_abort");
+  auto cfg = base_config(dir, 2);
+  const std::uint64_t victim = shard_owning(2, 1);
+  cfg.plan_hook = [victim](fleet::spawn_plan& plan) {
+    if (plan.shard == victim && !plan.rebalance) {
+      plan.argv = {LEANCON_FAKE_WORKER_BIN, "--mode=usage"};
+    }
+  };
+  const auto rep = fleet::run_fleet(cfg);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("usage"), std::string::npos) << rep.error;
+  EXPECT_EQ(rep.restarts, 0u);
+}
+
+TEST(FleetSupervisor, MergedBenchCarriesFleetAndCoverageCounters) {
+  const std::string dir = fresh_dir("bench");
+  auto cfg = base_config(dir, 2);
+  cfg.kill_rules = {{shard_owning(2, 2), 1}};
+  const auto rep = fleet::run_fleet(cfg);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  ASSERT_GE(rep.restarts, 1u);
+
+  // The launcher feeds rep.merged into campaign_bench and appends the
+  // fleet.* counters; the merged union must look exactly like a healthy
+  // single-file campaign to the aggregator.
+  const bench::results res = bench::campaign_bench("fleet_test", rep.merged);
+  EXPECT_EQ(counter_of(res, "cells"), 4.0);
+  EXPECT_EQ(counter_of(res, "missing_files"), 0.0);
+  EXPECT_EQ(counter_of(res, "empty_files"), 0.0);
+  EXPECT_EQ(counter_of(res, "duplicate_cells"), 0.0);
+  EXPECT_EQ(counter_of(res, "skipped_lines"), 0.0);
+}
+
+}  // namespace
+}  // namespace leancon

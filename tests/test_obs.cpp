@@ -235,6 +235,7 @@ TEST(ObsHeartbeat, LinesCarryTheDocumentedSchema) {
   {
     obs::heartbeat hb(path, 0.02);
     hb.set_totals(3, 300);
+    hb.set_identity("2/5", obs::argv_fingerprint({"worker", "--shard=2/5"}));
     obs::set_status("cell A");
     std::this_thread::sleep_for(std::chrono::milliseconds(80));
   }  // destructor emits a final line and joins the thread
@@ -248,24 +249,32 @@ TEST(ObsHeartbeat, LinesCarryTheDocumentedSchema) {
     ASSERT_TRUE(hb.is(json::value::kind::object)) << line;
     for (const char* field :
          {"uptime_s", "cells_done", "cells_total", "trials_done",
-          "trials_total", "trials_per_sec", "eta_s", "rss_kb"}) {
+          "trials_total", "trials_per_sec", "eta_s", "rss_kb", "pid"}) {
       const json::value* v = hb.find(field);
       ASSERT_NE(v, nullptr) << field;
       EXPECT_TRUE(v->is(json::value::kind::number)) << field;
     }
-    const json::value* cell = hb.find("current_cell");
-    ASSERT_NE(cell, nullptr);
-    EXPECT_TRUE(cell->is(json::value::kind::string));
+    for (const char* field : {"current_cell", "shard", "argv_hash"}) {
+      const json::value* v = hb.find(field);
+      ASSERT_NE(v, nullptr) << field;
+      EXPECT_TRUE(v->is(json::value::kind::string)) << field;
+    }
+    EXPECT_EQ(hb.find("pid")->num,
+              static_cast<double>(obs::own_pid()));
     last = line;
     ++count;
   }
   // At least the immediate line plus the final line.
   EXPECT_GE(count, 2u);
   // The first line may precede set_totals (it is emitted immediately so
-  // short runs still report); the final line must carry the totals.
+  // short runs still report); the final line must carry the totals and the
+  // identity set after construction.
   const json::value final_line = json::parse(last);
   EXPECT_EQ(final_line.find("cells_total")->num, 3.0);
   EXPECT_EQ(final_line.find("trials_total")->num, 300.0);
+  EXPECT_EQ(final_line.find("shard")->str, "2/5");
+  EXPECT_EQ(final_line.find("argv_hash")->str,
+            obs::argv_fingerprint({"worker", "--shard=2/5"}));
 }
 
 // --- Identity contracts ----------------------------------------------------

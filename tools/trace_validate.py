@@ -13,6 +13,7 @@ Usage:
 """
 import argparse
 import json
+import re
 import sys
 
 VALID_PHASES = {"X", "i", "C", "M"}
@@ -27,7 +28,16 @@ HEARTBEAT_FIELDS = {
     "eta_s": (int, float),
     "current_cell": str,
     "rss_kb": int,
+    # Identity triple: lets a supervisor attribute the file to the worker
+    # it spawned without trusting the file name (fleet/supervisor.h).
+    "shard": str,
+    "pid": int,
+    "argv_hash": str,
 }
+
+# "i/k" for workers, "fleet" for the supervisor's own aggregate heartbeat.
+SHARD_RE = re.compile(r"^(\d+/\d+|fleet)$")
+ARGV_HASH_RE = re.compile(r"^0x[0-9a-f]+$")
 
 
 def fail(msg):
@@ -111,6 +121,12 @@ def validate_heartbeat(path):
             for field in ("uptime_s", "trials_per_sec", "eta_s"):
                 if hb[field] < 0:
                     fail(f"{where}: negative {field}")
+            if not SHARD_RE.match(hb["shard"]):
+                fail(f"{where}: shard {hb['shard']!r} is not i/k or 'fleet'")
+            if not ARGV_HASH_RE.match(hb["argv_hash"]):
+                fail(f"{where}: argv_hash {hb['argv_hash']!r} is not 0x hex")
+            if hb["pid"] <= 0:
+                fail(f"{where}: pid must be positive")
             if hb["uptime_s"] < last_uptime:
                 fail(f"{where}: uptime_s went backwards "
                      f"({last_uptime} -> {hb['uptime_s']})")
