@@ -70,6 +70,10 @@ int main(int argc, char** argv) {
            "seconds between fleet heartbeat lines");
   opts.add("worker-heartbeat-interval", "0.1",
            "seconds between each worker's heartbeat lines");
+  opts.add("only-cells", "",
+           "run ONLY these full-grid cell ordinals (comma-separated), "
+           "sliced across the shards as explicit --only-cells lists; "
+           "seeds/hashes/index fields keep their full-grid values");
   opts.add("merged", "",
            "write the merged cells stream (canonical order, byte-identical "
            "to a single-process run) to this JSON-lines path");
@@ -86,6 +90,9 @@ int main(int argc, char** argv) {
   fleet::fleet_config cfg;
   try {
     cfg.grid = grid_from_options(opts);
+    if (!opts.get("only-cells").empty()) {
+      cfg.only_ordinals = parse_ordinal_list(opts.get("only-cells"));
+    }
     for (const auto& rule : split_list(opts.get("kill-shard"))) {
       cfg.kill_rules.push_back(fleet::parse_kill_rule(rule));
     }

@@ -1,0 +1,211 @@
+// Campaign service daemon: a persistent local server whose cells cache
+// turns repeated traffic into cache hits instead of simulator work.
+//
+//   ./campaign_serve --socket=/tmp/leancon.sock --cache=/var/cache.jsonl \
+//       --threads=4 --heartbeat=/tmp/serve_hb.jsonl --json=BENCH_serve.json
+//
+// Clients (tools/campaign_submit, or anything speaking the JSONL protocol
+// of src/serve/server.h) submit campaign grids over the unix socket; the
+// daemon answers cached cells byte-for-byte from the persistent
+// (cell_hash, seed)-keyed cache, simulates only the missing cells —
+// in-process on the worker pool by default, or through a supervised
+// src/fleet/ worker fleet with --fleet-workers — and streams the records
+// back in full-grid ordinal order. Concurrent clients with overlapping
+// grids coalesce on in-flight cells. The cache file is itself a valid
+// cells file (campaign_report reads it), size-capped LRU with a hard
+// conflict error on differing bytes (--cache-max-bytes).
+//
+// Liveness: --heartbeat appends the standard heartbeat JSONL (shard
+// "serve"), so tools/trace_validate.py and the fleet tooling watch the
+// daemon unchanged. On shutdown ({"op":"shutdown"}, SIGTERM, or SIGINT)
+// the daemon drains connections, compacts the cache, and writes a BENCH
+// json report (serve.* counters) to --json.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "fleet/supervisor.h"
+#include "harness.h"
+#include "obs/heartbeat.h"
+#include "obs/obs.h"
+#include "serve/cell_cache.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/options.h"
+
+using namespace leancon;
+
+namespace {
+
+serve::server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();  // atomic store only
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts;
+  opts.add("socket", "", "REQUIRED: unix-domain socket path to listen on");
+  opts.add("cache", "",
+           "REQUIRED: persistent cell cache path (a cells-format JSONL "
+           "file, created if absent; survives restarts)");
+  opts.add("cache-max-bytes", "0",
+           "size cap for the cache (LRU eviction past it; 0 = unbounded)");
+  opts.add("threads", "1",
+           "in-process campaign concurrency cap for cache-miss cells "
+           "(0 = hardware concurrency)");
+  opts.add("fleet-workers", "0",
+           "simulate cache-miss cells through a supervised fleet of this "
+           "many campaign_worker processes instead of in-process (see "
+           "--worker, --run-dir)");
+  opts.add("worker", "",
+           "with --fleet-workers: campaign_worker binary (default: next "
+           "to this binary)");
+  opts.add("run-dir", "",
+           "with --fleet-workers: directory for per-request fleet state "
+           "(default: <cache>.fleet)");
+  opts.add("heartbeat", "",
+           "append liveness heartbeat JSONL to this file (shard \"serve\")");
+  opts.add("heartbeat-interval", "0.5",
+           "with --heartbeat: seconds between heartbeat lines");
+  opts.add("json", "",
+           "write cumulative serve.* results as BENCH json here on "
+           "shutdown");
+  opts.add("quiet", "false", "suppress progress lines");
+  if (!opts.parse(argc, argv)) return 1;
+
+  if (opts.get("socket").empty() || opts.get("cache").empty()) {
+    std::fprintf(stderr,
+                 "campaign_serve: --socket and --cache are required\n");
+    return 1;
+  }
+  const bool quiet = opts.get_bool("quiet");
+
+  std::unique_ptr<serve::cell_cache> cache;
+  try {
+    cache = std::make_unique<serve::cell_cache>(
+        opts.get("cache"),
+        static_cast<std::uint64_t>(opts.get_int("cache-max-bytes")));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_serve: %s\n", e.what());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("campaign_serve: cache %s: %zu cell(s) warm\n",
+                cache->path().c_str(), cache->entries());
+  }
+
+  serve::miss_runner runner;
+  const auto fleet_workers =
+      static_cast<std::uint64_t>(opts.get_int("fleet-workers"));
+  if (fleet_workers > 0) {
+    fleet::fleet_config base;
+    base.shards = fleet_workers;
+    std::string worker = opts.get("worker");
+    if (worker.empty()) {
+      worker = (std::filesystem::path(argv[0]).parent_path() /
+                "campaign_worker")
+                   .string();
+    }
+    base.worker_argv = {worker};
+    base.run_dir = opts.get("run-dir").empty()
+                       ? opts.get("cache") + ".fleet"
+                       : opts.get("run-dir");
+    base.verbose = !quiet;
+    runner = serve::cell_service::fleet_runner(std::move(base));
+  } else {
+    runner = serve::cell_service::pool_runner(
+        static_cast<unsigned>(opts.get_int("threads")));
+  }
+  serve::cell_service service(*cache, std::move(runner));
+
+  std::unique_ptr<obs::heartbeat> hb;
+  if (!opts.get("heartbeat").empty()) {
+    try {
+      hb = std::make_unique<obs::heartbeat>(
+          opts.get("heartbeat"), opts.get_double("heartbeat-interval"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "campaign_serve: %s\n", e.what());
+      return 1;
+    }
+    hb->set_identity("serve", obs::argv_fingerprint(argc, argv));
+    hb->flush_now();  // an attributed line exists before the first request
+  }
+
+  const double start_s = static_cast<double>(obs::now_ns()) / 1e9;
+  std::unique_ptr<serve::server> srv;
+  try {
+    srv = std::make_unique<serve::server>(opts.get("socket"), service);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_serve: %s\n", e.what());
+    return 1;
+  }
+  g_server = srv.get();
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  if (!quiet) {
+    std::printf("campaign_serve: listening on %s (pid %llu)\n",
+                opts.get("socket").c_str(),
+                static_cast<unsigned long long>(obs::own_pid()));
+    std::fflush(stdout);
+  }
+  srv->run();
+  g_server = nullptr;
+  srv.reset();  // close the socket before reporting
+
+  const serve::request_stats totals = service.totals();
+  if (!quiet) {
+    std::printf("campaign_serve: served %llu request(s), %llu cell(s) "
+                "(%llu hit, %llu simulated, %llu coalesced)\n",
+                static_cast<unsigned long long>(service.requests()),
+                static_cast<unsigned long long>(totals.cells),
+                static_cast<unsigned long long>(totals.cache_hits),
+                static_cast<unsigned long long>(totals.cache_misses),
+                static_cast<unsigned long long>(totals.coalesced));
+  }
+
+  const std::string json_path = opts.get("json");
+  if (!json_path.empty()) {
+    bench::results res;
+    res.bench = "campaign_serve";
+    res.params = opts.flag_values();
+    res.seconds = static_cast<double>(obs::now_ns()) / 1e9 - start_s;
+    res.counters.emplace_back("serve.requests",
+                              static_cast<double>(service.requests()));
+    res.counters.emplace_back("serve.cells",
+                              static_cast<double>(totals.cells));
+    res.counters.emplace_back("serve.cache_hits",
+                              static_cast<double>(totals.cache_hits));
+    res.counters.emplace_back("serve.cache_misses",
+                              static_cast<double>(totals.cache_misses));
+    res.counters.emplace_back("serve.coalesced",
+                              static_cast<double>(totals.coalesced));
+    res.counters.emplace_back("serve.evictions",
+                              static_cast<double>(totals.evictions));
+    res.counters.emplace_back("serve.sim_ops", totals.sim_ops);
+    res.counters.emplace_back("serve.cache_cells",
+                              static_cast<double>(cache->entries()));
+    res.counters.emplace_back("serve.cache_bytes",
+                              static_cast<double>(cache->bytes()));
+    const std::string text = bench::to_json(res);
+    if (const auto error = bench::validate_bench_json(text)) {
+      std::fprintf(stderr, "campaign_serve: emitted json is invalid: %s\n",
+                   error->c_str());
+      return 1;
+    }
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "campaign_serve: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), out);
+    std::fclose(out);
+  }
+  return 0;  // cache destructor compacts
+}

@@ -81,6 +81,14 @@ std::vector<std::uint64_t> parse_ordinal_list(const std::string& list) {
     if (used != item.size()) {
       throw std::invalid_argument("malformed cell ordinal \"" + item + "\"");
     }
+    if (std::find(ordinals.begin(), ordinals.end(), value) !=
+        ordinals.end()) {
+      // A duplicate is a caller bug (a rebalance handing the same cell out
+      // twice, a typo'd hand-written list) — silently collapsing it would
+      // hide that, so name the offender instead.
+      throw std::invalid_argument("duplicate cell ordinal " +
+                                  std::to_string(value));
+    }
     ordinals.push_back(value);
   }
   return ordinals;
@@ -105,10 +113,7 @@ std::vector<campaign_cell> filter_ordinals(
         std::find(unmatched.begin(), unmatched.end(), cell.ordinal);
     if (it == unmatched.end()) continue;
     kept.push_back(cell);
-    // Erase every copy so a duplicate listed ordinal selects once.
-    unmatched.erase(std::remove(unmatched.begin(), unmatched.end(),
-                                cell.ordinal),
-                    unmatched.end());
+    unmatched.erase(it);
   }
   if (!unmatched.empty()) {
     throw std::invalid_argument(

@@ -49,16 +49,18 @@ campaign_grid grid_from_options(const options& opts);
 // the single-process campaign would write.
 
 /// Parses a comma-separated ordinal list ("3,7,11"). Throws
-/// std::invalid_argument on malformed or negative entries.
+/// std::invalid_argument on malformed, negative, or duplicate entries —
+/// the message names the offending ordinal. (A duplicate means the caller
+/// built a bad list; collapsing it silently would hide that bug.)
 std::vector<std::uint64_t> parse_ordinal_list(const std::string& list);
 
 /// Renders ordinals back into the --only-cells CLI form.
 std::string format_ordinal_list(const std::vector<std::uint64_t>& ordinals);
 
-/// The subset of `cells` whose ordinal is listed, in original grid order
-/// (duplicate listed ordinals select once). Throws std::invalid_argument
-/// when an ordinal matches no cell — a stale list must fail loudly, never
-/// silently shrink the rebalanced set.
+/// The subset of `cells` whose ordinal is listed, in original grid order.
+/// Throws std::invalid_argument when an ordinal matches no cell (e.g. out
+/// of range for the expanded grid), naming the offending ordinal — a stale
+/// list must fail loudly, never silently shrink the rebalanced set.
 std::vector<campaign_cell> filter_ordinals(
     const std::vector<campaign_cell>& cells,
     const std::vector<std::uint64_t>& ordinals);

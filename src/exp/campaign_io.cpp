@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <map>
@@ -89,7 +90,34 @@ bool parse_record(const std::string& line, campaign_io::record& out) {
   return true;
 }
 
+/// True when two records for the same (hash, seed) key agree on every
+/// deterministic field — everything but "seconds", the one value allowed
+/// to differ between re-runs of the same cell. Metric values round-trip
+/// bit-exactly (%.17g), so exact comparison is right; NaN (restored from
+/// null, meaning "absent") compares equal to NaN.
+bool same_deterministic_fields(const campaign_io::record& a,
+                               const campaign_io::record& b) {
+  if (a.label != b.label || a.scenario != b.scenario ||
+      a.variant != b.variant || a.n != b.n || a.trials != b.trials ||
+      a.ordinal != b.ordinal) {
+    return false;
+  }
+  if (a.metrics.values.size() != b.metrics.values.size()) return false;
+  for (std::size_t i = 0; i < a.metrics.values.size(); ++i) {
+    const auto& [an, av] = a.metrics.values[i];
+    const auto& [bn, bv] = b.metrics.values[i];
+    if (an != bn) return false;
+    const bool both_nan = std::isnan(av) && std::isnan(bv);
+    if (!both_nan && av != bv) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+bool campaign_io::parse_line(const std::string& line, record& out) {
+  return parse_record(line, out);
+}
 
 std::vector<campaign_io::record> campaign_io::read_records(
     const std::string& path, std::size_t* skipped) {
@@ -145,7 +173,13 @@ campaign_io::merged_cells campaign_io::merge_files(
       const auto [it, inserted] =
           by_key.try_emplace({rec.hash, rec.seed}, merged.records.size());
       if (!inserted) {
-        if (merged.lines[it->second] == line) {
+        // Byte-identical re-runs dedup outright. Lines differing only in
+        // the non-deterministic "seconds" field (a --cell-seconds file
+        // merged with a re-run of the same cell) are the same result and
+        // dedup too — the hard error is reserved for real metric/config
+        // divergence, which means a corrupted or mismatched campaign.
+        if (merged.lines[it->second] == line ||
+            same_deterministic_fields(merged.records[it->second], rec)) {
           ++merged.duplicate_cells;
           continue;
         }
@@ -153,7 +187,7 @@ campaign_io::merged_cells campaign_io::merge_files(
             "campaign_io: conflicting records for cell \"" + rec.label +
             "\" (hash " + hex64(rec.hash) + ", seed " + hex64(rec.seed) +
             "): " + *sources[it->second] + " and " + path +
-            " hold the same key with different bytes");
+            " hold the same key with different deterministic fields");
       }
       merged.lines.push_back(line);
       merged.records.push_back(std::move(rec));
@@ -235,8 +269,8 @@ const campaign_io::record* campaign_io::find(std::uint64_t hash,
   return nullptr;
 }
 
-void campaign_io::emit(const cell_result& r) {
-  if (r.resumed) return;  // its line is already on file
+std::string campaign_io::format_line(const cell_result& r,
+                                     bool record_seconds) {
   std::ostringstream os;
   os << "{\"cell\": ";
   json::write_string(os, r.cell.label());
@@ -254,7 +288,7 @@ void campaign_io::emit(const cell_result& r) {
   json::write_string(os, hex64(r.cell.params.seed));
   os << ", \"hash\": ";
   json::write_string(os, hex64(r.hash));
-  if (record_seconds_) {
+  if (record_seconds) {
     os << ", \"seconds\": ";
     json::write_number(os, r.seconds);
   }
@@ -266,7 +300,12 @@ void campaign_io::emit(const cell_result& r) {
     json::write_number(os, r.metrics.values[i].second);
   }
   os << "}}\n";
-  const std::string line = os.str();
+  return os.str();
+}
+
+void campaign_io::emit(const cell_result& r) {
+  if (r.resumed) return;  // its line is already on file
+  const std::string line = format_line(r, record_seconds_);
   std::fputs(line.c_str(), file_);
   std::fflush(file_);
 }

@@ -74,6 +74,12 @@ class campaign_io {
   campaign_io(const campaign_io&) = delete;
   campaign_io& operator=(const campaign_io&) = delete;
 
+  /// Parses one cells-file line into a record; false when the line is not
+  /// a well-formed cell record (torn writes, foreign content). The read
+  /// side of format_line, for callers that keep the raw bytes too (the
+  /// campaign service's cell cache).
+  static bool parse_line(const std::string& line, record& out);
+
   /// Parses every well-formed cell record of a cells file (without opening
   /// it for writing) — the read side the campaign-level BENCH emitter
   /// aggregates from. Unparseable lines are counted into *skipped when
@@ -105,12 +111,14 @@ class campaign_io {
   /// Merges many cells files — shard outputs, resume fragments, repeated
   /// runs — into one canonical stream: records sorted by their "index"
   /// field (stable, so records without one keep file-then-line order),
-  /// duplicate (hash, seed) keys with byte-identical lines deduplicated
-  /// and counted, and a duplicate key with DIFFERING bytes a hard error —
-  /// std::runtime_error naming the cell and both files (two shards that
-  /// disagree about the same cell mean a corrupted or mismatched campaign,
-  /// never something to merge silently; note record_seconds makes
-  /// overlapping lines differ by construction). When every input was
+  /// duplicate (hash, seed) keys deduplicated and counted when their
+  /// deterministic fields agree — byte-identical lines, or lines differing
+  /// only in the non-deterministic "seconds" field (overlapping
+  /// record_seconds files re-ran the same cell) — and a duplicate key with
+  /// DIFFERING deterministic fields a hard error: std::runtime_error
+  /// naming the cell and both files (two shards that disagree about the
+  /// same cell's metrics or config mean a corrupted or mismatched
+  /// campaign, never something to merge silently). When every input was
   /// written by workers over the same full grid, the merged lines are
   /// byte-identical to the single-process campaign's file. Throws
   /// std::runtime_error when a file cannot be read, unless
@@ -125,6 +133,11 @@ class campaign_io {
   /// The indexed record for (hash, seed), or null when the cell has not
   /// been recorded (or resume was off).
   const record* find(std::uint64_t hash, std::uint64_t seed) const;
+
+  /// The exact line bytes emit() would append for `r` (including the
+  /// trailing newline). Public so other producers of cell records (e.g.
+  /// the campaign service's cache) are byte-identical by construction.
+  static std::string format_line(const cell_result& r, bool record_seconds);
 
   /// Appends one cell line and flushes. Resumed cells are not re-emitted
   /// (their line is already on file).

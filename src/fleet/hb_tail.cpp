@@ -1,6 +1,7 @@
 #include "fleet/hb_tail.h"
 
 #include <fstream>
+#include <limits>
 #include <utility>
 
 #include "util/json.h"
@@ -27,6 +28,19 @@ bool parse_hb_line(const std::string& line, hb_sample& out) {
     into = static_cast<std::uint64_t>(d);
     return true;
   };
+  // Rate/eta may be null per the util/json non-finite convention (the
+  // immediate first line, a zero-progress stall): restore as NaN.
+  const auto number_or_null = [&v](const char* key, double& into) {
+    const json::value* node = v.find(key);
+    if (node == nullptr) return false;
+    if (node->k == json::value::kind::null) {
+      into = std::numeric_limits<double>::quiet_NaN();
+      return true;
+    }
+    if (node->k != json::value::kind::number) return false;
+    into = node->num;
+    return true;
+  };
   const auto text = [&v](const char* key, std::string& into) {
     const json::value* node = v.find(key);
     if (node == nullptr || node->k != json::value::kind::string) return false;
@@ -38,8 +52,9 @@ bool parse_hb_line(const std::string& line, hb_sample& out) {
       !uint("cells_total", s.cells_total) ||
       !uint("trials_done", s.trials_done) ||
       !uint("trials_total", s.trials_total) ||
-      !number("trials_per_sec", s.trials_per_sec) ||
-      !number("eta_s", s.eta_s) || !text("current_cell", s.current_cell) ||
+      !number_or_null("trials_per_sec", s.trials_per_sec) ||
+      !number_or_null("eta_s", s.eta_s) ||
+      !text("current_cell", s.current_cell) ||
       !uint("rss_kb", s.rss_kb) || !text("shard", s.shard) ||
       !uint("pid", s.pid) || !text("argv_hash", s.argv_hash)) {
     return false;
@@ -53,6 +68,18 @@ hb_tail::hb_tail(std::string path) : path_(std::move(path)) {}
 std::size_t hb_tail::poll() {
   std::ifstream in(path_, std::ios::binary);
   if (!in.good()) return 0;  // not created yet (or transiently unreadable)
+  // A healed shard may truncate/recreate its heartbeat file. If the file
+  // is now smaller than what we already consumed, seeking to offset_
+  // would silently read nothing forever — detect the shrink, drop any
+  // buffered partial line (it belonged to the old incarnation), and
+  // re-tail from the start.
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size >= 0 && static_cast<std::uint64_t>(size) < offset_) {
+    offset_ = 0;
+    pending_.clear();
+    ++resets_;
+  }
   in.seekg(static_cast<std::streamoff>(offset_));
   if (!in.good()) return 0;
   std::string fresh((std::istreambuf_iterator<char>(in)),

@@ -45,7 +45,9 @@ class hb_tail {
 
   /// Reads and parses newly appended complete lines; returns how many new
   /// samples were parsed. Unparseable complete lines are counted into
-  /// skipped() and otherwise ignored.
+  /// skipped() and otherwise ignored. If the file shrank since the last
+  /// poll (a healed shard truncated/recreated it), the tail resets and
+  /// re-reads from the start (counted into resets()).
   std::size_t poll();
 
   bool has_sample() const { return samples_ > 0; }
@@ -54,6 +56,7 @@ class hb_tail {
 
   std::uint64_t samples() const { return samples_; }
   std::uint64_t skipped() const { return skipped_; }
+  std::uint64_t resets() const { return resets_; }
   const std::string& path() const { return path_; }
 
  private:
@@ -63,6 +66,7 @@ class hb_tail {
   hb_sample last_;
   std::uint64_t samples_ = 0;
   std::uint64_t skipped_ = 0;
+  std::uint64_t resets_ = 0;  ///< shrunk-file re-tails (truncate/recreate)
 };
 
 }  // namespace leancon::fleet

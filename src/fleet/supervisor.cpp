@@ -8,6 +8,7 @@
 #include <deque>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -112,10 +113,16 @@ fleet_report run_fleet(const fleet_config& cfg) {
   if (cfg.run_dir.empty()) {
     throw std::invalid_argument("fleet: run_dir is required");
   }
-  const auto all_cells = cfg.grid.expand();
-  if (all_cells.empty()) {
+  const auto expanded = cfg.grid.expand();
+  if (expanded.empty()) {
     throw std::invalid_argument("fleet: the grid expands to no cells");
   }
+  // The fleet's working set: the full grid, or the explicit ordinal
+  // selection (cache-miss scheduling). Either way the cells keep their
+  // full-grid seeds/hashes/ordinals.
+  const auto all_cells = cfg.only_ordinals.empty()
+                             ? expanded
+                             : filter_ordinals(expanded, cfg.only_ordinals);
   std::filesystem::create_directories(cfg.run_dir);
 
   fleet_report rep;
@@ -135,6 +142,10 @@ fleet_report run_fleet(const fleet_config& cfg) {
     j.shard = i;
     j.id = next_id++;
     j.cells = filter_shard(all_cells, {i, cfg.shards});
+    // Under an ordinal restriction an empty slice must not fork: the
+    // worker would see an empty --only-cells, fall back to its shard
+    // filter, and run cells outside the selection.
+    if (j.cells.empty() && !cfg.only_ordinals.empty()) continue;
     j.cells_path =
         cfg.run_dir + "/shard_" + std::to_string(i) + ".jsonl";
     j.log_path = cfg.run_dir + "/log_s" + std::to_string(i) + ".txt";
@@ -179,14 +190,20 @@ fleet_report run_fleet(const fleet_config& cfg) {
         case jstate::exhausted: ++n_exhausted; break;
       }
     }
+    // Unknown rate/eta are NaN, rendered as null by json::write_number —
+    // the same convention as obs/heartbeat.cpp (trace_validate.py rejects
+    // bare inf/nan tokens).
     const double rate = uptime > 0.0
                             ? static_cast<double>(trials_done) / uptime
-                            : 0.0;
+                            : std::numeric_limits<double>::quiet_NaN();
     const std::uint64_t remaining =
         trials_total > trials_done ? trials_total - trials_done : 0;
-    const double eta = rate > 0.0
-                           ? static_cast<double>(remaining) / rate
-                           : 0.0;
+    const double eta =
+        remaining == 0
+            ? 0.0
+            : (std::isfinite(rate) && rate > 0.0
+                   ? static_cast<double>(remaining) / rate
+                   : std::numeric_limits<double>::quiet_NaN());
     std::ostringstream status;
     status << "running=" << n_running << " pending=" << n_pending
            << " done=" << n_done << " exhausted=" << n_exhausted
@@ -267,7 +284,10 @@ fleet_report run_fleet(const fleet_config& cfg) {
     plan.argv.push_back(
         "--heartbeat-interval=" +
         std::to_string(cfg.worker_heartbeat_interval_s));
-    if (j.rebalance) {
+    if (j.rebalance || !cfg.only_ordinals.empty()) {
+      // Rebalance jobs always run explicit ordinal lists; under a
+      // restricted fleet (cfg.only_ordinals) every job does — the shard
+      // filter alone would make workers run cells outside the selection.
       std::vector<std::uint64_t> ordinals;
       ordinals.reserve(j.cells.size());
       for (const auto& c : j.cells) ordinals.push_back(c.ordinal);

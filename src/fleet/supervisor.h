@@ -73,6 +73,15 @@ struct fleet_config {
   /// Grid flags forwarded verbatim to every worker ("--scenarios=...",
   /// "--ns=...", "--trials=...", "--op-budget=...", "--seed=...").
   std::vector<std::string> grid_flags;
+  /// When non-empty, the fleet runs ONLY these full-grid cell ordinals
+  /// (each worker gets its slice as an explicit --only-cells list; the
+  /// cells keep their full-grid seeds/hashes/"index" fields, so the merged
+  /// lines stay byte-identical to the single-process campaign's lines for
+  /// those cells). Coverage is verified over the selection, not the full
+  /// grid. This is how the campaign service schedules just its cache-miss
+  /// cells onto a worker fleet. Throws std::invalid_argument (via
+  /// filter_ordinals) when an ordinal matches no cell.
+  std::vector<std::uint64_t> only_ordinals;
   std::uint64_t shards = 1;
   /// Per-run directory for cells files, heartbeats, and worker logs
   /// (created if absent).

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -140,12 +142,21 @@ void heartbeat::emit_line() {
     shard = shard_;
     argv_hash = argv_hash_;
   }
-  const double rate =
-      uptime_s > 0.0 ? static_cast<double>(trials_done) / uptime_s : 0.0;
+  // Unknown-rate lines (the immediate first line, or a zero-progress
+  // stall) carry NaN, which json::write_number renders as null — never
+  // `inf`/`nan` tokens, which are not JSON and would poison downstream
+  // parsers (tools/trace_validate.py rejects them).
+  const double rate = uptime_s > 0.0
+                          ? static_cast<double>(trials_done) / uptime_s
+                          : std::numeric_limits<double>::quiet_NaN();
   const std::uint64_t remaining =
       trials_total > trials_done ? trials_total - trials_done : 0;
   const double eta_s =
-      rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
+      remaining == 0
+          ? 0.0
+          : (std::isfinite(rate) && rate > 0.0
+                 ? static_cast<double>(remaining) / rate
+                 : std::numeric_limits<double>::quiet_NaN());
 
   // Build the whole line first and append it with one buffered write, so a
   // process killed mid-emission tears at most one unflushed line (the

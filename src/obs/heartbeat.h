@@ -5,9 +5,15 @@
 // Line schema (all fields always present; pinned by tools/trace_validate.py):
 //   {"uptime_s": <double>, "cells_done": <u64>, "cells_total": <u64>,
 //    "trials_done": <u64>, "trials_total": <u64>,
-//    "trials_per_sec": <double>, "eta_s": <double>,
+//    "trials_per_sec": <double|null>, "eta_s": <double|null>,
 //    "current_cell": <string>, "rss_kb": <u64>,
 //    "shard": "<i/k>", "pid": <u64>, "argv_hash": "<0x hex>"}
+//
+// trials_per_sec and eta_s are null exactly when undefined — no progress
+// signal yet, or a stalled rate with work remaining. JSON has no inf/nan
+// literals, so emitting null (instead of a bare token json parsers choke
+// on) is what keeps every line machine-parseable; trace_validate.py
+// rejects non-finite number tokens outright.
 //
 // The identity triple (shard, pid, argv_hash) lets a supervisor attribute a
 // heartbeat file to the worker it spawned without trusting file names: the

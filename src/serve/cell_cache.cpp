@@ -1,0 +1,156 @@
+#include "serve/cell_cache.h"
+
+#include <cinttypes>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "exp/campaign_io.h"
+
+namespace leancon::serve {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016" PRIx64, v);
+  return buf;
+}
+
+bool blank(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+cell_cache::cell_cache(std::string path, std::uint64_t max_bytes)
+    : path_(std::move(path)), max_bytes_(max_bytes) {
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::string line;
+    while (in.good() && std::getline(in, line)) {
+      file_bytes_ += line.size() + 1;
+      if (blank(line)) continue;
+      campaign_io::record rec;
+      if (!campaign_io::parse_line(line, rec)) {
+        ++skipped_lines_;
+        continue;
+      }
+      const key k{rec.hash, rec.seed};
+      const auto it = by_key_.find(k);
+      if (it != by_key_.end()) {
+        if (it->second->line == line) {
+          // A repeated identical line (e.g. a cells file copied onto the
+          // cache twice) refreshes recency: later occurrence = newer.
+          lru_.splice(lru_.end(), lru_, it->second);
+          continue;
+        }
+        throw std::runtime_error(
+            "cell_cache: " + path_ + " holds conflicting records for cell "
+            "(hash " + hex64(rec.hash) + ", seed " + hex64(rec.seed) +
+            ") — refusing to serve from a corrupt cache");
+      }
+      lru_.push_back(entry{rec.hash, rec.seed, line});
+      by_key_.emplace(k, std::prev(lru_.end()));
+      bytes_ += line.size() + 1;
+    }
+    loaded_ = by_key_.size();
+  }
+  evict_to_cap();  // may compact(), which opens the append handle itself
+  if (append_ == nullptr) {
+    append_ = std::fopen(path_.c_str(), "a");
+    if (append_ == nullptr) {
+      throw std::runtime_error("cell_cache: cannot open " + path_);
+    }
+  }
+}
+
+cell_cache::~cell_cache() {
+  try {
+    compact();
+  } catch (const std::exception&) {
+    // Best-effort: the append-log alone is still a correct (if stale-line
+    // carrying) cache file.
+  }
+  if (append_ != nullptr) std::fclose(append_);
+}
+
+std::optional<std::string> cell_cache::find(std::uint64_t hash,
+                                            std::uint64_t seed) {
+  const auto it = by_key_.find({hash, seed});
+  if (it == by_key_.end()) return std::nullopt;
+  lru_.splice(lru_.end(), lru_, it->second);  // most recently used
+  return it->second->line;
+}
+
+void cell_cache::insert(std::uint64_t hash, std::uint64_t seed,
+                        const std::string& line) {
+  const key k{hash, seed};
+  const auto it = by_key_.find(k);
+  if (it != by_key_.end()) {
+    if (it->second->line == line) {
+      lru_.splice(lru_.end(), lru_, it->second);
+      return;
+    }
+    throw std::runtime_error(
+        "cell_cache: conflicting record for cell (hash " + hex64(hash) +
+        ", seed " + hex64(seed) + "): cache " + path_ +
+        " holds the same key with different bytes");
+  }
+  lru_.push_back(entry{hash, seed, line});
+  by_key_.emplace(k, std::prev(lru_.end()));
+  bytes_ += line.size() + 1;
+  append_line(line);
+  evict_to_cap();
+}
+
+void cell_cache::evict_to_cap() {
+  if (max_bytes_ == 0) return;
+  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+    const entry& victim = lru_.front();
+    bytes_ -= victim.line.size() + 1;
+    by_key_.erase({victim.hash, victim.seed});
+    lru_.pop_front();
+    ++evictions_;
+  }
+  // Evictions leave stale lines on disk; rewrite once they dominate.
+  if (file_bytes_ > 2 * bytes_ + 4096) compact();
+}
+
+void cell_cache::append_line(const std::string& line) {
+  if (append_ == nullptr) return;  // still loading (constructor)
+  std::fputs(line.c_str(), append_);
+  std::fputc('\n', append_);
+  std::fflush(append_);
+  file_bytes_ += line.size() + 1;
+}
+
+void cell_cache::compact() {
+  const std::string tmp = path_ + ".compact.tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw std::runtime_error("cell_cache: cannot write " + tmp);
+    }
+    for (const auto& e : lru_) out << e.line << '\n';
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("cell_cache: short write to " + tmp);
+    }
+  }
+  if (append_ != nullptr) {
+    std::fclose(append_);
+    append_ = nullptr;
+  }
+  std::filesystem::rename(tmp, path_);
+  file_bytes_ = bytes_;
+  append_ = std::fopen(path_.c_str(), "a");
+  if (append_ == nullptr) {
+    throw std::runtime_error("cell_cache: cannot reopen " + path_);
+  }
+}
+
+}  // namespace leancon::serve

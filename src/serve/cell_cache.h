@@ -1,0 +1,100 @@
+// Persistent cross-run cell cache — the campaign service's memo table.
+//
+// The cache stores finished cells as raw cells-file lines (the exact bytes
+// campaign_io::format_line emits, without the trailing newline), keyed the
+// same way as resume: (cell_hash, seed). That makes the cache file itself
+// a valid cells file — campaign_report and campaign_io::merge_files read
+// it unchanged — and makes a cache hit byte-identical by construction to
+// the line a fresh single-process campaign would write.
+//
+// Persistence: every insert appends its line to the file and flushes, so a
+// killed daemon loses at most the in-flight cells (exactly the campaign_io
+// durability story). Recency changes and evictions are memory-only until
+// compact() (called on clean shutdown, and automatically when the on-disk
+// file grows past twice the live bytes) rewrites the file atomically in
+// LRU order — oldest first — so a reload preserves the eviction order.
+//
+// Eviction/consistency policy:
+//   - size-capped LRU: when max_bytes > 0, inserting past the cap evicts
+//     least-recently-used entries until the cache fits (the newest entry
+//     is never evicted — a cache that cannot hold one line would thrash
+//     into uselessness). find() refreshes recency.
+//   - conflicts are a HARD error, mirroring campaign_io::merge_files: a
+//     key already cached with DIFFERENT bytes throws std::runtime_error
+//     (a determinism violation or a mismatched cache file — never
+//     something to overwrite silently). Re-inserting identical bytes is
+//     benign and refreshes recency.
+//
+// Not thread-safe: the owning cell_service serializes access.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace leancon::serve {
+
+class cell_cache {
+ public:
+  /// Opens (creating if absent) the cache file at `path` and indexes its
+  /// records. max_bytes = 0 means unbounded. Unparseable lines are counted
+  /// into skipped_lines() and ignored; a duplicated key with differing
+  /// bytes throws std::runtime_error (corrupt or foreign cache file).
+  explicit cell_cache(std::string path, std::uint64_t max_bytes = 0);
+  ~cell_cache();  ///< compacts (best-effort) and closes
+
+  cell_cache(const cell_cache&) = delete;
+  cell_cache& operator=(const cell_cache&) = delete;
+
+  /// The cached line for (hash, seed) — a copy, valid across later
+  /// evictions — refreshing the entry's recency. std::nullopt on miss.
+  std::optional<std::string> find(std::uint64_t hash, std::uint64_t seed);
+
+  /// Caches `line` (no trailing newline) under (hash, seed), appends it to
+  /// the file, and evicts past the size cap. Identical re-insertion just
+  /// refreshes recency; differing bytes throw std::runtime_error.
+  void insert(std::uint64_t hash, std::uint64_t seed,
+              const std::string& line);
+
+  /// Rewrites the file atomically (tmp + rename) holding exactly the live
+  /// entries in LRU order, oldest first.
+  void compact();
+
+  std::size_t entries() const { return by_key_.size(); }
+  /// Live bytes (line bytes + newlines) — what the size cap compares.
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t max_bytes() const { return max_bytes_; }
+  std::uint64_t evictions() const { return evictions_; }
+  /// Entries restored from the file at open.
+  std::size_t loaded() const { return loaded_; }
+  std::size_t skipped_lines() const { return skipped_lines_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct entry {
+    std::uint64_t hash = 0;
+    std::uint64_t seed = 0;
+    std::string line;
+  };
+  using key = std::pair<std::uint64_t, std::uint64_t>;
+
+  void evict_to_cap();
+  void append_line(const std::string& line);
+
+  std::string path_;
+  std::uint64_t max_bytes_ = 0;
+  std::FILE* append_ = nullptr;
+  std::list<entry> lru_;  ///< front = least recently used
+  std::map<key, std::list<entry>::iterator> by_key_;
+  std::uint64_t bytes_ = 0;       ///< live bytes
+  std::uint64_t file_bytes_ = 0;  ///< bytes on disk (stale lines included)
+  std::uint64_t evictions_ = 0;
+  std::size_t loaded_ = 0;
+  std::size_t skipped_lines_ = 0;
+};
+
+}  // namespace leancon::serve

@@ -1,0 +1,314 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "exp/campaign_cli.h"
+#include "obs/heartbeat.h"
+#include "util/json.h"
+#include "util/options.h"
+
+namespace leancon::serve {
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+/// Writes all of `text`, surviving partial writes; MSG_NOSIGNAL so a
+/// client that hung up yields an error return, not SIGPIPE. Returns false
+/// when the peer is gone.
+bool send_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n =
+        ::send(fd, text.data() + off, text.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_line(int fd, const std::string& line) {
+  return send_all(fd, line + "\n");
+}
+
+bool send_error(int fd, const std::string& message) {
+  std::ostringstream os;
+  os << "{\"error\":";
+  json::write_string(os, message);
+  os << "}";
+  return send_line(fd, os.str());
+}
+
+/// A request field may arrive as a JSON string or number; grid flags are
+/// strings either way. Returns false on a type it cannot render (or a
+/// non-integral number — grid flags are integer-valued).
+bool field_as_flag(const json::value& v, std::string& out) {
+  if (v.k == json::value::kind::string) {
+    out = v.str;
+    return true;
+  }
+  if (v.k == json::value::kind::number) {
+    if (!std::isfinite(v.num) || v.num != std::floor(v.num) ||
+        std::fabs(v.num) > 9.007199254740992e15) {
+      return false;
+    }
+    out = std::to_string(static_cast<std::int64_t>(v.num));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+server::server(std::string socket_path, cell_service& service)
+    : socket_path_(std::move(socket_path)), service_(service) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("serve: cannot create socket: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: socket path too long: " + socket_path_);
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(socket_path_.c_str());  // replace a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot bind " + socket_path_ + ": " +
+                             why);
+  }
+}
+
+server::~server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+void server::run() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  for (auto& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  connections_.clear();
+}
+
+void server::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: client is done
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty()) handle_request(fd, line);
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+void server::handle_request(int fd, const std::string& line) {
+  json::value req;
+  try {
+    req = json::parse(line);
+  } catch (const std::exception& e) {
+    send_error(fd, std::string("bad request line: ") + e.what());
+    return;
+  }
+  const json::value* op = req.find("op");
+  if (req.k != json::value::kind::object || op == nullptr ||
+      op->k != json::value::kind::string) {
+    send_error(fd, "request must be an object with a string \"op\"");
+    return;
+  }
+
+  if (op->str == "ping") {
+    std::ostringstream os;
+    os << "{\"pong\":{\"pid\":";
+    json::write_uint(os, obs::own_pid());
+    os << "}}";
+    send_line(fd, os.str());
+    return;
+  }
+
+  if (op->str == "stats") {
+    const request_stats t = service_.totals();
+    std::size_t cache_cells = 0;
+    std::uint64_t cache_bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock(service_.mutex());
+      cache_cells = service_.cache().entries();
+      cache_bytes = service_.cache().bytes();
+    }
+    std::ostringstream os;
+    os << "{\"stats\":{\"requests\":";
+    json::write_uint(os, service_.requests());
+    os << ",\"cells\":";
+    json::write_uint(os, t.cells);
+    os << ",\"cache_hits\":";
+    json::write_uint(os, t.cache_hits);
+    os << ",\"cache_misses\":";
+    json::write_uint(os, t.cache_misses);
+    os << ",\"coalesced\":";
+    json::write_uint(os, t.coalesced);
+    os << ",\"evictions\":";
+    json::write_uint(os, t.evictions);
+    os << ",\"sim_ops\":";
+    json::write_number(os, t.sim_ops);
+    os << ",\"cache_cells\":";
+    json::write_uint(os, cache_cells);
+    os << ",\"cache_bytes\":";
+    json::write_uint(os, cache_bytes);
+    os << "}}";
+    send_line(fd, os.str());
+    return;
+  }
+
+  if (op->str == "shutdown") {
+    send_line(fd, "{\"ok\":true}");
+    request_stop();
+    return;
+  }
+
+  if (op->str != "submit") {
+    send_error(fd, "unknown op \"" + op->str + "\"");
+    return;
+  }
+
+  // Rebuild the grid through the SAME flag surface the workers use
+  // (add_grid_flags + grid_from_options), so server-side expansion, cell
+  // hashes, and seeds are identical to every other driver's.
+  options opts;
+  add_grid_flags(opts);
+  std::vector<std::string> argv_strings = {"campaign_serve"};
+  for (const char* flag :
+       {"scenarios", "ns", "trials", "op-budget", "seed"}) {
+    const json::value* field = req.find(flag);
+    if (field == nullptr) continue;
+    std::string value;
+    if (!field_as_flag(*field, value)) {
+      send_error(fd, std::string("field \"") + flag +
+                         "\" must be a string or an integer");
+      return;
+    }
+    argv_strings.push_back("--" + std::string(flag) + "=" + value);
+  }
+  std::vector<const char*> argv;
+  argv.reserve(argv_strings.size());
+  for (const auto& s : argv_strings) argv.push_back(s.c_str());
+  std::ostringstream diag;
+  opts.set_diagnostics(diag);
+  if (!opts.parse(static_cast<int>(argv.size()), argv.data())) {
+    send_error(fd, "bad grid flags: " + diag.str());
+    return;
+  }
+
+  grid_request request;
+  try {
+    request.grid = grid_from_options(opts);
+  } catch (const std::exception& e) {
+    send_error(fd, e.what());
+    return;
+  }
+  for (const char* flag :
+       {"scenarios", "ns", "trials", "op-budget", "seed"}) {
+    request.grid_flags.push_back("--" + std::string(flag) + "=" +
+                                 opts.get(flag));
+  }
+
+  {
+    std::ostringstream os;
+    os << "{\"ack\":{\"cells\":";
+    json::write_uint(os, request.grid.expand().size());
+    os << "}}";
+    if (!send_line(fd, os.str())) return;
+  }
+
+  request_stats stats;
+  try {
+    stats = service_.run(request, [fd](const std::string& cell_line) {
+      if (!send_line(fd, cell_line)) {
+        // The client hung up mid-stream; the runner still finishes (its
+        // results are cached for the next request), but stop writing.
+        throw std::runtime_error("client disconnected");
+      }
+    });
+  } catch (const std::exception& e) {
+    send_error(fd, e.what());
+    return;
+  }
+
+  std::ostringstream os;
+  os << "{\"done\":{\"cells\":";
+  json::write_uint(os, stats.cells);
+  os << ",\"cache_hits\":";
+  json::write_uint(os, stats.cache_hits);
+  os << ",\"cache_misses\":";
+  json::write_uint(os, stats.cache_misses);
+  os << ",\"coalesced\":";
+  json::write_uint(os, stats.coalesced);
+  os << ",\"evictions\":";
+  json::write_uint(os, stats.evictions);
+  os << ",\"sim_ops\":";
+  json::write_number(os, stats.sim_ops);
+  os << "}}";
+  send_line(fd, os.str());
+}
+
+#else  // !unix
+
+server::server(std::string socket_path, cell_service& service)
+    : socket_path_(std::move(socket_path)), service_(service) {
+  throw std::runtime_error("serve: unix-domain sockets are unavailable on "
+                           "this platform");
+}
+
+server::~server() = default;
+void server::run() {}
+void server::handle_connection(int) {}
+void server::handle_request(int, const std::string&) {}
+
+#endif
+
+}  // namespace leancon::serve

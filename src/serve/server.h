@@ -1,0 +1,72 @@
+// Unix-domain-socket JSONL front-end for the campaign service.
+//
+// One long-running daemon (bench/campaign_serve) listens on a filesystem
+// socket; clients connect and exchange newline-delimited JSON. Each
+// connection is handled on its own thread, so concurrent clients
+// requesting overlapping grids coalesce inside cell_service instead of
+// queueing behind each other.
+//
+// Protocol (one JSON object per line):
+//
+//   request   {"op": "submit", "scenarios": "...", "ns": "...",
+//              "trials": "...", "op-budget": "...", "seed": "..."}
+//             Fields mirror the campaign grid CLI flags exactly (string or
+//             number; absent fields take the flag defaults), so server and
+//             workers expand the identical grid (campaign_cli.h).
+//   response  {"ack": {"cells": N}}
+//             ...one raw cells-file record line per cell, in full-grid
+//             ordinal order — the concatenation is byte-identical to the
+//             single-process campaign's cells file...
+//             {"done": {"cells": N, "cache_hits": N, "cache_misses": N,
+//                       "coalesced": N, "evictions": N, "sim_ops": X}}
+//
+//   {"op": "ping"}     -> {"pong": {"pid": N}}
+//   {"op": "stats"}    -> {"stats": {...cumulative counters, cache size...}}
+//   {"op": "shutdown"} -> {"ok": true}, then the daemon drains and exits.
+//
+// Any failure is reported as {"error": "..."} — mid-stream for a submit
+// that dies after its ack (the client must treat a stream not terminated
+// by "done" as failed).
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace leancon::serve {
+
+class server {
+ public:
+  /// Binds the unix socket at `socket_path` (an existing socket file is
+  /// replaced). Throws std::runtime_error when the socket cannot be bound.
+  server(std::string socket_path, cell_service& service);
+  ~server();
+
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Accept loop: blocks until request_stop() (or a shutdown op), then
+  /// joins every connection thread.
+  void run();
+
+  /// Thread- and signal-safe: makes run() return after in-flight
+  /// connections drain.
+  void request_stop() { stop_.store(true); }
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void handle_connection(int fd);
+  void handle_request(int fd, const std::string& line);
+
+  std::string socket_path_;
+  cell_service& service_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace leancon::serve

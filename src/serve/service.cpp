@@ -1,0 +1,231 @@
+#include "serve/service.h"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "exp/campaign_io.h"
+#include "fleet/supervisor.h"
+#include "obs/obs.h"
+
+namespace leancon::serve {
+
+namespace {
+
+double cell_sim_ops(const cell_metrics& metrics) {
+  const double ops = metrics.get("total_ops_sum");
+  return std::isfinite(ops) ? ops : 0.0;
+}
+
+/// format_line emits a trailing newline; the cache and the service speak
+/// bare lines.
+std::string strip_newline(std::string line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+}  // namespace
+
+cell_service::cell_service(cell_cache& cache, miss_runner runner)
+    : cache_(cache), runner_(std::move(runner)) {}
+
+miss_runner cell_service::pool_runner(unsigned threads) {
+  return [threads](const grid_request&,
+                   const std::vector<campaign_cell>& missing,
+                   const line_sink& on_line) {
+    campaign_options copts;
+    copts.threads = threads;
+    copts.on_cell = [&on_line](const cell_result& r) {
+      on_line(r.hash, r.cell.params.seed,
+              strip_newline(campaign_io::format_line(
+                  r, /*record_seconds=*/false)),
+              cell_sim_ops(r.metrics));
+    };
+    run_campaign(missing, copts);
+  };
+}
+
+miss_runner cell_service::fleet_runner(fleet::fleet_config base) {
+  // Each request gets its own run directory so concurrent fleets never
+  // share shard/heartbeat files.
+  auto req_counter = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return [base = std::move(base), req_counter](
+             const grid_request& req,
+             const std::vector<campaign_cell>& missing,
+             const line_sink& on_line) {
+    fleet::fleet_config cfg = base;
+    cfg.grid = req.grid;
+    cfg.grid_flags = req.grid_flags;
+    cfg.only_ordinals.clear();
+    cfg.only_ordinals.reserve(missing.size());
+    for (const auto& c : missing) cfg.only_ordinals.push_back(c.ordinal);
+    cfg.run_dir = base.run_dir + "/req_" +
+                  std::to_string(req_counter->fetch_add(1));
+    const fleet::fleet_report rep = fleet::run_fleet(cfg);
+    if (!rep.ok) {
+      throw std::runtime_error("serve: fleet run failed: " + rep.error);
+    }
+    for (std::size_t i = 0; i < rep.merged.records.size(); ++i) {
+      const campaign_io::record& rec = rep.merged.records[i];
+      on_line(rec.hash, rec.seed, rep.merged.lines[i],
+              cell_sim_ops(rec.metrics));
+    }
+  };
+}
+
+request_stats cell_service::run(
+    const grid_request& req,
+    const std::function<void(const std::string& line)>& emit) {
+  static auto* hits_counter = obs::counter("serve.cache_hits");
+  static auto* misses_counter = obs::counter("serve.cache_misses");
+  static auto* coalesced_counter = obs::counter("serve.coalesced");
+  static auto* evictions_counter = obs::counter("serve.evictions");
+
+  const std::vector<campaign_cell> cells = req.grid.expand();
+  request_stats stats;
+  stats.cells = cells.size();
+
+  // Per-cell resolution slots, aligned with `cells` (= ordinal order).
+  // ready slots carry the line; the rest wait on an in-flight entry.
+  struct slot {
+    std::string line;
+    std::shared_ptr<inflight> wait;
+  };
+  std::vector<slot> slots(cells.size());
+  std::vector<campaign_cell> missing;
+  // Entries THIS request registered; on runner failure every one of them
+  // must be failed so no waiter (ours or a coalesced request's) hangs.
+  std::vector<std::pair<key, std::shared_ptr<inflight>>> owned;
+
+  std::uint64_t evictions_before = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    evictions_before = cache_.evictions();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const key k{cell_hash(cells[i]), cells[i].params.seed};
+      if (auto line = cache_.find(k.first, k.second)) {
+        slots[i].line = std::move(*line);
+        ++stats.cache_hits;
+        continue;
+      }
+      const auto it = inflight_.find(k);
+      if (it != inflight_.end()) {
+        slots[i].wait = it->second;
+        ++stats.coalesced;
+        continue;
+      }
+      auto entry = std::make_shared<inflight>();
+      inflight_.emplace(k, entry);
+      slots[i].wait = entry;
+      owned.emplace_back(k, entry);
+      missing.push_back(cells[i]);
+      ++stats.cache_misses;
+    }
+    ++requests_;
+  }
+  hits_counter->fetch_add(stats.cache_hits, std::memory_order_relaxed);
+  misses_counter->fetch_add(stats.cache_misses, std::memory_order_relaxed);
+  coalesced_counter->fetch_add(stats.coalesced, std::memory_order_relaxed);
+
+  // Simulate the claimed cells on the runner while the streaming loop
+  // below releases lines in ordinal order as they resolve.
+  std::thread runner_thread;
+  if (!missing.empty()) {
+    runner_thread = std::thread([&] {
+      const line_sink on_line = [&](std::uint64_t hash, std::uint64_t seed,
+                                    const std::string& line,
+                                    double sim_ops) {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Cache first, then wake: a request classifying between the two
+        // would either hit the cache or find the entry still in-flight —
+        // never miss a cell that is already done.
+        cache_.insert(hash, seed, line);
+        stats.sim_ops += sim_ops;
+        const auto it = inflight_.find({hash, seed});
+        if (it != inflight_.end()) {
+          it->second->line = line;
+          it->second->done = true;
+          inflight_.erase(it);
+        }
+        cv_.notify_all();
+      };
+      try {
+        runner_(req, missing, on_line);
+        // A runner that returns without reporting every claimed cell
+        // would hang the waiters — fail the stragglers loudly instead.
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [k, entry] : owned) {
+          if (entry->done || entry->failed) continue;
+          entry->failed = true;
+          entry->error = "serve: runner finished without reporting cell";
+          inflight_.erase(k);
+        }
+        cv_.notify_all();
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [k, entry] : owned) {
+          if (entry->done || entry->failed) continue;
+          entry->failed = true;
+          entry->error = e.what();
+          inflight_.erase(k);
+        }
+        cv_.notify_all();
+      }
+    });
+  }
+
+  // Ordinal-order release: each cell streams the moment it and all its
+  // predecessors are resolved. The runner must be joined no matter how
+  // streaming ends (a sink that throws on a dead socket included).
+  std::string error;
+  try {
+    for (auto& s : slots) {
+      if (s.wait != nullptr) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return s.wait->done || s.wait->failed; });
+        if (s.wait->failed) {
+          error = s.wait->error;
+          break;
+        }
+        s.line = s.wait->line;
+      }
+      emit(s.line);
+    }
+  } catch (...) {
+    if (runner_thread.joinable()) runner_thread.join();
+    throw;
+  }
+  if (runner_thread.joinable()) runner_thread.join();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.evictions = cache_.evictions() - evictions_before;
+    totals_.cells += stats.cells;
+    totals_.cache_hits += stats.cache_hits;
+    totals_.cache_misses += stats.cache_misses;
+    totals_.coalesced += stats.coalesced;
+    totals_.evictions += stats.evictions;
+    totals_.sim_ops += stats.sim_ops;
+  }
+  evictions_counter->fetch_add(stats.evictions, std::memory_order_relaxed);
+  if (!error.empty()) {
+    throw std::runtime_error("serve: request failed: " + error);
+  }
+  return stats;
+}
+
+request_stats cell_service::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+std::uint64_t cell_service::requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_;
+}
+
+}  // namespace leancon::serve

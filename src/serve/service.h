@@ -1,0 +1,136 @@
+// Campaign service core: classify → schedule → coalesce → stream.
+//
+// A cell_service answers grid requests from a persistent cell_cache plus a
+// pluggable miss runner. For each request it classifies every cell of the
+// expanded grid under one lock:
+//
+//   hit        the (cell_hash, seed) key is cached — the line is answered
+//              byte-for-byte from the cache with zero simulator work
+//   coalesced  another request is already simulating the cell — this
+//              request waits on the SAME in-flight entry instead of
+//              duplicating the work
+//   miss       this request claims the cell, registers an in-flight entry,
+//              and schedules it on the miss runner
+//
+// and then streams the request's lines back in full-grid ordinal order —
+// each line released as soon as it and all its predecessors are resolved —
+// which makes the concatenated stream byte-identical to the cells file the
+// single-process campaign would write for the same grid.
+//
+// The miss runner is how cache-miss cells reach the simulator: the
+// in-process pool_runner schedules them on the exp/ worker pool
+// (run_campaign), the fleet_runner forks them through the src/fleet/
+// supervisor as an --only-cells restricted fleet. Either way the runner
+// reports each finished cell's canonical line bytes, which are inserted
+// into the cache BEFORE the waiters are woken — a concurrent request can
+// never observe the cell "done but uncached".
+//
+// Thread-safety: run() may be called from many threads concurrently (the
+// socket server calls it from per-connection threads); the cache and the
+// in-flight table are guarded by one service mutex.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+#include "serve/cell_cache.h"
+
+namespace leancon::fleet {
+struct fleet_config;
+}  // namespace leancon::fleet
+
+namespace leancon::serve {
+
+/// One parsed grid request: the declarative grid plus the verbatim CLI
+/// flags that produced it ("--scenarios=...", ...), so a fleet runner can
+/// forward EXACTLY the flags the request's grid was expanded from
+/// (campaign_cli.h explains why byte-identity depends on it).
+struct grid_request {
+  campaign_grid grid;
+  std::vector<std::string> grid_flags;
+};
+
+/// Per-request outcome counters (the client's BENCH counters).
+/// cache_hits + cache_misses + coalesced == cells.
+struct request_stats {
+  std::uint64_t cells = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;  ///< cells THIS request simulated
+  std::uint64_t coalesced = 0;     ///< waited on another request's work
+  std::uint64_t evictions = 0;     ///< cache evictions during this request
+  /// Simulated shared-memory ops this request's fresh cells cost (summed
+  /// total_ops_sum where present). 0 for a fully-warm request.
+  double sim_ops = 0.0;
+};
+
+/// Reports one finished cell: its resume key, its canonical line bytes (no
+/// trailing newline), and its simulated op count (0 when unknown).
+using line_sink =
+    std::function<void(std::uint64_t hash, std::uint64_t seed,
+                       const std::string& line, double sim_ops)>;
+
+/// Simulates `missing` (cells keep full-grid seeds/hashes/ordinals) and
+/// invokes on_line once per cell, in any order. Throwing fails every
+/// waiter of the batch.
+using miss_runner = std::function<void(const grid_request& req,
+                                       const std::vector<campaign_cell>& missing,
+                                       const line_sink& on_line)>;
+
+class cell_service {
+ public:
+  /// `cache` must outlive the service.
+  cell_service(cell_cache& cache, miss_runner runner);
+
+  /// In-process runner: run_campaign on the shared worker pool with the
+  /// given concurrency cap (0 = hardware concurrency).
+  static miss_runner pool_runner(unsigned threads);
+
+  /// Fleet runner: forks the missing cells through fleet::run_fleet as an
+  /// --only-cells restricted fleet. `base` supplies shards, worker_argv,
+  /// run_dir (each request runs under run_dir/req_<k>), and tuning; grid
+  /// and grid_flags are overwritten per request.
+  static miss_runner fleet_runner(fleet::fleet_config base);
+
+  /// Serves one request: streams every cell line of the expanded grid (no
+  /// trailing newline) to `emit` in ordinal order. Throws
+  /// std::runtime_error when the miss runner fails (waiters of coalesced
+  /// cells see the owner's failure); cells already streamed stay streamed.
+  request_stats run(const grid_request& req,
+                    const std::function<void(const std::string& line)>& emit);
+
+  /// Cumulative totals across all requests (the daemon's BENCH counters).
+  request_stats totals() const;
+  std::uint64_t requests() const;
+
+  cell_cache& cache() { return cache_; }
+  /// The service mutex — hold it when touching cache() from outside run()
+  /// (e.g. the stats op of the socket server).
+  std::mutex& mutex() { return mu_; }
+
+ private:
+  struct inflight {
+    bool done = false;
+    bool failed = false;
+    std::string line;
+    std::string error;
+  };
+  using key = std::pair<std::uint64_t, std::uint64_t>;
+
+  cell_cache& cache_;
+  miss_runner runner_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<key, std::shared_ptr<inflight>> inflight_;
+  request_stats totals_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace leancon::serve

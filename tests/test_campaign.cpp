@@ -565,6 +565,61 @@ TEST(CampaignIoMerge, SameKeyDifferentBytesIsAHardErrorNamingTheCell) {
   }
 }
 
+TEST(CampaignIoMerge, SecondsOnlyDifferencesDeduplicateAsReruns) {
+  // Two overlapping --cell-seconds files: a re-run of the same cell lands
+  // on the same (hash, seed) key with identical deterministic fields but a
+  // different wall-clock "seconds" value. That is the same result, not a
+  // conflict — it must dedup (and count) like a byte-identical duplicate.
+  const auto cells = small_grid();
+  const std::string path = testing::TempDir() + "merge_seconds_a.jsonl";
+  {
+    campaign_io io(path, false, /*record_seconds=*/true);
+    campaign_options opts;
+    opts.io = &io;
+    run_campaign(cells, opts);
+  }
+  const auto lines = file_lines(path);
+  ASSERT_EQ(lines.size(), cells.size());
+  // The re-run file: every line with its timing rewritten (a re-run never
+  // reproduces the wall clock; forcing the difference keeps the test
+  // deterministic).
+  std::vector<std::string> rerun;
+  for (const auto& line : lines) {
+    const std::size_t pos = line.find("\"seconds\": ");
+    ASSERT_NE(pos, std::string::npos) << line;
+    const std::size_t end = line.find(',', pos);
+    ASSERT_NE(end, std::string::npos) << line;
+    rerun.push_back(line.substr(0, pos) + "\"seconds\": 123.5" +
+                    line.substr(end));
+    ASSERT_NE(rerun.back(), line);
+  }
+  const std::string rerun_path =
+      write_lines("merge_seconds_b.jsonl", rerun);
+
+  const auto merged = campaign_io::merge_files({path, rerun_path});
+  EXPECT_EQ(merged.lines.size(), cells.size());
+  EXPECT_EQ(merged.duplicate_cells, cells.size());
+  EXPECT_EQ(merged.skipped_lines, 0u);
+  // First-seen lines win, so the merge reproduces file A byte for byte.
+  for (std::size_t i = 0; i < merged.lines.size(); ++i) {
+    EXPECT_EQ(merged.lines[i], lines[i]) << i;
+  }
+
+  // The tolerance is ONLY for "seconds": a re-run whose metrics also
+  // diverged is still the hard conflict it always was.
+  std::string corrupt = rerun[1];
+  const std::size_t mpos = corrupt.find("\"metrics\": {");
+  ASSERT_NE(mpos, std::string::npos);
+  const std::size_t digit =
+      corrupt.find_first_of("0123456789", mpos + 12 + 12);
+  ASSERT_NE(digit, std::string::npos);
+  corrupt[digit] = corrupt[digit] == '9' ? '8' : '9';
+  const std::string corrupt_path =
+      write_lines("merge_seconds_c.jsonl", {corrupt});
+  EXPECT_THROW(campaign_io::merge_files({path, corrupt_path}),
+               std::runtime_error);
+}
+
 TEST(CampaignIoMerge, TornTailInOneShardIsSkippedAndCounted) {
   const auto cells = small_grid();
   const std::string path = testing::TempDir() + "merge_torn_a.jsonl";

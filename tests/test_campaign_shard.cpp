@@ -1,13 +1,17 @@
 // Tests for deterministic cell → shard assignment: CLI parsing, exact
 // partitioning for any shard count, stability of the assignment under grid
 // edits (append a scenario — surviving cells keep their shard), and
-// order/ordinal preservation through filter_shard.
+// order/ordinal preservation through filter_shard. Plus the --only-cells
+// ordinal-list surface (campaign_cli): parse, format, filter, and the
+// rejection of duplicate/out-of-range ordinals by name.
 #include "exp/campaign_shard.h"
 
 #include <gtest/gtest.h>
 
 #include <map>
 #include <stdexcept>
+
+#include "exp/campaign_cli.h"
 
 namespace leancon {
 namespace {
@@ -130,6 +134,58 @@ TEST(Shard, FilterPreservesOrderOrdinalsAndSeeds) {
   }
   EXPECT_THROW(filter_shard(cells, {3, 3}), std::invalid_argument);
   EXPECT_THROW(shard_of(cells[0], 0), std::invalid_argument);
+}
+
+TEST(OrdinalList, ParsesFormatsAndFiltersInGridOrder) {
+  const auto ordinals = parse_ordinal_list("7,3,11");
+  ASSERT_EQ(ordinals.size(), 3u);
+  EXPECT_EQ(ordinals[0], 7u);
+  EXPECT_EQ(ordinals[1], 3u);
+  EXPECT_EQ(ordinals[2], 11u);
+  EXPECT_EQ(format_ordinal_list(ordinals), "7,3,11");
+  EXPECT_TRUE(parse_ordinal_list("").empty());
+
+  const auto cells = demo_cells();
+  const auto kept = filter_ordinals(cells, ordinals);
+  ASSERT_EQ(kept.size(), 3u);
+  // Filtered cells come back in GRID order (ordinal-ascending), verbatim.
+  EXPECT_EQ(kept[0].ordinal, 3u);
+  EXPECT_EQ(kept[1].ordinal, 7u);
+  EXPECT_EQ(kept[2].ordinal, 11u);
+  for (const auto& cell : kept) {
+    EXPECT_EQ(cell.params.seed, cells[cell.ordinal].params.seed);
+    EXPECT_EQ(cell.scenario, cells[cell.ordinal].scenario);
+  }
+}
+
+TEST(OrdinalList, RejectsDuplicatesNamingTheOffender) {
+  // A duplicate ordinal is a caller bug (a rebalance handing the same
+  // cell out twice); silently collapsing it would run the cell once and
+  // hide the bug. The worker turns this throw into its usage exit (2).
+  try {
+    parse_ordinal_list("3,7,3");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate cell ordinal 3"),
+              std::string::npos)
+        << e.what();
+  }
+  for (const char* bad : {"x", "3x", "1.5", "0x3"}) {
+    EXPECT_THROW(parse_ordinal_list(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(OrdinalList, OutOfRangeOrdinalIsNamedNotDropped) {
+  const auto cells = demo_cells();
+  try {
+    filter_ordinals(cells, parse_ordinal_list("2,999"));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cell ordinal 999"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(cells.size())), std::string::npos)
+        << what;
+  }
 }
 
 }  // namespace

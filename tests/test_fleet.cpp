@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -17,6 +18,7 @@
 #include "exp/campaign.h"
 #include "exp/campaign_io.h"
 #include "exp/campaign_shard.h"
+#include "fleet/hb_tail.h"
 #include "fleet/worker_proc.h"
 #include "harness.h"
 
@@ -113,6 +115,121 @@ double counter_of(const bench::results& res, const std::string& name) {
   return -1.0;
 }
 
+/// A syntactically complete heartbeat line for tailer tests.
+std::string hb_line(double uptime_s, std::uint64_t trials_done,
+                    const std::string& rate = "1.5",
+                    const std::string& eta = "10") {
+  std::ostringstream os;
+  os << "{\"uptime_s\": " << uptime_s << ", \"cells_done\": 0, "
+     << "\"cells_total\": 4, \"trials_done\": " << trials_done
+     << ", \"trials_total\": 16, \"trials_per_sec\": " << rate
+     << ", \"eta_s\": " << eta
+     << ", \"current_cell\": \"c\", \"rss_kb\": 100, \"shard\": \"0/1\", "
+     << "\"pid\": 42, \"argv_hash\": \"0x0\"}";
+  return os.str();
+}
+
+TEST(FleetHbTail, NullRateAndEtaParseAsNaN) {
+  // The heartbeat emitter writes null where the rate/ETA are undefined
+  // (obs/heartbeat.h); the tailer must accept those lines — a healthy but
+  // not-yet-progressing worker would otherwise count as unparseable and,
+  // with every line skipped, read as LOST to the staleness clock.
+  fleet::hb_sample s;
+  ASSERT_TRUE(parse_hb_line(hb_line(0.5, 0, "null", "null"), s));
+  EXPECT_TRUE(std::isnan(s.trials_per_sec));
+  EXPECT_TRUE(std::isnan(s.eta_s));
+  ASSERT_TRUE(parse_hb_line(hb_line(0.5, 8), s));
+  EXPECT_EQ(s.trials_per_sec, 1.5);
+  // A bare non-finite token is NOT valid JSON and must stay rejected.
+  EXPECT_FALSE(parse_hb_line(hb_line(0.5, 8, "inf", "nan"), s));
+}
+
+TEST(FleetHbTail, ShrunkFileResetsAndReTailsFromTheStart) {
+  const std::string dir = fresh_dir("hbtail");
+  const std::string path = dir + "/hb.jsonl";
+  fleet::hb_tail tail(path);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << hb_line(1.0, 4) << "\n" << hb_line(2.0, 8) << "\n";
+  }
+  EXPECT_EQ(tail.poll(), 2u);
+  EXPECT_EQ(tail.last().trials_done, 8u);
+  EXPECT_EQ(tail.resets(), 0u);
+
+  // A healed worker truncates and recreates the file with a SHORTER
+  // history. Before the shrink check, poll() would seek past EOF and read
+  // nothing forever — the restarted worker would look silent until the
+  // staleness clock killed it again.
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << hb_line(0.5, 2) << "\n";
+  }
+  EXPECT_EQ(tail.poll(), 1u);
+  EXPECT_EQ(tail.resets(), 1u);
+  EXPECT_EQ(tail.last().trials_done, 2u);
+  EXPECT_EQ(tail.skipped(), 0u);
+
+  // Appends after the reset tail normally.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << hb_line(1.5, 6) << "\n";
+  }
+  EXPECT_EQ(tail.poll(), 1u);
+  EXPECT_EQ(tail.resets(), 1u);
+  EXPECT_EQ(tail.last().trials_done, 6u);
+}
+
+TEST(FleetHbTail, TruncationMidPartialLineDropsTheStaleBuffer) {
+  const std::string dir = fresh_dir("hbtail_partial");
+  const std::string path = dir + "/hb.jsonl";
+  fleet::hb_tail tail(path);
+  // The worker dies mid-write: a complete line plus a torn prefix.
+  const std::string full = hb_line(1.0, 4);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << full << "\n" << full.substr(0, full.size() / 2);
+  }
+  EXPECT_EQ(tail.poll(), 1u);
+
+  // The healed worker starts a fresh file. The buffered torn prefix
+  // belonged to the dead incarnation — gluing the new file's first line
+  // onto it would yield garbage (one skipped line and one lost sample).
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << hb_line(0.25, 1) << "\n";
+  }
+  EXPECT_EQ(tail.poll(), 1u);
+  EXPECT_EQ(tail.resets(), 1u);
+  EXPECT_EQ(tail.skipped(), 0u);
+  EXPECT_EQ(tail.last().trials_done, 1u);
+}
+
+TEST(FleetWorkerProc, BadOnlyCellsListExitsWithUsageCode) {
+  // Duplicate and out-of-range --only-cells ordinals are caller bugs the
+  // worker must refuse (exit 2) rather than silently run: a duplicate
+  // would double-run a cell, an out-of-range ordinal would silently drop
+  // one from the rebalance.
+  const std::string dir = fresh_dir("only_cells_usage");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  int which = 0;
+  for (const char* bad : {"--only-cells=1,1", "--only-cells=999"}) {
+    fleet::worker_proc proc;
+    proc.spawn({LEANCON_WORKER_BIN, "--scenarios=mutex-noise", "--ns=2,4",
+                "--trials=2", bad,
+                "--cells=" + dir + "/cells" + std::to_string(which) +
+                    ".jsonl"},
+               dir + "/log" + std::to_string(which) + ".txt");
+    ++which;
+    while (proc.running()) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(proc.reaped());
+    EXPECT_EQ(proc.exit_code(), fleet::exit_usage) << bad;
+  }
+}
+
 TEST(FleetKillRule, ParsesAndRejects) {
   const fleet::kill_rule rule = fleet::parse_kill_rule("1@cells:2");
   EXPECT_EQ(rule.shard, 1u);
@@ -158,6 +275,36 @@ TEST(FleetSupervisor, CleanRunIsByteIdenticalToSingleProcess) {
   EXPECT_EQ(rep.missing_cells, 0u);
   EXPECT_EQ(rep.jobs.size(), 3u);
   EXPECT_EQ(merged_bytes(rep), single_process_bytes(dir));
+}
+
+TEST(FleetSupervisor, OnlyOrdinalsRunsJustThoseCellsByteIdentical) {
+  // The restricted mode the campaign service schedules cache misses
+  // through: the fleet runs ONLY the named full-grid ordinals, and each
+  // record is byte-identical to the same cell's line in a full
+  // single-process run (ordinals, seeds, and hashes are grid-positional,
+  // so the subset changes nothing).
+  const std::string dir = fresh_dir("only_ordinals");
+  auto cfg = base_config(dir, 2);
+  cfg.only_ordinals = {0, 3};
+  const auto rep = fleet::run_fleet(cfg);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  ASSERT_EQ(rep.merged.records.size(), 2u);
+  EXPECT_EQ(rep.merged.records[0].ordinal, 0u);
+  EXPECT_EQ(rep.merged.records[1].ordinal, 3u);
+
+  std::istringstream single(single_process_bytes(dir));
+  std::vector<std::string> full_lines;
+  std::string line;
+  while (std::getline(single, line)) full_lines.push_back(line);
+  ASSERT_EQ(full_lines.size(), 4u);
+  EXPECT_EQ(rep.merged.lines[0], full_lines[0]);
+  EXPECT_EQ(rep.merged.lines[1], full_lines[3]);
+
+  // An out-of-range ordinal fails the whole run up front (never a
+  // silently smaller campaign).
+  cfg.only_ordinals = {0, 99};
+  cfg.run_dir = fresh_dir("only_ordinals_bad");
+  EXPECT_THROW(fleet::run_fleet(cfg), std::invalid_argument);
 }
 
 TEST(FleetSupervisor, KilledWorkerHealsWithResumeByteIdentical) {

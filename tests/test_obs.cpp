@@ -249,10 +249,19 @@ TEST(ObsHeartbeat, LinesCarryTheDocumentedSchema) {
     ASSERT_TRUE(hb.is(json::value::kind::object)) << line;
     for (const char* field :
          {"uptime_s", "cells_done", "cells_total", "trials_done",
-          "trials_total", "trials_per_sec", "eta_s", "rss_kb", "pid"}) {
+          "trials_total", "rss_kb", "pid"}) {
       const json::value* v = hb.find(field);
       ASSERT_NE(v, nullptr) << field;
       EXPECT_TRUE(v->is(json::value::kind::number)) << field;
+    }
+    // Rate and ETA are number-or-null: null stands in for the undefined
+    // values (no progress yet / stalled), never bare inf or nan tokens.
+    for (const char* field : {"trials_per_sec", "eta_s"}) {
+      const json::value* v = hb.find(field);
+      ASSERT_NE(v, nullptr) << field;
+      EXPECT_TRUE(v->is(json::value::kind::number) ||
+                  v->is(json::value::kind::null))
+          << field << ": " << line;
     }
     for (const char* field : {"current_cell", "shard", "argv_hash"}) {
       const json::value* v = hb.find(field);
@@ -275,6 +284,37 @@ TEST(ObsHeartbeat, LinesCarryTheDocumentedSchema) {
   EXPECT_EQ(final_line.find("shard")->str, "2/5");
   EXPECT_EQ(final_line.find("argv_hash")->str,
             obs::argv_fingerprint({"worker", "--shard=2/5"}));
+}
+
+TEST(ObsHeartbeat, UndefinedRateAndEtaEmitNullNeverInfOrNan) {
+  // A worker that has made no progress has an undefined ETA: trials
+  // remain but the rate is zero. The line must carry null there — a bare
+  // "inf"/"nan" token would make the whole line unparseable to every
+  // strict JSON reader (trace_validate.py now rejects those tokens).
+  const std::string path = testing::TempDir() + "obs_heartbeat_null.jsonl";
+  std::remove(path.c_str());
+  {
+    obs::heartbeat hb(path, 0.02);
+    hb.set_totals(3, 300);  // totals known, zero trials done
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  const std::string text = read_file(path);
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  std::istringstream lines(text);
+  std::string line;
+  std::string last;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) last = line;
+  }
+  ASSERT_FALSE(last.empty());
+  const json::value hb = json::parse(last);
+  ASSERT_NE(hb.find("eta_s"), nullptr);
+  EXPECT_TRUE(hb.find("eta_s")->is(json::value::kind::null)) << last;
+  // The rate itself is well-defined (zero trials over positive uptime).
+  ASSERT_NE(hb.find("trials_per_sec"), nullptr);
+  EXPECT_TRUE(hb.find("trials_per_sec")->is(json::value::kind::number))
+      << last;
 }
 
 // --- Identity contracts ----------------------------------------------------

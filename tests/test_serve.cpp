@@ -1,0 +1,531 @@
+// Tests for the campaign service (src/serve): the persistent cell cache
+// (LRU, persistence, conflict hardness), the classify → schedule →
+// coalesce → stream service core (cold/warm/partial-overlap byte-identity
+// against the single-process cells file, coalescing between concurrent
+// requests, eviction accounting, runner-failure propagation, the fleet
+// scheduling path), and the daemon end to end over its unix socket —
+// including kill -9 and restart with a warm cache.
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "exp/campaign.h"
+#include "exp/campaign_io.h"
+#include "fleet/supervisor.h"
+#include "fleet/worker_proc.h"
+#include "serve/cell_cache.h"
+#include "util/json.h"
+
+namespace leancon {
+namespace {
+
+// Injected by tests/CMakeLists.txt as $<TARGET_FILE:...>.
+#ifndef LEANCON_SERVE_BIN
+#define LEANCON_SERVE_BIN "campaign_serve"
+#endif
+#ifndef LEANCON_SUBMIT_BIN
+#define LEANCON_SUBMIT_BIN "campaign_submit"
+#endif
+#ifndef LEANCON_WORKER_BIN
+#define LEANCON_WORKER_BIN "campaign_worker"
+#endif
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "serve_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+serve::grid_request small_request() {
+  serve::grid_request req;
+  req.grid.scenarios = {"mutex-noise", "hybrid-q8"};
+  req.grid.ns = {2, 4};
+  req.grid.trials = 4;
+  req.grid.seed = 1;
+  req.grid_flags = {"--scenarios=mutex-noise,hybrid-q8", "--ns=2,4",
+                    "--trials=4", "--op-budget=0", "--seed=1"};
+  return req;
+}
+
+/// The cells file a single-process campaign writes for `grid` — the byte
+/// reference every service assertion compares against.
+std::string single_process_bytes(const std::string& dir,
+                                 const campaign_grid& grid) {
+  const std::string path = dir + "/single.jsonl";
+  {
+    campaign_io io(path);
+    campaign_options opts;
+    opts.threads = 2;
+    opts.io = &io;
+    run_campaign(grid.expand(), opts);
+  }
+  return read_file(path);
+}
+
+/// Runs one request and returns (stats, concatenated streamed bytes).
+std::pair<serve::request_stats, std::string> run_request(
+    serve::cell_service& service, const serve::grid_request& req) {
+  std::string bytes;
+  const auto stats = service.run(req, [&bytes](const std::string& line) {
+    bytes += line;
+    bytes += '\n';
+  });
+  return {stats, bytes};
+}
+
+/// The lines of a cold run of `req`, keyed for cache seeding.
+struct seeded_line {
+  std::uint64_t hash = 0;
+  std::uint64_t seed = 0;
+  std::string line;
+};
+std::vector<seeded_line> cold_lines(const serve::grid_request& req) {
+  std::vector<seeded_line> out;
+  campaign_options opts;
+  opts.threads = 2;
+  opts.on_cell = [&out](const cell_result& r) {
+    std::string line = campaign_io::format_line(r, false);
+    while (!line.empty() && line.back() == '\n') line.pop_back();
+    out.push_back({r.hash, r.cell.params.seed, std::move(line)});
+  };
+  run_campaign(req.grid.expand(), opts);
+  return out;
+}
+
+double counter_from_json(const std::string& path, const std::string& name) {
+  const json::value root = json::parse(read_file(path));
+  const json::value* counters = root.find("counters");
+  EXPECT_NE(counters, nullptr) << path;
+  if (counters == nullptr) return -1.0;
+  const json::value* v = counters->find(name.c_str());
+  EXPECT_NE(v, nullptr) << name << " missing in " << path;
+  return v == nullptr ? -1.0 : v->num;
+}
+
+// --- cell_cache ------------------------------------------------------------
+
+TEST(ServeCellCache, InsertFindAndReloadFromDisk) {
+  const std::string dir = fresh_dir("cache_reload");
+  const std::string path = dir + "/cache.jsonl";
+  const auto lines = cold_lines(small_request());
+  ASSERT_EQ(lines.size(), 4u);
+  {
+    serve::cell_cache cache(path);
+    EXPECT_EQ(cache.loaded(), 0u);
+    for (const auto& l : lines) cache.insert(l.hash, l.seed, l.line);
+    EXPECT_EQ(cache.entries(), lines.size());
+    const auto hit = cache.find(lines[1].hash, lines[1].seed);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, lines[1].line);
+    EXPECT_FALSE(cache.find(1, 2).has_value());
+    // Identical re-insertion is benign (a coalesced race resolving twice).
+    cache.insert(lines[0].hash, lines[0].seed, lines[0].line);
+    EXPECT_EQ(cache.entries(), lines.size());
+  }
+  // Reopen: every entry restored from the file, bytes intact.
+  serve::cell_cache cache(path);
+  EXPECT_EQ(cache.loaded(), lines.size());
+  EXPECT_EQ(cache.skipped_lines(), 0u);
+  for (const auto& l : lines) {
+    const auto hit = cache.find(l.hash, l.seed);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, l.line);
+  }
+  // The cache file IS a cells file: merge_files reads it unchanged.
+  const auto merged = campaign_io::merge_files({path});
+  EXPECT_EQ(merged.records.size(), lines.size());
+  EXPECT_EQ(merged.skipped_lines, 0u);
+}
+
+TEST(ServeCellCache, ConflictingBytesAreAHardError) {
+  const std::string dir = fresh_dir("cache_conflict");
+  const auto lines = cold_lines(small_request());
+  serve::cell_cache cache(dir + "/cache.jsonl");
+  cache.insert(lines[0].hash, lines[0].seed, lines[0].line);
+  // Same key, different bytes: a determinism violation or a foreign cache
+  // — mirroring merge_files, never something to overwrite silently.
+  EXPECT_THROW(
+      cache.insert(lines[0].hash, lines[0].seed, lines[1].line),
+      std::runtime_error);
+}
+
+TEST(ServeCellCache, SizeCapEvictsLeastRecentlyUsed) {
+  const std::string dir = fresh_dir("cache_lru");
+  const auto lines = cold_lines(small_request());
+  // Cap sized for roughly two entries, so inserting all four must evict.
+  const std::uint64_t cap =
+      2 * (lines[0].line.size() + 1) + lines[1].line.size() / 2;
+  serve::cell_cache cache(dir + "/cache.jsonl", cap);
+  cache.insert(lines[0].hash, lines[0].seed, lines[0].line);
+  cache.insert(lines[1].hash, lines[1].seed, lines[1].line);
+  // Touch entry 0 so entry 1 is now the least recently used.
+  ASSERT_TRUE(cache.find(lines[0].hash, lines[0].seed).has_value());
+  cache.insert(lines[2].hash, lines[2].seed, lines[2].line);
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes(), cap);
+  // The refreshed entry survived its unrefreshed sibling.
+  EXPECT_FALSE(cache.find(lines[1].hash, lines[1].seed).has_value());
+  EXPECT_TRUE(cache.find(lines[2].hash, lines[2].seed).has_value());
+
+  // A cap smaller than any single line still holds the newest entry — a
+  // cache that cannot keep one line would thrash into uselessness.
+  serve::cell_cache tiny(dir + "/tiny.jsonl", 8);
+  tiny.insert(lines[0].hash, lines[0].seed, lines[0].line);
+  EXPECT_EQ(tiny.entries(), 1u);
+  EXPECT_TRUE(tiny.find(lines[0].hash, lines[0].seed).has_value());
+}
+
+TEST(ServeCellCache, CompactionDropsEvictedLinesFromDisk) {
+  const std::string dir = fresh_dir("cache_compact");
+  const std::string path = dir + "/cache.jsonl";
+  const auto lines = cold_lines(small_request());
+  const std::uint64_t cap = 2 * (lines[0].line.size() + 64);
+  {
+    serve::cell_cache cache(path, cap);
+    for (const auto& l : lines) cache.insert(l.hash, l.seed, l.line);
+    EXPECT_GE(cache.evictions(), 1u);
+  }  // destructor compacts
+  // The rewritten file holds exactly the survivors; a reload agrees.
+  serve::cell_cache cache(path, cap);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_LE(cache.bytes(), cap);
+  EXPECT_GE(cache.loaded(), 1u);
+  EXPECT_LT(cache.loaded(), lines.size());
+}
+
+// --- cell_service ----------------------------------------------------------
+
+TEST(ServeService, ColdThenWarmAreByteIdenticalToSingleProcess) {
+  const std::string dir = fresh_dir("svc_warm");
+  const auto req = small_request();
+  const std::string reference = single_process_bytes(dir, req.grid);
+
+  serve::cell_cache cache(dir + "/cache.jsonl");
+  serve::cell_service service(cache,
+                              serve::cell_service::pool_runner(2));
+
+  const auto [cold, cold_bytes] = run_request(service, req);
+  EXPECT_EQ(cold.cells, 4u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, 4u);
+  EXPECT_EQ(cold.coalesced, 0u);
+  EXPECT_GT(cold.sim_ops, 0.0);
+  EXPECT_EQ(cold_bytes, reference);
+
+  // THE serving contract: the warm pass answers every cell from the cache
+  // byte-for-byte with zero simulator work.
+  const auto [warm, warm_bytes] = run_request(service, req);
+  EXPECT_EQ(warm.cache_hits, 4u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(warm.sim_ops, 0.0);
+  EXPECT_EQ(warm_bytes, reference);
+
+  const auto totals = service.totals();
+  EXPECT_EQ(totals.cells, 8u);
+  EXPECT_EQ(totals.cache_hits, 4u);
+  EXPECT_EQ(service.requests(), 2u);
+}
+
+TEST(ServeService, PartialOverlapSimulatesOnlyTheMissingCells) {
+  const std::string dir = fresh_dir("svc_partial");
+  // Grid B extends grid A by APPENDED scenarios, so A's cells are a
+  // positional prefix of B's — same ordinals, hence same per-cell seeds
+  // (trial_seed(seed, ordinal)) and same resume keys.
+  serve::grid_request a;
+  a.grid.scenarios = {"mutex-noise"};
+  a.grid.ns = {2, 4};
+  a.grid.trials = 4;
+  a.grid.seed = 1;
+  a.grid_flags = {"--scenarios=mutex-noise", "--ns=2,4", "--trials=4",
+                  "--op-budget=0", "--seed=1"};
+  const auto b = small_request();
+
+  serve::cell_cache cache(dir + "/cache.jsonl");
+  serve::cell_service service(cache,
+                              serve::cell_service::pool_runner(2));
+  const auto [cold_a, bytes_a] = run_request(service, a);
+  EXPECT_EQ(cold_a.cache_misses, 2u);
+  EXPECT_EQ(bytes_a, single_process_bytes(dir, a.grid));
+
+  const auto [partial, bytes_b] = run_request(service, b);
+  EXPECT_EQ(partial.cells, 4u);
+  EXPECT_EQ(partial.cache_hits, 2u);    // A's cells, from the cache
+  EXPECT_EQ(partial.cache_misses, 2u);  // only the appended scenario runs
+  EXPECT_EQ(bytes_b, single_process_bytes(dir, b.grid));
+}
+
+TEST(ServeService, ConcurrentOverlappingRequestsCoalesceInFlightCells) {
+  const std::string dir = fresh_dir("svc_coalesce");
+  const auto req = small_request();
+  const std::string reference = single_process_bytes(dir, req.grid);
+
+  // Gate the miss runner so request A's cells are verifiably in flight
+  // while request B classifies.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<bool> runner_entered{false};
+  auto inner = serve::cell_service::pool_runner(2);
+  serve::miss_runner gated =
+      [&](const serve::grid_request& r,
+          const std::vector<campaign_cell>& missing,
+          const serve::line_sink& sink) {
+        runner_entered.store(true);
+        std::unique_lock<std::mutex> lk(gate_mu);
+        gate_cv.wait(lk, [&] { return gate_open; });
+        lk.unlock();
+        inner(r, missing, sink);
+      };
+
+  serve::cell_cache cache(dir + "/cache.jsonl");
+  serve::cell_service service(cache, std::move(gated));
+
+  serve::request_stats stats_a, stats_b;
+  std::string bytes_a, bytes_b;
+  std::thread ta([&] {
+    stats_a = service.run(req, [&](const std::string& line) {
+      bytes_a += line;
+      bytes_a += '\n';
+    });
+  });
+  // A owns every cell (registered before its runner was invoked) once the
+  // gated runner reports in.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!runner_entered.load()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread tb([&] {
+    stats_b = service.run(req, [&](const std::string& line) {
+      bytes_b += line;
+      bytes_b += '\n';
+    });
+  });
+  // B never simulates: every cell is either already in flight when it
+  // classifies, or already cached by the time it gets there.
+  {
+    std::lock_guard<std::mutex> lk(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(stats_a.cache_misses, 4u);
+  EXPECT_EQ(stats_b.cache_misses, 0u);
+  EXPECT_GT(stats_b.coalesced, 0u);
+  EXPECT_EQ(stats_b.coalesced + stats_b.cache_hits, 4u);
+  EXPECT_EQ(stats_b.sim_ops, 0.0);  // the work was A's, not B's
+  EXPECT_EQ(bytes_a, reference);
+  EXPECT_EQ(bytes_b, reference);
+  EXPECT_GE(service.totals().coalesced, stats_b.coalesced);
+}
+
+TEST(ServeService, RunnerFailureFailsTheRequestAndFreesTheCells) {
+  const std::string dir = fresh_dir("svc_fail");
+  const auto req = small_request();
+  serve::cell_cache cache(dir + "/cache.jsonl");
+
+  int calls = 0;
+  serve::miss_runner flaky =
+      [&calls](const serve::grid_request& r,
+               const std::vector<campaign_cell>& missing,
+               const serve::line_sink& sink) {
+        if (++calls == 1) throw std::runtime_error("injected runner death");
+        serve::cell_service::pool_runner(2)(r, missing, sink);
+      };
+  serve::cell_service service(cache, std::move(flaky));
+
+  EXPECT_THROW(
+      service.run(req, [](const std::string&) {}),
+      std::runtime_error);
+  // The failed cells were released, not leaked as forever-in-flight: a
+  // retry claims and simulates them successfully.
+  const auto [retry, bytes] = run_request(service, req);
+  EXPECT_EQ(retry.cache_misses, 4u);
+  EXPECT_EQ(bytes, single_process_bytes(dir, req.grid));
+}
+
+TEST(ServeService, EvictionsDuringARequestSurfaceInItsStats) {
+  const std::string dir = fresh_dir("svc_evict");
+  const auto req = small_request();
+  const auto lines = cold_lines(req);
+  const std::uint64_t cap = 2 * (lines[0].line.size() + 64);
+  serve::cell_cache cache(dir + "/cache.jsonl", cap);
+  serve::cell_service service(cache,
+                              serve::cell_service::pool_runner(2));
+  const auto [cold, bytes] = run_request(service, req);
+  EXPECT_GT(cold.evictions, 0u);
+  // Eviction never corrupts the stream: the bytes still match.
+  EXPECT_EQ(bytes, single_process_bytes(dir, req.grid));
+}
+
+TEST(ServeService, FleetRunnerSchedulesMissesThroughTheSupervisor) {
+  const std::string dir = fresh_dir("svc_fleet");
+  const auto req = small_request();
+  const std::string reference = single_process_bytes(dir, req.grid);
+
+  fleet::fleet_config base;
+  base.shards = 2;
+  base.worker_argv = {LEANCON_WORKER_BIN};
+  base.run_dir = dir + "/fleet";
+  base.worker_threads = 1;
+  base.worker_heartbeat_interval_s = 0.02;
+  base.heartbeat_interval_s = 0.05;
+  base.backoff_s = 0.01;
+  base.verbose = false;
+
+  serve::cell_cache cache(dir + "/cache.jsonl");
+  serve::cell_service service(
+      cache, serve::cell_service::fleet_runner(std::move(base)));
+
+  const auto [cold, cold_bytes] = run_request(service, req);
+  EXPECT_EQ(cold.cache_misses, 4u);
+  EXPECT_EQ(cold_bytes, reference);
+
+  const auto [warm, warm_bytes] = run_request(service, req);
+  EXPECT_EQ(warm.cache_hits, 4u);
+  EXPECT_EQ(warm.sim_ops, 0.0);
+  EXPECT_EQ(warm_bytes, reference);
+}
+
+// --- Daemon end to end -----------------------------------------------------
+
+/// Kills the daemon on scope exit so a failed assertion never leaks it.
+struct daemon_guard {
+  fleet::worker_proc proc;
+  ~daemon_guard() {
+    if (proc.spawned() && proc.running()) proc.kill(SIGKILL);
+  }
+  void wait_exit() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (proc.running()) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+};
+
+int run_client(const std::vector<std::string>& argv,
+               const std::string& log_path) {
+  fleet::worker_proc proc;
+  proc.spawn(argv, log_path);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (proc.running()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      proc.kill(SIGKILL);
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return proc.signaled() ? -proc.term_signal() : proc.exit_code();
+}
+
+/// Submits the small grid, retrying while the daemon is still binding its
+/// socket; returns the last exit code.
+int submit_small(const std::string& socket, const std::string& out,
+                 const std::string& json, const std::string& log) {
+  const std::vector<std::string> argv = {
+      LEANCON_SUBMIT_BIN, "--socket=" + socket,
+      "--scenarios=mutex-noise,hybrid-q8", "--ns=2,4", "--trials=4",
+      "--op-budget=0", "--seed=1", "--out=" + out, "--json=" + json,
+      "--quiet=true"};
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  int code = -1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    code = run_client(argv, log);
+    if (code == 0) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return code;
+}
+
+TEST(ServeDaemon, ColdWarmAndKillRestartOverTheUnixSocket) {
+  const std::string dir = fresh_dir("daemon");
+  const std::string socket = dir + "/serve.sock";
+  const std::string cache = dir + "/cache.jsonl";
+
+  serve::grid_request req = small_request();
+  const std::string reference = single_process_bytes(dir, req.grid);
+
+  daemon_guard daemon;
+  daemon.proc.spawn({LEANCON_SERVE_BIN, "--socket=" + socket,
+                     "--cache=" + cache, "--threads=2",
+                     "--heartbeat=" + dir + "/hb.jsonl",
+                     "--heartbeat-interval=0.05", "--quiet=true"},
+                    dir + "/serve_log.txt");
+
+  // Cold: every cell simulated, stream byte-identical to single-process.
+  ASSERT_EQ(submit_small(socket, dir + "/out1.jsonl", dir + "/sub1.json",
+                         dir + "/sub1_log.txt"),
+            0)
+      << read_file(dir + "/sub1_log.txt");
+  EXPECT_EQ(read_file(dir + "/out1.jsonl"), reference);
+  EXPECT_EQ(counter_from_json(dir + "/sub1.json", "cells"), 4.0);
+  EXPECT_EQ(counter_from_json(dir + "/sub1.json", "cache_hits"), 0.0);
+  EXPECT_EQ(counter_from_json(dir + "/sub1.json", "cache_misses"), 4.0);
+
+  // Warm: byte-identical again, all hits, zero simulator work.
+  ASSERT_EQ(submit_small(socket, dir + "/out2.jsonl", dir + "/sub2.json",
+                         dir + "/sub2_log.txt"),
+            0)
+      << read_file(dir + "/sub2_log.txt");
+  EXPECT_EQ(read_file(dir + "/out2.jsonl"), reference);
+  EXPECT_EQ(counter_from_json(dir + "/sub2.json", "cache_hits"), 4.0);
+  EXPECT_EQ(counter_from_json(dir + "/sub2.json", "sim_ops"), 0.0);
+
+  // The daemon heartbeats under the "serve" shard identity.
+  EXPECT_NE(read_file(dir + "/hb.jsonl").find("\"shard\":\"serve\""),
+            std::string::npos);
+
+  // kill -9: the appended-on-insert cache file survives, so a restarted
+  // daemon answers the same grid fully warm.
+  daemon.proc.kill(SIGKILL);
+  daemon.wait_exit();
+  ASSERT_TRUE(daemon.proc.signaled());
+
+  daemon_guard revived;
+  revived.proc.spawn({LEANCON_SERVE_BIN, "--socket=" + socket,
+                      "--cache=" + cache, "--threads=2", "--quiet=true"},
+                     dir + "/serve_log2.txt");
+  ASSERT_EQ(submit_small(socket, dir + "/out3.jsonl", dir + "/sub3.json",
+                         dir + "/sub3_log.txt"),
+            0)
+      << read_file(dir + "/sub3_log.txt");
+  EXPECT_EQ(read_file(dir + "/out3.jsonl"), reference);
+  EXPECT_EQ(counter_from_json(dir + "/sub3.json", "cache_hits"), 4.0);
+  EXPECT_EQ(counter_from_json(dir + "/sub3.json", "sim_ops"), 0.0);
+
+  // Clean shutdown on SIGTERM: exit 0 (cache compacted on the way out).
+  revived.proc.kill(SIGTERM);
+  revived.wait_exit();
+  ASSERT_FALSE(revived.proc.signaled());
+  EXPECT_EQ(revived.proc.exit_code(), 0);
+}
+
+}  // namespace
+}  // namespace leancon

@@ -1,0 +1,256 @@
+// Client for the campaign service (bench/campaign_serve): submits one
+// campaign grid over the daemon's unix socket and writes the streamed cell
+// records — byte-identical to the cells file a single-process campaign
+// would write — plus a BENCH json carrying the request's cache counters.
+//
+//   ./campaign_submit --socket=/tmp/leancon.sock \
+//       --scenarios=mutex-noise --ns=2,4 --trials=4 --seed=1 \
+//       --out=cells.jsonl --json=BENCH_submit.json
+//
+// Exit is nonzero when the daemon reports an error or the stream ends
+// before its "done" line (a short stream is a failed request, never a
+// silently small result). A fully-warm request reports cache_hits ==
+// cells and sim_ops == 0 — the serving contract CI asserts.
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "exp/campaign_cli.h"
+#include "harness.h"
+#include "util/json.h"
+#include "util/options.h"
+
+using namespace leancon;
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+bool send_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n =
+        ::send(fd, text.data() + off, text.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+double stat_value(const json::value& done, const char* name) {
+  const json::value* v = done.find(name);
+  return (v != nullptr && v->k == json::value::kind::number) ? v->num : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts;
+  add_grid_flags(opts);  // the daemon expands EXACTLY these flags
+  opts.add("socket", "", "REQUIRED: the daemon's unix socket path");
+  opts.add("out", "",
+           "write the streamed cell records (canonical cells-file bytes) "
+           "to this path (default: stdout)");
+  opts.add("name", "campaign_submit", "bench name for the emitted json");
+  opts.add("json", "", "write request results as BENCH json to this path");
+  opts.add("quiet", "false", "suppress the summary line");
+  if (!opts.parse(argc, argv)) return 1;
+
+  if (opts.get("socket").empty()) {
+    std::fprintf(stderr, "campaign_submit: --socket is required\n");
+    return 1;
+  }
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "campaign_submit: cannot create socket: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string socket_path = opts.get("socket");
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "campaign_submit: socket path too long\n");
+    ::close(fd);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::fprintf(stderr, "campaign_submit: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+
+  // The request carries the grid flags verbatim (strings), so the daemon
+  // re-parses them through the same add_grid_flags surface.
+  std::string request = "{\"op\":\"submit\"";
+  for (const char* flag :
+       {"scenarios", "ns", "trials", "op-budget", "seed"}) {
+    std::ostringstream os;
+    os << ",";
+    json::write_string(os, flag);
+    os << ":";
+    json::write_string(os, opts.get(flag));
+    request += os.str();
+  }
+  request += "}\n";
+  if (!send_all(fd, request)) {
+    std::fprintf(stderr, "campaign_submit: send failed\n");
+    ::close(fd);
+    return 1;
+  }
+
+  std::FILE* out = stdout;
+  const std::string out_path = opts.get("out");
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "campaign_submit: cannot open %s\n",
+                   out_path.c_str());
+      ::close(fd);
+      return 1;
+    }
+  }
+
+  // Read the response stream: ack, raw record lines (forwarded BYTE FOR
+  // BYTE — re-serializing would break the cmp contract), then done.
+  std::string buffer;
+  char chunk[4096];
+  bool got_ack = false;
+  bool got_done = false;
+  std::uint64_t expected_cells = 0;
+  std::uint64_t received_cells = 0;
+  json::value done;
+  std::string error;
+  while (!got_done && error.empty()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    while (error.empty() && !got_done) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      json::value v;
+      try {
+        v = json::parse(line);
+      } catch (const std::exception& e) {
+        error = std::string("unparseable response line: ") + e.what();
+        break;
+      }
+      if (const json::value* err = v.find("error")) {
+        error = err->k == json::value::kind::string ? err->str
+                                                    : "daemon error";
+        break;
+      }
+      if (const json::value* ack = v.find("ack")) {
+        got_ack = true;
+        if (const json::value* cells = ack->find("cells")) {
+          expected_cells = static_cast<std::uint64_t>(cells->num);
+        }
+        continue;
+      }
+      if (const json::value* d = v.find("done")) {
+        done = *d;
+        got_done = true;
+        break;
+      }
+      if (!got_ack) {
+        error = "record line before ack";
+        break;
+      }
+      std::fputs(line.c_str(), out);
+      std::fputc('\n', out);
+      ++received_cells;
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  if (out != stdout) std::fclose(out);
+
+  if (!error.empty()) {
+    std::fprintf(stderr, "campaign_submit: FAILED: %s\n", error.c_str());
+    return 1;
+  }
+  if (!got_done) {
+    std::fprintf(stderr,
+                 "campaign_submit: FAILED: stream ended before \"done\" "
+                 "(%llu of %llu cell(s) received)\n",
+                 static_cast<unsigned long long>(received_cells),
+                 static_cast<unsigned long long>(expected_cells));
+    return 1;
+  }
+  if (received_cells != expected_cells) {
+    std::fprintf(stderr,
+                 "campaign_submit: FAILED: %llu cell(s) received, ack "
+                 "promised %llu\n",
+                 static_cast<unsigned long long>(received_cells),
+                 static_cast<unsigned long long>(expected_cells));
+    return 1;
+  }
+
+  const std::string json_path = opts.get("json");
+  if (!json_path.empty()) {
+    bench::results res;
+    res.bench = opts.get("name");
+    res.params = opts.flag_values();
+    for (const char* name : {"cells", "cache_hits", "cache_misses",
+                             "coalesced", "evictions", "sim_ops"}) {
+      res.counters.emplace_back(name, stat_value(done, name));
+    }
+    const std::string text = bench::to_json(res);
+    if (const auto bad = bench::validate_bench_json(text)) {
+      std::fprintf(stderr, "campaign_submit: emitted json is invalid: %s\n",
+                   bad->c_str());
+      return 1;
+    }
+    std::FILE* jout = std::fopen(json_path.c_str(), "w");
+    if (jout == nullptr) {
+      std::fprintf(stderr, "campaign_submit: cannot open %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), jout);
+    std::fclose(jout);
+  }
+
+  if (!opts.get_bool("quiet")) {
+    std::fprintf(stderr,
+                 "campaign_submit: %llu cell(s) — %.0f hit, %.0f "
+                 "simulated, %.0f coalesced, %.0f sim_ops\n",
+                 static_cast<unsigned long long>(received_cells),
+                 stat_value(done, "cache_hits"),
+                 stat_value(done, "cache_misses"),
+                 stat_value(done, "coalesced"), stat_value(done, "sim_ops"));
+  }
+  return 0;
+}
+
+#else  // !unix
+
+int main() {
+  std::fprintf(stderr, "campaign_submit: unix-domain sockets are "
+                       "unavailable on this platform\n");
+  return 1;
+}
+
+#endif

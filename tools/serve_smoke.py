@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Campaign service smoke: the serving contract, end to end.
+
+Starts a campaign_serve daemon on a fresh unix socket, submits the fig1
+smoke grid twice through campaign_submit, and asserts the contract the
+service exists for:
+
+  - the cold pass simulates every cell (cache_misses == cells),
+  - the warm pass answers entirely from the persistent cache
+    (cache_hits == cells, sim_ops == 0),
+  - both streamed cells files are byte-identical to each other and to the
+    committed baseline (--baseline), i.e. to what a single-process
+    campaign writes for the same grid,
+  - the daemon's heartbeat file passes tools/trace_validate.py,
+  - SIGTERM shuts the daemon down cleanly (exit 0).
+
+Exits non-zero with a pointed message on the first violation.
+"""
+import argparse
+import filecmp
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+FIG1_SMOKE_GRID = [
+    "--scenarios=figure1-norm,figure1-twopoint,figure1-delayed-poisson,"
+    "figure1-geom,figure1-unif,figure1-exp1",
+    "--ns=1,10,100",
+    "--trials=20",
+    "--op-budget=200000",
+    "--seed=20000625",
+]
+
+
+def fail(message: str) -> None:
+    print(f"serve_smoke: FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def submit(client: str, sock: str, out: str, bench_json: str) -> dict:
+    """Runs one submission (retrying while the daemon is still binding)."""
+    argv = [client, f"--socket={sock}", *FIG1_SMOKE_GRID,
+            f"--out={out}", f"--json={bench_json}", "--quiet=true"]
+    deadline = time.monotonic() + 60
+    while True:
+        proc = subprocess.run(argv, capture_output=True, text=True)
+        if proc.returncode == 0:
+            break
+        if time.monotonic() >= deadline:
+            fail(f"campaign_submit kept failing: {proc.stderr.strip()}")
+        time.sleep(0.1)
+    with open(bench_json) as f:
+        return json.load(f)["counters"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--serve", required=True,
+                        help="campaign_serve binary")
+    parser.add_argument("--submit", required=True,
+                        help="campaign_submit binary")
+    parser.add_argument("--baseline", default="",
+                        help="committed cells baseline to cmp against")
+    args = parser.parse_args()
+
+    work = tempfile.mkdtemp(prefix="serve_smoke_")
+    sock = os.path.join(work, "serve.sock")
+    cache = os.path.join(work, "cache.jsonl")
+    hb = os.path.join(work, "hb.jsonl")
+    daemon = subprocess.Popen(
+        [args.serve, f"--socket={sock}", f"--cache={cache}", "--threads=2",
+         f"--heartbeat={hb}", "--heartbeat-interval=0.1", "--quiet=true"])
+    try:
+        cold_out = os.path.join(work, "cold.jsonl")
+        warm_out = os.path.join(work, "warm.jsonl")
+        cold = submit(args.submit, sock, cold_out,
+                      os.path.join(work, "cold.json"))
+        warm = submit(args.submit, sock, warm_out,
+                      os.path.join(work, "warm.json"))
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        rc = daemon.wait(timeout=30)
+
+    cells = cold["cells"]
+    if cells <= 0:
+        fail(f"empty grid served: {cold}")
+    if cold["cache_misses"] != cells:
+        fail(f"cold pass was not cold: {cold}")
+    if warm["cache_hits"] != cells or warm["cache_misses"] != 0:
+        fail(f"warm pass missed the cache: {warm}")
+    if warm["sim_ops"] != 0:
+        fail(f"warm pass burned simulator work: {warm}")
+    if not filecmp.cmp(cold_out, warm_out, shallow=False):
+        fail("cold and warm streams differ")
+    if args.baseline and not filecmp.cmp(args.baseline, warm_out,
+                                         shallow=False):
+        fail(f"stream differs from the committed baseline {args.baseline}")
+    if rc != 0:
+        fail(f"daemon exited {rc} on SIGTERM")
+
+    validate = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "trace_validate.py")
+    proc = subprocess.run([sys.executable, validate, "--heartbeat", hb],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"heartbeat validation: {proc.stderr.strip() or proc.stdout}")
+
+    print(f"serve_smoke: OK — {cells} cell(s): cold simulated all, warm "
+          f"hit all with sim_ops == 0, streams byte-identical"
+          + (" to the committed baseline" if args.baseline else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -24,8 +24,10 @@ HEARTBEAT_FIELDS = {
     "cells_total": int,
     "trials_done": int,
     "trials_total": int,
-    "trials_per_sec": (int, float),
-    "eta_s": (int, float),
+    # Rate/eta are null when unknown (immediate first line, zero-progress
+    # stall) per the util/json non-finite convention; never inf/nan tokens.
+    "trials_per_sec": (int, float, type(None)),
+    "eta_s": (int, float, type(None)),
     "current_cell": str,
     "rss_kb": int,
     # Identity triple: lets a supervisor attribute the file to the worker
@@ -36,13 +38,20 @@ HEARTBEAT_FIELDS = {
 }
 
 # "i/k" for workers, "fleet" for the supervisor's own aggregate heartbeat.
-SHARD_RE = re.compile(r"^(\d+/\d+|fleet)$")
+SHARD_RE = re.compile(r"^(\d+/\d+|fleet|serve)$")
 ARGV_HASH_RE = re.compile(r"^0x[0-9a-f]+$")
 
 
 def fail(msg):
     print(f"trace_validate: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def reject_nonfinite(token):
+    # json.loads accepts Infinity/-Infinity/NaN by default; those tokens are
+    # not JSON and downstream consumers choke on them. Heartbeat writers must
+    # emit null for unknown values instead.
+    raise ValueError(f"non-finite token {token!r} (emit null instead)")
 
 
 def validate_trace(path):
@@ -106,9 +115,11 @@ def validate_heartbeat(path):
                 continue
             where = f"{path}:{lineno}"
             try:
-                hb = json.loads(line)
+                hb = json.loads(line, parse_constant=reject_nonfinite)
             except json.JSONDecodeError as e:
                 fail(f"{where}: not valid JSON: {e}")
+            except ValueError as e:
+                fail(f"{where}: {e}")
             if not isinstance(hb, dict):
                 fail(f"{where}: heartbeat line must be an object")
             for field, types in HEARTBEAT_FIELDS.items():
@@ -119,10 +130,11 @@ def validate_heartbeat(path):
                     fail(f"{where}: field {field!r} has wrong type "
                          f"({type(hb[field]).__name__})")
             for field in ("uptime_s", "trials_per_sec", "eta_s"):
-                if hb[field] < 0:
+                if hb[field] is not None and hb[field] < 0:
                     fail(f"{where}: negative {field}")
             if not SHARD_RE.match(hb["shard"]):
-                fail(f"{where}: shard {hb['shard']!r} is not i/k or 'fleet'")
+                fail(f"{where}: shard {hb['shard']!r} is not i/k, 'fleet', "
+                     "or 'serve'")
             if not ARGV_HASH_RE.match(hb["argv_hash"]):
                 fail(f"{where}: argv_hash {hb['argv_hash']!r} is not 0x hex")
             if hb["pid"] <= 0:
